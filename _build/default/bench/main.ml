@@ -1,0 +1,358 @@
+(* The benchmark harness.
+
+   With no arguments it regenerates every artefact of the paper's
+   evaluation section — Tables I-III and Figures 3-5 — on the simulated
+   ARCHER2 node, then runs the microbenchmark suite (bechamel) over the
+   runtime primitives and the ablation studies for the design choices
+   called out in DESIGN.md.  Individual sections can be selected:
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe table1 fig3     # just CG artefacts
+     dune exec bench/main.exe micro           # bechamel microbenches
+     dune exec bench/main.exe ablation        # schedule/reduction ablations *)
+
+open Bechamel
+
+(* ------------------------------------------------------------------ *)
+(* Paper artefacts.                                                    *)
+
+let emit_table kernel =
+  let text, _ = Harness.Experiment.table kernel in
+  print_endline text
+
+let emit_figure kernel = print_endline (Harness.Experiment.figure kernel)
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmarks: the runtime primitives the generated code leans on.
+   One bechamel test per primitive; real execution on this host.       *)
+
+let micro_tests () =
+  let nt = 4 in
+  let dot_prog =
+    Zigomp.compile ~name:"bench_dot.zr"
+      {|
+fn dot(n: i64, x: []f64, y: []f64) f64 {
+    var s: f64 = 0.0;
+    var i: i64 = 0;
+    //$omp parallel for reduction(+: s) shared(x, y)
+    while (i < n) : (i += 1) {
+        s += x[i] * y[i];
+    }
+    return s;
+}
+|}
+  in
+  let x = Array.init 10_000 float_of_int in
+  let y = Array.init 10_000 (fun i -> float_of_int (i mod 3)) in
+  let pre_src =
+    {|
+fn f(n: i64) f64 {
+    var s: f64 = 0.0;
+    //$omp parallel reduction(+: s)
+    {
+        var i: i64 = 0;
+        //$omp for schedule(dynamic, 8) nowait
+        while (i < n) : (i += 1) { s += 1.0; }
+    }
+    return s;
+}
+|}
+  in
+  let fcell = Omprt.Atomics.Float.make 0. in
+  let icell = Omprt.Atomics.Int.make 0 in
+  [ Test.make ~name:"fork_join_4"
+      (Staged.stage (fun () ->
+           Omprt.Omp.parallel ~num_threads:nt (fun () -> ())));
+    Test.make ~name:"barrier_x8_4thr"
+      (Staged.stage (fun () ->
+           Omprt.Omp.parallel ~num_threads:nt (fun () ->
+               for _ = 1 to 8 do Omprt.Omp.barrier () done)));
+    Test.make ~name:"ws_static_10k_iters"
+      (Staged.stage (fun () ->
+           Omprt.Omp.parallel ~num_threads:nt (fun () ->
+               Omprt.Omp.ws_for ~lo:0 ~hi:10_000 (fun lo hi ->
+                   let s = ref 0. in
+                   for i = lo to hi - 1 do s := !s +. x.(i) done;
+                   ignore !s))));
+    Test.make ~name:"ws_dynamic64_10k_iters"
+      (Staged.stage (fun () ->
+           Omprt.Omp.parallel ~num_threads:nt (fun () ->
+               Omprt.Omp.ws_for ~sched:(Omp_model.Sched.Dynamic 64) ~lo:0
+                 ~hi:10_000 (fun lo hi ->
+                   let s = ref 0. in
+                   for i = lo to hi - 1 do s := !s +. x.(i) done;
+                   ignore !s))));
+    Test.make ~name:"ws_guided8_10k_iters"
+      (Staged.stage (fun () ->
+           Omprt.Omp.parallel ~num_threads:nt (fun () ->
+               Omprt.Omp.ws_for ~sched:(Omp_model.Sched.Guided 8) ~lo:0
+                 ~hi:10_000 (fun lo hi ->
+                   let s = ref 0. in
+                   for i = lo to hi - 1 do s := !s +. x.(i) done;
+                   ignore !s))));
+    Test.make ~name:"atomic_add_native_int"
+      (Staged.stage (fun () -> Omprt.Atomics.Int.add icell 1));
+    Test.make ~name:"atomic_mul_cas_loop_int"
+      (Staged.stage (fun () -> Omprt.Atomics.Int.mul icell 1));
+    Test.make ~name:"atomic_add_cas_loop_float"
+      (Staged.stage (fun () -> Omprt.Atomics.Float.add fcell 1.0));
+    Test.make ~name:"critical_section"
+      (Staged.stage (fun () -> Omprt.Lock.critical (fun () -> ())));
+    Test.make ~name:"preprocess_region+loop"
+      (Staged.stage (fun () ->
+           ignore (Zigomp.preprocess ~name:"bench.zr" pre_src)));
+    Test.make ~name:"interp_dot_10k"
+      (Staged.stage (fun () ->
+           ignore
+             (Zigomp.call dot_prog "dot"
+                [ Zigomp.Value.VInt 10_000; Zigomp.Value.VFloatArr x;
+                  Zigomp.Value.VFloatArr y ])));
+    Test.make ~name:"sim_des_10k_events"
+      (Staged.stage (fun () ->
+           let des = Sim.Des.create () in
+           for _ = 1 to 10 do
+             Sim.Des.spawn des (fun () ->
+                 for _ = 1 to 1000 do Sim.Des.advance des 1e-6 done)
+           done;
+           ignore (Sim.Des.run des)));
+  ]
+
+let run_micro () =
+  print_endline "== microbenchmarks (real execution, bechamel OLS ns/run) ==";
+  Zigomp.set_num_threads 4;
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let grouped = Test.make_grouped ~name:"micro" (micro_tests ()) in
+  let raws = Benchmark.all cfg [ instance ] grouped in
+  let results = Analyze.all ols instance raws in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> e
+        | _ -> nan
+      in
+      rows := (name, est) :: !rows)
+    results;
+  List.iter
+    (fun (name, est) ->
+      if est >= 1e6 then Printf.printf "  %-32s %12.2f ms/run\n" name (est /. 1e6)
+      else if est >= 1e3 then Printf.printf "  %-32s %12.2f us/run\n" name (est /. 1e3)
+      else Printf.printf "  %-32s %12.1f ns/run\n" name est)
+    (List.sort compare !rows);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: design choices DESIGN.md calls out, measured on the
+   simulated node so that 128-thread behaviour is visible.             *)
+
+let ablation_schedules () =
+  print_endline
+    "== ablation: loop schedule under imbalance (simulated, 128 threads) ==";
+  print_endline
+    "   triangular work: iteration i costs ~i flops; 10^5 iterations";
+  let cost lo hi =
+    let f = ref 0. in
+    for i = lo to hi - 1 do f := !f +. (1e3 *. float_of_int i) done;
+    Omp_model.Cost.flops !f
+  in
+  List.iter
+    (fun sched ->
+      let r =
+        Simrt.run ~num_threads:128 (fun (module O : Omprt.Omp_intf.S) ->
+            O.parallel (fun () ->
+                O.ws_for ~sched ~chunk_cost:cost ~lo:0 ~hi:100_000
+                  (fun _ _ -> ())))
+      in
+      Printf.printf "  %-16s makespan %10.4f s  (claims: %d)\n"
+        (Omp_model.Sched.to_string sched)
+        r.Simrt.makespan
+        (r.Simrt.run_stats.static_chunks + r.Simrt.run_stats.dynamic_claims))
+    [ Omp_model.Sched.Static None; Omp_model.Sched.Static (Some 64);
+      Omp_model.Sched.Dynamic 64; Omp_model.Sched.Dynamic 512;
+      Omp_model.Sched.Guided 64 ];
+  print_newline ()
+
+let ablation_barrier_scaling () =
+  print_endline "== ablation: modelled barrier cost vs team size ==";
+  List.iter
+    (fun nt ->
+      Printf.printf "  %4d threads: %7.3f us\n" nt
+        (1e6 *. Sim.Perfmodel.barrier_time Sim.Machine.archer2 ~nthreads:nt))
+    [ 2; 8; 32; 128 ];
+  print_newline ()
+
+let ablation_cache_knee () =
+  print_endline
+    "== ablation: the L3 capacity knee behind CG's super-linear tail ==";
+  print_endline "   SpMV-like sweep, 461 MB matrix, varying team size:";
+  let m = Sim.Machine.archer2 in
+  List.iter
+    (fun nt ->
+      let miss = Sim.Perfmodel.miss_factor m ~active:nt 460.8e6 in
+      Printf.printf
+        "  %4d threads: %6.1f MB/thread slice, miss factor %.2f\n" nt
+        (460.8 /. float_of_int nt)
+        miss)
+    [ 32; 64; 96; 128 ];
+  print_newline ()
+
+let ablation_gantt () =
+  print_endline
+    "== ablation: execution timelines, imbalanced loop on 8 simulated \
+     threads ==";
+  print_endline
+    "   iteration i costs ~i work units; static leaves late threads \
+     waiting ('='),\n   dynamic balances the tail:";
+  let cost lo hi =
+    let f = ref 0. in
+    for i = lo to hi - 1 do f := !f +. (3e5 *. float_of_int i) done;
+    Omp_model.Cost.flops !f
+  in
+  List.iter
+    (fun sched ->
+      let r =
+        Simrt.run ~num_threads:8 ~trace:true
+          (fun (module O : Omprt.Omp_intf.S) ->
+            O.parallel (fun () ->
+                O.ws_for ~sched ~chunk_cost:cost ~lo:0 ~hi:512
+                  (fun _ _ -> ())))
+      in
+      Printf.printf "-- schedule(%s): makespan %.4f s\n"
+        (Omp_model.Sched.to_string sched) r.Simrt.makespan;
+      (match r.Simrt.trace with
+       | Some tr -> print_string (Sim.Trace.gantt tr ~makespan:r.Simrt.makespan)
+       | None -> ());
+      print_newline ())
+    [ Omp_model.Sched.Static None; Omp_model.Sched.Dynamic 16 ]
+
+let ablation_reduction_paths () =
+  print_endline
+    "== ablation: reduction combine paths (real, 4 threads, 10^5 adds) ==";
+  let trial name f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Printf.printf "  %-28s %8.4f s\n" name (Unix.gettimeofday () -. t0)
+  in
+  trial "atomic CAS-loop float add" (fun () ->
+      let cell = Omprt.Atomics.Float.make 0. in
+      Omprt.Omp.parallel ~num_threads:4 (fun () ->
+          for _ = 1 to 25_000 do Omprt.Atomics.Float.add cell 1. done));
+  trial "critical-section add" (fun () ->
+      let cell = ref 0. in
+      Omprt.Omp.parallel ~num_threads:4 (fun () ->
+          for _ = 1 to 25_000 do
+            Omprt.Lock.critical (fun () -> cell := !cell +. 1.)
+          done));
+  trial "thread-local + one combine" (fun () ->
+      let cell = Omprt.Atomics.Float.make 0. in
+      Omprt.Omp.parallel ~num_threads:4 (fun () ->
+          let local = ref 0. in
+          for _ = 1 to 25_000 do local := !local +. 1. done;
+          Omprt.Atomics.Float.add cell !local));
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Sensitivity: how robust are the headline shapes to the calibrated
+   machine constants?  Each parameter is perturbed +/-25% and the mean
+   deviation from the paper's table recomputed — large swings would
+   mean the reproduction rests on a fitted knife edge.                 *)
+
+let sensitivity () =
+  print_endline
+    "== sensitivity: paper-table deviation under +/-25% machine-constant \
+     perturbation ==";
+  let deviation machine kernel =
+    let pt =
+      match kernel with
+      | Harness.Experiment.CG -> Harness.Paper.table1
+      | Harness.Experiment.EP -> Harness.Paper.table2
+      | Harness.Experiment.IS -> Harness.Paper.table3
+    in
+    let lang =
+      Harness.Experiment.lang_of_name (fst pt.Harness.Paper.langs)
+    in
+    let model =
+      List.map
+        (fun nt ->
+          Harness.Experiment.sim_time ~machine kernel lang ~nthreads:nt)
+        pt.Harness.Paper.threads
+    in
+    Harness.Stats.mean_abs_rel_err
+      (List.combine pt.Harness.Paper.ported model)
+  in
+  let base = Sim.Machine.archer2 in
+  let variants =
+    [ ("baseline", base);
+      ("l3_hit_miss -25%",
+       { base with Sim.Machine.l3_hit_miss = base.Sim.Machine.l3_hit_miss *. 0.75 });
+      ("l3_hit_miss +25%",
+       { base with Sim.Machine.l3_hit_miss =
+           Float.min 1.0 (base.Sim.Machine.l3_hit_miss *. 1.25) });
+      ("ccx_mem_bw -25%",
+       { base with Sim.Machine.ccx_mem_bw = base.Sim.Machine.ccx_mem_bw *. 0.75 });
+      ("ccx_mem_bw +25%",
+       { base with Sim.Machine.ccx_mem_bw = base.Sim.Machine.ccx_mem_bw *. 1.25 });
+      ("gather_node_bw -25%",
+       { base with Sim.Machine.gather_node_bw =
+           base.Sim.Machine.gather_node_bw *. 0.75 });
+      ("gather_node_bw +25%",
+       { base with Sim.Machine.gather_node_bw =
+           base.Sim.Machine.gather_node_bw *. 1.25 });
+    ]
+  in
+  Printf.printf "  %-22s %10s %10s %10s\n" "machine variant" "CG dev"
+    "EP dev" "IS dev";
+  List.iter
+    (fun (name, machine) ->
+      Printf.printf "  %-22s %9.1f%% %9.1f%% %9.1f%%\n%!" name
+        (100. *. deviation machine Harness.Experiment.CG)
+        (100. *. deviation machine Harness.Experiment.EP)
+        (100. *. deviation machine Harness.Experiment.IS))
+    variants;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [ ("table1", fun () -> emit_table Harness.Experiment.CG);
+    ("table2", fun () -> emit_table Harness.Experiment.EP);
+    ("table3", fun () -> emit_table Harness.Experiment.IS);
+    ("fig3", fun () -> emit_figure Harness.Experiment.CG);
+    ("fig4", fun () -> emit_figure Harness.Experiment.EP);
+    ("fig5", fun () -> emit_figure Harness.Experiment.IS);
+    ("micro", run_micro);
+    ("sensitivity", sensitivity);
+    ("ablation",
+     fun () ->
+       ablation_schedules ();
+       ablation_barrier_scaling ();
+       ablation_cache_knee ();
+       ablation_gantt ();
+       ablation_reduction_paths ());
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let chosen =
+    if args = [] then List.map fst sections
+    else begin
+      List.iter
+        (fun a ->
+          if not (List.mem_assoc a sections) then begin
+            Printf.eprintf
+              "unknown section %S; available: %s\n" a
+              (String.concat ", " (List.map fst sections));
+            exit 2
+          end)
+        args;
+      args
+    end
+  in
+  List.iter (fun name -> (List.assoc name sections) ()) chosen

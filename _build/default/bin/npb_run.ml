@@ -1,0 +1,95 @@
+(* npb_run — NPB kernel runner.
+
+     npb_run -k cg -c S -t 4            real run on OCaml domains, verified
+     npb_run -k cg -c C -t 128 --sim    modelled run on the simulated node
+     npb_run -k is -c C --sim --sweep   thread sweep like the paper's tables *)
+
+open Cmdliner
+
+let kernel_arg =
+  let parse s =
+    match Harness.Experiment.kernel_of_string s with
+    | Some k -> Ok k
+    | None -> Error (`Msg "kernel must be cg, ep or is")
+  in
+  let print ppf k =
+    Format.pp_print_string ppf (Harness.Experiment.kernel_name k)
+  in
+  Arg.(value & opt (conv (parse, print)) Harness.Experiment.CG
+       & info [ "k"; "kernel" ] ~docv:"KERNEL" ~doc:"cg, ep or is")
+
+let cls_arg =
+  let parse s =
+    match Npb.Classes.cls_of_string s with
+    | Some c -> Ok c
+    | None -> Error (`Msg "class must be S, W, A, B or C")
+  in
+  let print ppf c =
+    Format.pp_print_string ppf (Npb.Classes.cls_to_string c)
+  in
+  Arg.(value & opt (conv (parse, print)) Npb.Classes.S
+       & info [ "c"; "class" ] ~docv:"CLASS" ~doc:"problem class (S W A B C)")
+
+let threads_arg =
+  Arg.(value & opt int 4 & info [ "t"; "threads" ] ~docv:"N")
+
+let sim_arg =
+  Arg.(value & flag
+       & info [ "sim" ] ~doc:"Run on the simulated ARCHER2 node (timing only)")
+
+let sweep_arg =
+  Arg.(value & flag
+       & info [ "sweep" ]
+           ~doc:"Sweep the paper's thread counts instead of one run")
+
+let lang_arg =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "zig" -> Ok Npb.Classes.Zig
+    | "fortran" -> Ok Npb.Classes.Fortran
+    | "c" -> Ok Npb.Classes.C_lang
+    | _ -> Error (`Msg "lang must be zig, fortran or c")
+  in
+  let print ppf l =
+    Format.pp_print_string ppf (Npb.Classes.lang_to_string l)
+  in
+  Arg.(value & opt (conv (parse, print)) Npb.Classes.Zig
+       & info [ "lang" ] ~docv:"LANG"
+           ~doc:"modelled language factor for --sim (zig, fortran, c)")
+
+let main kernel cls threads sim sweep lang =
+  if sweep then begin
+    let counts = [ 1; 2; 16; 32; 64; 96; 128 ] in
+    List.iter
+      (fun nt ->
+        let t =
+          Harness.Experiment.sim_time ~cls kernel lang ~nthreads:nt
+        in
+        Printf.printf "%-3s class %s  %3d threads  %10.3f s (modelled, %s)\n%!"
+          (Harness.Experiment.kernel_name kernel)
+          (Npb.Classes.cls_to_string cls) nt t
+          (Npb.Classes.lang_to_string lang))
+      counts;
+    0
+  end
+  else if sim then begin
+    let t = Harness.Experiment.sim_time ~cls kernel lang ~nthreads:threads in
+    Printf.printf "%s class %s, %d threads: %.3f s (modelled, %s)\n"
+      (Harness.Experiment.kernel_name kernel)
+      (Npb.Classes.cls_to_string cls) threads t
+      (Npb.Classes.lang_to_string lang);
+    0
+  end
+  else begin
+    let r = Harness.Experiment.real_run kernel ~cls ~nthreads:threads () in
+    Format.printf "%a@." Npb.Result.pp r;
+    if Npb.Result.verified r then 0 else 1
+  end
+
+let () =
+  let info = Cmd.info "npb_run" ~version:"1.0.0" ~doc:"NAS Parallel Benchmark kernels" in
+  exit
+    (Cmd.eval'
+       (Cmd.v info
+          Term.(const main $ kernel_arg $ cls_arg $ threads_arg $ sim_arg
+                $ sweep_arg $ lang_arg)))

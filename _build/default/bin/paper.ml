@@ -1,0 +1,11 @@
+(* paper — regenerate every table and figure of the paper's evaluation
+   section on the simulated ARCHER2 node and print them next to the
+   published numbers. *)
+
+let () =
+  print_endline
+    "Reproduction of the evaluation of \"Pragma driven shared memory\n\
+     parallelism in Zig by supporting OpenMP loop directives\" (SC-W 2024).\n\
+     Timing columns marked 'model' come from the discrete-event ARCHER2\n\
+     node simulator; 'paper' columns are the published measurements.\n";
+  print_endline (Harness.Experiment.all_artifacts ())

@@ -1,0 +1,147 @@
+(* zrc — the Zr compiler driver.
+
+   Subcommands mirror the stages the paper adds to the Zig compiler:
+
+     zrc tokens FILE        dump the token stream (pragma sentinels included)
+     zrc parse FILE         dump the AST node table and extra_data
+     zrc preprocess FILE    run the OpenMP preprocessor, print the result
+     zrc run FILE [-t N]    preprocess and execute main() on N threads *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let handle_errors f =
+  try f (); 0 with
+  | Zr.Source.Error msg ->
+      Printf.eprintf "error: %s\n" msg; 1
+  | Interp.Value.Runtime_error msg ->
+      Printf.eprintf "runtime error: %s\n" msg; 1
+  | Failure msg ->
+      Printf.eprintf "error: %s\n" msg; 1
+
+(* ---- tokens ---- *)
+
+let tokens_cmd =
+  let run file =
+    handle_errors (fun () ->
+        let src = Zr.Source.of_string ~name:file (read_file file) in
+        let toks = Zr.Tokenizer.tokenize src in
+        Array.iter
+          (fun (t : Zr.Token.t) ->
+            let line, col = Zr.Source.position src t.start in
+            Printf.printf "%4d:%-3d %-18s %s\n" line col
+              (Zr.Token.tag_to_string t.tag)
+              (match t.tag with
+               | Zr.Token.Identifier | Zr.Token.Int_literal
+               | Zr.Token.Float_literal | Zr.Token.String_literal ->
+                   Zr.Tokenizer.text src t
+               | _ -> ""))
+          toks)
+  in
+  Cmd.v (Cmd.info "tokens" ~doc:"Dump the token stream")
+    Term.(const run $ file_arg)
+
+(* ---- parse ---- *)
+
+let parse_cmd =
+  let run file =
+    handle_errors (fun () ->
+        let ast, _ = Zr.Parser.parse_string ~name:file (read_file file) in
+        Printf.printf "%d nodes, %d extra_data words\n"
+          (Array.length ast.Zr.Ast.nodes)
+          (Array.length ast.Zr.Ast.extra_data);
+        Array.iteri
+          (fun i (n : Zr.Ast.node) ->
+            Printf.printf "%4d  tag=%-16s main=%-4d lhs=%-6d rhs=%-6d\n" i
+              (match n.tag with
+               | Zr.Ast.Root -> "Root" | Zr.Ast.Fn_decl -> "Fn_decl"
+               | Zr.Ast.Block -> "Block" | Zr.Ast.Var_decl -> "Var_decl"
+               | Zr.Ast.Const_decl -> "Const_decl" | Zr.Ast.Assign -> "Assign"
+               | Zr.Ast.While -> "While" | Zr.Ast.If -> "If"
+               | Zr.Ast.Return -> "Return" | Zr.Ast.Break -> "Break"
+               | Zr.Ast.Continue -> "Continue"
+               | Zr.Ast.Expr_stmt -> "Expr_stmt" | Zr.Ast.Bin_op -> "Bin_op"
+               | Zr.Ast.Un_op -> "Un_op" | Zr.Ast.Call -> "Call"
+               | Zr.Ast.Index -> "Index" | Zr.Ast.Field -> "Field"
+               | Zr.Ast.Deref -> "Deref" | Zr.Ast.Addr_of -> "Addr_of"
+               | Zr.Ast.Ident -> "Ident" | Zr.Ast.Int_lit -> "Int_lit"
+               | Zr.Ast.Float_lit -> "Float_lit"
+               | Zr.Ast.String_lit -> "String_lit"
+               | Zr.Ast.Bool_lit -> "Bool_lit"
+               | Zr.Ast.Undefined_lit -> "Undefined_lit"
+               | Zr.Ast.Struct_lit -> "Struct_lit"
+               | Zr.Ast.Type_name -> "Type_name"
+               | Zr.Ast.Type_slice -> "Type_slice"
+               | Zr.Ast.Type_ptr -> "Type_ptr"
+               | Zr.Ast.Omp_parallel -> "Omp_parallel"
+               | Zr.Ast.Omp_for -> "Omp_for"
+               | Zr.Ast.Omp_parallel_for -> "Omp_parallel_for"
+               | Zr.Ast.Omp_barrier -> "Omp_barrier"
+               | Zr.Ast.Omp_critical -> "Omp_critical"
+               | Zr.Ast.Omp_master -> "Omp_master"
+               | Zr.Ast.Omp_single -> "Omp_single"
+               | Zr.Ast.Omp_atomic -> "Omp_atomic"
+               | Zr.Ast.Omp_threadprivate -> "Omp_threadprivate")
+              n.main_token n.lhs n.rhs)
+          ast.Zr.Ast.nodes)
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Dump the AST node table")
+    Term.(const run $ file_arg)
+
+(* ---- preprocess ---- *)
+
+let preprocess_cmd =
+  let run file =
+    handle_errors (fun () ->
+        print_string (Zigomp.preprocess ~name:file (read_file file)))
+  in
+  Cmd.v
+    (Cmd.info "preprocess"
+       ~doc:"Lower OpenMP pragmas to runtime calls; print the result")
+    Term.(const run $ file_arg)
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let threads =
+    Arg.(value & opt (some int) None
+         & info [ "t"; "threads" ] ~docv:"N" ~doc:"Default team size")
+  in
+  let profile =
+    Arg.(value & flag
+         & info [ "profile" ]
+             ~doc:"Print a gprof-style per-construct profile on exit")
+  in
+  let run file threads profile =
+    handle_errors (fun () ->
+        Option.iter Zigomp.set_num_threads threads;
+        if profile then begin
+          Omprt.Profile.reset ();
+          Omprt.Profile.enable ()
+        end;
+        let p = Zigomp.compile ~name:file (read_file file) in
+        (match Zigomp.run_main p with
+         | Zigomp.Value.VUnit -> ()
+         | v -> print_endline (Zigomp.Value.to_string v));
+        if profile then begin
+          Omprt.Profile.disable ();
+          prerr_string (Omprt.Profile.report ())
+        end)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Preprocess and execute main()")
+    Term.(const run $ file_arg $ threads $ profile)
+
+let () =
+  let info =
+    Cmd.info "zrc" ~version:"1.0.0"
+      ~doc:"Zr compiler with OpenMP loop-directive support"
+  in
+  exit (Cmd.eval' (Cmd.group info [ tokens_cmd; parse_cmd; preprocess_cmd; run_cmd ]))

@@ -1,0 +1,1 @@
+examples/interop_cg.ml: Array Float List Npb Printf Zigomp

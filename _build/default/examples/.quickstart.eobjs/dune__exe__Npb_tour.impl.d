@@ -1,0 +1,1 @@
+examples/npb_tour.ml: Format Harness List Npb Printf

@@ -1,0 +1,1 @@
+examples/pi_reduction.ml: List Printf Unix Zigomp

@@ -1,0 +1,1 @@
+examples/pi_reduction.mli:

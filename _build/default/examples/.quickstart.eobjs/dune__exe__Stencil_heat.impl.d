@@ -1,0 +1,1 @@
+examples/stencil_heat.ml: Array Float Printf Zigomp

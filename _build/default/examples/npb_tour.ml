@@ -1,0 +1,31 @@
+(* A tour of the NPB benchmarks: verified real-engine runs at the small
+   classes, then a modelled class-C thread sweep on the simulated
+   ARCHER2 node — the data behind the paper's Table I.
+
+   Run with:  dune exec examples/npb_tour.exe *)
+
+let () =
+  (* Real runs: compute + verify against the official NPB references. *)
+  print_endline "== real engine (OCaml domains), official verification ==";
+  List.iter
+    (fun (kernel, cls) ->
+      let r =
+        Harness.Experiment.real_run kernel ~cls ~nthreads:4 ()
+      in
+      Format.printf "  %a@." Npb.Result.pp r)
+    [ (Harness.Experiment.CG, Npb.Classes.S);
+      (Harness.Experiment.IS, Npb.Classes.S);
+      (Harness.Experiment.IS, Npb.Classes.W) ];
+
+  (* Modelled class C scaling, as in the paper's evaluation. *)
+  print_endline "\n== simulated ARCHER2 node, CG class C (paper Table I) ==";
+  Printf.printf "  %8s %14s %14s\n" "threads" "Zig model (s)" "paper (s)";
+  List.iter2
+    (fun nt paper ->
+      let t =
+        Harness.Experiment.sim_time Harness.Experiment.CG Npb.Classes.Zig
+          ~nthreads:nt
+      in
+      Printf.printf "  %8d %14.2f %14.2f\n%!" nt t paper)
+    [ 1; 2; 16; 32; 64; 96; 128 ]
+    [ 149.40; 82.34; 21.85; 11.26; 5.83; 2.80; 1.81 ]

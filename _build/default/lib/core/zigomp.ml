@@ -1,0 +1,97 @@
+(** Zigomp — pragma-driven shared-memory parallelism for the Zr language.
+
+    The public API of this reproduction of "Pragma driven shared memory
+    parallelism in Zig by supporting OpenMP loop directives" (SC-W
+    2024).  The pipeline mirrors the paper's: Zr source annotated with
+    [//$omp] pragma comments is tokenised and parsed into a Zig-style
+    flat AST (clause data packed into the 32-bit [extra_data] array), a
+    multi-pass preprocessor outlines parallel regions and lowers
+    worksharing loops to [__kmpc_*] runtime calls, and the result
+    executes against an OpenMP runtime built on OCaml domains.
+
+    {1 Quick start}
+
+    {[
+      let program = {|
+        fn dot(n: i64, x: []f64, y: []f64) f64 {
+            var s: f64 = 0.0;
+            var i: i64 = 0;
+            //$omp parallel for reduction(+: s) shared(x, y)
+            while (i < n) : (i += 1) {
+                s += x[i] * y[i];
+            }
+            return s;
+        }
+      |} in
+      let compiled = Zigomp.compile ~name:"dot.zr" program in
+      let result =
+        Zigomp.call compiled "dot"
+          [ Zigomp.Value.VInt 3;
+            Zigomp.Value.VFloatArr [| 1.; 2.; 3. |];
+            Zigomp.Value.VFloatArr [| 4.; 5.; 6. |] ]
+      in
+      (* result = VFloat 32. , computed on a thread team *)
+    ]}
+
+    {1 Layers}
+
+    - {!Frontend} — tokeniser, parser, AST ({!Zr}).
+    - {!Pragmas} — OpenMP directive/clause model and the packed 32-bit
+      encodings ({!Ompfront}).
+    - {!Preprocessor} — the source-to-source lowering ({!Preproc}).
+    - {!Runtime} — the OpenMP runtime on domains ({!Omprt}).
+    - {!Simulator} — the ARCHER2 node model used to regenerate the
+      paper's evaluation ({!Sim}, {!Simrt}).
+    - {!Benchmarks} — the NPB kernels ({!Npb}) and the experiment
+      harness ({!Harness}). *)
+
+module Frontend = Zr
+module Pragmas = Ompfront
+module Preprocessor = Preproc
+module Runtime = Omprt
+module Simulator = Sim
+module Simruntime = Simrt
+module Benchmarks = Npb
+module Harness = Harness
+module Model = Omp_model
+
+module Value = Interp.Value
+
+type compiled = Interp.program
+
+(** [preprocess ?name source] — run only the pragma lowering; returns
+    the synthesised Zr source (what the paper's compiler hands to the
+    next stage). *)
+let preprocess = Preproc.Preprocess.run
+
+(** [compile ?name source] — preprocess, parse, and load a program. *)
+let compile ?name source : compiled = Interp.load ?name source
+
+(** [compile_plain ?name source] — load without pragma processing
+    (pragmas then cause a runtime error if reached; useful for testing
+    the preprocessor's necessity). *)
+let compile_plain ?name source : compiled =
+  Interp.load ?name ~preprocess:false source
+
+(** The synthesised source of a compiled program. *)
+let preprocessed_source (p : compiled) = p.Interp.preprocessed
+
+(** [call p fn args] — invoke an exported function.  Parallel regions
+    inside it execute on OCaml domains through the bundled runtime. *)
+let call = Interp.call
+
+(** [run_main p] — invoke [main]. *)
+let run_main = Interp.run_main
+
+(** [register_host name f] — expose an OCaml function to Zr programs
+    under [name], the analogue of the paper's C/Fortran interop
+    ([extern fn] with C linkage, section IV). *)
+let register_host = Interp.register_host
+
+let unregister_host = Interp.unregister_host
+
+(** [set_num_threads n] — the default team size ICV, as
+    [omp_set_num_threads]. *)
+let set_num_threads = Omprt.Api.set_num_threads
+
+let get_max_threads = Omprt.Api.get_max_threads

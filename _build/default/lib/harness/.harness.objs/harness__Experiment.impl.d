@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Figure List Npb Omprt Paper Printf Sim Simrt Stats String Table

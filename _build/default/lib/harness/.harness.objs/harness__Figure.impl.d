@@ -1,0 +1,1 @@
+lib/harness/figure.ml: Array Buffer Float List Printf String

@@ -1,0 +1,146 @@
+(** Experiment drivers: regenerate every table and figure of the paper.
+
+    Timing data comes from the simulated ARCHER2 node ({!Simrt}); the
+    same kernels run on the real engine for correctness (that path is
+    exercised by the tests and the [npb] binary, not here, since this
+    host cannot produce 128-thread measurements). *)
+
+type kernel = CG | EP | IS
+
+let kernel_name = function CG -> "CG" | EP -> "EP" | IS -> "IS"
+
+let kernel_of_string = function
+  | "cg" | "CG" -> Some CG
+  | "ep" | "EP" -> Some EP
+  | "is" | "IS" -> Some IS
+  | _ -> None
+
+let run_kernel (o : (module Omprt.Omp_intf.S)) kernel lang cls =
+  match kernel with
+  | CG -> Npb.Cg.run o ~lang ~cls ()
+  | EP -> Npb.Ep.run o ~lang ~cls ()
+  | IS -> Npb.Is.run o ~lang ~cls ()
+
+(** Modelled runtime (seconds, kernel-internal timed region) of one
+    class-C run at [nthreads] on the simulated node. *)
+let sim_time ?(machine = Sim.Machine.archer2) ?(cls = Npb.Classes.C) kernel
+    lang ~nthreads : float =
+  let out = ref None in
+  let (_ : Simrt.result) =
+    Simrt.run ~machine ~num_threads:nthreads (fun o ->
+        out := Some (run_kernel o kernel lang cls))
+  in
+  match !out with
+  | Some r -> r.Npb.Result.time
+  | None -> invalid_arg "Experiment.sim_time: kernel produced no result"
+
+let sweep ?machine ?cls kernel lang threads =
+  List.map (fun nt -> (nt, sim_time ?machine ?cls kernel lang ~nthreads:nt)) threads
+
+(* ------------------------------------------------------------------ *)
+(* Tables I-III.                                                       *)
+
+let paper_table = function
+  | CG -> Paper.table1
+  | EP -> Paper.table2
+  | IS -> Paper.table3
+
+let lang_of_name = function
+  | "Zig" -> Npb.Classes.Zig
+  | "Fortran" -> Npb.Classes.Fortran
+  | "C" -> Npb.Classes.C_lang
+  | s -> invalid_arg ("Experiment.lang_of_name: " ^ s)
+
+(** Regenerate one of the paper's tables; returns the rendered text and
+    the mean absolute relative deviation from the paper's cells. *)
+let table kernel : string * float =
+  let pt = paper_table kernel in
+  let ported_lang, ref_lang = pt.Paper.langs in
+  let model_ported =
+    sweep kernel (lang_of_name ported_lang) pt.Paper.threads
+  in
+  let model_ref = sweep kernel (lang_of_name ref_lang) pt.Paper.threads in
+  let rows =
+    List.map2
+      (fun (nt, mp) ((_, mr), (pp_, pr)) ->
+        [ string_of_int nt;
+          Table.fseconds mp; Table.fseconds pp_;
+          Table.fseconds mr; Table.fseconds pr ])
+      model_ported
+      (List.combine model_ref (List.combine pt.Paper.ported pt.Paper.reference))
+  in
+  let header =
+    [ "Threads";
+      ported_lang ^ " model (s)"; ported_lang ^ " paper (s)";
+      ref_lang ^ " model (s)"; ref_lang ^ " paper (s)" ]
+  in
+  let dev =
+    Stats.mean_abs_rel_err
+      (List.map2 (fun (_, m) p -> (p, m)) model_ported pt.Paper.ported
+       @ List.map2 (fun (_, m) p -> (p, m)) model_ref pt.Paper.reference)
+  in
+  let text =
+    Printf.sprintf
+      "%s — NPB %s class C runtime vs. thread count (model vs. paper)\n%s\n\
+       mean |relative deviation| from the paper's cells: %.1f%%\n"
+      pt.Paper.name pt.Paper.kernel
+      (Table.render ~header rows)
+      (100. *. dev)
+  in
+  (text, dev)
+
+(* ------------------------------------------------------------------ *)
+(* Figures 3-5: speedup curves.                                        *)
+
+let figure_threads = [ 1; 2; 4; 8; 16; 32; 64; 96; 128 ]
+
+let figure kernel : string =
+  let pt = paper_table kernel in
+  let ported_lang, ref_lang = pt.Paper.langs in
+  let model_ported =
+    sweep kernel (lang_of_name ported_lang) figure_threads
+  in
+  let model_ref = sweep kernel (lang_of_name ref_lang) figure_threads in
+  let to_speedup pts =
+    match pts with
+    | (_, t1) :: _ -> List.map (fun (nt, t) -> (nt, t1 /. t)) pts
+    | [] -> []
+  in
+  let fig_no = match kernel with CG -> 3 | EP -> 4 | IS -> 5 in
+  Figure.render
+    ~title:
+      (Printf.sprintf
+         "Figure %d — %s class C speedup vs. threads (simulated node, \
+          with paper points)"
+         fig_no pt.Paper.kernel)
+    ~xlabel:"threads" ~ylabel:"speedup"
+    (* later series overdraw earlier ones on shared cells: draw the
+       reference first so the ported language stays visible *)
+    [ { Figure.label = ref_lang ^ " (model)"; glyph = 'f';
+        points = to_speedup model_ref };
+      { Figure.label = ported_lang ^ " (model)"; glyph = 'z';
+        points = to_speedup model_ported };
+      { Figure.label = ref_lang ^ " (paper)"; glyph = 'F';
+        points = Paper.speedups pt.Paper.threads pt.Paper.reference };
+      { Figure.label = ported_lang ^ " (paper)"; glyph = 'Z';
+        points = Paper.speedups pt.Paper.threads pt.Paper.ported };
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Real-engine runs (for correctness / small classes).                 *)
+
+let real_run kernel ?(lang = Npb.Classes.Zig) ~cls ~nthreads () =
+  Omprt.Api.set_num_threads nthreads;
+  let r = run_kernel (module Omprt.Omp) kernel lang cls in
+  { r with Npb.Result.nthreads }
+
+(** Everything the paper's evaluation section reports, as one string. *)
+let all_artifacts () =
+  let parts =
+    List.concat_map
+      (fun k ->
+        let t, _ = table k in
+        [ t; figure k ])
+      [ CG; EP; IS ]
+  in
+  String.concat "\n" parts

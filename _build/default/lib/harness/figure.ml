@@ -1,0 +1,60 @@
+(** ASCII line plots for the speedup figures.
+
+    Renders two (or more) series of (threads, speedup) points on a
+    character grid, one glyph per series, with axes and a legend — a
+    terminal stand-in for the paper's Figures 3–5. *)
+
+type series = {
+  label : string;
+  glyph : char;
+  points : (int * float) list;  (* x = threads, y = speedup *)
+}
+
+let render ?(width = 72) ?(height = 24) ~title ~xlabel ~ylabel
+    (series : series list) : string =
+  let all_points = List.concat_map (fun s -> s.points) series in
+  let xs = List.map (fun (x, _) -> float_of_int x) all_points in
+  let ys = List.map snd all_points in
+  let xmax = List.fold_left Float.max 1. xs in
+  let ymax = List.fold_left Float.max 1. ys in
+  let grid = Array.make_matrix height width ' ' in
+  let place x y c =
+    let col =
+      int_of_float (float_of_int (width - 1) *. (float_of_int x /. xmax))
+    in
+    let row_from_bottom =
+      int_of_float (float_of_int (height - 1) *. (y /. (ymax *. 1.05)))
+    in
+    let row = height - 1 - row_from_bottom in
+    if row >= 0 && row < height && col >= 0 && col < width then
+      grid.(row).(col) <- c
+  in
+  (* ideal-scaling reference line: speedup = threads *)
+  List.iter
+    (fun (x, _) -> if float_of_int x <= ymax *. 1.05 then place x (float_of_int x) '.')
+    all_points;
+  List.iter
+    (fun s -> List.iter (fun (x, y) -> place x y s.glyph) s.points)
+    series;
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (title ^ "\n");
+  for r = 0 to height - 1 do
+    let yval =
+      ymax *. 1.05 *. float_of_int (height - 1 - r) /. float_of_int (height - 1)
+    in
+    Buffer.add_string b (Printf.sprintf "%7.1f |" yval);
+    Buffer.add_string b (String.init width (fun c -> grid.(r).(c)));
+    Buffer.add_char b '\n'
+  done;
+  Buffer.add_string b (String.make 8 ' ');
+  Buffer.add_string b ("+" ^ String.make width '-');
+  Buffer.add_char b '\n';
+  Buffer.add_string b
+    (Printf.sprintf "%8s 1%s%d (%s)\n" "" (String.make (width - 8) ' ')
+       (int_of_float xmax) xlabel);
+  Buffer.add_string b (Printf.sprintf "  y: %s;  '.' = ideal scaling\n" ylabel);
+  List.iter
+    (fun s ->
+      Buffer.add_string b (Printf.sprintf "  '%c' = %s\n" s.glyph s.label))
+    series;
+  Buffer.contents b

@@ -1,0 +1,49 @@
+(** The paper's published numbers (Tables I–III), used as the reference
+    column of every regenerated table and figure. *)
+
+type table = {
+  name : string;          (** "Table I" etc. *)
+  kernel : string;
+  langs : string * string;  (** (ported language, reference language) *)
+  threads : int list;
+  ported : float list;    (** the Zig port's runtimes, seconds *)
+  reference : float list; (** the reference implementation's runtimes *)
+}
+
+let table1 = {
+  name = "Table I";
+  kernel = "CG";
+  langs = ("Zig", "Fortran");
+  threads = [ 1; 2; 16; 32; 64; 96; 128 ];
+  ported = [ 149.40; 82.34; 21.85; 11.26; 5.83; 2.80; 1.81 ];
+  reference = [ 170.17; 83.35; 21.80; 11.28; 5.98; 2.98; 2.07 ];
+}
+
+let table2 = {
+  name = "Table II";
+  kernel = "EP";
+  langs = ("Zig", "Fortran");
+  threads = [ 1; 2; 16; 32; 64; 96; 128 ];
+  ported = [ 147.66; 76.17; 9.84; 4.72; 2.29; 1.57; 1.36 ];
+  reference = [ 185.26; 94.90; 11.83; 5.92; 2.84; 1.97; 1.42 ];
+}
+
+(* The paper's Table III lists the last row as "64" again; it is plainly
+   the 128-thread row. *)
+let table3 = {
+  name = "Table III";
+  kernel = "IS";
+  langs = ("Zig", "C");
+  threads = [ 1; 2; 16; 32; 64; 96; 128 ];
+  ported = [ 11.87; 6.12; 1.05; 0.55; 0.33; 0.29; 0.27 ];
+  reference = [ 9.29; 4.76; 0.93; 0.54; 0.31; 0.28; 0.24 ];
+}
+
+let tables = [ table1; table2; table3 ]
+
+(** Speedup series derived from a table column (t1 / tN). *)
+let speedups threads times =
+  match times with
+  | [] -> []
+  | t1 :: _ ->
+      List.map2 (fun nt t -> (nt, t1 /. t)) threads times

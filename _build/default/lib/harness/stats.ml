@@ -1,0 +1,43 @@
+(** Small statistics helpers for the benchmark harness. *)
+
+let mean xs =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | _ ->
+      let m = mean xs in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs
+        /. float_of_int (List.length xs - 1)
+      in
+      sqrt var
+
+let minimum xs = List.fold_left Float.min infinity xs
+
+let maximum xs = List.fold_left Float.max neg_infinity xs
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> nan
+  | sorted ->
+      let n = List.length sorted in
+      let a = List.nth sorted ((n - 1) / 2) in
+      let b = List.nth sorted (n / 2) in
+      (a +. b) /. 2.
+
+(** Relative deviation of [measured] from [reference]. *)
+let rel_err ~reference measured =
+  if reference = 0. then nan else (measured -. reference) /. reference
+
+(** Geometric mean of the absolute relative deviations, the summary we
+    report per table in EXPERIMENTS.md. *)
+let mean_abs_rel_err pairs =
+  mean
+    (List.map
+       (fun (reference, measured) ->
+         Float.abs (rel_err ~reference measured))
+       pairs)

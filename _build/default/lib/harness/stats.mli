@@ -1,0 +1,16 @@
+(** Small statistics helpers for the benchmark harness. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+(** Sample standard deviation (n-1); 0 for fewer than two points. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+val median : float list -> float
+
+val rel_err : reference:float -> float -> float
+(** Signed relative deviation of a measurement from a reference. *)
+
+val mean_abs_rel_err : (float * float) list -> float
+(** Mean of |relative deviation| over (reference, measured) pairs — the
+    per-table summary reported in EXPERIMENTS.md. *)

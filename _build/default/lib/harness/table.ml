@@ -1,0 +1,40 @@
+(** Plain-text table rendering with aligned columns. *)
+
+type align = Left | Right
+
+let render ?(align : align list = []) ~(header : string list)
+    (rows : string list list) : string =
+  let ncols = List.length header in
+  let get_align i = try List.nth align i with _ -> Right in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri
+      (fun i cell ->
+        if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  measure header;
+  List.iter measure rows;
+  let pad i cell =
+    let w = widths.(i) in
+    let pad_len = w - String.length cell in
+    match get_align i with
+    | Left -> cell ^ String.make pad_len ' '
+    | Right -> String.make pad_len ' ' ^ cell
+  in
+  let render_row row =
+    "| " ^ String.concat " | " (List.mapi pad row) ^ " |"
+  in
+  let sep =
+    "|"
+    ^ String.concat "|"
+        (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "|"
+  in
+  String.concat "\n"
+    ((render_row header :: sep :: List.map render_row rows))
+
+let fseconds v =
+  if v >= 100. then Printf.sprintf "%.2f" v
+  else if v >= 1. then Printf.sprintf "%.2f" v
+  else Printf.sprintf "%.3f" v

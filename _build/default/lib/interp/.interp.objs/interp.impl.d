@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Ast Domain Float Hashtbl List Mutex Omp_model Ompfront Omprt Option Parser Preproc Scanf String Token Value Zr

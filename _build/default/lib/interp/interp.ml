@@ -1,0 +1,640 @@
+(** Tree-walking evaluator for preprocessed Zr programs.
+
+    Runs the output of {!Preproc.Preprocess} — plain Zr whose OpenMP
+    constructs have become calls into the [.omp.internal] surface — by
+    binding the [__kmpc_*]/[__omp_*] builtins to the real runtime
+    ({!Omprt}).  Outlined functions therefore execute on actual OCaml
+    domains, with the exact fork/worksharing/reduction protocol the
+    paper's generated Zig code uses against libomp.
+
+    The interpreter is deliberately simple (this substitutes for Zig's
+    LLVM backend, not for its performance): dynamic typing with Zig
+    debug-mode-style trapping on misuse, environments as scope chains,
+    and per-call activation records so concurrent threads never share
+    local state. *)
+
+open Zr
+
+(* Re-export the value module: [interp.ml] is the library's root module,
+   so [Value] is otherwise hidden from clients. *)
+module Value = Value
+
+exception Return_exc of Value.t
+exception Break_exc
+exception Continue_exc
+
+(** Storage for a global: ordinary shared cell, or per-thread cells for
+    [threadprivate] globals (keyed by domain id; thread 0 of every team
+    is the encountering domain, so its copy persists across regions as
+    the OpenMP persistence rules describe). *)
+type slot =
+  | Plain of Value.t ref
+  | Tls of { init : Value.t;
+             cells : (int, Value.t ref) Hashtbl.t;
+             mutex : Mutex.t }
+
+type program = {
+  ast : Ast.t;
+  fns : (string, int) Hashtbl.t;          (* name -> Fn_decl node *)
+  globals : (string, slot) Hashtbl.t;
+  preprocessed : string;                   (* the final source text *)
+}
+
+let slot_cell = function
+  | Plain r -> r
+  | Tls t ->
+      let key = (Domain.self () :> int) in
+      Mutex.lock t.mutex;
+      let cell =
+        match Hashtbl.find_opt t.cells key with
+        | Some c -> c
+        | None ->
+            let c = ref t.init in
+            Hashtbl.add t.cells key c;
+            c
+      in
+      Mutex.unlock t.mutex;
+      cell
+
+type env = {
+  prog : program;
+  scopes : (string, Value.t ref) Hashtbl.t list;  (* innermost first *)
+}
+
+let err = Value.err
+
+(* ------------------------------------------------------------------ *)
+(* Environment.                                                        *)
+
+let push_scope env = { env with scopes = Hashtbl.create 8 :: env.scopes }
+
+let declare env name v =
+  match env.scopes with
+  | scope :: _ -> Hashtbl.replace scope name (ref v)
+  | [] -> assert false
+
+let rec lookup_cell scopes name =
+  match scopes with
+  | [] -> None
+  | scope :: rest ->
+      (match Hashtbl.find_opt scope name with
+       | Some cell -> Some cell
+       | None -> lookup_cell rest name)
+
+let find_cell env name =
+  match lookup_cell env.scopes name with
+  | Some cell -> Some cell
+  | None -> Option.map slot_cell (Hashtbl.find_opt env.prog.globals name)
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic with int/float coercion.                                 *)
+
+let arith op_i op_f a b =
+  match a, b with
+  | Value.VInt x, Value.VInt y -> Value.VInt (op_i x y)
+  | (Value.VInt _ | Value.VFloat _), (Value.VInt _ | Value.VFloat _) ->
+      Value.VFloat (op_f (Value.to_float a) (Value.to_float b))
+  | _ ->
+      err "arithmetic on %s and %s" (Value.type_name a) (Value.type_name b)
+
+let compare_vals a b =
+  match a, b with
+  | Value.VInt x, Value.VInt y -> compare x y
+  | (Value.VInt _ | Value.VFloat _), (Value.VInt _ | Value.VFloat _) ->
+      compare (Value.to_float a) (Value.to_float b)
+  | Value.VBool x, Value.VBool y -> compare x y
+  | Value.VStr x, Value.VStr y -> compare x y
+  | _ ->
+      err "comparison of %s and %s" (Value.type_name a) (Value.type_name b)
+
+(* ------------------------------------------------------------------ *)
+(* Pointers.                                                           *)
+
+let ptr_read = function
+  | Value.PVar r -> !r
+  | Value.PElemF (a, i) -> Value.VFloat a.(i)
+  | Value.PElemI (a, i) -> Value.VInt a.(i)
+
+let ptr_write p v =
+  match p with
+  | Value.PVar r -> r := v
+  | Value.PElemF (a, i) -> a.(i) <- Value.to_float v
+  | Value.PElemI (a, i) -> a.(i) <- Value.to_int v
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation.                                                         *)
+
+let rec eval env node : Value.t =
+  let ast = env.prog.ast in
+  let n = Ast.node ast node in
+  match n.Ast.tag with
+  | Ast.Int_lit ->
+      let text = Ast.token_text ast n.main_token in
+      let text = String.concat "" (String.split_on_char '_' text) in
+      VInt (int_of_string text)
+  | Ast.Float_lit -> VFloat (float_of_string (Ast.token_text ast n.main_token))
+  | Ast.String_lit ->
+      let raw = Ast.token_text ast n.main_token in
+      VStr (Scanf.unescaped (String.sub raw 1 (String.length raw - 2)))
+  | Ast.Bool_lit -> VBool (Ast.token_text ast n.main_token = "true")
+  | Ast.Undefined_lit -> VUndef
+  | Ast.Ident ->
+      let name = Ast.token_text ast n.main_token in
+      (match find_cell env name with
+       | Some cell -> !cell
+       | None ->
+           if Hashtbl.mem env.prog.fns name then VFun name
+           else err "use of undeclared identifier '%s'" name)
+  | Ast.Bin_op -> eval_binop env n
+  | Ast.Un_op ->
+      let v = eval env n.lhs in
+      (match (Ast.token ast n.main_token).Token.tag, v with
+       | Token.Minus, Value.VInt i -> VInt (-i)
+       | Token.Minus, Value.VFloat f -> VFloat (-.f)
+       | Token.Bang, Value.VBool b -> VBool (not b)
+       | t, v ->
+           err "unary '%s' on %s" (Token.tag_to_string t) (Value.type_name v))
+  | Ast.Index ->
+      let arr = eval env n.lhs in
+      let idx = Value.to_int (eval env n.rhs) in
+      (match arr with
+       | VFloatArr a ->
+           if idx < 0 || idx >= Array.length a then
+             err "index %d out of bounds (len %d)" idx (Array.length a);
+           VFloat a.(idx)
+       | VIntArr a ->
+           if idx < 0 || idx >= Array.length a then
+             err "index %d out of bounds (len %d)" idx (Array.length a);
+           VInt a.(idx)
+       | v -> err "indexing a %s" (Value.type_name v))
+  | Ast.Field ->
+      let base = eval env n.lhs in
+      let fname = Ast.token_text ast n.main_token in
+      (match base with
+       | VStruct fields -> Value.struct_field fields fname
+       | v -> err "field access '.%s' on %s" fname (Value.type_name v))
+  | Ast.Deref ->
+      (match eval env n.lhs with
+       | VPtr p -> ptr_read p
+       | v -> err "dereference of %s" (Value.type_name v))
+  | Ast.Addr_of -> eval_addr_of env n.lhs
+  | Ast.Struct_lit ->
+      let count = Ast.extra ast n.rhs in
+      let fields =
+        List.init count (fun k ->
+            let name_tok = Ast.extra ast (n.rhs + 1 + (2 * k)) in
+            let vnode = Ast.extra ast (n.rhs + 2 + (2 * k)) in
+            (Ast.token_text ast name_tok, eval env vnode))
+      in
+      VStruct fields
+  | Ast.Call -> eval_call env node
+  | tag ->
+      err "cannot evaluate node tag %s as an expression"
+        (match tag with Ast.Block -> "block" | _ -> "<stmt>")
+
+and eval_binop env n =
+  let ast = env.prog.ast in
+  let t = (Ast.token ast n.Ast.main_token).Token.tag in
+  match t with
+  | Token.Kw_and ->
+      if Value.to_bool (eval env n.lhs) then eval env n.rhs else VBool false
+  | Token.Kw_or ->
+      if Value.to_bool (eval env n.lhs) then VBool true else eval env n.rhs
+  | _ ->
+      let a = eval env n.lhs in
+      let b = eval env n.rhs in
+      (match t with
+       | Token.Plus -> arith ( + ) ( +. ) a b
+       | Token.Minus -> arith ( - ) ( -. ) a b
+       | Token.Star -> arith ( * ) ( *. ) a b
+       | Token.Slash ->
+           (match a, b with
+            | Value.VInt _, Value.VInt 0 -> err "integer division by zero"
+            | Value.VInt x, Value.VInt y -> VInt (x / y)
+            | _ -> VFloat (Value.to_float a /. Value.to_float b))
+       | Token.Percent ->
+           (match a, b with
+            | Value.VInt _, Value.VInt 0 -> err "integer modulo by zero"
+            | Value.VInt x, Value.VInt y -> VInt (x mod y)
+            | _ -> VFloat (Float.rem (Value.to_float a) (Value.to_float b)))
+       | Token.Eq_eq -> VBool (compare_vals a b = 0)
+       | Token.Bang_eq -> VBool (compare_vals a b <> 0)
+       | Token.Lt -> VBool (compare_vals a b < 0)
+       | Token.Lt_eq -> VBool (compare_vals a b <= 0)
+       | Token.Gt -> VBool (compare_vals a b > 0)
+       | Token.Gt_eq -> VBool (compare_vals a b >= 0)
+       | t -> err "unsupported binary operator '%s'" (Token.tag_to_string t))
+
+and eval_addr_of env node =
+  let ast = env.prog.ast in
+  let n = Ast.node ast node in
+  match n.Ast.tag with
+  | Ast.Ident ->
+      let name = Ast.token_text ast n.main_token in
+      (match find_cell env name with
+       | Some cell -> VPtr (PVar cell)
+       | None -> err "address of undeclared identifier '%s'" name)
+  | Ast.Deref ->
+      (* &p.* is p *)
+      (match eval env n.lhs with
+       | VPtr _ as p -> p
+       | v -> err "dereference of %s" (Value.type_name v))
+  | Ast.Index ->
+      let arr = eval env n.lhs in
+      let idx = Value.to_int (eval env n.rhs) in
+      (match arr with
+       | VFloatArr a -> VPtr (PElemF (a, idx))
+       | VIntArr a -> VPtr (PElemI (a, idx))
+       | v -> err "address of an element of %s" (Value.type_name v))
+  | _ -> err "cannot take the address of this expression"
+
+(* lvalue evaluation: returns read/write access *)
+and eval_lvalue env node : (unit -> Value.t) * (Value.t -> unit) =
+  let ast = env.prog.ast in
+  let n = Ast.node ast node in
+  match n.Ast.tag with
+  | Ast.Ident ->
+      let name = Ast.token_text ast n.main_token in
+      (match find_cell env name with
+       | Some cell -> ((fun () -> !cell), fun v -> cell := v)
+       | None -> err "assignment to undeclared identifier '%s'" name)
+  | Ast.Index ->
+      let arr = eval env n.lhs in
+      let idx = Value.to_int (eval env n.rhs) in
+      (match arr with
+       | VFloatArr a ->
+           if idx < 0 || idx >= Array.length a then
+             err "index %d out of bounds (len %d)" idx (Array.length a);
+           ((fun () -> Value.VFloat a.(idx)),
+            fun v -> a.(idx) <- Value.to_float v)
+       | VIntArr a ->
+           if idx < 0 || idx >= Array.length a then
+             err "index %d out of bounds (len %d)" idx (Array.length a);
+           ((fun () -> Value.VInt a.(idx)),
+            fun v -> a.(idx) <- Value.to_int v)
+       | v -> err "indexed assignment to %s" (Value.type_name v))
+  | Ast.Deref ->
+      (match eval env n.lhs with
+       | VPtr p -> ((fun () -> ptr_read p), fun v -> ptr_write p v)
+       | v -> err "assignment through %s" (Value.type_name v))
+  | _ -> err "invalid assignment target"
+
+and exec env node : unit =
+  let ast = env.prog.ast in
+  let n = Ast.node ast node in
+  match n.Ast.tag with
+  | Ast.Block ->
+      let inner = push_scope env in
+      List.iter (exec inner) (Ast.block_stmts ast node)
+  | Ast.Var_decl | Ast.Const_decl ->
+      let name = Ast.token_text ast n.main_token in
+      let v = if n.rhs = 0 then Value.VUndef else eval env n.rhs in
+      declare env name v
+  | Ast.Assign ->
+      let _, write = eval_lvalue env n.lhs in
+      let read, _ = eval_lvalue env n.lhs in
+      let rhs = eval env n.rhs in
+      (match (Ast.token ast n.main_token).Token.tag with
+       | Token.Eq -> write rhs
+       | Token.Plus_eq -> write (arith ( + ) ( +. ) (read ()) rhs)
+       | Token.Minus_eq -> write (arith ( - ) ( -. ) (read ()) rhs)
+       | Token.Star_eq -> write (arith ( * ) ( *. ) (read ()) rhs)
+       | Token.Slash_eq ->
+           write (VFloat (Value.to_float (read ()) /. Value.to_float rhs))
+       | t -> err "unsupported assignment operator '%s'" (Token.tag_to_string t))
+  | Ast.While ->
+      let cont = Ast.extra ast n.rhs in
+      let body = Ast.extra ast (n.rhs + 1) in
+      let rec loop () =
+        if Value.to_bool (eval env n.lhs) then begin
+          (try exec env body with Continue_exc -> ());
+          if cont <> 0 then exec env cont;
+          loop ()
+        end
+      in
+      (try loop () with Break_exc -> ())
+  | Ast.If ->
+      let then_ = Ast.extra ast n.rhs in
+      let else_ = Ast.extra ast (n.rhs + 1) in
+      if Value.to_bool (eval env n.lhs) then exec env then_
+      else if else_ <> 0 then exec env else_
+  | Ast.Return ->
+      raise (Return_exc (if n.lhs = 0 then Value.VUnit else eval env n.lhs))
+  | Ast.Break -> raise Break_exc
+  | Ast.Continue -> raise Continue_exc
+  | Ast.Expr_stmt -> ignore (eval env n.lhs)
+  | Ast.Omp_parallel | Ast.Omp_for | Ast.Omp_parallel_for | Ast.Omp_barrier
+  | Ast.Omp_critical | Ast.Omp_master | Ast.Omp_single | Ast.Omp_atomic ->
+      err "OpenMP directive reached the interpreter: the program was not \
+           preprocessed"
+  | _ -> err "invalid statement node"
+
+(* ------------------------------------------------------------------ *)
+(* Calls.                                                              *)
+
+and eval_call env node : Value.t =
+  let ast = env.prog.ast in
+  let n = Ast.node ast node in
+  let args_nodes = Ast.call_args ast node in
+  let callee = Ast.node ast n.lhs in
+  match callee.Ast.tag with
+  | Ast.Field ->
+      let base = Ast.node ast callee.Ast.lhs in
+      let meth = Ast.token_text ast callee.Ast.main_token in
+      if base.Ast.tag = Ast.Ident
+         && Ast.token_text ast base.Ast.main_token = "omp"
+         && find_cell env "omp" = None
+      then
+        let args = List.map (eval env) args_nodes in
+        omp_namespace meth args
+      else begin
+        (* method-style call through a struct field holding a function *)
+        match eval env n.lhs with
+        | Value.VFun fname ->
+            call_function env.prog fname (List.map (eval env) args_nodes)
+        | v -> err "call of %s" (Value.type_name v)
+      end
+  | Ast.Ident ->
+      let fname = Ast.token_text ast callee.Ast.main_token in
+      (match find_cell env fname with
+       | Some { contents = Value.VFun f } ->
+           call_function env.prog f (List.map (eval env) args_nodes)
+       | Some v -> err "call of %s" (Value.type_name !v)
+       | None ->
+           if Hashtbl.mem env.prog.fns fname then
+             call_function env.prog fname (List.map (eval env) args_nodes)
+           else builtin env fname (List.map (eval env) args_nodes))
+  | _ ->
+      (match eval env n.lhs with
+       | Value.VFun fname ->
+           call_function env.prog fname (List.map (eval env) args_nodes)
+       | v -> err "call of %s" (Value.type_name v))
+
+and call_function prog fname args : Value.t =
+  match Hashtbl.find_opt prog.fns fname with
+  | None -> err "call of unknown function '%s'" fname
+  | Some fn_node ->
+      let ast = prog.ast in
+      let n = Ast.node ast fn_node in
+      let proto = n.Ast.lhs in
+      let nparams = Ast.extra ast proto in
+      if List.length args <> nparams then
+        err "function '%s' expects %d arguments, got %d" fname nparams
+          (List.length args);
+      let env = { prog; scopes = [ Hashtbl.create 8 ] } in
+      List.iteri
+        (fun k v ->
+          let name_tok = Ast.extra ast (proto + 1 + (2 * k)) in
+          declare env (Ast.token_text ast name_tok) v)
+        args;
+      (try
+         exec env n.Ast.rhs;
+         Value.VUnit
+       with Return_exc v -> v)
+
+(* ------------------------------------------------------------------ *)
+(* The omp.* namespace (paper section III-C: the standard API with the
+   omp_ prefix stripped).                                              *)
+
+and omp_namespace meth args : Value.t =
+  match meth, args with
+  | "get_thread_num", [] -> VInt (Omprt.Api.get_thread_num ())
+  | "get_num_threads", [] -> VInt (Omprt.Api.get_num_threads ())
+  | "get_max_threads", [] -> VInt (Omprt.Api.get_max_threads ())
+  | "set_num_threads", [ v ] ->
+      Omprt.Api.set_num_threads (Value.to_int v);
+      VUnit
+  | "get_num_procs", [] -> VInt (Omprt.Api.get_num_procs ())
+  | "in_parallel", [] -> VBool (Omprt.Api.in_parallel ())
+  | "get_level", [] -> VInt (Omprt.Api.get_level ())
+  | "get_wtime", [] -> VFloat (Omprt.Api.get_wtime ())
+  | "get_wtick", [] -> VFloat (Omprt.Api.get_wtick ())
+  | _ -> err "unknown omp.%s/%d" meth (List.length args)
+
+(* ------------------------------------------------------------------ *)
+(* Host functions: the interoperability story.
+
+   The paper's section IV integrates Zig with Fortran/C by declaring
+   foreign procedures with C linkage; our analogue lets the host (OCaml)
+   register functions that Zr code calls by name, exactly like an
+   [extern fn] declaration.  Registration happens before execution, so
+   the table is read-only while teams run. *)
+
+and host_fns : (string, Value.t list -> Value.t) Hashtbl.t =
+  Hashtbl.create 16
+
+(* ------------------------------------------------------------------ *)
+(* Builtins: the .omp.internal surface targeted by generated code, plus
+   a few host utilities for writing programs.                          *)
+
+and builtin env fname args : Value.t =
+  let fl = Value.to_float and it = Value.to_int in
+  match fname, args with
+  (* --- fork/join --- *)
+  | "__kmpc_fork_call", [ VFun f; fp; sh; red; nt ] ->
+      let num_threads =
+        match it nt with 0 -> None | n -> Some n
+      in
+      Omprt.Kmpc.fork_call ?num_threads
+        (fun () -> ignore (call_function env.prog f [ fp; sh; red ]))
+        ();
+      VUnit
+  | "__kmpc_barrier", [] -> Omprt.Kmpc.barrier (); VUnit
+  (* --- static worksharing --- *)
+  | "__kmpc_for_static_init", [ lb; ub; step; incl ] ->
+      let lo = it lb and step = it step in
+      let hi =
+        if it incl = 1 then
+          (if step > 0 then it ub + 1 else it ub - 1)
+        else it ub
+      in
+      (match Omprt.Kmpc.for_static_init ~lo ~hi ~step () with
+       | Some { lower; upper; _ } ->
+           VStruct [ ("has", VBool true); ("lower", VInt lower);
+                     ("upper", VInt upper) ]
+       | None ->
+           VStruct [ ("has", VBool false); ("lower", VInt 0);
+                     ("upper", VInt 0) ])
+  | "__kmpc_for_static_fini", [] -> Omprt.Kmpc.for_static_fini (); VUnit
+  (* --- dispatcher protocol --- *)
+  | "__kmpc_static_chunked_init", [ lb; ub; step; chunk; incl ] ->
+      let lo = it lb and step = it step and chunk = it chunk in
+      let hi =
+        if it incl = 1 then (if step > 0 then it ub + 1 else it ub - 1)
+        else it ub
+      in
+      let trips = Omprt.Ws.trip_count ~lo ~hi ~step () in
+      let tid = Omprt.Api.get_thread_num () in
+      let nth = Omprt.Api.get_num_threads () in
+      let chunks =
+        List.map
+          (fun (b, e) -> (lo + (b * step), lo + ((e - 1) * step)))
+          (Omprt.Ws.static_chunks ~tid ~nthreads:nth ~trips ~chunk)
+      in
+      VDispatch (Chunked (ref chunks))
+  | "__kmpc_dispatch_init_dynamic", [ lb; ub; step; chunk; incl ]
+  | "__kmpc_dispatch_init_guided", [ lb; ub; step; chunk; incl ]
+  | "__kmpc_dispatch_init_runtime", [ lb; ub; step; chunk; incl ] ->
+      let lo = it lb and step = it step and chunk = max 1 (it chunk) in
+      let hi =
+        if it incl = 1 then (if step > 0 then it ub + 1 else it ub - 1)
+        else it ub
+      in
+      let sched =
+        match fname with
+        | "__kmpc_dispatch_init_dynamic" -> Omp_model.Sched.Dynamic chunk
+        | "__kmpc_dispatch_init_guided" -> Omp_model.Sched.Guided chunk
+        | _ -> Omp_model.Sched.Runtime
+      in
+      VDispatch (Shared (Omprt.Kmpc.dispatch_init ~sched ~lo ~hi ~step ()))
+  | "__kmpc_dispatch_next", [ VDispatch h ] ->
+      let result =
+        match h with
+        | Shared d -> Omprt.Kmpc.dispatch_next d
+        | Chunked chunks ->
+            (match !chunks with
+             | [] -> None
+             | c :: rest -> chunks := rest; Some c)
+      in
+      (match result with
+       | Some (lower, upper) ->
+           VStruct [ ("more", VBool true); ("lower", VInt lower);
+                     ("upper", VInt upper) ]
+       | None ->
+           VStruct [ ("more", VBool false); ("lower", VInt 0);
+                     ("upper", VInt 0) ])
+  (* --- synchronisation --- *)
+  | "__kmpc_critical", [ VStr name ] ->
+      (* time the acquisition so --profile sees critical contention *)
+      Omprt.Profile.timed Omprt.Profile.Critical_wait (fun () ->
+          Mutex.lock (Omprt.Lock.critical_lock name));
+      VUnit
+  | "__kmpc_end_critical", [ VStr name ] ->
+      Mutex.unlock (Omprt.Lock.critical_lock name); VUnit
+  | "__kmpc_single", [] -> VBool (Omprt.Kmpc.single_begin ())
+  | "__kmpc_end_single", [] -> Omprt.Kmpc.single_end (); VUnit
+  | "__kmpc_atomic_begin", [] -> Omprt.Kmpc.atomic_begin (); VUnit
+  | "__kmpc_atomic_end", [] -> Omprt.Kmpc.atomic_end (); VUnit
+  | "__omp_get_thread_num", [] -> VInt (Omprt.Api.get_thread_num ())
+  (* --- reduction cells (paper III-B1: Zig atomics + CAS loops) --- *)
+  | "__omp_atomic_new", [ v ] ->
+      (match v with
+       | VInt i -> VAtomicI (Omprt.Atomics.Int.make i)
+       | VFloat f -> VAtomicF (Omprt.Atomics.Float.make f)
+       | VUndef -> VAtomicF (Omprt.Atomics.Float.make 0.)
+       | v -> err "__omp_atomic_new on %s" (Value.type_name v))
+  | "__omp_atomic_load", [ VAtomicF a ] -> VFloat (Omprt.Atomics.Float.get a)
+  | "__omp_atomic_load", [ VAtomicI a ] -> VInt (Omprt.Atomics.Int.get a)
+  | "__omp_atomic_combine_add", [ VAtomicF a; v ] ->
+      Omprt.Atomics.Float.add a (fl v); VUnit
+  | "__omp_atomic_combine_add", [ VAtomicI a; v ] ->
+      Omprt.Atomics.Int.add a (it v); VUnit
+  | "__omp_atomic_combine_mul", [ VAtomicF a; v ] ->
+      Omprt.Atomics.Float.mul a (fl v); VUnit
+  | "__omp_atomic_combine_mul", [ VAtomicI a; v ] ->
+      Omprt.Atomics.Int.mul a (it v); VUnit
+  | "__omp_atomic_combine_min", [ VAtomicF a; v ] ->
+      Omprt.Atomics.Float.min a (fl v); VUnit
+  | "__omp_atomic_combine_min", [ VAtomicI a; v ] ->
+      Omprt.Atomics.Int.min a (it v); VUnit
+  | "__omp_atomic_combine_max", [ VAtomicF a; v ] ->
+      Omprt.Atomics.Float.max a (fl v); VUnit
+  | "__omp_atomic_combine_max", [ VAtomicI a; v ] ->
+      Omprt.Atomics.Int.max a (it v); VUnit
+  (* --- worksharing helpers --- *)
+  | "__omp_ws_cmp", [ i; upper; step ] ->
+      VBool (if it step > 0 then it i <= it upper else it i >= it upper)
+  | "__omp_trips", [ lb; ub; step; incl ] ->
+      VInt
+        (Omprt.Ws.trip_count ~inclusive:(it incl = 1) ~lo:(it lb)
+           ~hi:(it ub) ~step:(it step) ())
+  | "__omp_huge", [] -> VFloat infinity
+  | "__omp_min", [ a; b ] -> if compare_vals a b <= 0 then a else b
+  | "__omp_max", [ a; b ] -> if compare_vals a b >= 0 then a else b
+  (* --- host utilities for writing programs --- *)
+  | "alloc_f64", [ n ] -> VFloatArr (Array.make (it n) 0.)
+  | "alloc_i64", [ n ] -> VIntArr (Array.make (it n) 0)
+  | "len", [ VFloatArr a ] -> VInt (Array.length a)
+  | "len", [ VIntArr a ] -> VInt (Array.length a)
+  | "sqrt", [ v ] -> VFloat (sqrt (fl v))
+  | "log", [ v ] -> VFloat (log (fl v))
+  | "exp", [ v ] -> VFloat (exp (fl v))
+  | "fabs", [ v ] -> VFloat (Float.abs (fl v))
+  | "floor", [ v ] -> VFloat (Float.floor (fl v))
+  | "int_of", [ v ] -> VInt (it v)
+  | "float_of", [ v ] -> VFloat (fl v)
+  | "print", [ v ] ->
+      print_endline (Value.to_string v);
+      VUnit
+  | _ ->
+      (match Hashtbl.find_opt host_fns fname with
+       | Some f -> f args
+       | None ->
+           err "unknown function or builtin '%s'/%d" fname
+             (List.length args))
+
+(* ------------------------------------------------------------------ *)
+(* Program loading.                                                    *)
+
+(** Load a Zr program: preprocess OpenMP pragmas (unless [preprocess] is
+    false), parse, register functions, and evaluate global
+    initialisers in order. *)
+let load ?(name = "<input>") ?(preprocess = true) (source : string) : program =
+  let text =
+    if preprocess then Preproc.Preprocess.run ~name source else source
+  in
+  let ast, _spans = Parser.parse_string ~name text in
+  let prog = {
+    ast;
+    fns = Hashtbl.create 16;
+    globals = Hashtbl.create 16;
+    preprocessed = text;
+  } in
+  List.iter
+    (fun d ->
+      let n = Ast.node ast d in
+      match n.Ast.tag with
+      | Ast.Fn_decl ->
+          Hashtbl.replace prog.fns (Ast.token_text ast n.main_token) d
+      | Ast.Var_decl | Ast.Const_decl ->
+          let name = Ast.token_text ast n.main_token in
+          let env = { prog; scopes = [] } in
+          let v = if n.rhs = 0 then Value.VUndef else eval env n.rhs in
+          Hashtbl.replace prog.globals name (Plain (ref v))
+      | Ast.Omp_threadprivate ->
+          (* convert the named globals to per-thread storage, seeded
+             with their current (initial) value *)
+          let cl = Ast.clauses ast d in
+          List.iter
+            (fun id ->
+              let gname =
+                Ast.token_text ast (Ast.node ast id).Ast.main_token
+              in
+              match Hashtbl.find_opt prog.globals gname with
+              | Some (Plain r) ->
+                  Hashtbl.replace prog.globals gname
+                    (Tls { init = !r; cells = Hashtbl.create 8;
+                           mutex = Mutex.create () })
+              | Some (Tls _) -> ()
+              | None ->
+                  Value.err
+                    "threadprivate(%s): no such global variable" gname)
+            cl.Ompfront.Directive.private_
+      | _ -> ())
+    (Ast.top_decls ast);
+  prog
+
+(** Call an exported function with host values. *)
+let call prog fname args = call_function prog fname args
+
+(** [register_host name f] — make the OCaml function [f] callable from
+    Zr as [name(...)], the moral equivalent of Zig's [extern fn]
+    declarations used for C and Fortran interop (paper section IV).
+    Must be called before execution; shadowed by same-named Zr
+    functions and builtins. *)
+let register_host name f = Hashtbl.replace host_fns name f
+
+let unregister_host name = Hashtbl.remove host_fns name
+
+(** Run [main]. *)
+let run_main prog = call prog "main" []

@@ -1,0 +1,95 @@
+(** Runtime values of the Zr interpreter.
+
+    Zr is interpreted dynamically: types in the source are checked only
+    to the extent operations require (Zig's debug-mode safety checks are
+    the inspiration — misuse traps with a located error instead of
+    undefined behaviour).  The extra constructors beyond the surface
+    language carry the OpenMP machinery: atomic reduction cells (the
+    paper's Zig [std.atomic] values) and worksharing dispatcher
+    handles. *)
+
+type t =
+  | VUnit
+  | VInt of int
+  | VFloat of float
+  | VBool of bool
+  | VStr of string
+  | VUndef                       (** Zig's [undefined] *)
+  | VFloatArr of float array
+  | VIntArr of int array
+  | VStruct of (string * t) list (** anonymous struct literal *)
+  | VPtr of ptr
+  | VFun of string               (** function designator *)
+  | VAtomicF of Omprt.Atomics.Float.t
+  | VAtomicI of Omprt.Atomics.Int.t
+  | VDispatch of dispatch_handle
+
+and ptr =
+  | PVar of t ref                (** address of a variable cell *)
+  | PElemF of float array * int
+  | PElemI of int array * int
+
+(** Handle for the generated dispatch-next protocol: either the team's
+    shared dispatcher or this thread's private static-chunk list. *)
+and dispatch_handle =
+  | Shared of Omprt.Kmpc.dispatcher
+  | Chunked of (int * int) list ref  (* user-space inclusive bounds *)
+
+exception Runtime_error of string
+
+let err fmt = Format.kasprintf (fun m -> raise (Runtime_error m)) fmt
+
+let type_name = function
+  | VUnit -> "void" | VInt _ -> "int" | VFloat _ -> "float"
+  | VBool _ -> "bool" | VStr _ -> "string" | VUndef -> "undefined"
+  | VFloatArr _ -> "[]f64" | VIntArr _ -> "[]i64"
+  | VStruct _ -> "struct" | VPtr _ -> "pointer" | VFun _ -> "fn"
+  | VAtomicF _ -> "atomic f64" | VAtomicI _ -> "atomic i64"
+  | VDispatch _ -> "dispatch handle"
+
+let to_float = function
+  | VFloat f -> f
+  | VInt i -> float_of_int i
+  | VUndef -> err "use of undefined value where a number is required"
+  | v -> err "expected a number, found %s" (type_name v)
+
+let to_int = function
+  | VInt i -> i
+  | VFloat f -> int_of_float f
+  | VUndef -> err "use of undefined value where an integer is required"
+  | v -> err "expected an integer, found %s" (type_name v)
+
+let to_bool = function
+  | VBool b -> b
+  | VUndef -> err "use of undefined value where a boolean is required"
+  | v -> err "expected a boolean, found %s" (type_name v)
+
+let struct_field fields name =
+  match List.assoc_opt name fields with
+  | Some v -> v
+  | None -> err "struct has no field '.%s'" name
+
+let rec pp ppf = function
+  | VUnit -> Format.pp_print_string ppf "void"
+  | VInt i -> Format.pp_print_int ppf i
+  | VFloat f -> Format.fprintf ppf "%.17g" f
+  | VBool b -> Format.pp_print_bool ppf b
+  | VStr s -> Format.pp_print_string ppf s
+  | VUndef -> Format.pp_print_string ppf "undefined"
+  | VFloatArr a -> Format.fprintf ppf "[]f64(len=%d)" (Array.length a)
+  | VIntArr a -> Format.fprintf ppf "[]i64(len=%d)" (Array.length a)
+  | VStruct fields ->
+      Format.fprintf ppf ".{";
+      List.iteri
+        (fun i (n, v) ->
+          if i > 0 then Format.fprintf ppf ", ";
+          Format.fprintf ppf ".%s = %a" n pp v)
+        fields;
+      Format.fprintf ppf "}"
+  | VPtr _ -> Format.pp_print_string ppf "<pointer>"
+  | VFun f -> Format.fprintf ppf "<fn %s>" f
+  | VAtomicF a -> Format.fprintf ppf "<atomic %g>" (Omprt.Atomics.Float.get a)
+  | VAtomicI a -> Format.fprintf ppf "<atomic %d>" (Omprt.Atomics.Int.get a)
+  | VDispatch _ -> Format.pp_print_string ppf "<dispatch>"
+
+let to_string v = Format.asprintf "%a" pp v

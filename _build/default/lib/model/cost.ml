@@ -1,0 +1,51 @@
+(** Abstract work descriptors used by the performance model.
+
+    A [Cost.t] describes the resource demand of a piece of work
+    independently of the machine executing it: floating-point operations
+    (or op-equivalents), sequentially-streamed DRAM bytes, and
+    randomly-accessed (gather/scatter) DRAM bytes.  The two byte classes
+    matter because hardware sustains very different bandwidths for them
+    and they saturate the memory system at different thread counts —
+    streamed traffic is what bounds NPB CG's sparse matrix-vector
+    product, while scattered traffic is what bounds NPB IS's ranking.
+    The discrete-event simulator converts a cost into virtual seconds
+    with a roofline model (see [Sim.Perfmodel]); the real runtime
+    ignores costs entirely and simply executes the attached closure. *)
+
+type t = {
+  flops : float;   (** floating point operations (or op-equivalents) *)
+  bytes : float;   (** sequentially streamed bytes to/from DRAM, cold-cache *)
+  gather : float;  (** randomly accessed bytes to/from DRAM, cold-cache *)
+}
+
+let zero = { flops = 0.; bytes = 0.; gather = 0. }
+
+let make ?(flops = 0.) ?(bytes = 0.) ?(gather = 0.) () = { flops; bytes; gather }
+
+let flops f = { zero with flops = f }
+
+let bytes b = { zero with bytes = b }
+
+let gather g = { zero with gather = g }
+
+let add a b =
+  { flops = a.flops +. b.flops;
+    bytes = a.bytes +. b.bytes;
+    gather = a.gather +. b.gather }
+
+let scale k c =
+  { flops = k *. c.flops; bytes = k *. c.bytes; gather = k *. c.gather }
+
+let ( + ) = add
+
+let total_bytes c = c.bytes +. c.gather
+
+let is_zero c = c.flops = 0. && c.bytes = 0. && c.gather = 0.
+
+let pp ppf c =
+  Format.fprintf ppf "{flops=%.3g; bytes=%.3g; gather=%.3g}"
+    c.flops c.bytes c.gather
+
+let to_string c = Format.asprintf "%a" pp c
+
+let equal a b = a.flops = b.flops && a.bytes = b.bytes && a.gather = b.gather

@@ -1,0 +1,42 @@
+(** Abstract work descriptors used by the performance model.
+
+    A {!t} describes the resource demand of a piece of work
+    independently of the machine executing it.  The discrete-event
+    simulator converts a cost into virtual seconds with a roofline
+    model; the real runtime ignores costs entirely. *)
+
+type t = {
+  flops : float;   (** floating point operations (or op-equivalents) *)
+  bytes : float;   (** sequentially streamed bytes to/from DRAM, cold-cache *)
+  gather : float;  (** randomly accessed bytes to/from DRAM, cold-cache *)
+}
+
+val zero : t
+
+val make : ?flops:float -> ?bytes:float -> ?gather:float -> unit -> t
+
+val flops : float -> t
+(** A pure-compute cost. *)
+
+val bytes : float -> t
+(** A pure streamed-traffic cost. *)
+
+val gather : float -> t
+(** A pure scattered-traffic cost. *)
+
+val add : t -> t -> t
+
+val scale : float -> t -> t
+
+val ( + ) : t -> t -> t
+
+val total_bytes : t -> float
+(** Streamed plus scattered bytes. *)
+
+val is_zero : t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val equal : t -> t -> bool

@@ -1,0 +1,80 @@
+(** OpenMP loop schedules.
+
+    Mirrors the schedule kinds of the OpenMP 5.2 specification that the
+    paper's preprocessor recognises (section III-B2): [static] (optionally
+    chunked), [dynamic], [guided], [runtime] and [auto].  The integer
+    encodings in {!to_kmp}/{!of_kmp} are the [sched_type] enumeration
+    values of LLVM's libomp ([kmp.h]), which the generated calls to
+    [__kmpc_dispatch_init] pass verbatim. *)
+
+type t =
+  | Static of int option
+      (** [Static None] — one contiguous block per thread;
+          [Static (Some c)] — round-robin chunks of [c] iterations. *)
+  | Dynamic of int  (** first-come first-served chunks of the given size *)
+  | Guided of int   (** exponentially decreasing chunks, minimum size given *)
+  | Runtime         (** taken from the [OMP_SCHEDULE] ICV at run time *)
+  | Auto            (** implementation-defined; we map it to [Static None] *)
+
+(* libomp sched_type values (kmp.h): kmp_sch_static_chunked = 33,
+   kmp_sch_static = 34, kmp_sch_dynamic_chunked = 35,
+   kmp_sch_guided_chunked = 36, kmp_sch_runtime = 37, kmp_sch_auto = 38. *)
+let kmp_sch_static_chunked = 33
+let kmp_sch_static = 34
+let kmp_sch_dynamic_chunked = 35
+let kmp_sch_guided_chunked = 36
+let kmp_sch_runtime = 37
+let kmp_sch_auto = 38
+
+let to_kmp = function
+  | Static None -> kmp_sch_static
+  | Static (Some _) -> kmp_sch_static_chunked
+  | Dynamic _ -> kmp_sch_dynamic_chunked
+  | Guided _ -> kmp_sch_guided_chunked
+  | Runtime -> kmp_sch_runtime
+  | Auto -> kmp_sch_auto
+
+let chunk = function
+  | Static None | Runtime | Auto -> None
+  | Static (Some c) -> Some c
+  | Dynamic c | Guided c -> Some c
+
+let of_kmp ?(chunk = 1) kind =
+  if kind = kmp_sch_static then Some (Static None)
+  else if kind = kmp_sch_static_chunked then Some (Static (Some chunk))
+  else if kind = kmp_sch_dynamic_chunked then Some (Dynamic chunk)
+  else if kind = kmp_sch_guided_chunked then Some (Guided chunk)
+  else if kind = kmp_sch_runtime then Some Runtime
+  else if kind = kmp_sch_auto then Some Auto
+  else None
+
+let to_string = function
+  | Static None -> "static"
+  | Static (Some c) -> Printf.sprintf "static,%d" c
+  | Dynamic c -> Printf.sprintf "dynamic,%d" c
+  | Guided c -> Printf.sprintf "guided,%d" c
+  | Runtime -> "runtime"
+  | Auto -> "auto"
+
+(* Parse the [OMP_SCHEDULE]-style syntax: "kind[,chunk]". *)
+let of_string s =
+  let s = String.trim (String.lowercase_ascii s) in
+  let kind, chunk =
+    match String.index_opt s ',' with
+    | None -> (s, None)
+    | Some i ->
+        let k = String.trim (String.sub s 0 i) in
+        let c = String.trim (String.sub s (i + 1) (String.length s - i - 1)) in
+        (k, int_of_string_opt c)
+  in
+  match kind, chunk with
+  | "static", c -> Some (Static c)
+  | "dynamic", c -> Some (Dynamic (Option.value c ~default:1))
+  | "guided", c -> Some (Guided (Option.value c ~default:1))
+  | "runtime", None -> Some Runtime
+  | "auto", None -> Some Auto
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let equal a b = a = b

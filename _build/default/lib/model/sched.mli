@@ -1,0 +1,41 @@
+(** OpenMP loop schedules.
+
+    The schedule kinds of OpenMP 5.2 that the paper's preprocessor
+    recognises, with conversions to libomp's [sched_type] codes and the
+    [OMP_SCHEDULE] string syntax. *)
+
+type t =
+  | Static of int option
+      (** [Static None] — one contiguous block per thread;
+          [Static (Some c)] — round-robin chunks of [c] iterations. *)
+  | Dynamic of int  (** first-come first-served chunks of the given size *)
+  | Guided of int   (** exponentially decreasing chunks, minimum size given *)
+  | Runtime         (** taken from the [OMP_SCHEDULE] ICV at run time *)
+  | Auto            (** implementation-defined; mapped to [Static None] *)
+
+(** libomp [sched_type] enumeration values (kmp.h). *)
+
+val kmp_sch_static_chunked : int
+val kmp_sch_static : int
+val kmp_sch_dynamic_chunked : int
+val kmp_sch_guided_chunked : int
+val kmp_sch_runtime : int
+val kmp_sch_auto : int
+
+val to_kmp : t -> int
+(** The [sched_type] code sent to [__kmpc_dispatch_init]. *)
+
+val of_kmp : ?chunk:int -> int -> t option
+
+val chunk : t -> int option
+(** The chunk parameter, when the schedule carries one. *)
+
+val to_string : t -> string
+(** [OMP_SCHEDULE] syntax: ["kind[,chunk]"]. *)
+
+val of_string : string -> t option
+(** Parse the [OMP_SCHEDULE] syntax; [None] on malformed input. *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

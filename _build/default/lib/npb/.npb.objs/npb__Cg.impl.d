@@ -1,0 +1,1 @@
+lib/npb/cg.ml: Array Atomic Classes Cost Float Omp_model Omprt Printf Randlc Result Unix

@@ -1,0 +1,1 @@
+lib/npb/ep.ml: Array Atomic Classes Cost Float Lazy Omp_model Omprt Printf Randlc Result Unix

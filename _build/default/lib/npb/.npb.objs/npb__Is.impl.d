@@ -1,0 +1,1 @@
+lib/npb/is.ml: Array Classes Cost List Omp_model Omprt Randlc Result Sched Unix

@@ -1,0 +1,1 @@
+lib/npb/randlc.mli:

@@ -1,0 +1,1 @@
+lib/npb/result.ml: Classes Format

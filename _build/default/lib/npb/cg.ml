@@ -1,0 +1,491 @@
+(** NPB Conjugate Gradient (CG) kernel.
+
+    Port of NPB 3.x CG: [makea] builds a random sparse symmetric positive
+    definite matrix (sum of scaled outer products of sparse random
+    vectors, plus [rcond - shift] on the diagonal), and the benchmark
+    runs [niter] outer iterations, each performing 25 CG iterations plus
+    one extra SpMV, normalising the iterate and updating the shift
+    estimate [zeta].  Verification compares [zeta] against the official
+    reference value for the class.
+
+    The OpenMP structure follows the paper (section V-A): one parallel
+    region per [conj_grad] call, static worksharing loops, [nowait]
+    between an SpMV and the dot product that consumes its output on the
+    same partition, and reductions combined with atomics.
+
+    The kernel is written against {!Omprt.Omp_intf.S}; on the real engine
+    it computes and verifies, on the simulated engine only the control
+    flow runs and the [chunk_cost] annotations produce class-C timing. *)
+
+open Omp_model
+
+let rcond = 0.1
+let cgitmax = 25
+
+(* ------------------------------------------------------------------ *)
+(* Sparse matrix in CSR form.                                          *)
+
+type matrix = {
+  n : int;
+  nnz : int;
+  a : float array;
+  colidx : int array;
+  rowstr : int array;  (* length n+1 *)
+}
+
+(* sprnvc: generate a sparse random vector with [nz] distinct nonzero
+   positions in [1..n] (1-based, as in the reference code). *)
+let sprnvc rng ~n ~nz ~nn1 (v : float array) (iv : int array) =
+  let nzv = ref 0 in
+  while !nzv < nz do
+    let vecelt = Randlc.draw rng in
+    let vecloc = Randlc.draw rng in
+    let i = int_of_float (vecloc *. float_of_int nn1) + 1 in
+    if i <= n then begin
+      let was_gen = ref false in
+      for ii = 0 to !nzv - 1 do
+        if iv.(ii) = i then was_gen := true
+      done;
+      if not !was_gen then begin
+        v.(!nzv) <- vecelt;
+        iv.(!nzv) <- i;
+        incr nzv
+      end
+    end
+  done
+
+(* vecset: force element [i] (1-based) to [value], appending if absent. *)
+let vecset ~nzv (v : float array) (iv : int array) i value =
+  let set = ref false in
+  for k = 0 to !nzv - 1 do
+    if iv.(k) = i then begin
+      v.(k) <- value;
+      set := true
+    end
+  done;
+  if not !set then begin
+    v.(!nzv) <- value;
+    iv.(!nzv) <- i;
+    incr nzv
+  end
+
+(** Build the CG matrix for class parameters [p], drawing from [rng]
+    (which must already have produced the initial [zeta] deviate, as the
+    reference main program does). *)
+let make_matrix (p : Classes.Cg.t) rng : matrix =
+  let n = p.na in
+  let nonzer = p.nonzer in
+  let nz = Classes.Cg.nz_bound p in
+  (* nn1: smallest power of two >= n *)
+  let nn1 =
+    let v = ref 1 in
+    while !v < n do v := 2 * !v done;
+    !v
+  in
+  (* Per-row generated sparse vectors. *)
+  let arow = Array.make n 0 in
+  let acol = Array.make_matrix n (nonzer + 1) 0 in
+  let aelt = Array.make_matrix n (nonzer + 1) 0. in
+  let vc = Array.make (nonzer + 1) 0. in
+  let ivc = Array.make (nonzer + 1) 0 in
+  for iouter = 0 to n - 1 do
+    let nzv = ref nonzer in
+    sprnvc rng ~n ~nz:nonzer ~nn1 vc ivc;
+    vecset ~nzv vc ivc (iouter + 1) 0.5;
+    arow.(iouter) <- !nzv;
+    for ivelt = 0 to !nzv - 1 do
+      acol.(iouter).(ivelt) <- ivc.(ivelt) - 1;  (* to 0-based *)
+      aelt.(iouter).(ivelt) <- vc.(ivelt)
+    done
+  done;
+  (* sparse: assemble sum of outer products into CSR with duplicate
+     merging, following the reference routine. *)
+  let a = Array.make nz 0. in
+  let colidx = Array.make nz (-1) in
+  let rowstr = Array.make (n + 1) 0 in
+  let nzloc = Array.make n 0 in
+  (* Count (over-)allocation per row. *)
+  for i = 0 to n - 1 do
+    for nza = 0 to arow.(i) - 1 do
+      let j = acol.(i).(nza) + 1 in
+      rowstr.(j) <- rowstr.(j) + arow.(i)
+    done
+  done;
+  rowstr.(0) <- 0;
+  for j = 1 to n do
+    rowstr.(j) <- rowstr.(j) + rowstr.(j - 1)
+  done;
+  if rowstr.(n) > nz then
+    failwith "Cg.make_matrix: generated more nonzeros than the bound";
+  (* Assemble with in-row sorted insertion. *)
+  let size = ref 1.0 in
+  let ratio = rcond ** (1.0 /. float_of_int n) in
+  for i = 0 to n - 1 do
+    for nza = 0 to arow.(i) - 1 do
+      let j = acol.(i).(nza) in
+      let scale = !size *. aelt.(i).(nza) in
+      for nzrow = 0 to arow.(i) - 1 do
+        let jcol = acol.(i).(nzrow) in
+        let va0 = aelt.(i).(nzrow) *. scale in
+        let va =
+          if jcol = j && j = i then va0 +. rcond -. p.shift else va0
+        in
+        (* Find the slot for (j, jcol): keep the row sorted by column. *)
+        let pos = ref (-1) in
+        let k = ref rowstr.(j) in
+        while !pos < 0 do
+          if !k >= rowstr.(j + 1) then
+            failwith "Cg.make_matrix: internal error in sparse assembly"
+          else if colidx.(!k) > jcol then begin
+            (* shift the tail right to insert in order *)
+            let kk = ref (rowstr.(j + 1) - 2) in
+            while !kk >= !k do
+              if colidx.(!kk) > -1 then begin
+                a.(!kk + 1) <- a.(!kk);
+                colidx.(!kk + 1) <- colidx.(!kk)
+              end;
+              decr kk
+            done;
+            colidx.(!k) <- jcol;
+            a.(!k) <- 0.0;
+            pos := !k
+          end
+          else if colidx.(!k) = -1 then begin
+            colidx.(!k) <- jcol;
+            pos := !k
+          end
+          else if colidx.(!k) = jcol then begin
+            nzloc.(j) <- nzloc.(j) + 1;
+            pos := !k
+          end
+          else incr k
+        done;
+        a.(!pos) <- a.(!pos) +. va
+      done
+    done;
+    size := !size *. ratio
+  done;
+  (* Compact out the merged duplicates. *)
+  for j = 1 to n - 1 do
+    nzloc.(j) <- nzloc.(j) + nzloc.(j - 1)
+  done;
+  for j = 0 to n - 1 do
+    let j1 = if j > 0 then rowstr.(j) - nzloc.(j - 1) else 0 in
+    let j2 = rowstr.(j + 1) - nzloc.(j) in
+    let nza = ref rowstr.(j) in
+    for k = j1 to j2 - 1 do
+      a.(k) <- a.(!nza);
+      colidx.(k) <- colidx.(!nza);
+      incr nza
+    done
+  done;
+  for j = 1 to n do
+    rowstr.(j) <- rowstr.(j) - nzloc.(j - 1)
+  done;
+  { n; nnz = rowstr.(n); a; colidx; rowstr }
+
+(** Multiply [m] by [v] into [out] over rows [\[lo, hi)]. *)
+let spmv_rows (m : matrix) (v : float array) (out : float array) lo hi =
+  for j = lo to hi - 1 do
+    let s = ref 0. in
+    for k = m.rowstr.(j) to m.rowstr.(j + 1) - 1 do
+      s := !s +. (m.a.(k) *. v.(m.colidx.(k)))
+    done;
+    out.(j) <- !s
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Cost model.  Rows are uniform to good approximation: every generated
+   sparse vector has nonzer+1 entries, so a row receives ~(nonzer+1)^2
+   contributions.  Duplicate merging loses a few percent, which the
+   serial calibration constant absorbs.                                *)
+
+type cost_model = {
+  row_nz : float;          (* estimated nonzeros per row *)
+  byte_factor : float;     (* serial calibration x language factor *)
+  mat_ws : float;          (* matrix working set, bytes *)
+  n : int;
+}
+
+(* Calibration: with the ARCHER2 machine constants, a byte factor of
+   [cg_serial_calib] lands the modelled single-thread class-C run on the
+   paper's Zig time (Table I); the per-language factors sit on top. *)
+let cg_serial_calib = 0.72
+
+let cost_model (p : Classes.Cg.t) (lang : Classes.lang) =
+  let row_nz = float_of_int ((p.nonzer + 1) * (p.nonzer + 1)) in
+  let nnz_est = float_of_int p.na *. row_nz in
+  { row_nz;
+    byte_factor = cg_serial_calib *. Classes.cg_factor lang;
+    mat_ws = nnz_est *. 12.;  (* 8-byte value + 4-byte column index *)
+    n = p.na }
+
+let spmv_cost cm lo hi =
+  let nz = float_of_int (hi - lo) *. cm.row_nz in
+  Cost.make ~flops:(2. *. nz) ~bytes:(12. *. nz *. cm.byte_factor) ()
+
+let vec_cost cm ~flops ~bytes lo hi =
+  let m = float_of_int (hi - lo) in
+  Cost.make ~flops:(flops *. m) ~bytes:(bytes *. m *. cm.byte_factor) ()
+
+let vec_ws cm ~bytes = bytes *. float_of_int cm.n
+
+(* ------------------------------------------------------------------ *)
+(* The parallel conj_grad.                                             *)
+
+(* One reduction: zero the shared cell (single + implied barrier),
+   accumulate partials over a nowait worksharing loop, combine
+   atomically, barrier, read back.  In simulation the value is
+   meaningless but the synchronisation pattern is identical. *)
+let dot_reduce (module O : Omprt.Omp_intf.S) cell ~ws ~chunk_cost n partial =
+  O.single (fun () -> Atomic.set cell 0.);
+  let local = ref 0. in
+  O.ws_for ~nowait:true ~working_set:ws ~chunk_cost ~lo:0 ~hi:n
+    (fun lo hi -> local := partial lo hi);
+  O.atomic ~cost:(Cost.flops 1.) (fun () ->
+      Omprt.Atomics.Float.add cell !local);
+  O.barrier ();
+  Atomic.get cell
+
+let conj_grad (module O : Omprt.Omp_intf.S) cm (m : matrix)
+    (x : float array) (z : float array) (p : float array)
+    (q : float array) (r : float array) =
+  let n = cm.n in
+  let rho_cell = Atomic.make 0. in
+  let d_cell = Atomic.make 0. in
+  let sum_cell = Atomic.make 0. in
+  let rnorm = ref 0. in
+  O.parallel (fun () ->
+      (* q = z = 0, r = p = x *)
+      O.ws_for ~working_set:(vec_ws cm ~bytes:40.)
+        ~chunk_cost:(vec_cost cm ~flops:0. ~bytes:40.) ~lo:0 ~hi:n
+        (fun lo hi ->
+          for j = lo to hi - 1 do
+            q.(j) <- 0.; z.(j) <- 0.;
+            r.(j) <- x.(j); p.(j) <- x.(j)
+          done);
+      let rho =
+        ref (dot_reduce (module O) rho_cell ~ws:(vec_ws cm ~bytes:8.)
+               ~chunk_cost:(vec_cost cm ~flops:2. ~bytes:8.) n
+               (fun lo hi ->
+                 let s = ref 0. in
+                 for j = lo to hi - 1 do s := !s +. (r.(j) *. r.(j)) done;
+                 !s))
+      in
+      for _cgit = 1 to cgitmax do
+        (* q = A.p — nowait: the dot below consumes q on the same
+           static partition, so no barrier is needed in between. *)
+        O.ws_for ~nowait:true ~working_set:cm.mat_ws
+          ~chunk_cost:(spmv_cost cm) ~lo:0 ~hi:n
+          (fun lo hi -> spmv_rows m p q lo hi);
+        let d =
+          dot_reduce (module O) d_cell ~ws:(vec_ws cm ~bytes:16.)
+            ~chunk_cost:(vec_cost cm ~flops:2. ~bytes:16.) n
+            (fun lo hi ->
+              let s = ref 0. in
+              for j = lo to hi - 1 do s := !s +. (p.(j) *. q.(j)) done;
+              !s)
+        in
+        let alpha = !rho /. d in
+        let rho0 = !rho in
+        (* z += alpha*p; r -= alpha*q *)
+        O.ws_for ~nowait:true ~working_set:(vec_ws cm ~bytes:48.)
+          ~chunk_cost:(vec_cost cm ~flops:4. ~bytes:48.) ~lo:0 ~hi:n
+          (fun lo hi ->
+            for j = lo to hi - 1 do
+              z.(j) <- z.(j) +. (alpha *. p.(j));
+              r.(j) <- r.(j) -. (alpha *. q.(j))
+            done);
+        rho :=
+          dot_reduce (module O) rho_cell ~ws:(vec_ws cm ~bytes:8.)
+            ~chunk_cost:(vec_cost cm ~flops:2. ~bytes:8.) n
+            (fun lo hi ->
+              let s = ref 0. in
+              for j = lo to hi - 1 do s := !s +. (r.(j) *. r.(j)) done;
+              !s);
+        let beta = !rho /. rho0 in
+        (* p = r + beta*p *)
+        O.ws_for ~working_set:(vec_ws cm ~bytes:24.)
+          ~chunk_cost:(vec_cost cm ~flops:2. ~bytes:24.) ~lo:0 ~hi:n
+          (fun lo hi ->
+            for j = lo to hi - 1 do
+              p.(j) <- r.(j) +. (beta *. p.(j))
+            done)
+      done;
+      (* r = A.z, then rnorm = ||x - r|| *)
+      O.ws_for ~nowait:true ~working_set:cm.mat_ws
+        ~chunk_cost:(spmv_cost cm) ~lo:0 ~hi:n
+        (fun lo hi -> spmv_rows m z r lo hi);
+      let s =
+        dot_reduce (module O) sum_cell ~ws:(vec_ws cm ~bytes:16.)
+          ~chunk_cost:(vec_cost cm ~flops:3. ~bytes:16.) n
+          (fun lo hi ->
+            let s = ref 0. in
+            for j = lo to hi - 1 do
+              let d = x.(j) -. r.(j) in
+              s := !s +. (d *. d)
+            done;
+            !s)
+      in
+      O.master (fun () -> rnorm := sqrt s));
+  !rnorm
+
+(* ------------------------------------------------------------------ *)
+(* Benchmark driver.                                                   *)
+
+let zeta_epsilon = 1e-10
+
+(** Run the CG benchmark on engine [O].  On the real engine the matrix
+    is built and the result verified; on the simulated engine only the
+    parallel structure executes, against a 1-element dummy matrix. *)
+let run (module O : Omprt.Omp_intf.S) ?(lang = Classes.Zig) ~cls () : Result.t =
+  let p = Classes.Cg.params cls in
+  let n = p.na in
+  let cm = cost_model p lang in
+  let rng = Randlc.create 314159265.0 in
+  let _zeta0 = Randlc.draw rng in
+  let m =
+    if O.is_simulated then
+      { n; nnz = 0; a = [| 0. |]; colidx = [| 0 |];
+        rowstr = Array.make (n + 1) 0 }
+    else make_matrix p rng
+  in
+  let alloc () = Array.make n 0. in
+  let x = Array.make n 1.0 in
+  let z = alloc () and pv = alloc () and q = alloc () and r = alloc () in
+  let norm1_cell = Atomic.make 0. in
+  let norm2_cell = Atomic.make 0. in
+  let normalise () =
+    (* norm_temp1 = x.z, norm_temp2 = z.z, then x = z / ||z|| *)
+    let n1 = ref 0. and n2 = ref 0. in
+    O.parallel (fun () ->
+        let v1 =
+          dot_reduce (module O) norm1_cell ~ws:(vec_ws cm ~bytes:16.)
+            ~chunk_cost:(vec_cost cm ~flops:2. ~bytes:16.) n
+            (fun lo hi ->
+              let s = ref 0. in
+              for j = lo to hi - 1 do s := !s +. (x.(j) *. z.(j)) done;
+              !s)
+        in
+        let v2 =
+          dot_reduce (module O) norm2_cell ~ws:(vec_ws cm ~bytes:8.)
+            ~chunk_cost:(vec_cost cm ~flops:2. ~bytes:8.) n
+            (fun lo hi ->
+              let s = ref 0. in
+              for j = lo to hi - 1 do s := !s +. (z.(j) *. z.(j)) done;
+              !s)
+        in
+        let scale = 1.0 /. sqrt v2 in
+        O.ws_for ~working_set:(vec_ws cm ~bytes:16.)
+          ~chunk_cost:(vec_cost cm ~flops:1. ~bytes:16.) ~lo:0 ~hi:n
+          (fun lo hi ->
+            for j = lo to hi - 1 do x.(j) <- scale *. z.(j) done);
+        O.master (fun () ->
+            n1 := v1;
+            n2 := v2));
+    (!n1, !n2)
+  in
+  (* Untimed warm-up iteration, as in the reference code. *)
+  ignore (conj_grad (module O) cm m x z pv q r);
+  ignore (normalise ());
+  Array.fill x 0 n 1.0;
+  let zeta = ref 0. in
+  let t0 = O.wtime () in
+  for _it = 1 to p.niter do
+    ignore (conj_grad (module O) cm m x z pv q r);
+    let n1, _n2 = normalise () in
+    zeta := p.shift +. (1.0 /. n1)
+  done;
+  let time = O.wtime () -. t0 in
+  let verification =
+    if O.is_simulated then Result.Unverifiable
+    else if Float.abs (!zeta -. p.zeta_verify) <= zeta_epsilon then
+      Result.Verified
+    else
+      Result.Failed
+        (Printf.sprintf "zeta = %.13f, expected %.13f" !zeta p.zeta_verify)
+  in
+  let flops_total =
+    (* NPB's op count: per outer iteration, 26 SpMVs and ~10n vector ops *)
+    float_of_int p.niter
+    *. ((26. *. 2. *. float_of_int n *. cm.row_nz)
+        +. (10. *. 2. *. float_of_int n))
+  in
+  { Result.kernel = "CG"; cls; nthreads = 0; time;
+    mops = flops_total /. time /. 1e6;
+    verification;
+    detail = [ ("zeta", !zeta); ("nnz", float_of_int m.nnz) ] }
+
+(* ------------------------------------------------------------------ *)
+(* Independent serial reference (no OpenMP), used by tests to cross-
+   check the parallel version beyond the official zeta values.          *)
+
+let conj_grad_serial (m : matrix) x z p q r =
+  let n = m.n in
+  for j = 0 to n - 1 do
+    q.(j) <- 0.; z.(j) <- 0.; r.(j) <- x.(j); p.(j) <- x.(j)
+  done;
+  let rho = ref 0. in
+  for j = 0 to n - 1 do rho := !rho +. (r.(j) *. r.(j)) done;
+  for _cgit = 1 to cgitmax do
+    spmv_rows m p q 0 n;
+    let d = ref 0. in
+    for j = 0 to n - 1 do d := !d +. (p.(j) *. q.(j)) done;
+    let alpha = !rho /. !d in
+    let rho0 = !rho in
+    for j = 0 to n - 1 do
+      z.(j) <- z.(j) +. (alpha *. p.(j));
+      r.(j) <- r.(j) -. (alpha *. q.(j))
+    done;
+    rho := 0.;
+    for j = 0 to n - 1 do rho := !rho +. (r.(j) *. r.(j)) done;
+    let beta = !rho /. rho0 in
+    for j = 0 to n - 1 do p.(j) <- r.(j) +. (beta *. p.(j)) done
+  done;
+  spmv_rows m z r 0 n;
+  let s = ref 0. in
+  for j = 0 to n - 1 do
+    let d = x.(j) -. r.(j) in
+    s := !s +. (d *. d)
+  done;
+  sqrt !s
+
+let run_serial ~cls () : Result.t =
+  let p = Classes.Cg.params cls in
+  let n = p.na in
+  let rng = Randlc.create 314159265.0 in
+  let _zeta0 = Randlc.draw rng in
+  let m = make_matrix p rng in
+  let x = Array.make n 1.0 in
+  let z = Array.make n 0. and pv = Array.make n 0. in
+  let q = Array.make n 0. and r = Array.make n 0. in
+  let normalise () =
+    let n1 = ref 0. and n2 = ref 0. in
+    for j = 0 to n - 1 do
+      n1 := !n1 +. (x.(j) *. z.(j));
+      n2 := !n2 +. (z.(j) *. z.(j))
+    done;
+    let scale = 1.0 /. sqrt !n2 in
+    for j = 0 to n - 1 do x.(j) <- scale *. z.(j) done;
+    !n1
+  in
+  ignore (conj_grad_serial m x z pv q r);
+  ignore (normalise ());
+  Array.fill x 0 n 1.0;
+  let zeta = ref 0. in
+  let t0 = Unix.gettimeofday () in
+  for _it = 1 to p.niter do
+    ignore (conj_grad_serial m x z pv q r);
+    let n1 = normalise () in
+    zeta := p.shift +. (1.0 /. n1)
+  done;
+  let time = Unix.gettimeofday () -. t0 in
+  let verification =
+    if Float.abs (!zeta -. p.zeta_verify) <= zeta_epsilon then Result.Verified
+    else
+      Result.Failed
+        (Printf.sprintf "zeta = %.13f, expected %.13f" !zeta p.zeta_verify)
+  in
+  { Result.kernel = "CG"; cls; nthreads = 1; time; mops = 0.;
+    verification;
+    detail = [ ("zeta", !zeta); ("nnz", float_of_int m.nnz) ] }

@@ -1,0 +1,118 @@
+(** NPB problem classes and their parameters for CG, EP and IS.
+
+    Parameters and verification references follow NPB 3.x.  The paper
+    runs class C for all three kernels; our real-engine tests verify at
+    the small classes and the simulator regenerates class C timing. *)
+
+type cls = S | W | A | B | C
+
+let cls_to_string = function
+  | S -> "S" | W -> "W" | A -> "A" | B -> "B" | C -> "C"
+
+let cls_of_string = function
+  | "S" | "s" -> Some S
+  | "W" | "w" -> Some W
+  | "A" | "a" -> Some A
+  | "B" | "b" -> Some B
+  | "C" | "c" -> Some C
+  | _ -> None
+
+let all = [ S; W; A; B; C ]
+
+(* ------------------------------------------------------------------ *)
+
+module Cg = struct
+  type t = {
+    cls : cls;
+    na : int;        (** matrix order *)
+    nonzer : int;    (** nonzeros per generated sparse vector *)
+    niter : int;     (** outer iterations *)
+    shift : float;
+    zeta_verify : float;  (** official reference value *)
+  }
+
+  let params = function
+    | S -> { cls = S; na = 1400; nonzer = 7; niter = 15; shift = 10.;
+             zeta_verify = 8.5971775078648 }
+    | W -> { cls = W; na = 7000; nonzer = 8; niter = 15; shift = 12.;
+             zeta_verify = 10.362595087124 }
+    | A -> { cls = A; na = 14000; nonzer = 11; niter = 15; shift = 20.;
+             zeta_verify = 17.130235054029 }
+    | B -> { cls = B; na = 75000; nonzer = 13; niter = 75; shift = 60.;
+             zeta_verify = 22.712745482631 }
+    | C -> { cls = C; na = 150000; nonzer = 15; niter = 75; shift = 110.;
+             zeta_verify = 28.973605592845 }
+
+  (** Allocation bound on nonzeros, as NPB sizes its arrays. *)
+  let nz_bound p = p.na * (p.nonzer + 1) * (p.nonzer + 1)
+end
+
+module Ep = struct
+  type t = {
+    cls : cls;
+    m : int;  (** generate 2^m Gaussian pairs *)
+    sx_verify : float;
+    sy_verify : float;
+  }
+
+  (* Reference sums from NPB 3.3 ep verification. *)
+  let params = function
+    | S -> { cls = S; m = 24;
+             sx_verify = -3.247834652034740e+3;
+             sy_verify = -6.958407078382297e+3 }
+    | W -> { cls = W; m = 25;
+             sx_verify = -2.863319731645753e+3;
+             sy_verify = -6.320053679109499e+3 }
+    | A -> { cls = A; m = 28;
+             sx_verify = -4.295875165629892e+3;
+             sy_verify = -1.580732573678431e+4 }
+    | B -> { cls = B; m = 30;
+             sx_verify = 4.033815542441498e+4;
+             sy_verify = -2.660669192809235e+4 }
+    | C -> { cls = C; m = 32;
+             sx_verify = 4.764367927995374e+4;
+             sy_verify = -8.084072988043731e+4 }
+end
+
+module Is = struct
+  type t = {
+    cls : cls;
+    total_keys_log2 : int;
+    max_key_log2 : int;
+    num_buckets_log2 : int;
+    max_iterations : int;
+  }
+
+  let params = function
+    | S -> { cls = S; total_keys_log2 = 16; max_key_log2 = 11;
+             num_buckets_log2 = 9; max_iterations = 10 }
+    | W -> { cls = W; total_keys_log2 = 20; max_key_log2 = 16;
+             num_buckets_log2 = 10; max_iterations = 10 }
+    | A -> { cls = A; total_keys_log2 = 23; max_key_log2 = 19;
+             num_buckets_log2 = 10; max_iterations = 10 }
+    | B -> { cls = B; total_keys_log2 = 25; max_key_log2 = 21;
+             num_buckets_log2 = 10; max_iterations = 10 }
+    | C -> { cls = C; total_keys_log2 = 27; max_key_log2 = 23;
+             num_buckets_log2 = 10; max_iterations = 10 }
+
+  let num_keys p = 1 lsl p.total_keys_log2
+  let max_key p = 1 lsl p.max_key_log2
+  let num_buckets p = 1 lsl p.num_buckets_log2
+end
+
+(* ------------------------------------------------------------------ *)
+(** Languages compared by the paper, and the per-kernel serial codegen
+    factors calibrated from the single-thread column of Tables I–III
+    (see EXPERIMENTS.md).  The factor multiplies a kernel's model cost;
+    Zig is the baseline 1.0 per kernel. *)
+
+type lang = Zig | Fortran | C_lang
+
+let lang_to_string = function
+  | Zig -> "Zig" | Fortran -> "Fortran" | C_lang -> "C"
+
+(* Table I: 170.17 / 149.40; Table II: 185.26 / 147.66;
+   Table III: 9.29 / 11.87 (the C reference is *faster* serially). *)
+let cg_factor = function Zig -> 1.0 | Fortran -> 170.17 /. 149.40 | C_lang -> 1.0
+let ep_factor = function Zig -> 1.0 | Fortran -> 185.26 /. 147.66 | C_lang -> 1.0
+let is_factor = function Zig -> 1.0 | C_lang -> 9.29 /. 11.87 | Fortran -> 1.0

@@ -1,0 +1,284 @@
+(** NPB Integer Sort (IS) kernel.
+
+    Port of NPB 3.x IS with the bucketised parallel ranking of the
+    OpenMP reference version (the variant the paper ports to Zig,
+    section V-C): keys are histogrammed into 2^10 buckets, distributed
+    into a bucket-grouped copy, and each bucket is ranked independently
+    — counting occurrences and prefix-summing within the bucket's key
+    subrange.  Ten ranking iterations are timed; [full_verify] then
+    rebuilds the sorted sequence from the ranks and checks it.
+
+    The kernel stresses scattered memory traffic, which is why its
+    scaling saturates in the paper's Figure 5; the [gather] component of
+    the cost descriptors carries that behaviour in simulation. *)
+
+open Omp_model
+
+let max_procs = 128  (* matches the machine model's core count *)
+
+(** Serial NPB key generation: keys.(i) = ⌊(MAX_KEY/4)·(r1+r2+r3+r4)⌋. *)
+let create_seq (p : Classes.Is.t) : int array =
+  let nkeys = Classes.Is.num_keys p in
+  let k4 = Classes.Is.max_key p / 4 in
+  let rng = Randlc.create 314159265.0 in
+  Array.init nkeys (fun _ ->
+      let x =
+        Randlc.draw rng +. Randlc.draw rng +. Randlc.draw rng
+        +. Randlc.draw rng
+      in
+      int_of_float (float_of_int k4 *. x))
+
+(* Cost calibration: scattered traffic per key for the distribute and
+   per-bucket ranking passes; the serial constant lands the modelled
+   single-thread class-C run on the paper's Zig time (Table III). *)
+let is_serial_calib = 1.0
+
+type cost_model = {
+  factor : float;
+  avg_bucket : float;  (* expected keys per bucket *)
+}
+
+let count_cost cm lo hi =
+  Cost.make ~bytes:(4. *. float_of_int (hi - lo) *. cm.factor) ()
+
+let distribute_cost cm lo hi =
+  let nk = float_of_int (hi - lo) in
+  Cost.make ~bytes:(8. *. nk *. cm.factor)
+    ~gather:(12. *. nk *. cm.factor) ()
+
+let bucket_rank_cost (p : Classes.Is.t) cm lo hi =
+  let buckets = float_of_int (hi - lo) in
+  let keys = buckets *. cm.avg_bucket in
+  let key_range =
+    buckets
+    *. float_of_int (Classes.Is.max_key p / Classes.Is.num_buckets p)
+  in
+  Cost.make
+    ~bytes:((4. *. keys) +. (16. *. key_range) *. cm.factor)
+    ~gather:(8. *. keys *. cm.factor) ()
+
+(* ------------------------------------------------------------------ *)
+
+(** State shared by the ranking iterations. *)
+type state = {
+  p : Classes.Is.t;
+  keys : int array;           (* key_array *)
+  key_buff1 : int array;      (* per-value cumulative counts (ranks) *)
+  key_buff2 : int array;      (* keys regrouped by bucket *)
+  bucket_count : int array array;  (* per thread x per bucket *)
+  bucket_ptrs : int array array;   (* per thread x per bucket *)
+  bucket_start : int array;        (* global bucket offsets, length nb+1 *)
+  cm : cost_model;
+}
+
+let make_state (module O : Omprt.Omp_intf.S) ?(lang = Classes.Zig)
+    (p : Classes.Is.t) =
+  let nkeys = Classes.Is.num_keys p in
+  let nb = Classes.Is.num_buckets p in
+  let real = not O.is_simulated in
+  let keys = if real then create_seq p else [| 0 |] in
+  { p;
+    keys;
+    key_buff1 = (if real then Array.make (Classes.Is.max_key p) 0 else [| 0 |]);
+    key_buff2 = (if real then Array.make nkeys 0 else [| 0 |]);
+    bucket_count = Array.init max_procs (fun _ -> Array.make nb 0);
+    bucket_ptrs = Array.init max_procs (fun _ -> Array.make nb 0);
+    bucket_start = Array.make (nb + 1) 0;
+    cm = { factor = is_serial_calib *. Classes.is_factor lang;
+           avg_bucket = float_of_int nkeys /. float_of_int nb };
+  }
+
+(** One ranking iteration, inside an active parallel region. *)
+let rank (module O : Omprt.Omp_intf.S) st iteration =
+  let p = st.p in
+  let nkeys = Classes.Is.num_keys p in
+  let nb = Classes.Is.num_buckets p in
+  let shift = p.Classes.Is.max_key_log2 - p.Classes.Is.num_buckets_log2 in
+  let tid = O.thread_num () in
+  let nt = O.num_threads () in
+  let bc = st.bucket_count.(tid) in
+  let bp = st.bucket_ptrs.(tid) in
+  (* Iteration-dependent probe keys, as in the reference.  The implied
+     barrier keeps the writes ordered before phase 1's reads. *)
+  O.single (fun () ->
+      if not O.is_simulated then begin
+        st.keys.(iteration) <- iteration;
+        st.keys.(iteration + p.Classes.Is.max_iterations)
+          <- Classes.Is.max_key p - iteration
+      end);
+  (* Phase 1: per-thread bucket histogram over a static slice. *)
+  Array.fill bc 0 nb 0;
+  O.ws_for ~chunk_cost:(count_cost st.cm) ~lo:0 ~hi:nkeys
+    (fun lo hi ->
+      for i = lo to hi - 1 do
+        let b = st.keys.(i) lsr shift in
+        bc.(b) <- bc.(b) + 1
+      done);
+  (* Phase 2: per-thread write cursors.  Thread t's cursor for bucket b
+     starts after every earlier bucket entirely and after bucket b's
+     share of earlier threads. *)
+  O.work
+    ~cost:(Cost.flops (2. *. float_of_int (nb * nt)))
+    (fun () ->
+      let run = ref 0 in
+      for b = 0 to nb - 1 do
+        let before_me = ref !run in
+        for t = 0 to nt - 1 do
+          if t < tid then before_me := !before_me + st.bucket_count.(t).(b);
+          run := !run + st.bucket_count.(t).(b)
+        done;
+        bp.(b) <- !before_me
+      done);
+  O.barrier ();
+  (* Phase 3: distribute keys into bucket-grouped order; the loop uses
+     the same static partition as phase 1, so each thread's cursors
+     cover exactly its own keys. *)
+  O.ws_for ~chunk_cost:(distribute_cost st.cm) ~lo:0 ~hi:nkeys
+    (fun lo hi ->
+      for i = lo to hi - 1 do
+        let k = st.keys.(i) in
+        let b = k lsr shift in
+        st.key_buff2.(bp.(b)) <- k;
+        bp.(b) <- bp.(b) + 1
+      done);
+  (* Global bucket offsets (every thread computes the same array into
+     its slice; done by one thread, it is cheap). *)
+  O.single (fun () ->
+      let run = ref 0 in
+      for b = 0 to nb - 1 do
+        st.bucket_start.(b) <- !run;
+        for t = 0 to nt - 1 do
+          run := !run + st.bucket_count.(t).(b)
+        done
+      done;
+      st.bucket_start.(nb) <- !run);
+  (* Phase 4: rank each bucket — count occurrences within the bucket's
+     key subrange, then prefix-sum so key_buff1.(k) = number of keys
+     <= k overall.  Buckets vary in size, hence the dynamic schedule. *)
+  O.ws_for ~sched:(Sched.Dynamic 1)
+    ~chunk_cost:(bucket_rank_cost p st.cm) ~lo:0 ~hi:nb
+    (fun blo bhi ->
+      for b = blo to bhi - 1 do
+        let kmin = b lsl shift in
+        let kmax = (b + 1) lsl shift in
+        for k = kmin to kmax - 1 do
+          st.key_buff1.(k) <- 0
+        done;
+        for i = st.bucket_start.(b) to st.bucket_start.(b + 1) - 1 do
+          let k = st.key_buff2.(i) in
+          st.key_buff1.(k) <- st.key_buff1.(k) + 1
+        done;
+        let run = ref st.bucket_start.(b) in
+        for k = kmin to kmax - 1 do
+          run := !run + st.key_buff1.(k);
+          st.key_buff1.(k) <- !run
+        done
+      done);
+  ignore iteration
+
+(** Rebuild the sorted sequence from ranks and check it (untimed). *)
+let full_verify st : bool =
+  let nkeys = Classes.Is.num_keys st.p in
+  let sorted = Array.make nkeys 0 in
+  let cursors = Array.copy st.key_buff1 in
+  (* Fill positions from the back of each value's range. *)
+  for i = nkeys - 1 downto 0 do
+    let k = st.key_buff2.(i) in
+    cursors.(k) <- cursors.(k) - 1;
+    sorted.(cursors.(k)) <- k
+  done;
+  let ok = ref true in
+  for i = 1 to nkeys - 1 do
+    if sorted.(i - 1) > sorted.(i) then ok := false
+  done;
+  (* The sorted sequence must also be a permutation: counts per value
+     must match a recount of the (mutated) key array. *)
+  let recount = Array.make (Classes.Is.max_key st.p) 0 in
+  Array.iter (fun k -> recount.(k) <- recount.(k) + 1) st.keys;
+  let recheck = Array.make (Classes.Is.max_key st.p) 0 in
+  Array.iter (fun k -> recheck.(k) <- recheck.(k) + 1) sorted;
+  !ok && recount = recheck
+
+(** Rank of probe key [k] after the final iteration (for tests):
+    the number of keys strictly below [k]'s first position. *)
+let rank_of st k =
+  if k = 0 then 0 else st.key_buff1.(k - 1)
+
+(* ------------------------------------------------------------------ *)
+
+let run (module O : Omprt.Omp_intf.S) ?(lang = Classes.Zig) ~cls () : Result.t =
+  let p = Classes.Is.params cls in
+  let st = make_state (module O) ~lang p in
+  (* Untimed warm-up iteration, as the reference performs. *)
+  O.parallel (fun () -> rank (module O) st 1);
+  let t0 = O.wtime () in
+  O.parallel (fun () ->
+      for it = 1 to p.max_iterations do
+        rank (module O) st it
+      done);
+  let time = O.wtime () -. t0 in
+  let verification =
+    if O.is_simulated then Result.Unverifiable
+    else if full_verify st then Result.Verified
+    else Result.Failed "full_verify: sequence not sorted or not a permutation"
+  in
+  let nkeys = float_of_int (Classes.Is.num_keys p) in
+  { Result.kernel = "IS"; cls; nthreads = 0; time;
+    mops = float_of_int p.max_iterations *. nkeys /. time /. 1e6;
+    verification;
+    detail = [] }
+
+(** Independent serial reference: direct counting sort, no buckets. *)
+let run_serial ~cls () : Result.t =
+  let p = Classes.Is.params cls in
+  let nkeys = Classes.Is.num_keys p in
+  let max_key = Classes.Is.max_key p in
+  let keys = create_seq p in
+  let counts = Array.make max_key 0 in
+  let do_rank it =
+    keys.(it) <- it;
+    keys.(it + p.max_iterations) <- max_key - it;
+    Array.fill counts 0 max_key 0;
+    for i = 0 to nkeys - 1 do
+      counts.(keys.(i)) <- counts.(keys.(i)) + 1
+    done;
+    for k = 1 to max_key - 1 do
+      counts.(k) <- counts.(k) + counts.(k - 1)
+    done
+  in
+  do_rank 1;  (* warm-up *)
+  let t0 = Unix.gettimeofday () in
+  for it = 1 to p.max_iterations do
+    do_rank it
+  done;
+  let time = Unix.gettimeofday () -. t0 in
+  (* verify: counts must be monotone and end at nkeys *)
+  let ok = ref (counts.(max_key - 1) = nkeys) in
+  for k = 1 to max_key - 1 do
+    if counts.(k) < counts.(k - 1) then ok := false
+  done;
+  { Result.kernel = "IS"; cls; nthreads = 1; time;
+    mops = float_of_int p.max_iterations *. float_of_int nkeys /. time /. 1e6;
+    verification = (if !ok then Result.Verified
+                    else Result.Failed "serial counting sort inconsistent");
+    detail = [] }
+
+(** Serial rank of probe key [k] (for cross-checking the parallel
+    version): number of keys strictly below [k] in [counts] form. *)
+let serial_ranks ~cls probes =
+  let p = Classes.Is.params cls in
+  let nkeys = Classes.Is.num_keys p in
+  let max_key = Classes.Is.max_key p in
+  let keys = create_seq p in
+  let counts = Array.make max_key 0 in
+  for it = 1 to p.max_iterations do
+    keys.(it) <- it;
+    keys.(it + p.max_iterations) <- max_key - it
+  done;
+  for i = 0 to nkeys - 1 do
+    counts.(keys.(i)) <- counts.(keys.(i)) + 1
+  done;
+  for k = 1 to max_key - 1 do
+    counts.(k) <- counts.(k) + counts.(k - 1)
+  done;
+  List.map (fun k -> if k = 0 then 0 else counts.(k - 1)) probes

@@ -1,0 +1,78 @@
+(** The NPB pseudo-random number generator.
+
+    The linear congruential generator x_{k+1} = a * x_k (mod 2^46) from
+    the NAS Parallel Benchmarks, implemented in double precision exactly
+    as the reference [randlc]/[vranlc] routines do: operands are split
+    into 23-bit halves so every intermediate product is exact in a
+    64-bit float.  All three kernels (CG, EP, IS) consume this stream,
+    and the official verification values only come out right if the
+    sequence is bit-identical — which makes the kernels' verification
+    tests a strong check on this module. *)
+
+let r23 = 0.5 ** 23.
+let t23 = 2.0 ** 23.
+let r46 = r23 *. r23
+let t46 = t23 *. t23
+
+(** The multiplier used throughout NPB: 5^13. *)
+let a_default = 1220703125.0
+
+(** [next seed a] — one LCG step.  Returns [(new_seed, u)] where [u] is
+    the uniform deviate in (0, 1). *)
+let next (x : float) (a : float) : float * float =
+  (* Break a = 2^23 * a1 + a2. *)
+  let t1 = r23 *. a in
+  let a1 = Float.of_int (int_of_float t1) in
+  let a2 = a -. (t23 *. a1) in
+  (* Break x = 2^23 * x1 + x2; compute z = lower 46 bits of a*x. *)
+  let t1 = r23 *. x in
+  let x1 = Float.of_int (int_of_float t1) in
+  let x2 = x -. (t23 *. x1) in
+  let t1 = (a1 *. x2) +. (a2 *. x1) in
+  let t2 = Float.of_int (int_of_float (r23 *. t1)) in
+  let z = t1 -. (t23 *. t2) in
+  let t3 = (t23 *. z) +. (a2 *. x2) in
+  let t4 = Float.of_int (int_of_float (r46 *. t3)) in
+  let x' = t3 -. (t46 *. t4) in
+  (x', r46 *. x')
+
+(** A mutable stream, the moral equivalent of passing [&seed] in C. *)
+type t = { mutable seed : float; a : float }
+
+let create ?(a = a_default) seed = { seed; a }
+
+let draw t =
+  let seed', u = next t.seed t.a in
+  t.seed <- seed';
+  u
+
+(** [vranlc t n out off] — NPB's [vranlc]: fill [out.(off .. off+n-1)]
+    with the next [n] deviates. *)
+let vranlc t n (out : float array) off =
+  for i = off to off + n - 1 do
+    out.(i) <- draw t
+  done
+
+(** [skip_pow2 seed a logn] is not provided: NPB jumps the stream with
+    repeated squaring inside EP itself (see {!Ep}), keeping the exact
+    reference structure. *)
+
+(** [power a n] — a^n (mod 2^46) by binary exponentiation using the same
+    exact float arithmetic; used to jump the generator ahead [n] steps.
+    This mirrors NPB's [ipow46]. *)
+let power (a : float) (n : int) : float =
+  if n = 0 then 1.0
+  else begin
+    (* One LCG step with seed x and multiplier m is x*m mod 2^46. *)
+    let mult x m = fst (next x m) in
+    let result = ref 1.0 in
+    let q = ref a in
+    let n = ref n in
+    (* NPB ipow46: square-and-multiply over the exponent's bits. *)
+    while !n > 0 do
+      if !n land 1 = 1 then result := mult !result !q;
+      q := mult !q !q;
+      n := !n lsr 1
+    done;
+    !result
+  end

@@ -1,0 +1,26 @@
+(** The NPB pseudo-random number generator:
+    x_{k+1} = a * x_k (mod 2^46), in exact double-precision arithmetic,
+    bit-compatible with the reference [randlc]/[vranlc].  All official
+    verification values depend on this sequence. *)
+
+val a_default : float
+(** The NPB multiplier, 5^13 = 1220703125. *)
+
+val next : float -> float -> float * float
+(** [next seed a] — one LCG step: [(new_seed, u)] with [u] uniform in
+    (0, 1). *)
+
+type t = { mutable seed : float; a : float }
+(** A mutable stream (the moral equivalent of passing [&seed] in C). *)
+
+val create : ?a:float -> float -> t
+
+val draw : t -> float
+
+val vranlc : t -> int -> float array -> int -> unit
+(** [vranlc t n out off] — fill [out.(off .. off+n-1)] with the next
+    [n] deviates (NPB's vector form). *)
+
+val power : float -> int -> float
+(** [power a n] — a^n (mod 2^46) by exact square-and-multiply (NPB's
+    [ipow46]); used to jump the stream ahead [n] steps. *)

@@ -1,0 +1,28 @@
+(** Outcome of one kernel run. *)
+
+type verification =
+  | Verified      (** matched the official NPB reference value *)
+  | Failed of string  (** mismatch, with an explanation *)
+  | Unverifiable  (** simulated run: values are not computed *)
+
+type t = {
+  kernel : string;             (** "CG", "EP", "IS" *)
+  cls : Classes.cls;
+  nthreads : int;
+  time : float;                (** seconds (wall-clock or virtual) *)
+  mops : float;                (** Mop/s as NPB reports it *)
+  verification : verification;
+  detail : (string * float) list;  (** kernel-specific numbers (zeta, sx...) *)
+}
+
+let verified t = t.verification = Verified
+
+let pp ppf t =
+  Format.fprintf ppf "%s class %s, %d threads: %.4f s, %.2f Mop/s, %s"
+    t.kernel
+    (Classes.cls_to_string t.cls)
+    t.nthreads t.time t.mops
+    (match t.verification with
+     | Verified -> "VERIFIED"
+     | Failed m -> "FAILED: " ^ m
+     | Unverifiable -> "modelled (no verification)")

@@ -1,0 +1,1 @@
+lib/ompfront/directive.ml: Array List Omp_model Packed

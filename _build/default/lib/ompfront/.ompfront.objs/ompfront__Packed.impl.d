@@ -1,0 +1,1 @@
+lib/ompfront/packed.ml: Omp_model

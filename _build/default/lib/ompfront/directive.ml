@@ -1,0 +1,119 @@
+(** Directive kinds and the decoded clause view.
+
+    The parser stores clauses in the AST's [extra_data] array (list
+    clauses as index slices, scalar clauses as the packed words of
+    {!Packed}); this module defines the fixed layout of that clause
+    block and a decoded, preprocessor-friendly view of it.
+
+    Clause block layout in [extra_data], all 32-bit words:
+    {v
+      +0  packed flags            (Packed.flags)
+      +1  packed schedule         (Packed.encode_schedule)
+      +2  num_threads expr node   (0 = no clause)
+      +3  private slice begin     -- slices index identifier nodes
+      +4  private slice end          stored contiguously in extra_data
+      +5  firstprivate slice begin
+      +6  firstprivate slice end
+      +7  shared slice begin
+      +8  shared slice end
+      +9  reduction slice begin   -- entries are (op code, ident node)
+      +10 reduction slice end        pairs, so end-begin is even
+      +11 critical name token     (0 = unnamed)
+    v} *)
+
+type kind =
+  | Parallel
+  | For             (** worksharing loop, applied to a [while] *)
+  | Parallel_for    (** combined construct *)
+  | Barrier
+  | Critical
+  | Master
+  | Single
+  | Atomic
+  | Threadprivate  (** top-level: named globals become per-thread *)
+
+let kind_to_string = function
+  | Parallel -> "parallel"
+  | For -> "for"
+  | Parallel_for -> "parallel for"
+  | Barrier -> "barrier"
+  | Critical -> "critical"
+  | Master -> "master"
+  | Single -> "single"
+  | Atomic -> "atomic"
+  | Threadprivate -> "threadprivate"
+
+(** Reduction operators accepted in [reduction(op: list)] clauses. *)
+type red_op = Radd | Rsub | Rmul | Rmin | Rmax
+
+let red_op_code = function
+  | Radd -> 1 | Rsub -> 2 | Rmul -> 3 | Rmin -> 4 | Rmax -> 5
+
+let red_op_of_code = function
+  | 1 -> Some Radd | 2 -> Some Rsub | 3 -> Some Rmul
+  | 4 -> Some Rmin | 5 -> Some Rmax | _ -> None
+
+let red_op_to_string = function
+  | Radd -> "+" | Rsub -> "-" | Rmul -> "*" | Rmin -> "min" | Rmax -> "max"
+
+(** Identity element source text for a reduction's thread-local
+    accumulator (OpenMP requires initialisation with the operator's
+    identity; the paper's III-B1). *)
+let red_op_identity = function
+  | Radd | Rsub -> "0.0"
+  | Rmul -> "1.0"
+  | Rmin -> "__omp_huge()"
+  | Rmax -> "-__omp_huge()"
+
+let clause_block_size = 12
+
+(** Decoded clause view.  List clauses carry AST node indices of the
+    identifiers named in the clause. *)
+type clauses = {
+  flags : Packed.flags;
+  schedule : Omp_model.Sched.t option;
+  num_threads : int;        (** expr node index, 0 if absent *)
+  private_ : int list;
+  firstprivate : int list;
+  shared : int list;
+  reductions : (red_op * int) list;
+  critical_name : int;      (** token index, 0 if unnamed *)
+}
+
+let empty_clauses = {
+  flags = Packed.no_flags;
+  schedule = None;
+  num_threads = 0;
+  private_ = [];
+  firstprivate = [];
+  shared = [];
+  reductions = [];
+  critical_name = 0;
+}
+
+(** [decode extra base] — read a clause block at index [base] of the
+    [extra_data] array. *)
+let decode (extra : int array) base : clauses =
+  let slice b e = Array.to_list (Array.sub extra b (e - b)) in
+  let flags = Packed.decode_flags extra.(base) in
+  let schedule = Packed.schedule_to_sched extra.(base + 1) in
+  let reductions =
+    let b = extra.(base + 9) and e = extra.(base + 10) in
+    let rec pairs i acc =
+      if i >= e then List.rev acc
+      else
+        match red_op_of_code extra.(i) with
+        | Some op -> pairs (i + 2) ((op, extra.(i + 1)) :: acc)
+        | None -> invalid_arg "Directive.decode: bad reduction op code"
+    in
+    pairs b []
+  in
+  { flags;
+    schedule;
+    num_threads = extra.(base + 2);
+    private_ = slice extra.(base + 3) extra.(base + 4);
+    firstprivate = slice extra.(base + 5) extra.(base + 6);
+    shared = slice extra.(base + 7) extra.(base + 8);
+    reductions;
+    critical_name = extra.(base + 11);
+  }

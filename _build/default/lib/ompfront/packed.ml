@@ -1,0 +1,111 @@
+(** Packed 32-bit clause encodings (paper section III-A2).
+
+    The Zig compiler's [extra_data] array only holds 32-bit integers, so
+    every scalar clause must be representable in (a fraction of) one
+    word.  The paper's layout, reproduced bit for bit:
+
+    - the loop schedule is one word: a 3-bit enumeration of the schedule
+      kind followed by a 29-bit chunk size, allowing chunks up to
+      536870912; because a chunk must be positive, 0 encodes "no chunk
+      specified";
+    - the remaining small clauses share a second packed word: the
+      [default] clause as a 2-bit enumeration, [nowait] as a 1-bit
+      boolean, and [collapse] as 4 bits (nobody collapses more than 16
+      loops).
+
+    All values are kept in OCaml ints but masked to 32 bits; encode and
+    decode are exact inverses on the representable domain, which the
+    property tests check. *)
+
+(* ---------------------------- schedule ---------------------------- *)
+
+type sched_kind = Sched_none | Sched_static | Sched_dynamic | Sched_guided
+                | Sched_runtime | Sched_auto
+
+let sched_kind_code = function
+  | Sched_none -> 0
+  | Sched_static -> 1
+  | Sched_dynamic -> 2
+  | Sched_guided -> 3
+  | Sched_runtime -> 4
+  | Sched_auto -> 5
+
+let sched_kind_of_code = function
+  | 0 -> Some Sched_none
+  | 1 -> Some Sched_static
+  | 2 -> Some Sched_dynamic
+  | 3 -> Some Sched_guided
+  | 4 -> Some Sched_runtime
+  | 5 -> Some Sched_auto
+  | _ -> None
+
+let max_chunk = (1 lsl 29) - 1  (* 29-bit chunk field *)
+
+(** [encode_schedule kind chunk] — 3-bit kind in the low bits, 29-bit
+    chunk above it.  [chunk = 0] means the clause had no chunk. *)
+let encode_schedule kind chunk =
+  if chunk < 0 || chunk > max_chunk then
+    invalid_arg "Packed.encode_schedule: chunk out of the 29-bit range";
+  (chunk lsl 3) lor sched_kind_code kind
+
+let decode_schedule word =
+  let kind = sched_kind_of_code (word land 0x7) in
+  let chunk = (word lsr 3) land ((1 lsl 29) - 1) in
+  match kind with
+  | Some k -> (k, chunk)
+  | None -> invalid_arg "Packed.decode_schedule: bad kind bits"
+
+(** Conversion to the runtime's schedule type; [None] when the pragma
+    had no [schedule] clause. *)
+let schedule_to_sched word : Omp_model.Sched.t option =
+  match decode_schedule word with
+  | Sched_none, _ -> None
+  | Sched_static, 0 -> Some (Omp_model.Sched.Static None)
+  | Sched_static, c -> Some (Omp_model.Sched.Static (Some c))
+  | Sched_dynamic, c -> Some (Omp_model.Sched.Dynamic (max 1 c))
+  | Sched_guided, c -> Some (Omp_model.Sched.Guided (max 1 c))
+  | Sched_runtime, _ -> Some Omp_model.Sched.Runtime
+  | Sched_auto, _ -> Some Omp_model.Sched.Auto
+
+(* ----------------------------- flags ------------------------------ *)
+
+type default_kind = Default_unspecified | Default_shared | Default_none
+
+let default_code = function
+  | Default_unspecified -> 0
+  | Default_shared -> 1
+  | Default_none -> 2
+
+let default_of_code = function
+  | 0 -> Some Default_unspecified
+  | 1 -> Some Default_shared
+  | 2 -> Some Default_none
+  | _ -> None
+
+type flags = {
+  default : default_kind;  (* 2 bits *)
+  nowait : bool;           (* 1 bit *)
+  collapse : int;          (* 4 bits; 0 = unspecified (means 1 loop) *)
+}
+
+let no_flags = { default = Default_unspecified; nowait = false; collapse = 0 }
+
+let max_collapse = 15
+
+let encode_flags f =
+  if f.collapse < 0 || f.collapse > max_collapse then
+    invalid_arg "Packed.encode_flags: collapse out of the 4-bit range";
+  default_code f.default
+  lor (if f.nowait then 1 lsl 2 else 0)
+  lor (f.collapse lsl 3)
+
+let decode_flags word =
+  match default_of_code (word land 0x3) with
+  | None -> invalid_arg "Packed.decode_flags: bad default bits"
+  | Some default ->
+      { default;
+        nowait = (word lsr 2) land 1 = 1;
+        collapse = (word lsr 3) land 0xf }
+
+(* 32-bit sanity: both packed words must fit the extra_data element. *)
+let fits_u32 w = w >= 0 && w < 1 lsl 32

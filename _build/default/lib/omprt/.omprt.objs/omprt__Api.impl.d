@@ -1,0 +1,1 @@
+lib/omprt/api.ml: Domain Icv Lock Team Unix

@@ -1,0 +1,1 @@
+lib/omprt/api.mli: Lock Omp_model

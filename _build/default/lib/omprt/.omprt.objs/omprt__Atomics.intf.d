@@ -1,0 +1,1 @@
+lib/omprt/atomics.mli: Atomic

@@ -1,0 +1,1 @@
+lib/omprt/barrier.ml: Condition Mutex

@@ -1,0 +1,1 @@
+lib/omprt/icv.ml: Domain Omp_model String Sys

@@ -1,0 +1,1 @@
+lib/omprt/icv.mli: Omp_model

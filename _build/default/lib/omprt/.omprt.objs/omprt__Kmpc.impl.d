@@ -1,0 +1,1 @@
+lib/omprt/kmpc.ml: Atomic Hashtbl Icv Lock Mutex Omp_model Profile Sched Team Ws

@@ -1,0 +1,1 @@
+lib/omprt/lock.ml: Condition Domain Fun Hashtbl Mutex Team

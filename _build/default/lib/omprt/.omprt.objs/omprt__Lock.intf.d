@@ -1,0 +1,1 @@
+lib/omprt/lock.mli: Mutex

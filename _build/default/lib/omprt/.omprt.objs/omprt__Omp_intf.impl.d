@@ -1,0 +1,1 @@
+lib/omprt/omp_intf.ml: Omp_model

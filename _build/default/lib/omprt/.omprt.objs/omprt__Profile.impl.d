@@ -1,0 +1,1 @@
+lib/omprt/profile.ml: Atomic Atomics Buffer Fun List Printf Unix

@@ -1,0 +1,1 @@
+lib/omprt/reduction.ml: Atomics Float

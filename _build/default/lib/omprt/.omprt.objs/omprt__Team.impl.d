@@ -1,0 +1,1 @@
+lib/omprt/team.ml: Array Atomic Barrier Domain Fun Hashtbl Icv Mutex Ws

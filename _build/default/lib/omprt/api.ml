@@ -1,0 +1,52 @@
+(** The user-facing [omp_*] API (paper section III-C).
+
+    The paper re-exports libomp's user entry points in an [omp] namespace
+    with the redundant [omp_] prefix stripped —
+    [omp.get_thread_num()] instead of [omp_get_thread_num()].  This
+    module is that namespace. *)
+
+let get_thread_num () = Team.thread_num ()
+
+let get_num_threads () = Team.num_threads ()
+
+let get_max_threads () = Icv.global.nthreads
+
+let set_num_threads n =
+  if n > 0 then Icv.global.nthreads <- n
+
+let get_num_procs () = Domain.recommended_domain_count ()
+
+let in_parallel () = Team.in_parallel ()
+
+let get_level () = Team.level ()
+
+let get_dynamic () = Icv.global.dynamic
+
+let set_dynamic b = Icv.global.dynamic <- b
+
+let get_schedule () = Icv.global.run_sched
+
+let set_schedule s = Icv.global.run_sched <- s
+
+let get_thread_limit () = Icv.global.thread_limit
+
+let get_wtime () = Unix.gettimeofday ()
+
+(** Timer resolution, measured the way libomp documents it. *)
+let get_wtick () = 1e-6
+
+(* Locks, re-exported under their omp names. *)
+
+type lock_t = Lock.t
+type nest_lock_t = Lock.Nest.t
+
+let init_lock = Lock.create
+let set_lock = Lock.acquire
+let unset_lock = Lock.release
+let test_lock = Lock.try_acquire
+let destroy_lock (_ : lock_t) = ()
+
+let init_nest_lock = Lock.Nest.create
+let set_nest_lock = Lock.Nest.acquire
+let unset_nest_lock = Lock.Nest.release
+let destroy_nest_lock (_ : nest_lock_t) = ()

@@ -1,0 +1,55 @@
+(** The user-facing [omp_*] API (paper section III-C).
+
+    The paper re-exports libomp's user entry points in an [omp]
+    namespace with the redundant [omp_] prefix stripped; this module is
+    that namespace on the host side, and the interpreter binds
+    [omp.get_thread_num()] etc. to it. *)
+
+val get_thread_num : unit -> int
+(** Thread id within the innermost enclosing region; 0 outside. *)
+
+val get_num_threads : unit -> int
+(** Team size of the innermost region; 1 outside. *)
+
+val get_max_threads : unit -> int
+(** The [nthreads-var] ICV: default team size for the next region. *)
+
+val set_num_threads : int -> unit
+(** Set the [nthreads-var] ICV (non-positive values are ignored). *)
+
+val get_num_procs : unit -> int
+
+val in_parallel : unit -> bool
+
+val get_level : unit -> int
+(** Nesting depth of enclosing parallel regions. *)
+
+val get_dynamic : unit -> bool
+val set_dynamic : bool -> unit
+
+val get_schedule : unit -> Omp_model.Sched.t
+val set_schedule : Omp_model.Sched.t -> unit
+(** The [run-sched-var] ICV consulted by [schedule(runtime)] loops. *)
+
+val get_thread_limit : unit -> int
+
+val get_wtime : unit -> float
+(** Wall-clock seconds. *)
+
+val get_wtick : unit -> float
+
+(** Locks, under their [omp_*] names. *)
+
+type lock_t = Lock.t
+type nest_lock_t = Lock.Nest.t
+
+val init_lock : unit -> lock_t
+val set_lock : lock_t -> unit
+val unset_lock : lock_t -> unit
+val test_lock : lock_t -> bool
+val destroy_lock : lock_t -> unit
+
+val init_nest_lock : unit -> nest_lock_t
+val set_nest_lock : nest_lock_t -> unit
+val unset_nest_lock : nest_lock_t -> unit
+val destroy_nest_lock : nest_lock_t -> unit

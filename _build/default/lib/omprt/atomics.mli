@@ -1,0 +1,61 @@
+(** Atomic read-modify-write operations, including the CAS-loop
+    fallbacks of the paper's Listing 6.
+
+    Operations that OCaml's [Atomic] provides natively (integer
+    fetch-and-add) use it; everything else — multiplication, min/max,
+    the bitwise family, every float operation, and the logical
+    booleans — retries through {!cas_loop}, exactly as the paper
+    implements the reduction operators Zig's builtin atomics lack. *)
+
+val cas_loop : 'a Atomic.t -> ('a -> 'a) -> unit
+(** [cas_loop atom f] atomically replaces the contents of [atom] with
+    [f old], retrying on contention (Listing 6 generalised over the
+    update function). *)
+
+val cas_loop_fetch : 'a Atomic.t -> ('a -> 'a) -> 'a
+(** As {!cas_loop}, returning the value that was replaced. *)
+
+module Int : sig
+  type t = int Atomic.t
+
+  val make : int -> t
+  val get : t -> int
+  val set : t -> int -> unit
+  val add : t -> int -> unit
+  (** Native fetch-and-add. *)
+
+  val sub : t -> int -> unit
+  (** Native fetch-and-add of the negation. *)
+
+  val mul : t -> int -> unit
+  (** CAS loop (Listing 6). *)
+
+  val min : t -> int -> unit
+  val max : t -> int -> unit
+  val band : t -> int -> unit
+  val bor : t -> int -> unit
+  val bxor : t -> int -> unit
+end
+
+module Float : sig
+  type t = float Atomic.t
+
+  val make : float -> t
+  val get : t -> float
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+  val sub : t -> float -> unit
+  val mul : t -> float -> unit
+  val min : t -> float -> unit
+  val max : t -> float -> unit
+end
+
+module Bool : sig
+  type t = bool Atomic.t
+
+  val make : bool -> t
+  val get : t -> bool
+  val set : t -> bool -> unit
+  val logical_and : t -> bool -> unit
+  val logical_or : t -> bool -> unit
+end

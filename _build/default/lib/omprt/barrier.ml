@@ -1,0 +1,46 @@
+(** Blocking sense-reversing barrier.
+
+    libomp uses spinning hybrid barriers; on an oversubscribed host (our
+    container has a single core and tests run teams of up to eight
+    threads on it) spinning would livelock the very threads we are
+    waiting for, so this implementation blocks on a condition variable.
+    The phase counter provides the "sense": a thread waits until the
+    phase it observed on arrival has been left behind, which makes the
+    barrier safely reusable back-to-back. *)
+
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  size : int;
+  mutable arrived : int;
+  mutable phase : int;
+}
+
+let create size =
+  if size <= 0 then invalid_arg "Barrier.create: size must be positive";
+  { mutex = Mutex.create (); cond = Condition.create ();
+    size; arrived = 0; phase = 0 }
+
+let size t = t.size
+
+(** [wait t] blocks until all [size t] threads have called [wait] for the
+    current phase.  Returns [true] in exactly one thread per phase (the
+    last arriver), which callers can use for master-like duties. *)
+let wait t =
+  if t.size = 1 then true
+  else begin
+    Mutex.lock t.mutex;
+    let phase = t.phase in
+    t.arrived <- t.arrived + 1;
+    let last = t.arrived = t.size in
+    if last then begin
+      t.arrived <- 0;
+      t.phase <- phase + 1;
+      Condition.broadcast t.cond
+    end else
+      while t.phase = phase do
+        Condition.wait t.cond t.mutex
+      done;
+    Mutex.unlock t.mutex;
+    last
+  end

@@ -1,0 +1,17 @@
+(** Blocking sense-reversing barrier.
+
+    Blocks on a condition variable rather than spinning, so teams may
+    safely oversubscribe the host's cores (libomp spins; on our
+    single-core test host that would livelock). *)
+
+type t
+
+val create : int -> t
+(** [create size] — a reusable barrier for [size] threads.
+    @raise Invalid_argument when [size <= 0]. *)
+
+val size : t -> int
+
+val wait : t -> bool
+(** Block until all [size] threads arrive.  Returns [true] in exactly
+    one thread per phase (the last arriver).  Reusable back-to-back. *)

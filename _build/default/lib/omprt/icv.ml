@@ -1,0 +1,57 @@
+(** Internal control variables (ICVs), per OpenMP 5.2 section 2.
+
+    The subset the paper's runtime needs: the default team size
+    ([nthreads-var]), the [run-sched-var] consulted by [schedule(runtime)]
+    loops, and the dynamic-adjustment flag.  Values are initialised from
+    the standard environment variables on first access and may be
+    overridden through the [omp_set_*] API (see {!module:Api}). *)
+
+type t = {
+  mutable nthreads : int;       (** team size for parallel regions *)
+  mutable dynamic : bool;       (** omp_set_dynamic *)
+  mutable run_sched : Omp_model.Sched.t;  (** OMP_SCHEDULE / omp_set_schedule *)
+  mutable max_active_levels : int;
+  mutable thread_limit : int;
+}
+
+let default_nthreads () =
+  match Sys.getenv_opt "OMP_NUM_THREADS" with
+  | Some s -> (match int_of_string_opt (String.trim s) with
+               | Some n when n > 0 -> n
+               | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let default_sched () =
+  match Sys.getenv_opt "OMP_SCHEDULE" with
+  | Some s -> (match Omp_model.Sched.of_string s with
+               | Some sch -> sch
+               | None -> Omp_model.Sched.Static None)
+  | None -> Omp_model.Sched.Static None
+
+let default_dynamic () =
+  match Sys.getenv_opt "OMP_DYNAMIC" with
+  | Some s ->
+      (match String.lowercase_ascii (String.trim s) with
+       | "true" | "1" | "yes" -> true
+       | _ -> false)
+  | None -> false
+
+let create () = {
+  nthreads = default_nthreads ();
+  dynamic = default_dynamic ();
+  run_sched = default_sched ();
+  max_active_levels = 1;
+  thread_limit = 128;  (* OCaml's maximum domain count *)
+}
+
+(* The global ICV set.  libomp keeps these per device; a single global is
+   enough for one host device. *)
+let global = create ()
+
+let reset () =
+  let fresh = create () in
+  global.nthreads <- fresh.nthreads;
+  global.dynamic <- fresh.dynamic;
+  global.run_sched <- fresh.run_sched;
+  global.max_active_levels <- fresh.max_active_levels;
+  global.thread_limit <- fresh.thread_limit

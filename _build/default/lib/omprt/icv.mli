@@ -1,0 +1,22 @@
+(** Internal control variables (ICVs), per OpenMP 5.2 section 2.
+
+    Initialised from [OMP_NUM_THREADS], [OMP_SCHEDULE] and
+    [OMP_DYNAMIC]; mutated through the [omp_set_*] API
+    (see {!module:Api}). *)
+
+type t = {
+  mutable nthreads : int;       (** team size for parallel regions *)
+  mutable dynamic : bool;
+  mutable run_sched : Omp_model.Sched.t;
+  mutable max_active_levels : int;
+  mutable thread_limit : int;
+}
+
+val create : unit -> t
+(** A fresh ICV set from the environment. *)
+
+val global : t
+(** The process-wide ICV set (libomp keeps these per device). *)
+
+val reset : unit -> unit
+(** Re-read {!global} from the environment. *)

@@ -1,0 +1,24 @@
+(** Source-location identifiers, the analogue of libomp's [ident_t].
+
+    Every [__kmpc_*] entry point in LLVM's OpenMP runtime takes an
+    [ident_t*] describing the source construct that generated the call;
+    the paper's preprocessor synthesises these when it lowers pragmas.
+    We carry the same information so that diagnostics and traces can point
+    back at the pragma in the original Zr source. *)
+
+type t = {
+  file : string;  (** source file the construct came from *)
+  line : int;     (** 1-based line of the sentinel *)
+  col : int;      (** 1-based column of the sentinel *)
+  construct : string;  (** e.g. ["parallel"], ["for static"] *)
+}
+
+let make ?(file = "<unknown>") ?(line = 0) ?(col = 0) construct =
+  { file; line; col; construct }
+
+let unknown = make "unknown"
+
+let pp ppf t =
+  Format.fprintf ppf "%s:%d:%d(%s)" t.file t.line t.col t.construct
+
+let to_string t = Format.asprintf "%a" pp t

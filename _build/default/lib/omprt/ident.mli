@@ -1,0 +1,18 @@
+(** Source-location identifiers, the analogue of libomp's [ident_t]:
+    every [__kmpc_*] call site can carry the location of the pragma
+    that generated it. *)
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  construct : string;  (** e.g. ["parallel"], ["for static"] *)
+}
+
+val make : ?file:string -> ?line:int -> ?col:int -> string -> t
+
+val unknown : t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

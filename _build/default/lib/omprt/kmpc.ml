@@ -1,0 +1,259 @@
+(** The [__kmpc_*] entry points — the surface the preprocessor targets.
+
+    These are the functions the paper's generated code calls (sections
+    III-B and III-C): [__kmpc_fork_call] for parallel regions, the
+    [__kmpc_for_static_*] family for static worksharing loops, and the
+    [__kmpc_dispatch_*] family for dynamic/guided/runtime schedules, plus
+    the synchronisation constructs.  Names drop the [__kmpc_] prefix
+    because they already live in this module, matching how the paper
+    namespaces them under [.omp.internal]. *)
+
+open Omp_model
+
+(** [fork_call ?loc ?num_threads microtask arg] — run [microtask arg] on
+    every thread of a fresh team.  [arg] stands in for the opaque
+    argument-group pointers ([?*anyopaque] in the paper's ABI); the
+    caller packs firstprivate/shared/reduction groups into it. *)
+let fork_call ?loc:_ ?num_threads (microtask : 'a -> unit) (arg : 'a) =
+  Profile.timed Profile.Region (fun () ->
+      Team.fork ?num_threads (fun ~tid:_ -> microtask arg))
+
+let global_thread_num ?loc:_ () = Team.thread_num ()
+
+let barrier ?loc:_ () =
+  Profile.timed Profile.Barrier_wait Team.barrier
+
+(* ------------------------------------------------------------------ *)
+(* Static worksharing: __kmpc_for_static_init / _fini.                 *)
+
+(** Result of {!for_static_init}: the caller's slice of the iteration
+    space in *user* iteration values, with an inclusive upper bound and
+    the stride to advance by between chunks — the same contract as
+    libomp's [__kmpc_for_static_init_4].  [None] when this thread has no
+    iterations. *)
+type static_bounds = { lower : int; upper : int; stride : int }
+
+(** [for_static_init ?chunk ~lo ~hi ~step ()] for the normalised loop
+    [for i = lo; i < hi (or > for negative step); i += step].  Unchunked:
+    one contiguous block per thread, [stride] spans the whole space (one
+    pass).  Chunked: the thread starts at its [tid*chunk]-th iteration and
+    must advance by [stride = chunk * nthreads * step] until past
+    [hi]. *)
+let for_static_init ?loc:_ ?chunk ~lo ~hi ~step () =
+  Profile.tick Profile.Static_loop;
+  let tid = Team.thread_num () and nth = Team.num_threads () in
+  let trips = Ws.trip_count ~lo ~hi ~step () in
+  match chunk with
+  | None | Some 0 ->
+      (match Ws.static_block ~tid ~nthreads:nth ~trips with
+       | None -> None
+       | Some (b, e) ->
+           Some { lower = lo + (b * step);
+                  upper = lo + ((e - 1) * step);
+                  stride = (if trips = 0 then step else trips * step) })
+  | Some c ->
+      if c < 0 then invalid_arg "for_static_init: negative chunk";
+      let first = tid * c in
+      if first >= trips then None
+      else
+        let stop = min trips (first + c) in
+        Some { lower = lo + (first * step);
+               upper = lo + ((stop - 1) * step);
+               stride = c * nth * step }
+
+(** [__kmpc_for_static_fini]: bookkeeping only in libomp; here it simply
+    validates that we are inside a region. *)
+let for_static_fini ?loc:_ () = ignore (Team.current ())
+
+(** Convenience used by generated code and the interpreter: run [body] on
+    every chunk this thread owns under a static schedule, over the
+    normalised range, then hit the joining barrier unless [nowait]. *)
+let static_for ?loc ?chunk ?(nowait = false) ~lo ~hi ~step body =
+  (match for_static_init ?loc ?chunk ~lo ~hi ~step () with
+   | None -> ()
+   | Some { lower; upper; stride } ->
+       (match chunk with
+        | None | Some 0 ->
+            (* single block: iterate [lower..upper] by [step] *)
+            let i = ref lower in
+            if step > 0 then
+              while !i <= upper do body !i; i := !i + step done
+            else
+              while !i >= upper do body !i; i := !i + step done
+        | Some c ->
+            (* chunked: blocks of [c] iterations, advancing by [stride] *)
+            let block = ref lower in
+            let continue_ = ref true in
+            while !continue_ do
+              let i = ref !block in
+              let remaining_ok v =
+                if step > 0 then v < hi else v > hi
+              in
+              let k = ref 0 in
+              while !k < c && remaining_ok !i do
+                body !i;
+                i := !i + step;
+                incr k
+              done;
+              block := !block + stride;
+              if not (remaining_ok !block) then continue_ := false
+            done));
+  for_static_fini ();
+  if not nowait then barrier ()
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic dispatch: __kmpc_dispatch_init / _next / _fini.             *)
+
+let resolve_runtime_sched trips nthreads =
+  match Icv.global.run_sched with
+  | Sched.Dynamic c -> (Ws.Dispatch.Dyn, max 1 c)
+  | Sched.Guided c -> (Ws.Dispatch.Gui, max 1 c)
+  | Sched.Static (Some c) -> (Ws.Dispatch.Dyn, max 1 c)
+  | Sched.Static None | Sched.Runtime | Sched.Auto ->
+      (* Emulate a blocked static split through the dispatcher: equal
+         blocks claimed first-come first-served. *)
+      (Ws.Dispatch.Dyn, max 1 ((trips + nthreads - 1) / max 1 nthreads))
+
+let dispatch_kind trips nthreads = function
+  | Sched.Dynamic c -> (Ws.Dispatch.Dyn, max 1 c)
+  | Sched.Guided c -> (Ws.Dispatch.Gui, max 1 c)
+  | Sched.Runtime -> resolve_runtime_sched trips nthreads
+  | Sched.Static c ->
+      (Ws.Dispatch.Dyn,
+       match c with
+       | Some c -> max 1 c
+       | None -> max 1 ((trips + nthreads - 1) / max 1 nthreads))
+  | Sched.Auto -> (Ws.Dispatch.Dyn, max 1 ((trips + nthreads - 1) / max 1 nthreads))
+
+(** Per-thread handle onto the team's shared dispatcher for one loop. *)
+type dispatcher = {
+  d : Ws.Dispatch.t;
+  lo : int;
+  step : int;
+}
+
+(** [dispatch_init ?loc ~sched ~lo ~hi ~step ()] — join (or create) the
+    team-wide dispatcher for this thread's next dispatch loop.  Mirrors
+    [__kmpc_dispatch_init_4]: every team member calls it with identical
+    bounds and schedule. *)
+let dispatch_init ?loc:_ ~sched ~lo ~hi ~step () =
+  let trips = Ws.trip_count ~lo ~hi ~step () in
+  let nth = Team.num_threads () in
+  match Team.current () with
+  | None ->
+      (* Orphaned worksharing: a team of one. *)
+      let kind, chunk = dispatch_kind trips 1 sched in
+      { d = Ws.Dispatch.create ~kind ~trips ~chunk ~nthreads:1; lo; step }
+  | Some ctx ->
+      let epoch = ctx.loop_epoch in
+      ctx.loop_epoch <- ctx.loop_epoch + 1;
+      let team = ctx.team in
+      Mutex.lock team.dispatch_mutex;
+      let d =
+        match Hashtbl.find_opt team.dispatchers epoch with
+        | Some d -> d
+        | None ->
+            let kind, chunk = dispatch_kind trips nth sched in
+            let d = Ws.Dispatch.create ~kind ~trips ~chunk ~nthreads:nth in
+            Hashtbl.add team.dispatchers epoch d;
+            d
+      in
+      Mutex.unlock team.dispatch_mutex;
+      { d; lo; step }
+
+(** [dispatch_next h] — claim the next chunk, as user-space inclusive
+    bounds [(lower, upper)]; [None] when the loop is exhausted (the
+    contract of [__kmpc_dispatch_next_4] returning 0). *)
+let dispatch_next ?loc:_ (h : dispatcher) =
+  Profile.tick Profile.Dispatch_claim;
+  match Ws.Dispatch.next h.d with
+  | None -> None
+  | Some (b, e) ->
+      Some (h.lo + (b * h.step), h.lo + ((e - 1) * h.step))
+
+let dispatch_fini ?loc:_ (_ : dispatcher) = ()
+
+(** Convenience wrapper from the paper's [.omp.internal] helpers: drain a
+    dispatch loop, applying [body] to each iteration value. *)
+let dispatch_for ?loc ?(nowait = false) ~sched ~lo ~hi ~step body =
+  let h = dispatch_init ?loc ~sched ~lo ~hi ~step () in
+  let rec drain () =
+    match dispatch_next h with
+    | None -> ()
+    | Some (lower, upper) ->
+        let i = ref lower in
+        if step > 0 then
+          while !i <= upper do body !i; i := !i + step done
+        else
+          while !i >= upper do body !i; i := !i + step done;
+        drain ()
+  in
+  drain ();
+  dispatch_fini h;
+  if not nowait then barrier ()
+
+(* ------------------------------------------------------------------ *)
+(* Synchronisation constructs.                                         *)
+
+let critical ?loc:_ ?name f =
+  Profile.timed Profile.Critical_wait (fun () -> Lock.critical ?name f)
+
+(** [master f] — run [f] on thread 0 only (no implied barrier). *)
+let master ?loc:_ f = if Team.thread_num () = 0 then f ()
+
+(** [single_begin ()] — claim this sequence point's [single] construct;
+    [true] in exactly one thread of the team.  Uses the epoch counter
+    scheme: the k-th single a thread meets is claimed by advancing the
+    team's single epoch from k to k+1, which exactly one thread can do.
+    This is the split form generated code uses ([__kmpc_single] /
+    [__kmpc_end_single] in libomp). *)
+let single_begin ?loc:_ () =
+  match Team.current () with
+  | None -> true
+  | Some ctx ->
+      let my_epoch = ctx.single_seen in
+      ctx.single_seen <- ctx.single_seen + 1;
+      let won =
+        Atomic.compare_and_set ctx.team.single_epoch my_epoch (my_epoch + 1)
+      in
+      if won then Profile.tick Profile.Single_claim;
+      won
+
+let single_end ?loc:_ () = ()
+
+(** [single ?nowait f] — run [f] on the first thread to arrive at this
+    construct; implied barrier at the end unless [nowait]. *)
+let single ?loc:_ ?(nowait = false) f =
+  if single_begin () then begin
+    f ();
+    single_end ()
+  end;
+  if not nowait then barrier ()
+
+(* The global lock behind the [atomic] directive's generic fallback
+   (libomp's __kmpc_atomic_start/_end). *)
+let atomic_lock = Mutex.create ()
+let atomic_begin ?loc:_ () = Mutex.lock atomic_lock
+let atomic_end ?loc:_ () = Mutex.unlock atomic_lock
+
+(** [flush] — a sequentially-consistent fence.  OCaml's [Atomic] accesses
+    are already SC, so an explicit fence via a dummy atomic suffices. *)
+let flush_fence = Atomic.make 0
+let flush ?loc:_ () = ignore (Atomic.get flush_fence)
+
+(** [push_num_threads n] — the lowering of a [num_threads] clause: libomp
+    records the request for the *next* fork.  We model it by returning the
+    value for the caller to pass to {!fork_call}; kept for interface
+    fidelity. *)
+let push_num_threads ?loc:_ n = max 1 n
+
+(* ------------------------------------------------------------------ *)
+(* Reductions: the __kmpc_reduce critical-path helpers.  The generated
+   code from the paper instead passes atomic cells (Atomics module); this
+   entry point provides the tree/critical fallback libomp also offers.   *)
+
+(** [reduce ~combine] — serialise [combine] across the team (the
+    critical-section reduction method of [__kmpc_reduce]); the joining
+    barrier is the caller's responsibility, as in libomp. *)
+let reduce ?loc:_ ~(combine : unit -> unit) () =
+  Lock.critical ~name:".omp.reduction" combine

@@ -1,0 +1,95 @@
+(** OpenMP locks and critical sections.
+
+    [omp_lock_t]/[omp_nest_lock_t] equivalents plus the named-critical
+    registry used by [__kmpc_critical].  Critical sections with the same
+    name share one mutex program-wide, unnamed criticals share the
+    anonymous one, exactly as the specification requires. *)
+
+type t = Mutex.t
+
+let create () : t = Mutex.create ()
+let acquire (l : t) = Mutex.lock l
+let release (l : t) = Mutex.unlock l
+let try_acquire (l : t) = Mutex.try_lock l
+
+(** Nestable lock: may be re-acquired by the owning thread; released when
+    the acquisition count returns to zero.  Owner identity is the pair of
+    domain id and OpenMP thread id so that nested teams on one domain are
+    still distinguished. *)
+module Nest = struct
+  type owner = { domain : int; tid : int }
+
+  type t = {
+    mutex : Mutex.t;
+    cond : Condition.t;
+    mutable owner : owner option;
+    mutable depth : int;
+  }
+
+  let create () =
+    { mutex = Mutex.create (); cond = Condition.create ();
+      owner = None; depth = 0 }
+
+  let self () =
+    { domain = (Domain.self () :> int); tid = Team.thread_num () }
+
+  let acquire t =
+    let me = self () in
+    Mutex.lock t.mutex;
+    (match t.owner with
+     | Some o when o = me -> t.depth <- t.depth + 1
+     | _ ->
+         while t.owner <> None do Condition.wait t.cond t.mutex done;
+         t.owner <- Some me;
+         t.depth <- 1);
+    Mutex.unlock t.mutex
+
+  let release t =
+    let me = self () in
+    Mutex.lock t.mutex;
+    (match t.owner with
+     | Some o when o = me ->
+         t.depth <- t.depth - 1;
+         if t.depth = 0 then begin
+           t.owner <- None;
+           Condition.signal t.cond
+         end
+     | _ ->
+         Mutex.unlock t.mutex;
+         invalid_arg "Lock.Nest.release: not the owner");
+    Mutex.unlock t.mutex
+
+  (** Current acquisition depth if held by the caller, 0 otherwise. *)
+  let depth t =
+    Mutex.lock t.mutex;
+    let d = if t.owner = Some (self ()) then t.depth else 0 in
+    Mutex.unlock t.mutex;
+    d
+end
+
+(* ------------------------------------------------------------------ *)
+(* Named critical sections.                                            *)
+
+let registry : (string, Mutex.t) Hashtbl.t = Hashtbl.create 16
+let registry_mutex = Mutex.create ()
+
+let critical_lock name =
+  Mutex.lock registry_mutex;
+  let l =
+    match Hashtbl.find_opt registry name with
+    | Some l -> l
+    | None ->
+        let l = Mutex.create () in
+        Hashtbl.add registry name l;
+        l
+  in
+  Mutex.unlock registry_mutex;
+  l
+
+let anonymous = ".omp.critical.anonymous"
+
+(** [critical ?name f] runs [f] under the program-wide mutex for [name]. *)
+let critical ?(name = anonymous) f =
+  let l = critical_lock name in
+  Mutex.lock l;
+  Fun.protect ~finally:(fun () -> Mutex.unlock l) f

@@ -1,0 +1,38 @@
+(** OpenMP locks and critical sections.
+
+    [omp_lock_t]/[omp_nest_lock_t] equivalents plus the named-critical
+    registry used by [__kmpc_critical]: critical sections with the same
+    name share one mutex program-wide. *)
+
+type t = Mutex.t
+
+val create : unit -> t
+val acquire : t -> unit
+val release : t -> unit
+val try_acquire : t -> bool
+
+(** Nestable lock: re-acquirable by the owning thread, released when
+    the acquisition count returns to zero. *)
+module Nest : sig
+  type t
+
+  val create : unit -> t
+  val acquire : t -> unit
+
+  val release : t -> unit
+  (** @raise Invalid_argument when the caller is not the owner. *)
+
+  val depth : t -> int
+  (** Current acquisition depth if held by the caller, 0 otherwise. *)
+end
+
+val critical_lock : string -> Mutex.t
+(** The program-wide mutex for a named critical section (created on
+    first use; idempotent). *)
+
+val anonymous : string
+(** The name unnamed criticals share. *)
+
+val critical : ?name:string -> (unit -> 'a) -> 'a
+(** [critical ?name f] — run [f] under the mutex for [name] (the
+    anonymous critical by default), releasing on exceptions. *)

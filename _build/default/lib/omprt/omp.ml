@@ -1,0 +1,54 @@
+(** The real execution engine: {!Omp_intf.S} on OCaml domains.
+
+    This is a thin veneer over the [__kmpc_*] layer ({!module:Kmpc}), so
+    that code written against the portable signature exercises exactly
+    the entry points the preprocessor-generated code uses.  All model
+    costs are ignored; closures execute for real. *)
+
+open Omp_model
+
+let is_simulated = false
+
+let parallel ?num_threads body =
+  Kmpc.fork_call ?num_threads (fun () -> body ()) ()
+
+let thread_num = Api.get_thread_num
+let num_threads = Api.get_num_threads
+let barrier () = Kmpc.barrier ()
+let wtime = Api.get_wtime
+let master f = Kmpc.master f
+let single ?nowait f = Kmpc.single ?nowait f
+let critical ?name ?cost:_ f = Kmpc.critical ?name f
+let atomic ?cost:_ f = Lock.critical ~name:".omp.atomic" f
+let work ?cost:_ f = f ()
+
+let ws_for ?(sched = Sched.Static None) ?nowait ?working_set:_ ?chunk_cost:_
+    ~lo ~hi body =
+  match sched with
+  | Sched.Static None ->
+      (match Kmpc.for_static_init ~lo ~hi ~step:1 () with
+       | None -> ()
+       | Some { lower; upper; _ } -> body lower (upper + 1));
+      Kmpc.for_static_fini ();
+      if not (Option.value nowait ~default:false) then barrier ()
+  | Sched.Static (Some c) ->
+      (* chunked static: walk this thread's round-robin chunks *)
+      let nth = num_threads () and tid = thread_num () in
+      let trips = max 0 (hi - lo) in
+      List.iter
+        (fun (b, e) -> body (lo + b) (lo + e))
+        (Ws.static_chunks ~tid ~nthreads:nth ~trips ~chunk:c);
+      Kmpc.for_static_fini ();
+      if not (Option.value nowait ~default:false) then barrier ()
+  | Sched.Dynamic _ | Sched.Guided _ | Sched.Runtime | Sched.Auto ->
+      let h = Kmpc.dispatch_init ~sched ~lo ~hi ~step:1 () in
+      let rec drain () =
+        match Kmpc.dispatch_next h with
+        | None -> ()
+        | Some (lower, upper) ->
+            body lower (upper + 1);
+            drain ()
+      in
+      drain ();
+      Kmpc.dispatch_fini h;
+      if not (Option.value nowait ~default:false) then barrier ()

@@ -1,0 +1,70 @@
+(** The engine-independent OpenMP programming surface.
+
+    Benchmark kernels (NPB CG/EP/IS) and the examples are written once
+    against this signature and instantiated twice: over {!module:Omp}
+    (real execution on OCaml domains, used for correctness runs and unit
+    tests) and over [Simrt.make] (timing-only execution on the simulated
+    ARCHER2 node, used to regenerate the paper's tables and figures on a
+    machine with too few cores to measure them).
+
+    The [?cost]/[?chunk_cost] parameters carry the performance-model
+    annotations; the real engine ignores them and runs the closures,
+    while the simulator charges them to the virtual clock and skips the
+    closures.  Consequently code whose *control flow* must be identical
+    in both modes (loop structure, numbers of barriers) lives outside the
+    closures, and code that merely computes values lives inside them. *)
+
+module type S = sig
+  val is_simulated : bool
+  (** [true] for the discrete-event engine — kernels can use it to skip
+      verification, which is only meaningful when closures execute. *)
+
+  val parallel : ?num_threads:int -> (unit -> unit) -> unit
+  (** A [parallel] region: run the body on every thread of a team. *)
+
+  val thread_num : unit -> int
+  val num_threads : unit -> int
+
+  val barrier : unit -> unit
+
+  val wtime : unit -> float
+  (** Wall-clock (real engine) or virtual (simulated) seconds. *)
+
+  val master : (unit -> unit) -> unit
+  (** Thread 0 only; no implied barrier. *)
+
+  val single : ?nowait:bool -> (unit -> unit) -> unit
+  (** First arriver only; implied barrier unless [nowait].  The closure
+      runs in both engines (it usually updates control state). *)
+
+  val critical : ?name:string -> ?cost:Omp_model.Cost.t -> (unit -> unit) -> unit
+  (** Mutual exclusion across the team (and program).  The simulator
+      serialises contenders and charges [cost]; the closure runs only on
+      the real engine. *)
+
+  val atomic : ?cost:Omp_model.Cost.t -> (unit -> unit) -> unit
+  (** An [atomic] update; closure contract as for {!critical}. *)
+
+  val work : ?cost:Omp_model.Cost.t -> (unit -> unit) -> unit
+  (** Straight-line work: executed for value on the real engine, charged
+      as [cost] virtual time on the simulator. *)
+
+  val ws_for :
+    ?sched:Omp_model.Sched.t ->
+    ?nowait:bool ->
+    ?working_set:float ->
+    ?chunk_cost:(int -> int -> Omp_model.Cost.t) ->
+    lo:int -> hi:int ->
+    (int -> int -> unit) ->
+    unit
+  (** Worksharing loop over the half-open range [\[lo, hi)] with unit
+      step.  The body receives claimed chunks as [(chunk_lo, chunk_hi)]
+      subranges.  [chunk_cost lo hi] is the model cost of one chunk;
+      [working_set], in bytes, is the total data the loop re-traverses
+      across repeated executions — it enables the simulator's cache-
+      capacity correction (the mechanism behind the paper's super-linear
+      points).  Implied joining barrier unless [nowait]. *)
+end
+
+(** Witness for passing engines around at run time. *)
+type engine = (module S)

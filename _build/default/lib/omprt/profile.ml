@@ -1,0 +1,125 @@
+(** Runtime profiling — the paper's "further work" delivered.
+
+    The paper's section VI proposes instrumenting applications with
+    profiler calls from inside the compiler, "providing functionality
+    similar to that of gprof".  This module is that facility for our
+    runtime: when enabled, every OpenMP construct the generated code
+    executes is timed and aggregated per construct kind — parallel
+    regions, barrier waits, critical-section waits, dispatch claims and
+    single claims — and {!report} renders the gprof-style summary.
+
+    Profiling is off by default and costs one atomic load per construct
+    when disabled.  Aggregation uses the runtime's own atomics, so
+    enabling it inside parallel regions is safe. *)
+
+type construct =
+  | Region          (** a whole [__kmpc_fork_call] *)
+  | Barrier_wait
+  | Critical_wait
+  | Single_claim
+  | Dispatch_claim  (** one [__kmpc_dispatch_next] *)
+  | Static_loop     (** one [__kmpc_for_static_init] *)
+
+let all_constructs =
+  [ Region; Barrier_wait; Critical_wait; Single_claim; Dispatch_claim;
+    Static_loop ]
+
+let construct_name = function
+  | Region -> "parallel region"
+  | Barrier_wait -> "barrier wait"
+  | Critical_wait -> "critical wait"
+  | Single_claim -> "single claim"
+  | Dispatch_claim -> "dispatch_next claim"
+  | Static_loop -> "static loop init"
+
+type agg = {
+  count : Atomics.Int.t;
+  total : Atomics.Float.t;  (* seconds *)
+  slowest : Atomics.Float.t;
+}
+
+let fresh_agg () = {
+  count = Atomics.Int.make 0;
+  total = Atomics.Float.make 0.;
+  slowest = Atomics.Float.make 0.;
+}
+
+let enabled = Atomic.make false
+
+let aggs = List.map (fun c -> (c, fresh_agg ())) all_constructs
+
+let agg_of c = List.assq c aggs
+
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+let is_enabled () = Atomic.get enabled
+
+let reset () =
+  List.iter
+    (fun (_, a) ->
+      Atomics.Int.set a.count 0;
+      Atomics.Float.set a.total 0.;
+      Atomics.Float.set a.slowest 0.)
+    aggs
+
+(** Record one completed construct of duration [dt] seconds. *)
+let record c dt =
+  let a = agg_of c in
+  Atomics.Int.add a.count 1;
+  Atomics.Float.add a.total dt;
+  Atomics.Float.max a.slowest dt
+
+(** [timed c f] — run [f], attributing its duration to [c] when
+    profiling is on. *)
+let timed c f =
+  if Atomic.get enabled then begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () -> record c (Unix.gettimeofday () -. t0))
+      f
+  end
+  else f ()
+
+(** Count-only event (used where timing each claim would distort the
+    measurement more than it is worth). *)
+let tick c = if Atomic.get enabled then Atomics.Int.add (agg_of c).count 1
+
+type snapshot = {
+  construct : construct;
+  count : int;
+  total : float;
+  mean : float;
+  slowest : float;
+}
+
+let snapshot () =
+  List.filter_map
+    (fun ((c : construct), (a : agg)) ->
+      let count = Atomics.Int.get a.count in
+      if count = 0 then None
+      else
+        let total = Atomics.Float.get a.total in
+        Some
+          { construct = c; count; total;
+            mean = total /. float_of_int count;
+            slowest = Atomics.Float.get a.slowest })
+    aggs
+
+(** The gprof-style table. *)
+let report () =
+  let rows = snapshot () in
+  if rows = [] then "profile: no OpenMP constructs recorded\n"
+  else begin
+    let b = Buffer.create 512 in
+    Buffer.add_string b
+      (Printf.sprintf "%-20s %10s %12s %12s %12s\n" "construct" "count"
+         "total (s)" "mean (us)" "max (us)");
+    List.iter
+      (fun r ->
+        Buffer.add_string b
+          (Printf.sprintf "%-20s %10d %12.6f %12.2f %12.2f\n"
+             (construct_name r.construct)
+             r.count r.total (1e6 *. r.mean) (1e6 *. r.slowest)))
+      (List.sort (fun a b -> compare b.total a.total) rows);
+    Buffer.contents b
+  end

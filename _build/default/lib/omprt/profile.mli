@@ -1,0 +1,47 @@
+(** Runtime profiling — the paper's "further work" delivered: a
+    gprof-style per-construct summary of where OpenMP time goes.
+
+    Off by default (one atomic load per construct when disabled); safe
+    to enable around parallel regions. *)
+
+type construct =
+  | Region          (** a whole [__kmpc_fork_call] *)
+  | Barrier_wait
+  | Critical_wait
+  | Single_claim
+  | Dispatch_claim  (** one [__kmpc_dispatch_next] *)
+  | Static_loop     (** one [__kmpc_for_static_init] *)
+
+val all_constructs : construct list
+
+val construct_name : construct -> string
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero all aggregates. *)
+
+val record : construct -> float -> unit
+(** Record one completed construct of the given duration (seconds). *)
+
+val timed : construct -> (unit -> 'a) -> 'a
+(** Run the closure, attributing its duration when profiling is on. *)
+
+val tick : construct -> unit
+(** Count-only event. *)
+
+type snapshot = {
+  construct : construct;
+  count : int;
+  total : float;    (** seconds *)
+  mean : float;
+  slowest : float;
+}
+
+val snapshot : unit -> snapshot list
+(** Aggregates recorded so far, constructs with zero count omitted. *)
+
+val report : unit -> string
+(** The rendered gprof-style table, sorted by total time. *)

@@ -1,0 +1,116 @@
+(** Reduction operators, their identity elements, and atomic combining.
+
+    The preprocessor synthesises, for every [reduction(op: x)] clause, a
+    thread-local accumulator initialised with the operator's identity
+    (required by the OpenMP standard, as the paper notes in III-B1) and a
+    final atomic combine into the shared cell.  Multiplication and the
+    logical operators use the CAS loop from the paper's Listing 6 via
+    {!module:Atomics}. *)
+
+type op =
+  | Add | Sub | Mul
+  | Min | Max
+  | Band | Bor | Bxor
+  | Land | Lor
+
+let all_ops = [ Add; Sub; Mul; Min; Max; Band; Bor; Bxor; Land; Lor ]
+
+let to_string = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*"
+  | Min -> "min" | Max -> "max"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^"
+  | Land -> "and" | Lor -> "or"
+
+let of_string = function
+  | "+" -> Some Add | "-" -> Some Sub | "*" -> Some Mul
+  | "min" -> Some Min | "max" -> Some Max
+  | "&" -> Some Band | "|" -> Some Bor | "^" -> Some Bxor
+  | "and" | "&&" -> Some Land | "or" | "||" -> Some Lor
+  | _ -> None
+
+(* Identity elements, per OpenMP 5.2 table 5.7. *)
+
+let float_init = function
+  | Add | Sub -> 0.
+  | Mul -> 1.
+  | Min -> infinity
+  | Max -> neg_infinity
+  | Band | Bor | Bxor | Land | Lor ->
+      invalid_arg "Reduction.float_init: bitwise/logical op on float"
+
+let int_init = function
+  | Add | Sub -> 0
+  | Mul -> 1
+  | Min -> max_int
+  | Max -> min_int
+  | Band -> -1  (* all bits set *)
+  | Bor | Bxor -> 0
+  | Land | Lor -> invalid_arg "Reduction.int_init: logical op on int"
+
+let bool_init = function
+  | Land -> true
+  | Lor -> false
+  | _ -> invalid_arg "Reduction.bool_init: non-logical op on bool"
+
+(* Sequential combining functions (used to fold thread partials and by
+   the interpreter). *)
+
+let combine_float op a b =
+  match op with
+  | Add -> a +. b
+  | Sub -> a +. b  (* OpenMP: '-' reduces with + over partials *)
+  | Mul -> a *. b
+  | Min -> Float.min a b
+  | Max -> Float.max a b
+  | Band | Bor | Bxor | Land | Lor ->
+      invalid_arg "Reduction.combine_float: bitwise/logical op on float"
+
+let combine_int op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a + b
+  | Mul -> a * b
+  | Min -> min a b
+  | Max -> max a b
+  | Band -> a land b
+  | Bor -> a lor b
+  | Bxor -> a lxor b
+  | Land | Lor -> invalid_arg "Reduction.combine_int: logical op on int"
+
+let combine_bool op a b =
+  match op with
+  | Land -> a && b
+  | Lor -> a || b
+  | _ -> invalid_arg "Reduction.combine_bool: non-logical op on bool"
+
+(* Atomic combining into shared cells — what the outlined function does
+   on exit.  Whether the combine is a native fetch-and-op or a CAS loop
+   is decided inside Atomics, mirroring the paper's Zig constraints. *)
+
+let atomic_combine_float op (cell : Atomics.Float.t) v =
+  match op with
+  | Add -> Atomics.Float.add cell v
+  | Sub -> Atomics.Float.add cell v
+  | Mul -> Atomics.Float.mul cell v
+  | Min -> Atomics.Float.min cell v
+  | Max -> Atomics.Float.max cell v
+  | Band | Bor | Bxor | Land | Lor ->
+      invalid_arg "Reduction.atomic_combine_float: bad op"
+
+let atomic_combine_int op (cell : Atomics.Int.t) v =
+  match op with
+  | Add -> Atomics.Int.add cell v
+  | Sub -> Atomics.Int.add cell v
+  | Mul -> Atomics.Int.mul cell v
+  | Min -> Atomics.Int.min cell v
+  | Max -> Atomics.Int.max cell v
+  | Band -> Atomics.Int.band cell v
+  | Bor -> Atomics.Int.bor cell v
+  | Bxor -> Atomics.Int.bxor cell v
+  | Land | Lor -> invalid_arg "Reduction.atomic_combine_int: logical op on int"
+
+let atomic_combine_bool op (cell : Atomics.Bool.t) v =
+  match op with
+  | Land -> Atomics.Bool.logical_and cell v
+  | Lor -> Atomics.Bool.logical_or cell v
+  | _ -> invalid_arg "Reduction.atomic_combine_bool: bad op"

@@ -1,0 +1,35 @@
+(** Reduction operators, their identity elements, and atomic combining.
+
+    Thread-local accumulators are initialised with the operator's
+    identity (OpenMP 5.2 table 5.7) and combined into shared atomic
+    cells on region exit; which combines are native atomics and which
+    are CAS loops is decided in {!module:Atomics}, mirroring the
+    paper's Zig constraints. *)
+
+type op =
+  | Add | Sub | Mul
+  | Min | Max
+  | Band | Bor | Bxor
+  | Land | Lor
+
+val all_ops : op list
+
+val to_string : op -> string
+val of_string : string -> op option
+
+val float_init : op -> float
+(** @raise Invalid_argument for bitwise/logical operators. *)
+
+val int_init : op -> int
+(** @raise Invalid_argument for logical operators. *)
+
+val bool_init : op -> bool
+(** @raise Invalid_argument for non-logical operators. *)
+
+val combine_float : op -> float -> float -> float
+val combine_int : op -> int -> int -> int
+val combine_bool : op -> bool -> bool -> bool
+
+val atomic_combine_float : op -> Atomics.Float.t -> float -> unit
+val atomic_combine_int : op -> Atomics.Int.t -> int -> unit
+val atomic_combine_bool : op -> Atomics.Bool.t -> bool -> unit

@@ -1,0 +1,132 @@
+(** Thread teams and the per-thread execution context.
+
+    A team is created by each [__kmpc_fork_call] (the lowering target for
+    a [parallel] pragma) and lives for the duration of the region.  Worker
+    threads are OCaml domains; the encountering thread becomes thread 0 of
+    the new team, as the OpenMP execution model requires.  The current
+    context is carried in domain-local storage so that [omp_get_thread_num]
+    and friends work from arbitrary call depth, and contexts form a chain
+    through [parent] to support nested regions. *)
+
+type t = {
+  team_id : int;
+  nthreads : int;
+  barrier : Barrier.t;
+  (* Dispatchers for dynamic/guided loops, keyed by loop epoch: the N-th
+     dispatch loop a thread enters uses the dispatcher at key N.  Keeping
+     a table rather than a single slot lets [nowait] loops overlap — a
+     fast thread may initialise loop N+1 while slow ones still drain
+     loop N, which is what libomp's dispatch buffers are for. *)
+  dispatchers : (int, Ws.Dispatch.t) Hashtbl.t;
+  dispatch_mutex : Mutex.t;
+  (* Monotone counter of [single] constructs already claimed (see
+     {!Kmpc.single}). *)
+  single_epoch : int Atomic.t;
+  (* Per-construct reduction scratch: index -> boxed accumulator.  Used by
+     the generated code path; the high-level API keeps its own state. *)
+  reduce_mutex : Mutex.t;
+}
+
+and ctx = {
+  team : t;
+  tid : int;
+  parent : ctx option;
+  mutable loop_epoch : int;   (** this thread's count of dispatch loops entered *)
+  mutable single_seen : int;  (** this thread's count of single constructs *)
+}
+
+let next_team_id = Atomic.make 0
+
+let create_team nthreads =
+  { team_id = Atomic.fetch_and_add next_team_id 1;
+    nthreads;
+    barrier = Barrier.create nthreads;
+    dispatchers = Hashtbl.create 8;
+    dispatch_mutex = Mutex.create ();
+    single_epoch = Atomic.make 0;
+    reduce_mutex = Mutex.create () }
+
+(* ------------------------------------------------------------------ *)
+(* Current context, in domain-local storage.                           *)
+
+let key : ctx option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let current () = Domain.DLS.get key
+
+let set_current c = Domain.DLS.set key c
+
+(** Thread id within the innermost enclosing parallel region (0 outside
+    any region, matching [omp_get_thread_num]). *)
+let thread_num () =
+  match current () with None -> 0 | Some c -> c.tid
+
+(** Team size of the innermost region (1 outside). *)
+let num_threads () =
+  match current () with None -> 1 | Some c -> c.team.nthreads
+
+let in_parallel () =
+  match current () with
+  | None -> false
+  | Some c -> c.team.nthreads > 1
+
+let level () =
+  let rec depth acc = function
+    | None -> acc
+    | Some c -> depth (acc + 1) c.parent
+  in
+  depth 0 (current ())
+
+(* ------------------------------------------------------------------ *)
+(* Fork/join.                                                          *)
+
+exception Worker_failure of int * exn
+
+(** [fork ?num_threads body] implements [__kmpc_fork_call]: create a team,
+    run [body ~tid] on every member (thread 0 is the encountering thread,
+    the rest are fresh domains), and join.  An exception in any worker is
+    re-raised in the encountering thread after all workers have been
+    joined, wrapped in {!Worker_failure}. *)
+let fork ?num_threads (body : tid:int -> unit) =
+  let nt =
+    match num_threads with
+    | Some n when n > 0 -> n
+    | Some _ -> invalid_arg "Team.fork: num_threads must be positive"
+    | None -> Icv.global.nthreads
+  in
+  let parent = current () in
+  let team = create_team nt in
+  let run tid () =
+    let ctx = { team; tid; parent; loop_epoch = 0; single_seen = 0 } in
+    set_current (Some ctx);
+    Fun.protect ~finally:(fun () -> set_current parent) (fun () -> body ~tid)
+  in
+  if nt = 1 then run 0 ()
+  else begin
+    let workers =
+      Array.init (nt - 1) (fun i -> Domain.spawn (run (i + 1)))
+    in
+    let master_result =
+      match run 0 () with
+      | () -> Ok ()
+      | exception e -> Error (0, e)
+    in
+    let failure = ref None in
+    Array.iteri
+      (fun i d ->
+        match Domain.join d with
+        | () -> ()
+        | exception e -> if !failure = None then failure := Some (i + 1, e))
+      workers;
+    (match master_result with
+     | Error (tid, e) -> raise (Worker_failure (tid, e))
+     | Ok () -> ());
+    match !failure with
+    | Some (tid, e) -> raise (Worker_failure (tid, e))
+    | None -> ()
+  end
+
+(** The team barrier for the current context; a no-op outside a region. *)
+let barrier () =
+  match current () with
+  | None -> ()
+  | Some c -> ignore (Barrier.wait c.team.barrier)

@@ -1,0 +1,120 @@
+(** Worksharing partition arithmetic.
+
+    Pure functions shared by the real runtime, the simulator and the
+    tests.  Loops are normalised to the half-open integer range
+    [\[lo, hi)] with a positive or negative [step]; this matches how the
+    paper extracts bounds from a Zig [while] loop (section III-B2: lower
+    bound from the counter's initial value, upper bound from the
+    right-hand side of the comparison, increment from the continuation
+    expression). *)
+
+(** Number of iterations of the normalised loop [for i = lo; i cmp hi; i += step].
+    [inclusive] corresponds to [<=]/[>=] comparisons. *)
+let trip_count ?(inclusive = false) ~lo ~hi ~step () =
+  if step = 0 then invalid_arg "Ws.trip_count: zero step";
+  let hi = if inclusive then (if step > 0 then hi + 1 else hi - 1) else hi in
+  if step > 0 then
+    if lo >= hi then 0 else (hi - lo + step - 1) / step
+  else
+    if lo <= hi then 0 else (lo - hi + (-step) - 1) / (-step)
+
+(** [static_block ~tid ~nthreads ~trips] is the contiguous block of the
+    iteration space [\[0, trips)] owned by thread [tid] under the
+    unchunked static schedule, as libomp's [__kmp_for_static_init]
+    computes it: the first [trips mod nthreads] threads get
+    [ceil(trips/nthreads)] iterations, the rest get the floor.  Returns
+    [None] when the thread has no work. *)
+let static_block ~tid ~nthreads ~trips =
+  if nthreads <= 0 then invalid_arg "Ws.static_block: nthreads <= 0";
+  if tid < 0 || tid >= nthreads then invalid_arg "Ws.static_block: bad tid";
+  if trips <= 0 then None
+  else begin
+    let small = trips / nthreads in
+    let extra = trips mod nthreads in
+    let size = if tid < extra then small + 1 else small in
+    if size = 0 then None
+    else begin
+      let start =
+        if tid < extra then tid * (small + 1)
+        else (extra * (small + 1)) + ((tid - extra) * small)
+      in
+      Some (start, start + size)
+    end
+  end
+
+(** All chunks of thread [tid] under [static,chunk]: round-robin blocks of
+    [chunk] iterations starting with thread 0.  Returned in execution
+    order as [(start, stop)] pairs over [\[0, trips)]. *)
+let static_chunks ~tid ~nthreads ~trips ~chunk =
+  if chunk <= 0 then invalid_arg "Ws.static_chunks: chunk <= 0";
+  if nthreads <= 0 then invalid_arg "Ws.static_chunks: nthreads <= 0";
+  let rec collect acc start =
+    if start >= trips then List.rev acc
+    else
+      let stop = min trips (start + chunk) in
+      collect ((start, stop) :: acc) (start + (chunk * nthreads))
+  in
+  collect [] (tid * chunk)
+
+(** Convert a block over the canonical space [\[0, trips)] back to the
+    user's iteration values: iteration [k] corresponds to [lo + k*step]. *)
+let denormalise ~lo ~step (start, stop) =
+  if step > 0 then (lo + (start * step), lo + (stop * step))
+  else (lo + (start * step), lo + (stop * step))
+
+(** Guided-schedule chunk for a loop with [remaining] iterations on a team
+    of [nthreads], with minimum chunk [chunk].  libomp's iterative guided
+    rule: half the per-thread share of what remains, never below the
+    requested minimum (except for the final chunk). *)
+let guided_next_chunk ~nthreads ~chunk ~remaining =
+  if remaining <= 0 then 0
+  else
+    let proposal = (remaining + (2 * nthreads) - 1) / (2 * nthreads) in
+    min remaining (max chunk proposal)
+
+(* ------------------------------------------------------------------ *)
+(** Shared dispatcher state for [dynamic]/[guided]/[runtime] loops — the
+    engine behind [__kmpc_dispatch_next].  One instance is shared by the
+    whole team; [next] is safe to call concurrently. *)
+module Dispatch = struct
+  type kind = Dyn | Gui
+
+  type t = {
+    kind : kind;
+    trips : int;           (** normalised trip count *)
+    chunk : int;           (** chunk parameter from the schedule clause *)
+    nthreads : int;
+    cursor : int Atomic.t; (** first unclaimed iteration *)
+  }
+
+  let create ~kind ~trips ~chunk ~nthreads =
+    if chunk <= 0 then invalid_arg "Dispatch.create: chunk <= 0";
+    { kind; trips; chunk; nthreads; cursor = Atomic.make 0 }
+
+  (** Claim the next chunk; [None] once the iteration space is exhausted.
+      Dynamic claims fixed-size chunks with one fetch-and-add; guided
+      sizes each claim from the remaining work with a CAS loop. *)
+  let next t =
+    match t.kind with
+    | Dyn ->
+        let start = Atomic.fetch_and_add t.cursor t.chunk in
+        if start >= t.trips then None
+        else Some (start, min t.trips (start + t.chunk))
+    | Gui ->
+        let rec attempt () =
+          let start = Atomic.get t.cursor in
+          if start >= t.trips then None
+          else
+            let size =
+              guided_next_chunk ~nthreads:t.nthreads ~chunk:t.chunk
+                ~remaining:(t.trips - start)
+            in
+            let stop = min t.trips (start + size) in
+            if Atomic.compare_and_set t.cursor start stop then
+              Some (start, stop)
+            else attempt ()
+        in
+        attempt ()
+
+  let remaining t = max 0 (t.trips - Atomic.get t.cursor)
+end

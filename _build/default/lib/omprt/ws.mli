@@ -1,0 +1,50 @@
+(** Worksharing partition arithmetic.
+
+    Pure functions shared by the real runtime, the simulator and the
+    tests.  Loops are normalised to the half-open range [\[lo, hi)] with
+    a nonzero [step], matching how the paper extracts bounds from a Zig
+    [while] loop (section III-B2). *)
+
+val trip_count :
+  ?inclusive:bool -> lo:int -> hi:int -> step:int -> unit -> int
+(** Iterations of the normalised loop; [inclusive] for [<=]/[>=]
+    comparisons.  @raise Invalid_argument on a zero step. *)
+
+val static_block : tid:int -> nthreads:int -> trips:int -> (int * int) option
+(** The contiguous block of [\[0, trips)] owned by [tid] under the
+    unchunked static schedule (libomp's balanced split: sizes differ by
+    at most one).  [None] when the thread has no work. *)
+
+val static_chunks :
+  tid:int -> nthreads:int -> trips:int -> chunk:int -> (int * int) list
+(** Round-robin chunks owned by [tid] under [static,chunk], in
+    execution order. *)
+
+val denormalise : lo:int -> step:int -> int * int -> int * int
+(** Map a block over [\[0, trips)] back to user iteration values. *)
+
+val guided_next_chunk : nthreads:int -> chunk:int -> remaining:int -> int
+(** libomp's iterative guided rule: half the per-thread share of the
+    remaining work, never below [chunk] (except the final chunk). *)
+
+(** Shared dispatcher for [dynamic]/[guided] loops — the engine behind
+    [__kmpc_dispatch_next].  One instance is shared by the whole team;
+    {!Dispatch.next} is safe to call concurrently. *)
+module Dispatch : sig
+  type kind = Dyn | Gui
+
+  type t = {
+    kind : kind;
+    trips : int;
+    chunk : int;
+    nthreads : int;
+    cursor : int Atomic.t;  (** first unclaimed iteration *)
+  }
+
+  val create : kind:kind -> trips:int -> chunk:int -> nthreads:int -> t
+
+  val next : t -> (int * int) option
+  (** Claim the next chunk over [\[0, trips)]; [None] once exhausted. *)
+
+  val remaining : t -> int
+end

@@ -1,0 +1,1 @@
+lib/preproc/loops.ml: Ast Buffer Directive List Names Omp_model Ompfront Outline Packed Parser Printf Source Synth Token Zr

@@ -1,0 +1,1 @@
+lib/preproc/names.ml: Ast List Set String Zr

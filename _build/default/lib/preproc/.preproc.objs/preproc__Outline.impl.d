@@ -1,0 +1,1 @@
+lib/preproc/outline.ml: Ast Buffer List Names Ompfront Parser Printf Source String Synth Token Zr

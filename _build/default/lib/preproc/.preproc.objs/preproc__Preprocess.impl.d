@@ -1,0 +1,1 @@
+lib/preproc/preprocess.ml: Ast List Loops Outline Parser Printf Source Sync Zr

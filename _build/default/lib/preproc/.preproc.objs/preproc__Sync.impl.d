@@ -1,0 +1,1 @@
+lib/preproc/sync.ml: Ast Directive List Names Ompfront Packed Parser Printf Source String Synth Zr

@@ -1,0 +1,1 @@
+lib/preproc/synth.ml: Array Ast Buffer List Omp_model Ompfront Printf Source String Token Zr

@@ -1,0 +1,282 @@
+(** Pass: worksharing loops → [__kmpc_for_static_*] / [__kmpc_dispatch_*].
+
+    Reproduces the paper's section III-B2.  The bounds are recovered
+    syntactically from the Zig-style [while] loop: the lower bound is
+    the counter's value on entry, the upper bound is the right-hand side
+    of the comparison, the comparison operator decides inclusivity, and
+    the increment comes from the right-hand side of the compound
+    assignment in the continuation expression.  Static unchunked loops
+    lower to the [for_static_init/fini] pair; chunked static, dynamic,
+    guided and runtime schedules lower to the dispatcher protocol
+    ([dispatch_init]/[dispatch_next]).
+
+    The loop counter is always privatised into a fresh [__omp_iv]
+    variable, and loop-level [reduction] clauses create thread-local
+    accumulators combined into the original variable under the
+    reduction critical section — the temporaries "may not share their
+    names with the shared variable they are being reduced into"
+    (III-B3), hence the [__omp_red_] prefix. *)
+
+open Zr
+
+open Ompfront
+
+let combine_expr op target tmp =
+  match op with
+  | Directive.Radd | Directive.Rsub ->
+      Printf.sprintf "%s = %s + %s;" target target tmp
+  | Directive.Rmul -> Printf.sprintf "%s = %s * %s;" target target tmp
+  | Directive.Rmin -> Printf.sprintf "%s = __omp_min(%s, %s);" target target tmp
+  | Directive.Rmax -> Printf.sprintf "%s = __omp_max(%s, %s);" target target tmp
+
+type loop_parts = {
+  counter_base : string;   (* identifier at the heart of the condition *)
+  counter_is_ptr : bool;
+  upper : int;             (* node: RHS of the comparison *)
+  inclusive : bool;
+  cont : int;              (* node: continuation assignment *)
+  step_text : string;      (* step expression, sign included *)
+  body : int;              (* node: loop body block *)
+}
+
+let decompose (c : Synth.ctx) dir wh : loop_parts =
+  let ast = c.ast in
+  let fail_at node fmt =
+    Source.error ast.Ast.source
+      (Ast.token ast (Ast.node ast node).Ast.main_token).Token.start
+      fmt
+  in
+  let wn = Ast.node ast wh in
+  let cond = Ast.node ast wn.Ast.lhs in
+  (if cond.Ast.tag <> Ast.Bin_op then
+     fail_at dir "worksharing loop: condition must be a comparison");
+  let optok = (Ast.token ast cond.Ast.main_token).Token.tag in
+  let inclusive =
+    match optok with
+    | Token.Lt | Token.Gt -> false
+    | Token.Lt_eq | Token.Gt_eq -> true
+    | _ -> fail_at dir "worksharing loop: unsupported comparison operator"
+  in
+  let counter_base, counter_is_ptr =
+    let lhs = Ast.node ast cond.Ast.lhs in
+    match lhs.Ast.tag with
+    | Ast.Ident -> (Ast.token_text ast lhs.Ast.main_token, false)
+    | Ast.Deref ->
+        let inner = Ast.node ast lhs.Ast.lhs in
+        if inner.Ast.tag = Ast.Ident then
+          (Ast.token_text ast inner.Ast.main_token, true)
+        else fail_at dir "worksharing loop: unsupported counter expression"
+    | _ -> fail_at dir "worksharing loop: the comparison must start with \
+                        the loop counter"
+  in
+  let cont = Ast.extra ast wn.Ast.rhs in
+  let body = Ast.extra ast (wn.Ast.rhs + 1) in
+  (if cont = 0 then
+     fail_at dir
+       "worksharing loop: the while loop needs a continuation expression \
+        to determine the increment");
+  let cn = Ast.node ast cont in
+  (if cn.Ast.tag <> Ast.Assign then
+     fail_at dir "worksharing loop: unsupported continuation expression");
+  let step_text =
+    let rhs_text = Synth.node_text c cn.Ast.rhs in
+    match (Ast.token ast cn.Ast.main_token).Token.tag with
+    | Token.Plus_eq -> rhs_text
+    | Token.Minus_eq -> "-(" ^ rhs_text ^ ")"
+    | _ ->
+        fail_at dir
+          "worksharing loop: the continuation must be a compound \
+           increment (+= or -=)"
+  in
+  { counter_base; counter_is_ptr; upper = cond.Ast.rhs; inclusive;
+    cont; step_text; body }
+
+(* Collapse(2): the outer loop's body must be the canonical nest — an
+   initialisation of the inner counter (assignment or var decl with
+   init) directly followed by the inner while.  Returns the inner
+   counter's init expression node and the inner loop node. *)
+let decompose_nest (c : Synth.ctx) dir outer_body =
+  let ast = c.ast in
+  let fail () =
+    Source.error ast.Ast.source
+      (Ast.token ast (Ast.node ast dir).Ast.main_token).Token.start
+      "collapse(2): the outer loop body must contain exactly the inner \
+       counter initialisation followed by the inner while loop"
+  in
+  match Ast.block_stmts ast outer_body with
+  | [ init; inner ] ->
+      let inner_node = Ast.node ast inner in
+      if inner_node.Ast.tag <> Ast.While then fail ();
+      let init_node = Ast.node ast init in
+      let init_expr =
+        match init_node.Ast.tag with
+        | Ast.Assign
+          when (Ast.token ast init_node.Ast.main_token).Token.tag = Token.Eq
+          -> init_node.Ast.rhs
+        | Ast.Var_decl when init_node.Ast.rhs <> 0 -> init_node.Ast.rhs
+        | _ -> fail ()
+      in
+      (init_expr, inner)
+  | _ -> fail ()
+
+let plan_loop (c : Synth.ctx) dir : Synth.replacement =
+  let ast = c.ast in
+  let node = Ast.node ast dir in
+  let cl = Ast.clauses ast dir in
+  let wh = node.Ast.rhs in
+  let lp = decompose c dir wh in
+  let collapse2 = cl.flags.Packed.collapse >= 2 in
+  (if cl.flags.Packed.collapse > 2 then
+     Source.error ast.Ast.source
+       (Ast.token ast node.Ast.main_token).Token.start
+       "collapse(%d): only collapse(2) is code-generated"
+       cl.flags.Packed.collapse);
+  let nest =
+    if collapse2 then begin
+      let init_expr, inner = decompose_nest c dir lp.body in
+      Some (init_expr, decompose c dir inner)
+    end
+    else None
+  in
+  let name_of = Synth.ident_name c in
+  let priv = List.map name_of cl.private_ in
+  let fp = List.map name_of cl.firstprivate in
+  let reds = List.map (fun (op, n) -> (op, name_of n)) cl.reductions in
+  (* Rewriting map: privatise the counter(s), redirect reduction vars to
+     their thread-local temporaries. *)
+  let red_tmp x = "__omp_red_" ^ x in
+  let map name =
+    if name = lp.counter_base then
+      Some (if collapse2 then "__omp_ov" else "__omp_iv")
+    else
+      match nest with
+      | Some (_, ilp) when name = ilp.counter_base -> Some "__omp_inv"
+      | _ ->
+          if List.exists (fun (_, x) -> x = name) reds then
+            Some (red_tmp name)
+          else None
+  in
+  let consume name = map name <> None in
+  let rw node_ =
+    Synth.rewrite_range c
+      ~first_token:(Synth.node_first_token c node_)
+      ~last_token:(Synth.node_last_token c node_)
+      ~consume_deref:consume ~code:map ~pragma:map ()
+  in
+  let upper_text = rw lp.upper in
+  let cont_text = rw lp.cont in
+  let body_text =
+    match nest with
+    | None -> rw lp.body
+    | Some (_, ilp) -> rw ilp.body  (* only the innermost body runs *)
+  in
+  let counter_value =
+    if lp.counter_is_ptr then lp.counter_base ^ ".*" else lp.counter_base
+  in
+  let step = lp.step_text in
+  let incl = if lp.inclusive then "1" else "0" in
+  let b = Buffer.create 512 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  bpf "{\n";
+  List.iter (fun x -> bpf "    var %s = undefined;\n" x) priv;
+  List.iter
+    (fun x -> bpf "    var %s = %s;\n" x (Outline.value_text x))
+    fp;
+  List.iter
+    (fun (op, x) ->
+      bpf "    var %s = %s;\n" (red_tmp x) (Directive.red_op_identity op))
+    reds;
+  bpf "    var __omp_iv = undefined;\n";
+  (* For collapse(2) the worksharing runs over the fused linear space
+     [0, outer trips x inner trips) and the two original counters are
+     recovered by division/modulo per iteration. *)
+  let counter_value, upper_text, step, incl, cont_text =
+    match nest with
+    | None -> (counter_value, upper_text, step, incl, cont_text)
+    | Some (init_expr, ilp) ->
+        let iupper_text = rw ilp.upper in
+        let iincl = if ilp.inclusive then "1" else "0" in
+        bpf "    var __omp_olb = %s;\n" counter_value;
+        bpf "    var __omp_ilb = %s;\n" (rw init_expr);
+        bpf "    var __omp_nin = __omp_trips(__omp_ilb, %s, %s, %s);\n"
+          iupper_text ilp.step_text iincl;
+        bpf "    var __omp_nout = __omp_trips(__omp_olb, %s, %s, %s);\n"
+          upper_text step incl;
+        bpf "    var __omp_ov = undefined;\n";
+        bpf "    var __omp_inv = undefined;\n";
+        ("0", "__omp_nout * __omp_nin", "1", "0", "__omp_iv += 1")
+  in
+  (* Inside the claimed range, a collapsed loop recovers (ov, inv) from
+     the linear index before running the body. *)
+  let body_text =
+    match nest with
+    | None -> body_text
+    | Some (_, ilp) ->
+        Printf.sprintf
+          "{\n            __omp_ov = __omp_olb + (__omp_iv / __omp_nin) * \
+           (%s);\n            __omp_inv = __omp_ilb + (__omp_iv %% \
+           __omp_nin) * (%s);\n            %s\n        }"
+          lp.step_text ilp.step_text body_text
+  in
+  (match cl.schedule with
+   | None | Some (Omp_model.Sched.Static None) | Some Omp_model.Sched.Auto ->
+       bpf "    var __omp_ws = __kmpc_for_static_init(%s, %s, %s, %s);\n"
+         counter_value upper_text step incl;
+       bpf "    if (__omp_ws.has) {\n";
+       bpf "        __omp_iv = __omp_ws.lower;\n";
+       bpf "        while (__omp_ws_cmp(__omp_iv, __omp_ws.upper, %s)) : \
+            (%s) %s\n" step cont_text body_text;
+       bpf "    }\n";
+       bpf "    __kmpc_for_static_fini();\n"
+   | Some sched ->
+       let init_fn =
+         match sched with
+         | Omp_model.Sched.Static (Some _) -> "__kmpc_static_chunked_init"
+         | Omp_model.Sched.Dynamic _ -> "__kmpc_dispatch_init_dynamic"
+         | Omp_model.Sched.Guided _ -> "__kmpc_dispatch_init_guided"
+         | Omp_model.Sched.Runtime -> "__kmpc_dispatch_init_runtime"
+         | Omp_model.Sched.Static None | Omp_model.Sched.Auto ->
+             assert false
+       in
+       let chunk =
+         match Omp_model.Sched.chunk sched with
+         | Some c -> string_of_int c
+         | None -> "1"
+       in
+       bpf "    var __omp_h = %s(%s, %s, %s, %s, %s);\n" init_fn
+         counter_value upper_text step chunk incl;
+       bpf "    var __omp_c = __kmpc_dispatch_next(__omp_h);\n";
+       bpf "    while (__omp_c.more) : \
+            (__omp_c = __kmpc_dispatch_next(__omp_h)) {\n";
+       bpf "        __omp_iv = __omp_c.lower;\n";
+       bpf "        while (__omp_ws_cmp(__omp_iv, __omp_c.upper, %s)) : \
+            (%s) %s\n" step cont_text body_text;
+       bpf "    }\n");
+  List.iter
+    (fun (op, x) ->
+      bpf "    __kmpc_critical(\"__omp_reduction\");\n";
+      bpf "    %s\n" (combine_expr op (Outline.value_text x) (red_tmp x));
+      bpf "    __kmpc_end_critical(\"__omp_reduction\");\n")
+    reds;
+  if not cl.flags.Packed.nowait then bpf "    __kmpc_barrier();\n";
+  bpf "}";
+  let dir_start, _ = Synth.node_bytes c dir in
+  let _, wh_stop = Synth.node_bytes c wh in
+  { Synth.start = dir_start; stop = wh_stop; text = Buffer.contents b }
+
+(** One round of the pass; [None] when no worksharing directive found. *)
+let run ?(name = "<input>") (source : string) : string option =
+  let src = Source.of_string ~name source in
+  let ast, spans = Parser.parse src in
+  let c = { Synth.ast; spans } in
+  match Names.omp_nodes ast (fun tag -> tag = Ast.Omp_for) with
+  | [] -> None
+  | dirs ->
+      (* Skip directives nested inside another worksharing loop's range
+         this round (inner loops are handled by the next round). *)
+      let outermost =
+        Synth.outermost (List.map (fun d -> (d, Synth.node_bytes c d)) dirs)
+      in
+      Some
+        (Synth.apply_replacements source
+           (List.map (plan_loop c) outermost))

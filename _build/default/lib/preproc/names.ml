@@ -1,0 +1,121 @@
+(** Identifier analysis over the Zr AST.
+
+    The preprocessor has no semantic context (paper section III-B3) but
+    Zr, like Zig, has a simple grammar and no shadowing, so variable
+    identity reduces to comparing identifier text — "two identifiers in
+    the same scope will always refer to the same entity as long as
+    neither is preceded by a period".  These walks classify identifier
+    occurrences into variable references, declarations, callee heads and
+    field/namespace accesses. *)
+
+open Zr
+
+(** Child node indices of [i], in source order. *)
+let children (t : Ast.t) i : int list =
+  let n = Ast.node t i in
+  let e k = Ast.extra t k in
+  match n.Ast.tag with
+  | Ast.Root -> Ast.extra_slice t n.lhs n.rhs
+  | Ast.Fn_decl ->
+      (* proto: [count; (name tok, type node)*; ret type] *)
+      let count = e n.lhs in
+      let types =
+        List.init count (fun k -> e (n.lhs + 2 + (2 * k)))
+      in
+      types @ [ e (n.lhs + 1 + (2 * count)); n.rhs ]
+  | Ast.Block -> Ast.extra_slice t n.lhs n.rhs
+  | Ast.Var_decl | Ast.Const_decl ->
+      List.filter (fun x -> x <> 0) [ n.lhs; n.rhs ]
+  | Ast.Assign -> [ n.lhs; n.rhs ]
+  | Ast.While ->
+      let cont = e n.rhs and body = e (n.rhs + 1) in
+      n.lhs :: (List.filter (fun x -> x <> 0) [ cont ] @ [ body ])
+  | Ast.If ->
+      let then_ = e n.rhs and else_ = e (n.rhs + 1) in
+      n.lhs :: then_ :: List.filter (fun x -> x <> 0) [ else_ ]
+  | Ast.Return -> List.filter (fun x -> x <> 0) [ n.lhs ]
+  | Ast.Break | Ast.Continue -> []
+  | Ast.Expr_stmt -> [ n.lhs ]
+  | Ast.Bin_op -> [ n.lhs; n.rhs ]
+  | Ast.Un_op | Ast.Deref | Ast.Addr_of -> [ n.lhs ]
+  | Ast.Call -> n.lhs :: Ast.call_args t i
+  | Ast.Index -> [ n.lhs; n.rhs ]
+  | Ast.Field -> [ n.lhs ]
+  | Ast.Ident | Ast.Int_lit | Ast.Float_lit | Ast.String_lit
+  | Ast.Bool_lit | Ast.Undefined_lit -> []
+  | Ast.Struct_lit ->
+      let count = e n.rhs in
+      List.init count (fun k -> e (n.rhs + 2 + (2 * k)))
+  | Ast.Type_name -> []
+  | Ast.Type_slice | Ast.Type_ptr -> [ n.lhs ]
+  | Ast.Omp_parallel | Ast.Omp_for | Ast.Omp_parallel_for
+  | Ast.Omp_critical | Ast.Omp_master | Ast.Omp_single | Ast.Omp_atomic ->
+      List.filter (fun x -> x <> 0) [ n.rhs ]
+  | Ast.Omp_barrier | Ast.Omp_threadprivate -> []
+
+(** Depth-first walk calling [f] on every node index under [i]
+    (including [i]). *)
+let rec walk t i f =
+  f i;
+  List.iter (fun c -> walk t c f) (children t i)
+
+module Sset = Set.Make (String)
+
+(** Names declared by [var]/[const] statements anywhere under [i]. *)
+let declared_under (t : Ast.t) i : Sset.t =
+  let acc = ref Sset.empty in
+  walk t i (fun j ->
+      let n = Ast.node t j in
+      match n.Ast.tag with
+      | Ast.Var_decl | Ast.Const_decl ->
+          acc := Sset.add (Ast.token_text t n.main_token) !acc
+      | _ -> ());
+  !acc
+
+(** Variable references under [i]: identifiers in expression position —
+    excluding callee heads ([f] in [f(...)]), field names, and anything
+    on the left of a '.' (namespace heads like [omp]). *)
+let referenced_under (t : Ast.t) i : Sset.t =
+  let acc = ref Sset.empty in
+  let rec go j ~as_callee ~as_field_base =
+    let n = Ast.node t j in
+    match n.Ast.tag with
+    | Ast.Ident ->
+        if not as_callee && not as_field_base then
+          acc := Sset.add (Ast.token_text t n.main_token) !acc
+    | Ast.Call ->
+        go n.lhs ~as_callee:true ~as_field_base:false;
+        List.iter
+          (fun a -> go a ~as_callee:false ~as_field_base:false)
+          (Ast.call_args t j)
+    | Ast.Field ->
+        (* the base of a field access names a namespace or a struct
+           parameter, never a captured scalar *)
+        go n.lhs ~as_callee:false ~as_field_base:true
+    | _ ->
+        List.iter
+          (fun c -> go c ~as_callee:false ~as_field_base:false)
+          (children t j)
+  in
+  go i ~as_callee:false ~as_field_base:false;
+  !acc
+
+(** Top-level names (functions and globals): these are shared without
+    capture, exactly as in Zig, so the outliner must not capture them. *)
+let globals (t : Ast.t) : Sset.t =
+  List.fold_left
+    (fun acc d ->
+      let n = Ast.node t d in
+      match n.Ast.tag with
+      | Ast.Fn_decl | Ast.Var_decl | Ast.Const_decl ->
+          Sset.add (Ast.token_text t n.main_token) acc
+      | _ -> acc)
+    Sset.empty (Ast.top_decls t)
+
+(** All OpenMP directive nodes with a given tag predicate, in source
+    order. *)
+let omp_nodes (t : Ast.t) pred : int list =
+  let acc = ref [] in
+  walk t 0 (fun j ->
+      if pred (Ast.node t j).Ast.tag then acc := j :: !acc);
+  List.sort compare !acc

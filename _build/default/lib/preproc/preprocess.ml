@@ -1,0 +1,61 @@
+(** The preprocessor driver — the paper's Listing 5.
+
+    Each step parses the current source, collects the replacement
+    payloads for the constructs it handles, performs the replacements
+    (offset adjustment falls out of rebuilding the text), and hands the
+    result to the next step: all parallel regions are replaced before
+    worksharing loops, so nested constructs of different types need no
+    special handling.  Steps run to a fixpoint so that constructs
+    exposed by a replacement (e.g. a loop inside a freshly outlined
+    function, or a nested region) are caught by a following round. *)
+
+open Zr
+
+type step = Split_combined | Parallel_regions | Worksharing_loops | Sync
+
+let steps = [ Split_combined; Parallel_regions; Worksharing_loops; Sync ]
+
+let step_to_string = function
+  | Split_combined -> "split combined constructs"
+  | Parallel_regions -> "parallel regions"
+  | Worksharing_loops -> "worksharing loops"
+  | Sync -> "synchronisation constructs"
+
+(* Fixpoint guard: a replacement can expose at most a handful of nested
+   constructs; anything deeper than this is a cycle. *)
+let max_rounds = 64
+
+let fixpoint (f : string -> string option) source =
+  let rec go n source =
+    if n > max_rounds then
+      failwith "Preprocess: replacement rounds did not converge";
+    match f source with
+    | None -> source
+    | Some source' -> go (n + 1) source'
+  in
+  go 0 source
+
+(** [run ?name source] — the full pipeline: Zr with OpenMP pragmas in,
+    plain Zr calling the [.omp.internal] runtime out. *)
+let run ?(name = "<input>") (source : string) : string =
+  let counter = ref 0 in
+  List.fold_left
+    (fun src step ->
+      match step with
+      | Split_combined -> fixpoint (Sync.split_combined ~name) src
+      | Parallel_regions -> fixpoint (Outline.run ~name ~counter) src
+      | Worksharing_loops -> fixpoint (Loops.run ~name) src
+      | Sync -> fixpoint (Sync.run_sync ~name) src)
+    source steps
+
+(** Preprocess and reparse, failing loudly if the synthesised program
+    does not parse — a preprocessor bug, not a user error. *)
+let run_checked ?(name = "<input>") (source : string) : string * Ast.t =
+  let out = run ~name source in
+  match Parser.parse_string ~name:(name ^ " (preprocessed)") out with
+  | ast, _spans -> (out, ast)
+  | exception Source.Error msg ->
+      failwith
+        (Printf.sprintf
+           "Preprocess.run_checked: synthesised source does not parse \
+            (%s).\n--- output ---\n%s" msg out)

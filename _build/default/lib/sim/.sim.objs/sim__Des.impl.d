@@ -1,0 +1,1 @@
+lib/sim/des.ml: Effect Heap List Printf Queue

@@ -1,0 +1,1 @@
+lib/sim/perfmodel.ml: Cost Float Machine Omp_model

@@ -1,0 +1,1 @@
+lib/sim/perfmodel.mli: Machine Omp_model

@@ -1,0 +1,199 @@
+(** Discrete-event scheduler over cooperative virtual threads.
+
+    Virtual threads are OCaml computations that interact with simulated
+    time through effects: [Advance dt] charges [dt] seconds to the
+    calling thread's clock, and [Suspend register] parks the thread until
+    some other thread wakes it (barriers, mutexes).  The scheduler always
+    resumes the runnable thread with the smallest clock (ties broken by
+    spawn order), so every interaction with shared state happens in
+    global time order and the whole simulation is deterministic.
+
+    This is the substrate the simulated OpenMP runtime ({!module:Simrt})
+    runs on; up to 128 virtual threads model the ARCHER2 node's cores on
+    our single-core host. *)
+
+type wake = at:float -> unit
+(** Wake a suspended thread, lower-bounding its clock by [at]. *)
+
+type _ Effect.t +=
+  | Advance : float -> unit Effect.t
+  | Suspend : (wake -> unit) -> unit Effect.t
+
+type vthread = {
+  id : int;
+  mutable clock : float;
+  mutable done_ : bool;
+}
+
+type t = {
+  runq : (unit -> unit) Heap.t;
+  mutable threads : vthread list;  (* newest first *)
+  mutable current : vthread option;
+  mutable spawned : int;
+  mutable finished : int;
+  mutable horizon : float;  (* max clock observed at completion points *)
+}
+
+exception Deadlock of string
+
+let create () = {
+  runq = Heap.create ();
+  threads = [];
+  current = None;
+  spawned = 0;
+  finished = 0;
+  horizon = 0.;
+}
+
+let self t =
+  match t.current with
+  | Some vt -> vt
+  | None -> invalid_arg "Des.self: no virtual thread is running"
+
+let now t = (self t).clock
+
+(* Run [step] (a fresh thread body) as [vt], handling its effects.  Every
+   handler case re-enqueues or parks the continuation and returns control
+   to the main loop; deep handlers persist, so later effects performed by
+   the resumed continuation land back here. *)
+let exec t vt (step : unit -> unit) =
+  t.current <- Some vt;
+  let open Effect.Deep in
+  match_with step ()
+    { retc = (fun () ->
+          vt.done_ <- true;
+          t.finished <- t.finished + 1;
+          if vt.clock > t.horizon then t.horizon <- vt.clock);
+      exnc = (fun e -> raise e);
+      effc = (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Advance dt ->
+              Some (fun (k : (a, unit) continuation) ->
+                  vt.clock <- vt.clock +. dt;
+                  Heap.push t.runq vt.clock (fun () ->
+                      t.current <- Some vt;
+                      continue k ()))
+          | Suspend register ->
+              Some (fun (k : (a, unit) continuation) ->
+                  let woken = ref false in
+                  register (fun ~at ->
+                      if !woken then
+                        invalid_arg "Des: thread woken twice";
+                      woken := true;
+                      if at > vt.clock then vt.clock <- at;
+                      Heap.push t.runq vt.clock (fun () ->
+                          t.current <- Some vt;
+                          continue k ())))
+          | _ -> None) }
+
+(** [spawn t ?at body] — create a virtual thread whose clock starts at
+    [at] (default: the spawner's clock, or 0 outside any thread). *)
+let spawn t ?at body =
+  let start =
+    match at, t.current with
+    | Some x, _ -> x
+    | None, Some vt -> vt.clock
+    | None, None -> 0.
+  in
+  let vt = { id = t.spawned; clock = start; done_ = false } in
+  t.spawned <- t.spawned + 1;
+  t.threads <- vt :: t.threads;
+  Heap.push t.runq start (fun () -> exec t vt body)
+
+(** Drive the simulation until every spawned thread has finished.
+    Returns the makespan (latest clock at any completion).  Raises
+    {!Deadlock} if threads remain but none is runnable. *)
+let run t =
+  let rec loop () =
+    match Heap.pop t.runq with
+    | Some (_, step) -> step (); loop ()
+    | None ->
+        if t.finished < t.spawned then
+          raise (Deadlock
+                   (Printf.sprintf
+                      "Des.run: %d of %d virtual threads blocked forever"
+                      (t.spawned - t.finished) t.spawned))
+  in
+  loop ();
+  t.current <- None;
+  t.horizon
+
+(* ------------------------------------------------------------------ *)
+(* Primitives for code running inside a virtual thread.                *)
+
+let advance _t dt = if dt > 0. then Effect.perform (Advance dt)
+
+let yield _t = Effect.perform (Advance 0.)
+
+let suspend _t register = Effect.perform (Suspend register)
+
+(* ------------------------------------------------------------------ *)
+(** Simulated barrier: all [size] participants block; the last arrival
+    releases everyone at [max arrival clock + cost], where [cost] is
+    supplied by the caller from the machine model. *)
+module Sbarrier = struct
+  type nonrec t = {
+    des : t;
+    size : int;
+    mutable arrived : wake list;
+    mutable max_clock : float;
+  }
+
+  let create des size =
+    if size <= 0 then invalid_arg "Sbarrier.create";
+    { des; size; arrived = []; max_clock = 0. }
+
+  let wait b ~cost =
+    if b.size = 1 then advance b.des cost
+    else begin
+      let vt = self b.des in
+      if vt.clock > b.max_clock then b.max_clock <- vt.clock;
+      if List.length b.arrived = b.size - 1 then begin
+        (* last arrival: release everyone at the rendezvous time *)
+        let release = b.max_clock +. cost in
+        let waiters = b.arrived in
+        b.arrived <- [];
+        b.max_clock <- 0.;
+        List.iter (fun wake -> wake ~at:release) (List.rev waiters);
+        advance b.des (release -. vt.clock)
+      end else
+        suspend b.des (fun wake -> b.arrived <- wake :: b.arrived)
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(** Simulated mutex with FIFO handoff: a releasing thread passes the lock
+    to the earliest waiter, whose clock is raised to the release time.
+    Models [critical] serialisation. *)
+module Smutex = struct
+  type nonrec t = {
+    des : t;
+    mutable locked : bool;
+    mutable free_at : float;  (* time the current holder will release *)
+    waiters : wake Queue.t;
+  }
+
+  let create des = { des; locked = false; free_at = 0.; waiters = Queue.create () }
+
+  (** [lock m] — acquire, advancing the caller's clock past any current
+      holder.  The caller must later call {!unlock}. *)
+  let lock m =
+    let vt = self m.des in
+    if not m.locked then begin
+      m.locked <- true;
+      if m.free_at > vt.clock then vt.clock <- m.free_at
+    end else
+      suspend m.des (fun wake -> Queue.push wake m.waiters)
+
+  (** [unlock m] — release at the caller's current clock; the next waiter
+      (if any) resumes no earlier than that. *)
+  let unlock m =
+    let vt = self m.des in
+    m.free_at <- vt.clock;
+    match Queue.take_opt m.waiters with
+    | Some wake ->
+        (* hand off: stays locked, waiter resumes at release time *)
+        wake ~at:vt.clock
+    | None ->
+        m.locked <- false
+end

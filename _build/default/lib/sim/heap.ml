@@ -1,0 +1,82 @@
+(** A binary min-heap with float keys and a deterministic tiebreak.
+
+    The discrete-event scheduler always resumes the runnable virtual
+    thread with the smallest clock; ties are broken by an insertion
+    sequence number so that simulations are bit-reproducible regardless
+    of hashing or allocation order. *)
+
+type 'a entry = { key : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;  (* data.(0) unused when empty *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let lt a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow t =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let dummy = t.data.(0) in
+    let d = Array.make ncap dummy in
+    Array.blit t.data 0 d 0 t.size;
+    t.data <- d
+  end
+
+let push t key value =
+  let e = { key; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  if Array.length t.data = 0 then begin
+    t.data <- Array.make 16 e;
+    t.size <- 1
+  end else begin
+    grow t;
+    t.data.(t.size) <- e;
+    t.size <- t.size + 1;
+    (* sift up *)
+    let i = ref (t.size - 1) in
+    while !i > 0 && lt t.data.(!i) t.data.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = t.data.(p) in
+      t.data.(p) <- t.data.(!i);
+      t.data.(!i) <- tmp;
+      i := p
+    done
+  end
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      (* sift down *)
+      let i = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.size && lt t.data.(l) t.data.(!smallest) then smallest := l;
+        if r < t.size && lt t.data.(r) t.data.(!smallest) then smallest := r;
+        if !smallest = !i then continue_ := false
+        else begin
+          let tmp = t.data.(!smallest) in
+          t.data.(!smallest) <- t.data.(!i);
+          t.data.(!i) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.key, top.value)
+  end
+
+let peek_key t = if t.size = 0 then None else Some t.data.(0).key

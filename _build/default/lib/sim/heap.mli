@@ -1,0 +1,20 @@
+(** A binary min-heap with float keys and FIFO tie-breaking.
+
+    The discrete-event scheduler always resumes the runnable virtual
+    thread with the smallest clock; ties pop in insertion order so
+    simulations are bit-reproducible. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** The entry with the smallest key (oldest among equals). *)
+
+val peek_key : 'a t -> float option

@@ -1,0 +1,102 @@
+(** Machine model of the evaluation platform.
+
+    The paper measures on one ARCHER2 compute node: two 64-core AMD EPYC
+    7742 processors, 32 KB L1D + 512 KB L2 per core, 16.4 MB L3 shared by
+    each four-core CCX, and eight DDR4-3200 channels per socket.  The
+    constants below follow the paper's section IV and public ARCHER2/Rome
+    documentation; throughput figures are *sustained* rates appropriate
+    for NPB-style scalar/stream code rather than theoretical peaks.  The
+    paper-facing experiments never change the topology — only kernels'
+    cost descriptors and per-language throughput factors vary. *)
+
+type t = {
+  name : string;
+  sockets : int;
+  cores_per_socket : int;
+  ccx_size : int;            (** cores sharing one L3 slice *)
+  l3_per_ccx : float;        (** bytes *)
+  l2_per_core : float;       (** bytes *)
+  flops_per_core : float;    (** sustained scalar FLOP/s for NPB-like code *)
+  core_mem_bw : float;       (** single-thread sustainable streamed DRAM B/s *)
+  ccx_mem_bw : float;        (** streamed DRAM B/s available to one CCX *)
+  node_mem_bw : float;       (** whole-node sustainable streamed DRAM B/s *)
+  gather_core_bw : float;    (** single-thread random-access DRAM B/s *)
+  gather_node_bw : float;    (** whole-node random-access DRAM B/s *)
+  (* Cache-capacity correction: residual miss fraction once a thread's
+     working set fits its L3 share, and the working-set/L3 ratio beyond
+     which caching stops helping entirely. *)
+  l3_hit_miss : float;
+  l3_spill_ratio : float;
+  (* Synchronisation costs (seconds). *)
+  fork_base : float;         (** entering __kmpc_fork_call *)
+  fork_per_thread : float;   (** per extra team member *)
+  barrier_base : float;
+  barrier_per_level : float; (** × log2(team size) *)
+  atomic_rmw : float;        (** uncontended atomic update *)
+  atomic_contention : float; (** extra serialisation per concurrent updater *)
+  dispatch_next : float;     (** one __kmpc_dispatch_next claim *)
+  static_chunk_overhead : float;  (** loop bookkeeping per chunk *)
+}
+
+let total_cores t = t.sockets * t.cores_per_socket
+
+let l3_per_core t = t.l3_per_ccx /. float_of_int t.ccx_size
+
+(** One ARCHER2 node (2 × AMD EPYC 7742 "Rome", 128 cores). *)
+let archer2 = {
+  name = "ARCHER2 node (2x AMD EPYC 7742)";
+  sockets = 2;
+  cores_per_socket = 64;
+  ccx_size = 4;
+  l3_per_ccx = 16.4e6;
+  l2_per_core = 512e3;
+  (* Sustained scalar throughput for NPB-style dependent/indexed code,
+     calibrated from the paper's serial EP time (2^32 pairs, ~66 flop
+     equivalents per pair, 147.66 s => ~1.9 GF/s). *)
+  flops_per_core = 1.9e9;
+  (* Effective per-core DRAM bandwidth for stream+gather mixes (well
+     below the STREAM peak), and the bandwidth one 4-core CCX can draw.
+     With compact thread placement these two limits reproduce the
+     paper's CG pattern: near-linear to 2 threads, a saturation knee to
+     16, then linear again as more CCXs come online. *)
+  core_mem_bw = 4.5e9;
+  ccx_mem_bw = 8.0e9;
+  node_mem_bw = 256e9;  (* 32 CCXs x ccx_mem_bw *)
+  (* Random-access (gather/scatter) traffic: one core sustains far less
+     than a stream, and the node-level limit is reached much earlier
+     because every access transfers a full line for a few useful bytes. *)
+  gather_core_bw = 2.5e9;
+  gather_node_bw = 100e9;
+  (* Cache-capacity correction calibrated on the paper's CG super-linear
+     tail (Table I, 96 and 128 threads): even a fully L3-resident sweep
+     still pays ~60% of the cold traffic (vectors, write-backs, cross-CCX
+     probes), and caching stops helping at all once the slice exceeds
+     ~1.75x the per-core L3 share. *)
+  l3_hit_miss = 0.6;
+  l3_spill_ratio = 1.75;
+  fork_base = 4.0e-6;
+  fork_per_thread = 0.25e-6;
+  barrier_base = 1.2e-6;
+  barrier_per_level = 0.6e-6;
+  atomic_rmw = 0.03e-6;
+  atomic_contention = 0.05e-6;
+  dispatch_next = 0.12e-6;
+  static_chunk_overhead = 0.08e-6;
+}
+
+(** A deliberately small machine for tests: 2 CCXs of 2 cores. *)
+let testbox = {
+  archer2 with
+  name = "testbox (4 cores)";
+  sockets = 1;
+  cores_per_socket = 4;
+  ccx_size = 2;
+  l3_per_ccx = 8e6;
+  ccx_mem_bw = 30e9;
+  node_mem_bw = 60e9;
+  gather_node_bw = 25e9;
+}
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %d cores, %.0f GB/s node BW, %.1f MB L3/CCX"
+    t.name (total_cores t) (t.node_mem_bw /. 1e9) (t.l3_per_ccx /. 1e6)

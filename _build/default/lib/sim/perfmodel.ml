@@ -1,0 +1,83 @@
+(** Roofline-with-cache-capacity performance model.
+
+    Converts an abstract {!Omp_model.Cost.t} into virtual seconds on a
+    {!Machine.t} given how many threads are concurrently active.  Three
+    mechanisms — exactly the ones behind the shapes of the paper's
+    figures — are modelled:
+
+    - compute-bound work scales with active threads (EP);
+    - memory-bound work saturates once the active threads' aggregate
+      demand reaches the node bandwidth (IS levelling off past 64
+      threads);
+    - a loop whose per-thread working-set slice shrinks below the L3
+      share stops paying DRAM traffic, which is the super-linear effect
+      the paper observes for CG at 96–128 threads and for Fortran EP at
+      128. *)
+
+open Omp_model
+
+(** Residual DRAM-traffic fraction for a loop that repeatedly traverses
+    [working_set] bytes split across [active] threads.  1.0 when the
+    per-thread slice is far larger than its L3 share; [m.l3_hit_miss]
+    once it fits; log-linear in between. *)
+let miss_factor (m : Machine.t) ~active working_set =
+  if working_set <= 0. then 1.0
+  else begin
+    let per_thread = working_set /. float_of_int (max 1 active) in
+    let slice = Machine.l3_per_core m in
+    let ratio = per_thread /. slice in
+    if ratio <= 1.0 then m.l3_hit_miss
+    else if ratio >= m.l3_spill_ratio then 1.0
+    else
+      (* interpolate miss between hit level and 1.0 in log(ratio) *)
+      let t = log ratio /. log m.l3_spill_ratio in
+      m.l3_hit_miss +. ((1.0 -. m.l3_hit_miss) *. t)
+  end
+
+(** Per-thread sustainable DRAM bandwidth with [active] threads placed
+    compactly (libomp's default on ARCHER2: threads fill cores, and
+    therefore CCXs, in order).  Three nested limits apply: what one core
+    can draw, an equal share of its CCX's bandwidth (CCXs fill up four
+    threads at a time), and an equal share of the node. *)
+let bw_per_thread (m : Machine.t) ~active =
+  let active = max 1 active in
+  let on_my_ccx = min active m.ccx_size in
+  Float.min m.core_mem_bw
+    (Float.min
+       (m.ccx_mem_bw /. float_of_int on_my_ccx)
+       (m.node_mem_bw /. float_of_int active))
+
+(** Per-thread random-access bandwidth: bounded by the core's ability to
+    sustain outstanding misses and by an equal share of the node's
+    (early-saturating) scattered-traffic limit. *)
+let gather_bw_per_thread (m : Machine.t) ~active =
+  let active = max 1 active in
+  Float.min m.gather_core_bw (m.gather_node_bw /. float_of_int active)
+
+(** [time m ~active ?working_set cost] — virtual seconds for one thread
+    to execute [cost] while [active] threads run concurrently.  Compute,
+    streamed traffic and scattered traffic are overlapped (roofline):
+    the slowest resource bounds. *)
+let time (m : Machine.t) ~active ?working_set (c : Cost.t) =
+  let flop_t = c.Cost.flops /. m.flops_per_core in
+  let miss = match working_set with
+    | None -> 1.0
+    | Some ws -> miss_factor m ~active ws
+  in
+  let stream_t = c.Cost.bytes *. miss /. bw_per_thread m ~active in
+  let gather_t = c.Cost.gather *. miss /. gather_bw_per_thread m ~active in
+  Float.max flop_t (Float.max stream_t gather_t)
+
+let fork_time (m : Machine.t) ~nthreads =
+  m.fork_base +. (m.fork_per_thread *. float_of_int nthreads)
+
+let barrier_time (m : Machine.t) ~nthreads =
+  if nthreads <= 1 then 0.
+  else
+    m.barrier_base
+    +. (m.barrier_per_level *. (log (float_of_int nthreads) /. log 2.))
+
+(** Cost of one atomic read-modify-write when [contenders] threads hammer
+    the same cache line. *)
+let atomic_time (m : Machine.t) ~contenders =
+  m.atomic_rmw +. (m.atomic_contention *. float_of_int (max 0 (contenders - 1)))

@@ -1,0 +1,35 @@
+(** Roofline-with-cache-capacity performance model: converts an
+    abstract {!Omp_model.Cost.t} into virtual seconds on a
+    {!Machine.t}, given how many threads run concurrently.
+
+    Models the three mechanisms behind the paper's figure shapes:
+    compute-bound scaling (EP), bandwidth saturation (IS), and the
+    L3-capacity effect producing super-linear points (CG at 96–128
+    threads). *)
+
+val miss_factor : Machine.t -> active:int -> float -> float
+(** [miss_factor m ~active ws] — residual DRAM-traffic fraction for a
+    loop repeatedly traversing [ws] bytes split across [active]
+    threads: 1.0 far above the per-thread L3 share, [m.l3_hit_miss]
+    once it fits, log-linear in between. *)
+
+val bw_per_thread : Machine.t -> active:int -> float
+(** Streamed bandwidth per thread under compact placement: limited by
+    the core, an equal share of its CCX, and an equal share of the
+    node. *)
+
+val gather_bw_per_thread : Machine.t -> active:int -> float
+(** Random-access bandwidth per thread (saturates much earlier). *)
+
+val time :
+  Machine.t -> active:int -> ?working_set:float -> Omp_model.Cost.t -> float
+(** Virtual seconds for one thread to execute the cost while [active]
+    threads run; compute, streamed and scattered traffic overlap
+    (roofline): the slowest resource bounds. *)
+
+val fork_time : Machine.t -> nthreads:int -> float
+
+val barrier_time : Machine.t -> nthreads:int -> float
+(** 0 for one thread; grows with log2 of the team size. *)
+
+val atomic_time : Machine.t -> contenders:int -> float

@@ -1,0 +1,76 @@
+(** Execution traces of simulated runs.
+
+    Records per-virtual-thread activity intervals during a simulation
+    and renders them as an ASCII Gantt chart — a timeline view of where
+    each thread's virtual time went (computing, waiting at barriers,
+    queueing on criticals).  The bench harness uses it to make schedule
+    ablations visible: static scheduling of imbalanced work shows long
+    barrier tails that dynamic scheduling removes. *)
+
+type interval = {
+  vthread : int;
+  start : float;
+  stop : float;
+  label : char;  (** '#' work, '=' barrier wait, 'x' critical, '.' dispatch *)
+}
+
+type t = {
+  mutable items : interval list;  (* newest first *)
+  mutable count : int;
+  limit : int;
+}
+
+let create ?(limit = 100_000) () = { items = []; count = 0; limit }
+
+(** Record one interval; silently dropped past the recording limit (the
+    chart is for small illustrative runs, not class-C sweeps). *)
+let record t ~vthread ~start ~stop label =
+  if t.count < t.limit && stop > start then begin
+    t.items <- { vthread; start; stop; label } :: t.items;
+    t.count <- t.count + 1
+  end
+
+let intervals t = List.rev t.items
+
+let truncated t = t.count >= t.limit
+
+(** [gantt t ~makespan] — one row per virtual thread, time left to
+    right, latest-written label wins per cell. *)
+let gantt ?(width = 72) t ~makespan : string =
+  let items = intervals t in
+  if items = [] || makespan <= 0. then "trace: no intervals recorded\n"
+  else begin
+    let nthreads =
+      1 + List.fold_left (fun acc i -> max acc i.vthread) 0 items
+    in
+    let grid = Array.make_matrix nthreads width ' ' in
+    List.iter
+      (fun i ->
+        if i.vthread < nthreads then begin
+          let c0 =
+            int_of_float (float_of_int width *. i.start /. makespan)
+          in
+          let c1 =
+            int_of_float (ceil (float_of_int width *. i.stop /. makespan))
+          in
+          for c = max 0 c0 to min (width - 1) (c1 - 1) do
+            grid.(i.vthread).(c) <- i.label
+          done
+        end)
+      items;
+    let b = Buffer.create ((nthreads + 3) * (width + 16)) in
+    for vt = 0 to nthreads - 1 do
+      Buffer.add_string b (Printf.sprintf "  t%-3d |" vt);
+      Buffer.add_string b (String.init width (fun c -> grid.(vt).(c)));
+      Buffer.add_string b "|\n"
+    done;
+    Buffer.add_string b
+      (Printf.sprintf "        0%s%.4gs\n"
+         (String.make (width - 8) ' ')
+         makespan);
+    Buffer.add_string b
+      "  '#' work   '=' barrier wait   'x' critical   '.' dispatch claim\n";
+    if truncated t then
+      Buffer.add_string b "  (trace truncated at the recording limit)\n";
+    Buffer.contents b
+  end

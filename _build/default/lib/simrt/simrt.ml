@@ -1,0 +1,282 @@
+(** The simulated execution engine: {!Omprt.Omp_intf.S} on the
+    discrete-event ARCHER2 model.
+
+    Instantiated per experiment run by {!run}: kernels receive a
+    first-class module with the same signature as the real runtime, but
+    every operation advances virtual time on {!Sim.Des} instead of doing
+    work — [work]/[ws_for]/[critical]/[atomic] closures are *not*
+    executed, their [cost] is charged through {!Sim.Perfmodel}.  Control
+    flow (how many loops, barriers, dispatch claims) is identical to the
+    real engine because the worksharing arithmetic is shared
+    ({!Omprt.Ws}). *)
+
+open Omp_model
+
+(** Execution statistics accumulated over one simulated run; used by
+    tests (work conservation, barrier counts) and by the ablation
+    benches. *)
+type stats = {
+  mutable forks : int;
+  mutable barriers : int;
+  mutable static_chunks : int;
+  mutable dynamic_claims : int;
+  mutable criticals : int;
+  mutable atomics : int;
+  mutable iterations : int;  (** loop iterations covered by claimed chunks *)
+  mutable flops : float;
+  mutable bytes : float;
+}
+
+let fresh_stats () = {
+  forks = 0; barriers = 0; static_chunks = 0; dynamic_claims = 0;
+  criticals = 0; atomics = 0; iterations = 0; flops = 0.; bytes = 0.;
+}
+
+type team = {
+  nthreads : int;
+  barrier : Sim.Des.Sbarrier.t;
+  dispatchers : (int, Omprt.Ws.Dispatch.t) Hashtbl.t;
+  single_epoch : int ref;
+}
+
+type ctx = {
+  team : team;
+  tid : int;
+  parent : ctx option;
+  mutable loop_epoch : int;
+  mutable single_seen : int;
+}
+
+type state = {
+  des : Sim.Des.t;
+  machine : Sim.Machine.t;
+  default_threads : int;
+  ctxs : (int, ctx) Hashtbl.t;  (* vthread id -> context *)
+  criticals : (string, Sim.Des.Smutex.t) Hashtbl.t;
+  stats : stats;
+  trace : Sim.Trace.t option;
+}
+
+(* Record an interval around a virtual-time-advancing action. *)
+let traced st label f =
+  match st.trace with
+  | None -> f ()
+  | Some tr ->
+      let vt = Sim.Des.self st.des in
+      let start = vt.Sim.Des.clock in
+      let result = f () in
+      Sim.Trace.record tr ~vthread:vt.Sim.Des.id ~start
+        ~stop:vt.Sim.Des.clock label;
+      result
+
+let current_ctx st = Hashtbl.find_opt st.ctxs (Sim.Des.self st.des).id
+
+let team_size st =
+  match current_ctx st with None -> 1 | Some c -> c.team.nthreads
+
+let charge st ?working_set (c : Cost.t) =
+  st.stats.flops <- st.stats.flops +. c.Cost.flops;
+  st.stats.bytes <- st.stats.bytes +. Cost.total_bytes c;
+  let active = team_size st in
+  traced st '#' (fun () ->
+      Sim.Des.advance st.des
+        (Sim.Perfmodel.time st.machine ~active ?working_set c))
+
+let critical_mutex st name =
+  match Hashtbl.find_opt st.criticals name with
+  | Some m -> m
+  | None ->
+      let m = Sim.Des.Smutex.create st.des in
+      Hashtbl.add st.criticals name m;
+      m
+
+let do_barrier st =
+  match current_ctx st with
+  | None -> ()
+  | Some c ->
+      st.stats.barriers <- st.stats.barriers + 1;
+      let cost =
+        Sim.Perfmodel.barrier_time st.machine ~nthreads:c.team.nthreads
+      in
+      traced st '=' (fun () ->
+          Sim.Des.Sbarrier.wait c.team.barrier ~cost)
+
+(* ------------------------------------------------------------------ *)
+
+let make_engine (st : state) : (module Omprt.Omp_intf.S) =
+  (module struct
+    let is_simulated = true
+
+    let thread_num () =
+      match current_ctx st with None -> 0 | Some c -> c.tid
+
+    let num_threads () = team_size st
+
+    let barrier () = do_barrier st
+
+    let wtime () = Sim.Des.now st.des
+
+    let parallel ?num_threads body =
+      let nt = Option.value num_threads ~default:st.default_threads in
+      let nt = max 1 nt in
+      st.stats.forks <- st.stats.forks + 1;
+      let parent = current_ctx st in
+      let master_vt = Sim.Des.self st.des in
+      Sim.Des.advance st.des (Sim.Perfmodel.fork_time st.machine ~nthreads:nt);
+      let team = {
+        nthreads = nt;
+        barrier = Sim.Des.Sbarrier.create st.des nt;
+        dispatchers = Hashtbl.create 8;
+        single_epoch = ref 0;
+      } in
+      let enter vt_id tid =
+        Hashtbl.replace st.ctxs vt_id
+          { team; tid; parent; loop_epoch = 0; single_seen = 0 }
+      in
+      let leave vt_id =
+        match parent with
+        | Some p -> Hashtbl.replace st.ctxs vt_id p
+        | None -> Hashtbl.remove st.ctxs vt_id
+      in
+      (* Workers start at the master's post-fork clock. *)
+      for tid = 1 to nt - 1 do
+        Sim.Des.spawn st.des (fun () ->
+            let vt = Sim.Des.self st.des in
+            enter vt.id tid;
+            Fun.protect
+              ~finally:(fun () -> Hashtbl.remove st.ctxs vt.id)
+              (fun () -> body (); do_barrier st))
+      done;
+      enter master_vt.id 0;
+      Fun.protect
+        ~finally:(fun () -> leave master_vt.id)
+        (fun () -> body (); do_barrier st)
+
+    let master f = if thread_num () = 0 then f ()
+
+    let single ?(nowait = false) f =
+      (match current_ctx st with
+       | None -> f ()
+       | Some c ->
+           let mine = c.single_seen in
+           c.single_seen <- c.single_seen + 1;
+           if !(c.team.single_epoch) = mine then begin
+             incr c.team.single_epoch;
+             f ()
+           end);
+      if not nowait then barrier ()
+
+    let critical ?(name = ".omp.critical.anonymous") ?(cost = Cost.zero) _f =
+      st.stats.criticals <- st.stats.criticals + 1;
+      let m = critical_mutex st name in
+      traced st 'x' (fun () ->
+          Sim.Des.Smutex.lock m;
+          charge st cost;  (* the closure itself is not executed *)
+          Sim.Des.advance st.des
+            (Sim.Perfmodel.atomic_time st.machine
+               ~contenders:(team_size st));
+          Sim.Des.Smutex.unlock m)
+
+    let atomic ?(cost = Cost.zero) _f =
+      st.stats.atomics <- st.stats.atomics + 1;
+      charge st cost;
+      Sim.Des.advance st.des
+        (Sim.Perfmodel.atomic_time st.machine ~contenders:(team_size st))
+
+    let work ?(cost = Cost.zero) _f = charge st cost
+
+    let ws_for ?(sched = Sched.Static None) ?(nowait = false) ?working_set
+        ?(chunk_cost = fun _ _ -> Cost.zero) ~lo ~hi _body =
+      let trips = max 0 (hi - lo) in
+      let nth = num_threads () in
+      let tid = thread_num () in
+      let run_chunk b e =
+        (* b, e over [0, trips) *)
+        st.stats.iterations <- st.stats.iterations + (e - b);
+        Sim.Des.advance st.des st.machine.Sim.Machine.static_chunk_overhead;
+        charge st ?working_set (chunk_cost (lo + b) (lo + e))
+      in
+      (match sched with
+       | Sched.Static None ->
+           (match Omprt.Ws.static_block ~tid ~nthreads:nth ~trips with
+            | None -> ()
+            | Some (b, e) ->
+                st.stats.static_chunks <- st.stats.static_chunks + 1;
+                run_chunk b e)
+       | Sched.Static (Some c) ->
+           List.iter
+             (fun (b, e) ->
+               st.stats.static_chunks <- st.stats.static_chunks + 1;
+               run_chunk b e)
+             (Omprt.Ws.static_chunks ~tid ~nthreads:nth ~trips ~chunk:c)
+       | Sched.Dynamic _ | Sched.Guided _ | Sched.Runtime | Sched.Auto ->
+           let dispatcher =
+             match current_ctx st with
+             | None ->
+                 let kind, chunk = Omprt.Kmpc.dispatch_kind trips 1 sched in
+                 Omprt.Ws.Dispatch.create ~kind ~trips ~chunk ~nthreads:1
+             | Some c ->
+                 let epoch = c.loop_epoch in
+                 c.loop_epoch <- c.loop_epoch + 1;
+                 (match Hashtbl.find_opt c.team.dispatchers epoch with
+                  | Some d -> d
+                  | None ->
+                      let kind, chunk =
+                        Omprt.Kmpc.dispatch_kind trips nth sched
+                      in
+                      let d =
+                        Omprt.Ws.Dispatch.create ~kind ~trips ~chunk
+                          ~nthreads:nth
+                      in
+                      Hashtbl.add c.team.dispatchers epoch d;
+                      d)
+           in
+           let rec drain () =
+             (* one dispatch claim: pay the shared-counter RMW *)
+             traced st '.' (fun () ->
+                 Sim.Des.advance st.des
+                   st.machine.Sim.Machine.dispatch_next);
+             match Omprt.Ws.Dispatch.next dispatcher with
+             | None -> ()
+             | Some (b, e) ->
+                 st.stats.dynamic_claims <- st.stats.dynamic_claims + 1;
+                 run_chunk b e;
+                 drain ()
+           in
+           drain ());
+      if not nowait then barrier ()
+  end)
+
+(* ------------------------------------------------------------------ *)
+
+(** Result of one simulated run. *)
+type result = {
+  makespan : float;   (** virtual seconds from program start to last exit *)
+  run_stats : stats;
+  trace : Sim.Trace.t option;  (** present when tracing was requested *)
+}
+
+(** [run ?machine ?num_threads ?trace f] — execute [f engine] as the
+    initial virtual thread of a fresh simulation and return the virtual
+    makespan.  [num_threads] is the default team size for [parallel]
+    regions without a [num_threads] clause; [trace] records per-thread
+    activity intervals for {!Sim.Trace.gantt}. *)
+let run ?(machine = Sim.Machine.archer2) ?num_threads ?(trace = false)
+    (f : (module Omprt.Omp_intf.S) -> unit) : result =
+  let des = Sim.Des.create () in
+  let default_threads =
+    match num_threads with
+    | Some n when n > 0 -> n
+    | _ -> Sim.Machine.total_cores machine
+  in
+  let st = {
+    des; machine; default_threads;
+    ctxs = Hashtbl.create 256;
+    criticals = Hashtbl.create 8;
+    stats = fresh_stats ();
+    trace = (if trace then Some (Sim.Trace.create ()) else None);
+  } in
+  let engine = make_engine st in
+  Sim.Des.spawn des (fun () -> f engine);
+  let makespan = Sim.Des.run des in
+  { makespan; run_stats = st.stats; trace = st.trace }

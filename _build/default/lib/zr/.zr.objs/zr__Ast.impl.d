@@ -1,0 +1,1 @@
+lib/zr/ast.ml: Array Ompfront Source Token Tokenizer

@@ -1,0 +1,1 @@
+lib/zr/parser.ml: Array Ast List Ompfront Source Token Tokenizer

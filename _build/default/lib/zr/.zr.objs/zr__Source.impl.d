@@ -1,0 +1,1 @@
+lib/zr/source.ml: Array Format List String

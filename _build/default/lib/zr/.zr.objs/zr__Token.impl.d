@@ -1,0 +1,1 @@
+lib/zr/token.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/zr/tokenizer.ml: Array List Source String Token

@@ -1,0 +1,131 @@
+(** The Zr abstract syntax tree.
+
+    The design mirrors the Zig compiler's data-oriented AST, which is
+    what makes the paper's choices forced: nodes live in a flat table of
+    [{tag; main_token; lhs; rhs}] records whose [lhs]/[rhs] either name
+    other nodes or index into the shared [extra_data] array of 32-bit
+    integers, and every node is anchored to the source text through its
+    tokens.  OpenMP directives are ordinary nodes whose [lhs] points at
+    their clause block in [extra_data] (paper, Figure 2). *)
+
+type tag =
+  | Root            (* lhs..rhs: extra slice of top-level decls *)
+  | Fn_decl         (* main: name tok; lhs: extra proto; rhs: body block *)
+  | Block           (* lhs..rhs: extra slice of statements *)
+  | Var_decl        (* main: name tok; lhs: type node|0; rhs: init|0; var *)
+  | Const_decl      (* as Var_decl, immutable *)
+  | Assign          (* main: op tok (=, +=, ...); lhs: target; rhs: value *)
+  | While           (* main: while tok; lhs: cond; rhs: extra [cont|0; body] *)
+  | If              (* lhs: cond; rhs: extra [then; else|0] *)
+  | Return          (* lhs: expr | 0 *)
+  | Break
+  | Continue
+  | Expr_stmt       (* lhs: expr *)
+  | Bin_op          (* main: op tok; lhs, rhs: operands *)
+  | Un_op           (* main: op tok; lhs: operand *)
+  | Call            (* lhs: callee; rhs: extra [n; args...] *)
+  | Index           (* lhs: array expr; rhs: index expr *)
+  | Field           (* lhs: expr; main: field name tok *)
+  | Deref           (* lhs: expr; postfix dot-star dereference *)
+  | Addr_of         (* lhs: expr  (&e) *)
+  | Ident           (* main: token *)
+  | Int_lit
+  | Float_lit
+  | String_lit
+  | Bool_lit        (* main: true/false tok *)
+  | Undefined_lit
+  | Struct_lit      (* rhs: extra [n; (name tok, value node)...] *)
+  | Type_name       (* main: token (i32, i64, f64, bool, void, name) *)
+  | Type_slice      (* lhs: element type *)
+  | Type_ptr        (* lhs: pointee type *)
+  (* OpenMP directive statements; lhs: clause block base in extra_data;
+     rhs: the governed statement node (0 for standalone directives). *)
+  | Omp_parallel
+  | Omp_for
+  | Omp_parallel_for
+  | Omp_barrier
+  | Omp_critical
+  | Omp_master
+  | Omp_single
+  | Omp_atomic
+  | Omp_threadprivate  (* top-level; lhs: clause block (list in private slice) *)
+
+let tag_is_omp = function
+  | Omp_parallel | Omp_for | Omp_parallel_for | Omp_barrier
+  | Omp_critical | Omp_master | Omp_single | Omp_atomic
+  | Omp_threadprivate -> true
+  | Root | Fn_decl | Block | Var_decl | Const_decl | Assign | While | If
+  | Return | Break | Continue | Expr_stmt | Bin_op | Un_op | Call | Index
+  | Field | Deref | Addr_of | Ident | Int_lit | Float_lit | String_lit
+  | Bool_lit | Undefined_lit | Struct_lit | Type_name | Type_slice
+  | Type_ptr -> false
+
+let omp_kind = function
+  | Omp_parallel -> Some Ompfront.Directive.Parallel
+  | Omp_for -> Some Ompfront.Directive.For
+  | Omp_parallel_for -> Some Ompfront.Directive.Parallel_for
+  | Omp_barrier -> Some Ompfront.Directive.Barrier
+  | Omp_critical -> Some Ompfront.Directive.Critical
+  | Omp_master -> Some Ompfront.Directive.Master
+  | Omp_single -> Some Ompfront.Directive.Single
+  | Omp_atomic -> Some Ompfront.Directive.Atomic
+  | Omp_threadprivate -> Some Ompfront.Directive.Threadprivate
+  | _ -> None
+
+type node = {
+  tag : tag;
+  main_token : int;  (* index into the token array *)
+  lhs : int;
+  rhs : int;
+}
+
+type t = {
+  source : Source.t;
+  tokens : Token.t array;
+  nodes : node array;        (* node 0 is the Root *)
+  extra_data : int array;    (* the 32-bit side array *)
+}
+
+let node t i = t.nodes.(i)
+
+let extra t i = t.extra_data.(i)
+
+(** Extra slice [\[b, e)] as a list. *)
+let extra_slice t b e =
+  Array.to_list (Array.sub t.extra_data b (e - b))
+
+let token t i = t.tokens.(i)
+
+let token_text t i = Tokenizer.text t.source t.tokens.(i)
+
+(** Source byte range covered by node [i]: requires the first and last
+    token indices, which the parser records implicitly through
+    [main_token]; for ranges we compute bounds by walking children.  The
+    preprocessor needs exact statement extents, so the parser also
+    stores them: see {!Spans}. *)
+
+(* Statement/expression extents: a parallel array filled by the parser
+   mapping node index -> (first token, last token). *)
+type spans = (int * int) array
+
+let top_decls t =
+  let root = t.nodes.(0) in
+  extra_slice t root.lhs root.rhs
+
+let block_stmts t i =
+  let n = node t i in
+  if n.tag <> Block then invalid_arg "Ast.block_stmts: not a block";
+  extra_slice t n.lhs n.rhs
+
+let call_args t i =
+  let n = node t i in
+  if n.tag <> Call then invalid_arg "Ast.call_args: not a call";
+  let base = n.rhs in
+  let count = extra t base in
+  extra_slice t (base + 1) (base + 1 + count)
+
+(** Clause view of an OpenMP directive node. *)
+let clauses t i =
+  let n = node t i in
+  if not (tag_is_omp n.tag) then invalid_arg "Ast.clauses: not a directive";
+  Ompfront.Directive.decode t.extra_data n.lhs

@@ -1,0 +1,52 @@
+(** Source buffers and positions.
+
+    Offsets are byte indices into the original text.  The Zig compiler
+    keeps a strict connection between AST nodes and source bytes — the
+    property that (per the paper, section III-B) makes AST injection
+    infeasible and forces the preprocessor design — so every token and
+    node here carries its [start]/[stop] offsets, and line/column
+    information is recovered on demand. *)
+
+type t = {
+  name : string;
+  text : string;
+  line_starts : int array;  (* byte offset of the start of each line *)
+}
+
+let of_string ?(name = "<input>") text =
+  let starts = ref [ 0 ] in
+  String.iteri
+    (fun i c -> if c = '\n' then starts := (i + 1) :: !starts)
+    text;
+  { name; text; line_starts = Array.of_list (List.rev !starts) }
+
+let length t = String.length t.text
+
+(** [slice t ~start ~stop] — the raw text in [\[start, stop)]. *)
+let slice t ~start ~stop =
+  String.sub t.text start (stop - start)
+
+(** Line (1-based) and column (1-based) of a byte offset. *)
+let position t offset =
+  (* binary search for the greatest line start <= offset *)
+  let lo = ref 0 and hi = ref (Array.length t.line_starts - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if t.line_starts.(mid) <= offset then lo := mid else hi := mid - 1
+  done;
+  (!lo + 1, offset - t.line_starts.(!lo) + 1)
+
+let line_of t offset = fst (position t offset)
+
+let pp_position t ppf offset =
+  let line, col = position t offset in
+  Format.fprintf ppf "%s:%d:%d" t.name line col
+
+exception Error of string
+
+(** Raise a located error. *)
+let error t offset fmt =
+  Format.kasprintf
+    (fun msg ->
+      raise (Error (Format.asprintf "%a: %s" (pp_position t) offset msg)))
+    fmt

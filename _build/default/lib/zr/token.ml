@@ -1,0 +1,126 @@
+(** Tokens of the Zr language (a Zig subset).
+
+    Following the paper's design (section III-A): OpenMP pragmas are
+    special comments; the tokeniser emits one token for the sentinel
+    ([//$omp]) and then tokenises the remainder of the pragma line as
+    ordinary code, because the pragma consists entirely of tokens Zig
+    already has.  OpenMP directive and clause names are *not* language
+    keywords — adding them would break programs using those names as
+    identifiers — so they are tokenised as identifiers and mapped to
+    dedicated keyword tags during parsing via {!omp_keyword_of_string},
+    reproducing the paper's modified [eatToken] scheme. *)
+
+type tag =
+  | Identifier
+  | Int_literal
+  | Float_literal
+  | String_literal
+  (* language keywords *)
+  | Kw_fn | Kw_var | Kw_const | Kw_while | Kw_if | Kw_else | Kw_return
+  | Kw_true | Kw_false | Kw_and | Kw_or | Kw_break | Kw_continue
+  | Kw_undefined | Kw_export
+  (* punctuation and operators *)
+  | L_paren | R_paren | L_brace | R_brace | L_bracket | R_bracket
+  | Comma | Semicolon | Colon
+  | Dot | Dot_star | Dot_brace   (* '.', '.*', '.{' *)
+  | Plus | Minus | Star | Slash | Percent
+  | Eq | Plus_eq | Minus_eq | Star_eq | Slash_eq
+  | Eq_eq | Bang_eq | Lt | Lt_eq | Gt | Gt_eq
+  | Bang | Amp
+  (* pragma structure *)
+  | Pragma_sentinel  (* the '//$omp' sentinel *)
+  | Pragma_end       (* end of the pragma line *)
+  | Eof
+
+type t = {
+  tag : tag;
+  start : int;  (* byte offset of first char *)
+  stop : int;   (* one past last char *)
+}
+
+let tag_to_string = function
+  | Identifier -> "identifier"
+  | Int_literal -> "integer literal"
+  | Float_literal -> "float literal"
+  | String_literal -> "string literal"
+  | Kw_fn -> "fn" | Kw_var -> "var" | Kw_const -> "const"
+  | Kw_while -> "while" | Kw_if -> "if" | Kw_else -> "else"
+  | Kw_return -> "return" | Kw_true -> "true" | Kw_false -> "false"
+  | Kw_and -> "and" | Kw_or -> "or"
+  | Kw_break -> "break" | Kw_continue -> "continue"
+  | Kw_undefined -> "undefined" | Kw_export -> "export"
+  | L_paren -> "(" | R_paren -> ")"
+  | L_brace -> "{" | R_brace -> "}"
+  | L_bracket -> "[" | R_bracket -> "]"
+  | Comma -> "," | Semicolon -> ";" | Colon -> ":"
+  | Dot -> "." | Dot_star -> ".*" | Dot_brace -> ".{"
+  | Plus -> "+" | Minus -> "-" | Star -> "*" | Slash -> "/"
+  | Percent -> "%"
+  | Eq -> "=" | Plus_eq -> "+=" | Minus_eq -> "-=" | Star_eq -> "*="
+  | Slash_eq -> "/="
+  | Eq_eq -> "==" | Bang_eq -> "!=" | Lt -> "<" | Lt_eq -> "<="
+  | Gt -> ">" | Gt_eq -> ">="
+  | Bang -> "!" | Amp -> "&"
+  | Pragma_sentinel -> "//$omp"
+  | Pragma_end -> "<end of pragma>"
+  | Eof -> "<eof>"
+
+(* Language keywords: these *are* reserved words. *)
+let keyword_of_string = function
+  | "fn" -> Some Kw_fn
+  | "var" -> Some Kw_var
+  | "const" -> Some Kw_const
+  | "while" -> Some Kw_while
+  | "if" -> Some Kw_if
+  | "else" -> Some Kw_else
+  | "return" -> Some Kw_return
+  | "true" -> Some Kw_true
+  | "false" -> Some Kw_false
+  | "and" -> Some Kw_and
+  | "or" -> Some Kw_or
+  | "break" -> Some Kw_break
+  | "continue" -> Some Kw_continue
+  | "undefined" -> Some Kw_undefined
+  | "export" -> Some Kw_export
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(** OpenMP keyword tags: the "new set of tags" the paper adds alongside
+    the existing token tags.  They never appear in the token stream —
+    the parser resolves an [Identifier] token to one of these through
+    the hash map below when (and only when) it is parsing a pragma. *)
+
+type omp_kw =
+  | Omp_parallel | Omp_for
+  | Omp_private | Omp_firstprivate | Omp_shared | Omp_reduction
+  | Omp_schedule | Omp_static | Omp_dynamic | Omp_guided | Omp_runtime
+  | Omp_auto
+  | Omp_nowait | Omp_num_threads | Omp_default | Omp_collapse
+  | Omp_none | Omp_barrier | Omp_critical | Omp_master | Omp_single
+  | Omp_atomic | Omp_min | Omp_max | Omp_threadprivate
+
+let omp_keywords = [
+  ("parallel", Omp_parallel); ("for", Omp_for);
+  ("private", Omp_private); ("firstprivate", Omp_firstprivate);
+  ("shared", Omp_shared); ("reduction", Omp_reduction);
+  ("schedule", Omp_schedule); ("static", Omp_static);
+  ("dynamic", Omp_dynamic); ("guided", Omp_guided);
+  ("runtime", Omp_runtime); ("auto", Omp_auto);
+  ("nowait", Omp_nowait); ("num_threads", Omp_num_threads);
+  ("default", Omp_default); ("collapse", Omp_collapse);
+  ("none", Omp_none); ("barrier", Omp_barrier);
+  ("critical", Omp_critical); ("master", Omp_master);
+  ("single", Omp_single); ("atomic", Omp_atomic);
+  ("threadprivate", Omp_threadprivate);
+  ("min", Omp_min); ("max", Omp_max);
+]
+
+let omp_keyword_table : (string, omp_kw) Hashtbl.t =
+  let h = Hashtbl.create 32 in
+  List.iter (fun (s, k) -> Hashtbl.add h s k) omp_keywords;
+  h
+
+let omp_keyword_of_string s = Hashtbl.find_opt omp_keyword_table s
+
+let omp_kw_to_string kw =
+  fst (List.find (fun (_, k) -> k = kw) omp_keywords)

@@ -1,0 +1,1 @@
+test/test_atomics.ml: Alcotest Atomic Atomics List Omp Omprt QCheck2 QCheck_alcotest Reduction

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Fun Interp List Omprt Printf Zr

@@ -1,0 +1,1 @@
+test/test_loops_edge.ml: Alcotest Array Atomic Fun Interp List Omp_model Omprt Printf

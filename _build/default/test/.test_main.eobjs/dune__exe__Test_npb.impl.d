@@ -1,0 +1,1 @@
+test/test_npb.ml: Alcotest Array Float Format List Npb Omprt Printf

@@ -1,0 +1,1 @@
+test/test_packed.ml: Alcotest List Omp_model Ompfront Packed QCheck2 QCheck_alcotest

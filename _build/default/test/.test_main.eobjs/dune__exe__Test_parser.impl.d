@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Array Ast List Omp_model Ompfront Parser Source String Token Zr

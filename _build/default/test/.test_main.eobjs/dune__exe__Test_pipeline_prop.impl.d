@@ -1,0 +1,1 @@
+test/test_pipeline_prop.ml: Array Interp List Omprt Preproc Printf QCheck2 QCheck_alcotest String

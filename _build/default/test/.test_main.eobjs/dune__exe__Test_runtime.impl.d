@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Api Array Atomic Atomics Fun List Lock Omp Omp_model Omprt Profile String Team

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest List Omp_model QCheck2 QCheck_alcotest Sim

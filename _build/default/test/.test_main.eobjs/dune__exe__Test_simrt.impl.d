@@ -1,0 +1,1 @@
+test/test_simrt.ml: Alcotest Atomic Cost List Omp_model Omprt Sched Sim Simrt String

@@ -1,0 +1,1 @@
+test/test_tokenizer.ml: Alcotest Array List Source Token Tokenizer Zr

@@ -1,0 +1,1 @@
+test/test_ws.ml: Alcotest Fun List Omprt QCheck2 QCheck_alcotest Ws

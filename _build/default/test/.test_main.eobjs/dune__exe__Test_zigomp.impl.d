@@ -1,0 +1,1 @@
+test/test_zigomp.ml: Alcotest Astring_contains Zigomp

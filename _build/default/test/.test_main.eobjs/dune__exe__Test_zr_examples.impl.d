@@ -1,0 +1,1 @@
+test/test_zr_examples.ml: Alcotest Array Astring_contains Filename Float Fun Interp List Omprt Preproc Printf String

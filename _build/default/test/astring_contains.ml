@@ -1,0 +1,10 @@
+(* Substring search shared by the test modules. *)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i =
+    if i + nl > hl then false
+    else if String.sub haystack i nl = needle then true
+    else scan (i + 1)
+  in
+  scan 0

@@ -1,0 +1,164 @@
+(* Atomics and reductions: the CAS-loop implementations of the paper's
+   Listing 6 (multiplication and friends), exercised both sequentially
+   and under real contention from a thread team. *)
+
+open Omprt
+
+let test_cas_loop_basic () =
+  let a = Atomic.make 10 in
+  Atomics.cas_loop a (fun x -> x * 3);
+  Alcotest.(check int) "multiplied" 30 (Atomic.get a);
+  let old = Atomics.cas_loop_fetch a (fun x -> x + 1) in
+  Alcotest.(check int) "fetch returns pre-value" 30 old;
+  Alcotest.(check int) "updated" 31 (Atomic.get a)
+
+let test_int_ops () =
+  let a = Atomics.Int.make 12 in
+  Atomics.Int.add a 5;
+  Alcotest.(check int) "add" 17 (Atomics.Int.get a);
+  Atomics.Int.sub a 2;
+  Alcotest.(check int) "sub" 15 (Atomics.Int.get a);
+  Atomics.Int.mul a 2;
+  Alcotest.(check int) "mul (CAS loop)" 30 (Atomics.Int.get a);
+  Atomics.Int.min a 7;
+  Alcotest.(check int) "min" 7 (Atomics.Int.get a);
+  Atomics.Int.max a 21;
+  Alcotest.(check int) "max" 21 (Atomics.Int.get a);
+  Atomics.Int.band a 0b10101;
+  Alcotest.(check int) "band" (21 land 0b10101) (Atomics.Int.get a);
+  Atomics.Int.bor a 0b01000;
+  Atomics.Int.bxor a 0b00001;
+  Alcotest.(check int) "bor/bxor"
+    (((21 land 0b10101) lor 0b01000) lxor 1)
+    (Atomics.Int.get a)
+
+let test_float_ops () =
+  let a = Atomics.Float.make 2.0 in
+  Atomics.Float.add a 0.5;
+  Alcotest.(check (float 1e-12)) "add" 2.5 (Atomics.Float.get a);
+  Atomics.Float.mul a 4.0;
+  Alcotest.(check (float 1e-12)) "mul" 10.0 (Atomics.Float.get a);
+  Atomics.Float.min a 3.5;
+  Alcotest.(check (float 1e-12)) "min" 3.5 (Atomics.Float.get a);
+  Atomics.Float.max a 8.25;
+  Alcotest.(check (float 1e-12)) "max" 8.25 (Atomics.Float.get a)
+
+let test_bool_ops () =
+  let a = Atomics.Bool.make true in
+  Atomics.Bool.logical_and a true;
+  Alcotest.(check bool) "and true" true (Atomics.Bool.get a);
+  Atomics.Bool.logical_and a false;
+  Alcotest.(check bool) "and false" false (Atomics.Bool.get a);
+  Atomics.Bool.logical_or a true;
+  Alcotest.(check bool) "or true" true (Atomics.Bool.get a)
+
+(* contention tests: many threads hammer one cell; the CAS loop must not
+   lose updates *)
+
+let contended_int op expected () =
+  let a = Atomics.Int.make 0 in
+  Omp.parallel ~num_threads:4 (fun () ->
+      for _ = 1 to 2500 do op a done);
+  Alcotest.(check int) "no lost updates" expected (Atomics.Int.get a)
+
+let test_contended_add =
+  contended_int (fun a -> Atomics.Int.add a 1) 10000
+
+let test_contended_sub =
+  contended_int (fun a -> Atomics.Int.sub a 1) (-10000)
+
+let test_contended_float_add () =
+  let a = Atomics.Float.make 0. in
+  Omp.parallel ~num_threads:4 (fun () ->
+      for _ = 1 to 2500 do Atomics.Float.add a 1.0 done);
+  Alcotest.(check (float 1e-9)) "float adds of 1.0 are exact" 10000.
+    (Atomics.Float.get a)
+
+let test_contended_mul () =
+  (* multiplication is the paper's flagship CAS-loop case: use values
+     whose product is exact and order-independent *)
+  let a = Atomics.Float.make 1.0 in
+  Omp.parallel ~num_threads:4 (fun () ->
+      for _ = 1 to 30 do Atomics.Float.mul a 2.0 done);
+  Alcotest.(check (float 1e-9)) "2^120" (2. ** 120.) (Atomics.Float.get a)
+
+let test_contended_min_max () =
+  let mn = Atomics.Int.make max_int and mx = Atomics.Int.make min_int in
+  Omp.parallel ~num_threads:4 (fun () ->
+      let tid = Omp.thread_num () in
+      for i = 0 to 999 do
+        let v = (i * 7919) lxor (tid * 104729) in
+        Atomics.Int.min mn v;
+        Atomics.Int.max mx v
+      done);
+  (* recompute serially *)
+  let smn = ref max_int and smx = ref min_int in
+  for tid = 0 to 3 do
+    for i = 0 to 999 do
+      let v = (i * 7919) lxor (tid * 104729) in
+      smn := min !smn v;
+      smx := max !smx v
+    done
+  done;
+  Alcotest.(check int) "min agrees with serial" !smn (Atomics.Int.get mn);
+  Alcotest.(check int) "max agrees with serial" !smx (Atomics.Int.get mx)
+
+(* reduction op metadata *)
+
+let test_identities () =
+  Alcotest.(check (float 0.)) "+ identity" 0. (Reduction.float_init Reduction.Add);
+  Alcotest.(check (float 0.)) "* identity" 1. (Reduction.float_init Reduction.Mul);
+  Alcotest.(check bool) "min identity" true
+    (Reduction.float_init Reduction.Min = infinity);
+  Alcotest.(check bool) "max identity" true
+    (Reduction.float_init Reduction.Max = neg_infinity);
+  Alcotest.(check int) "int band identity" (-1)
+    (Reduction.int_init Reduction.Band);
+  Alcotest.(check bool) "land identity" true (Reduction.bool_init Reduction.Land);
+  Alcotest.(check bool) "lor identity" false (Reduction.bool_init Reduction.Lor)
+
+let test_reduction_roundtrip_ops () =
+  List.iter
+    (fun op ->
+      match Reduction.of_string (Reduction.to_string op) with
+      | Some op' ->
+          Alcotest.(check bool)
+            ("op round trip " ^ Reduction.to_string op)
+            true (op = op')
+      | None -> Alcotest.failf "op %s did not parse" (Reduction.to_string op))
+    Reduction.all_ops
+
+let prop_atomic_int_combine_matches_sequential =
+  QCheck2.Test.make
+    ~name:"atomic combine equals sequential fold (int ops)" ~count:200
+    QCheck2.Gen.(
+      let* op =
+        oneofl Reduction.[ Add; Sub; Mul; Min; Max; Band; Bor; Bxor ]
+      in
+      let* vals = list_size (int_range 1 12) (int_range (-50) 50) in
+      return (op, vals))
+    (fun (op, vals) ->
+      (* multiplication overflows are still deterministic in int *)
+      let cell = Atomics.Int.make (Reduction.int_init op) in
+      List.iter (fun v -> Reduction.atomic_combine_int op cell v) vals;
+      let expected =
+        List.fold_left (Reduction.combine_int op) (Reduction.int_init op) vals
+      in
+      Atomics.Int.get cell = expected)
+
+let suite =
+  [ Alcotest.test_case "cas_loop basics" `Quick test_cas_loop_basic;
+    Alcotest.test_case "int ops" `Quick test_int_ops;
+    Alcotest.test_case "float ops" `Quick test_float_ops;
+    Alcotest.test_case "bool ops" `Quick test_bool_ops;
+    Alcotest.test_case "contended add" `Quick test_contended_add;
+    Alcotest.test_case "contended sub" `Quick test_contended_sub;
+    Alcotest.test_case "contended float add" `Quick test_contended_float_add;
+    Alcotest.test_case "contended CAS-loop multiply" `Quick
+      test_contended_mul;
+    Alcotest.test_case "contended min/max" `Quick test_contended_min_max;
+    Alcotest.test_case "reduction identities" `Quick test_identities;
+    Alcotest.test_case "reduction op strings" `Quick
+      test_reduction_roundtrip_ops;
+    QCheck_alcotest.to_alcotest prop_atomic_int_combine_matches_sequential;
+  ]

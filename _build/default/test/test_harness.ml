@@ -1,0 +1,142 @@
+(* Harness tests: statistics, table/figure rendering, the paper's
+   reference data, and — most importantly — that the simulated class-C
+   experiments reproduce the *shape* of every table and figure: who
+   wins, roughly by how much, and where the curves bend. *)
+
+let test_stats () =
+  Alcotest.(check (float 1e-12)) "mean" 2. (Harness.Stats.mean [ 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-12)) "stddev" 1.
+    (Harness.Stats.stddev [ 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-12)) "median odd" 2.
+    (Harness.Stats.median [ 3.; 1.; 2. ]);
+  Alcotest.(check (float 1e-12)) "median even" 2.5
+    (Harness.Stats.median [ 4.; 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-12)) "rel err" 0.1
+    (Harness.Stats.rel_err ~reference:10. 11.)
+
+let test_table_render () =
+  let out =
+    Harness.Table.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "33"; "4" ] ]
+  in
+  Alcotest.(check bool) "aligned pipe table" true
+    (String.length out > 0 && String.contains out '|');
+  (* all rows same width *)
+  let widths =
+    List.map String.length (String.split_on_char '\n' out)
+  in
+  Alcotest.(check bool) "rectangular" true
+    (List.for_all (( = ) (List.hd widths)) widths)
+
+let test_paper_data_consistent () =
+  List.iter
+    (fun (t : Harness.Paper.table) ->
+      Alcotest.(check int)
+        (t.name ^ ": ported column length")
+        (List.length t.threads) (List.length t.ported);
+      Alcotest.(check int)
+        (t.name ^ ": reference column length")
+        (List.length t.threads) (List.length t.reference);
+      (* runtimes decrease with thread count in every published column *)
+      let decreasing l =
+        List.for_all2 (fun a b -> b <= a) (List.filteri (fun i _ -> i < List.length l - 1) l)
+          (List.tl l)
+      in
+      Alcotest.(check bool) (t.name ^ ": ported monotone") true
+        (decreasing t.ported);
+      Alcotest.(check bool) (t.name ^ ": reference monotone") true
+        (decreasing t.reference))
+    Harness.Paper.tables
+
+let test_speedup_derivation () =
+  let s = Harness.Paper.speedups [ 1; 2; 4 ] [ 10.; 5.; 2.5 ] in
+  Alcotest.(check (list (pair int (float 1e-12)))) "t1/tN"
+    [ (1, 1.); (2, 2.); (4, 4.) ] s
+
+(* ---- shape reproduction (the headline claims) ---- *)
+
+let sim kernel lang nt =
+  Harness.Experiment.sim_time kernel lang ~nthreads:nt
+
+let test_table1_shape_cg () =
+  (* Zig beats Fortran serially by ~1.14x; both scale; super-linear
+     region between 64 and 128 *)
+  let z1 = sim Harness.Experiment.CG Npb.Classes.Zig 1 in
+  let f1 = sim Harness.Experiment.CG Npb.Classes.Fortran 1 in
+  Alcotest.(check bool) "Fortran serial slower" true (f1 > z1);
+  Alcotest.(check bool) "serial ratio near the paper's 1.14" true
+    (f1 /. z1 > 1.05 && f1 /. z1 < 1.25);
+  let z64 = sim Harness.Experiment.CG Npb.Classes.Zig 64 in
+  let z128 = sim Harness.Experiment.CG Npb.Classes.Zig 128 in
+  Alcotest.(check bool) "64->128 threads more than doubles (cache fit)"
+    true (z64 /. z128 > 2.0);
+  Alcotest.(check bool) "absolute serial within 15% of the paper" true
+    (Float.abs (Harness.Stats.rel_err ~reference:149.40 z1) < 0.15)
+
+let test_table2_shape_ep () =
+  (* EP is compute bound: near-perfect scaling for both languages and a
+     constant language gap *)
+  let z1 = sim Harness.Experiment.EP Npb.Classes.Zig 1 in
+  let z64 = sim Harness.Experiment.EP Npb.Classes.Zig 64 in
+  let f1 = sim Harness.Experiment.EP Npb.Classes.Fortran 1 in
+  Alcotest.(check bool) "speedup at 64 within 5% of perfect" true
+    (z1 /. z64 /. 64. > 0.95);
+  Alcotest.(check bool) "Fortran ~1.25x slower (paper's ratio)" true
+    (f1 /. z1 > 1.2 && f1 /. z1 < 1.3);
+  Alcotest.(check bool) "absolute serial within 10% of the paper" true
+    (Float.abs (Harness.Stats.rel_err ~reference:147.66 z1) < 0.10)
+
+let test_table3_shape_is () =
+  (* IS: C wins serially (the one benchmark where the port loses), and
+     scaling saturates — 128 threads buy little over 64 *)
+  let z1 = sim Harness.Experiment.IS Npb.Classes.Zig 1 in
+  let c1 = sim Harness.Experiment.IS Npb.Classes.C_lang 1 in
+  Alcotest.(check bool) "C reference faster serially" true (c1 < z1);
+  let z64 = sim Harness.Experiment.IS Npb.Classes.Zig 64 in
+  let z128 = sim Harness.Experiment.IS Npb.Classes.Zig 128 in
+  Alcotest.(check bool) "saturated past 64 threads" true
+    (z64 /. z128 < 1.25);
+  Alcotest.(check bool) "speedup at 128 in the paper's 30-60x band" true
+    (z1 /. z128 > 30. && z1 /. z128 < 60.)
+
+let test_tables_render_with_low_deviation () =
+  List.iter
+    (fun kernel ->
+      let text, dev = Harness.Experiment.table kernel in
+      Alcotest.(check bool)
+        (Harness.Experiment.kernel_name kernel ^ " table renders")
+        true
+        (String.length text > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s mean |deviation| %.1f%% under 25%%"
+           (Harness.Experiment.kernel_name kernel) (100. *. dev))
+        true (dev < 0.25))
+    [ Harness.Experiment.CG; Harness.Experiment.EP; Harness.Experiment.IS ]
+
+let test_figures_render () =
+  List.iter
+    (fun kernel ->
+      let fig = Harness.Experiment.figure kernel in
+      Alcotest.(check bool) "figure renders" true (String.length fig > 100))
+    [ Harness.Experiment.CG; Harness.Experiment.EP; Harness.Experiment.IS ]
+
+let test_real_run_small () =
+  let r =
+    Harness.Experiment.real_run Harness.Experiment.IS ~cls:Npb.Classes.S
+      ~nthreads:2 ()
+  in
+  Alcotest.(check bool) "real IS S run verifies" true (Npb.Result.verified r)
+
+let suite =
+  [ Alcotest.test_case "statistics" `Quick test_stats;
+    Alcotest.test_case "table rendering" `Quick test_table_render;
+    Alcotest.test_case "paper data consistency" `Quick
+      test_paper_data_consistent;
+    Alcotest.test_case "speedup derivation" `Quick test_speedup_derivation;
+    Alcotest.test_case "Table I shape (CG)" `Slow test_table1_shape_cg;
+    Alcotest.test_case "Table II shape (EP)" `Slow test_table2_shape_ep;
+    Alcotest.test_case "Table III shape (IS)" `Slow test_table3_shape_is;
+    Alcotest.test_case "tables render, deviation bounded" `Slow
+      test_tables_render_with_low_deviation;
+    Alcotest.test_case "figures render" `Slow test_figures_render;
+    Alcotest.test_case "real small run" `Quick test_real_run_small;
+  ]

@@ -1,0 +1,509 @@
+(* End-to-end tests: Zr programs with OpenMP pragmas, preprocessed and
+   executed on real OCaml domains, checked against expected values (and
+   against serial execution of the same program on one thread). *)
+
+module V = Interp.Value
+
+let load = Interp.load
+
+let vfloat = function
+  | V.VFloat f -> f
+  | v -> Alcotest.failf "expected float, got %s" (V.to_string v)
+
+let vint = function
+  | V.VInt i -> i
+  | v -> Alcotest.failf "expected int, got %s" (V.to_string v)
+
+let () = Omprt.Api.set_num_threads 4
+
+(* ---- plain language semantics (no pragmas) ---- *)
+
+let test_scalar_functions () =
+  let p = load {|
+fn fib(n: i64) i64 {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+fn arith() f64 {
+    var a: f64 = 3.0;
+    a *= 2.0;
+    a += 1.5;
+    a -= 0.5;
+    a /= 2.0;
+    return a;
+}
+|} in
+  Alcotest.(check int) "recursion" 55 (vint (Interp.call p "fib" [ V.VInt 10 ]));
+  Alcotest.(check (float 1e-12)) "compound assignment" 3.5
+    (vfloat (Interp.call p "arith" []))
+
+let test_control_flow () =
+  let p = load {|
+fn count_odd(n: i64) i64 {
+    var c: i64 = 0;
+    var i: i64 = 0;
+    while (i < n) : (i += 1) {
+        if (i % 2 == 0) { continue; }
+        if (i > 50) { break; }
+        c += 1;
+    }
+    return c;
+}
+|} in
+  Alcotest.(check int) "break/continue" 25
+    (vint (Interp.call p "count_odd" [ V.VInt 100 ]))
+
+let test_arrays_and_pointers () =
+  let p = load {|
+fn fill_and_sum(n: i64) f64 {
+    var a = alloc_f64(n);
+    var i: i64 = 0;
+    while (i < n) : (i += 1) { a[i] = float_of(i); }
+    var s: f64 = 0.0;
+    i = 0;
+    while (i < n) : (i += 1) { s += a[i]; }
+    return s;
+}
+fn through_pointer() i64 {
+    var x: i64 = 1;
+    var p = &x;
+    p.* = 42;
+    return x;
+}
+|} in
+  Alcotest.(check (float 1e-9)) "array sum" 4950.
+    (vfloat (Interp.call p "fill_and_sum" [ V.VInt 100 ]));
+  Alcotest.(check int) "pointer write" 42
+    (vint (Interp.call p "through_pointer" []))
+
+let test_globals () =
+  let p = load {|
+var counter: i64 = 10;
+fn bump() i64 {
+    counter += 5;
+    return counter;
+}
+|} in
+  Alcotest.(check int) "first" 15 (vint (Interp.call p "bump" []));
+  Alcotest.(check int) "second" 20 (vint (Interp.call p "bump" []))
+
+let test_runtime_safety () =
+  let p = load {|
+fn oob() f64 { var a = alloc_f64(3); return a[5]; }
+fn undef_use() f64 { var x: f64 = undefined; return x + 1.0; }
+|} in
+  Alcotest.(check bool) "bounds check traps" true
+    (try ignore (Interp.call p "oob" []); false
+     with V.Runtime_error _ -> true);
+  Alcotest.(check bool) "undefined-use traps" true
+    (try ignore (Interp.call p "undef_use" []); false
+     with V.Runtime_error _ -> true)
+
+(* ---- OpenMP end-to-end ---- *)
+
+let dot_src = {|
+fn dot(n: i64, x: []f64, y: []f64) f64 {
+    var s: f64 = 0.0;
+    var i: i64 = 0;
+    //$omp parallel for reduction(+: s) shared(x, y)
+    while (i < n) : (i += 1) {
+        s += x[i] * y[i];
+    }
+    return s;
+}
+|}
+
+let test_parallel_dot () =
+  let p = load dot_src in
+  let n = 1000 in
+  let x = Array.init n (fun i -> float_of_int i) in
+  let y = Array.init n (fun i -> float_of_int (i mod 7)) in
+  let expected = ref 0. in
+  for i = 0 to n - 1 do expected := !expected +. (x.(i) *. y.(i)) done;
+  let r =
+    vfloat
+      (Interp.call p "dot" [ V.VInt n; V.VFloatArr x; V.VFloatArr y ])
+  in
+  Alcotest.(check (float 1e-6)) "parallel dot product" !expected r
+
+let test_schedules_agree () =
+  (* the same loop under every schedule gives the same answer *)
+  let src sched = Printf.sprintf {|
+fn s(n: i64) f64 {
+    var acc: f64 = 0.0;
+    var i: i64 = 0;
+    //$omp parallel for reduction(+: acc) %s
+    while (i < n) : (i += 1) {
+        acc += float_of(i);
+    }
+    return acc;
+}
+|} sched
+  in
+  let expected = float_of_int (617 * 616 / 2) in
+  List.iter
+    (fun sched ->
+      let p = load (src sched) in
+      Alcotest.(check (float 1e-6)) sched expected
+        (vfloat (Interp.call p "s" [ V.VInt 617 ])))
+    [ "schedule(static)"; "schedule(static, 3)"; "schedule(dynamic, 10)";
+      "schedule(guided, 2)"; "schedule(runtime)"; "" ]
+
+let test_parallel_region_threads () =
+  let p = load {|
+fn team() f64 {
+    var count: f64 = 0.0;
+    //$omp parallel num_threads(3)
+    {
+        //$omp atomic
+        count += 1.0;
+    }
+    return count;
+}
+|} in
+  Alcotest.(check (float 0.)) "three contributions" 3.
+    (vfloat (Interp.call p "team" []))
+
+let test_firstprivate_and_private () =
+  let p = load {|
+fn fp(n: i64) f64 {
+    var base: f64 = 100.0;
+    var acc: f64 = 0.0;
+    //$omp parallel firstprivate(base) num_threads(4)
+    {
+        var local: f64 = 0.0;
+        base += float_of(omp.get_thread_num());
+        local = base;
+        //$omp atomic
+        acc += local;
+    }
+    return acc;
+}
+|} in
+  (* each thread starts from base=100, adds its tid: 100+0+...+103 *)
+  Alcotest.(check (float 1e-9)) "firstprivate copies" 406.
+    (vfloat (Interp.call p "fp" [ V.VInt 4 ]))
+
+let test_mul_reduction_cas () =
+  (* the paper's CAS-loop multiplication reduction *)
+  let p = load {|
+fn product(n: i64) f64 {
+    var prod: f64 = 1.0;
+    var i: i64 = 0;
+    //$omp parallel for reduction(*: prod)
+    while (i < n) : (i += 1) {
+        prod *= 2.0;
+    }
+    return prod;
+}
+|} in
+  Alcotest.(check (float 1e-6)) "2^20 via CAS-loop reduction" (2. ** 20.)
+    (vfloat (Interp.call p "product" [ V.VInt 20 ]))
+
+let test_min_max_reductions () =
+  let p = load {|
+fn extremes(n: i64, x: []f64) f64 {
+    var lo: f64 = 0.0;
+    var hi: f64 = 0.0;
+    lo = __omp_huge();
+    hi = -__omp_huge();
+    var i: i64 = 0;
+    //$omp parallel for reduction(min: lo) reduction(max: hi) shared(x)
+    while (i < n) : (i += 1) {
+        lo = __omp_min(lo, x[i]);
+        hi = __omp_max(hi, x[i]);
+    }
+    return hi - lo;
+}
+|} in
+  let x = Array.init 512 (fun i -> float_of_int ((i * 37) mod 101)) in
+  Alcotest.(check (float 1e-9)) "max - min" 100.
+    (vfloat (Interp.call p "extremes" [ V.VInt 512; V.VFloatArr x ]))
+
+let test_critical_and_barrier () =
+  let p = load {|
+fn phases() f64 {
+    var a: f64 = 0.0;
+    var wrong: f64 = 0.0;
+    //$omp parallel num_threads(4)
+    {
+        //$omp critical
+        { a += 1.0; }
+        //$omp barrier
+        if (a != 4.0) {
+            //$omp atomic
+            wrong += 1.0;
+        }
+    }
+    return wrong;
+}
+|} in
+  Alcotest.(check (float 0.)) "barrier separates phases" 0.
+    (vfloat (Interp.call p "phases" []))
+
+let test_single_and_master () =
+  let p = load {|
+fn once() f64 {
+    var singles: f64 = 0.0;
+    var masters: f64 = 0.0;
+    //$omp parallel num_threads(4)
+    {
+        //$omp single
+        { singles += 1.0; }
+        //$omp master
+        { masters += 1.0; }
+    }
+    return singles * 10.0 + masters;
+}
+|} in
+  Alcotest.(check (float 0.)) "one single + one master" 11.
+    (vfloat (Interp.call p "once" []))
+
+let test_nowait_with_independent_loops () =
+  let p = load {|
+fn two_loops(n: i64, a: []f64, b: []f64) f64 {
+    //$omp parallel shared(a, b)
+    {
+        var i: i64 = 0;
+        //$omp for nowait
+        while (i < n) : (i += 1) { a[i] = 1.0; }
+        var j: i64 = 0;
+        //$omp for
+        while (j < n) : (j += 1) { b[j] = 2.0; }
+    }
+    var s: f64 = 0.0;
+    var k: i64 = 0;
+    while (k < n) : (k += 1) { s += a[k] + b[k]; }
+    return s;
+}
+|} in
+  let n = 256 in
+  Alcotest.(check (float 1e-9)) "both loops complete" (3. *. float_of_int n)
+    (vfloat
+       (Interp.call p "two_loops"
+          [ V.VInt n; V.VFloatArr (Array.make n 0.);
+            V.VFloatArr (Array.make n 0.) ]))
+
+let test_parallel_matches_serial () =
+  (* identical program, 1 thread vs 4 threads: bit-identical result for
+     an order-independent computation *)
+  let p = load dot_src in
+  let n = 2048 in
+  let x = Array.init n (fun i -> 1. /. float_of_int (i + 1)) in
+  let y = Array.init n (fun i -> float_of_int (i mod 13)) in
+  let run nt =
+    Omprt.Api.set_num_threads nt;
+    vfloat (Interp.call p "dot" [ V.VInt n; V.VFloatArr x; V.VFloatArr y ])
+  in
+  let serial = run 1 in
+  let parallel = run 4 in
+  Omprt.Api.set_num_threads 4;
+  Alcotest.(check (float 1e-9)) "1-thread vs 4-thread" serial parallel
+
+let test_pragmas_error_without_preprocess () =
+  let p = Interp.load ~preprocess:false dot_src in
+  Alcotest.(check bool) "directives trap in the interpreter" true
+    (try
+       ignore
+         (Interp.call p "dot"
+            [ V.VInt 4; V.VFloatArr [| 1.; 2.; 3.; 4. |];
+              V.VFloatArr [| 1.; 1.; 1.; 1. |] ]);
+       false
+     with V.Runtime_error _ -> true)
+
+let test_collapse2 () =
+  let p = load {|
+fn mat_sum(n: i64, m: i64, a: []f64) f64 {
+    var s: f64 = 0.0;
+    var i: i64 = 0;
+    //$omp parallel for collapse(2) reduction(+: s) shared(a)
+    while (i < n) : (i += 1) {
+        var j: i64 = 0;
+        while (j < m) : (j += 1) {
+            s += a[i * m + j];
+        }
+    }
+    return s;
+}
+|} in
+  let n = 13 and m = 29 in
+  let a = Array.init (n * m) float_of_int in
+  let expect = Array.fold_left ( +. ) 0. a in
+  Alcotest.(check (float 1e-9)) "collapsed 2-D sum" expect
+    (vfloat
+       (Interp.call p "mat_sum" [ V.VInt n; V.VInt m; V.VFloatArr a ]))
+
+let test_collapse2_dynamic_ragged () =
+  (* fused space not divisible by chunk or team size *)
+  let p = load {|
+fn grid(n: i64, m: i64, hits: []f64) f64 {
+    var i: i64 = 0;
+    //$omp parallel
+    {
+        //$omp for collapse(2) schedule(dynamic, 7) shared(hits)
+        while (i < n) : (i += 1) {
+            var j: i64 = 0;
+            while (j < m) : (j += 1) {
+                hits[i * m + j] = hits[i * m + j] + 1.0;
+            }
+        }
+    }
+    var k: i64 = 0;
+    var bad: f64 = 0.0;
+    while (k < n * m) : (k += 1) {
+        if (hits[k] != 1.0) { bad += 1.0; }
+    }
+    return bad;
+}
+|} in
+  let n = 11 and m = 17 in
+  Alcotest.(check (float 0.)) "every cell exactly once" 0.
+    (vfloat
+       (Interp.call p "grid"
+          [ V.VInt n; V.VInt m; V.VFloatArr (Array.make (n * m) 0.) ]))
+
+let test_collapse2_requires_canonical_nest () =
+  Alcotest.(check bool) "non-nested body rejected" true
+    (try
+       ignore
+         (load {|
+fn f(n: i64) f64 {
+    var s: f64 = 0.0;
+    var i: i64 = 0;
+    //$omp parallel for collapse(2) reduction(+: s)
+    while (i < n) : (i += 1) {
+        s += 1.0;
+    }
+    return s;
+}
+|});
+       false
+     with Zr.Source.Error _ -> true)
+
+let test_omp_namespace () =
+  let p = load {|
+fn api_probe() i64 {
+    var inside: i64 = 0;
+    //$omp parallel num_threads(2)
+    {
+        //$omp master
+        { inside = omp.get_num_threads(); }
+    }
+    return inside * 100 + omp.get_num_threads();
+}
+|} in
+  (* 2 threads inside, 1 outside *)
+  Alcotest.(check int) "omp.get_num_threads in/out" 201
+    (vint (Interp.call p "api_probe" []))
+
+let test_threadprivate () =
+  let p = load {|
+var counter: f64 = 10.0;
+//$omp threadprivate(counter)
+fn probe() f64 {
+    var total: f64 = 0.0;
+    //$omp parallel num_threads(4)
+    {
+        counter += float_of(omp.get_thread_num());
+        //$omp critical
+        { total += counter; }
+    }
+    return total;
+}
+|} in
+  (* four per-thread copies, each starting at 10, plus the thread id *)
+  Alcotest.(check (float 1e-9)) "per-thread copies" 46.
+    (vfloat (Interp.call p "probe" []))
+
+let test_threadprivate_master_persists () =
+  let p = load {|
+var tally: f64 = 0.0;
+//$omp threadprivate(tally)
+fn bump() f64 {
+    //$omp parallel num_threads(2)
+    {
+        //$omp master
+        { tally += 1.0; }
+    }
+    return tally;
+}
+|} in
+  (* the encountering thread's copy persists across regions *)
+  Alcotest.(check (float 0.)) "first region" 1. (vfloat (Interp.call p "bump" []));
+  Alcotest.(check (float 0.)) "second region" 2. (vfloat (Interp.call p "bump" []))
+
+let test_threadprivate_unknown_global_rejected () =
+  Alcotest.(check bool) "unknown global rejected" true
+    (try
+       ignore (load "//$omp threadprivate(nope)\nfn main() void { }");
+       false
+     with V.Runtime_error _ -> true)
+
+let test_host_function_interop () =
+  let p = load {|
+fn transform(n: i64, x: []f64) f64 {
+    var s: f64 = 0.0;
+    var i: i64 = 0;
+    //$omp parallel for reduction(+: s) shared(x)
+    while (i < n) : (i += 1) {
+        s += host_scale(x[i]);
+    }
+    return s;
+}
+|} in
+  Interp.register_host "host_scale" (function
+    | [ V.VFloat f ] -> V.VFloat (2. *. f)
+    | _ -> failwith "host_scale: bad args");
+  Fun.protect
+    ~finally:(fun () -> Interp.unregister_host "host_scale")
+    (fun () ->
+      let x = Array.init 100 float_of_int in
+      Alcotest.(check (float 1e-9)) "host fn called from a team"
+        (2. *. 4950.)
+        (vfloat
+           (Interp.call p "transform" [ V.VInt 100; V.VFloatArr x ])))
+
+let test_host_function_unregistered_errors () =
+  let p = load "fn f() f64 { return mystery(); }" in
+  Alcotest.(check bool) "unknown extern traps" true
+    (try ignore (Interp.call p "f" []); false
+     with V.Runtime_error _ -> true)
+
+let suite =
+  [ Alcotest.test_case "scalar functions" `Quick test_scalar_functions;
+    Alcotest.test_case "threadprivate copies" `Quick test_threadprivate;
+    Alcotest.test_case "threadprivate persistence" `Quick
+      test_threadprivate_master_persists;
+    Alcotest.test_case "threadprivate unknown global" `Quick
+      test_threadprivate_unknown_global_rejected;
+    Alcotest.test_case "host function interop" `Quick
+      test_host_function_interop;
+    Alcotest.test_case "unknown extern traps" `Quick
+      test_host_function_unregistered_errors;
+    Alcotest.test_case "control flow" `Quick test_control_flow;
+    Alcotest.test_case "arrays and pointers" `Quick test_arrays_and_pointers;
+    Alcotest.test_case "globals" `Quick test_globals;
+    Alcotest.test_case "runtime safety traps" `Quick test_runtime_safety;
+    Alcotest.test_case "parallel dot product" `Quick test_parallel_dot;
+    Alcotest.test_case "all schedules agree" `Quick test_schedules_agree;
+    Alcotest.test_case "num_threads clause" `Quick
+      test_parallel_region_threads;
+    Alcotest.test_case "firstprivate semantics" `Quick
+      test_firstprivate_and_private;
+    Alcotest.test_case "CAS-loop multiply reduction" `Quick
+      test_mul_reduction_cas;
+    Alcotest.test_case "min/max reductions" `Quick test_min_max_reductions;
+    Alcotest.test_case "critical + barrier" `Quick test_critical_and_barrier;
+    Alcotest.test_case "single + master" `Quick test_single_and_master;
+    Alcotest.test_case "nowait loops" `Quick test_nowait_with_independent_loops;
+    Alcotest.test_case "parallel matches serial" `Quick
+      test_parallel_matches_serial;
+    Alcotest.test_case "unpreprocessed pragmas trap" `Quick
+      test_pragmas_error_without_preprocess;
+    Alcotest.test_case "collapse(2) correctness" `Quick test_collapse2;
+    Alcotest.test_case "collapse(2) dynamic ragged" `Quick
+      test_collapse2_dynamic_ragged;
+    Alcotest.test_case "collapse(2) canonical-nest check" `Quick
+      test_collapse2_requires_canonical_nest;
+    Alcotest.test_case "omp namespace" `Quick test_omp_namespace;
+  ]

@@ -1,0 +1,181 @@
+(* Edge cases of the worksharing lowering, end-to-end through the
+   preprocessor and interpreter, plus direct tests of the kmpc
+   protocol's static/dispatch entry points under unusual bounds:
+   negative steps, non-unit strides, inclusive comparisons, empty and
+   single-iteration spaces. *)
+
+module V = Interp.Value
+
+let () = Omprt.Api.set_num_threads 4
+
+let vfloat = function
+  | V.VFloat f -> f
+  | v -> Alcotest.failf "expected float, got %s" (V.to_string v)
+
+(* run one worksharing loop over a per-index hit array; check exactly-
+   once coverage of precisely the expected index set *)
+let run_loop ~header ~size expected_hits =
+  let src = Printf.sprintf {|
+fn go(n: i64, hits: []f64) f64 {
+    //$omp parallel shared(hits) firstprivate(n)
+    {
+        %s
+    }
+    return 0.0;
+}
+|} header
+  in
+  let p = Interp.load ~name:"edge.zr" src in
+  let hits = Array.make size 0. in
+  ignore (Interp.call p "go" [ V.VInt size; V.VFloatArr hits ]);
+  let expected = Array.make size 0. in
+  List.iter (fun i -> expected.(i) <- expected.(i) +. 1.) expected_hits;
+  Alcotest.(check (array (float 0.))) "exact coverage" expected hits
+
+let test_negative_step () =
+  run_loop ~size:10
+    ~header:{|
+        var i: i64 = 0;
+        i = n - 1;
+        //$omp for
+        while (i > 0) : (i -= 1) {
+            hits[i] = hits[i] + 1.0;
+        }|}
+    (List.init 9 (fun k -> k + 1))  (* 9 down to 1 *)
+
+let test_negative_step_inclusive () =
+  run_loop ~size:10
+    ~header:{|
+        var i: i64 = 0;
+        i = n - 1;
+        //$omp for schedule(dynamic, 3)
+        while (i >= 0) : (i -= 1) {
+            hits[i] = hits[i] + 1.0;
+        }|}
+    (List.init 10 Fun.id)
+
+let test_stride_3 () =
+  run_loop ~size:20
+    ~header:{|
+        var i: i64 = 0;
+        //$omp for
+        while (i < n) : (i += 3) {
+            hits[i] = hits[i] + 1.0;
+        }|}
+    [ 0; 3; 6; 9; 12; 15; 18 ]
+
+let test_stride_inclusive_upper () =
+  run_loop ~size:16
+    ~header:{|
+        var i: i64 = 0;
+        //$omp for schedule(static, 2)
+        while (i <= 15) : (i += 5) {
+            hits[i] = hits[i] + 1.0;
+        }|}
+    [ 0; 5; 10; 15 ]
+
+let test_empty_space () =
+  run_loop ~size:5
+    ~header:{|
+        var i: i64 = 0;
+        i = 7;
+        //$omp for
+        while (i < 3) : (i += 1) {
+            hits[0] = hits[0] + 1.0;
+        }|}
+    []
+
+let test_single_iteration () =
+  run_loop ~size:5
+    ~header:{|
+        var i: i64 = 2;
+        //$omp for schedule(guided, 4)
+        while (i < 3) : (i += 1) {
+            hits[i] = hits[i] + 1.0;
+        }|}
+    [ 2 ]
+
+let test_chunk_larger_than_space () =
+  run_loop ~size:6
+    ~header:{|
+        var i: i64 = 0;
+        //$omp for schedule(dynamic, 100)
+        while (i < n) : (i += 1) {
+            hits[i] = hits[i] + 1.0;
+        }|}
+    (List.init 6 Fun.id)
+
+let test_num_threads_one () =
+  let p = Interp.load ~name:"one.zr" {|
+fn f(n: i64) f64 {
+    var s: f64 = 0.0;
+    var i: i64 = 0;
+    //$omp parallel for reduction(+: s) num_threads(1)
+    while (i < n) : (i += 1) { s += 1.0; }
+    return s;
+}
+|} in
+  Alcotest.(check (float 0.)) "degenerate team of one" 50.
+    (vfloat (Interp.call p "f" [ V.VInt 50 ]))
+
+(* ---- direct kmpc protocol checks ---- *)
+
+let test_kmpc_static_for_strided () =
+  (* negative stride through the real static_for wrapper *)
+  let visited = Atomic.make [] in
+  Omprt.Omp.parallel ~num_threads:3 (fun () ->
+      Omprt.Kmpc.static_for ~lo:20 ~hi:0 ~step:(-4) (fun i ->
+          Omprt.Atomics.cas_loop visited (fun l -> i :: l)));
+  Alcotest.(check (list int)) "strided descending coverage"
+    [ 4; 8; 12; 16; 20 ]
+    (List.sort compare (Atomic.get visited))
+
+let test_kmpc_static_for_chunked () =
+  let visited = Atomic.make [] in
+  Omprt.Omp.parallel ~num_threads:3 (fun () ->
+      Omprt.Kmpc.static_for ~chunk:2 ~lo:0 ~hi:11 ~step:1 (fun i ->
+          Omprt.Atomics.cas_loop visited (fun l -> i :: l)));
+  Alcotest.(check (list int)) "chunked static coverage"
+    (List.init 11 Fun.id)
+    (List.sort compare (Atomic.get visited))
+
+let test_kmpc_dispatch_for_negative () =
+  let visited = Atomic.make [] in
+  Omprt.Omp.parallel ~num_threads:4 (fun () ->
+      Omprt.Kmpc.dispatch_for ~sched:(Omp_model.Sched.Guided 2) ~lo:9
+        ~hi:(-1) ~step:(-1) (fun i ->
+          Omprt.Atomics.cas_loop visited (fun l -> i :: l)));
+  Alcotest.(check (list int)) "guided descending coverage"
+    (List.init 10 Fun.id)
+    (List.sort compare (Atomic.get visited))
+
+let test_static_init_bounds_values () =
+  (* inside a team of 1 the block is the whole space, inclusive upper *)
+  Omprt.Omp.parallel ~num_threads:1 (fun () ->
+      match Omprt.Kmpc.for_static_init ~lo:3 ~hi:12 ~step:2 () with
+      | Some { lower; upper; _ } ->
+          Alcotest.(check int) "lower" 3 lower;
+          Alcotest.(check int) "upper (inclusive, on-grid)" 11 upper
+      | None -> Alcotest.fail "expected a block")
+
+let suite =
+  [ Alcotest.test_case "negative step" `Quick test_negative_step;
+    Alcotest.test_case "negative step, inclusive" `Quick
+      test_negative_step_inclusive;
+    Alcotest.test_case "stride 3" `Quick test_stride_3;
+    Alcotest.test_case "stride with inclusive upper" `Quick
+      test_stride_inclusive_upper;
+    Alcotest.test_case "empty iteration space" `Quick test_empty_space;
+    Alcotest.test_case "single iteration" `Quick test_single_iteration;
+    Alcotest.test_case "chunk larger than space" `Quick
+      test_chunk_larger_than_space;
+    Alcotest.test_case "num_threads(1)" `Quick test_num_threads_one;
+    Alcotest.test_case "kmpc static_for strided" `Quick
+      test_kmpc_static_for_strided;
+    Alcotest.test_case "kmpc static_for chunked" `Quick
+      test_kmpc_static_for_chunked;
+    Alcotest.test_case "kmpc dispatch_for negative" `Quick
+      test_kmpc_dispatch_for_negative;
+    Alcotest.test_case "static_init bound values" `Quick
+      test_static_init_bounds_values;
+  ]

@@ -1,0 +1,21 @@
+(* Test entry point: one alcotest binary covering every subsystem. *)
+
+let () =
+  Alcotest.run "zigomp"
+    [ ("tokenizer", Test_tokenizer.suite);
+      ("parser", Test_parser.suite);
+      ("packed-clauses", Test_packed.suite);
+      ("worksharing", Test_ws.suite);
+      ("runtime", Test_runtime.suite);
+      ("atomics", Test_atomics.suite);
+      ("simulator", Test_sim.suite);
+      ("sim-runtime", Test_simrt.suite);
+      ("preprocessor", Test_preproc.suite);
+      ("interpreter", Test_interp.suite);
+      ("loop-edges", Test_loops_edge.suite);
+      ("npb", Test_npb.suite);
+      ("harness", Test_harness.suite);
+      ("public-api", Test_zigomp.suite);
+      ("zr-examples", Test_zr_examples.suite);
+      ("pipeline-properties", Test_pipeline_prop.suite);
+    ]

@@ -1,0 +1,221 @@
+(* NPB kernel tests: the random-number generator against its published
+   invariants, matrix construction, official verification values at the
+   small classes on the real engine, and serial/parallel agreement. *)
+
+let () = Omprt.Api.set_num_threads 4
+
+(* ---- randlc ---- *)
+
+let test_randlc_range_and_determinism () =
+  let rng = Npb.Randlc.create 314159265.0 in
+  let xs = List.init 1000 (fun _ -> Npb.Randlc.draw rng) in
+  List.iter
+    (fun x ->
+      Alcotest.(check bool) "in (0,1)" true (x > 0. && x < 1.))
+    xs;
+  let rng2 = Npb.Randlc.create 314159265.0 in
+  let ys = List.init 1000 (fun _ -> Npb.Randlc.draw rng2) in
+  Alcotest.(check bool) "deterministic" true (xs = ys)
+
+let test_randlc_period_structure () =
+  (* x_{k+1} = a * x_k mod 2^46: seeds stay odd integers < 2^46 *)
+  let rng = Npb.Randlc.create 314159265.0 in
+  for _ = 1 to 100 do ignore (Npb.Randlc.draw rng) done;
+  let s = rng.Npb.Randlc.seed in
+  Alcotest.(check bool) "seed is an integer" true (Float.of_int (Float.to_int s) = s);
+  Alcotest.(check bool) "seed below 2^46" true (s < 2. ** 46.);
+  Alcotest.(check bool) "seed odd (a and x0 odd)" true
+    (Float.to_int s land 1 = 1)
+
+let test_randlc_power_jumps () =
+  (* power a n must equal n sequential multiplier applications *)
+  let a = Npb.Randlc.a_default in
+  let seed = 271828183.0 in
+  let jump n =
+    let an = Npb.Randlc.power a n in
+    fst (Npb.Randlc.next seed an)
+  in
+  let walk n =
+    let s = ref seed in
+    for _ = 1 to n do s := fst (Npb.Randlc.next !s a) done;
+    !s
+  in
+  List.iter
+    (fun n ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "jump %d = walk %d" n n)
+        (walk n) (jump n))
+    [ 1; 2; 3; 7; 64; 1000 ]
+
+let test_vranlc_matches_draws () =
+  let r1 = Npb.Randlc.create 271828183.0 in
+  let buf = Array.make 64 0. in
+  Npb.Randlc.vranlc r1 64 buf 0;
+  let r2 = Npb.Randlc.create 271828183.0 in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check (float 0.)) (Printf.sprintf "elt %d" i)
+        (Npb.Randlc.draw r2) v)
+    buf
+
+(* ---- CG ---- *)
+
+let test_cg_matrix_structure () =
+  let p = Npb.Classes.Cg.params Npb.Classes.S in
+  let rng = Npb.Randlc.create 314159265.0 in
+  let _zeta0 = Npb.Randlc.draw rng in
+  let m = Npb.Cg.make_matrix p rng in
+  Alcotest.(check int) "order" p.na m.Npb.Cg.n;
+  Alcotest.(check int) "rowstr closes at nnz" m.Npb.Cg.nnz
+    m.Npb.Cg.rowstr.(p.na);
+  Alcotest.(check bool) "nnz within the allocation bound" true
+    (m.Npb.Cg.nnz <= Npb.Classes.Cg.nz_bound p);
+  (* rows sorted by column, no duplicates, indices in range *)
+  let sorted_ok = ref true and range_ok = ref true in
+  for j = 0 to p.na - 1 do
+    for k = m.Npb.Cg.rowstr.(j) to m.Npb.Cg.rowstr.(j + 1) - 1 do
+      let c = m.Npb.Cg.colidx.(k) in
+      if c < 0 || c >= p.na then range_ok := false;
+      if k > m.Npb.Cg.rowstr.(j) && m.Npb.Cg.colidx.(k - 1) >= c then
+        sorted_ok := false
+    done
+  done;
+  Alcotest.(check bool) "columns sorted and unique per row" true !sorted_ok;
+  Alcotest.(check bool) "column indices in range" true !range_ok;
+  (* the generated matrix is structurally symmetric enough to be SPD by
+     construction; check the diagonal is present and dominant-signed *)
+  let diag_present = ref true in
+  for j = 0 to p.na - 1 do
+    let found = ref false in
+    for k = m.Npb.Cg.rowstr.(j) to m.Npb.Cg.rowstr.(j + 1) - 1 do
+      if m.Npb.Cg.colidx.(k) = j then found := true
+    done;
+    if not !found then diag_present := false
+  done;
+  Alcotest.(check bool) "diagonal present in every row" true !diag_present
+
+let test_cg_class_s_verifies_serial () =
+  let r = Npb.Cg.run_serial ~cls:Npb.Classes.S () in
+  Alcotest.(check bool)
+    (Format.asprintf "CG S serial: %a" Npb.Result.pp r)
+    true (Npb.Result.verified r)
+
+let test_cg_class_s_verifies_parallel () =
+  let r = Npb.Cg.run (module Omprt.Omp) ~cls:Npb.Classes.S () in
+  Alcotest.(check bool) "CG S on 4 threads hits the official zeta" true
+    (Npb.Result.verified r)
+
+let test_cg_class_w_verifies_parallel () =
+  let r = Npb.Cg.run (module Omprt.Omp) ~cls:Npb.Classes.W () in
+  Alcotest.(check bool) "CG W on 4 threads hits the official zeta" true
+    (Npb.Result.verified r)
+
+let test_cg_class_a_verifies_parallel () =
+  let r = Npb.Cg.run (module Omprt.Omp) ~cls:Npb.Classes.A () in
+  Alcotest.(check bool) "CG A on 4 threads hits the official zeta" true
+    (Npb.Result.verified r)
+
+let test_ep_class_w_verifies () =
+  let r = Npb.Ep.run (module Omprt.Omp) ~cls:Npb.Classes.W () in
+  Alcotest.(check bool) "EP W on 4 threads hits the official sums" true
+    (Npb.Result.verified r)
+
+(* ---- EP ---- *)
+
+let test_ep_class_s_verifies () =
+  let serial = Npb.Ep.run_serial ~cls:Npb.Classes.S () in
+  Alcotest.(check bool) "EP S serial verifies" true
+    (Npb.Result.verified serial);
+  let par = Npb.Ep.run (module Omprt.Omp) ~cls:Npb.Classes.S () in
+  Alcotest.(check bool) "EP S on 4 threads verifies" true
+    (Npb.Result.verified par);
+  (* the Gaussian counts must agree exactly between serial and parallel *)
+  let gc r = List.assoc "gc" r.Npb.Result.detail in
+  Alcotest.(check (float 0.)) "identical pair counts" (gc serial) (gc par)
+
+let test_ep_partials_independent_of_partition () =
+  (* batches are independent: summing batch partials in any grouping
+     gives the same totals *)
+  let x = Array.make (2 * Npb.Ep.nk) 0. in
+  let one = Npb.Ep.fresh_partial () in
+  List.iter (Npb.Ep.process_batch x one) [ 0; 1; 2; 3 ];
+  let split = Npb.Ep.fresh_partial () in
+  List.iter (Npb.Ep.process_batch x split) [ 2; 0; 3; 1 ];
+  (* batch partials are identical; only the final 4-term accumulation
+     order differs, so agreement is to float rounding, not bitwise *)
+  Alcotest.(check (float 1e-9)) "sx order-independent" one.Npb.Ep.sx
+    split.Npb.Ep.sx;
+  Alcotest.(check (float 1e-9)) "sy order-independent" one.Npb.Ep.sy
+    split.Npb.Ep.sy;
+  Alcotest.(check (array (float 0.))) "annulus counts identical"
+    one.Npb.Ep.q split.Npb.Ep.q
+
+(* ---- IS ---- *)
+
+let test_is_class_s_verifies () =
+  let r = Npb.Is.run (module Omprt.Omp) ~cls:Npb.Classes.S () in
+  Alcotest.(check bool) "IS S on 4 threads full-verifies" true
+    (Npb.Result.verified r)
+
+let test_is_class_w_verifies () =
+  let r = Npb.Is.run (module Omprt.Omp) ~cls:Npb.Classes.W () in
+  Alcotest.(check bool) "IS W on 4 threads full-verifies" true
+    (Npb.Result.verified r)
+
+let test_is_ranks_match_serial () =
+  (* probe five keys: parallel bucketised ranks = serial counting ranks *)
+  let cls = Npb.Classes.S in
+  let p = Npb.Classes.Is.params cls in
+  let st = Npb.Is.make_state (module Omprt.Omp) p in
+  Omprt.Omp.parallel (fun () ->
+      for it = 1 to p.max_iterations do
+        Npb.Is.rank (module Omprt.Omp) st it
+      done);
+  let probes = [ 0; 1; 77; 1024; Npb.Classes.Is.max_key p - 1 ] in
+  let parallel_ranks = List.map (Npb.Is.rank_of st) probes in
+  let serial_ranks = Npb.Is.serial_ranks ~cls probes in
+  Alcotest.(check (list int)) "ranks agree with the serial reference"
+    serial_ranks parallel_ranks
+
+let test_is_key_sequence_deterministic () =
+  let k1 = Npb.Is.create_seq (Npb.Classes.Is.params Npb.Classes.S) in
+  let k2 = Npb.Is.create_seq (Npb.Classes.Is.params Npb.Classes.S) in
+  Alcotest.(check bool) "same seed, same keys" true (k1 = k2);
+  let max_key = Npb.Classes.Is.max_key (Npb.Classes.Is.params Npb.Classes.S) in
+  Alcotest.(check bool) "keys in range" true
+    (Array.for_all (fun k -> k >= 0 && k < max_key) k1)
+
+(* helper used above *)
+
+let suite =
+  [ Alcotest.test_case "randlc range/determinism" `Quick
+      test_randlc_range_and_determinism;
+    Alcotest.test_case "randlc modular structure" `Quick
+      test_randlc_period_structure;
+    Alcotest.test_case "randlc power jumps" `Quick test_randlc_power_jumps;
+    Alcotest.test_case "vranlc = repeated draws" `Quick
+      test_vranlc_matches_draws;
+    Alcotest.test_case "CG matrix structure" `Quick test_cg_matrix_structure;
+    Alcotest.test_case "CG class S serial verification" `Quick
+      test_cg_class_s_verifies_serial;
+    Alcotest.test_case "CG class S parallel verification" `Quick
+      test_cg_class_s_verifies_parallel;
+    Alcotest.test_case "CG class W parallel verification" `Slow
+      test_cg_class_w_verifies_parallel;
+    Alcotest.test_case "CG class A parallel verification" `Slow
+      test_cg_class_a_verifies_parallel;
+    Alcotest.test_case "EP class W parallel verification" `Slow
+      test_ep_class_w_verifies;
+    Alcotest.test_case "EP class S verification" `Slow
+      test_ep_class_s_verifies;
+    Alcotest.test_case "EP batch independence" `Quick
+      test_ep_partials_independent_of_partition;
+    Alcotest.test_case "IS class S verification" `Quick
+      test_is_class_s_verifies;
+    Alcotest.test_case "IS class W verification" `Quick
+      test_is_class_w_verifies;
+    Alcotest.test_case "IS ranks match serial" `Quick
+      test_is_ranks_match_serial;
+    Alcotest.test_case "IS key sequence" `Quick
+      test_is_key_sequence_deterministic;
+  ]

@@ -1,0 +1,115 @@
+(* Bit-exact tests of the packed 32-bit clause encodings (paper III-A2),
+   including qcheck round trips over the whole representable domain. *)
+
+open Ompfront
+
+let all_kinds =
+  [ Packed.Sched_none; Packed.Sched_static; Packed.Sched_dynamic;
+    Packed.Sched_guided; Packed.Sched_runtime; Packed.Sched_auto ]
+
+let test_schedule_layout () =
+  (* 3-bit kind in the low bits, 29-bit chunk above. *)
+  let w = Packed.encode_schedule Packed.Sched_dynamic 5 in
+  Alcotest.(check int) "kind bits" 2 (w land 0x7);
+  Alcotest.(check int) "chunk bits" 5 (w lsr 3);
+  (* maximum chunk from the paper: 536870911 iterations representable,
+     536870912 quoted as the limit (2^29). *)
+  Alcotest.(check int) "max chunk" ((1 lsl 29) - 1) Packed.max_chunk;
+  let w = Packed.encode_schedule Packed.Sched_static Packed.max_chunk in
+  Alcotest.(check bool) "fits in 32 bits" true (Packed.fits_u32 w)
+
+let test_schedule_roundtrip_cases () =
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun chunk ->
+          let k, c = Packed.decode_schedule (Packed.encode_schedule kind chunk) in
+          Alcotest.(check bool) "kind" true (k = kind);
+          Alcotest.(check int) "chunk" chunk c)
+        [ 0; 1; 7; 4096; Packed.max_chunk ])
+    all_kinds
+
+let test_schedule_rejects_oversize () =
+  Alcotest.check_raises "chunk too large"
+    (Invalid_argument "Packed.encode_schedule: chunk out of the 29-bit range")
+    (fun () -> ignore (Packed.encode_schedule Packed.Sched_static (1 lsl 29)))
+
+let test_zero_chunk_means_unspecified () =
+  (* chunk 0 encodes "no chunk given" because a real chunk must be > 0 *)
+  Alcotest.(check bool) "static w/o chunk" true
+    (Packed.schedule_to_sched
+       (Packed.encode_schedule Packed.Sched_static 0)
+     = Some (Omp_model.Sched.Static None));
+  Alcotest.(check bool) "static with chunk" true
+    (Packed.schedule_to_sched
+       (Packed.encode_schedule Packed.Sched_static 8)
+     = Some (Omp_model.Sched.Static (Some 8)));
+  Alcotest.(check bool) "no schedule clause" true
+    (Packed.schedule_to_sched (Packed.encode_schedule Packed.Sched_none 0)
+     = None)
+
+let test_flags_layout () =
+  (* default 2 bits | nowait 1 bit | collapse 4 bits *)
+  let f = { Packed.default = Packed.Default_none; nowait = true; collapse = 9 } in
+  let w = Packed.encode_flags f in
+  Alcotest.(check int) "default bits" 2 (w land 0x3);
+  Alcotest.(check int) "nowait bit" 1 ((w lsr 2) land 1);
+  Alcotest.(check int) "collapse bits" 9 ((w lsr 3) land 0xf);
+  Alcotest.(check bool) "word fits 32 bits" true (Packed.fits_u32 w)
+
+let test_flags_collapse_limit () =
+  (* 4 bits: "unlikely that a user would wish to collapse more than 16
+     loops" *)
+  Alcotest.(check int) "max collapse" 15 Packed.max_collapse;
+  Alcotest.check_raises "collapse too large"
+    (Invalid_argument "Packed.encode_flags: collapse out of the 4-bit range")
+    (fun () ->
+      ignore
+        (Packed.encode_flags { Packed.no_flags with collapse = 16 }))
+
+(* ---- property tests ---- *)
+
+let sched_gen =
+  QCheck2.Gen.(
+    pair (oneofl all_kinds) (int_range 0 Packed.max_chunk))
+
+let prop_schedule_roundtrip =
+  QCheck2.Test.make ~name:"schedule encode/decode round trip" ~count:500
+    sched_gen
+    (fun (kind, chunk) ->
+      let k, c = Packed.decode_schedule (Packed.encode_schedule kind chunk) in
+      k = kind && c = chunk
+      && Packed.fits_u32 (Packed.encode_schedule kind chunk))
+
+let flags_gen =
+  QCheck2.Gen.(
+    let* d =
+      oneofl
+        [ Packed.Default_unspecified; Packed.Default_shared;
+          Packed.Default_none ]
+    in
+    let* nw = bool in
+    let* col = int_range 0 Packed.max_collapse in
+    return { Packed.default = d; nowait = nw; collapse = col })
+
+let prop_flags_roundtrip =
+  QCheck2.Test.make ~name:"flags encode/decode round trip" ~count:500
+    flags_gen
+    (fun f ->
+      let f' = Packed.decode_flags (Packed.encode_flags f) in
+      f' = f && Packed.fits_u32 (Packed.encode_flags f))
+
+let suite =
+  [ Alcotest.test_case "schedule bit layout" `Quick test_schedule_layout;
+    Alcotest.test_case "schedule round trips" `Quick
+      test_schedule_roundtrip_cases;
+    Alcotest.test_case "oversize chunk rejected" `Quick
+      test_schedule_rejects_oversize;
+    Alcotest.test_case "zero chunk = unspecified" `Quick
+      test_zero_chunk_means_unspecified;
+    Alcotest.test_case "flags bit layout" `Quick test_flags_layout;
+    Alcotest.test_case "collapse 4-bit limit" `Quick
+      test_flags_collapse_limit;
+    QCheck_alcotest.to_alcotest prop_schedule_roundtrip;
+    QCheck_alcotest.to_alcotest prop_flags_roundtrip;
+  ]

@@ -1,0 +1,210 @@
+(* Parser tests: AST shapes, extra_data clause blocks, and the OpenMP
+   keyword-as-identifier discrimination. *)
+
+open Zr
+
+let parse text = fst (Parser.parse_string text)
+
+let find_tag ast tag =
+  let found = ref [] in
+  Array.iteri
+    (fun i (n : Ast.node) -> if n.tag = tag then found := i :: !found)
+    ast.Ast.nodes;
+  List.rev !found
+
+let test_fn_decl () =
+  let ast = parse "fn add(a: i64, b: i64) i64 { return a + b; }" in
+  match find_tag ast Ast.Fn_decl with
+  | [ fn ] ->
+      let n = Ast.node ast fn in
+      Alcotest.(check string) "name" "add" (Ast.token_text ast n.main_token);
+      Alcotest.(check int) "param count" 2 (Ast.extra ast n.lhs)
+  | l -> Alcotest.failf "expected 1 fn, found %d" (List.length l)
+
+let test_while_with_continuation () =
+  let ast = parse "fn f(n: i64) void { var i: i64 = 0; while (i < n) : (i += 1) { } }" in
+  match find_tag ast Ast.While with
+  | [ w ] ->
+      let n = Ast.node ast w in
+      let cont = Ast.extra ast n.rhs in
+      let body = Ast.extra ast (n.rhs + 1) in
+      Alcotest.(check bool) "has continuation" true (cont <> 0);
+      Alcotest.(check bool) "continuation is an assignment" true
+        ((Ast.node ast cont).tag = Ast.Assign);
+      Alcotest.(check bool) "body is a block" true
+        ((Ast.node ast body).tag = Ast.Block)
+  | _ -> Alcotest.fail "expected one while"
+
+let test_precedence () =
+  (* a + b * c parses as a + (b * c) *)
+  let ast = parse "fn f(a: i64, b: i64, c: i64) i64 { return a + b * c; }" in
+  let tops =
+    List.filter
+      (fun i ->
+        let n = Ast.node ast i in
+        n.Ast.tag = Ast.Bin_op
+        && (Ast.token ast n.main_token).Token.tag = Token.Plus)
+      (find_tag ast Ast.Bin_op)
+  in
+  match tops with
+  | [ plus ] ->
+      let n = Ast.node ast plus in
+      Alcotest.(check bool) "rhs of + is the *" true
+        ((Ast.node ast n.rhs).tag = Ast.Bin_op)
+  | _ -> Alcotest.fail "expected one + node"
+
+let test_parallel_clause_block () =
+  let ast =
+    parse
+      "fn f(n: i64, x: []f64) void {\n\
+       var s: f64 = 0.0;\n\
+       //$omp parallel private(a, b) firstprivate(n) shared(x) \
+       reduction(+: s) num_threads(4) default(shared)\n\
+       { }\n\
+       }"
+  in
+  match find_tag ast Ast.Omp_parallel with
+  | [ d ] ->
+      let cl = Ast.clauses ast d in
+      let names = List.map (fun i -> Ast.token_text ast (Ast.node ast i).Ast.main_token) in
+      Alcotest.(check (list string)) "private" [ "a"; "b" ] (names cl.private_);
+      Alcotest.(check (list string)) "firstprivate" [ "n" ]
+        (names cl.firstprivate);
+      Alcotest.(check (list string)) "shared" [ "x" ] (names cl.shared);
+      Alcotest.(check int) "one reduction" 1 (List.length cl.reductions);
+      (match cl.reductions with
+       | [ (op, id) ] ->
+           Alcotest.(check string) "reduction op" "+"
+             (Ompfront.Directive.red_op_to_string op);
+           Alcotest.(check string) "reduction var" "s"
+             (Ast.token_text ast (Ast.node ast id).Ast.main_token)
+       | _ -> Alcotest.fail "reductions");
+      Alcotest.(check bool) "num_threads expr present" true
+        (cl.num_threads <> 0);
+      Alcotest.(check bool) "default shared" true
+        (cl.flags.Ompfront.Packed.default = Ompfront.Packed.Default_shared)
+  | l -> Alcotest.failf "expected 1 parallel directive, found %d" (List.length l)
+
+let test_for_schedule_clause () =
+  let ast =
+    parse
+      "fn f(n: i64) void {\n\
+       var i: i64 = 0;\n\
+       //$omp parallel\n{\n\
+       //$omp for schedule(dynamic, 64) nowait\n\
+       while (i < n) : (i += 1) { }\n}\n}"
+  in
+  match find_tag ast Ast.Omp_for with
+  | [ d ] ->
+      let cl = Ast.clauses ast d in
+      Alcotest.(check bool) "schedule dynamic,64" true
+        (cl.schedule = Some (Omp_model.Sched.Dynamic 64));
+      Alcotest.(check bool) "nowait" true cl.flags.Ompfront.Packed.nowait;
+      (* the directive governs the while loop *)
+      let n = Ast.node ast d in
+      Alcotest.(check bool) "governs a while" true
+        ((Ast.node ast n.rhs).tag = Ast.While)
+  | l -> Alcotest.failf "expected 1 for directive, found %d" (List.length l)
+
+let test_combined_directive () =
+  let ast =
+    parse
+      "fn f(n: i64) void { var i: i64 = 0;\n\
+       //$omp parallel for schedule(static) reduction(max: i)\n\
+       while (i < n) : (i += 1) { } }"
+  in
+  Alcotest.(check int) "one parallel-for node" 1
+    (List.length (find_tag ast Ast.Omp_parallel_for))
+
+let test_omp_names_as_variables () =
+  (* 'parallel' used as a variable must still parse: keywords are only
+     special inside pragmas *)
+  let ast = parse "fn f() i64 { var parallel: i64 = 3; return parallel; }" in
+  Alcotest.(check int) "no directive nodes" 0
+    (List.length (find_tag ast Ast.Omp_parallel))
+
+let test_critical_name () =
+  let ast =
+    parse "fn f() void {\n//$omp critical(mylock)\n{ }\n}"
+  in
+  match find_tag ast Ast.Omp_critical with
+  | [ d ] ->
+      let cl = Ast.clauses ast d in
+      Alcotest.(check string) "critical name" "mylock"
+        (Ast.token_text ast cl.critical_name)
+  | _ -> Alcotest.fail "expected one critical"
+
+let test_barrier_standalone () =
+  let ast = parse "fn f() void {\n//$omp barrier\n}" in
+  match find_tag ast Ast.Omp_barrier with
+  | [ d ] ->
+      Alcotest.(check int) "no governed statement" 0 (Ast.node ast d).Ast.rhs
+  | _ -> Alcotest.fail "expected one barrier"
+
+let test_for_requires_while () =
+  Alcotest.(check bool) "for before non-loop rejected" true
+    (try
+       ignore (parse "fn f() void {\n//$omp for\nreturn;\n}");
+       false
+     with Source.Error _ -> true)
+
+let test_list_clause_slices_in_extra_data () =
+  (* the paper's Fig. 2: list clauses live as contiguous slices in
+     extra_data, referenced by begin/end indices in the clause block *)
+  let ast =
+    parse
+      "fn f(a: i64, b: i64, c: i64) void {\n\
+       //$omp parallel private(a, b, c)\n{ }\n}"
+  in
+  match find_tag ast Ast.Omp_parallel with
+  | [ d ] ->
+      let n = Ast.node ast d in
+      let base = n.Ast.lhs in
+      let b = Ast.extra ast (base + 3) and e = Ast.extra ast (base + 4) in
+      Alcotest.(check int) "slice length 3" 3 (e - b);
+      let names =
+        List.map
+          (fun i -> Ast.token_text ast (Ast.node ast i).Ast.main_token)
+          (Ast.extra_slice ast b e)
+      in
+      Alcotest.(check (list string)) "contiguous idents" [ "a"; "b"; "c" ]
+        names
+  | _ -> Alcotest.fail "expected one parallel"
+
+let test_struct_literal_and_deref () =
+  let ast =
+    parse "fn f(p: *f64) void { var s = .{ .a = 1, .b = 2.0 }; p.* = s.b; }"
+  in
+  Alcotest.(check int) "struct literal" 1
+    (List.length (find_tag ast Ast.Struct_lit));
+  Alcotest.(check int) "deref" 1 (List.length (find_tag ast Ast.Deref))
+
+let test_parse_error_located () =
+  match parse "fn f() void { var = 3; }" with
+  | exception Source.Error msg ->
+      Alcotest.(check bool) "location present" true
+        (String.length msg > 0 && String.contains msg ':')
+  | _ -> Alcotest.fail "expected a parse error"
+
+let suite =
+  [ Alcotest.test_case "fn decl" `Quick test_fn_decl;
+    Alcotest.test_case "while with continuation" `Quick
+      test_while_with_continuation;
+    Alcotest.test_case "operator precedence" `Quick test_precedence;
+    Alcotest.test_case "parallel clause block" `Quick
+      test_parallel_clause_block;
+    Alcotest.test_case "for schedule clause" `Quick test_for_schedule_clause;
+    Alcotest.test_case "combined parallel for" `Quick test_combined_directive;
+    Alcotest.test_case "omp names usable as variables" `Quick
+      test_omp_names_as_variables;
+    Alcotest.test_case "named critical" `Quick test_critical_name;
+    Alcotest.test_case "standalone barrier" `Quick test_barrier_standalone;
+    Alcotest.test_case "for requires a while loop" `Quick
+      test_for_requires_while;
+    Alcotest.test_case "list clauses are extra_data slices" `Quick
+      test_list_clause_slices_in_extra_data;
+    Alcotest.test_case "struct literal and deref" `Quick
+      test_struct_literal_and_deref;
+    Alcotest.test_case "parse errors carry locations" `Quick
+      test_parse_error_located;
+  ]

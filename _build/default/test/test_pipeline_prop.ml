@@ -1,0 +1,124 @@
+(* Property tests over the whole pipeline: randomly generated pragma
+   programs are preprocessed, executed on a real team, and compared
+   against a sequential OCaml model.  Values are chosen so that
+   floating-point results are exact regardless of combination order
+   (small integers for sums, powers of two for products), making the
+   comparison bit-precise. *)
+
+module V = Interp.Value
+
+let schedules =
+  [ ""; "schedule(static)"; "schedule(static, 3)"; "schedule(static, 7)";
+    "schedule(dynamic, 1)"; "schedule(dynamic, 5)"; "schedule(guided, 2)";
+    "schedule(runtime)"; "schedule(auto)" ]
+
+let sched_gen = QCheck2.Gen.oneofl schedules
+
+(* exact-float value pools *)
+let add_val_gen = QCheck2.Gen.map float_of_int (QCheck2.Gen.int_range (-8) 8)
+let mul_val_gen = QCheck2.Gen.oneofl [ 0.5; 1.0; 2.0 ]
+
+let program ~op ~sched = Printf.sprintf {|
+fn reduce(n: i64, x: []f64) f64 {
+    var acc: f64 = %s;
+    var i: i64 = 0;
+    //$omp parallel for reduction(%s: acc) shared(x) %s
+    while (i < n) : (i += 1) {
+        acc %s= x[i];
+    }
+    return acc;
+}
+|} (match op with `Add -> "0.0" | `Mul -> "1.0")
+   (match op with `Add -> "+" | `Mul -> "*")
+   sched
+   (match op with `Add -> "+" | `Mul -> "*")
+
+let run_one ~op ~sched ~threads (values : float list) =
+  Omprt.Api.set_num_threads threads;
+  let p = Interp.load ~name:"prop.zr" (program ~op ~sched) in
+  let x = Array.of_list values in
+  match
+    Interp.call p "reduce" [ V.VInt (Array.length x); V.VFloatArr x ]
+  with
+  | V.VFloat f -> f
+  | v -> failwith ("unexpected " ^ V.to_string v)
+
+let case_gen ~op value_gen =
+  QCheck2.Gen.(
+    let* sched = sched_gen in
+    let* threads = int_range 1 4 in
+    let* values = list_size (int_range 0 40) value_gen in
+    return (op, sched, threads, values))
+
+let fold ~op values =
+  match op with
+  | `Add -> List.fold_left ( +. ) 0. values
+  | `Mul -> List.fold_left ( *. ) 1. values
+
+let prop_of ~name ~op value_gen =
+  QCheck2.Test.make ~name ~count:40 (case_gen ~op value_gen)
+    (fun (op, sched, threads, values) ->
+      run_one ~op ~sched ~threads values = fold ~op values)
+
+let prop_sum =
+  prop_of ~name:"random + reduction = OCaml fold (any schedule/team)"
+    ~op:`Add add_val_gen
+
+let prop_product =
+  prop_of
+    ~name:"random * reduction = OCaml fold (CAS-loop path, any schedule)"
+    ~op:`Mul mul_val_gen
+
+(* clause-combination robustness: every combination of data-sharing
+   clauses on a two-loop region must preprocess to parseable output *)
+let clause_gen =
+  QCheck2.Gen.(
+    let* priv = bool in
+    let* fp = bool in
+    let* sh = bool in
+    let* nowait1 = bool in
+    let* dflt = oneofl [ ""; "default(shared)" ] in
+    let* sched = sched_gen in
+    return (priv, fp, sh, nowait1, dflt, sched))
+
+let prop_clause_combinations =
+  QCheck2.Test.make ~name:"random clause combinations preprocess cleanly"
+    ~count:60 clause_gen
+    (fun (priv, fp, sh, nowait1, dflt, sched) ->
+      let clauses =
+        String.concat " "
+          [ (if priv then "private(t)" else "");
+            (if fp then "firstprivate(n)" else "");
+            (if sh then "shared(x)" else "");
+            dflt ]
+      in
+      let src = Printf.sprintf {|
+fn f(n: i64, x: []f64) f64 {
+    var s: f64 = 0.0;
+    //$omp parallel reduction(+: s) %s
+    {
+        var t = 0.0;
+        var i: i64 = 0;
+        //$omp for %s %s
+        while (i < n) : (i += 1) {
+            t = x[i];
+            s += t;
+        }
+        var j: i64 = 0;
+        //$omp for %s
+        while (j < n) : (j += 1) {
+            s += 1.0;
+        }
+    }
+    return s;
+}
+|} clauses sched (if nowait1 then "nowait" else "") sched
+      in
+      let out, _ast = Preproc.Preprocess.run_checked ~name:"rand.zr" src in
+      String.length out > 0)
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_sum;
+    QCheck_alcotest.to_alcotest prop_product;
+    QCheck_alcotest.to_alcotest prop_clause_combinations;
+  ]

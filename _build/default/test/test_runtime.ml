@@ -1,0 +1,270 @@
+(* Runtime tests on real OCaml domains: fork/join, barriers, single,
+   master, critical, locks, the ws_for schedules, and the CAS-loop
+   reductions under genuine multi-thread contention. *)
+
+open Omprt
+
+let nt = 4  (* oversubscribed on this host; the runtime must not spin *)
+
+let test_fork_runs_all_threads () =
+  let seen = Array.make nt false in
+  Team.fork ~num_threads:nt (fun ~tid -> seen.(tid) <- true);
+  Alcotest.(check (array bool)) "every tid ran" (Array.make nt true) seen
+
+let test_thread_ids () =
+  let ids = Atomic.make [] in
+  Omp.parallel ~num_threads:nt (fun () ->
+      Atomics.cas_loop ids (fun l -> Omp.thread_num () :: l));
+  Alcotest.(check (list int)) "distinct ids 0..nt-1"
+    (List.init nt Fun.id)
+    (List.sort compare (Atomic.get ids))
+
+let test_num_threads_inside_outside () =
+  Alcotest.(check int) "outside" 1 (Omp.num_threads ());
+  let inside = Atomic.make 0 in
+  Omp.parallel ~num_threads:3 (fun () ->
+      if Omp.thread_num () = 0 then Atomic.set inside (Omp.num_threads ()));
+  Alcotest.(check int) "inside" 3 (Atomic.get inside);
+  Alcotest.(check int) "restored" 1 (Omp.num_threads ())
+
+let test_nested_parallel () =
+  let total = Atomic.make 0 in
+  Omp.parallel ~num_threads:2 (fun () ->
+      Omp.parallel ~num_threads:2 (fun () ->
+          Atomics.Int.add total 1));
+  Alcotest.(check int) "2 x 2 executions" 4 (Atomic.get total)
+
+let test_barrier_ordering () =
+  (* all pre-barrier increments visible after the barrier to all *)
+  let before = Atomic.make 0 in
+  let violations = Atomic.make 0 in
+  Omp.parallel ~num_threads:nt (fun () ->
+      Atomics.Int.add before 1;
+      Omp.barrier ();
+      if Atomic.get before <> nt then Atomics.Int.add violations 1);
+  Alcotest.(check int) "no thread saw a partial pre-barrier state" 0
+    (Atomic.get violations)
+
+let test_barrier_reusable () =
+  let log = Atomic.make [] in
+  Omp.parallel ~num_threads:3 (fun () ->
+      for round = 1 to 5 do
+        Atomics.cas_loop log (fun l -> round :: l);
+        Omp.barrier ()
+      done);
+  let counts = List.init 5 (fun r ->
+      List.length (List.filter (( = ) (r + 1)) (Atomic.get log)))
+  in
+  Alcotest.(check (list int)) "3 arrivals per round" [ 3; 3; 3; 3; 3 ] counts
+
+let test_single_runs_once_per_construct () =
+  let a = Atomic.make 0 and b = Atomic.make 0 in
+  Omp.parallel ~num_threads:nt (fun () ->
+      Omp.single (fun () -> Atomics.Int.add a 1);
+      Omp.single (fun () -> Atomics.Int.add b 1));
+  Alcotest.(check int) "first single once" 1 (Atomic.get a);
+  Alcotest.(check int) "second single once" 1 (Atomic.get b)
+
+let test_master_only_thread0 () =
+  let who = Atomic.make [] in
+  Omp.parallel ~num_threads:nt (fun () ->
+      Omp.master (fun () ->
+          Atomics.cas_loop who (fun l -> Omp.thread_num () :: l)));
+  Alcotest.(check (list int)) "only tid 0" [ 0 ] (Atomic.get who)
+
+let test_critical_mutual_exclusion () =
+  (* unprotected counter updated only inside critical: no lost updates *)
+  let counter = ref 0 in
+  Omp.parallel ~num_threads:nt (fun () ->
+      for _ = 1 to 1000 do
+        Omp.critical (fun () -> incr counter)
+      done);
+  Alcotest.(check int) "no lost updates" (nt * 1000) !counter
+
+let test_named_criticals_are_distinct () =
+  let l1 = Lock.critical_lock "cs_one" in
+  let l2 = Lock.critical_lock "cs_two" in
+  Alcotest.(check bool) "different names, different locks" true (l1 != l2);
+  Alcotest.(check bool) "same name, same lock" true
+    (Lock.critical_lock "cs_one" == l1)
+
+let test_ws_for_static_covers () =
+  let hits = Array.make 1000 0 in
+  Omp.parallel ~num_threads:nt (fun () ->
+      Omp.ws_for ~lo:0 ~hi:1000 (fun lo hi ->
+          for i = lo to hi - 1 do hits.(i) <- hits.(i) + 1 done));
+  Alcotest.(check bool) "every iteration exactly once" true
+    (Array.for_all (( = ) 1) hits)
+
+let test_ws_for_schedules_cover () =
+  List.iter
+    (fun sched ->
+      let hits = Array.make 503 0 in
+      Omp.parallel ~num_threads:nt (fun () ->
+          Omp.ws_for ~sched ~lo:0 ~hi:503 (fun lo hi ->
+              for i = lo to hi - 1 do
+                ignore (Atomic.fetch_and_add (Atomic.make 0) 1);
+                hits.(i) <- hits.(i) + 1
+              done));
+      Alcotest.(check bool)
+        (Omp_model.Sched.to_string sched ^ " covers exactly once") true
+        (Array.for_all (( = ) 1) hits))
+    [ Omp_model.Sched.Static (Some 7);
+      Omp_model.Sched.Dynamic 13;
+      Omp_model.Sched.Guided 5;
+      Omp_model.Sched.Auto ]
+
+let test_ws_for_runtime_schedule () =
+  Api.set_schedule (Omp_model.Sched.Dynamic 8);
+  let hits = Array.make 100 0 in
+  Omp.parallel ~num_threads:3 (fun () ->
+      Omp.ws_for ~sched:Omp_model.Sched.Runtime ~lo:0 ~hi:100 (fun lo hi ->
+          for i = lo to hi - 1 do hits.(i) <- hits.(i) + 1 done));
+  Api.set_schedule (Omp_model.Sched.Static None);
+  Alcotest.(check bool) "runtime schedule covers" true
+    (Array.for_all (( = ) 1) hits)
+
+let test_ws_for_empty_range () =
+  let ran = Atomic.make 0 in
+  Omp.parallel ~num_threads:nt (fun () ->
+      Omp.ws_for ~lo:5 ~hi:5 (fun _ _ -> Atomics.Int.add ran 1));
+  Alcotest.(check int) "no chunks on empty range" 0 (Atomic.get ran)
+
+let test_nowait_loops_overlap () =
+  (* two nowait dynamic loops back to back: a fast thread may enter loop
+     2 while others drain loop 1 — both must still cover their spaces *)
+  let h1 = Array.make 200 0 and h2 = Array.make 200 0 in
+  Omp.parallel ~num_threads:nt (fun () ->
+      Omp.ws_for ~nowait:true ~sched:(Omp_model.Sched.Dynamic 9) ~lo:0
+        ~hi:200 (fun lo hi ->
+          for i = lo to hi - 1 do
+            ignore (Atomic.fetch_and_add (Atomic.make i) 1);
+            h1.(i) <- h1.(i) + 1
+          done);
+      Omp.ws_for ~nowait:true ~sched:(Omp_model.Sched.Dynamic 7) ~lo:0
+        ~hi:200 (fun lo hi ->
+          for i = lo to hi - 1 do h2.(i) <- h2.(i) + 1 done));
+  Alcotest.(check bool) "loop 1 covered" true (Array.for_all (( = ) 1) h1);
+  Alcotest.(check bool) "loop 2 covered" true (Array.for_all (( = ) 1) h2)
+
+let test_worker_exception_propagates () =
+  Alcotest.(check bool) "worker failure reaches the master" true
+    (try
+       Omp.parallel ~num_threads:3 (fun () ->
+           if Omp.thread_num () = 2 then failwith "boom");
+       false
+     with Team.Worker_failure (_, Failure msg) -> msg = "boom")
+
+let test_locks () =
+  let l = Api.init_lock () in
+  Api.set_lock l;
+  Alcotest.(check bool) "test_lock on held lock fails" false (Api.test_lock l);
+  Api.unset_lock l;
+  Alcotest.(check bool) "test_lock acquires a free lock" true (Api.test_lock l);
+  Api.unset_lock l
+
+let test_nest_lock () =
+  let l = Api.init_nest_lock () in
+  Api.set_nest_lock l;
+  Api.set_nest_lock l;
+  Alcotest.(check int) "depth 2" 2 (Lock.Nest.depth l);
+  Api.unset_nest_lock l;
+  Alcotest.(check int) "depth 1" 1 (Lock.Nest.depth l);
+  Api.unset_nest_lock l;
+  Alcotest.(check int) "released" 0 (Lock.Nest.depth l)
+
+let test_icv_env_parsing () =
+  Alcotest.(check bool) "schedule string parse" true
+    (Omp_model.Sched.of_string "dynamic,16" = Some (Omp_model.Sched.Dynamic 16));
+  Alcotest.(check bool) "guided default chunk" true
+    (Omp_model.Sched.of_string "guided" = Some (Omp_model.Sched.Guided 1));
+  Alcotest.(check bool) "static unchunked" true
+    (Omp_model.Sched.of_string "static" = Some (Omp_model.Sched.Static None));
+  Alcotest.(check bool) "garbage rejected" true
+    (Omp_model.Sched.of_string "bogus,3" = None)
+
+let test_kmp_sched_codes () =
+  (* the libomp sched_type constants the dispatch protocol sends *)
+  Alcotest.(check int) "static" 34
+    (Omp_model.Sched.to_kmp (Omp_model.Sched.Static None));
+  Alcotest.(check int) "static chunked" 33
+    (Omp_model.Sched.to_kmp (Omp_model.Sched.Static (Some 4)));
+  Alcotest.(check int) "dynamic" 35
+    (Omp_model.Sched.to_kmp (Omp_model.Sched.Dynamic 1));
+  Alcotest.(check int) "guided" 36
+    (Omp_model.Sched.to_kmp (Omp_model.Sched.Guided 1));
+  Alcotest.(check int) "runtime" 37 (Omp_model.Sched.to_kmp Omp_model.Sched.Runtime);
+  Alcotest.(check int) "auto" 38 (Omp_model.Sched.to_kmp Omp_model.Sched.Auto)
+
+let test_profile_aggregation () =
+  Profile.reset ();
+  Profile.enable ();
+  Fun.protect ~finally:Profile.disable (fun () ->
+      Omp.parallel ~num_threads:3 (fun () ->
+          Omp.ws_for ~sched:(Omp_model.Sched.Dynamic 10) ~lo:0 ~hi:100
+            (fun _ _ -> ());
+          Omp.single (fun () -> ());
+          Omp.critical (fun () -> ())));
+  let snap = Profile.snapshot () in
+  let find c =
+    List.find_opt (fun s -> s.Profile.construct = c) snap
+  in
+  (match find Profile.Region with
+   | Some r ->
+       Alcotest.(check int) "one region" 1 r.Profile.count;
+       Alcotest.(check bool) "region took time" true (r.Profile.total > 0.)
+   | None -> Alcotest.fail "region not recorded");
+  (match find Profile.Dispatch_claim with
+   | Some r ->
+       (* 10 chunks + one exhausted claim per thread *)
+       Alcotest.(check int) "dispatch claims" 13 r.Profile.count
+   | None -> Alcotest.fail "dispatch claims not recorded");
+  (match find Profile.Single_claim with
+   | Some r -> Alcotest.(check int) "one single winner" 1 r.Profile.count
+   | None -> Alcotest.fail "single not recorded");
+  Alcotest.(check bool) "report renders" true
+    (String.length (Profile.report ()) > 0)
+
+let test_profile_off_records_nothing () =
+  Profile.reset ();
+  Omp.parallel ~num_threads:2 (fun () -> Omp.barrier ());
+  Alcotest.(check (list string)) "no aggregates while disabled" []
+    (List.map
+       (fun s -> Profile.construct_name s.Profile.construct)
+       (Profile.snapshot ()))
+
+let suite =
+  [ Alcotest.test_case "fork runs every thread" `Quick
+      test_fork_runs_all_threads;
+    Alcotest.test_case "profile aggregation" `Quick test_profile_aggregation;
+    Alcotest.test_case "profile off by default" `Quick
+      test_profile_off_records_nothing;
+    Alcotest.test_case "distinct thread ids" `Quick test_thread_ids;
+    Alcotest.test_case "num_threads inside/outside" `Quick
+      test_num_threads_inside_outside;
+    Alcotest.test_case "nested parallel" `Quick test_nested_parallel;
+    Alcotest.test_case "barrier orders memory" `Quick test_barrier_ordering;
+    Alcotest.test_case "barrier reusable across phases" `Quick
+      test_barrier_reusable;
+    Alcotest.test_case "single runs once per construct" `Quick
+      test_single_runs_once_per_construct;
+    Alcotest.test_case "master is thread 0" `Quick test_master_only_thread0;
+    Alcotest.test_case "critical mutual exclusion" `Quick
+      test_critical_mutual_exclusion;
+    Alcotest.test_case "named criticals" `Quick
+      test_named_criticals_are_distinct;
+    Alcotest.test_case "ws_for static coverage" `Quick test_ws_for_static_covers;
+    Alcotest.test_case "ws_for all schedules cover" `Quick
+      test_ws_for_schedules_cover;
+    Alcotest.test_case "ws_for runtime schedule" `Quick
+      test_ws_for_runtime_schedule;
+    Alcotest.test_case "ws_for empty range" `Quick test_ws_for_empty_range;
+    Alcotest.test_case "nowait loops overlap safely" `Quick
+      test_nowait_loops_overlap;
+    Alcotest.test_case "worker exceptions propagate" `Quick
+      test_worker_exception_propagates;
+    Alcotest.test_case "omp locks" `Quick test_locks;
+    Alcotest.test_case "nestable locks" `Quick test_nest_lock;
+    Alcotest.test_case "OMP_SCHEDULE parsing" `Quick test_icv_env_parsing;
+    Alcotest.test_case "libomp sched_type codes" `Quick test_kmp_sched_codes;
+  ]

@@ -1,0 +1,254 @@
+(* Simulated-runtime tests: the OMP signature on the discrete-event
+   engine — work conservation, scaling direction, schedule behaviour,
+   and structural agreement with the real engine. *)
+
+open Omp_model
+
+let machine = Sim.Machine.archer2
+
+let run ?(nt = 4) f = Simrt.run ~machine ~num_threads:nt f
+
+let test_parallel_team () =
+  let seen = ref [] in
+  let _ = run ~nt:5 (fun (module O : Omprt.Omp_intf.S) ->
+      O.parallel (fun () -> seen := O.thread_num () :: !seen))
+  in
+  Alcotest.(check (list int)) "five virtual threads ran"
+    [ 0; 1; 2; 3; 4 ]
+    (List.sort compare !seen)
+
+let test_work_conservation () =
+  (* iterations covered by claimed chunks = trip count, any schedule *)
+  List.iter
+    (fun sched ->
+      let r = run ~nt:7 (fun (module O : Omprt.Omp_intf.S) ->
+          O.parallel (fun () ->
+              O.ws_for ~sched ~lo:0 ~hi:1000 (fun _ _ -> ())))
+      in
+      Alcotest.(check int)
+        ("all iterations claimed: " ^ Sched.to_string sched)
+        1000 r.Simrt.run_stats.iterations)
+    [ Sched.Static None; Sched.Static (Some 13); Sched.Dynamic 7;
+      Sched.Guided 3 ]
+
+let test_compute_scales_linearly () =
+  let time nt =
+    let r = run ~nt (fun (module O : Omprt.Omp_intf.S) ->
+        O.parallel (fun () ->
+            O.ws_for
+              ~chunk_cost:(fun lo hi -> Cost.flops (float_of_int (hi - lo) *. 1e4))
+              ~lo:0 ~hi:100_000 (fun _ _ -> ())))
+    in
+    r.Simrt.makespan
+  in
+  let t1 = time 1 and t16 = time 16 in
+  let speedup = t1 /. t16 in
+  Alcotest.(check bool) "compute-bound speedup ~16" true
+    (speedup > 15. && speedup <= 16.1)
+
+let test_memory_saturates () =
+  (* scattered traffic hits the node-level random-access limit well
+     before 128 threads: no further gain *)
+  let time nt =
+    let r = run ~nt (fun (module O : Omprt.Omp_intf.S) ->
+        O.parallel (fun () ->
+            O.ws_for
+              ~chunk_cost:(fun lo hi -> Cost.gather (float_of_int (hi - lo) *. 1e5))
+              ~lo:0 ~hi:10_000 (fun _ _ -> ())))
+    in
+    r.Simrt.makespan
+  in
+  let t64 = time 64 and t128 = time 128 in
+  Alcotest.(check bool) "bandwidth-bound: no gain past saturation" true
+    (t64 /. t128 < 1.15);
+  (* streamed traffic keeps scaling with the CCX count on this machine *)
+  let stream nt =
+    let r = run ~nt (fun (module O : Omprt.Omp_intf.S) ->
+        O.parallel (fun () ->
+            O.ws_for
+              ~chunk_cost:(fun lo hi -> Cost.bytes (float_of_int (hi - lo) *. 1e5))
+              ~lo:0 ~hi:10_000 (fun _ _ -> ())))
+    in
+    r.Simrt.makespan
+  in
+  Alcotest.(check bool) "streamed traffic still scales 64->128" true
+    (stream 64 /. stream 128 > 1.8)
+
+let test_imbalance_dynamic_beats_static () =
+  (* one thread's static block holds all the heavy iterations; dynamic
+     spreads them *)
+  let heavy_cost lo hi =
+    let f = ref 0. in
+    for i = lo to hi - 1 do
+      f := !f +. (if i < 32 then 1e7 else 1e3)
+    done;
+    Cost.flops !f
+  in
+  let time sched =
+    let r = run ~nt:8 (fun (module O : Omprt.Omp_intf.S) ->
+        O.parallel (fun () ->
+            O.ws_for ~sched ~chunk_cost:heavy_cost ~lo:0 ~hi:256
+              (fun _ _ -> ())))
+    in
+    r.Simrt.makespan
+  in
+  let ts = time (Sched.Static None) in
+  let td = time (Sched.Dynamic 4) in
+  Alcotest.(check bool) "dynamic wins under imbalance" true (td < ts)
+
+let test_dynamic_overhead_on_uniform_work () =
+  (* with perfectly uniform tiny iterations, static beats dynamic
+     because of the per-claim dispatch cost *)
+  let unit_cost lo hi = Cost.flops (float_of_int (hi - lo) *. 10.) in
+  let time sched =
+    let r = run ~nt:8 (fun (module O : Omprt.Omp_intf.S) ->
+        O.parallel (fun () ->
+            O.ws_for ~sched ~chunk_cost:unit_cost ~lo:0 ~hi:100_000
+              (fun _ _ -> ())))
+    in
+    r.Simrt.makespan
+  in
+  Alcotest.(check bool) "static wins on uniform work" true
+    (time (Sched.Static None) < time (Sched.Dynamic 1))
+
+let test_barrier_counts () =
+  let r = run ~nt:3 (fun (module O : Omprt.Omp_intf.S) ->
+      O.parallel (fun () ->
+          O.ws_for ~lo:0 ~hi:10 (fun _ _ -> ());   (* implied barrier *)
+          O.barrier ()))
+  in
+  (* 3 threads x (ws_for barrier + explicit barrier + region barrier) *)
+  Alcotest.(check int) "barrier entries" 9 r.Simrt.run_stats.barriers
+
+let test_single_once_per_team () =
+  let hits = ref 0 in
+  let _ = run ~nt:6 (fun (module O : Omprt.Omp_intf.S) ->
+      O.parallel (fun () ->
+          O.single (fun () -> incr hits);
+          O.single (fun () -> incr hits)))
+  in
+  Alcotest.(check int) "two singles, one executor each" 2 !hits
+
+let test_critical_serialises_time () =
+  (* N threads through a 1ms critical: makespan >= N * 1ms *)
+  let r = run ~nt:8 (fun (module O : Omprt.Omp_intf.S) ->
+      O.parallel (fun () ->
+          O.critical ~cost:(Cost.flops (1e-3 *. machine.flops_per_core))
+            (fun () -> ())))
+  in
+  Alcotest.(check bool) "serialised" true (r.Simrt.makespan >= 8e-3)
+
+let test_wtime_advances () =
+  let t_in = ref 0. in
+  let r = run ~nt:1 (fun (module O : Omprt.Omp_intf.S) ->
+      let t0 = O.wtime () in
+      O.work ~cost:(Cost.flops 1e9) (fun () -> ());
+      t_in := O.wtime () -. t0)
+  in
+  Alcotest.(check bool) "virtual time advanced" true (!t_in > 0.);
+  Alcotest.(check (float 1e-9)) "makespan agrees" r.Simrt.makespan !t_in
+
+let test_sim_skips_closures () =
+  let executed = ref false in
+  let _ = run (fun (module O : Omprt.Omp_intf.S) ->
+      Alcotest.(check bool) "is_simulated" true O.is_simulated;
+      O.work ~cost:(Cost.flops 1.) (fun () -> executed := true);
+      O.parallel (fun () ->
+          O.ws_for ~lo:0 ~hi:10 (fun _ _ -> executed := true);
+          O.atomic (fun () -> executed := true);
+          O.critical (fun () -> executed := true)))
+  in
+  Alcotest.(check bool) "work/loop/atomic closures not executed" false
+    !executed
+
+let test_sim_determinism () =
+  let once () =
+    let r = run ~nt:16 (fun (module O : Omprt.Omp_intf.S) ->
+        O.parallel (fun () ->
+            O.ws_for ~sched:(Sched.Dynamic 3)
+              ~chunk_cost:(fun lo hi -> Cost.flops (float_of_int ((lo * 7) + hi)))
+              ~lo:0 ~hi:500 (fun _ _ -> ())))
+    in
+    (r.Simrt.makespan, r.Simrt.run_stats.dynamic_claims)
+  in
+  Alcotest.(check (pair (float 0.) int)) "bit-identical reruns" (once ())
+    (once ())
+
+let test_structure_matches_real_engine () =
+  (* the same generic kernel must produce the same reduction value on
+     the real engine and the same *chunk structure* on both: compare
+     claimed-iteration counts *)
+  let kernel (module O : Omprt.Omp_intf.S) =
+    let total = Atomic.make 0 in
+    O.parallel (fun () ->
+        O.ws_for ~sched:(Sched.Static (Some 5)) ~lo:0 ~hi:123
+          (fun lo hi -> ignore (Atomic.fetch_and_add total (hi - lo))));
+    Atomic.get total
+  in
+  Omprt.Api.set_num_threads 4;
+  let real_total = kernel (module Omprt.Omp) in
+  let r = run ~nt:4 (fun o -> ignore (kernel o)) in
+  Alcotest.(check int) "real engine covers all iterations" 123 real_total;
+  Alcotest.(check int) "simulated engine claims all iterations" 123
+    r.Simrt.run_stats.iterations
+
+let test_trace_records_intervals () =
+  let r =
+    Simrt.run ~machine ~num_threads:3 ~trace:true
+      (fun (module O : Omprt.Omp_intf.S) ->
+        O.parallel (fun () ->
+            O.ws_for
+              ~chunk_cost:(fun lo hi -> Cost.flops (float_of_int (hi - lo) *. 1e6))
+              ~lo:0 ~hi:300 (fun _ _ -> ())))
+  in
+  match r.Simrt.trace with
+  | None -> Alcotest.fail "trace requested but absent"
+  | Some tr ->
+      let items = Sim.Trace.intervals tr in
+      Alcotest.(check bool) "has work intervals" true
+        (List.exists (fun i -> i.Sim.Trace.label = '#') items);
+      Alcotest.(check bool) "has barrier intervals" true
+        (List.exists (fun i -> i.Sim.Trace.label = '=') items);
+      (* intervals lie within the makespan and are well-formed *)
+      List.iter
+        (fun i ->
+          Alcotest.(check bool) "well-formed" true
+            (i.Sim.Trace.start <= i.Sim.Trace.stop
+             && i.Sim.Trace.stop <= r.Simrt.makespan +. 1e-9))
+        items;
+      let g = Sim.Trace.gantt tr ~makespan:r.Simrt.makespan in
+      Alcotest.(check bool) "gantt renders rows" true
+        (String.length g > 0 && String.contains g '#')
+
+let test_trace_off_by_default () =
+  let r = run ~nt:2 (fun (module O : Omprt.Omp_intf.S) ->
+      O.parallel (fun () -> O.barrier ()))
+  in
+  Alcotest.(check bool) "no trace unless requested" true
+    (r.Simrt.trace = None)
+
+let suite =
+  [ Alcotest.test_case "parallel team of vthreads" `Quick test_parallel_team;
+    Alcotest.test_case "trace records intervals" `Quick
+      test_trace_records_intervals;
+    Alcotest.test_case "trace off by default" `Quick test_trace_off_by_default;
+    Alcotest.test_case "work conservation" `Quick test_work_conservation;
+    Alcotest.test_case "compute scales linearly" `Quick
+      test_compute_scales_linearly;
+    Alcotest.test_case "memory saturates" `Quick test_memory_saturates;
+    Alcotest.test_case "dynamic beats static under imbalance" `Quick
+      test_imbalance_dynamic_beats_static;
+    Alcotest.test_case "dispatch overhead on uniform work" `Quick
+      test_dynamic_overhead_on_uniform_work;
+    Alcotest.test_case "barrier accounting" `Quick test_barrier_counts;
+    Alcotest.test_case "single per team" `Quick test_single_once_per_team;
+    Alcotest.test_case "critical serialises virtual time" `Quick
+      test_critical_serialises_time;
+    Alcotest.test_case "wtime is virtual time" `Quick test_wtime_advances;
+    Alcotest.test_case "closures skipped in simulation" `Quick
+      test_sim_skips_closures;
+    Alcotest.test_case "simulation is deterministic" `Quick
+      test_sim_determinism;
+    Alcotest.test_case "structure matches real engine" `Quick
+      test_structure_matches_real_engine;
+  ]

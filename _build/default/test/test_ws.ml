@@ -1,0 +1,171 @@
+(* Worksharing partition arithmetic: unit cases plus the qcheck
+   properties that any OpenMP runtime must satisfy — every iteration is
+   executed exactly once whatever the schedule. *)
+
+open Omprt
+
+let test_trip_count () =
+  Alcotest.(check int) "simple" 10
+    (Ws.trip_count ~lo:0 ~hi:10 ~step:1 ());
+  Alcotest.(check int) "inclusive" 11
+    (Ws.trip_count ~inclusive:true ~lo:0 ~hi:10 ~step:1 ());
+  Alcotest.(check int) "stride 3" 4 (Ws.trip_count ~lo:0 ~hi:10 ~step:3 ());
+  Alcotest.(check int) "empty" 0 (Ws.trip_count ~lo:10 ~hi:0 ~step:1 ());
+  Alcotest.(check int) "negative step" 10
+    (Ws.trip_count ~lo:9 ~hi:(-1) ~step:(-1) ());
+  Alcotest.(check int) "negative stride 4" 3
+    (Ws.trip_count ~lo:10 ~hi:0 ~step:(-4) ());
+  Alcotest.check_raises "zero step"
+    (Invalid_argument "Ws.trip_count: zero step") (fun () ->
+      ignore (Ws.trip_count ~lo:0 ~hi:1 ~step:0 ()))
+
+let test_static_block_balance () =
+  (* libomp rule: first (trips mod nthreads) threads get one extra *)
+  let blocks =
+    List.filter_map
+      (fun tid -> Ws.static_block ~tid ~nthreads:4 ~trips:10)
+      [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check (list (pair int int)))
+    "blocked split of 10 over 4"
+    [ (0, 3); (3, 6); (6, 8); (8, 10) ]
+    blocks
+
+let test_static_block_fewer_trips_than_threads () =
+  let blocks =
+    List.map (fun tid -> Ws.static_block ~tid ~nthreads:4 ~trips:2) [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check (list (option (pair int int))))
+    "threads beyond the work get none"
+    [ Some (0, 1); Some (1, 2); None; None ]
+    blocks
+
+let test_static_chunks_round_robin () =
+  Alcotest.(check (list (pair int int)))
+    "thread 0, chunk 2, 3 threads, 10 trips"
+    [ (0, 2); (6, 8) ]
+    (Ws.static_chunks ~tid:0 ~nthreads:3 ~trips:10 ~chunk:2);
+  Alcotest.(check (list (pair int int)))
+    "thread 2 tail chunk is short"
+    [ (4, 6) ]
+    (Ws.static_chunks ~tid:2 ~nthreads:3 ~trips:6 ~chunk:2)
+
+let test_guided_chunks_decrease () =
+  let rec walk remaining acc =
+    if remaining = 0 then List.rev acc
+    else
+      let c = Ws.guided_next_chunk ~nthreads:4 ~chunk:1 ~remaining in
+      walk (remaining - c) (c :: acc)
+  in
+  let sizes = walk 1000 [] in
+  (* sizes never increase and cover everything *)
+  Alcotest.(check int) "covers all iterations" 1000
+    (List.fold_left ( + ) 0 sizes);
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "chunk sizes non-increasing" true
+    (non_increasing sizes);
+  Alcotest.(check bool) "first chunk is remaining/(2*nthreads)" true
+    (List.hd sizes = 125)
+
+let test_dispatch_dynamic_sequential () =
+  let d = Ws.Dispatch.create ~kind:Ws.Dispatch.Dyn ~trips:10 ~chunk:3 ~nthreads:2 in
+  let claim () = Ws.Dispatch.next d in
+  Alcotest.(check (option (pair int int))) "1st" (Some (0, 3)) (claim ());
+  Alcotest.(check (option (pair int int))) "2nd" (Some (3, 6)) (claim ());
+  Alcotest.(check (option (pair int int))) "3rd" (Some (6, 9)) (claim ());
+  Alcotest.(check (option (pair int int))) "4th (short)" (Some (9, 10)) (claim ());
+  Alcotest.(check (option (pair int int))) "exhausted" None (claim ())
+
+(* ---- properties ---- *)
+
+let cover_list = List.concat_map (fun (b, e) -> List.init (e - b) (fun k -> b + k))
+
+let params_gen =
+  QCheck2.Gen.(
+    let* nthreads = int_range 1 17 in
+    let* trips = int_range 0 200 in
+    return (nthreads, trips))
+
+let prop_static_block_partition =
+  QCheck2.Test.make ~name:"static blocks partition the iteration space"
+    ~count:300 params_gen (fun (nthreads, trips) ->
+      let covered =
+        List.concat_map
+          (fun tid ->
+            match Ws.static_block ~tid ~nthreads ~trips with
+            | None -> []
+            | Some (b, e) -> List.init (e - b) (fun k -> b + k))
+          (List.init nthreads Fun.id)
+      in
+      List.sort compare covered = List.init trips Fun.id)
+
+let prop_static_block_balanced =
+  QCheck2.Test.make ~name:"static block sizes differ by at most one"
+    ~count:300 params_gen (fun (nthreads, trips) ->
+      let sizes =
+        List.map
+          (fun tid ->
+            match Ws.static_block ~tid ~nthreads ~trips with
+            | None -> 0
+            | Some (b, e) -> e - b)
+          (List.init nthreads Fun.id)
+      in
+      let mx = List.fold_left max 0 sizes in
+      let mn = List.fold_left min max_int sizes in
+      trips = 0 || mx - mn <= 1)
+
+let chunk_params_gen =
+  QCheck2.Gen.(
+    let* nthreads = int_range 1 9 in
+    let* trips = int_range 0 150 in
+    let* chunk = int_range 1 20 in
+    return (nthreads, trips, chunk))
+
+let prop_static_chunks_partition =
+  QCheck2.Test.make ~name:"static chunks partition the iteration space"
+    ~count:300 chunk_params_gen (fun (nthreads, trips, chunk) ->
+      let covered =
+        List.concat_map
+          (fun tid -> cover_list (Ws.static_chunks ~tid ~nthreads ~trips ~chunk))
+          (List.init nthreads Fun.id)
+      in
+      List.sort compare covered = List.init trips Fun.id)
+
+let prop_dispatch_partition =
+  QCheck2.Test.make
+    ~name:"dynamic/guided dispatch covers every iteration exactly once"
+    ~count:300
+    QCheck2.Gen.(
+      let* kind = oneofl [ Ws.Dispatch.Dyn; Ws.Dispatch.Gui ] in
+      let* nthreads = int_range 1 9 in
+      let* trips = int_range 0 150 in
+      let* chunk = int_range 1 20 in
+      return (kind, nthreads, trips, chunk))
+    (fun (kind, nthreads, trips, chunk) ->
+      let d = Ws.Dispatch.create ~kind ~trips ~chunk ~nthreads in
+      let rec drain acc =
+        match Ws.Dispatch.next d with
+        | None -> List.rev acc
+        | Some c -> drain (c :: acc)
+      in
+      cover_list (drain []) = List.init trips Fun.id)
+
+let suite =
+  [ Alcotest.test_case "trip counts" `Quick test_trip_count;
+    Alcotest.test_case "static block balance" `Quick test_static_block_balance;
+    Alcotest.test_case "more threads than trips" `Quick
+      test_static_block_fewer_trips_than_threads;
+    Alcotest.test_case "chunked static round robin" `Quick
+      test_static_chunks_round_robin;
+    Alcotest.test_case "guided chunks decrease and cover" `Quick
+      test_guided_chunks_decrease;
+    Alcotest.test_case "dynamic dispatch sequence" `Quick
+      test_dispatch_dynamic_sequential;
+    QCheck_alcotest.to_alcotest prop_static_block_partition;
+    QCheck_alcotest.to_alcotest prop_static_block_balanced;
+    QCheck_alcotest.to_alcotest prop_static_chunks_partition;
+    QCheck_alcotest.to_alcotest prop_dispatch_partition;
+  ]

@@ -9,6 +9,7 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe table1 fig3     # just CG artefacts
      dune exec bench/main.exe micro           # bechamel microbenches
+     dune exec bench/main.exe pool            # hot-team pool vs spawn-per-fork
      dune exec bench/main.exe ablation        # schedule/reduction ablations *)
 
 open Bechamel
@@ -146,6 +147,43 @@ let run_micro () =
       else if est >= 1e3 then Printf.printf "  %-32s %12.2f us/run\n" name (est /. 1e3)
       else Printf.printf "  %-32s %12.1f ns/run\n" name est)
     (List.sort compare !rows);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* The hot-team pool ablation: spawn-per-fork and pooled fork measured
+   back-to-back in the same process, so the speedup is observable on
+   any host without cross-run noise.  Empty region bodies isolate the
+   fork/join machinery itself — exactly what `fork_join_4` in the micro
+   section exercises, which routes through the pool by default.        *)
+
+let bench_pool () =
+  print_endline
+    "== pool: spawn-per-fork vs hot-team pooled __kmpc_fork_call (real \
+     execution) ==";
+  let reps = 300 in
+  let mean_fork_cost nt =
+    (* one unmeasured fork absorbs pool/worker creation, so both modes
+       are timed steady-state *)
+    Omprt.Omp.parallel ~num_threads:nt (fun () -> ());
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      Omprt.Omp.parallel ~num_threads:nt (fun () -> ())
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  Printf.printf "  %-8s %18s %18s %10s\n" "threads" "spawn-per-fork"
+    "pooled (hot team)" "speedup";
+  List.iter
+    (fun nt ->
+      Omprt.Pool.set_enabled false;
+      let spawn = mean_fork_cost nt in
+      Omprt.Pool.set_enabled true;
+      let pooled = mean_fork_cost nt in
+      Printf.printf "  %-8d %15.1f us %15.1f us %9.1fx\n%!" nt
+        (1e6 *. spawn) (1e6 *. pooled)
+        (if pooled > 0. then spawn /. pooled else Float.infinity))
+    [ 1; 2; 4; 8 ];
+  print_string ("  " ^ Omprt.Profile.pool_report ());
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -328,6 +366,7 @@ let sections =
     ("fig4", fun () -> emit_figure Harness.Experiment.EP);
     ("fig5", fun () -> emit_figure Harness.Experiment.IS);
     ("micro", run_micro);
+    ("pool", bench_pool);
     ("sensitivity", sensitivity);
     ("ablation",
      fun () ->

@@ -1,1 +1,1 @@
-lib/omprt/api.mli: Lock Omp_model
+lib/omprt/api.mli: Icv Lock Omp_model

@@ -1,1 +1,1 @@
-lib/omprt/kmpc.ml: Atomic Hashtbl Icv Lock Mutex Omp_model Profile Sched Team Ws
+lib/omprt/kmpc.ml: Atomic Domain Hashtbl Icv Lock Mutex Omp_model Profile Sched Team Ws

@@ -1,1 +1,1 @@
-lib/omprt/omp.ml: Api Kmpc List Lock Omp_model Option Sched Ws
+lib/omprt/omp.ml: Api Kmpc Lock Omp_model Option Sched Ws

@@ -1,0 +1,1 @@
+lib/omprt/pool.ml: Array Atomic Condition Domain Fun Icv Mutex Profile

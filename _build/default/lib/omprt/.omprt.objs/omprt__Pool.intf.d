@@ -1,0 +1,1 @@
+lib/omprt/pool.mli:

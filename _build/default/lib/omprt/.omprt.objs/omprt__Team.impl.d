@@ -1,1 +1,1 @@
-lib/omprt/team.ml: Array Atomic Barrier Domain Fun Hashtbl Icv Mutex Ws
+lib/omprt/team.ml: Array Atomic Barrier Domain Fun Hashtbl Icv Mutex Pool Profile Ws

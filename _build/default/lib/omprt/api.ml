@@ -30,6 +30,16 @@ let set_schedule s = Icv.global.run_sched <- s
 
 let get_thread_limit () = Icv.global.thread_limit
 
+(* Hot-team waiting knobs (OMP_WAIT_POLICY / ZIGOMP_BLOCKTIME): the
+   wait policy is read-only at runtime as in libomp, the blocktime is
+   adjustable like kmp_set_blocktime. *)
+
+let get_wait_policy () = Icv.global.wait_policy
+
+let get_blocktime () = Icv.global.blocktime
+
+let set_blocktime n = if n >= 0 then Icv.global.blocktime <- n
+
 let get_wtime () = Unix.gettimeofday ()
 
 (** Timer resolution, measured the way libomp documents it. *)

@@ -33,6 +33,16 @@ val set_schedule : Omp_model.Sched.t -> unit
 
 val get_thread_limit : unit -> int
 
+val get_wait_policy : unit -> Icv.wait_policy
+(** The [wait-policy-var] ICV ([OMP_WAIT_POLICY]) governing how parked
+    hot-team workers wait for the next region. *)
+
+val get_blocktime : unit -> int
+val set_blocktime : int -> unit
+(** Spin rounds a parked hot-team worker burns before blocking — the
+    analogue of libomp's [kmp_get/set_blocktime] ([ZIGOMP_BLOCKTIME]).
+    Negative values are ignored. *)
+
 val get_wtime : unit -> float
 (** Wall-clock seconds. *)
 

@@ -6,12 +6,25 @@
     the standard environment variables on first access and may be
     overridden through the [omp_set_*] API (see {!module:Api}). *)
 
+(** How parked pool workers wait for work, libomp's [OMP_WAIT_POLICY]:
+    [Active] spins aggressively before blocking (low dispatch latency,
+    burns a core), [Passive] yields to the OS almost immediately (the
+    right default on an oversubscribed host like this container). *)
+type wait_policy = Active | Passive
+
 type t = {
   mutable nthreads : int;       (** team size for parallel regions *)
   mutable dynamic : bool;       (** omp_set_dynamic *)
   mutable run_sched : Omp_model.Sched.t;  (** OMP_SCHEDULE / omp_set_schedule *)
   mutable max_active_levels : int;
   mutable thread_limit : int;
+  mutable wait_policy : wait_policy;  (** OMP_WAIT_POLICY *)
+  mutable blocktime : int;
+  (** Spin iterations a parked pool worker burns before blocking on its
+      condition variable — the analogue of libomp's [KMP_BLOCKTIME],
+      which we express in spin rounds rather than milliseconds so the
+      knob is meaningful on any clock.  Overridden by
+      [ZIGOMP_BLOCKTIME]; defaulted from the wait policy. *)
 }
 
 let default_nthreads () =
@@ -36,13 +49,41 @@ let default_dynamic () =
        | _ -> false)
   | None -> false
 
-let create () = {
-  nthreads = default_nthreads ();
-  dynamic = default_dynamic ();
-  run_sched = default_sched ();
-  max_active_levels = 1;
-  thread_limit = 128;  (* OCaml's maximum domain count *)
-}
+let default_wait_policy () =
+  match Sys.getenv_opt "OMP_WAIT_POLICY" with
+  | Some s ->
+      (match String.lowercase_ascii (String.trim s) with
+       | "active" -> Active
+       | _ -> Passive)
+  | None -> Passive
+
+(* Spin budgets behind each policy: active waiting spins long enough to
+   catch back-to-back regions without ever reaching the futex; passive
+   waiting probes just a few hundred times — microseconds — before
+   parking, which is what an oversubscribed single-core host needs. *)
+let blocktime_of_policy = function
+  | Active -> 100_000
+  | Passive -> 200
+
+let default_blocktime policy =
+  match Sys.getenv_opt "ZIGOMP_BLOCKTIME" with
+  | Some s ->
+      (match int_of_string_opt (String.trim s) with
+       | Some n when n >= 0 -> n
+       | _ -> blocktime_of_policy policy)
+  | None -> blocktime_of_policy policy
+
+let create () =
+  let wait_policy = default_wait_policy () in
+  {
+    nthreads = default_nthreads ();
+    dynamic = default_dynamic ();
+    run_sched = default_sched ();
+    max_active_levels = 1;
+    thread_limit = 128;  (* OCaml's maximum domain count *)
+    wait_policy;
+    blocktime = default_blocktime wait_policy;
+  }
 
 (* The global ICV set.  libomp keeps these per device; a single global is
    enough for one host device. *)
@@ -54,4 +95,6 @@ let reset () =
   global.dynamic <- fresh.dynamic;
   global.run_sched <- fresh.run_sched;
   global.max_active_levels <- fresh.max_active_levels;
-  global.thread_limit <- fresh.thread_limit
+  global.thread_limit <- fresh.thread_limit;
+  global.wait_policy <- fresh.wait_policy;
+  global.blocktime <- fresh.blocktime

@@ -1,8 +1,14 @@
 (** Internal control variables (ICVs), per OpenMP 5.2 section 2.
 
-    Initialised from [OMP_NUM_THREADS], [OMP_SCHEDULE] and
-    [OMP_DYNAMIC]; mutated through the [omp_set_*] API
-    (see {!module:Api}). *)
+    Initialised from [OMP_NUM_THREADS], [OMP_SCHEDULE], [OMP_DYNAMIC],
+    [OMP_WAIT_POLICY] and [ZIGOMP_BLOCKTIME]; mutated through the
+    [omp_set_*] API (see {!module:Api}). *)
+
+(** How parked hot-team workers wait for the next region: [Active]
+    spins aggressively before blocking, [Passive] parks almost
+    immediately (the default, and the right choice on an
+    oversubscribed host). *)
+type wait_policy = Active | Passive
 
 type t = {
   mutable nthreads : int;       (** team size for parallel regions *)
@@ -10,6 +16,11 @@ type t = {
   mutable run_sched : Omp_model.Sched.t;
   mutable max_active_levels : int;
   mutable thread_limit : int;
+  mutable wait_policy : wait_policy;  (** [OMP_WAIT_POLICY] *)
+  mutable blocktime : int;
+  (** Spin rounds before a parked worker blocks (libomp's
+      [KMP_BLOCKTIME] analogue); [ZIGOMP_BLOCKTIME] overrides, else
+      defaulted from the wait policy. *)
 }
 
 val create : unit -> t

@@ -10,11 +10,31 @@
 
 open Omp_model
 
+(* The num_threads value pushed by [__kmpc_push_num_threads] for the
+   *next* fork on this thread, as libomp keeps it: consumed (and
+   cleared) by the first [fork_call] that is not given an explicit team
+   size. *)
+let pushed_num_threads : int option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
 (** [fork_call ?loc ?num_threads microtask arg] — run [microtask arg] on
-    every thread of a fresh team.  [arg] stands in for the opaque
-    argument-group pointers ([?*anyopaque] in the paper's ABI); the
-    caller packs firstprivate/shared/reduction groups into it. *)
+    every thread of a team (hot-team pooled for top-level regions, see
+    {!Team.fork}).  [arg] stands in for the opaque argument-group
+    pointers ([?*anyopaque] in the paper's ABI); the caller packs
+    firstprivate/shared/reduction groups into it.  Without an explicit
+    [num_threads], a value pushed by {!push_num_threads} on this thread
+    is consumed first, then the [nthreads-var] ICV applies. *)
 let fork_call ?loc:_ ?num_threads (microtask : 'a -> unit) (arg : 'a) =
+  let num_threads =
+    match num_threads with
+    | Some _ -> num_threads
+    | None ->
+        (match Domain.DLS.get pushed_num_threads with
+         | None -> None
+         | Some _ as pushed ->
+             Domain.DLS.set pushed_num_threads None;
+             pushed)
+  in
   Profile.timed Profile.Region (fun () ->
       Team.fork ?num_threads (fun ~tid:_ -> microtask arg))
 
@@ -241,11 +261,14 @@ let atomic_end ?loc:_ () = Mutex.unlock atomic_lock
 let flush_fence = Atomic.make 0
 let flush ?loc:_ () = ignore (Atomic.get flush_fence)
 
-(** [push_num_threads n] — the lowering of a [num_threads] clause: libomp
-    records the request for the *next* fork.  We model it by returning the
-    value for the caller to pass to {!fork_call}; kept for interface
-    fidelity. *)
-let push_num_threads ?loc:_ n = max 1 n
+(** [push_num_threads n] — the lowering of a [num_threads] clause:
+    records the request for this thread's *next* {!fork_call}, exactly
+    as libomp's [__kmpc_push_num_threads] does.  Also returns the
+    clamped value for callers that pass it explicitly. *)
+let push_num_threads ?loc:_ n =
+  let n = max 1 n in
+  Domain.DLS.set pushed_num_threads (Some n);
+  n
 
 (* ------------------------------------------------------------------ *)
 (* Reductions: the __kmpc_reduce critical-path helpers.  The generated

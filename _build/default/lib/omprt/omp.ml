@@ -35,9 +35,8 @@ let ws_for ?(sched = Sched.Static None) ?nowait ?working_set:_ ?chunk_cost:_
       (* chunked static: walk this thread's round-robin chunks *)
       let nth = num_threads () and tid = thread_num () in
       let trips = max 0 (hi - lo) in
-      List.iter
-        (fun (b, e) -> body (lo + b) (lo + e))
-        (Ws.static_chunks ~tid ~nthreads:nth ~trips ~chunk:c);
+      Ws.static_chunks_iter ~tid ~nthreads:nth ~trips ~chunk:c
+        (fun b e -> body (lo + b) (lo + e));
       Kmpc.for_static_fini ();
       if not (Option.value nowait ~default:false) then barrier ()
   | Sched.Dynamic _ | Sched.Guided _ | Sched.Runtime | Sched.Auto ->

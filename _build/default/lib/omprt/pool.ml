@@ -1,0 +1,224 @@
+(** The hot-team worker pool behind [__kmpc_fork_call].
+
+    libomp amortises thread startup by parking a persistent team of
+    workers between parallel regions ("hot teams"): the first fork pays
+    for thread creation, every later fork is a mailbox write and a
+    wake-up.  Our {!Team.fork} used to pay [Domain.spawn]/[Domain.join]
+    for every region, so fork/join cost scaled with domain creation.
+    This module is the libomp-shaped fix: [OMP_NUM_THREADS - 1] domains
+    spawned lazily on first fork, each parked on a private mailbox with
+    a bounded spin-then-block wait (the [KMP_BLOCKTIME] analogue, see
+    {!Icv.t.blocktime}), leased wholesale to one top-level region at a
+    time.
+
+    The pool serves only top-level, non-oversized regions; nested
+    regions and teams larger than [thread-limit-var] fall back to
+    spawn-per-fork in {!Team.fork} (and are counted as such in
+    {!Profile.pool_stats}).  A single lease is outstanding at any
+    moment — concurrent encountering threads race on one CAS and the
+    losers fall back, which keeps every mailbox single-producer.
+
+    Memory-safety of the mailboxes: the [slot] and [finished] fields
+    are [Atomic.t], so a job published by the master happens-before the
+    worker's read, and a result written by the worker happens-before
+    the master's collection.  The condition variables only ever
+    re-check those atomics, never carry data themselves. *)
+
+type cmd =
+  | Idle                  (** mailbox empty — park *)
+  | Run of (unit -> unit) (** one region's work for this worker *)
+  | Quit                  (** process exit: drain and terminate *)
+
+type worker = {
+  slot : cmd Atomic.t;
+  m : Mutex.t;
+  cv : Condition.t;            (* master -> worker: mailbox filled *)
+  finished : bool Atomic.t;
+  done_m : Mutex.t;
+  done_cv : Condition.t;       (* worker -> master: job complete *)
+  mutable failure : exn option;
+  (* written by the worker before [finished := true]; the atomic store
+     publishes it to the master *)
+  mutable domain : unit Domain.t option;
+}
+
+type lease = { nworkers : int }
+
+(* ------------------------------------------------------------------ *)
+(* Pool state.  [busy] serialises leases; [lock] guards growth and
+   shutdown of the worker array.                                       *)
+
+let enabled = Atomic.make true
+let busy = Atomic.make false
+let lock = Mutex.create ()
+let workers : worker array ref = ref [||]
+let shutdown_installed = ref false
+
+let set_enabled b = Atomic.set enabled b
+let is_enabled () = Atomic.get enabled
+
+let size () = Array.length !workers
+
+(* ------------------------------------------------------------------ *)
+(* Worker side.                                                        *)
+
+(** Spin-then-block wait for the next mailbox command.  The spin budget
+    is re-read from the ICVs on every park so [ZIGOMP_BLOCKTIME] /
+    [omp_set_*] style adjustments take effect immediately. *)
+let next_cmd w =
+  let rec spin n =
+    match Atomic.get w.slot with
+    | Idle ->
+        if n > 0 then begin
+          Domain.cpu_relax ();
+          spin (n - 1)
+        end
+        else begin
+          Profile.pool_tick Profile.Pool_block_park;
+          Mutex.lock w.m;
+          let rec block () =
+            match Atomic.get w.slot with
+            | Idle -> Condition.wait w.cv w.m; block ()
+            | c -> c
+          in
+          let c = block () in
+          Mutex.unlock w.m;
+          c
+        end
+    | c ->
+        Profile.pool_tick Profile.Pool_spin_park;
+        c
+  in
+  spin Icv.global.blocktime
+
+let rec worker_loop w =
+  match next_cmd w with
+  | Quit -> ()
+  | Idle -> worker_loop w
+  | Run f ->
+      Atomic.set w.slot Idle;
+      (match f () with
+       | () -> w.failure <- None
+       | exception e -> w.failure <- Some e);
+      Atomic.set w.finished true;
+      Mutex.lock w.done_m;
+      Condition.signal w.done_cv;
+      Mutex.unlock w.done_m;
+      worker_loop w
+
+let make_worker () =
+  { slot = Atomic.make Idle;
+    m = Mutex.create ();
+    cv = Condition.create ();
+    finished = Atomic.make true;
+    done_m = Mutex.create ();
+    done_cv = Condition.create ();
+    failure = None;
+    domain = None }
+
+(* ------------------------------------------------------------------ *)
+(* Master side.                                                        *)
+
+let shutdown () =
+  Mutex.lock lock;
+  let ws = !workers in
+  workers := [||];
+  Mutex.unlock lock;
+  Array.iter
+    (fun w ->
+      Atomic.set w.slot Quit;
+      Mutex.lock w.m;
+      Condition.signal w.cv;
+      Mutex.unlock w.m)
+    ws;
+  Array.iter
+    (fun w -> match w.domain with Some d -> Domain.join d | None -> ())
+    ws
+
+(* Grow the pool to [n] workers.  Only called with the lease held, so
+   the array cannot change under a dispatching master; the mutex is for
+   the (at-exit) shutdown path. *)
+let ensure n =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) @@ fun () ->
+  let cur = Array.length !workers in
+  if n > cur then begin
+    if not !shutdown_installed then begin
+      shutdown_installed := true;
+      at_exit shutdown
+    end;
+    workers :=
+      Array.init n (fun i ->
+          if i < cur then !workers.(i)
+          else begin
+            let w = make_worker () in
+            w.domain <- Some (Domain.spawn (fun () -> worker_loop w));
+            Profile.pool_tick Profile.Pool_worker_spawned;
+            w
+          end)
+  end
+
+(** [acquire ~nthreads] — lease [nthreads - 1] hot workers, spawning
+    any that do not exist yet.  [None] when the pool is disabled, the
+    request exceeds [thread-limit-var], another lease is outstanding,
+    or domain creation fails — all of which the caller answers with
+    spawn-per-fork. *)
+let acquire ~nthreads =
+  let nw = nthreads - 1 in
+  if nw <= 0 || not (Atomic.get enabled) then None
+  else if nw > Icv.global.thread_limit - 1 then None
+  else if not (Atomic.compare_and_set busy false true) then None
+  else
+    match ensure nw with
+    | () ->
+        Profile.pool_tick Profile.Pool_fork_served;
+        Some { nworkers = nw }
+    | exception _ ->
+        Atomic.set busy false;
+        None
+
+(** [dispatch lease f] — start [f tid] on the leased workers, thread
+    ids [1 .. nworkers]; returns immediately (the caller runs tid 0
+    itself, then {!await}s). *)
+let dispatch { nworkers } f =
+  let ws = !workers in
+  for i = 0 to nworkers - 1 do
+    let w = ws.(i) in
+    let tid = i + 1 in
+    Atomic.set w.finished false;
+    Atomic.set w.slot (Run (fun () -> f tid));
+    Mutex.lock w.m;
+    Condition.signal w.cv;
+    Mutex.unlock w.m
+  done
+
+(** [await lease] — wait (spin-then-block, same budget as the workers)
+    for every dispatched job to finish; the lowest-tid failure, if
+    any.  Never raises. *)
+let await { nworkers } =
+  let ws = !workers in
+  let failure = ref None in
+  for i = 0 to nworkers - 1 do
+    let w = ws.(i) in
+    let rec spin n =
+      if Atomic.get w.finished then ()
+      else if n > 0 then begin
+        Domain.cpu_relax ();
+        spin (n - 1)
+      end
+      else begin
+        Mutex.lock w.done_m;
+        while not (Atomic.get w.finished) do
+          Condition.wait w.done_cv w.done_m
+        done;
+        Mutex.unlock w.done_m
+      end
+    in
+    spin Icv.global.blocktime;
+    (match w.failure with
+     | Some e when !failure = None -> failure := Some (i + 1, e)
+     | _ -> ())
+  done;
+  !failure
+
+let release (_ : lease) = Atomic.set busy false

@@ -1,0 +1,48 @@
+(** The hot-team worker pool behind [__kmpc_fork_call].
+
+    libomp parks a persistent team of workers between parallel regions
+    so that only the first fork pays for thread creation; this module
+    reproduces that design on OCaml domains.  [OMP_NUM_THREADS - 1]
+    workers are spawned lazily on the first pooled fork and parked with
+    a bounded spin-then-block wait governed by {!Icv.t.wait_policy} /
+    {!Icv.t.blocktime} ([OMP_WAIT_POLICY] / [ZIGOMP_BLOCKTIME]).
+
+    One lease is outstanding at a time; {!Team.fork} acquires it for
+    top-level regions and falls back to spawn-per-fork for nested or
+    oversized teams (counted in {!Profile.pool_stats}). *)
+
+type lease
+(** Exclusive use of the pool's workers for one parallel region. *)
+
+val acquire : nthreads:int -> lease option
+(** Lease [nthreads - 1] hot workers, growing the pool as needed.
+    [None] — the caller must spawn-per-fork — when the pool is
+    disabled, busy, the request exceeds [thread-limit-var], or domain
+    creation fails. *)
+
+val dispatch : lease -> (int -> unit) -> unit
+(** Start the closure on every leased worker (thread ids
+    [1 .. nthreads-1]) and return immediately; the caller runs thread
+    0 itself.  Exceptions inside the closure are captured per worker
+    and surfaced by {!await}. *)
+
+val await : lease -> (int * exn) option
+(** Wait for every dispatched closure to finish; the lowest-tid
+    failure, if any.  Never raises. *)
+
+val release : lease -> unit
+(** Return the workers to the pool (they stay parked, hot). *)
+
+val set_enabled : bool -> unit
+(** Globally enable/disable pooled forking (used by the spawn-vs-pool
+    ablation in the benchmark harness).  Disabling does not terminate
+    already-parked workers. *)
+
+val is_enabled : unit -> bool
+
+val size : unit -> int
+(** Number of persistent workers currently parked or leased. *)
+
+val shutdown : unit -> unit
+(** Terminate and join every worker.  Installed via [at_exit] on first
+    spawn; safe to call more than once. *)

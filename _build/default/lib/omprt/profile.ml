@@ -50,6 +50,16 @@ let aggs = List.map (fun c -> (c, fresh_agg ())) all_constructs
 
 let agg_of c = List.assq c aggs
 
+(* ------------------------------------------------------------------ *)
+(* Hot-team pool statistics.  Unlike construct timings these are
+   always-on counters: one fetch-and-add per fork is noise next to the
+   fork itself, and the pool's health (did the workers persist? did the
+   team get reused?) must be observable without enabling timing. *)
+
+let pool_counters =
+  let z () = Atomics.Int.make 0 in
+  (z (), z (), z (), z (), z (), z ())
+
 let enable () = Atomic.set enabled true
 let disable () = Atomic.set enabled false
 let is_enabled () = Atomic.get enabled
@@ -60,7 +70,9 @@ let reset () =
       Atomics.Int.set a.count 0;
       Atomics.Float.set a.total 0.;
       Atomics.Float.set a.slowest 0.)
-    aggs
+    aggs;
+  let a, b, c, d, e, f = pool_counters in
+  List.iter (fun cnt -> Atomics.Int.set cnt 0) [ a; b; c; d; e; f ]
 
 (** Record one completed construct of duration [dt] seconds. *)
 let record c dt =
@@ -84,6 +96,50 @@ let timed c f =
     measurement more than it is worth). *)
 let tick c = if Atomic.get enabled then Atomics.Int.add (agg_of c).count 1
 
+type pool_event =
+  | Pool_fork_served     (** a fork dispatched through the hot team *)
+  | Pool_worker_spawned  (** a persistent worker domain created *)
+  | Pool_reuse_hit       (** a team structure recycled across regions *)
+  | Pool_spin_park       (** a worker picked up work while spinning *)
+  | Pool_block_park      (** a worker had to block on its condvar *)
+  | Pool_fallback_fork   (** a fork served by spawn-per-fork instead *)
+
+type pool_stats = {
+  forks_served : int;
+  workers_spawned : int;
+  reuse_hits : int;
+  spin_parks : int;
+  block_parks : int;
+  fallback_forks : int;
+}
+
+let pool_counter = function
+  | Pool_fork_served -> (let c, _, _, _, _, _ = pool_counters in c)
+  | Pool_worker_spawned -> (let _, c, _, _, _, _ = pool_counters in c)
+  | Pool_reuse_hit -> (let _, _, c, _, _, _ = pool_counters in c)
+  | Pool_spin_park -> (let _, _, _, c, _, _ = pool_counters in c)
+  | Pool_block_park -> (let _, _, _, _, c, _ = pool_counters in c)
+  | Pool_fallback_fork -> (let _, _, _, _, _, c = pool_counters in c)
+
+let pool_tick e = Atomics.Int.add (pool_counter e) 1
+
+let pool_stats () =
+  { forks_served = Atomics.Int.get (pool_counter Pool_fork_served);
+    workers_spawned = Atomics.Int.get (pool_counter Pool_worker_spawned);
+    reuse_hits = Atomics.Int.get (pool_counter Pool_reuse_hit);
+    spin_parks = Atomics.Int.get (pool_counter Pool_spin_park);
+    block_parks = Atomics.Int.get (pool_counter Pool_block_park);
+    fallback_forks = Atomics.Int.get (pool_counter Pool_fallback_fork) }
+
+let pool_report () =
+  let s = pool_stats () in
+  Printf.sprintf
+    "hot-team pool: %d forks served, %d workers spawned, %d team reuse \
+     hits,\n               %d spin parks, %d block parks, %d fallback \
+     (spawn-per-fork) forks\n"
+    s.forks_served s.workers_spawned s.reuse_hits s.spin_parks
+    s.block_parks s.fallback_forks
+
 type snapshot = {
   construct : construct;
   count : int;
@@ -105,21 +161,27 @@ let snapshot () =
             slowest = Atomics.Float.get a.slowest })
     aggs
 
-(** The gprof-style table. *)
+(** The gprof-style table, followed by the pool counters when the pool
+    has seen any traffic. *)
 let report () =
   let rows = snapshot () in
-  if rows = [] then "profile: no OpenMP constructs recorded\n"
-  else begin
-    let b = Buffer.create 512 in
-    Buffer.add_string b
-      (Printf.sprintf "%-20s %10s %12s %12s %12s\n" "construct" "count"
-         "total (s)" "mean (us)" "max (us)");
-    List.iter
-      (fun r ->
-        Buffer.add_string b
-          (Printf.sprintf "%-20s %10d %12.6f %12.2f %12.2f\n"
-             (construct_name r.construct)
-             r.count r.total (1e6 *. r.mean) (1e6 *. r.slowest)))
-      (List.sort (fun a b -> compare b.total a.total) rows);
-    Buffer.contents b
-  end
+  let table =
+    if rows = [] then "profile: no OpenMP constructs recorded\n"
+    else begin
+      let b = Buffer.create 512 in
+      Buffer.add_string b
+        (Printf.sprintf "%-20s %10s %12s %12s %12s\n" "construct" "count"
+           "total (s)" "mean (us)" "max (us)");
+      List.iter
+        (fun r ->
+          Buffer.add_string b
+            (Printf.sprintf "%-20s %10d %12.6f %12.2f %12.2f\n"
+               (construct_name r.construct)
+               r.count r.total (1e6 *. r.mean) (1e6 *. r.slowest)))
+        (List.sort (fun a b -> compare b.total a.total) rows);
+      Buffer.contents b
+    end
+  in
+  let s = pool_stats () in
+  if s.forks_served + s.workers_spawned + s.fallback_forks = 0 then table
+  else table ^ pool_report ()

@@ -44,4 +44,36 @@ val snapshot : unit -> snapshot list
 (** Aggregates recorded so far, constructs with zero count omitted. *)
 
 val report : unit -> string
-(** The rendered gprof-style table, sorted by total time. *)
+(** The rendered gprof-style table, sorted by total time, followed by
+    the hot-team pool counters when the pool has seen any traffic. *)
+
+(** {2 Hot-team pool statistics}
+
+    Always-on counters (one fetch-and-add each; not gated on
+    {!is_enabled}) fed by {!module:Pool} and {!module:Team}, so the
+    pool's health is observable without enabling construct timing.
+    Zeroed by {!reset}. *)
+
+type pool_event =
+  | Pool_fork_served     (** a fork dispatched through the hot team *)
+  | Pool_worker_spawned  (** a persistent worker domain created *)
+  | Pool_reuse_hit       (** a team structure recycled across regions *)
+  | Pool_spin_park       (** a worker picked up work while spinning *)
+  | Pool_block_park      (** a worker had to block on its condvar *)
+  | Pool_fallback_fork   (** a fork served by spawn-per-fork instead *)
+
+type pool_stats = {
+  forks_served : int;
+  workers_spawned : int;
+  reuse_hits : int;
+  spin_parks : int;
+  block_parks : int;
+  fallback_forks : int;
+}
+
+val pool_tick : pool_event -> unit
+
+val pool_stats : unit -> pool_stats
+
+val pool_report : unit -> string
+(** The rendered one-paragraph pool-counter summary. *)

@@ -2,7 +2,9 @@
 
     A team is created by each [__kmpc_fork_call] (the lowering target for
     a [parallel] pragma) and lives for the duration of the region.  Worker
-    threads are OCaml domains; the encountering thread becomes thread 0 of
+    threads are OCaml domains — persistent hot-team workers leased from
+    {!module:Pool} for top-level regions, freshly spawned domains for
+    nested or oversized ones; the encountering thread becomes thread 0 of
     the new team, as the OpenMP execution model requires.  The current
     context is carried in domain-local storage so that [omp_get_thread_num]
     and friends work from arbitrary call depth, and contexts form a chain
@@ -81,11 +83,80 @@ let level () =
 
 exception Worker_failure of int * exn
 
-(** [fork ?num_threads body] implements [__kmpc_fork_call]: create a team,
-    run [body ~tid] on every member (thread 0 is the encountering thread,
-    the rest are fresh domains), and join.  An exception in any worker is
-    re-raised in the encountering thread after all workers have been
-    joined, wrapped in {!Worker_failure}. *)
+(* The hot team: the team structure of the previous pooled region, kept
+   so that back-to-back same-size regions recycle the barrier and clear
+   (rather than reallocate) the dispatcher table — libomp's hot-team
+   reuse.  Only touched while holding the pool lease, which serialises
+   all pooled forks, so no extra lock is needed. *)
+let hot_team : t option ref = ref None
+
+let lease_team nt =
+  match !hot_team with
+  | Some team when team.nthreads = nt ->
+      Hashtbl.reset team.dispatchers;
+      Atomic.set team.single_epoch 0;
+      Profile.pool_tick Profile.Pool_reuse_hit;
+      team
+  | _ ->
+      let team = create_team nt in
+      hot_team := Some team;
+      team
+
+(* The cold path: one fresh domain per worker, joined at region end.
+   Serves nested regions, oversized teams, and any fork the pool
+   declined. *)
+let spawn_fork nt (run : int -> unit -> unit) =
+  let workers =
+    Array.init (nt - 1) (fun i -> Domain.spawn (run (i + 1)))
+  in
+  let master_result =
+    match run 0 () with
+    | () -> Ok ()
+    | exception e -> Error (0, e)
+  in
+  let failure = ref None in
+  Array.iteri
+    (fun i d ->
+      match Domain.join d with
+      | () -> ()
+      | exception e -> if !failure = None then failure := Some (i + 1, e))
+    workers;
+  (match master_result with
+   | Error (tid, e) -> raise (Worker_failure (tid, e))
+   | Ok () -> ());
+  match !failure with
+  | Some (tid, e) -> raise (Worker_failure (tid, e))
+  | None -> ()
+
+(* The hot path: dispatch to the leased pool workers, run tid 0
+   ourselves, collect.  Workers are always awaited — even when the
+   master's own body raised — so the team structure is quiescent before
+   the lease is released and the exception surfaces. *)
+let pooled_fork lease (run : int -> unit -> unit) =
+  Fun.protect ~finally:(fun () -> Pool.release lease) @@ fun () ->
+  Pool.dispatch lease (fun tid -> run tid ());
+  let master_result =
+    match run 0 () with
+    | () -> Ok ()
+    | exception e -> Error (0, e)
+  in
+  let worker_failure = Pool.await lease in
+  (match master_result with
+   | Error (tid, e) -> raise (Worker_failure (tid, e))
+   | Ok () -> ());
+  match worker_failure with
+  | Some (tid, e) -> raise (Worker_failure (tid, e))
+  | None -> ()
+
+(** [fork ?num_threads body] implements [__kmpc_fork_call]: create (or
+    reuse) a team, run [body ~tid] on every member (thread 0 is the
+    encountering thread), and join.  Top-level regions are served by the
+    persistent hot-team pool ({!module:Pool}); nested or oversized
+    regions, and forks racing an outstanding lease, fall back to one
+    [Domain.spawn] per worker.  An exception in any member is re-raised
+    in the encountering thread after all members have finished, wrapped
+    in {!Worker_failure} with the failing thread id (the master's
+    failure wins, then the lowest worker tid). *)
 let fork ?num_threads (body : tid:int -> unit) =
   let nt =
     match num_threads with
@@ -94,36 +165,20 @@ let fork ?num_threads (body : tid:int -> unit) =
     | None -> Icv.global.nthreads
   in
   let parent = current () in
-  let team = create_team nt in
-  let run tid () =
+  let run team tid () =
     let ctx = { team; tid; parent; loop_epoch = 0; single_seen = 0 } in
     set_current (Some ctx);
     Fun.protect ~finally:(fun () -> set_current parent) (fun () -> body ~tid)
   in
-  if nt = 1 then run 0 ()
-  else begin
-    let workers =
-      Array.init (nt - 1) (fun i -> Domain.spawn (run (i + 1)))
-    in
-    let master_result =
-      match run 0 () with
-      | () -> Ok ()
-      | exception e -> Error (0, e)
-    in
-    let failure = ref None in
-    Array.iteri
-      (fun i d ->
-        match Domain.join d with
-        | () -> ()
-        | exception e -> if !failure = None then failure := Some (i + 1, e))
-      workers;
-    (match master_result with
-     | Error (tid, e) -> raise (Worker_failure (tid, e))
-     | Ok () -> ());
-    match !failure with
-    | Some (tid, e) -> raise (Worker_failure (tid, e))
-    | None -> ()
-  end
+  if nt = 1 then run (create_team 1) 0 ()
+  else
+    match (if parent = None then Pool.acquire ~nthreads:nt else None) with
+    | Some lease ->
+        let team = lease_team nt in
+        pooled_fork lease (run team)
+    | None ->
+        Profile.pool_tick Profile.Pool_fallback_fork;
+        spawn_fork nt (run (create_team nt))
 
 (** The team barrier for the current context; a no-op outside a region. *)
 let barrier () =

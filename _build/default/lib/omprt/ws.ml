@@ -42,25 +42,35 @@ let static_block ~tid ~nthreads ~trips =
     end
   end
 
-(** All chunks of thread [tid] under [static,chunk]: round-robin blocks of
-    [chunk] iterations starting with thread 0.  Returned in execution
-    order as [(start, stop)] pairs over [\[0, trips)]. *)
-let static_chunks ~tid ~nthreads ~trips ~chunk =
+(** Apply [f start stop] to every chunk of thread [tid] under
+    [static,chunk] — round-robin blocks of [chunk] iterations starting
+    with thread 0, in execution order over [\[0, trips)].  This is the
+    hot-path form: no intermediate list, so a chunked static loop entry
+    allocates nothing. *)
+let static_chunks_iter ~tid ~nthreads ~trips ~chunk f =
   if chunk <= 0 then invalid_arg "Ws.static_chunks: chunk <= 0";
   if nthreads <= 0 then invalid_arg "Ws.static_chunks: nthreads <= 0";
-  let rec collect acc start =
-    if start >= trips then List.rev acc
-    else
-      let stop = min trips (start + chunk) in
-      collect ((start, stop) :: acc) (start + (chunk * nthreads))
-  in
-  collect [] (tid * chunk)
+  let stride = chunk * nthreads in
+  let start = ref (tid * chunk) in
+  while !start < trips do
+    f !start (min trips (!start + chunk));
+    start := !start + stride
+  done
+
+(** The chunks as a list, for tests and callers that need to hold
+    them. *)
+let static_chunks ~tid ~nthreads ~trips ~chunk =
+  let acc = ref [] in
+  static_chunks_iter ~tid ~nthreads ~trips ~chunk (fun b e ->
+      acc := (b, e) :: !acc);
+  List.rev !acc
 
 (** Convert a block over the canonical space [\[0, trips)] back to the
-    user's iteration values: iteration [k] corresponds to [lo + k*step]. *)
+    user's iteration values: iteration [k] corresponds to [lo + k*step],
+    for either sign of [step] (the bounds come out decreasing when
+    [step < 0], mirroring the user's downward loop). *)
 let denormalise ~lo ~step (start, stop) =
-  if step > 0 then (lo + (start * step), lo + (stop * step))
-  else (lo + (start * step), lo + (stop * step))
+  (lo + (start * step), lo + (stop * step))
 
 (** Guided-schedule chunk for a loop with [remaining] iterations on a team
     of [nthreads], with minimum chunk [chunk].  libomp's iterative guided

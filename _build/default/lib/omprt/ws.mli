@@ -15,13 +15,20 @@ val static_block : tid:int -> nthreads:int -> trips:int -> (int * int) option
     unchunked static schedule (libomp's balanced split: sizes differ by
     at most one).  [None] when the thread has no work. *)
 
+val static_chunks_iter :
+  tid:int -> nthreads:int -> trips:int -> chunk:int ->
+  (int -> int -> unit) -> unit
+(** Apply the callback to each round-robin chunk owned by [tid] under
+    [static,chunk], in execution order.  Allocation-free — the form
+    the runtime's loop entry uses. *)
+
 val static_chunks :
   tid:int -> nthreads:int -> trips:int -> chunk:int -> (int * int) list
-(** Round-robin chunks owned by [tid] under [static,chunk], in
-    execution order. *)
+(** The same chunks as a list (tests, simulator). *)
 
 val denormalise : lo:int -> step:int -> int * int -> int * int
-(** Map a block over [\[0, trips)] back to user iteration values. *)
+(** Map a block over [\[0, trips)] back to user iteration values,
+    for either sign of [step]. *)
 
 val guided_next_chunk : nthreads:int -> chunk:int -> remaining:int -> int
 (** libomp's iterative guided rule: half the per-thread share of the

@@ -1,0 +1,1 @@
+test/test_pool.ml: Alcotest Api Array Astring_contains Atomic Atomics Fun Icv List Omp Omprt Option Pool Profile Sys Team Unix

@@ -1,0 +1,215 @@
+(* The hot-team worker pool: persistence across many regions, team
+   reuse, nested/oversized fallback, failure propagation through pooled
+   workers, and the OMP_WAIT_POLICY / ZIGOMP_BLOCKTIME knobs. *)
+
+open Omprt
+
+let nt = 4  (* oversubscribed on this host; parked workers must block *)
+
+(* Restore any ICV the test mutated; other suites depend on them. *)
+let with_restored_icvs f =
+  let saved_limit = Icv.global.thread_limit in
+  let saved_blocktime = Icv.global.blocktime in
+  let saved_policy = Icv.global.wait_policy in
+  Fun.protect
+    ~finally:(fun () ->
+      Icv.global.thread_limit <- saved_limit;
+      Icv.global.blocktime <- saved_blocktime;
+      Icv.global.wait_policy <- saved_policy)
+    f
+
+let test_pooled_fork_covers () =
+  let seen = Array.make nt false in
+  Team.fork ~num_threads:nt (fun ~tid -> seen.(tid) <- true);
+  Alcotest.(check (array bool)) "every tid ran" (Array.make nt true) seen;
+  Alcotest.(check bool) "pool holds persistent workers" true
+    (Pool.size () >= nt - 1)
+
+let test_worker_cap_and_reuse () =
+  (* 150 consecutive same-size regions: the pool must not spawn more
+     than nt-1 domains in total, and must recycle the team structure. *)
+  Profile.reset ();
+  let total = Atomic.make 0 in
+  for _ = 1 to 150 do
+    Omp.parallel ~num_threads:nt (fun () -> Atomics.Int.add total 1)
+  done;
+  Alcotest.(check int) "every region ran every thread" (150 * nt)
+    (Atomic.get total);
+  let s = Profile.pool_stats () in
+  Alcotest.(check bool) "workers spawned <= nthreads-1" true
+    (s.Profile.workers_spawned <= nt - 1);
+  Alcotest.(check bool) "team reuse hits > 0" true (s.Profile.reuse_hits > 0);
+  Alcotest.(check bool) "forks served through the pool" true
+    (s.Profile.forks_served >= 150)
+
+let test_thousand_back_to_back_forks () =
+  let total = Atomic.make 0 in
+  for _ = 1 to 1000 do
+    Omp.parallel ~num_threads:nt (fun () -> Atomics.Int.add total 1)
+  done;
+  Alcotest.(check int) "1000 pooled regions all complete" (1000 * nt)
+    (Atomic.get total)
+
+let test_nested_regions_fall_back () =
+  Profile.reset ();
+  let total = Atomic.make 0 in
+  Omp.parallel ~num_threads:2 (fun () ->
+      Omp.parallel ~num_threads:2 (fun () -> Atomics.Int.add total 1));
+  Alcotest.(check int) "2 x 2 executions" 4 (Atomic.get total);
+  let s = Profile.pool_stats () in
+  Alcotest.(check bool) "both inner regions spawned per fork" true
+    (s.Profile.fallback_forks >= 2);
+  Alcotest.(check bool) "outer region used the pool" true
+    (s.Profile.forks_served >= 1)
+
+let test_oversized_team_falls_back () =
+  with_restored_icvs @@ fun () ->
+  Icv.global.thread_limit <- 2;
+  Profile.reset ();
+  let seen = Array.make nt false in
+  Team.fork ~num_threads:nt (fun ~tid -> seen.(tid) <- true);
+  Alcotest.(check (array bool)) "oversized team still runs fully"
+    (Array.make nt true) seen;
+  let s = Profile.pool_stats () in
+  Alcotest.(check int) "served by spawn-per-fork" 1 s.Profile.fallback_forks;
+  Alcotest.(check int) "not by the pool" 0 s.Profile.forks_served
+
+let test_worker_failure_carries_tid () =
+  (* the failing thread is a pooled worker, not the master *)
+  Alcotest.(check bool) "tid 2's failure reaches the master" true
+    (try
+       Omp.parallel ~num_threads:nt (fun () ->
+           if Omp.thread_num () = 2 then failwith "pooled boom");
+       false
+     with Team.Worker_failure (2, Failure msg) -> msg = "pooled boom");
+  (* master failure takes precedence, as with spawn-per-fork *)
+  Alcotest.(check bool) "master failure reported as tid 0" true
+    (try
+       Omp.parallel ~num_threads:nt (fun () ->
+           if Omp.thread_num () = 0 then failwith "master boom");
+       false
+     with Team.Worker_failure (0, Failure msg) -> msg = "master boom")
+
+let test_pool_survives_worker_failure () =
+  (try
+     Omp.parallel ~num_threads:nt (fun () ->
+         if Omp.thread_num () = 1 then failwith "transient")
+   with Team.Worker_failure _ -> ());
+  let seen = Array.make nt false in
+  Team.fork ~num_threads:nt (fun ~tid -> seen.(tid) <- true);
+  Alcotest.(check (array bool)) "pool healthy after a failed region"
+    (Array.make nt true) seen
+
+let test_blocktime_extremes () =
+  with_restored_icvs @@ fun () ->
+  (* blocktime 0: every park goes straight to the condvar *)
+  Icv.global.blocktime <- 0;
+  let a = Atomic.make 0 in
+  for _ = 1 to 20 do
+    Omp.parallel ~num_threads:nt (fun () -> Atomics.Int.add a 1)
+  done;
+  Alcotest.(check int) "pure blocking waits work" (20 * nt) (Atomic.get a);
+  (* a large spin budget: back-to-back forks are caught while spinning *)
+  Icv.global.blocktime <- 50_000;
+  let b = Atomic.make 0 in
+  for _ = 1 to 20 do
+    Omp.parallel ~num_threads:nt (fun () -> Atomics.Int.add b 1)
+  done;
+  Alcotest.(check int) "spinning waits work" (20 * nt) (Atomic.get b)
+
+(* --- ICV environment parsing ------------------------------------- *)
+
+(* Unix.putenv cannot unset; an empty value parses as garbage, which
+   must fall back to the documented default — also worth asserting. *)
+let with_env pairs f =
+  let saved =
+    List.map (fun (k, _) -> (k, Sys.getenv_opt k)) pairs
+  in
+  let saved_nthreads = Icv.global.nthreads in
+  let saved_sched = Icv.global.run_sched in
+  List.iter (fun (k, v) -> Unix.putenv k v) pairs;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun (k, old) -> Unix.putenv k (Option.value old ~default:""))
+        saved;
+      Icv.reset ();
+      (* reset re-reads the environment; the team-size and schedule
+         ICVs other suites rely on must survive this test *)
+      Icv.global.nthreads <- saved_nthreads;
+      Icv.global.run_sched <- saved_sched)
+    f
+
+let test_wait_policy_parsing () =
+  with_env [ ("OMP_WAIT_POLICY", "active"); ("ZIGOMP_BLOCKTIME", "") ]
+    (fun () ->
+      Icv.reset ();
+      Alcotest.(check bool) "active parsed" true
+        (Icv.global.wait_policy = Icv.Active);
+      Alcotest.(check bool) "active policy implies a large spin budget"
+        true (Icv.global.blocktime > 1_000));
+  with_env [ ("OMP_WAIT_POLICY", "PASSIVE"); ("ZIGOMP_BLOCKTIME", "") ]
+    (fun () ->
+      Icv.reset ();
+      Alcotest.(check bool) "passive parsed case-insensitively" true
+        (Icv.global.wait_policy = Icv.Passive));
+  with_env [ ("OMP_WAIT_POLICY", "bogus"); ("ZIGOMP_BLOCKTIME", "") ]
+    (fun () ->
+      Icv.reset ();
+      Alcotest.(check bool) "garbage defaults to passive" true
+        (Icv.global.wait_policy = Icv.Passive))
+
+let test_blocktime_parsing () =
+  with_env [ ("ZIGOMP_BLOCKTIME", "1234") ] (fun () ->
+      Icv.reset ();
+      Alcotest.(check int) "explicit blocktime wins" 1234
+        Icv.global.blocktime);
+  with_env [ ("ZIGOMP_BLOCKTIME", "0") ] (fun () ->
+      Icv.reset ();
+      Alcotest.(check int) "zero means block immediately" 0
+        Icv.global.blocktime);
+  with_env [ ("ZIGOMP_BLOCKTIME", "-5"); ("OMP_WAIT_POLICY", "") ]
+    (fun () ->
+      Icv.reset ();
+      Alcotest.(check int) "negative rejected, passive default" 200
+        Icv.global.blocktime)
+
+let test_api_blocktime_round_trip () =
+  with_restored_icvs @@ fun () ->
+  Api.set_blocktime 777;
+  Alcotest.(check int) "set/get" 777 (Api.get_blocktime ());
+  Api.set_blocktime (-1);
+  Alcotest.(check int) "negative ignored" 777 (Api.get_blocktime ())
+
+let test_profile_report_mentions_pool () =
+  Profile.reset ();
+  Omp.parallel ~num_threads:nt (fun () -> ());
+  Alcotest.(check bool) "report includes pool counters" true
+    (Astring_contains.contains (Profile.report ()) "hot-team pool")
+
+let suite =
+  [ Alcotest.test_case "pooled fork covers every tid" `Quick
+      test_pooled_fork_covers;
+    Alcotest.test_case "worker cap and team reuse over 150 regions" `Quick
+      test_worker_cap_and_reuse;
+    Alcotest.test_case "1000 back-to-back forks" `Quick
+      test_thousand_back_to_back_forks;
+    Alcotest.test_case "nested regions fall back to spawn" `Quick
+      test_nested_regions_fall_back;
+    Alcotest.test_case "oversized teams fall back to spawn" `Quick
+      test_oversized_team_falls_back;
+    Alcotest.test_case "Worker_failure carries the pooled tid" `Quick
+      test_worker_failure_carries_tid;
+    Alcotest.test_case "pool survives a failed region" `Quick
+      test_pool_survives_worker_failure;
+    Alcotest.test_case "blocktime 0 and large both serve forks" `Quick
+      test_blocktime_extremes;
+    Alcotest.test_case "OMP_WAIT_POLICY parsing" `Quick
+      test_wait_policy_parsing;
+    Alcotest.test_case "ZIGOMP_BLOCKTIME parsing" `Quick
+      test_blocktime_parsing;
+    Alcotest.test_case "api blocktime round trip" `Quick
+      test_api_blocktime_round_trip;
+    Alcotest.test_case "profile report shows pool counters" `Quick
+      test_profile_report_mentions_pool;
+  ]

@@ -50,6 +50,46 @@ let test_static_chunks_round_robin () =
     [ (4, 6) ]
     (Ws.static_chunks ~tid:2 ~nthreads:3 ~trips:6 ~chunk:2)
 
+let test_denormalise () =
+  Alcotest.(check (pair int int)) "unit step is the identity shift"
+    (5, 8)
+    (Ws.denormalise ~lo:5 ~step:1 (0, 3));
+  Alcotest.(check (pair int int)) "positive stride scales the block"
+    (10, 16)
+    (Ws.denormalise ~lo:10 ~step:2 (0, 3));
+  (* negative step: block (0,3) of the loop "for i = 9; i > 0; i -= 2"
+     covers user values 9, 7, 5 — bounds come out decreasing *)
+  Alcotest.(check (pair int int)) "negative step descends from lo"
+    (9, 3)
+    (Ws.denormalise ~lo:9 ~step:(-2) (0, 3));
+  Alcotest.(check (pair int int)) "negative step, interior block"
+    (5, -1)
+    (Ws.denormalise ~lo:9 ~step:(-2) (2, 5));
+  Alcotest.(check (pair int int)) "empty block maps to an empty block"
+    (3, 3)
+    (Ws.denormalise ~lo:9 ~step:(-2) (3, 3))
+
+let test_denormalise_covers_downward_loop () =
+  (* splitting [0, trips) statically and denormalising with step -3
+     must enumerate exactly the iterations of
+     "for i = 20; i > 2; i -= 3": 20 17 14 11 8 5 *)
+  let lo = 20 and hi = 2 and step = -3 in
+  let trips = Ws.trip_count ~lo ~hi ~step () in
+  let values =
+    List.concat_map
+      (fun tid ->
+        match Ws.static_block ~tid ~nthreads:4 ~trips with
+        | None -> []
+        | Some block ->
+            let b, _ = Ws.denormalise ~lo ~step block in
+            let size = snd block - fst block in
+            List.init size (fun k -> b + (k * step)))
+      [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check (list int)) "downward iterations, each exactly once"
+    [ 20; 17; 14; 11; 8; 5 ]
+    (List.sort (fun a b -> compare b a) values)
+
 let test_guided_chunks_decrease () =
   let rec walk remaining acc =
     if remaining = 0 then List.rev acc
@@ -134,6 +174,31 @@ let prop_static_chunks_partition =
       in
       List.sort compare covered = List.init trips Fun.id)
 
+(* Reference model for the round-robin split, written independently of
+   the production code (which now derives the list from the iterator). *)
+let spec_static_chunks ~tid ~nthreads ~trips ~chunk =
+  let rec collect acc start =
+    if start >= trips then List.rev acc
+    else
+      let stop = min trips (start + chunk) in
+      collect ((start, stop) :: acc) (start + (chunk * nthreads))
+  in
+  collect [] (tid * chunk)
+
+let prop_static_chunks_iter_agrees =
+  QCheck2.Test.make
+    ~name:"static_chunks_iter matches the round-robin specification"
+    ~count:300 chunk_params_gen (fun (nthreads, trips, chunk) ->
+      List.for_all
+        (fun tid ->
+          let via_iter = ref [] in
+          Ws.static_chunks_iter ~tid ~nthreads ~trips ~chunk (fun b e ->
+              via_iter := (b, e) :: !via_iter);
+          let spec = spec_static_chunks ~tid ~nthreads ~trips ~chunk in
+          List.rev !via_iter = spec
+          && Ws.static_chunks ~tid ~nthreads ~trips ~chunk = spec)
+        (List.init nthreads Fun.id))
+
 let prop_dispatch_partition =
   QCheck2.Test.make
     ~name:"dynamic/guided dispatch covers every iteration exactly once"
@@ -160,6 +225,9 @@ let suite =
       test_static_block_fewer_trips_than_threads;
     Alcotest.test_case "chunked static round robin" `Quick
       test_static_chunks_round_robin;
+    Alcotest.test_case "denormalise both step signs" `Quick test_denormalise;
+    Alcotest.test_case "denormalised blocks cover a downward loop" `Quick
+      test_denormalise_covers_downward_loop;
     Alcotest.test_case "guided chunks decrease and cover" `Quick
       test_guided_chunks_decrease;
     Alcotest.test_case "dynamic dispatch sequence" `Quick
@@ -167,5 +235,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_static_block_partition;
     QCheck_alcotest.to_alcotest prop_static_block_balanced;
     QCheck_alcotest.to_alcotest prop_static_chunks_partition;
+    QCheck_alcotest.to_alcotest prop_static_chunks_iter_agrees;
     QCheck_alcotest.to_alcotest prop_dispatch_partition;
   ]

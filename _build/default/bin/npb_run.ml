@@ -2,7 +2,10 @@
 
      npb_run -k cg -c S -t 4            real run on OCaml domains, verified
      npb_run -k cg -c C -t 128 --sim    modelled run on the simulated node
-     npb_run -k is -c C --sim --sweep   thread sweep like the paper's tables *)
+     npb_run -k is -c C --sim --sweep   thread sweep like the paper's tables
+     npb_run -k cg --engine zr          conj_grad in Zr (paper section IV),
+                                        --backend compiled|ast selects the
+                                        staged closures or the tree walker *)
 
 open Cmdliner
 
@@ -57,8 +60,48 @@ let lang_arg =
        & info [ "lang" ] ~docv:"LANG"
            ~doc:"modelled language factor for --sim (zig, fortran, c)")
 
-let main kernel cls threads sim sweep lang =
-  if sweep then begin
+let engine_arg =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "ocaml" | "native" -> Ok `Ocaml
+    | "zr" -> Ok `Zr
+    | _ -> Error (`Msg "engine must be ocaml or zr")
+  in
+  let print ppf e =
+    Format.pp_print_string ppf (match e with `Ocaml -> "ocaml" | `Zr -> "zr")
+  in
+  Arg.(value & opt (conv (parse, print)) `Ocaml
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Kernel implementation: $(b,ocaml) (native port) or \
+                 $(b,zr) (conj_grad in pragma-annotated Zr through the \
+                 interpreter pipeline; CG only)")
+
+let backend_arg =
+  Arg.(value
+       & opt (enum [ ("compiled", `Compiled); ("ast", `Ast) ]) `Compiled
+       & info [ "backend" ] ~docv:"BACKEND"
+           ~doc:"Zr execution backend for --engine zr: $(b,compiled) \
+                 (staged closures, default) or $(b,ast) (tree walker)")
+
+let main kernel cls threads sim sweep lang engine backend =
+  if engine = `Zr then begin
+    if sim || sweep then begin
+      prerr_endline "npb_run: --engine zr runs on the real runtime only";
+      2
+    end
+    else
+      match kernel with
+      | Harness.Experiment.CG ->
+          let r = Harness.Zr_cg.run ~backend ~cls ~nthreads:threads () in
+          Format.printf "%a@." Npb.Result.pp r;
+          if Npb.Result.verified r then 0 else 1
+      | Harness.Experiment.EP | Harness.Experiment.IS ->
+          prerr_endline
+            "npb_run: --engine zr supports cg only (the paper ports \
+             conj_grad; ep/is have no Zr port yet)";
+          2
+  end
+  else if sweep then begin
     let counts = [ 1; 2; 16; 32; 64; 96; 128 ] in
     List.iter
       (fun nt ->
@@ -92,4 +135,4 @@ let () =
     (Cmd.eval'
        (Cmd.v info
           Term.(const main $ kernel_arg $ cls_arg $ threads_arg $ sim_arg
-                $ sweep_arg $ lang_arg)))
+                $ sweep_arg $ lang_arg $ engine_arg $ backend_arg)))

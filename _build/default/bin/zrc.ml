@@ -24,7 +24,7 @@ let handle_errors f =
       Printf.eprintf "error: %s\n" msg; 1
   | Interp.Value.Runtime_error msg ->
       Printf.eprintf "runtime error: %s\n" msg; 1
-  | Failure msg ->
+  | Failure msg | Invalid_argument msg ->
       Printf.eprintf "error: %s\n" msg; 1
 
 (* ---- tokens ---- *)
@@ -120,14 +120,22 @@ let run_cmd =
          & info [ "profile" ]
              ~doc:"Print a gprof-style per-construct profile on exit")
   in
-  let run file threads profile =
+  let backend =
+    Arg.(value
+         & opt (some (enum [ ("compiled", `Compiled); ("ast", `Ast) ])) None
+         & info [ "backend" ] ~docv:"BACKEND"
+             ~doc:"Execution backend: $(b,compiled) (staged closures, \
+                   default) or $(b,ast) (tree walker).  Defaults to \
+                   $(b,ZIGOMP_BACKEND) when set.")
+  in
+  let run file threads profile backend =
     handle_errors (fun () ->
         Option.iter Zigomp.set_num_threads threads;
         if profile then begin
           Omprt.Profile.reset ();
           Omprt.Profile.enable ()
         end;
-        let p = Zigomp.compile ~name:file (read_file file) in
+        let p = Zigomp.compile ?backend ~name:file (read_file file) in
         (match Zigomp.run_main p with
          | Zigomp.Value.VUnit -> ()
          | v -> print_endline (Zigomp.Value.to_string v));
@@ -137,7 +145,7 @@ let run_cmd =
         end)
   in
   Cmd.v (Cmd.info "run" ~doc:"Preprocess and execute main()")
-    Term.(const run $ file_arg $ threads $ profile)
+    Term.(const run $ file_arg $ threads $ profile $ backend)
 
 let () =
   let info =

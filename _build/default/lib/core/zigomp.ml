@@ -57,31 +57,76 @@ module Model = Omp_model
 
 module Value = Interp.Value
 
-type compiled = Interp.program
+(** Execution backend: [`Compiled] stages each function once into
+    nested OCaml closures over a flat slot frame ({!Interp.Compile}),
+    [`Ast] walks the tree on every evaluation ({!Interp}).  Both share
+    the runtime core and builtin registry, so results, error messages
+    and profile counts are identical; [`Compiled] is simply faster and
+    is the default.  [`Ast] remains the executable specification and
+    the fallback for debugging the compiler itself. *)
+type backend = [ `Compiled | `Ast ]
+
+(** Default backend: [`Compiled], overridable with
+    [ZIGOMP_BACKEND=ast|compiled] (the same escape hatch shape as
+    [OMP_*] ICV environment variables). *)
+let default_backend () : backend =
+  match Sys.getenv_opt "ZIGOMP_BACKEND" with
+  | Some v ->
+      (match String.lowercase_ascii (String.trim v) with
+       | "ast" | "tree" | "walk" -> `Ast
+       | "compiled" | "closure" | "staged" -> `Compiled
+       | other ->
+           invalid_arg
+             (Printf.sprintf
+                "ZIGOMP_BACKEND=%s: expected 'compiled' or 'ast'" other))
+  | None -> `Compiled
+
+type compiled = {
+  prog : Interp.program;
+  cc : Interp.Compile.t option;  (* Some iff backend = `Compiled *)
+}
 
 (** [preprocess ?name source] — run only the pragma lowering; returns
     the synthesised Zr source (what the paper's compiler hands to the
     next stage). *)
 let preprocess = Preproc.Preprocess.run
 
-(** [compile ?name source] — preprocess, parse, and load a program. *)
-let compile ?name source : compiled = Interp.load ?name source
+let stage ?backend prog =
+  let backend =
+    match backend with Some b -> b | None -> default_backend ()
+  in
+  match backend with
+  | `Compiled -> { prog; cc = Some (Interp.Compile.compile prog) }
+  | `Ast -> { prog; cc = None }
 
-(** [compile_plain ?name source] — load without pragma processing
-    (pragmas then cause a runtime error if reached; useful for testing
-    the preprocessor's necessity). *)
-let compile_plain ?name source : compiled =
-  Interp.load ?name ~preprocess:false source
+(** [compile ?backend ?name source] — preprocess, parse, load, and (on
+    the default [`Compiled] backend) stage every function into
+    closures. *)
+let compile ?backend ?name source : compiled =
+  stage ?backend (Interp.load ?name source)
+
+(** [compile_plain ?backend ?name source] — load without pragma
+    processing (pragmas then cause a runtime error if reached; useful
+    for testing the preprocessor's necessity). *)
+let compile_plain ?backend ?name source : compiled =
+  stage ?backend (Interp.load ?name ~preprocess:false source)
 
 (** The synthesised source of a compiled program. *)
-let preprocessed_source (p : compiled) = p.Interp.preprocessed
+let preprocessed_source (p : compiled) = p.prog.Interp.preprocessed
+
+(** The backend a program was staged for. *)
+let backend_of (p : compiled) : backend =
+  match p.cc with Some _ -> `Compiled | None -> `Ast
 
 (** [call p fn args] — invoke an exported function.  Parallel regions
     inside it execute on OCaml domains through the bundled runtime. *)
-let call = Interp.call
+let call (p : compiled) fname args =
+  match p.cc with
+  | Some cc -> Interp.Compile.call cc fname args
+  | None -> Interp.call p.prog fname args
 
 (** [run_main p] — invoke [main]. *)
-let run_main = Interp.run_main
+let run_main (p : compiled) = call p "main" []
 
 (** [register_host name f] — expose an OCaml function to Zr programs
     under [name], the analogue of the paper's C/Fortran interop

@@ -1,0 +1,1 @@
+lib/harness/zr_cg.ml: Array Float Interp Npb Omprt Printf Unix

@@ -1,1 +1,1 @@
-lib/interp/interp.ml: Array Ast Domain Float Hashtbl List Mutex Omp_model Ompfront Omprt Option Parser Preproc Scanf String Token Value Zr
+lib/interp/interp.ml: Array Ast Builtins Compile Hashtbl List Mutex Ompfront Option Parser Preproc Rt Scanf String Token Value Zr

@@ -1,0 +1,1 @@
+lib/interp/builtins.ml: Array Float Hashtbl List Mutex Omp_model Omprt Rt Value

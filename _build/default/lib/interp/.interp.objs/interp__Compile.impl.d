@@ -1,0 +1,1 @@
+lib/interp/compile.ml: Array Ast Builtins Float Hashtbl List Omp_model Omprt Option Rt Scanf String Token Value Zr

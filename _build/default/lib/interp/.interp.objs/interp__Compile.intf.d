@@ -1,0 +1,1 @@
+lib/interp/compile.mli: Rt Value

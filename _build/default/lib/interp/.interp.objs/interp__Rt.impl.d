@@ -1,0 +1,1 @@
+lib/interp/rt.ml: Array Ast Domain Float Hashtbl Mutex Value Zr

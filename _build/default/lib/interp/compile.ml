@@ -1,0 +1,1040 @@
+(** Staged closure compilation for preprocessed Zr programs.
+
+    The tree walker ({!Interp}) re-dispatches on AST tags, chases
+    scope-chain [Hashtbl]s and string-matches builtin names on every
+    single iteration of every worksharing loop.  This pass does all of
+    that exactly once, after preprocessing: each function body is
+    lowered to a tree of OCaml closures over a flat mutable frame
+    ([Value.t array]), with
+
+    - names resolved at compile time to integer slots (locals), to the
+      global's storage cell, or to a function — no [Hashtbl] at run
+      time;
+    - literal subexpressions constant-folded ({!ce} separates
+      compile-time values from residual closures);
+    - direct-call thunks for the hot [.omp.internal] builtins
+      ([__omp_ws_cmp], the math helpers, [omp.get_thread_num], ...) so
+      no string dispatch survives into loop bodies;
+    - the generated worksharing shapes recognised whole: the
+      [__kmpc_for_static_init]/[if (has)]/[while (__omp_ws_cmp ...)]
+      statement sequence becomes one drain closure that talks to
+      {!Omprt.Kmpc} directly and runs the loop body as [fun frame -> ...]
+      per iteration, without materialising bound structs or re-parsing
+      the dispatch-next protocol.
+
+    Fallback rules: anything the compiler does not recognise — other
+    builtins, method calls, hand-written code that merely resembles the
+    generated shapes but uses different handle names — compiles to a
+    closure that calls the shared {!Builtins.dispatch}, so the two
+    backends always agree on semantics, error messages and
+    {!Omprt.Profile} construct counts.  The reserved [__omp_ws] /
+    [__omp_h] / [__omp_c] handle names gate the drain recognition; the
+    preprocessor owns that namespace.
+
+    Known, documented divergences from the tree walker (DESIGN.md
+    "Staged interpretation"): compile-time scoping means a variable
+    declared later in a re-executed block is not visible before its
+    declaration, and lvalue subexpressions of assignments are evaluated
+    once here (the walker evaluates them twice). *)
+
+open Zr
+module V = Value
+
+let err = V.err
+
+type frame = V.t array
+
+(** A compiled expression: either a value known at compile time or a
+    residual closure.  Folding an expression that would raise at run
+    time re-stages it as a raising closure, preserving error timing. *)
+type ce =
+  | Const of V.t
+  | Dyn of (frame -> V.t)
+
+let force = function
+  | Const v -> fun _ -> v
+  | Dyn f -> f
+
+(** A compiled function.  Created as a stub for every program function
+    before any body compiles, so direct-call sites can link against the
+    record; the mutable fields are filled in by {!compile_fn}. *)
+type cfn = {
+  fname : string;
+  nparams : int;
+  mutable nslots : int;
+  mutable body : frame -> unit;
+  mutable layout : (int * string) list;  (* slot -> name, for goldens *)
+}
+
+type t = {
+  prog : Rt.program;
+  cfns : (string, cfn) Hashtbl.t;
+}
+
+(** Per-function compile context: lexical scopes mapping names to slots
+    (innermost first).  Slots are allocated monotonically — shadowing
+    burns a fresh slot, which keeps every binding distinct in the
+    layout. *)
+type ctx = {
+  cp : t;
+  mutable scopes : (string * int) list list;
+  mutable next_slot : int;
+  mutable slots_rev : (int * string) list;
+}
+
+type res =
+  | Rlocal of int
+  | Rglobal of Rt.slot
+  | Rfn of string
+  | Runbound
+
+let alloc ctx name =
+  let s = ctx.next_slot in
+  ctx.next_slot <- s + 1;
+  ctx.slots_rev <- (s, name) :: ctx.slots_rev;
+  (match ctx.scopes with
+   | scope :: rest -> ctx.scopes <- ((name, s) :: scope) :: rest
+   | [] -> assert false);
+  s
+
+let rec lookup_local scopes name =
+  match scopes with
+  | [] -> None
+  | scope :: rest ->
+      (match List.assoc_opt name scope with
+       | Some s -> Some s
+       | None -> lookup_local rest name)
+
+(* Same precedence as the walker's [find_cell]-then-[fns] probing:
+   locals shadow globals shadow functions shadow builtins. *)
+let resolve ctx name : res =
+  match lookup_local ctx.scopes name with
+  | Some s -> Rlocal s
+  | None ->
+      (match Hashtbl.find_opt ctx.cp.prog.globals name with
+       | Some sl -> Rglobal sl
+       | None ->
+           if Hashtbl.mem ctx.cp.prog.fns name then Rfn name else Runbound)
+
+(* ------------------------------------------------------------------ *)
+(* Invocation.                                                         *)
+
+let invoke (f : cfn) (vals : V.t list) : V.t =
+  let n = List.length vals in
+  if n <> f.nparams then
+    err "function '%s' expects %d arguments, got %d" f.fname f.nparams n;
+  let fr = Array.make (max 1 f.nslots) V.VUndef in
+  List.iteri (fun i v -> fr.(i) <- v) vals;
+  (try f.body fr; V.VUnit with Rt.Return_exc v -> v)
+
+let ccall cp fname vals =
+  match Hashtbl.find_opt cp.cfns fname with
+  | Some f -> invoke f vals
+  | None -> err "call of unknown function '%s'" fname
+
+(* Direct call with compiled argument closures: the callee frame is
+   filled straight from the caller's frame, no argument list. *)
+let invoke_direct (f : cfn) (cargs : (frame -> V.t) array) (fr0 : frame) : V.t =
+  let fr = Array.make (max 1 f.nslots) V.VUndef in
+  for i = 0 to Array.length cargs - 1 do
+    fr.(i) <- cargs.(i) fr0
+  done;
+  (try f.body fr; V.VUnit with Rt.Return_exc v -> v)
+
+(* Left-to-right, like the walker's [List.map (eval env)]. *)
+let eval_args (ga : (frame -> V.t) array) (fr : frame) : V.t list =
+  let n = Array.length ga in
+  let rec go k =
+    if k >= n then []
+    else
+      let v = ga.(k) fr in
+      v :: go (k + 1)
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Folding combinators.  A compile-time [Runtime_error] is re-staged as
+   a raising closure so errors keep firing at evaluation time.         *)
+
+let fold1 f = function
+  | Const x ->
+      (match f x with
+       | v -> Const v
+       | exception V.Runtime_error _ -> Dyn (fun _ -> f x))
+  | Dyn g -> Dyn (fun fr -> f (g fr))
+
+let fold2 f ca cb =
+  match ca, cb with
+  | Const x, Const y ->
+      (match f x y with
+       | v -> Const v
+       | exception V.Runtime_error _ -> Dyn (fun _ -> f x y))
+  | _ ->
+      let ga = force ca and gb = force cb in
+      Dyn (fun fr ->
+          let x = ga fr in
+          let y = gb fr in
+          f x y)
+
+let ( let* ) = Option.bind
+
+(* ------------------------------------------------------------------ *)
+(* Syntactic probes used by the worksharing-drain recogniser.          *)
+
+let ident_name ctx node =
+  let ast = ctx.cp.prog.ast in
+  let n = Ast.node ast node in
+  if n.Ast.tag = Ast.Ident then Some (Ast.token_text ast n.Ast.main_token)
+  else None
+
+let field_parts ctx node =
+  let ast = ctx.cp.prog.ast in
+  let n = Ast.node ast node in
+  if n.Ast.tag = Ast.Field then
+    Some (n.Ast.lhs, Ast.token_text ast n.Ast.main_token)
+  else None
+
+(* A call whose callee is an identifier bound to nothing in the
+   program — i.e. one the generic path would send to [Builtins]. *)
+let builtin_call_parts ctx node =
+  let ast = ctx.cp.prog.ast in
+  let n = Ast.node ast node in
+  if n.Ast.tag <> Ast.Call then None
+  else
+    let callee = Ast.node ast n.Ast.lhs in
+    if callee.Ast.tag <> Ast.Ident then None
+    else
+      let fname = Ast.token_text ast callee.Ast.main_token in
+      match resolve ctx fname with
+      | Runbound -> Some (fname, Ast.call_args ast node)
+      | Rlocal _ | Rglobal _ | Rfn _ -> None
+
+let var_decl_parts ctx node =
+  let ast = ctx.cp.prog.ast in
+  let n = Ast.node ast node in
+  if n.Ast.tag = Ast.Var_decl && n.Ast.rhs <> 0 then
+    Some (Ast.token_text ast n.Ast.main_token, n.Ast.rhs)
+  else None
+
+let eq_assign_parts ctx node =
+  let ast = ctx.cp.prog.ast in
+  let n = Ast.node ast node in
+  if n.Ast.tag = Ast.Assign
+     && (Ast.token ast n.Ast.main_token).Token.tag = Token.Eq
+  then Some (n.Ast.lhs, n.Ast.rhs)
+  else None
+
+let while_parts ctx node =
+  let ast = ctx.cp.prog.ast in
+  let n = Ast.node ast node in
+  if n.Ast.tag = Ast.While then
+    Some (n.Ast.lhs, Ast.extra ast n.Ast.rhs, Ast.extra ast (n.Ast.rhs + 1))
+  else None
+
+(* [__omp_ws_cmp(<iv>, <handle>.upper, <step>)] over a given handle
+   name; yields the counter name and the step expression node. *)
+let cmp_call_parts ctx ~handle node =
+  let* fname, args = builtin_call_parts ctx node in
+  if fname <> "__omp_ws_cmp" then None
+  else
+    match args with
+    | [ ivn; upn; stepn ] ->
+        let* iv = ident_name ctx ivn in
+        let* basen, fld = field_parts ctx upn in
+        let* hname = ident_name ctx basen in
+        if hname = handle && fld = "upper" then Some (iv, stepn) else None
+    | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Expression compilation.                                             *)
+
+let rec compile_expr ctx node : ce =
+  let ast = ctx.cp.prog.ast in
+  let n = Ast.node ast node in
+  match n.Ast.tag with
+  | Ast.Int_lit ->
+      let text = Ast.token_text ast n.main_token in
+      let text = String.concat "" (String.split_on_char '_' text) in
+      (match int_of_string_opt text with
+       | Some i -> Const (V.VInt i)
+       | None -> Dyn (fun _ -> V.VInt (int_of_string text)))
+  | Ast.Float_lit ->
+      let text = Ast.token_text ast n.main_token in
+      (match float_of_string_opt text with
+       | Some f -> Const (V.VFloat f)
+       | None -> Dyn (fun _ -> V.VFloat (float_of_string text)))
+  | Ast.String_lit ->
+      let raw = Ast.token_text ast n.main_token in
+      let body = String.sub raw 1 (String.length raw - 2) in
+      (match Scanf.unescaped body with
+       | s -> Const (V.VStr s)
+       | exception _ -> Dyn (fun _ -> V.VStr (Scanf.unescaped body)))
+  | Ast.Bool_lit -> Const (V.VBool (Ast.token_text ast n.main_token = "true"))
+  | Ast.Undefined_lit -> Const V.VUndef
+  | Ast.Ident ->
+      let name = Ast.token_text ast n.main_token in
+      (match resolve ctx name with
+       | Rlocal s -> Dyn (fun fr -> fr.(s))
+       | Rglobal (Rt.Plain r) -> Dyn (fun _ -> !r)
+       | Rglobal (Rt.Tls _ as sl) -> Dyn (fun _ -> !(Rt.slot_cell sl))
+       | Rfn f -> Const (V.VFun f)
+       | Runbound ->
+           Dyn (fun _ -> err "use of undeclared identifier '%s'" name))
+  | Ast.Bin_op -> compile_binop ctx n
+  | Ast.Un_op ->
+      let t = (Ast.token ast n.main_token).Token.tag in
+      let f v =
+        match t, v with
+        | Token.Minus, V.VInt i -> V.VInt (-i)
+        | Token.Minus, V.VFloat x -> V.VFloat (-.x)
+        | Token.Bang, V.VBool b -> V.VBool (not b)
+        | t, v ->
+            err "unary '%s' on %s" (Token.tag_to_string t) (V.type_name v)
+      in
+      fold1 f (compile_expr ctx n.lhs)
+  | Ast.Index ->
+      (* never folded: array contents are mutable *)
+      let ga = force (compile_expr ctx n.lhs) in
+      let gi = force (compile_expr ctx n.rhs) in
+      Dyn (fun fr ->
+          let arr = ga fr in
+          let idx = V.to_int (gi fr) in
+          match arr with
+          | V.VFloatArr a ->
+              if idx < 0 || idx >= Array.length a then
+                err "index %d out of bounds (len %d)" idx (Array.length a);
+              V.VFloat a.(idx)
+          | V.VIntArr a ->
+              if idx < 0 || idx >= Array.length a then
+                err "index %d out of bounds (len %d)" idx (Array.length a);
+              V.VInt a.(idx)
+          | v -> err "indexing a %s" (V.type_name v))
+  | Ast.Field ->
+      let fname = Ast.token_text ast n.main_token in
+      let f base =
+        match base with
+        | V.VStruct fields -> V.struct_field fields fname
+        | v -> err "field access '.%s' on %s" fname (V.type_name v)
+      in
+      fold1 f (compile_expr ctx n.lhs)
+  | Ast.Deref ->
+      let ga = force (compile_expr ctx n.lhs) in
+      Dyn (fun fr ->
+          match ga fr with
+          | V.VPtr p -> Rt.ptr_read p
+          | v -> err "dereference of %s" (V.type_name v))
+  | Ast.Addr_of -> compile_addr_of ctx n.lhs
+  | Ast.Struct_lit ->
+      let count = Ast.extra ast n.rhs in
+      let fields =
+        List.init count (fun k ->
+            let name_tok = Ast.extra ast (n.rhs + 1 + (2 * k)) in
+            let vnode = Ast.extra ast (n.rhs + 2 + (2 * k)) in
+            (Ast.token_text ast name_tok, compile_expr ctx vnode))
+      in
+      if
+        List.for_all
+          (fun (_, c) -> match c with Const _ -> true | Dyn _ -> false)
+          fields
+      then
+        Const
+          (V.VStruct
+             (List.map
+                (fun (nm, c) ->
+                  match c with Const v -> (nm, v) | Dyn _ -> assert false)
+                fields))
+      else
+        let gfields =
+          List.map (fun (nm, c) -> (nm, force c)) fields
+        in
+        Dyn (fun fr ->
+            let rec go = function
+              | [] -> []
+              | (nm, g) :: rest ->
+                  let v = g fr in
+                  (nm, v) :: go rest
+            in
+            V.VStruct (go gfields))
+  | Ast.Call -> compile_call ctx node n
+  | tag ->
+      let what = match tag with Ast.Block -> "block" | _ -> "<stmt>" in
+      Dyn (fun _ -> err "cannot evaluate node tag %s as an expression" what)
+
+and compile_binop ctx n : ce =
+  let ast = ctx.cp.prog.ast in
+  let t = (Ast.token ast n.Ast.main_token).Token.tag in
+  match t with
+  | Token.Kw_and ->
+      let ca = compile_expr ctx n.lhs in
+      let cb = compile_expr ctx n.rhs in
+      (match ca with
+       | Const va
+         when (match V.to_bool va with
+               | (_ : bool) -> true
+               | exception V.Runtime_error _ -> false) ->
+           if V.to_bool va then cb else Const (V.VBool false)
+       | _ ->
+           let ga = force ca and gb = force cb in
+           Dyn (fun fr ->
+               if V.to_bool (ga fr) then gb fr else V.VBool false))
+  | Token.Kw_or ->
+      let ca = compile_expr ctx n.lhs in
+      let cb = compile_expr ctx n.rhs in
+      (match ca with
+       | Const va
+         when (match V.to_bool va with
+               | (_ : bool) -> true
+               | exception V.Runtime_error _ -> false) ->
+           if V.to_bool va then Const (V.VBool true) else cb
+       | _ ->
+           let ga = force ca and gb = force cb in
+           Dyn (fun fr ->
+               if V.to_bool (ga fr) then V.VBool true else gb fr))
+  | _ ->
+      let ca = compile_expr ctx n.lhs in
+      let cb = compile_expr ctx n.rhs in
+      (match t with
+       | Token.Plus -> fold2 Rt.add ca cb
+       | Token.Minus -> fold2 Rt.sub ca cb
+       | Token.Star -> fold2 Rt.mul ca cb
+       | Token.Slash -> fold2 Rt.div ca cb
+       | Token.Percent -> fold2 Rt.modulo ca cb
+       | Token.Eq_eq ->
+           fold2 (fun a b -> V.VBool (Rt.compare_vals a b = 0)) ca cb
+       | Token.Bang_eq ->
+           fold2 (fun a b -> V.VBool (Rt.compare_vals a b <> 0)) ca cb
+       | Token.Lt -> fold2 (fun a b -> V.VBool (Rt.compare_vals a b < 0)) ca cb
+       | Token.Lt_eq ->
+           fold2 (fun a b -> V.VBool (Rt.compare_vals a b <= 0)) ca cb
+       | Token.Gt -> fold2 (fun a b -> V.VBool (Rt.compare_vals a b > 0)) ca cb
+       | Token.Gt_eq ->
+           fold2 (fun a b -> V.VBool (Rt.compare_vals a b >= 0)) ca cb
+       | t ->
+           let ga = force ca and gb = force cb in
+           let msg = Token.tag_to_string t in
+           Dyn (fun fr ->
+               let _ = ga fr in
+               let _ = gb fr in
+               err "unsupported binary operator '%s'" msg))
+
+and compile_addr_of ctx node : ce =
+  let ast = ctx.cp.prog.ast in
+  let n = Ast.node ast node in
+  match n.Ast.tag with
+  | Ast.Ident ->
+      let name = Ast.token_text ast n.main_token in
+      (match resolve ctx name with
+       | Rlocal s -> Dyn (fun fr -> V.VPtr (V.PSlot (fr, s)))
+       | Rglobal (Rt.Plain r) -> Const (V.VPtr (V.PVar r))
+       | Rglobal (Rt.Tls _ as sl) ->
+           Dyn (fun _ -> V.VPtr (V.PVar (Rt.slot_cell sl)))
+       | Rfn _ | Runbound ->
+           Dyn (fun _ -> err "address of undeclared identifier '%s'" name))
+  | Ast.Deref ->
+      (* &p.* is p *)
+      let ga = force (compile_expr ctx n.lhs) in
+      Dyn (fun fr ->
+          match ga fr with
+          | V.VPtr _ as p -> p
+          | v -> err "dereference of %s" (V.type_name v))
+  | Ast.Index ->
+      let ga = force (compile_expr ctx n.lhs) in
+      let gi = force (compile_expr ctx n.rhs) in
+      Dyn (fun fr ->
+          let arr = ga fr in
+          let idx = V.to_int (gi fr) in
+          match arr with
+          | V.VFloatArr a -> V.VPtr (V.PElemF (a, idx))
+          | V.VIntArr a -> V.VPtr (V.PElemI (a, idx))
+          | v -> err "address of an element of %s" (V.type_name v))
+  | _ -> Dyn (fun _ -> err "cannot take the address of this expression")
+
+(* ------------------------------------------------------------------ *)
+(* Calls.                                                              *)
+
+and compile_call ctx node n : ce =
+  let ast = ctx.cp.prog.ast in
+  let args_nodes = Ast.call_args ast node in
+  let compile_args () =
+    Array.of_list
+      (List.map (fun a -> force (compile_expr ctx a)) args_nodes)
+  in
+  let indirect gcallee =
+    let ga = compile_args () in
+    let cp = ctx.cp in
+    Dyn (fun fr ->
+        match gcallee fr with
+        | V.VFun fname -> ccall cp fname (eval_args ga fr)
+        | v -> err "call of %s" (V.type_name v))
+  in
+  let callee = Ast.node ast n.Ast.lhs in
+  match callee.Ast.tag with
+  | Ast.Field ->
+      let base = Ast.node ast callee.Ast.lhs in
+      let meth = Ast.token_text ast callee.Ast.main_token in
+      if
+        base.Ast.tag = Ast.Ident
+        && Ast.token_text ast base.Ast.main_token = "omp"
+        && (match resolve ctx "omp" with
+            | Rfn _ | Runbound -> true
+            | Rlocal _ | Rglobal _ -> false)
+      then
+        (* the omp.* namespace; the three per-iteration-hot entries get
+           direct thunks *)
+        (match meth, args_nodes with
+         | "get_thread_num", [] ->
+             Dyn (fun _ -> V.VInt (Omprt.Api.get_thread_num ()))
+         | "get_num_threads", [] ->
+             Dyn (fun _ -> V.VInt (Omprt.Api.get_num_threads ()))
+         | "get_wtime", [] ->
+             Dyn (fun _ -> V.VFloat (Omprt.Api.get_wtime ()))
+         | _ ->
+             let ga = compile_args () in
+             Dyn (fun fr -> Builtins.omp_namespace meth (eval_args ga fr)))
+      else indirect (force (compile_expr ctx n.Ast.lhs))
+  | Ast.Ident ->
+      let fname = Ast.token_text ast callee.Ast.main_token in
+      (match resolve ctx fname with
+       | Rlocal s -> indirect (fun fr -> fr.(s))
+       | Rglobal (Rt.Plain r) -> indirect (fun _ -> !r)
+       | Rglobal (Rt.Tls _ as sl) -> indirect (fun _ -> !(Rt.slot_cell sl))
+       | Rfn f ->
+           let stub = Hashtbl.find ctx.cp.cfns f in
+           let ga = compile_args () in
+           if Array.length ga <> stub.nparams then
+             Dyn (fun fr ->
+                 let n = List.length (eval_args ga fr) in
+                 err "function '%s' expects %d arguments, got %d" f
+                   stub.nparams n)
+           else Dyn (fun fr -> invoke_direct stub ga fr)
+       | Runbound -> compile_builtin ctx fname args_nodes)
+  | _ -> indirect (force (compile_expr ctx n.Ast.lhs))
+
+(* Direct thunks for the builtins that appear inside loop bodies; the
+   rest route through the shared [Builtins.dispatch] match. *)
+and compile_builtin ctx fname args_nodes : ce =
+  let ga =
+    Array.of_list
+      (List.map (fun a -> force (compile_expr ctx a)) args_nodes)
+  in
+  let cp = ctx.cp in
+  let generic () =
+    Dyn (fun fr -> Builtins.dispatch ~call:(ccall cp) fname (eval_args ga fr))
+  in
+  match fname, ga with
+  | "__omp_ws_cmp", [| gi; gu; gs |] ->
+      Dyn (fun fr ->
+          let vi = gi fr in
+          let vu = gu fr in
+          let s = V.to_int (gs fr) in
+          let u = V.to_int vu in
+          let i = V.to_int vi in
+          V.VBool (if s > 0 then i <= u else i >= u))
+  | "__omp_min", [| ga_; gb_ |] ->
+      Dyn (fun fr ->
+          let a = ga_ fr in
+          let b = gb_ fr in
+          if Rt.compare_vals a b <= 0 then a else b)
+  | "__omp_max", [| ga_; gb_ |] ->
+      Dyn (fun fr ->
+          let a = ga_ fr in
+          let b = gb_ fr in
+          if Rt.compare_vals a b >= 0 then a else b)
+  | "__omp_huge", [||] -> Const (V.VFloat infinity)
+  | "__omp_get_thread_num", [||] ->
+      Dyn (fun _ -> V.VInt (Omprt.Api.get_thread_num ()))
+  | "sqrt", [| g |] -> Dyn (fun fr -> V.VFloat (sqrt (V.to_float (g fr))))
+  | "log", [| g |] -> Dyn (fun fr -> V.VFloat (log (V.to_float (g fr))))
+  | "exp", [| g |] -> Dyn (fun fr -> V.VFloat (exp (V.to_float (g fr))))
+  | "fabs", [| g |] ->
+      Dyn (fun fr -> V.VFloat (Float.abs (V.to_float (g fr))))
+  | "floor", [| g |] ->
+      Dyn (fun fr -> V.VFloat (Float.floor (V.to_float (g fr))))
+  | "int_of", [| g |] -> Dyn (fun fr -> V.VInt (V.to_int (g fr)))
+  | "float_of", [| g |] -> Dyn (fun fr -> V.VFloat (V.to_float (g fr)))
+  | "len", [| g |] ->
+      Dyn (fun fr ->
+          match g fr with
+          | V.VFloatArr a -> V.VInt (Array.length a)
+          | V.VIntArr a -> V.VInt (Array.length a)
+          | v ->
+              (* same fallback the dispatch match would take *)
+              (match Hashtbl.find_opt Builtins.host_fns "len" with
+               | Some f -> f [ v ]
+               | None -> err "unknown function or builtin '%s'/%d" "len" 1))
+  | _ -> generic ()
+
+(* ------------------------------------------------------------------ *)
+(* Statements.                                                         *)
+
+and compile_stmt ctx node : frame -> unit =
+  let ast = ctx.cp.prog.ast in
+  let n = Ast.node ast node in
+  match n.Ast.tag with
+  | Ast.Block -> compile_block ctx node
+  | Ast.Var_decl | Ast.Const_decl ->
+      (* initialiser compiles before the slot exists, so a self-reference
+         resolves to the outer binding, as dynamic scoping would *)
+      let g =
+        if n.rhs = 0 then fun _ -> V.VUndef
+        else force (compile_expr ctx n.rhs)
+      in
+      let s = alloc ctx (Ast.token_text ast n.main_token) in
+      fun fr -> fr.(s) <- g fr
+  | Ast.Assign -> compile_assign ctx n
+  | Ast.While ->
+      let cont = Ast.extra ast n.rhs in
+      let body = Ast.extra ast (n.rhs + 1) in
+      let gcond = force (compile_expr ctx n.lhs) in
+      let gbody = compile_stmt ctx body in
+      let gcont =
+        if cont <> 0 then compile_stmt ctx cont else fun _ -> ()
+      in
+      fun fr ->
+        (try
+           while V.to_bool (gcond fr) do
+             (try gbody fr with Rt.Continue_exc -> ());
+             gcont fr
+           done
+         with Rt.Break_exc -> ())
+  | Ast.If ->
+      let then_ = Ast.extra ast n.rhs in
+      let else_ = Ast.extra ast (n.rhs + 1) in
+      let gcond = force (compile_expr ctx n.lhs) in
+      let gthen = compile_stmt ctx then_ in
+      if else_ = 0 then
+        (fun fr -> if V.to_bool (gcond fr) then gthen fr)
+      else begin
+        let gelse = compile_stmt ctx else_ in
+        fun fr -> if V.to_bool (gcond fr) then gthen fr else gelse fr
+      end
+  | Ast.Return ->
+      if n.lhs = 0 then fun _ -> raise (Rt.Return_exc V.VUnit)
+      else
+        let g = force (compile_expr ctx n.lhs) in
+        fun fr -> raise (Rt.Return_exc (g fr))
+  | Ast.Break -> fun _ -> raise Rt.Break_exc
+  | Ast.Continue -> fun _ -> raise Rt.Continue_exc
+  | Ast.Expr_stmt ->
+      (match compile_expr ctx n.lhs with
+       | Const _ -> fun _ -> ()
+       | Dyn g -> fun fr -> ignore (g fr))
+  | Ast.Omp_parallel | Ast.Omp_for | Ast.Omp_parallel_for | Ast.Omp_barrier
+  | Ast.Omp_critical | Ast.Omp_master | Ast.Omp_single | Ast.Omp_atomic ->
+      fun _ ->
+        err
+          "OpenMP directive reached the interpreter: the program was not \
+           preprocessed"
+  | _ -> fun _ -> err "invalid statement node"
+
+and compile_assign ctx n : frame -> unit =
+  let ast = ctx.cp.prog.ast in
+  let grhs = force (compile_expr ctx n.Ast.rhs) in
+  let combine : (V.t -> V.t -> V.t) option =
+    match (Ast.token ast n.Ast.main_token).Token.tag with
+    | Token.Eq -> None
+    | Token.Plus_eq -> Some Rt.add
+    | Token.Minus_eq -> Some Rt.sub
+    | Token.Star_eq -> Some Rt.mul
+    | Token.Slash_eq -> Some Rt.div_assign
+    | t ->
+        let msg = Token.tag_to_string t in
+        Some (fun _ _ -> err "unsupported assignment operator '%s'" msg)
+  in
+  let tgt = Ast.node ast n.Ast.lhs in
+  match tgt.Ast.tag with
+  | Ast.Ident ->
+      let name = Ast.token_text ast tgt.Ast.main_token in
+      (match resolve ctx name, combine with
+       | Rlocal s, None -> fun fr -> fr.(s) <- grhs fr
+       | Rlocal s, Some f ->
+           fun fr ->
+             let rhs = grhs fr in
+             fr.(s) <- f fr.(s) rhs
+       | Rglobal (Rt.Plain r), None -> fun fr -> r := grhs fr
+       | Rglobal (Rt.Plain r), Some f ->
+           fun fr ->
+             let rhs = grhs fr in
+             r := f !r rhs
+       | Rglobal (Rt.Tls _ as sl), None ->
+           fun fr -> Rt.slot_cell sl := grhs fr
+       | Rglobal (Rt.Tls _ as sl), Some f ->
+           fun fr ->
+             let cell = Rt.slot_cell sl in
+             let rhs = grhs fr in
+             cell := f !cell rhs
+       | (Rfn _ | Runbound), _ ->
+           fun _ -> err "assignment to undeclared identifier '%s'" name)
+  | Ast.Index ->
+      let garr = force (compile_expr ctx tgt.Ast.lhs) in
+      let gidx = force (compile_expr ctx tgt.Ast.rhs) in
+      fun fr ->
+        let arr = garr fr in
+        let idx = V.to_int (gidx fr) in
+        (match arr with
+         | V.VFloatArr a ->
+             if idx < 0 || idx >= Array.length a then
+               err "index %d out of bounds (len %d)" idx (Array.length a);
+             let rhs = grhs fr in
+             (match combine with
+              | None -> a.(idx) <- V.to_float rhs
+              | Some f ->
+                  a.(idx) <- V.to_float (f (V.VFloat a.(idx)) rhs))
+         | V.VIntArr a ->
+             if idx < 0 || idx >= Array.length a then
+               err "index %d out of bounds (len %d)" idx (Array.length a);
+             let rhs = grhs fr in
+             (match combine with
+              | None -> a.(idx) <- V.to_int rhs
+              | Some f -> a.(idx) <- V.to_int (f (V.VInt a.(idx)) rhs))
+         | v -> err "indexed assignment to %s" (V.type_name v))
+  | Ast.Deref ->
+      let gp = force (compile_expr ctx tgt.Ast.lhs) in
+      fun fr ->
+        (match gp fr with
+         | V.VPtr p ->
+             let rhs = grhs fr in
+             (match combine with
+              | None -> Rt.ptr_write p rhs
+              | Some f -> Rt.ptr_write p (f (Rt.ptr_read p) rhs))
+         | v -> err "assignment through %s" (V.type_name v))
+  | _ -> fun _ -> err "invalid assignment target"
+
+and compile_block ctx node : frame -> unit =
+  let ast = ctx.cp.prog.ast in
+  ctx.scopes <- [] :: ctx.scopes;
+  let stmts = compile_stmts ctx (Ast.block_stmts ast node) in
+  ctx.scopes <- List.tl ctx.scopes;
+  match stmts with
+  | [||] -> fun _ -> ()
+  | [| s |] -> s
+  | arr -> fun fr -> Array.iter (fun s -> s fr) arr
+
+and compile_stmts ctx stmts : (frame -> unit) array =
+  let out = ref [] in
+  let rec go = function
+    | [] -> ()
+    | s :: rest ->
+        (match try_worksharing ctx s rest with
+         | Some (closure, rest') ->
+             out := closure :: !out;
+             go rest'
+         | None ->
+             out := compile_stmt ctx s :: !out;
+             go rest)
+  in
+  go stmts;
+  Array.of_list (List.rev !out)
+
+(* ------------------------------------------------------------------ *)
+(* Worksharing drains.  The preprocessor emits exactly two statement
+   shapes (loops.ml); both are recognised whole and lowered to closures
+   that talk to the runtime directly.  The reserved handle names gate
+   the match, so user code never trips it by accident.                 *)
+
+and try_worksharing ctx stmt rest :
+    ((frame -> unit) * int list) option =
+  match try_dispatch_drain ctx stmt rest with
+  | Some _ as r -> r
+  | None -> try_static_drain ctx stmt rest
+
+(*  var __omp_ws = __kmpc_for_static_init(cv, ub, step, incl);
+    if (__omp_ws.has) {
+        __omp_iv = __omp_ws.lower;
+        while (__omp_ws_cmp(__omp_iv, __omp_ws.upper, step)) : (cont) BODY
+    }                                                                  *)
+and try_static_drain ctx decl rest =
+  let ast = ctx.cp.prog.ast in
+  let* wname, init = var_decl_parts ctx decl in
+  if wname <> "__omp_ws" then None
+  else
+    let* fname, args = builtin_call_parts ctx init in
+    if fname <> "__kmpc_for_static_init" then None
+    else
+      let* cv, ub, stp, incl =
+        match args with [ a; b; c; d ] -> Some (a, b, c, d) | _ -> None
+      in
+      match rest with
+      | [] -> None
+      | ifn :: rest' ->
+          let nif = Ast.node ast ifn in
+          if nif.Ast.tag <> Ast.If then None
+          else
+            let then_ = Ast.extra ast nif.Ast.rhs in
+            let else_ = Ast.extra ast (nif.Ast.rhs + 1) in
+            if else_ <> 0 then None
+            else
+              let* cbase, cfld = field_parts ctx nif.Ast.lhs in
+              let* cbn = ident_name ctx cbase in
+              if not (cbn = "__omp_ws" && cfld = "has") then None
+              else if (Ast.node ast then_).Ast.tag <> Ast.Block then None
+              else
+                (match Ast.block_stmts ast then_ with
+                 | [ asn; whn ] ->
+                     let* tgtn, av = eq_assign_parts ctx asn in
+                     let* ivname = ident_name ctx tgtn in
+                     let* abase, afld = field_parts ctx av in
+                     let* abn = ident_name ctx abase in
+                     if not (abn = "__omp_ws" && afld = "lower") then None
+                     else
+                       let* wcond, wcont, wbody = while_parts ctx whn in
+                       if wcont = 0 then None
+                       else
+                         let* iv2, step2 =
+                           cmp_call_parts ctx ~handle:"__omp_ws" wcond
+                         in
+                         if iv2 <> ivname then None
+                         else
+                           (match resolve ctx ivname with
+                            | Rlocal ivslot ->
+                                Some
+                                  (build_static_drain ctx ~cv ~ub ~stp ~incl
+                                     ~ivslot ~step2 ~cont:wcont ~body:wbody,
+                                   rest')
+                            | Rglobal _ | Rfn _ | Runbound -> None)
+                 | _ -> None)
+
+and build_static_drain ctx ~cv ~ub ~stp ~incl ~ivslot ~step2 ~cont ~body =
+  (* initialiser closures compile before the handle slot exists *)
+  let gcv = force (compile_expr ctx cv) in
+  let gub = force (compile_expr ctx ub) in
+  let gstp = force (compile_expr ctx stp) in
+  let gincl = force (compile_expr ctx incl) in
+  ignore (alloc ctx "__omp_ws");
+  (* the if-then block opened a scope on the generic path *)
+  ctx.scopes <- [] :: ctx.scopes;
+  let gstep2 = force (compile_expr ctx step2) in
+  let gbody = compile_stmt ctx body in
+  let gcont = compile_stmt ctx cont in
+  ctx.scopes <- List.tl ctx.scopes;
+  fun fr ->
+    let vcv = gcv fr in
+    let vub = gub fr in
+    let vstp = gstp fr in
+    let vincl = gincl fr in
+    let lo = V.to_int vcv in
+    let step = V.to_int vstp in
+    let hi =
+      if V.to_int vincl = 1 then
+        (if step > 0 then V.to_int vub + 1 else V.to_int vub - 1)
+      else V.to_int vub
+    in
+    match Omprt.Kmpc.for_static_init ~lo ~hi ~step () with
+    | None -> ()
+    | Some { Omprt.Kmpc.lower; upper; _ } ->
+        fr.(ivslot) <- V.VInt lower;
+        (try
+           let rec loop () =
+             let s = V.to_int (gstep2 fr) in
+             let i = V.to_int fr.(ivslot) in
+             if (if s > 0 then i <= upper else i >= upper) then begin
+               (try gbody fr with Rt.Continue_exc -> ());
+               gcont fr;
+               loop ()
+             end
+           in
+           loop ()
+         with Rt.Break_exc -> ())
+
+(*  var __omp_h = <init_fn>(cv, ub, step, chunk, incl);
+    var __omp_c = __kmpc_dispatch_next(__omp_h);
+    while (__omp_c.more) : (__omp_c = __kmpc_dispatch_next(__omp_h)) {
+        __omp_iv = __omp_c.lower;
+        while (__omp_ws_cmp(__omp_iv, __omp_c.upper, step)) : (cont) BODY
+    }                                                                  *)
+and try_dispatch_drain ctx stmt rest =
+  let ast = ctx.cp.prog.ast in
+  let* hname, hinit = var_decl_parts ctx stmt in
+  if hname <> "__omp_h" then None
+  else
+    let* initfn, iargs = builtin_call_parts ctx hinit in
+    let* kind =
+      match initfn with
+      | "__kmpc_static_chunked_init" -> Some `Chunked
+      | "__kmpc_dispatch_init_dynamic" -> Some `Dynamic
+      | "__kmpc_dispatch_init_guided" -> Some `Guided
+      | "__kmpc_dispatch_init_runtime" -> Some `Runtime
+      | _ -> None
+    in
+    let* cv, ub, stp, chk, incl =
+      match iargs with
+      | [ a; b; c; d; e ] -> Some (a, b, c, d, e)
+      | _ -> None
+    in
+    match rest with
+    | declc :: whn :: rest' ->
+        let* cname, cinit = var_decl_parts ctx declc in
+        if cname <> "__omp_c" then None
+        else
+          let* dn, dargs = builtin_call_parts ctx cinit in
+          if dn <> "__kmpc_dispatch_next" then None
+          else
+            let* h1 =
+              match dargs with [ x ] -> ident_name ctx x | _ -> None
+            in
+            if h1 <> "__omp_h" then None
+            else
+              let* wcond, wcont, wbody = while_parts ctx whn in
+              if wcont = 0 then None
+              else
+                let* cb, cf = field_parts ctx wcond in
+                let* cbn = ident_name ctx cb in
+                if not (cbn = "__omp_c" && cf = "more") then None
+                else
+                  let* ct, cval = eq_assign_parts ctx wcont in
+                  let* ctn = ident_name ctx ct in
+                  if ctn <> "__omp_c" then None
+                  else
+                    let* dn2, dargs2 = builtin_call_parts ctx cval in
+                    if dn2 <> "__kmpc_dispatch_next" then None
+                    else
+                      let* h2 =
+                        match dargs2 with
+                        | [ x ] -> ident_name ctx x
+                        | _ -> None
+                      in
+                      if h2 <> "__omp_h" then None
+                      else if (Ast.node ast wbody).Ast.tag <> Ast.Block then
+                        None
+                      else
+                        (match Ast.block_stmts ast wbody with
+                         | [ asn; iwh ] ->
+                             let* tgtn, av = eq_assign_parts ctx asn in
+                             let* ivname = ident_name ctx tgtn in
+                             let* ab, af = field_parts ctx av in
+                             let* abn = ident_name ctx ab in
+                             if not (abn = "__omp_c" && af = "lower") then
+                               None
+                             else
+                               let* icond, icont, ibody =
+                                 while_parts ctx iwh
+                               in
+                               if icont = 0 then None
+                               else
+                                 let* iv2, step2 =
+                                   cmp_call_parts ctx ~handle:"__omp_c" icond
+                                 in
+                                 if iv2 <> ivname then None
+                                 else
+                                   (match resolve ctx ivname with
+                                    | Rlocal ivslot ->
+                                        Some
+                                          (build_dispatch_drain ctx ~kind ~cv
+                                             ~ub ~stp ~chk ~incl ~ivslot
+                                             ~step2 ~icont ~ibody,
+                                           rest')
+                                    | Rglobal _ | Rfn _ | Runbound -> None)
+                         | _ -> None)
+    | _ -> None
+
+and build_dispatch_drain ctx ~kind ~cv ~ub ~stp ~chk ~incl ~ivslot ~step2
+    ~icont ~ibody =
+  let gcv = force (compile_expr ctx cv) in
+  let gub = force (compile_expr ctx ub) in
+  let gstp = force (compile_expr ctx stp) in
+  let gchk = force (compile_expr ctx chk) in
+  let gincl = force (compile_expr ctx incl) in
+  ignore (alloc ctx "__omp_h");
+  ignore (alloc ctx "__omp_c");
+  (* the outer while body block opened a scope on the generic path *)
+  ctx.scopes <- [] :: ctx.scopes;
+  let gstep2 = force (compile_expr ctx step2) in
+  let gbody = compile_stmt ctx ibody in
+  let gcont = compile_stmt ctx icont in
+  ctx.scopes <- List.tl ctx.scopes;
+  (* one claimed chunk: break exits the inner while only, so the next
+     chunk still runs — same nesting as the generated loops *)
+  let run_chunk fr lower upper =
+    fr.(ivslot) <- V.VInt lower;
+    try
+      let rec loop () =
+        let s = V.to_int (gstep2 fr) in
+        let i = V.to_int fr.(ivslot) in
+        if (if s > 0 then i <= upper else i >= upper) then begin
+          (try gbody fr with Rt.Continue_exc -> ());
+          gcont fr;
+          loop ()
+        end
+      in
+      loop ()
+    with Rt.Break_exc -> ()
+  in
+  fun fr ->
+    let vcv = gcv fr in
+    let vub = gub fr in
+    let vstp = gstp fr in
+    let vchk = gchk fr in
+    let vincl = gincl fr in
+    let lo = V.to_int vcv in
+    let step = V.to_int vstp in
+    let chunk0 = V.to_int vchk in
+    let hi =
+      if V.to_int vincl = 1 then
+        (if step > 0 then V.to_int vub + 1 else V.to_int vub - 1)
+      else V.to_int vub
+    in
+    match kind with
+    | `Chunked ->
+        let trips = Omprt.Ws.trip_count ~lo ~hi ~step () in
+        let tid = Omprt.Api.get_thread_num () in
+        let nth = Omprt.Api.get_num_threads () in
+        Omprt.Ws.static_chunks_iter ~tid ~nthreads:nth ~trips ~chunk:chunk0
+          (fun b e -> run_chunk fr (lo + (b * step)) (lo + ((e - 1) * step)))
+    | (`Dynamic | `Guided | `Runtime) as k ->
+        let chunk = max 1 chunk0 in
+        let sched =
+          match k with
+          | `Dynamic -> Omp_model.Sched.Dynamic chunk
+          | `Guided -> Omp_model.Sched.Guided chunk
+          | `Runtime -> Omp_model.Sched.Runtime
+        in
+        let d = Omprt.Kmpc.dispatch_init ~sched ~lo ~hi ~step () in
+        let rec drain () =
+          match Omprt.Kmpc.dispatch_next d with
+          | Some (lower, upper) ->
+              run_chunk fr lower upper;
+              drain ()
+          | None -> ()
+        in
+        drain ()
+
+(* ------------------------------------------------------------------ *)
+(* Program compilation: stubs first so direct calls can link, then the
+   bodies.                                                             *)
+
+let compile_fn cp fname fn_node =
+  let ast = cp.prog.ast in
+  let n = Ast.node ast fn_node in
+  let proto = n.Ast.lhs in
+  let nparams = Ast.extra ast proto in
+  let ctx = { cp; scopes = [ [] ]; next_slot = 0; slots_rev = [] } in
+  for k = 0 to nparams - 1 do
+    let name_tok = Ast.extra ast (proto + 1 + (2 * k)) in
+    ignore (alloc ctx (Ast.token_text ast name_tok))
+  done;
+  let body = compile_stmt ctx n.Ast.rhs in
+  let stub = Hashtbl.find cp.cfns fname in
+  stub.nslots <- ctx.next_slot;
+  stub.body <- body;
+  stub.layout <- List.rev ctx.slots_rev
+
+let compile (prog : Rt.program) : t =
+  let cp = { prog; cfns = Hashtbl.create 16 } in
+  Hashtbl.iter
+    (fun fname fn_node ->
+      let n = Ast.node prog.ast fn_node in
+      let nparams = Ast.extra prog.ast n.Ast.lhs in
+      Hashtbl.replace cp.cfns fname
+        { fname; nparams; nslots = 0; body = (fun _ -> ()); layout = [] })
+    prog.fns;
+  Hashtbl.iter (fun fname fn_node -> compile_fn cp fname fn_node) prog.fns;
+  cp
+
+let program cp = cp.prog
+
+let call cp fname args = ccall cp fname args
+
+let run_main cp = call cp "main" []
+
+let slot_layout cp fname =
+  Option.map (fun f -> f.layout) (Hashtbl.find_opt cp.cfns fname)

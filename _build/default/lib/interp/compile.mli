@@ -1,0 +1,32 @@
+(** Staged closure compilation of a loaded Zr program.
+
+    [compile] lowers every function of an {!Rt.program} (as produced by
+    [Interp.load]) to nested OCaml closures over a flat slot frame;
+    [call]/[run_main] then execute without any per-iteration AST
+    dispatch or name lookup.  Both backends share {!Rt} and {!Builtins},
+    so outputs, error messages and profile counts match the tree
+    walker. *)
+
+type t
+
+(** Compile all functions of a loaded program.  The program's globals
+    must be fully initialised (i.e. this runs after [Interp.load]). *)
+val compile : Rt.program -> t
+
+(** The underlying loaded program. *)
+val program : t -> Rt.program
+
+(** [call t fname args] invokes a program function on the compiled
+    backend.  Raises [Value.Runtime_error] exactly where the tree
+    walker would. *)
+val call : t -> string -> Value.t list -> Value.t
+
+(** Run [main]. *)
+val run_main : t -> Value.t
+
+(** Frame layout of a compiled function as [(slot, name)] pairs in
+    allocation order — parameters first, then every declaration in
+    compile order (shadowing allocates a fresh slot).  [None] if the
+    function does not exist.  Exposed for the slot-allocation
+    goldens. *)
+val slot_layout : t -> string -> (int * string) list option

@@ -11,50 +11,40 @@
     LLVM backend, not for its performance): dynamic typing with Zig
     debug-mode-style trapping on misuse, environments as scope chains,
     and per-call activation records so concurrent threads never share
-    local state. *)
+    local state.  The performance path is the staged backend
+    ({!Compile}), which shares this module's program representation
+    ({!Rt}) and builtin surface ({!Builtins}) so the two backends agree
+    exactly; this walker remains the executable specification. *)
 
 open Zr
 
-(* Re-export the value module: [interp.ml] is the library's root module,
-   so [Value] is otherwise hidden from clients. *)
+(* Re-export the value and compiler modules: [interp.ml] is the
+   library's root module, so they are otherwise hidden from clients. *)
 module Value = Value
+module Compile = Compile
 
-exception Return_exc of Value.t
-exception Break_exc
-exception Continue_exc
+exception Return_exc = Rt.Return_exc
+exception Break_exc = Rt.Break_exc
+exception Continue_exc = Rt.Continue_exc
 
 (** Storage for a global: ordinary shared cell, or per-thread cells for
     [threadprivate] globals (keyed by domain id; thread 0 of every team
     is the encountering domain, so its copy persists across regions as
     the OpenMP persistence rules describe). *)
-type slot =
+type slot = Rt.slot =
   | Plain of Value.t ref
   | Tls of { init : Value.t;
              cells : (int, Value.t ref) Hashtbl.t;
              mutex : Mutex.t }
 
-type program = {
+type program = Rt.program = {
   ast : Ast.t;
   fns : (string, int) Hashtbl.t;          (* name -> Fn_decl node *)
   globals : (string, slot) Hashtbl.t;
   preprocessed : string;                   (* the final source text *)
 }
 
-let slot_cell = function
-  | Plain r -> r
-  | Tls t ->
-      let key = (Domain.self () :> int) in
-      Mutex.lock t.mutex;
-      let cell =
-        match Hashtbl.find_opt t.cells key with
-        | Some c -> c
-        | None ->
-            let c = ref t.init in
-            Hashtbl.add t.cells key c;
-            c
-      in
-      Mutex.unlock t.mutex;
-      cell
+let slot_cell = Rt.slot_cell
 
 type env = {
   prog : program;
@@ -86,40 +76,13 @@ let find_cell env name =
   | Some cell -> Some cell
   | None -> Option.map slot_cell (Hashtbl.find_opt env.prog.globals name)
 
-(* ------------------------------------------------------------------ *)
-(* Arithmetic with int/float coercion.                                 *)
+(* Value semantics (arithmetic, comparison, pointer access) live in
+   {!Rt}, shared verbatim with the compiled backend. *)
 
-let arith op_i op_f a b =
-  match a, b with
-  | Value.VInt x, Value.VInt y -> Value.VInt (op_i x y)
-  | (Value.VInt _ | Value.VFloat _), (Value.VInt _ | Value.VFloat _) ->
-      Value.VFloat (op_f (Value.to_float a) (Value.to_float b))
-  | _ ->
-      err "arithmetic on %s and %s" (Value.type_name a) (Value.type_name b)
-
-let compare_vals a b =
-  match a, b with
-  | Value.VInt x, Value.VInt y -> compare x y
-  | (Value.VInt _ | Value.VFloat _), (Value.VInt _ | Value.VFloat _) ->
-      compare (Value.to_float a) (Value.to_float b)
-  | Value.VBool x, Value.VBool y -> compare x y
-  | Value.VStr x, Value.VStr y -> compare x y
-  | _ ->
-      err "comparison of %s and %s" (Value.type_name a) (Value.type_name b)
-
-(* ------------------------------------------------------------------ *)
-(* Pointers.                                                           *)
-
-let ptr_read = function
-  | Value.PVar r -> !r
-  | Value.PElemF (a, i) -> Value.VFloat a.(i)
-  | Value.PElemI (a, i) -> Value.VInt a.(i)
-
-let ptr_write p v =
-  match p with
-  | Value.PVar r -> r := v
-  | Value.PElemF (a, i) -> a.(i) <- Value.to_float v
-  | Value.PElemI (a, i) -> a.(i) <- Value.to_int v
+let arith = Rt.arith
+let compare_vals = Rt.compare_vals
+let ptr_read = Rt.ptr_read
+let ptr_write = Rt.ptr_write
 
 (* ------------------------------------------------------------------ *)
 (* Evaluation.                                                         *)
@@ -204,19 +167,11 @@ and eval_binop env n =
       let a = eval env n.lhs in
       let b = eval env n.rhs in
       (match t with
-       | Token.Plus -> arith ( + ) ( +. ) a b
-       | Token.Minus -> arith ( - ) ( -. ) a b
-       | Token.Star -> arith ( * ) ( *. ) a b
-       | Token.Slash ->
-           (match a, b with
-            | Value.VInt _, Value.VInt 0 -> err "integer division by zero"
-            | Value.VInt x, Value.VInt y -> VInt (x / y)
-            | _ -> VFloat (Value.to_float a /. Value.to_float b))
-       | Token.Percent ->
-           (match a, b with
-            | Value.VInt _, Value.VInt 0 -> err "integer modulo by zero"
-            | Value.VInt x, Value.VInt y -> VInt (x mod y)
-            | _ -> VFloat (Float.rem (Value.to_float a) (Value.to_float b)))
+       | Token.Plus -> Rt.add a b
+       | Token.Minus -> Rt.sub a b
+       | Token.Star -> Rt.mul a b
+       | Token.Slash -> Rt.div a b
+       | Token.Percent -> Rt.modulo a b
        | Token.Eq_eq -> VBool (compare_vals a b = 0)
        | Token.Bang_eq -> VBool (compare_vals a b <> 0)
        | Token.Lt -> VBool (compare_vals a b < 0)
@@ -296,11 +251,10 @@ and exec env node : unit =
       let rhs = eval env n.rhs in
       (match (Ast.token ast n.main_token).Token.tag with
        | Token.Eq -> write rhs
-       | Token.Plus_eq -> write (arith ( + ) ( +. ) (read ()) rhs)
-       | Token.Minus_eq -> write (arith ( - ) ( -. ) (read ()) rhs)
-       | Token.Star_eq -> write (arith ( * ) ( *. ) (read ()) rhs)
-       | Token.Slash_eq ->
-           write (VFloat (Value.to_float (read ()) /. Value.to_float rhs))
+       | Token.Plus_eq -> write (Rt.add (read ()) rhs)
+       | Token.Minus_eq -> write (Rt.sub (read ()) rhs)
+       | Token.Star_eq -> write (Rt.mul (read ()) rhs)
+       | Token.Slash_eq -> write (Rt.div_assign (read ()) rhs)
        | t -> err "unsupported assignment operator '%s'" (Token.tag_to_string t))
   | Ast.While ->
       let cont = Ast.extra ast n.rhs in
@@ -346,7 +300,7 @@ and eval_call env node : Value.t =
          && find_cell env "omp" = None
       then
         let args = List.map (eval env) args_nodes in
-        omp_namespace meth args
+        Builtins.omp_namespace meth args
       else begin
         (* method-style call through a struct field holding a function *)
         match eval env n.lhs with
@@ -363,7 +317,9 @@ and eval_call env node : Value.t =
        | None ->
            if Hashtbl.mem env.prog.fns fname then
              call_function env.prog fname (List.map (eval env) args_nodes)
-           else builtin env fname (List.map (eval env) args_nodes))
+           else
+             Builtins.dispatch ~call:(call_function env.prog) fname
+               (List.map (eval env) args_nodes))
   | _ ->
       (match eval env n.lhs with
        | Value.VFun fname ->
@@ -391,187 +347,6 @@ and call_function prog fname args : Value.t =
          exec env n.Ast.rhs;
          Value.VUnit
        with Return_exc v -> v)
-
-(* ------------------------------------------------------------------ *)
-(* The omp.* namespace (paper section III-C: the standard API with the
-   omp_ prefix stripped).                                              *)
-
-and omp_namespace meth args : Value.t =
-  match meth, args with
-  | "get_thread_num", [] -> VInt (Omprt.Api.get_thread_num ())
-  | "get_num_threads", [] -> VInt (Omprt.Api.get_num_threads ())
-  | "get_max_threads", [] -> VInt (Omprt.Api.get_max_threads ())
-  | "set_num_threads", [ v ] ->
-      Omprt.Api.set_num_threads (Value.to_int v);
-      VUnit
-  | "get_num_procs", [] -> VInt (Omprt.Api.get_num_procs ())
-  | "in_parallel", [] -> VBool (Omprt.Api.in_parallel ())
-  | "get_level", [] -> VInt (Omprt.Api.get_level ())
-  | "get_wtime", [] -> VFloat (Omprt.Api.get_wtime ())
-  | "get_wtick", [] -> VFloat (Omprt.Api.get_wtick ())
-  | _ -> err "unknown omp.%s/%d" meth (List.length args)
-
-(* ------------------------------------------------------------------ *)
-(* Host functions: the interoperability story.
-
-   The paper's section IV integrates Zig with Fortran/C by declaring
-   foreign procedures with C linkage; our analogue lets the host (OCaml)
-   register functions that Zr code calls by name, exactly like an
-   [extern fn] declaration.  Registration happens before execution, so
-   the table is read-only while teams run. *)
-
-and host_fns : (string, Value.t list -> Value.t) Hashtbl.t =
-  Hashtbl.create 16
-
-(* ------------------------------------------------------------------ *)
-(* Builtins: the .omp.internal surface targeted by generated code, plus
-   a few host utilities for writing programs.                          *)
-
-and builtin env fname args : Value.t =
-  let fl = Value.to_float and it = Value.to_int in
-  match fname, args with
-  (* --- fork/join --- *)
-  | "__kmpc_fork_call", [ VFun f; fp; sh; red; nt ] ->
-      let num_threads =
-        match it nt with 0 -> None | n -> Some n
-      in
-      Omprt.Kmpc.fork_call ?num_threads
-        (fun () -> ignore (call_function env.prog f [ fp; sh; red ]))
-        ();
-      VUnit
-  | "__kmpc_barrier", [] -> Omprt.Kmpc.barrier (); VUnit
-  (* --- static worksharing --- *)
-  | "__kmpc_for_static_init", [ lb; ub; step; incl ] ->
-      let lo = it lb and step = it step in
-      let hi =
-        if it incl = 1 then
-          (if step > 0 then it ub + 1 else it ub - 1)
-        else it ub
-      in
-      (match Omprt.Kmpc.for_static_init ~lo ~hi ~step () with
-       | Some { lower; upper; _ } ->
-           VStruct [ ("has", VBool true); ("lower", VInt lower);
-                     ("upper", VInt upper) ]
-       | None ->
-           VStruct [ ("has", VBool false); ("lower", VInt 0);
-                     ("upper", VInt 0) ])
-  | "__kmpc_for_static_fini", [] -> Omprt.Kmpc.for_static_fini (); VUnit
-  (* --- dispatcher protocol --- *)
-  | "__kmpc_static_chunked_init", [ lb; ub; step; chunk; incl ] ->
-      let lo = it lb and step = it step and chunk = it chunk in
-      let hi =
-        if it incl = 1 then (if step > 0 then it ub + 1 else it ub - 1)
-        else it ub
-      in
-      let trips = Omprt.Ws.trip_count ~lo ~hi ~step () in
-      let tid = Omprt.Api.get_thread_num () in
-      let nth = Omprt.Api.get_num_threads () in
-      let chunks =
-        List.map
-          (fun (b, e) -> (lo + (b * step), lo + ((e - 1) * step)))
-          (Omprt.Ws.static_chunks ~tid ~nthreads:nth ~trips ~chunk)
-      in
-      VDispatch (Chunked (ref chunks))
-  | "__kmpc_dispatch_init_dynamic", [ lb; ub; step; chunk; incl ]
-  | "__kmpc_dispatch_init_guided", [ lb; ub; step; chunk; incl ]
-  | "__kmpc_dispatch_init_runtime", [ lb; ub; step; chunk; incl ] ->
-      let lo = it lb and step = it step and chunk = max 1 (it chunk) in
-      let hi =
-        if it incl = 1 then (if step > 0 then it ub + 1 else it ub - 1)
-        else it ub
-      in
-      let sched =
-        match fname with
-        | "__kmpc_dispatch_init_dynamic" -> Omp_model.Sched.Dynamic chunk
-        | "__kmpc_dispatch_init_guided" -> Omp_model.Sched.Guided chunk
-        | _ -> Omp_model.Sched.Runtime
-      in
-      VDispatch (Shared (Omprt.Kmpc.dispatch_init ~sched ~lo ~hi ~step ()))
-  | "__kmpc_dispatch_next", [ VDispatch h ] ->
-      let result =
-        match h with
-        | Shared d -> Omprt.Kmpc.dispatch_next d
-        | Chunked chunks ->
-            (match !chunks with
-             | [] -> None
-             | c :: rest -> chunks := rest; Some c)
-      in
-      (match result with
-       | Some (lower, upper) ->
-           VStruct [ ("more", VBool true); ("lower", VInt lower);
-                     ("upper", VInt upper) ]
-       | None ->
-           VStruct [ ("more", VBool false); ("lower", VInt 0);
-                     ("upper", VInt 0) ])
-  (* --- synchronisation --- *)
-  | "__kmpc_critical", [ VStr name ] ->
-      (* time the acquisition so --profile sees critical contention *)
-      Omprt.Profile.timed Omprt.Profile.Critical_wait (fun () ->
-          Mutex.lock (Omprt.Lock.critical_lock name));
-      VUnit
-  | "__kmpc_end_critical", [ VStr name ] ->
-      Mutex.unlock (Omprt.Lock.critical_lock name); VUnit
-  | "__kmpc_single", [] -> VBool (Omprt.Kmpc.single_begin ())
-  | "__kmpc_end_single", [] -> Omprt.Kmpc.single_end (); VUnit
-  | "__kmpc_atomic_begin", [] -> Omprt.Kmpc.atomic_begin (); VUnit
-  | "__kmpc_atomic_end", [] -> Omprt.Kmpc.atomic_end (); VUnit
-  | "__omp_get_thread_num", [] -> VInt (Omprt.Api.get_thread_num ())
-  (* --- reduction cells (paper III-B1: Zig atomics + CAS loops) --- *)
-  | "__omp_atomic_new", [ v ] ->
-      (match v with
-       | VInt i -> VAtomicI (Omprt.Atomics.Int.make i)
-       | VFloat f -> VAtomicF (Omprt.Atomics.Float.make f)
-       | VUndef -> VAtomicF (Omprt.Atomics.Float.make 0.)
-       | v -> err "__omp_atomic_new on %s" (Value.type_name v))
-  | "__omp_atomic_load", [ VAtomicF a ] -> VFloat (Omprt.Atomics.Float.get a)
-  | "__omp_atomic_load", [ VAtomicI a ] -> VInt (Omprt.Atomics.Int.get a)
-  | "__omp_atomic_combine_add", [ VAtomicF a; v ] ->
-      Omprt.Atomics.Float.add a (fl v); VUnit
-  | "__omp_atomic_combine_add", [ VAtomicI a; v ] ->
-      Omprt.Atomics.Int.add a (it v); VUnit
-  | "__omp_atomic_combine_mul", [ VAtomicF a; v ] ->
-      Omprt.Atomics.Float.mul a (fl v); VUnit
-  | "__omp_atomic_combine_mul", [ VAtomicI a; v ] ->
-      Omprt.Atomics.Int.mul a (it v); VUnit
-  | "__omp_atomic_combine_min", [ VAtomicF a; v ] ->
-      Omprt.Atomics.Float.min a (fl v); VUnit
-  | "__omp_atomic_combine_min", [ VAtomicI a; v ] ->
-      Omprt.Atomics.Int.min a (it v); VUnit
-  | "__omp_atomic_combine_max", [ VAtomicF a; v ] ->
-      Omprt.Atomics.Float.max a (fl v); VUnit
-  | "__omp_atomic_combine_max", [ VAtomicI a; v ] ->
-      Omprt.Atomics.Int.max a (it v); VUnit
-  (* --- worksharing helpers --- *)
-  | "__omp_ws_cmp", [ i; upper; step ] ->
-      VBool (if it step > 0 then it i <= it upper else it i >= it upper)
-  | "__omp_trips", [ lb; ub; step; incl ] ->
-      VInt
-        (Omprt.Ws.trip_count ~inclusive:(it incl = 1) ~lo:(it lb)
-           ~hi:(it ub) ~step:(it step) ())
-  | "__omp_huge", [] -> VFloat infinity
-  | "__omp_min", [ a; b ] -> if compare_vals a b <= 0 then a else b
-  | "__omp_max", [ a; b ] -> if compare_vals a b >= 0 then a else b
-  (* --- host utilities for writing programs --- *)
-  | "alloc_f64", [ n ] -> VFloatArr (Array.make (it n) 0.)
-  | "alloc_i64", [ n ] -> VIntArr (Array.make (it n) 0)
-  | "len", [ VFloatArr a ] -> VInt (Array.length a)
-  | "len", [ VIntArr a ] -> VInt (Array.length a)
-  | "sqrt", [ v ] -> VFloat (sqrt (fl v))
-  | "log", [ v ] -> VFloat (log (fl v))
-  | "exp", [ v ] -> VFloat (exp (fl v))
-  | "fabs", [ v ] -> VFloat (Float.abs (fl v))
-  | "floor", [ v ] -> VFloat (Float.floor (fl v))
-  | "int_of", [ v ] -> VInt (it v)
-  | "float_of", [ v ] -> VFloat (fl v)
-  | "print", [ v ] ->
-      print_endline (Value.to_string v);
-      VUnit
-  | _ ->
-      (match Hashtbl.find_opt host_fns fname with
-       | Some f -> f args
-       | None ->
-           err "unknown function or builtin '%s'/%d" fname
-             (List.length args))
 
 (* ------------------------------------------------------------------ *)
 (* Program loading.                                                    *)
@@ -631,10 +406,11 @@ let call prog fname args = call_function prog fname args
     Zr as [name(...)], the moral equivalent of Zig's [extern fn]
     declarations used for C and Fortran interop (paper section IV).
     Must be called before execution; shadowed by same-named Zr
-    functions and builtins. *)
-let register_host name f = Hashtbl.replace host_fns name f
+    functions and builtins.  The registry is shared with the compiled
+    backend ({!Builtins}). *)
+let register_host name f = Builtins.register_host name f
 
-let unregister_host name = Hashtbl.remove host_fns name
+let unregister_host name = Builtins.unregister_host name
 
 (** Run [main]. *)
 let run_main prog = call prog "main" []

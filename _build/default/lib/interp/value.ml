@@ -26,6 +26,7 @@ type t =
 
 and ptr =
   | PVar of t ref                (** address of a variable cell *)
+  | PSlot of t array * int       (** address of a compiled-frame slot *)
   | PElemF of float array * int
   | PElemI of int array * int
 

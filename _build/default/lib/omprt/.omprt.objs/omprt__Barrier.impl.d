@@ -1,1 +1,1 @@
-lib/omprt/barrier.ml: Condition Mutex
+lib/omprt/barrier.ml: Atomic Condition Domain Icv Mutex Profile

@@ -89,35 +89,34 @@ let for_static_fini ?loc:_ () = ignore (Team.current ())
     every chunk this thread owns under a static schedule, over the
     normalised range, then hit the joining barrier unless [nowait]. *)
 let static_for ?loc ?chunk ?(nowait = false) ~lo ~hi ~step body =
-  (match for_static_init ?loc ?chunk ~lo ~hi ~step () with
-   | None -> ()
-   | Some { lower; upper; stride } ->
-       (match chunk with
-        | None | Some 0 ->
+  (match chunk with
+   | None | Some 0 ->
+       (match for_static_init ?loc ~lo ~hi ~step () with
+        | None -> ()
+        | Some { lower; upper; stride = _ } ->
             (* single block: iterate [lower..upper] by [step] *)
             let i = ref lower in
             if step > 0 then
               while !i <= upper do body !i; i := !i + step done
             else
-              while !i >= upper do body !i; i := !i + step done
-        | Some c ->
-            (* chunked: blocks of [c] iterations, advancing by [stride] *)
-            let block = ref lower in
-            let continue_ = ref true in
-            while !continue_ do
-              let i = ref !block in
-              let remaining_ok v =
-                if step > 0 then v < hi else v > hi
-              in
-              let k = ref 0 in
-              while !k < c && remaining_ok !i do
-                body !i;
-                i := !i + step;
-                incr k
-              done;
-              block := !block + stride;
-              if not (remaining_ok !block) then continue_ := false
-            done));
+              while !i >= upper do body !i; i := !i + step done)
+   | Some c ->
+       (* chunked: the canonical round-robin split ({!Ws}) mapped back
+          to user iteration values — the same partition arithmetic the
+          rest of the runtime uses, in place of a second hand-rolled
+          implementation *)
+       Profile.tick Profile.Static_loop;
+       if c < 0 then invalid_arg "for_static_init: negative chunk";
+       let tid = Team.thread_num () and nth = Team.num_threads () in
+       let trips = Ws.trip_count ~lo ~hi ~step () in
+       Ws.static_chunks_iter ~tid ~nthreads:nth ~trips ~chunk:c
+         (fun b e ->
+           let lower, _ = Ws.denormalise ~lo ~step (b, e) in
+           let i = ref lower in
+           for _ = b to e - 1 do
+             body !i;
+             i := !i + step
+           done));
   for_static_fini ();
   if not nowait then barrier ()
 
@@ -150,12 +149,22 @@ type dispatcher = {
   d : Ws.Dispatch.t;
   lo : int;
   step : int;
+  (* Where the dispatcher is registered, for retirement: the owning
+     team and the loop epoch it is keyed under ([None] for orphaned
+     worksharing, which registers nothing). *)
+  home : (Team.t * int) option;
+  (* This handle already observed exhaustion and bumped [d.finished];
+     handles are strictly per-thread, so a plain mutable suffices. *)
+  mutable drained : bool;
 }
 
 (** [dispatch_init ?loc ~sched ~lo ~hi ~step ()] — join (or create) the
     team-wide dispatcher for this thread's next dispatch loop.  Mirrors
     [__kmpc_dispatch_init_4]: every team member calls it with identical
-    bounds and schedule. *)
+    bounds and schedule.  The common case — all threads entering the
+    loop back-to-back — is served by one atomic load of the team's
+    [latest_dispatch] slot; only the creating thread and threads
+    lagging behind on an earlier [nowait] loop take [dispatch_mutex]. *)
 let dispatch_init ?loc:_ ~sched ~lo ~hi ~step () =
   let trips = Ws.trip_count ~lo ~hi ~step () in
   let nth = Team.num_threads () in
@@ -163,31 +172,69 @@ let dispatch_init ?loc:_ ~sched ~lo ~hi ~step () =
   | None ->
       (* Orphaned worksharing: a team of one. *)
       let kind, chunk = dispatch_kind trips 1 sched in
-      { d = Ws.Dispatch.create ~kind ~trips ~chunk ~nthreads:1; lo; step }
+      { d = Ws.Dispatch.create ~kind ~trips ~chunk ~nthreads:1;
+        lo; step; home = None; drained = false }
   | Some ctx ->
       let epoch = ctx.loop_epoch in
       ctx.loop_epoch <- ctx.loop_epoch + 1;
       let team = ctx.team in
-      Mutex.lock team.dispatch_mutex;
       let d =
-        match Hashtbl.find_opt team.dispatchers epoch with
-        | Some d -> d
-        | None ->
-            let kind, chunk = dispatch_kind trips nth sched in
-            let d = Ws.Dispatch.create ~kind ~trips ~chunk ~nthreads:nth in
-            Hashtbl.add team.dispatchers epoch d;
+        match Atomic.get team.Team.latest_dispatch with
+        | Some (e, d) when e = epoch -> d  (* fast path: no mutex *)
+        | _ ->
+            Mutex.lock team.dispatch_mutex;
+            let d =
+              (* double-check under the lock: another thread may have
+                 created it between the atomic load and here *)
+              match Hashtbl.find_opt team.dispatchers epoch with
+              | Some d -> d
+              | None ->
+                  let kind, chunk = dispatch_kind trips nth sched in
+                  let d =
+                    Ws.Dispatch.create ~kind ~trips ~chunk ~nthreads:nth
+                  in
+                  Hashtbl.add team.dispatchers epoch d;
+                  Atomic.set team.Team.latest_dispatch (Some (epoch, d));
+                  d
+            in
+            Mutex.unlock team.dispatch_mutex;
             d
       in
-      Mutex.unlock team.dispatch_mutex;
-      { d; lo; step }
+      { d; lo; step; home = Some (team, epoch); drained = false }
+
+(* Retire a fully drained dispatcher: once every team member has
+   observed exhaustion, no thread will look this epoch up again (each
+   already holds its handle), so the table entry — previously kept
+   until team teardown/reuse — can go. *)
+let retire (h : dispatcher) =
+  match h.home with
+  | None -> ()
+  | Some (team, epoch) ->
+      let fin = 1 + Atomic.fetch_and_add h.d.Ws.Dispatch.finished 1 in
+      if fin = h.d.Ws.Dispatch.nthreads then begin
+        Mutex.lock team.Team.dispatch_mutex;
+        Hashtbl.remove team.Team.dispatchers epoch;
+        (match Atomic.get team.Team.latest_dispatch with
+         | Some (e, _) when e = epoch ->
+             Atomic.set team.Team.latest_dispatch None
+         | _ -> ());
+        Mutex.unlock team.Team.dispatch_mutex
+      end
 
 (** [dispatch_next h] — claim the next chunk, as user-space inclusive
     bounds [(lower, upper)]; [None] when the loop is exhausted (the
-    contract of [__kmpc_dispatch_next_4] returning 0). *)
+    contract of [__kmpc_dispatch_next_4] returning 0).  The first
+    exhausted claim per thread counts towards retiring the shared
+    dispatcher from the team table. *)
 let dispatch_next ?loc:_ (h : dispatcher) =
   Profile.tick Profile.Dispatch_claim;
   match Ws.Dispatch.next h.d with
-  | None -> None
+  | None ->
+      if not h.drained then begin
+        h.drained <- true;
+        retire h
+      end;
+      None
   | Some (b, e) ->
       Some (h.lo + (b * h.step), h.lo + ((e - 1) * h.step))
 

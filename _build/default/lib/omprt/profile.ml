@@ -60,6 +60,11 @@ let pool_counters =
   let z () = Atomics.Int.make 0 in
   (z (), z (), z (), z (), z (), z ())
 
+(* Hybrid-barrier statistics: how each barrier passage was satisfied —
+   during the bounded spin, or by blocking on the condition variable.
+   Always-on for the same reason as the pool counters. *)
+let barrier_counters = (Atomics.Int.make 0, Atomics.Int.make 0)
+
 let enable () = Atomic.set enabled true
 let disable () = Atomic.set enabled false
 let is_enabled () = Atomic.get enabled
@@ -72,7 +77,10 @@ let reset () =
       Atomics.Float.set a.slowest 0.)
     aggs;
   let a, b, c, d, e, f = pool_counters in
-  List.iter (fun cnt -> Atomics.Int.set cnt 0) [ a; b; c; d; e; f ]
+  List.iter (fun cnt -> Atomics.Int.set cnt 0) [ a; b; c; d; e; f ];
+  let s, bl = barrier_counters in
+  Atomics.Int.set s 0;
+  Atomics.Int.set bl 0
 
 (** Record one completed construct of duration [dt] seconds. *)
 let record c dt =
@@ -140,6 +148,31 @@ let pool_report () =
     s.forks_served s.workers_spawned s.reuse_hits s.spin_parks
     s.block_parks s.fallback_forks
 
+type barrier_event =
+  | Barrier_spin_wait   (** passage completed within the spin budget *)
+  | Barrier_block_wait  (** the waiter had to block on the condvar *)
+
+type barrier_stats = {
+  spin_waits : int;
+  block_waits : int;
+}
+
+let barrier_counter = function
+  | Barrier_spin_wait -> fst barrier_counters
+  | Barrier_block_wait -> snd barrier_counters
+
+let barrier_tick e = Atomics.Int.add (barrier_counter e) 1
+
+let barrier_stats () =
+  { spin_waits = Atomics.Int.get (fst barrier_counters);
+    block_waits = Atomics.Int.get (snd barrier_counters) }
+
+let barrier_report () =
+  let s = barrier_stats () in
+  Printf.sprintf
+    "hybrid barrier: %d spin waits, %d block waits\n"
+    s.spin_waits s.block_waits
+
 type snapshot = {
   construct : construct;
   count : int;
@@ -183,5 +216,10 @@ let report () =
     end
   in
   let s = pool_stats () in
-  if s.forks_served + s.workers_spawned + s.fallback_forks = 0 then table
-  else table ^ pool_report ()
+  let table =
+    if s.forks_served + s.workers_spawned + s.fallback_forks = 0 then table
+    else table ^ pool_report ()
+  in
+  let bs = barrier_stats () in
+  if bs.spin_waits + bs.block_waits = 0 then table
+  else table ^ barrier_report ()

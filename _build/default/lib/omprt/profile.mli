@@ -77,3 +77,25 @@ val pool_stats : unit -> pool_stats
 
 val pool_report : unit -> string
 (** The rendered one-paragraph pool-counter summary. *)
+
+(** {2 Hybrid-barrier statistics}
+
+    Always-on counters fed by {!module:Barrier}: how each barrier
+    passage was satisfied — within the bounded spin, or by blocking on
+    the condition variable.  Zeroed by {!reset}. *)
+
+type barrier_event =
+  | Barrier_spin_wait   (** passage completed within the spin budget *)
+  | Barrier_block_wait  (** the waiter had to block on the condvar *)
+
+type barrier_stats = {
+  spin_waits : int;
+  block_waits : int;
+}
+
+val barrier_tick : barrier_event -> unit
+
+val barrier_stats : unit -> barrier_stats
+
+val barrier_report : unit -> string
+(** The rendered one-line barrier-counter summary. *)

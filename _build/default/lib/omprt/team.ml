@@ -21,6 +21,13 @@ type t = {
      loop N, which is what libomp's dispatch buffers are for. *)
   dispatchers : (int, Ws.Dispatch.t) Hashtbl.t;
   dispatch_mutex : Mutex.t;
+  (* The most recently created dispatcher, published as (epoch, d) so
+     that the other team members joining the same loop can find it with
+     one atomic load instead of taking [dispatch_mutex] — the
+     double-checked fast path of {!Kmpc.dispatch_init}.  Lagging
+     threads (overlapping [nowait] loops) miss here and fall back to
+     the locked table lookup. *)
+  latest_dispatch : (int * Ws.Dispatch.t) option Atomic.t;
   (* Monotone counter of [single] constructs already claimed (see
      {!Kmpc.single}). *)
   single_epoch : int Atomic.t;
@@ -45,6 +52,7 @@ let create_team nthreads =
     barrier = Barrier.create nthreads;
     dispatchers = Hashtbl.create 8;
     dispatch_mutex = Mutex.create ();
+    latest_dispatch = Atomic.make None;
     single_epoch = Atomic.make 0;
     reduce_mutex = Mutex.create () }
 
@@ -94,6 +102,9 @@ let lease_team nt =
   match !hot_team with
   | Some team when team.nthreads = nt ->
       Hashtbl.reset team.dispatchers;
+      (* a stale (epoch, d) would falsely match epoch 0 of the new
+         region's first dispatch loop *)
+      Atomic.set team.latest_dispatch None;
       Atomic.set team.single_epoch 0;
       Profile.pool_tick Profile.Pool_reuse_hit;
       team

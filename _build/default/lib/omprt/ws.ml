@@ -95,11 +95,15 @@ module Dispatch = struct
     chunk : int;           (** chunk parameter from the schedule clause *)
     nthreads : int;
     cursor : int Atomic.t; (** first unclaimed iteration *)
+    finished : int Atomic.t;
+    (** threads that have observed exhaustion; when it reaches
+        [nthreads] the dispatcher can be retired from the team table *)
   }
 
   let create ~kind ~trips ~chunk ~nthreads =
     if chunk <= 0 then invalid_arg "Dispatch.create: chunk <= 0";
-    { kind; trips; chunk; nthreads; cursor = Atomic.make 0 }
+    { kind; trips; chunk; nthreads; cursor = Atomic.make 0;
+      finished = Atomic.make 0 }
 
   (** Claim the next chunk; [None] once the iteration space is exhausted.
       Dynamic claims fixed-size chunks with one fetch-and-add; guided

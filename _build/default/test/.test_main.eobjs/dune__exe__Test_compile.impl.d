@@ -1,0 +1,1 @@
+test/test_compile.ml: Alcotest Array Interp List Omprt Printexc Printf QCheck2 QCheck_alcotest String

@@ -13,6 +13,7 @@ let () =
       ("sim-runtime", Test_simrt.suite);
       ("preprocessor", Test_preproc.suite);
       ("interpreter", Test_interp.suite);
+      ("compile", Test_compile.suite);
       ("loop-edges", Test_loops_edge.suite);
       ("npb", Test_npb.suite);
       ("harness", Test_harness.suite);

@@ -1,27 +1,42 @@
-(** Blocking sense-reversing barrier.
+(** Hybrid spin-then-block sense-reversing barrier.
 
-    libomp uses spinning hybrid barriers; on an oversubscribed host (our
-    container has a single core and tests run teams of up to eight
-    threads on it) spinning would livelock the very threads we are
-    waiting for, so this implementation blocks on a condition variable.
-    The phase counter provides the "sense": a thread waits until the
-    phase it observed on arrival has been left behind, which makes the
-    barrier safely reusable back-to-back. *)
+    libomp uses spinning hybrid barriers: a waiter spins on the phase
+    word for a bounded budget before parking on a condition variable.
+    We do the same, with the budget taken from the wait-policy ICVs —
+    [OMP_WAIT_POLICY=active] spins for [Icv.global.blocktime]
+    iterations, while the default passive policy spins not at all: on
+    an oversubscribed host (our container has a single core and tests
+    run teams of up to eight threads on it) spinning would starve the
+    very threads we are waiting for.  {!module:Profile} counts how each
+    passage was satisfied (spin vs block).
+
+    The atomic phase counter provides the "sense": a thread waits until
+    the phase it observed on arrival has been left behind, which makes
+    the barrier safely reusable back-to-back. *)
 
 type t = {
   mutex : Mutex.t;
   cond : Condition.t;
   size : int;
-  mutable arrived : int;
-  mutable phase : int;
+  mutable arrived : int;          (* protected by [mutex] *)
+  phase : int Atomic.t;           (* advanced under [mutex], spun on lock-free *)
 }
 
 let create size =
   if size <= 0 then invalid_arg "Barrier.create: size must be positive";
   { mutex = Mutex.create (); cond = Condition.create ();
-    size; arrived = 0; phase = 0 }
+    size; arrived = 0; phase = Atomic.make 0 }
 
 let size t = t.size
+
+(* How many [Domain.cpu_relax] iterations a waiter may burn before
+   parking.  Passive (the default) never spins: blocked time is exactly
+   what that policy asks for, and on a single core it is also the only
+   choice that doesn't starve the stragglers. *)
+let spin_budget () =
+  match Icv.global.Icv.wait_policy with
+  | Icv.Active -> Icv.global.Icv.blocktime
+  | Icv.Passive -> 0
 
 (** [wait t] blocks until all [size t] threads have called [wait] for the
     current phase.  Returns [true] in exactly one thread per phase (the
@@ -30,17 +45,34 @@ let wait t =
   if t.size = 1 then true
   else begin
     Mutex.lock t.mutex;
-    let phase = t.phase in
+    let phase = Atomic.get t.phase in
     t.arrived <- t.arrived + 1;
     let last = t.arrived = t.size in
     if last then begin
       t.arrived <- 0;
-      t.phase <- phase + 1;
-      Condition.broadcast t.cond
-    end else
-      while t.phase = phase do
-        Condition.wait t.cond t.mutex
-      done;
-    Mutex.unlock t.mutex;
+      (* Advance the phase before broadcasting, still under the mutex:
+         parked waiters re-check the phase under the same mutex, so the
+         wakeup cannot be lost. *)
+      Atomic.set t.phase (phase + 1);
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mutex
+    end else begin
+      Mutex.unlock t.mutex;
+      let rec spin n =
+        if Atomic.get t.phase <> phase then true
+        else if n > 0 then begin Domain.cpu_relax (); spin (n - 1) end
+        else false
+      in
+      if spin (spin_budget ()) then
+        Profile.barrier_tick Profile.Barrier_spin_wait
+      else begin
+        Profile.barrier_tick Profile.Barrier_block_wait;
+        Mutex.lock t.mutex;
+        while Atomic.get t.phase = phase do
+          Condition.wait t.cond t.mutex
+        done;
+        Mutex.unlock t.mutex
+      end
+    end;
     last
   end

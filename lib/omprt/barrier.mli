@@ -1,8 +1,12 @@
-(** Blocking sense-reversing barrier.
+(** Hybrid spin-then-block sense-reversing barrier.
 
-    Blocks on a condition variable rather than spinning, so teams may
-    safely oversubscribe the host's cores (libomp spins; on our
-    single-core test host that would livelock). *)
+    Waiters spin on the phase word for a bounded budget before parking
+    on a condition variable, like libomp's hybrid barriers.  The budget
+    follows the wait-policy ICVs: [OMP_WAIT_POLICY=active] spins for
+    [Icv.global.blocktime] iterations, the default passive policy goes
+    straight to blocking (on our single-core test host spinning would
+    starve the threads being waited for).  {!Profile.barrier_stats}
+    reports how passages were satisfied. *)
 
 type t
 

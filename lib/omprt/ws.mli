@@ -46,6 +46,9 @@ module Dispatch : sig
     chunk : int;
     nthreads : int;
     cursor : int Atomic.t;  (** first unclaimed iteration *)
+    finished : int Atomic.t;
+    (** threads that have observed exhaustion (drives dispatcher
+        retirement, see {!Kmpc.dispatch_next}) *)
   }
 
   val create : kind:kind -> trips:int -> chunk:int -> nthreads:int -> t

@@ -95,11 +95,14 @@ let main kernel cls threads sim sweep lang engine backend =
           let r = Harness.Zr_cg.run ~backend ~cls ~nthreads:threads () in
           Format.printf "%a@." Npb.Result.pp r;
           if Npb.Result.verified r then 0 else 1
-      | Harness.Experiment.EP | Harness.Experiment.IS ->
-          prerr_endline
-            "npb_run: --engine zr supports cg only (the paper ports \
-             conj_grad; ep/is have no Zr port yet)";
-          2
+      | Harness.Experiment.EP ->
+          let r = Harness.Zr_ep.run ~backend ~cls ~nthreads:threads () in
+          Format.printf "%a@." Npb.Result.pp r;
+          if Npb.Result.verified r then 0 else 1
+      | Harness.Experiment.IS ->
+          let r = Harness.Zr_is.run ~backend ~cls ~nthreads:threads () in
+          Format.printf "%a@." Npb.Result.pp r;
+          if Npb.Result.verified r then 0 else 1
   end
   else if sweep then begin
     let counts = [ 1; 2; 16; 32; 64; 96; 128 ] in

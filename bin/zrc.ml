@@ -147,9 +147,92 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Preprocess and execute main()")
     Term.(const run $ file_arg $ threads $ profile $ backend)
 
+(* ---- check ---- *)
+
+let check_config threads schedules seed no_sweep no_lint =
+  { Zigomp.Checker.nthreads = threads;
+    schedules;
+    seed;
+    sync_sweep = not no_sweep;
+    lint = not no_lint }
+
+let do_check file config =
+  let report = Zigomp.check ~name:file ~config (read_file file) in
+  print_endline (Zigomp.Checker.Report.to_string report);
+  if Zigomp.Checker.Report.clean report then 0 else 2
+
+let threads_opt =
+  Arg.(value & opt int 4
+       & info [ "t"; "threads" ] ~docv:"N"
+           ~doc:"Team size for the checked runs")
+
+let schedules_opt =
+  Arg.(value & opt int 3
+       & info [ "schedules" ] ~docv:"K"
+           ~doc:"Number of seeded random schedules to explore")
+
+let seed_opt =
+  Arg.(value & opt int 42
+       & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Base seed for the random schedules (fixed seed = \
+                 deterministic findings)")
+
+let no_sweep_opt =
+  Arg.(value & flag
+       & info [ "no-sweep" ]
+           ~doc:"Skip the systematic skewed-interleaving schedules")
+
+let no_lint_opt =
+  Arg.(value & flag
+       & info [ "no-lint" ] ~doc:"Skip the execution-free lints")
+
+let check_cmd =
+  let run file threads schedules seed no_sweep no_lint =
+    try do_check file (check_config threads schedules seed no_sweep no_lint)
+    with
+    | Zr.Source.Error msg -> Printf.eprintf "error: %s\n" msg; 1
+    | Failure msg | Invalid_argument msg ->
+        Printf.eprintf "error: %s\n" msg; 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Race-check a program: vector-clock happens-before \
+             detection over explored schedules, plus static lints.  \
+             Exit 0 when clean, 2 when findings are reported.")
+    Term.(const run $ file_arg $ threads_opt $ schedules_opt $ seed_opt
+          $ no_sweep_opt $ no_lint_opt)
+
 let () =
   let info =
     Cmd.info "zrc" ~version:"1.0.0"
       ~doc:"Zr compiler with OpenMP loop-directive support"
   in
-  exit (Cmd.eval' (Cmd.group info [ tokens_cmd; parse_cmd; preprocess_cmd; run_cmd ]))
+  (* `zrc --check FILE` is accepted at top level as a synonym for the
+     `check` subcommand, the spelling used throughout the docs. *)
+  let default =
+    let run check_file threads schedules seed no_sweep no_lint =
+      match check_file with
+      | Some file ->
+          `Ok
+            (try
+               do_check file
+                 (check_config threads schedules seed no_sweep no_lint)
+             with
+             | Zr.Source.Error msg -> Printf.eprintf "error: %s\n" msg; 1
+             | Failure msg | Invalid_argument msg ->
+                 Printf.eprintf "error: %s\n" msg; 1)
+      | None -> `Help (`Pager, None)
+    in
+    let check_file =
+      Arg.(value & opt (some file) None
+           & info [ "check" ] ~docv:"FILE"
+               ~doc:"Race-check $(docv) (same as the $(b,check) \
+                     subcommand)")
+    in
+    Term.(ret (const run $ check_file $ threads_opt $ schedules_opt
+               $ seed_opt $ no_sweep_opt $ no_lint_opt))
+  in
+  exit
+    (Cmd.eval' ~catch:true
+       (Cmd.group ~default info
+          [ tokens_cmd; parse_cmd; preprocess_cmd; run_cmd; check_cmd ]))

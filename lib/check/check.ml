@@ -1,0 +1,105 @@
+(** [zrc --check]: vector-clock race detection and schedule exploration
+    for Zr OpenMP programs.
+
+    This is the library's entry point (and root module).  A check runs
+    three passes over a program:
+
+    + execution-free lints on the original AST ({!Lint});
+    + the preprocessor, whose [default(none)] diagnostic is converted
+      into a lint finding;
+    + the dynamic pass: the program runs repeatedly on the cooperative
+      vector-clocked runtime ({!Sched}), once per schedule, and every
+      happens-before violation observed by the {!Race} detector — plus
+      barrier divergences and runtime errors — becomes a finding.
+
+    Everything is deterministic for a fixed configuration: schedules
+    are derived from the seed, virtual threads are scheduled by the
+    discrete-event rule, and the report is deduplicated and sorted.
+    The happens-before model and its limits are documented in
+    DESIGN.md. *)
+
+module Report = Report
+module Vc = Vc
+module Race = Race
+module Sched = Sched
+module Lint = Lint
+
+type config = {
+  nthreads : int;    (** team size for the checked runs *)
+  schedules : int;   (** number of seeded random schedules *)
+  seed : int;        (** base seed for the random schedules *)
+  sync_sweep : bool; (** also run the systematic skewed schedules *)
+  lint : bool;       (** run the execution-free lints *)
+}
+
+let default_config =
+  { nthreads = 4; schedules = 3; seed = 42; sync_sweep = true; lint = true }
+
+(* The schedule set: lockstep interleaving, then systematic relative
+   skews (each team member fastest in turn), then the seeded draws. *)
+let modes config =
+  (Sched.Uniform
+   :: (if config.sync_sweep then
+         List.init 3 (fun k -> Sched.Skewed (k + 1))
+       else []))
+  @ List.init (max 0 config.schedules) (fun i ->
+        Sched.Seeded (config.seed + i))
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let dynamic ~name ~config ~load ~run =
+  let ms = modes config in
+  ( List.concat_map
+      (fun mode ->
+        fst
+          (Sched.run_schedule ~name ~load ~run ~mode
+             ~nthreads:config.nthreads ()))
+      ms,
+    List.length ms )
+
+(** Check a whole program (its [main] drives the dynamic pass; a
+    program without [main] gets the static passes only). *)
+let check_source ?(name = "<input>") ?(config = default_config) src :
+    Report.t =
+  match (if config.lint then Lint.run ~name src else []) with
+  | exception Zr.Source.Error msg ->
+      Report.make ~name ~schedules:0 [ Report.error ~detail:msg ]
+  | lints -> (
+      match Preproc.Preprocess.run ~name src with
+      | exception Zr.Source.Error msg ->
+          let f =
+            if contains msg "default(none)" then
+              Report.lint ~rule:"default-none" ~detail:msg
+            else Report.error ~detail:msg
+          in
+          Report.make ~name ~schedules:0 (f :: lints)
+      | pre ->
+          let load () = Interp.load ~name ~preprocess:false pre in
+          if not (Hashtbl.mem (load ()).Interp.fns "main") then
+            Report.make ~name ~schedules:0 lints
+          else
+            let run prog = ignore (Interp.run_main prog) in
+            let dyn, k = dynamic ~name ~config ~load ~run in
+            Report.make ~name ~schedules:k (lints @ dyn))
+
+(** Check a program driven by a host entry point instead of [main] —
+    how the NPB Zr kernels are checked: the caller registers its host
+    functions, then [entry] receives the loaded program and performs
+    the calls. *)
+let check_run ?(name = "<zr>") ?(config = default_config) ~source
+    ~(entry : Interp.program -> unit) () : Report.t =
+  let lints =
+    if config.lint then
+      try Lint.run ~name source with Zr.Source.Error _ -> []
+    else []
+  in
+  match Preproc.Preprocess.run ~name source with
+  | exception Zr.Source.Error msg ->
+      Report.make ~name ~schedules:0 [ Report.error ~detail:msg ]
+  | pre ->
+      let load () = Interp.load ~name ~preprocess:false pre in
+      let dyn, k = dynamic ~name ~config ~load ~run:entry in
+      Report.make ~name ~schedules:k (lints @ dyn)

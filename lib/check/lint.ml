@@ -1,0 +1,258 @@
+(** Execution-free lints over the original (un-preprocessed) AST.
+
+    Two rules run here; the third documented lint — [default(none)]
+    with unlisted captures — is enforced by the preprocessor itself
+    and surfaced by {!Check.check_source} as a finding when
+    preprocessing fails with that diagnostic.
+
+    - [nowait-dependent-read]: inside a parallel region, a variable
+      written under a [for nowait] loop is referenced — by redundantly
+      executed plain statements, or by [single]/[master]/[critical]
+      bodies — before any construct that implies a barrier.  References
+      inside *subsequent worksharing loops* are deliberately not
+      flagged: reading your own partition's results there is the legal
+      same-partition idiom (NPB CG uses it), and cross-partition use is
+      left to the dynamic detector.
+
+    - [divergent-barrier]: a construct implying a barrier ([barrier],
+      [for]/[single] without [nowait]) nested where only some of the
+      team executes it — under [master], under a [single] body, or
+      under an [if] whose condition mentions the thread id.  Barrier
+      counts then diverge across the team, which deadlocks (or, under
+      the checker, reports divergence). *)
+
+open Zr
+module D = Ompfront.Directive
+module P = Ompfront.Packed
+module Names = Preproc.Names
+module Sset = Names.Sset
+
+let node_pos ast src i =
+  let n = Ast.node ast i in
+  let off = (Ast.token ast n.Ast.main_token).Token.start in
+  let line, col = Source.position src off in
+  Printf.sprintf "%d:%d" line col
+
+let clause_name ast id = Ast.token_text ast (Ast.node ast id).Ast.main_token
+
+(* All names privatised by a directive's clauses. *)
+let privatised ast (cl : D.clauses) =
+  List.fold_left
+    (fun acc id -> Sset.add (clause_name ast id) acc)
+    Sset.empty
+    (cl.D.private_ @ cl.D.firstprivate
+     @ List.map snd cl.D.reductions)
+
+let threadprivate_names ast =
+  List.fold_left
+    (fun acc d ->
+      let n = Ast.node ast d in
+      if n.Ast.tag = Ast.Omp_threadprivate then
+        List.fold_left
+          (fun acc id -> Sset.add (clause_name ast id) acc)
+          acc (Ast.clauses ast d).D.private_
+      else acc)
+    Sset.empty (Ast.top_decls ast)
+
+let rec base_ident ast i =
+  let n = Ast.node ast i in
+  match n.Ast.tag with
+  | Ast.Ident -> Some (Ast.token_text ast n.main_token)
+  | Ast.Index | Ast.Field | Ast.Deref -> base_ident ast n.lhs
+  | _ -> None
+
+(* Base names of every assignment target under [i]. *)
+let assign_targets ast i =
+  let acc = ref Sset.empty in
+  Names.walk ast i (fun j ->
+      let n = Ast.node ast j in
+      if n.Ast.tag = Ast.Assign then
+        match base_ident ast n.Ast.lhs with
+        | Some v -> acc := Sset.add v !acc
+        | None -> ());
+  !acc
+
+(* ------------------- rule: nowait-dependent-read ------------------- *)
+
+let nowait_rule ast src findings =
+  let tp = threadprivate_names ast in
+  let regions = Names.omp_nodes ast (fun t -> t = Ast.Omp_parallel) in
+  List.iter
+    (fun region ->
+      let rn = Ast.node ast region in
+      let body = rn.Ast.rhs in
+      let region_cl = Ast.clauses ast region in
+      let region_locals = Names.declared_under ast body in
+      let excl_base =
+        Sset.union tp (Sset.union region_locals (privatised ast region_cl))
+      in
+      (* shared names written under a nowait worksharing loop *)
+      let nowait_writes s =
+        let n = Ast.node ast s in
+        let cl = Ast.clauses ast s in
+        let loop = n.Ast.rhs in
+        let ln = Ast.node ast loop in
+        let cont, lbody =
+          if ln.Ast.tag = Ast.While then
+            (Ast.extra ast ln.Ast.rhs, Ast.extra ast (ln.Ast.rhs + 1))
+          else (0, loop)
+        in
+        let induction =
+          if cont <> 0 then assign_targets ast cont else Sset.empty
+        in
+        let excl =
+          List.fold_left Sset.union excl_base
+            [ privatised ast cl; Names.declared_under ast lbody; induction ]
+        in
+        Sset.diff (assign_targets ast lbody) excl
+      in
+      (* report pending vars referenced under [reader] *)
+      let check_reads pending reader =
+        if pending <> [] then begin
+          let refs = Names.referenced_under ast reader in
+          List.iter
+            (fun (v, wpos) ->
+              if Sset.mem v refs then
+                findings :=
+                  Report.lint ~rule:"nowait-dependent-read"
+                    ~detail:
+                      (Printf.sprintf
+                         "%s@%s :: written under `for nowait` at %s, \
+                          used before the next barrier" v
+                         (node_pos ast src reader) wpos)
+                  :: !findings)
+            pending
+        end
+      in
+      (* sequential scan; [pending] maps var -> position of its nowait
+         loop, cleared by anything that implies a barrier *)
+      let rec scan_stmts pending stmts =
+        List.fold_left scan_stmt pending stmts
+      and scan_stmt pending s =
+        let n = Ast.node ast s in
+        match n.Ast.tag with
+        | Ast.Omp_barrier -> []
+        | Ast.Omp_for ->
+            let cl = Ast.clauses ast s in
+            if cl.D.flags.P.nowait then
+              pending
+              @ List.map
+                  (fun v -> (v, node_pos ast src s))
+                  (Sset.elements (nowait_writes s))
+            else []  (* implied barrier orders everything before it *)
+        | Ast.Omp_single ->
+            let cl = Ast.clauses ast s in
+            check_reads pending n.Ast.rhs;
+            if cl.D.flags.P.nowait then pending else []
+        | Ast.Omp_master | Ast.Omp_critical | Ast.Omp_atomic ->
+            check_reads pending n.Ast.rhs;
+            pending
+        | Ast.Omp_parallel | Ast.Omp_parallel_for ->
+            pending  (* nested team: out of this rule's scope *)
+        | Ast.Block -> scan_stmts pending (Ast.block_stmts ast s)
+        | Ast.While ->
+            check_reads pending n.Ast.lhs;
+            let cont = Ast.extra ast n.Ast.rhs in
+            let body = Ast.extra ast (n.Ast.rhs + 1) in
+            let pending' = scan_stmt pending body in
+            if cont <> 0 then check_reads pending' cont;
+            pending'
+        | Ast.If ->
+            check_reads pending n.Ast.lhs;
+            let then_ = Ast.extra ast n.Ast.rhs in
+            let else_ = Ast.extra ast (n.Ast.rhs + 1) in
+            let p1 = scan_stmt pending then_ in
+            let p2 = if else_ <> 0 then scan_stmt pending else_ else [] in
+            List.sort_uniq compare (p1 @ p2)
+        | _ ->
+            check_reads pending s;
+            pending
+      in
+      ignore (scan_stmt [] body))
+    regions
+
+(* -------------------- rule: divergent-barrier ---------------------- *)
+
+let mentions_thread_id ast i =
+  let found = ref false in
+  Names.walk ast i (fun j ->
+      let n = Ast.node ast j in
+      match n.Ast.tag with
+      | Ast.Field when Ast.token_text ast n.Ast.main_token = "get_thread_num"
+        ->
+          found := true
+      | Ast.Ident
+        when Ast.token_text ast n.Ast.main_token = "__omp_get_thread_num" ->
+          found := true
+      | _ -> ());
+  !found
+
+let divergent_rule ast src findings =
+  let report i where what =
+    findings :=
+      Report.lint ~rule:"divergent-barrier"
+        ~detail:
+          (Printf.sprintf "%s at %s :: only part of the team reaches it (%s)"
+             what (node_pos ast src i) where)
+      :: !findings
+  in
+  let regions = Names.omp_nodes ast (fun t -> t = Ast.Omp_parallel) in
+  List.iter
+    (fun region ->
+      let rec go ctx i =
+        let n = Ast.node ast i in
+        match n.Ast.tag with
+        | Ast.Omp_parallel | Ast.Omp_parallel_for -> ()  (* nested team *)
+        | Ast.Omp_master ->
+            let ctx' =
+              Some ("under master at " ^ node_pos ast src i)
+            in
+            List.iter (go ctx') (Names.children ast i)
+        | Ast.Omp_single ->
+            let cl = Ast.clauses ast i in
+            (match ctx with
+             | Some where when not cl.D.flags.P.nowait ->
+                 report i where "single (implied barrier)"
+             | _ -> ());
+            let ctx' =
+              Some ("under single at " ^ node_pos ast src i)
+            in
+            List.iter (go ctx') (Names.children ast i)
+        | Ast.Omp_barrier ->
+            (match ctx with
+             | Some where -> report i where "barrier"
+             | None -> ())
+        | Ast.Omp_for ->
+            let cl = Ast.clauses ast i in
+            (match ctx with
+             | Some where when not cl.D.flags.P.nowait ->
+                 report i where "for (implied barrier)"
+             | _ -> ());
+            List.iter (go ctx) (Names.children ast i)
+        | Ast.If ->
+            let ctx' =
+              match ctx with
+              | Some _ -> ctx
+              | None ->
+                  if mentions_thread_id ast n.Ast.lhs then
+                    Some ("under thread-id conditional at "
+                          ^ node_pos ast src i)
+                  else None
+            in
+            List.iter (go ctx') (Names.children ast i)
+        | _ -> List.iter (go ctx) (Names.children ast i)
+      in
+      go None (Ast.node ast region).Ast.rhs)
+    regions
+
+(* ------------------------------ entry ------------------------------ *)
+
+(** Run every lint; raises {!Zr.Source.Error} if the program does not
+    parse. *)
+let run ~name (src_text : string) : Report.finding list =
+  let ast, _spans = Parser.parse_string ~name src_text in
+  let src = Source.of_string ~name src_text in
+  let findings = ref [] in
+  nowait_rule ast src findings;
+  divergent_rule ast src findings;
+  !findings

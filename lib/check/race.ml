@@ -1,0 +1,166 @@
+(** The vector-clock race detector proper.
+
+    Per traced location the detector keeps the last write epoch and the
+    most recent read per thread (a read "vector", FastTrack-style).  An
+    access races with a recorded prior access when the prior belongs to
+    a different thread and the current thread's vector clock does not
+    cover the prior's epoch — i.e. no fork/join/barrier/lock edge
+    ordered them.
+
+    Locations are identified physically: variable cells by the [ref]
+    they live in, array elements by the array object and index.  That is
+    exactly the identity the interpreter's tracer hands us, so aliasing
+    through pointers and captures is resolved for free. *)
+
+module Rt = Interp.Rt
+
+type evt = {
+  tid : int;
+  clk : int;
+  off : int;               (* byte offset in the preprocessed source *)
+  op : string option;      (* compound-assignment operator, writes only *)
+  rw : [ `R | `W ];
+}
+
+type entry = {
+  mutable w : evt option;
+  mutable reads : evt list;  (* latest read per thread since last write *)
+}
+
+type t = {
+  src : Zr.Source.t;  (* preprocessed source, for positions/snippets *)
+  mutable cells : (Interp.Value.t ref * entry) list;
+  mutable fa : (float array * (int, entry) Hashtbl.t) list;
+  mutable ia : (int array * (int, entry) Hashtbl.t) list;
+  dedup : (string, unit) Hashtbl.t;
+  mutable findings : Report.finding list;
+}
+
+let create ~src =
+  { src; cells = []; fa = []; ia = [];
+    dedup = Hashtbl.create 16; findings = [] }
+
+let fresh_entry () = { w = None; reads = [] }
+
+let elem_entry h i =
+  match Hashtbl.find_opt h i with
+  | Some e -> e
+  | None ->
+      let e = fresh_entry () in
+      Hashtbl.add h i e;
+      e
+
+let entry_of t (acc : Rt.access) : entry =
+  match acc with
+  | Rt.Acell r ->
+      (match List.find_opt (fun (x, _) -> x == r) t.cells with
+       | Some (_, e) -> e
+       | None ->
+           let e = fresh_entry () in
+           t.cells <- (r, e) :: t.cells;
+           e)
+  | Rt.Afelem (a, i) ->
+      let h =
+        match List.find_opt (fun (x, _) -> x == a) t.fa with
+        | Some (_, h) -> h
+        | None ->
+            let h = Hashtbl.create 64 in
+            t.fa <- (a, h) :: t.fa;
+            h
+      in
+      elem_entry h i
+  | Rt.Aielem (a, i) ->
+      let h =
+        match List.find_opt (fun (x, _) -> x == a) t.ia with
+        | Some (_, h) -> h
+        | None ->
+            let h = Hashtbl.create 64 in
+            t.ia <- (a, h) :: t.ia;
+            h
+      in
+      elem_entry h i
+
+(* ---------------------------- rendering --------------------------- *)
+
+(* Shared captures reach the outlined function through a synthesised
+   [<name>__ptr] parameter; report the user's name. *)
+let clean_var v =
+  if String.length v > 5 && Filename.check_suffix v "__ptr" then
+    String.sub v 0 (String.length v - 5)
+  else v
+
+let pos t off =
+  let line, col = Zr.Source.position t.src off in
+  Printf.sprintf "%d:%d" line col
+
+let rw_s = function `R -> "read" | `W -> "write"
+
+let render_evt t e =
+  Printf.sprintf "%s@%s%s" (rw_s e.rw) (pos t e.off)
+    (match e.op with Some o -> "[" ^ o ^ "]" | None -> "")
+
+(* The source line of an offset, whitespace-trimmed. *)
+let snippet t off =
+  let text = t.src.Zr.Source.text in
+  let n = String.length text in
+  let b = ref off and e = ref off in
+  while !b > 0 && text.[!b - 1] <> '\n' do decr b done;
+  while !e < n && text.[!e] <> '\n' do incr e done;
+  String.trim (String.sub text !b (!e - !b))
+
+let suggestion ~var a b =
+  let var = if var = "" then "<expr>" else var in
+  match a.op, b.op with
+  | (Some o, _ | _, Some o) when a.off = b.off && a.rw = `W && b.rw = `W ->
+      Printf.sprintf "reduction(%s: %s)" o var
+  | _ ->
+      Printf.sprintf
+        "atomic/critical around the conflicting accesses, or private(%s)" var
+
+let report t ~var ~(prior : evt) ~(cur : evt) =
+  (* Normalise the pair so the rendered line does not depend on which
+     schedule surfaced the race first. *)
+  let a, b =
+    if (prior.off, prior.rw) <= (cur.off, cur.rw) then (prior, cur)
+    else (cur, prior)
+  in
+  let var = clean_var var in
+  let key =
+    Printf.sprintf "%s|%s%d|%s%d" var (rw_s a.rw) a.off (rw_s b.rw) b.off
+  in
+  if not (Hashtbl.mem t.dedup key) then begin
+    Hashtbl.add t.dedup key ();
+    let line =
+      Printf.sprintf "race %s: %s vs %s :: `%s` :: suggest %s"
+        (if var = "" then "<expr>" else var)
+        (render_evt t a) (render_evt t b) (snippet t b.off)
+        (suggestion ~var a b)
+    in
+    t.findings <- Report.race line :: t.findings
+  end
+
+(* --------------------------- the check ---------------------------- *)
+
+let access t ~rw (acc : Rt.access) ~off ~hint ~gid ~(vc : Vc.t)
+    ~(op : string option) =
+  let e = entry_of t acc in
+  let cur =
+    { tid = gid; clk = Vc.get vc gid; off;
+      op = (if rw = `W then op else None); rw }
+  in
+  let conflicts (prior : evt) =
+    prior.tid <> gid && not (Vc.covers vc ~tid:prior.tid ~clk:prior.clk)
+  in
+  (match e.w with
+   | Some w when conflicts w -> report t ~var:hint ~prior:w ~cur
+   | _ -> ());
+  match rw with
+  | `R -> e.reads <- cur :: List.filter (fun r -> r.tid <> gid) e.reads
+  | `W ->
+      List.iter
+        (fun r -> if conflicts r then report t ~var:hint ~prior:r ~cur)
+        e.reads;
+      e.w <- Some cur;
+      e.reads <- []
+
+let findings t = t.findings

@@ -1,0 +1,58 @@
+(** Checker findings and the machine-readable report.
+
+    Every finding renders to exactly one stable line; the report is the
+    deduplicated, sorted list of those lines under a one-line summary.
+    Golden tests and the CI determinism check compare reports textually,
+    so rendering must not depend on schedule timing beyond what the
+    fixed seed already pins down. *)
+
+type kind = Race | Lint | Divergence | Error
+
+type finding = {
+  kind : kind;
+  line : string;  (** rendered, single line, stable across runs *)
+}
+
+type t = {
+  name : string;       (** program name, as reported in the summary *)
+  schedules : int;     (** schedules explored by the dynamic detector *)
+  findings : finding list;  (** deduplicated, sorted by rendered line *)
+}
+
+let race line = { kind = Race; line }
+
+let lint ~rule ~detail =
+  { kind = Lint; line = Printf.sprintf "lint %s :: %s" rule detail }
+
+let divergence ~detail = { kind = Divergence; line = "divergence :: " ^ detail }
+
+let error ~detail = { kind = Error; line = "error :: " ^ detail }
+
+(** Assemble a report: drop exact-duplicate lines (the same race found
+    under several schedules), then sort for output stability. *)
+let make ~name ~schedules findings =
+  let seen = Hashtbl.create 16 in
+  let uniq =
+    List.filter
+      (fun f ->
+        if Hashtbl.mem seen f.line then false
+        else begin
+          Hashtbl.add seen f.line ();
+          true
+        end)
+      findings
+  in
+  { name; schedules; findings = List.sort compare uniq }
+
+let races t = List.filter (fun f -> f.kind = Race) t.findings
+let lints t = List.filter (fun f -> f.kind = Lint) t.findings
+let errors t = List.filter (fun f -> f.kind = Error) t.findings
+
+let clean t = t.findings = []
+
+let summary t =
+  Printf.sprintf "check: %s: %d finding(s), %d schedule(s) explored"
+    t.name (List.length t.findings) t.schedules
+
+let to_string t =
+  String.concat "\n" (summary t :: List.map (fun f -> f.line) t.findings)

@@ -1,0 +1,493 @@
+(** Cooperative checker runtime: the third execution backend.
+
+    Runs a preprocessed Zr program on deterministic virtual threads
+    ({!Sim.Des}) instead of real domains, intercepting the whole
+    [.omp.internal] surface ({!Interp.Builtins.interceptor}) and every
+    shared-reachable memory access ({!Interp.Rt.tracer}).  Each virtual
+    thread carries a vector clock; forks, joins, barriers, criticals,
+    atomics and reduction merges establish the happens-before edges
+    documented in DESIGN.md, and every traced access is fed to the
+    {!Race} detector under that ordering.
+
+    Schedule exploration works by charging simulated time to accesses:
+    the DES scheduler always runs the runnable thread with the smallest
+    clock, so varying the per-access cost varies the interleaving while
+    keeping every run fully deterministic.  [Uniform] advances every
+    thread in lockstep (maximal fine-grained interleaving); [Skewed k]
+    gives team members rotated relative speeds so each sync point is
+    reached in a different order; [Seeded s] draws costs from a seeded
+    PRNG. *)
+
+module Des = Sim.Des
+module V = Interp.Value
+module Rt = Interp.Rt
+module B = Interp.Builtins
+
+type mode = Uniform | Skewed of int | Seeded of int
+
+let mode_name = function
+  | Uniform -> "uniform"
+  | Skewed k -> Printf.sprintf "skewed:%d" k
+  | Seeded s -> Printf.sprintf "seeded:%d" s
+
+(* ----------------------------- state ------------------------------ *)
+
+type team = {
+  size : int;
+  mutable bar_vc : Vc.t;        (* join of clocks of barrier arrivals *)
+  mutable bar_blocked : (tstate * Des.wake) list;
+  mutable bar_max : float;      (* latest arrival time this episode *)
+  mutable done_members : int;   (* members that left the region *)
+  mutable diverged : bool;      (* divergence already reported *)
+  dispatchers : (int, Omprt.Ws.Dispatch.t) Hashtbl.t;  (* by loop epoch *)
+  single_claims : (int, unit) Hashtbl.t;               (* by single epoch *)
+}
+
+and frame = {
+  team : team;
+  tid : int;
+  mutable single_seen : int;    (* singles this thread has met *)
+  mutable loop_epoch : int;     (* dispatch loops this thread has met *)
+}
+
+and tstate = {
+  gid : int;                    (* virtual-thread id = clock index *)
+  vc : Vc.t;
+  mutable frames : frame list;  (* innermost region first *)
+}
+
+type session = {
+  des : Des.t;
+  nthreads : int;               (* configured default team size *)
+  mutable req_threads : int;    (* omp.set_num_threads state *)
+  mode : mode;
+  rng : Random.State.t option;
+  race : Race.t;
+  mutable findings : Report.finding list;
+  threads : (int, tstate) Hashtbl.t;         (* vthread id -> state *)
+  locks : (string, Des.Smutex.t * Vc.t) Hashtbl.t;  (* criticals *)
+  atomic_lock : Des.Smutex.t * Vc.t;         (* __kmpc_atomic_begin/end *)
+  mutable af : (Omprt.Atomics.Float.t * Vc.t) list;
+  mutable ai : (Omprt.Atomics.Int.t * Vc.t) list;
+  output : Buffer.t;            (* captured [print] output *)
+}
+
+let cur_tstate sess =
+  match sess.des.Des.current with
+  | Some vt -> Hashtbl.find_opt sess.threads vt.Des.id
+  | None -> None
+
+(* (team size, tid, frame) for the current thread; a thread outside any
+   region is an orphan team of one. *)
+let ctx ts =
+  match ts.frames with
+  | f :: _ -> (f.team.size, f.tid, Some f)
+  | [] -> (1, 0, None)
+
+(* ------------------------ schedule perturbation ------------------- *)
+
+(* Charge simulated time to the current access; the DES min-clock rule
+   turns the cost profile into an interleaving. *)
+let pause sess ts =
+  if ts.frames <> [] then
+    let dt =
+      match sess.mode with
+      | Uniform -> 1.0
+      | Skewed k ->
+          let tid = match ts.frames with f :: _ -> f.tid | [] -> 0 in
+          1.0 +. float_of_int ((tid + k) mod 5)
+      | Seeded _ ->
+          (match sess.rng with
+           | Some st -> 0.5 +. Random.State.float st 2.0
+           | None -> 1.0)
+    in
+    Des.advance sess.des dt
+
+(* --------------------------- the tracer --------------------------- *)
+
+let on_trace sess ~rw acc ~off ~hint =
+  (* Consume the compound-assignment note before any reschedule, so it
+     cannot leak to another thread's access. *)
+  let op = !Rt.pending_op in
+  Rt.pending_op := None;
+  match cur_tstate sess with
+  | None -> ()
+  | Some ts ->
+      pause sess ts;
+      Race.access sess.race ~rw acc ~off ~hint ~gid:ts.gid ~vc:ts.vc ~op
+
+(* --------------------------- barriers ----------------------------- *)
+
+let release_barrier sess team =
+  let blocked = List.rev team.bar_blocked in
+  let bvc = team.bar_vc in
+  let at = team.bar_max in
+  team.bar_blocked <- [];
+  team.bar_vc <- Vc.create ();
+  team.bar_max <- 0.;
+  List.iter
+    (fun (ts, wake) ->
+      Vc.join ts.vc bvc;
+      Vc.tick ts.vc ts.gid;
+      wake ~at)
+    blocked;
+  ignore sess
+
+let note_divergence sess team =
+  if not team.diverged then begin
+    team.diverged <- true;
+    sess.findings <-
+      Report.divergence
+        ~detail:
+          (Printf.sprintf
+             "%d of %d team members left the parallel region while the \
+              rest wait at a barrier (unmatched barrier counts)"
+             team.done_members team.size)
+      :: sess.findings
+  end
+
+let barrier sess ts =
+  match ts.frames with
+  | [] -> Vc.tick ts.vc ts.gid
+  | { team; _ } :: _ ->
+      if team.size <= 1 then Vc.tick ts.vc ts.gid
+      else begin
+        Vc.join team.bar_vc ts.vc;
+        let now = Des.now sess.des in
+        if now > team.bar_max then team.bar_max <- now;
+        let arrived = List.length team.bar_blocked + 1 in
+        if arrived + team.done_members >= team.size then begin
+          if team.done_members > 0 then note_divergence sess team;
+          (* self: adopt the rendezvous clock before the state resets *)
+          Vc.join ts.vc team.bar_vc;
+          Vc.tick ts.vc ts.gid;
+          release_barrier sess team
+        end
+        else
+          Des.suspend sess.des (fun wake ->
+              team.bar_blocked <- (ts, wake) :: team.bar_blocked)
+      end
+
+(* A member returning from the region body can strand teammates at a
+   barrier that now can never fill: report the divergence and release
+   them rather than deadlocking the whole check. *)
+let member_done sess (fr : frame) =
+  let team = fr.team in
+  team.done_members <- team.done_members + 1;
+  if team.bar_blocked <> []
+     && List.length team.bar_blocked + team.done_members >= team.size
+  then begin
+    note_divergence sess team;
+    release_barrier sess team
+  end
+
+(* --------------------------- fork/join ---------------------------- *)
+
+let fork sess parent ~call ~f ~fp ~sh ~red ~nth =
+  Vc.tick parent.vc parent.gid;
+  let team =
+    { size = nth; bar_vc = Vc.create (); bar_blocked = []; bar_max = 0.;
+      done_members = 0; diverged = false;
+      dispatchers = Hashtbl.create 8; single_claims = Hashtbl.create 8 }
+  in
+  let remaining = ref (nth - 1) in
+  let parent_wake : Des.wake option ref = ref None in
+  let child_finals : Vc.t list ref = ref [] in
+  for tid = 1 to nth - 1 do
+    let cvc = Vc.copy parent.vc in
+    Des.spawn sess.des (fun () ->
+        let vt = Des.self sess.des in
+        let child = { gid = vt.Des.id; vc = cvc; frames = [] } in
+        Vc.tick child.vc child.gid;
+        Hashtbl.replace sess.threads child.gid child;
+        let fr = { team; tid; single_seen = 0; loop_epoch = 0 } in
+        child.frames <- fr :: child.frames;
+        ignore (call f [ fp; sh; red ]);
+        child.frames <- List.tl child.frames;
+        member_done sess fr;
+        child_finals := child.vc :: !child_finals;
+        decr remaining;
+        if !remaining = 0 then
+          match !parent_wake with
+          | Some wake -> wake ~at:vt.Des.clock
+          | None -> ())
+  done;
+  (* the encountering thread is thread 0 of the team, run in place so
+     threadprivate state persists across regions as OpenMP requires *)
+  let fr0 = { team; tid = 0; single_seen = 0; loop_epoch = 0 } in
+  parent.frames <- fr0 :: parent.frames;
+  ignore (call f [ fp; sh; red ]);
+  parent.frames <- List.tl parent.frames;
+  member_done sess fr0;
+  if !remaining > 0 then
+    Des.suspend sess.des (fun wake -> parent_wake := Some wake);
+  (* join: the parent happens-after every child's last event *)
+  List.iter (fun cvc -> Vc.join parent.vc cvc) !child_finals;
+  Vc.tick parent.vc parent.gid
+
+(* --------------------------- locks -------------------------------- *)
+
+let lock_of sess name =
+  match Hashtbl.find_opt sess.locks name with
+  | Some lv -> lv
+  | None ->
+      let lv = (Des.Smutex.create sess.des, Vc.create ()) in
+      Hashtbl.add sess.locks name lv;
+      lv
+
+let acquire sess ts (m, lvc) =
+  pause sess ts;
+  Des.Smutex.lock m;
+  Vc.join ts.vc lvc
+
+let release _sess ts (m, lvc) =
+  Vc.join lvc ts.vc;
+  Vc.tick ts.vc ts.gid;
+  Des.Smutex.unlock m
+
+(* Atomic reduction cells synchronise like a per-cell lock: loads
+   acquire, combines acquire and release. *)
+let af_vc sess a =
+  match List.find_opt (fun (x, _) -> x == a) sess.af with
+  | Some (_, v) -> v
+  | None ->
+      let v = Vc.create () in
+      sess.af <- (a, v) :: sess.af;
+      v
+
+let ai_vc sess a =
+  match List.find_opt (fun (x, _) -> x == a) sess.ai with
+  | Some (_, v) -> v
+  | None ->
+      let v = Vc.create () in
+      sess.ai <- (a, v) :: sess.ai;
+      v
+
+let atomic_sync _sess ts cvc ~combine =
+  Vc.join ts.vc cvc;
+  if combine then begin
+    Vc.join cvc ts.vc;
+    Vc.tick ts.vc ts.gid
+  end
+
+(* ------------------------ builtin interception -------------------- *)
+
+let is_combine fname =
+  String.length fname > 21
+  && String.sub fname 0 21 = "__omp_atomic_combine_"
+
+let inclusive_hi ~step ~incl ub = if incl = 1 then
+    (if step > 0 then ub + 1 else ub - 1)
+  else ub
+
+let on_builtin sess ~call fname args : V.t option =
+  match cur_tstate sess with
+  | None -> None
+  | Some ts ->
+      let it = V.to_int in
+      (match fname, args with
+       | "__kmpc_fork_call", [ V.VFun f; fp; sh; red; nt ] ->
+           let nth = match it nt with 0 -> sess.req_threads | n -> n in
+           fork sess ts ~call ~f ~fp ~sh ~red ~nth:(max 1 nth);
+           Some V.VUnit
+       | "__kmpc_barrier", [] ->
+           barrier sess ts;
+           Some V.VUnit
+       | "__kmpc_for_static_init", [ lb; ub; step; incl ] ->
+           let lo = it lb and step = it step in
+           let hi = inclusive_hi ~step ~incl:(it incl) (it ub) in
+           let nth, tid, _ = ctx ts in
+           let trips = Omprt.Ws.trip_count ~lo ~hi ~step () in
+           (match Omprt.Ws.static_block ~tid ~nthreads:nth ~trips with
+            | Some (b, e) ->
+                Some
+                  (V.VStruct
+                     [ ("has", V.VBool true);
+                       ("lower", V.VInt (lo + (b * step)));
+                       ("upper", V.VInt (lo + ((e - 1) * step))) ])
+            | None ->
+                Some
+                  (V.VStruct
+                     [ ("has", V.VBool false); ("lower", V.VInt 0);
+                       ("upper", V.VInt 0) ]))
+       | "__kmpc_for_static_fini", [] -> Some V.VUnit
+       | "__kmpc_static_chunked_init", [ lb; ub; step; chunk; incl ] ->
+           let lo = it lb and step = it step and chunk = max 1 (it chunk) in
+           let hi = inclusive_hi ~step ~incl:(it incl) (it ub) in
+           let nth, tid, _ = ctx ts in
+           let trips = Omprt.Ws.trip_count ~lo ~hi ~step () in
+           let chunks =
+             List.map
+               (fun (b, e) -> (lo + (b * step), lo + ((e - 1) * step)))
+               (Omprt.Ws.static_chunks ~tid ~nthreads:nth ~trips ~chunk)
+           in
+           Some (V.VDispatch (V.Chunked (ref chunks)))
+       | ( ("__kmpc_dispatch_init_dynamic" | "__kmpc_dispatch_init_guided"
+           | "__kmpc_dispatch_init_runtime"),
+           [ lb; ub; step; chunk; incl ] ) ->
+           let lo = it lb and step = it step and chunk = max 1 (it chunk) in
+           let hi = inclusive_hi ~step ~incl:(it incl) (it ub) in
+           let sched =
+             match fname with
+             | "__kmpc_dispatch_init_dynamic" -> Omp_model.Sched.Dynamic chunk
+             | "__kmpc_dispatch_init_guided" -> Omp_model.Sched.Guided chunk
+             | _ -> Omp_model.Sched.Runtime
+           in
+           let nth, _, fro = ctx ts in
+           let trips = Omprt.Ws.trip_count ~lo ~hi ~step () in
+           let d =
+             match fro with
+             | None ->
+                 let kind, chunk = Omprt.Kmpc.dispatch_kind trips 1 sched in
+                 Omprt.Ws.Dispatch.create ~kind ~trips ~chunk ~nthreads:1
+             | Some fr ->
+                 let epoch = fr.loop_epoch in
+                 fr.loop_epoch <- epoch + 1;
+                 (match Hashtbl.find_opt fr.team.dispatchers epoch with
+                  | Some d -> d
+                  | None ->
+                      let kind, chunk =
+                        Omprt.Kmpc.dispatch_kind trips nth sched
+                      in
+                      let d =
+                        Omprt.Ws.Dispatch.create ~kind ~trips ~chunk
+                          ~nthreads:nth
+                      in
+                      Hashtbl.add fr.team.dispatchers epoch d;
+                      d)
+           in
+           Some
+             (V.VDispatch
+                (V.Shared
+                   { Omprt.Kmpc.d; lo; step; home = None; drained = false }))
+       | "__kmpc_dispatch_next", [ V.VDispatch _ ] ->
+           (* perturb the claim order, then use the shared engine *)
+           pause sess ts;
+           None
+       | "__kmpc_critical", [ V.VStr name ] ->
+           acquire sess ts (lock_of sess name);
+           Some V.VUnit
+       | "__kmpc_end_critical", [ V.VStr name ] ->
+           release sess ts (lock_of sess name);
+           Some V.VUnit
+       | "__kmpc_atomic_begin", [] ->
+           acquire sess ts sess.atomic_lock;
+           Some V.VUnit
+       | "__kmpc_atomic_end", [] ->
+           release sess ts sess.atomic_lock;
+           Some V.VUnit
+       | "__kmpc_single", [] ->
+           (match ts.frames with
+            | [] -> Some (V.VBool true)
+            | fr :: _ ->
+                let e = fr.single_seen in
+                fr.single_seen <- e + 1;
+                if Hashtbl.mem fr.team.single_claims e then
+                  Some (V.VBool false)
+                else begin
+                  Hashtbl.add fr.team.single_claims e ();
+                  Some (V.VBool true)
+                end)
+       | "__kmpc_end_single", [] -> Some V.VUnit
+       | "__omp_get_thread_num", [] ->
+           let _, tid, _ = ctx ts in
+           Some (V.VInt tid)
+       | "__omp_atomic_load", [ V.VAtomicF a ] ->
+           atomic_sync sess ts (af_vc sess a) ~combine:false;
+           None
+       | "__omp_atomic_load", [ V.VAtomicI a ] ->
+           atomic_sync sess ts (ai_vc sess a) ~combine:false;
+           None
+       | _, (V.VAtomicF a :: _) when is_combine fname ->
+           pause sess ts;
+           atomic_sync sess ts (af_vc sess a) ~combine:true;
+           None
+       | _, (V.VAtomicI a :: _) when is_combine fname ->
+           pause sess ts;
+           atomic_sync sess ts (ai_vc sess a) ~combine:true;
+           None
+       | "print", [ v ] ->
+           Buffer.add_string sess.output (V.to_string v);
+           Buffer.add_char sess.output '\n';
+           Some V.VUnit
+       | _ -> None)
+
+let on_omp sess meth args : V.t option =
+  match cur_tstate sess with
+  | None -> None
+  | Some ts ->
+      let nth, tid, _ = ctx ts in
+      (match meth, args with
+       | "get_thread_num", [] -> Some (V.VInt tid)
+       | "get_num_threads", [] -> Some (V.VInt nth)
+       | "get_max_threads", [] -> Some (V.VInt sess.req_threads)
+       | "set_num_threads", [ v ] ->
+           sess.req_threads <- max 1 (V.to_int v);
+           Some V.VUnit
+       | "get_num_procs", [] -> Some (V.VInt sess.nthreads)
+       | "in_parallel", [] -> Some (V.VBool (ts.frames <> []))
+       | "get_level", [] -> Some (V.VInt (List.length ts.frames))
+       | "get_wtime", [] -> Some (V.VFloat (Des.now sess.des *. 1e-9))
+       | "get_wtick", [] -> Some (V.VFloat 1e-9)
+       | _ -> None)
+
+(* --------------------------- driving ------------------------------ *)
+
+(** Run one schedule: load the program with the hooks uninstalled (so
+    global initialisation is untraced), install tracer + interceptor +
+    virtual-thread TLS keying, execute [run prog] on virtual thread 0,
+    and collect findings.  Hook installation is globally exclusive —
+    the checker is single-domain by construction. *)
+let run_schedule ~name ~(load : unit -> Interp.program)
+    ~(run : Interp.program -> unit) ~mode ~nthreads () :
+    Report.finding list * string =
+  let prog = load () in
+  let des = Des.create () in
+  let src = Zr.Source.of_string ~name prog.Interp.preprocessed in
+  let sess =
+    { des; nthreads; req_threads = nthreads; mode;
+      rng =
+        (match mode with
+         | Seeded s -> Some (Random.State.make [| s; 0x5eed |])
+         | _ -> None);
+      race = Race.create ~src;
+      findings = []; threads = Hashtbl.create 16;
+      locks = Hashtbl.create 8;
+      atomic_lock = (Des.Smutex.create des, Vc.create ());
+      af = []; ai = []; output = Buffer.create 256 }
+  in
+  Rt.tracer := Some { Rt.trace = on_trace sess };
+  B.interceptor :=
+    Some { B.on_builtin = on_builtin sess; on_omp = on_omp sess };
+  Rt.tls_key :=
+    (fun () ->
+      match sess.des.Des.current with
+      | Some vt -> vt.Des.id
+      | None -> 0);
+  Fun.protect
+    ~finally:(fun () ->
+      Rt.tracer := None;
+      B.interceptor := None;
+      Rt.pending_op := None;
+      Rt.tls_key := (fun () -> (Domain.self () :> int)))
+    (fun () ->
+      Des.spawn des (fun () ->
+          let vt = Des.self des in
+          let ts = { gid = vt.Des.id; vc = Vc.create (); frames = [] } in
+          Vc.tick ts.vc ts.gid;
+          Hashtbl.replace sess.threads ts.gid ts;
+          run prog);
+      (try ignore (Des.run des) with
+       | Des.Deadlock msg ->
+           sess.findings <-
+             Report.error ~detail:(mode_name mode ^ ": " ^ msg)
+             :: sess.findings
+       | V.Runtime_error msg ->
+           sess.findings <-
+             Report.error ~detail:(mode_name mode ^ ": " ^ msg)
+             :: sess.findings
+       | Zr.Source.Error msg ->
+           sess.findings <-
+             Report.error ~detail:(mode_name mode ^ ": " ^ msg)
+             :: sess.findings));
+  (Race.findings sess.race @ sess.findings, Buffer.contents sess.output)

@@ -1,0 +1,37 @@
+(** Vector clocks for the happens-before race detector.
+
+    One clock entry per checker-global thread id (the virtual-thread id
+    from {!Sim.Des}, so ids are dense but unbounded across a schedule —
+    the array grows on demand and absent entries read as 0, exactly the
+    FastTrack convention for "never synchronised with"). *)
+
+type t = { mutable c : int array }
+
+let create ?(hint = 8) () = { c = Array.make (max 1 hint) 0 }
+
+let get v i = if i < Array.length v.c then v.c.(i) else 0
+
+let ensure v n =
+  if n > Array.length v.c then begin
+    let c' = Array.make (max n (2 * Array.length v.c)) 0 in
+    Array.blit v.c 0 c' 0 (Array.length v.c);
+    v.c <- c'
+  end
+
+let set v i x =
+  ensure v (i + 1);
+  v.c.(i) <- x
+
+let tick v i = set v i (get v i + 1)
+
+(** [join dst src] — pointwise maximum, into [dst]. *)
+let join dst src =
+  ensure dst (Array.length src.c);
+  Array.iteri (fun i x -> if x > dst.c.(i) then dst.c.(i) <- x) src.c
+
+let copy v = { c = Array.copy v.c }
+
+(** [covers v ~tid ~clk] — does [v] happen-after the event stamped
+    [(tid, clk)]?  The core FastTrack test: an epoch is ordered before
+    everything whose clock for its thread has reached it. *)
+let covers v ~tid ~clk = clk <= get v tid

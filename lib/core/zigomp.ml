@@ -140,3 +140,14 @@ let unregister_host = Interp.unregister_host
 let set_num_threads = Omprt.Api.set_num_threads
 
 let get_max_threads = Omprt.Api.get_max_threads
+
+(** The race detector and schedule-exploration checker ([zrc --check]):
+    findings, configuration, and the lower-level passes. *)
+module Checker = Check
+
+(** [check ?name ?config source] — run the full checker over a Zr
+    program: execution-free lints, then the dynamic vector-clock race
+    detector across the configured schedule set.  Deterministic for a
+    fixed configuration; see {!Checker} for the report structure. *)
+let check ?name ?config source : Check.Report.t =
+  Check.check_source ?name ?config source

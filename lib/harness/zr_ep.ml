@@ -1,0 +1,115 @@
+(** NPB EP with the batch loop in Zr.
+
+    The same host/accelerated split as {!Zr_cg}: the random-number
+    batch kernel stays in OCaml ({!Npb.Ep.process_batch}, registered as
+    the host function [ep_batch]), while the OpenMP structure — the
+    parallel region, the [nowait] worksharing loop over batches, and
+    the named critical section that merges per-thread partials — is
+    pragma-annotated Zr executing through the interpreter pipeline.
+
+    Verification uses the official NPB sums ([sx_verify]/[sy_verify]
+    from {!Npb.Classes.Ep}), so a class-W run through either backend
+    must land within [sum_epsilon] of the reference values. *)
+
+module V = Interp.Value
+
+(* The merge buffer layout: part.(0) = sx, part.(1) = sy,
+   part.(2..11) = q.(0..9). *)
+let part_len = 2 + Npb.Ep.nq
+
+let src = {|
+fn ep_main(nn: i64, xlen: i64, sums: []f64, q: []f64) f64 {
+    //$omp parallel shared(sums, q) firstprivate(nn, xlen)
+    {
+        var x = alloc_f64(xlen);
+        var part = alloc_f64(12);
+        var k: i64 = 0;
+        //$omp for nowait
+        while (k < nn) : (k += 1) {
+            ep_batch(k, x, part);
+        }
+        //$omp critical(ep_merge)
+        {
+            sums[0] += part[0];
+            sums[1] += part[1];
+            var l: i64 = 0;
+            while (l < 10) : (l += 1) {
+                q[l] += part[2 + l];
+            }
+        }
+    }
+    return sums[0];
+}
+|}
+
+(* Host side of the split: process one batch into the thread's private
+   accumulation buffer. *)
+let ep_batch = function
+  | [ V.VInt k; V.VFloatArr x; V.VFloatArr part ] ->
+      let mine = Npb.Ep.fresh_partial () in
+      Npb.Ep.process_batch x mine k;
+      part.(0) <- part.(0) +. mine.Npb.Ep.sx;
+      part.(1) <- part.(1) +. mine.Npb.Ep.sy;
+      for l = 0 to Npb.Ep.nq - 1 do
+        part.(2 + l) <- part.(2 + l) +. mine.Npb.Ep.q.(l)
+      done;
+      V.VUnit
+  | _ -> failwith "ep_batch: expected (k: i64, x: []f64, part: []f64)"
+
+let with_hosts f =
+  Interp.register_host "ep_batch" ep_batch;
+  Fun.protect
+    ~finally:(fun () -> Interp.unregister_host "ep_batch")
+    f
+
+type backend = [ `Compiled | `Ast ]
+
+let load (backend : backend) : V.t list -> V.t =
+  let prog = Interp.load ~name:"ep_main.zr" src in
+  match backend with
+  | `Compiled ->
+      let cc = Interp.Compile.compile prog in
+      fun args -> Interp.Compile.call cc "ep_main" args
+  | `Ast -> fun args -> Interp.call prog "ep_main" args
+
+(** Number of batches for a class. *)
+let batches (p : Npb.Classes.Ep.t) =
+  1 lsl (p.Npb.Classes.Ep.m - Npb.Ep.batch_log2)
+
+let args ~nn sums q =
+  [ V.VInt nn; V.VInt (2 * Npb.Ep.nk); V.VFloatArr sums; V.VFloatArr q ]
+
+let verify (p : Npb.Classes.Ep.t) sums =
+  let rel err v = Float.abs (err /. v) in
+  let sx = sums.(0) and sy = sums.(1) in
+  if rel (sx -. p.Npb.Classes.Ep.sx_verify) p.Npb.Classes.Ep.sx_verify
+     <= Npb.Ep.sum_epsilon
+     && rel (sy -. p.Npb.Classes.Ep.sy_verify) p.Npb.Classes.Ep.sy_verify
+        <= Npb.Ep.sum_epsilon
+  then Npb.Result.Verified
+  else
+    Npb.Result.Failed
+      (Printf.sprintf "sx = %.15e (want %.15e), sy = %.15e (want %.15e)" sx
+         p.Npb.Classes.Ep.sx_verify sy p.Npb.Classes.Ep.sy_verify)
+
+(** Run the verified NPB EP benchmark with the batch loop in Zr. *)
+let run ?(backend : backend = `Compiled) ~cls ~nthreads () : Npb.Result.t =
+  Omprt.Api.set_num_threads nthreads;
+  let p = Npb.Classes.Ep.params cls in
+  let nn = batches p in
+  with_hosts (fun () ->
+      let call = load backend in
+      let sums = Array.make 2 0. in
+      let q = Array.make Npb.Ep.nq 0. in
+      let t0 = Unix.gettimeofday () in
+      ignore (call (args ~nn sums q));
+      let time = Unix.gettimeofday () -. t0 in
+      let gc = Array.fold_left ( +. ) 0. q in
+      { Npb.Result.kernel =
+          (match backend with
+           | `Compiled -> "EP[zr/compiled]"
+           | `Ast -> "EP[zr/ast]");
+        cls; nthreads; time;
+        mops = (2. ** float_of_int p.Npb.Classes.Ep.m) /. time /. 1e6;
+        verification = verify p sums;
+        detail = [ ("sx", sums.(0)); ("sy", sums.(1)); ("gc", gc) ] })

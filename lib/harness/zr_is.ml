@@ -1,0 +1,253 @@
+(** NPB IS with the ranking skeleton in Zr.
+
+    The bucketised OpenMP ranking of {!Npb.Is} restructured the same
+    way as {!Zr_cg}/{!Zr_ep}: the per-phase inner loops (histogram,
+    cursor computation, distribution, per-bucket ranking) stay in OCaml
+    as registered host functions, while the synchronisation skeleton
+    the paper's port gets wrong most easily — the [single] probes, the
+    explicit barriers between manually-partitioned phases, and the
+    [schedule(dynamic, 1)] bucket loop — is pragma-annotated Zr.
+
+    The per-thread bucket tables are flattened to [t * nb + b] index
+    arithmetic because Zr slices are one-dimensional.  Phases 1 and 3
+    must use the same static partition (each thread's phase-2 cursors
+    cover exactly its own keys); both host functions derive it from
+    {!Omprt.Ws.static_block}.
+
+    Verification reuses {!Npb.Is.full_verify} on the resulting ranks,
+    i.e. the official NPB criterion: the rebuilt sequence must be
+    sorted and a permutation of the keys. *)
+
+module V = Interp.Value
+
+let src = {|
+fn is_rank(itlo: i64, ithi: i64, nkeys: i64, nb: i64, shift: i64,
+           maxit: i64, maxkey: i64, keys: []i64, kb1: []i64, kb2: []i64,
+           bc: []i64, bp: []i64, bstart: []i64) i64 {
+    //$omp parallel shared(keys, kb1, kb2, bc, bp, bstart) firstprivate(itlo, ithi, nkeys, nb, shift, maxit, maxkey)
+    {
+        var tid: i64 = 0;
+        var nt: i64 = 0;
+        tid = omp.get_thread_num();
+        nt = omp.get_num_threads();
+        var it: i64 = itlo;
+        while (it <= ithi) : (it += 1) {
+            //$omp single
+            {
+                keys[it] = it;
+                keys[it + maxit] = maxkey - it;
+            }
+            is_count(tid, nt, nkeys, nb, shift, keys, bc);
+            //$omp barrier
+            is_cursors(tid, nt, nb, bc, bp);
+            //$omp barrier
+            is_distribute(tid, nt, nkeys, nb, shift, keys, kb2, bp);
+            //$omp single
+            {
+                is_bucket_start(nt, nb, bc, bstart);
+            }
+            var b: i64 = 0;
+            //$omp for schedule(dynamic, 1)
+            while (b < nb) : (b += 1) {
+                is_bucket_rank(b, shift, kb1, kb2, bstart);
+            }
+        }
+    }
+    return kb1[maxkey - 1];
+}
+|}
+
+(* ---- host side ---------------------------------------------------- *)
+
+let ii = function V.VInt n -> n | v -> failwith ("expected int, got " ^ V.to_string v)
+let ia = function V.VIntArr a -> a | v -> failwith ("expected []i64, got " ^ V.to_string v)
+
+(* The static partition shared by phases 1 and 3. *)
+let slice ~tid ~nt ~n =
+  match Omprt.Ws.static_block ~tid ~nthreads:nt ~trips:n with
+  | Some (lo, hi) -> (lo, hi)  (* half-open [lo, hi) *)
+  | None -> (0, 0)
+
+(* Phase 1: zero the thread's bucket-count row, histogram its slice. *)
+let is_count = function
+  | [ tid; nt; nkeys; nb; shift; keys; bc ] ->
+      let tid = ii tid and nt = ii nt and nkeys = ii nkeys in
+      let nb = ii nb and shift = ii shift in
+      let keys = ia keys and bc = ia bc in
+      Array.fill bc (tid * nb) nb 0;
+      let lo, hi = slice ~tid ~nt ~n:nkeys in
+      for i = lo to hi - 1 do
+        let b = keys.(i) lsr shift in
+        bc.((tid * nb) + b) <- bc.((tid * nb) + b) + 1
+      done;
+      V.VUnit
+  | _ -> failwith "is_count: bad args"
+
+(* Phase 2: the thread's write cursors — after every earlier bucket
+   entirely, and after bucket b's share of earlier threads. *)
+let is_cursors = function
+  | [ tid; nt; nb; bc; bp ] ->
+      let tid = ii tid and nt = ii nt and nb = ii nb in
+      let bc = ia bc and bp = ia bp in
+      let run = ref 0 in
+      for b = 0 to nb - 1 do
+        let before_me = ref !run in
+        for t = 0 to nt - 1 do
+          if t < tid then before_me := !before_me + bc.((t * nb) + b);
+          run := !run + bc.((t * nb) + b)
+        done;
+        bp.((tid * nb) + b) <- !before_me
+      done;
+      V.VUnit
+  | _ -> failwith "is_cursors: bad args"
+
+(* Phase 3: distribute the thread's slice into bucket-grouped order. *)
+let is_distribute = function
+  | [ tid; nt; nkeys; nb; shift; keys; kb2; bp ] ->
+      let tid = ii tid and nt = ii nt and nkeys = ii nkeys in
+      let nb = ii nb and shift = ii shift in
+      let keys = ia keys and kb2 = ia kb2 and bp = ia bp in
+      let lo, hi = slice ~tid ~nt ~n:nkeys in
+      for i = lo to hi - 1 do
+        let k = keys.(i) in
+        let b = k lsr shift in
+        kb2.(bp.((tid * nb) + b)) <- k;
+        bp.((tid * nb) + b) <- bp.((tid * nb) + b) + 1
+      done;
+      V.VUnit
+  | _ -> failwith "is_distribute: bad args"
+
+(* Global bucket offsets (one thread, under single). *)
+let is_bucket_start = function
+  | [ nt; nb; bc; bstart ] ->
+      let nt = ii nt and nb = ii nb in
+      let bc = ia bc and bstart = ia bstart in
+      let run = ref 0 in
+      for b = 0 to nb - 1 do
+        bstart.(b) <- !run;
+        for t = 0 to nt - 1 do
+          run := !run + bc.((t * nb) + b)
+        done
+      done;
+      bstart.(nb) <- !run;
+      V.VUnit
+  | _ -> failwith "is_bucket_start: bad args"
+
+(* Phase 4: rank one bucket — count within its key subrange, then
+   prefix-sum so kb1.(k) = number of keys <= k overall. *)
+let is_bucket_rank = function
+  | [ b; shift; kb1; kb2; bstart ] ->
+      let b = ii b and shift = ii shift in
+      let kb1 = ia kb1 and kb2 = ia kb2 and bstart = ia bstart in
+      let kmin = b lsl shift in
+      let kmax = (b + 1) lsl shift in
+      for k = kmin to kmax - 1 do
+        kb1.(k) <- 0
+      done;
+      for i = bstart.(b) to bstart.(b + 1) - 1 do
+        let k = kb2.(i) in
+        kb1.(k) <- kb1.(k) + 1
+      done;
+      let run = ref bstart.(b) in
+      for k = kmin to kmax - 1 do
+        run := !run + kb1.(k);
+        kb1.(k) <- !run
+      done;
+      V.VUnit
+  | _ -> failwith "is_bucket_rank: bad args"
+
+let hosts =
+  [ ("is_count", is_count); ("is_cursors", is_cursors);
+    ("is_distribute", is_distribute); ("is_bucket_start", is_bucket_start);
+    ("is_bucket_rank", is_bucket_rank) ]
+
+let with_hosts f =
+  List.iter (fun (n, h) -> Interp.register_host n h) hosts;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun (n, _) -> Interp.unregister_host n) hosts)
+    f
+
+(* ---- driver ------------------------------------------------------- *)
+
+type backend = [ `Compiled | `Ast ]
+
+let load (backend : backend) : V.t list -> V.t =
+  let prog = Interp.load ~name:"is_rank.zr" src in
+  match backend with
+  | `Compiled ->
+      let cc = Interp.Compile.compile prog in
+      fun args -> Interp.Compile.call cc "is_rank" args
+  | `Ast -> fun args -> Interp.call prog "is_rank" args
+
+(** The shared arrays for one IS run of problem [p] on [nthreads]. *)
+type data = {
+  p : Npb.Classes.Is.t;
+  keys : int array;
+  kb1 : int array;
+  kb2 : int array;
+  bc : int array;      (* flattened nthreads x nb bucket counts *)
+  bp : int array;      (* flattened nthreads x nb write cursors *)
+  bstart : int array;  (* nb + 1 global bucket offsets *)
+}
+
+let make_data (p : Npb.Classes.Is.t) ~nthreads =
+  let nkeys = Npb.Classes.Is.num_keys p in
+  let nb = Npb.Classes.Is.num_buckets p in
+  { p;
+    keys = Npb.Is.create_seq p;
+    kb1 = Array.make (Npb.Classes.Is.max_key p) 0;
+    kb2 = Array.make nkeys 0;
+    bc = Array.make (nthreads * nb) 0;
+    bp = Array.make (nthreads * nb) 0;
+    bstart = Array.make (nb + 1) 0 }
+
+let rank_args d ~itlo ~ithi =
+  let p = d.p in
+  [ V.VInt itlo; V.VInt ithi;
+    V.VInt (Npb.Classes.Is.num_keys p);
+    V.VInt (Npb.Classes.Is.num_buckets p);
+    V.VInt (p.Npb.Classes.Is.max_key_log2 - p.Npb.Classes.Is.num_buckets_log2);
+    V.VInt p.Npb.Classes.Is.max_iterations;
+    V.VInt (Npb.Classes.Is.max_key p);
+    V.VIntArr d.keys; V.VIntArr d.kb1; V.VIntArr d.kb2;
+    V.VIntArr d.bc; V.VIntArr d.bp; V.VIntArr d.bstart ]
+
+(** Official NPB verification on the run's results: the sequence
+    rebuilt from the ranks must be sorted and a permutation. *)
+let verify d : bool =
+  Npb.Is.full_verify
+    { Npb.Is.p = d.p; keys = d.keys; key_buff1 = d.kb1; key_buff2 = d.kb2;
+      bucket_count = [| [| 0 |] |]; bucket_ptrs = [| [| 0 |] |];
+      bucket_start = d.bstart;
+      cm = { Npb.Is.factor = 1.0; avg_bucket = 1.0 } }
+
+(** Run the verified NPB IS benchmark with the ranking skeleton in Zr:
+    untimed warm-up iteration, then the timed iteration sequence, as
+    the reference performs. *)
+let run ?(backend : backend = `Compiled) ~cls ~nthreads () : Npb.Result.t =
+  Omprt.Api.set_num_threads nthreads;
+  let p = Npb.Classes.Is.params cls in
+  with_hosts (fun () ->
+      let call = load backend in
+      let d = make_data p ~nthreads in
+      ignore (call (rank_args d ~itlo:1 ~ithi:1));
+      let t0 = Unix.gettimeofday () in
+      ignore
+        (call (rank_args d ~itlo:1 ~ithi:p.Npb.Classes.Is.max_iterations));
+      let time = Unix.gettimeofday () -. t0 in
+      let nkeys = float_of_int (Npb.Classes.Is.num_keys p) in
+      { Npb.Result.kernel =
+          (match backend with
+           | `Compiled -> "IS[zr/compiled]"
+           | `Ast -> "IS[zr/ast]");
+        cls; nthreads; time;
+        mops =
+          float_of_int p.Npb.Classes.Is.max_iterations *. nkeys /. time
+          /. 1e6;
+        verification =
+          (if verify d then Npb.Result.Verified
+           else
+             Npb.Result.Failed
+               "full_verify: sequence not sorted or not a permutation");
+        detail = [] })

@@ -27,10 +27,30 @@ let register_host name f = Hashtbl.replace host_fns name f
 let unregister_host name = Hashtbl.remove host_fns name
 
 (* ------------------------------------------------------------------ *)
+(* Checker interception.
+
+   The race checker ({!Check}) replaces the runtime behind the
+   [.omp.internal] surface with a cooperative, vector-clocked one: it
+   installs an interceptor that claims the synchronisation-bearing
+   builtins (fork/join, barriers, worksharing, critical, single,
+   atomics) and lets everything else — pure helpers, host functions —
+   fall through to the shared implementation below by returning [None].
+   With no interceptor installed (the production backends) the cost is
+   one ref read per builtin call. *)
+
+type interceptor = {
+  on_builtin :
+    call:(string -> V.t list -> V.t) -> string -> V.t list -> V.t option;
+  on_omp : string -> V.t list -> V.t option;
+}
+
+let interceptor : interceptor option ref = ref None
+
+(* ------------------------------------------------------------------ *)
 (* The omp.* namespace (paper section III-C: the standard API with the
    omp_ prefix stripped).                                              *)
 
-let omp_namespace meth args : V.t =
+let omp_namespace_default meth args : V.t =
   match meth, args with
   | "get_thread_num", [] -> V.VInt (Omprt.Api.get_thread_num ())
   | "get_num_threads", [] -> V.VInt (Omprt.Api.get_num_threads ())
@@ -45,6 +65,14 @@ let omp_namespace meth args : V.t =
   | "get_wtick", [] -> V.VFloat (Omprt.Api.get_wtick ())
   | _ -> err "unknown omp.%s/%d" meth (List.length args)
 
+let omp_namespace meth args : V.t =
+  match !interceptor with
+  | Some i ->
+      (match i.on_omp meth args with
+       | Some v -> v
+       | None -> omp_namespace_default meth args)
+  | None -> omp_namespace_default meth args
+
 (* ------------------------------------------------------------------ *)
 (* Builtins: the .omp.internal surface targeted by generated code, plus
    a few host utilities for writing programs.  [call] invokes a
@@ -52,7 +80,7 @@ let omp_namespace meth args : V.t =
    (tree-walked or compiled) implementation, which is how
    [__kmpc_fork_call] runs outlined functions on the right engine.     *)
 
-let dispatch ~(call : string -> V.t list -> V.t) fname args : V.t =
+let dispatch_default ~(call : string -> V.t list -> V.t) fname args : V.t =
   let fl = V.to_float and it = V.to_int in
   match fname, args with
   (* --- fork/join --- *)
@@ -197,3 +225,11 @@ let dispatch ~(call : string -> V.t list -> V.t) fname args : V.t =
        | None ->
            err "unknown function or builtin '%s'/%d" fname
              (List.length args))
+
+let dispatch ~(call : string -> V.t list -> V.t) fname args : V.t =
+  match !interceptor with
+  | Some i ->
+      (match i.on_builtin ~call fname args with
+       | Some v -> v
+       | None -> dispatch_default ~call fname args)
+  | None -> dispatch_default ~call fname args

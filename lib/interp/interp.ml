@@ -19,9 +19,13 @@
 open Zr
 
 (* Re-export the value and compiler modules: [interp.ml] is the
-   library's root module, so they are otherwise hidden from clients. *)
+   library's root module, so they are otherwise hidden from clients.
+   [Rt] and [Builtins] are exposed for the checker ({!Check}), which
+   installs its tracing and interception hooks there. *)
 module Value = Value
 module Compile = Compile
+module Rt = Rt
+module Builtins = Builtins
 
 exception Return_exc = Rt.Return_exc
 exception Break_exc = Rt.Break_exc
@@ -85,6 +89,43 @@ let ptr_read = Rt.ptr_read
 let ptr_write = Rt.ptr_write
 
 (* ------------------------------------------------------------------ *)
+(* Checker instrumentation.
+
+   Only shared-reachable locations are reported: elements of arrays,
+   cells reached through pointers (the [__ptr] captures the outliner
+   synthesises), and plain global cells.  Ordinary locals are created
+   fresh per activation record and can only be shared via [&], which
+   routes accesses through [Deref] — so skipping them loses nothing
+   and keeps the per-location registries small. *)
+
+(** Best-effort variable name for an access site. *)
+let rec access_hint ast node =
+  let n = Ast.node ast node in
+  match n.Ast.tag with
+  | Ast.Ident -> Ast.token_text ast n.main_token
+  | Ast.Index | Ast.Deref | Ast.Field -> access_hint ast n.lhs
+  | _ -> ""
+
+let trace_access env ~rw node (acc : Rt.access) =
+  match !Rt.tracer with
+  | None -> ()
+  | Some t ->
+      let ast = env.prog.ast in
+      let off = (Ast.token ast (Ast.node ast node).Ast.main_token).Token.start in
+      t.Rt.trace ~rw acc ~off ~hint:(access_hint ast node)
+
+let access_of_ptr = function
+  | Value.PVar r -> Some (Rt.Acell r)
+  | Value.PElemF (a, i) -> Some (Rt.Afelem (a, i))
+  | Value.PElemI (a, i) -> Some (Rt.Aielem (a, i))
+  | Value.PSlot _ -> None  (* compiled frames never reach the walker *)
+
+let trace_ptr env ~rw node p =
+  match access_of_ptr p with
+  | Some acc -> trace_access env ~rw node acc
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Evaluation.                                                         *)
 
 let rec eval env node : Value.t =
@@ -103,11 +144,17 @@ let rec eval env node : Value.t =
   | Ast.Undefined_lit -> VUndef
   | Ast.Ident ->
       let name = Ast.token_text ast n.main_token in
-      (match find_cell env name with
+      (match lookup_cell env.scopes name with
        | Some cell -> !cell
        | None ->
-           if Hashtbl.mem env.prog.fns name then VFun name
-           else err "use of undeclared identifier '%s'" name)
+           (match Hashtbl.find_opt env.prog.globals name with
+            | Some (Rt.Plain cell) ->
+                trace_access env ~rw:`R node (Rt.Acell cell);
+                !cell
+            | Some (Rt.Tls _ as slot) -> !(slot_cell slot)
+            | None ->
+                if Hashtbl.mem env.prog.fns name then VFun name
+                else err "use of undeclared identifier '%s'" name))
   | Ast.Bin_op -> eval_binop env n
   | Ast.Un_op ->
       let v = eval env n.lhs in
@@ -124,10 +171,12 @@ let rec eval env node : Value.t =
        | VFloatArr a ->
            if idx < 0 || idx >= Array.length a then
              err "index %d out of bounds (len %d)" idx (Array.length a);
+           trace_access env ~rw:`R node (Rt.Afelem (a, idx));
            VFloat a.(idx)
        | VIntArr a ->
            if idx < 0 || idx >= Array.length a then
              err "index %d out of bounds (len %d)" idx (Array.length a);
+           trace_access env ~rw:`R node (Rt.Aielem (a, idx));
            VInt a.(idx)
        | v -> err "indexing a %s" (Value.type_name v))
   | Ast.Field ->
@@ -138,7 +187,9 @@ let rec eval env node : Value.t =
        | v -> err "field access '.%s' on %s" fname (Value.type_name v))
   | Ast.Deref ->
       (match eval env n.lhs with
-       | VPtr p -> ptr_read p
+       | VPtr p ->
+           trace_ptr env ~rw:`R node p;
+           ptr_read p
        | v -> err "dereference of %s" (Value.type_name v))
   | Ast.Addr_of -> eval_addr_of env n.lhs
   | Ast.Struct_lit ->
@@ -210,9 +261,21 @@ and eval_lvalue env node : (unit -> Value.t) * (Value.t -> unit) =
   match n.Ast.tag with
   | Ast.Ident ->
       let name = Ast.token_text ast n.main_token in
-      (match find_cell env name with
+      (match lookup_cell env.scopes name with
        | Some cell -> ((fun () -> !cell), fun v -> cell := v)
-       | None -> err "assignment to undeclared identifier '%s'" name)
+       | None ->
+           (match Hashtbl.find_opt env.prog.globals name with
+            | Some (Rt.Plain cell) ->
+                ((fun () ->
+                    trace_access env ~rw:`R node (Rt.Acell cell);
+                    !cell),
+                 fun v ->
+                   trace_access env ~rw:`W node (Rt.Acell cell);
+                   cell := v)
+            | Some (Rt.Tls _ as slot) ->
+                let cell = slot_cell slot in
+                ((fun () -> !cell), fun v -> cell := v)
+            | None -> err "assignment to undeclared identifier '%s'" name))
   | Ast.Index ->
       let arr = eval env n.lhs in
       let idx = Value.to_int (eval env n.rhs) in
@@ -220,17 +283,31 @@ and eval_lvalue env node : (unit -> Value.t) * (Value.t -> unit) =
        | VFloatArr a ->
            if idx < 0 || idx >= Array.length a then
              err "index %d out of bounds (len %d)" idx (Array.length a);
-           ((fun () -> Value.VFloat a.(idx)),
-            fun v -> a.(idx) <- Value.to_float v)
+           ((fun () ->
+               trace_access env ~rw:`R node (Rt.Afelem (a, idx));
+               Value.VFloat a.(idx)),
+            fun v ->
+              trace_access env ~rw:`W node (Rt.Afelem (a, idx));
+              a.(idx) <- Value.to_float v)
        | VIntArr a ->
            if idx < 0 || idx >= Array.length a then
              err "index %d out of bounds (len %d)" idx (Array.length a);
-           ((fun () -> Value.VInt a.(idx)),
-            fun v -> a.(idx) <- Value.to_int v)
+           ((fun () ->
+               trace_access env ~rw:`R node (Rt.Aielem (a, idx));
+               Value.VInt a.(idx)),
+            fun v ->
+              trace_access env ~rw:`W node (Rt.Aielem (a, idx));
+              a.(idx) <- Value.to_int v)
        | v -> err "indexed assignment to %s" (Value.type_name v))
   | Ast.Deref ->
       (match eval env n.lhs with
-       | VPtr p -> ((fun () -> ptr_read p), fun v -> ptr_write p v)
+       | VPtr p ->
+           ((fun () ->
+               trace_ptr env ~rw:`R node p;
+               ptr_read p),
+            fun v ->
+              trace_ptr env ~rw:`W node p;
+              ptr_write p v)
        | v -> err "assignment through %s" (Value.type_name v))
   | _ -> err "invalid assignment target"
 
@@ -249,12 +326,24 @@ and exec env node : unit =
       let _, write = eval_lvalue env n.lhs in
       let read, _ = eval_lvalue env n.lhs in
       let rhs = eval env n.rhs in
+      (* Tag the write of a compound assignment with its operator for
+         the checker's clause suggestions; the tag must not outlive the
+         statement (the write may be an untraced scope local). *)
+      let compound op rmw =
+        let v = rmw (read ()) rhs in
+        if Option.is_some !Rt.tracer then begin
+          Rt.pending_op := Some op;
+          write v;
+          Rt.pending_op := None
+        end
+        else write v
+      in
       (match (Ast.token ast n.main_token).Token.tag with
        | Token.Eq -> write rhs
-       | Token.Plus_eq -> write (Rt.add (read ()) rhs)
-       | Token.Minus_eq -> write (Rt.sub (read ()) rhs)
-       | Token.Star_eq -> write (Rt.mul (read ()) rhs)
-       | Token.Slash_eq -> write (Rt.div_assign (read ()) rhs)
+       | Token.Plus_eq -> compound "+" Rt.add
+       | Token.Minus_eq -> compound "-" Rt.sub
+       | Token.Star_eq -> compound "*" Rt.mul
+       | Token.Slash_eq -> compound "/" Rt.div_assign
        | t -> err "unsupported assignment operator '%s'" (Token.tag_to_string t))
   | Ast.While ->
       let cont = Ast.extra ast n.rhs in

@@ -31,10 +31,45 @@ type program = {
   preprocessed : string;                   (* the final source text *)
 }
 
+(* ------------------------------------------------------------------ *)
+(* Checker hooks.
+
+   The race checker ({!Check}) runs programs on cooperative virtual
+   threads and needs to observe every shared-reachable memory access and
+   key thread identity off the virtual thread rather than the domain.
+   Both hooks are no-ops unless a checker session installs them, so the
+   two production backends pay one ref read per instrumented site at
+   most. *)
+
+(** A traced memory location: a variable cell reached through a global
+    or a pointer, or an element of a shared array. *)
+type access =
+  | Acell of Value.t ref
+  | Afelem of float array * int
+  | Aielem of int array * int
+
+type tracer = {
+  trace : rw:[ `R | `W ] -> access -> off:int -> hint:string -> unit;
+      (** [off] is the byte offset of the access site in the
+          preprocessed source; [hint] a best-effort variable name. *)
+}
+
+let tracer : tracer option ref = ref None
+
+(* The operator of a compound assignment ([+=] etc.), noted by the tree
+   walker immediately before the write event it belongs to; the checker
+   consumes it to phrase clause suggestions.  Only written when a tracer
+   is installed (single-domain), so there is no cross-domain race. *)
+let pending_op : string option ref = ref None
+
+(** Key for [threadprivate] storage: the domain id in production, the
+    virtual-thread id under the checker. *)
+let tls_key : (unit -> int) ref = ref (fun () -> (Domain.self () :> int))
+
 let slot_cell = function
   | Plain r -> r
   | Tls t ->
-      let key = (Domain.self () :> int) in
+      let key = !tls_key () in
       Mutex.lock t.mutex;
       let cell =
         match Hashtbl.find_opt t.cells key with

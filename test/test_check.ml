@@ -1,0 +1,176 @@
+(* The [zrc --check] race detector, end to end: the racy fixtures under
+   examples/zr/racy must each produce findings that name both
+   conflicting source locations, their race-free twins under
+   examples/zr/clean (and the stock examples) must come back clean, and
+   a fixed configuration must be deterministic across runs.  The
+   fixture files are build dependencies of the test (see test/dune). *)
+
+module Checker = Zigomp.Checker
+module Report = Checker.Report
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let examples_dir =
+  (* the test binary runs in _build/default/test *)
+  Filename.concat (Filename.concat ".." "examples") "zr"
+
+let config ?(schedules = 3) ?(sync_sweep = true) () =
+  { Checker.nthreads = 4; schedules; seed = 42; sync_sweep; lint = true }
+
+let check_file ?config:(cfg = config ()) name =
+  let path = Filename.concat examples_dir name in
+  Zigomp.check ~name ~config:cfg (read_file path)
+
+let lines_of (r : Report.t) =
+  List.map (fun (f : Report.finding) -> f.Report.line) r.Report.findings
+
+let contains = Astring_contains.contains
+
+(* ---- racy fixtures ------------------------------------------------ *)
+
+(* Every race line must cite both conflicting accesses, each with a
+   line:col position: "race v: <rw>@l:c vs <rw>@l:c :: ...". *)
+let both_locations line =
+  match String.index_opt line '@' with
+  | None -> false
+  | Some i ->
+      contains line " vs "
+      && String.index_from_opt line (i + 1) '@' <> None
+
+let test_racy_fixtures () =
+  List.iter
+    (fun name ->
+      let r = check_file (Filename.concat "racy" name) in
+      Alcotest.(check bool) (name ^ ": reported") false (Report.clean r);
+      let races = Report.races r in
+      Alcotest.(check bool) (name ^ ": at least one race") true
+        (List.length races >= 1);
+      List.iter
+        (fun (f : Report.finding) ->
+          Alcotest.(check bool)
+            (name ^ ": both locations in " ^ f.Report.line)
+            true
+            (both_locations f.Report.line))
+        races)
+    [ "missing_reduction.zr"; "shared_counter.zr"; "nowait_useafter.zr" ]
+
+let test_reduction_suggestion () =
+  let r = check_file "racy/missing_reduction.zr" in
+  Alcotest.(check bool) "suggests reduction(+: s)" true
+    (List.exists (fun l -> contains l "suggest reduction(+: s)")
+       (lines_of r))
+
+let test_nowait_lint () =
+  let r = check_file "racy/nowait_useafter.zr" in
+  Alcotest.(check bool) "dynamic race on q" true
+    (List.exists
+       (fun (f : Report.finding) ->
+         contains f.Report.line "race q")
+       (Report.races r));
+  Alcotest.(check bool) "nowait-dependent-read lint" true
+    (List.exists (fun l -> contains l "nowait-dependent-read") (lines_of r))
+
+(* ---- clean programs ----------------------------------------------- *)
+
+let test_clean_twins () =
+  List.iter
+    (fun name ->
+      let r = check_file (Filename.concat "clean" name) in
+      Alcotest.(check (list string)) (name ^ ": no findings") []
+        (lines_of r))
+    [ "reduction.zr"; "atomic_counter.zr"; "nowait_barrier.zr" ]
+
+let test_stock_examples_clean () =
+  (* reduced schedule set to keep the test quick; the CI job runs the
+     full default configuration over every example *)
+  let cfg = config ~schedules:1 ~sync_sweep:false () in
+  List.iter
+    (fun name ->
+      let r = check_file ~config:cfg name in
+      Alcotest.(check (list string)) (name ^ ": no findings") []
+        (lines_of r))
+    [ "histogram.zr"; "jacobi.zr" ]
+
+let test_mandelbrot_clean () =
+  let cfg = config ~schedules:1 ~sync_sweep:false () in
+  let r = check_file ~config:cfg "mandelbrot.zr" in
+  Alcotest.(check (list string)) "mandelbrot.zr: no findings" []
+    (lines_of r)
+
+(* ---- lint-only sources -------------------------------------------- *)
+
+let divergent_src = {|
+fn main() i64 {
+    var n: i64 = 8;
+    //$omp parallel firstprivate(n)
+    {
+        if (omp.get_thread_num() == 0) {
+            //$omp barrier
+            n = 1;
+        }
+    }
+    return 0;
+}
+|}
+
+let test_divergent_barrier () =
+  let r = Zigomp.check ~name:"divergent.zr" ~config:(config ()) divergent_src in
+  let ls = lines_of r in
+  Alcotest.(check bool) "divergent-barrier lint" true
+    (List.exists (fun l -> contains l "divergent-barrier") ls);
+  Alcotest.(check bool) "dynamic divergence observed" true
+    (List.exists (fun l -> contains l "divergence") ls)
+
+let default_none_src = {|
+fn main() i64 {
+    var n: i64 = 4;
+    var s: i64 = 0;
+    //$omp parallel default(none) shared(s)
+    {
+        //$omp critical
+        { s = s + n; }
+    }
+    return s;
+}
+|}
+
+let test_default_none_lint () =
+  let r =
+    Zigomp.check ~name:"defnone.zr" ~config:(config ()) default_none_src
+  in
+  Alcotest.(check bool) "default-none lint names the variable" true
+    (List.exists
+       (fun l -> contains l "default-none" && contains l "n")
+       (lines_of r));
+  (* static finding: nothing executes *)
+  Alcotest.(check int) "no schedules explored" 0 r.Report.schedules
+
+(* ---- determinism -------------------------------------------------- *)
+
+let test_deterministic () =
+  let once () = Report.to_string (check_file "racy/shared_counter.zr") in
+  Alcotest.(check string) "identical report across two runs" (once ())
+    (once ())
+
+let suite =
+  [ Alcotest.test_case "racy fixtures report both locations" `Quick
+      test_racy_fixtures;
+    Alcotest.test_case "missing reduction is suggested as the fix" `Quick
+      test_reduction_suggestion;
+    Alcotest.test_case "nowait use-after: race + lint" `Quick
+      test_nowait_lint;
+    Alcotest.test_case "race-free twins are clean" `Quick test_clean_twins;
+    Alcotest.test_case "stock examples are clean" `Slow
+      test_stock_examples_clean;
+    Alcotest.test_case "mandelbrot is clean" `Slow test_mandelbrot_clean;
+    Alcotest.test_case "thread-id-gated barrier diverges" `Quick
+      test_divergent_barrier;
+    Alcotest.test_case "default(none) missing capture" `Quick
+      test_default_none_lint;
+    Alcotest.test_case "fixed seed is deterministic" `Quick
+      test_deterministic;
+  ]

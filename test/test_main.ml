@@ -20,4 +20,6 @@ let () =
       ("public-api", Test_zigomp.suite);
       ("zr-examples", Test_zr_examples.suite);
       ("pipeline-properties", Test_pipeline_prop.suite);
+      ("check", Test_check.suite);
+      ("npb-zr", Test_npb_zr.suite);
     ]

@@ -117,8 +117,107 @@ fn f(n: i64, x: []f64) f64 {
       let out, _ast = Preproc.Preprocess.run_checked ~name:"rand.zr" src in
       String.length out > 0)
 
+(* the preprocessor is a fixpoint: its output contains no executable
+   pragmas (only threadprivate survives, and the loader consumes it),
+   so preprocessing a second time must change nothing *)
+let random_program_gen =
+  QCheck2.Gen.(
+    let* op = oneofl [ `Add; `Mul ] in
+    let* sched = sched_gen in
+    let* two_loops = bool in
+    return
+      (if two_loops then
+         Printf.sprintf {|
+fn f(n: i64, x: []f64) f64 {
+    var s: f64 = 0.0;
+    //$omp parallel reduction(+: s) shared(x) firstprivate(n)
+    {
+        var i: i64 = 0;
+        //$omp for nowait %s
+        while (i < n) : (i += 1) {
+            s += x[i];
+        }
+        //$omp barrier
+        var j: i64 = 0;
+        //$omp for
+        while (j < n) : (j += 1) {
+            s += 1.0;
+        }
+    }
+    return s;
+}
+|} sched
+       else program ~op ~sched))
+
+let prop_preprocess_idempotent =
+  QCheck2.Test.make ~name:"preprocessing is idempotent (fixpoint)"
+    ~count:40 random_program_gen
+    (fun src ->
+      let once = Preproc.Preprocess.run ~name:"fix.zr" src in
+      let twice = Preproc.Preprocess.run ~name:"fix.zr" once in
+      String.equal once twice)
+
+(* the offset adjustment of the paper's Listing 5: applying byte-range
+   replacements must leave every untouched region byte-identical, each
+   replacement text landing at its start offset shifted by the
+   accumulated length delta of the replacements before it *)
+let replacements_gen =
+  QCheck2.Gen.(
+    let* base =
+      string_size ~gen:(char_range 'a' 'z') (int_range 0 120)
+    in
+    let n = String.length base in
+    let* cuts = list_size (int_range 0 8) (int_range 0 n) in
+    let cuts = List.sort_uniq compare cuts in
+    (* consecutive cut points become disjoint [start, stop) ranges *)
+    let rec pair = function
+      | a :: b :: rest -> (a, b) :: pair rest
+      | _ -> []
+    in
+    let* texts =
+      flatten_l
+        (List.map
+           (fun (start, stop) ->
+             let* text =
+               string_size ~gen:(char_range 'A' 'Z') (int_range 0 6)
+             in
+             return { Preproc.Synth.start; stop; text })
+           (pair cuts))
+    in
+    return (base, texts))
+
+let prop_untouched_regions =
+  QCheck2.Test.make
+    ~name:"replacements shift offsets but never edit untouched bytes"
+    ~count:100 replacements_gen
+    (fun (base, rs) ->
+      let out = Preproc.Synth.apply_replacements base rs in
+      let delta = ref 0 in
+      let cursor = ref 0 in
+      let ok = ref true in
+      let check_equal a_off b_off len =
+        if len > 0 && String.sub base a_off len <> String.sub out b_off len
+        then ok := false
+      in
+      List.iter
+        (fun { Preproc.Synth.start; stop; text } ->
+          (* untouched gap before this replacement *)
+          check_equal !cursor (!cursor + !delta) (start - !cursor);
+          (* the replacement text sits at the adjusted offset *)
+          if String.sub out (start + !delta) (String.length text) <> text
+          then ok := false;
+          delta := !delta + String.length text - (stop - start);
+          cursor := stop)
+        rs;
+      check_equal !cursor (!cursor + !delta) (String.length base - !cursor);
+      !ok
+      && String.length out
+         = String.length base + !delta)
+
 let suite =
   [ QCheck_alcotest.to_alcotest prop_sum;
     QCheck_alcotest.to_alcotest prop_product;
     QCheck_alcotest.to_alcotest prop_clause_combinations;
+    QCheck_alcotest.to_alcotest prop_preprocess_idempotent;
+    QCheck_alcotest.to_alcotest prop_untouched_regions;
   ]

@@ -1,0 +1,97 @@
+(* omp_smoke — nested-region semantics smoke test for the CI matrix.
+
+   Runs under whatever OMP_NUM_THREADS / OMP_MAX_ACTIVE_LEVELS /
+   OMP_THREAD_LIMIT the environment supplies and asserts the invariants
+   that must hold for ANY configuration: serialisation beyond
+   max_active_levels, the thread_limit contention-group cap, ICV
+   isolation between team members, and the ancestor/team-size
+   introspection API.  Exits non-zero on the first violation, so a CI
+   row failing here pinpoints the configuration that broke. *)
+
+open Omprt
+
+let failures = ref 0
+
+let check name ok =
+  if not ok then begin
+    incr failures;
+    Printf.eprintf "omp_smoke: FAIL %s\n%!" name
+  end
+
+let checkv name expected got =
+  if expected <> got then begin
+    incr failures;
+    Printf.eprintf "omp_smoke: FAIL %s: expected %d, got %d\n%!" name
+      expected got
+  end
+
+let () =
+  let nt = Api.get_max_threads () in
+  let limit = Api.get_thread_limit () in
+  let levels = Api.get_max_active_levels () in
+  Printf.printf
+    "omp_smoke: nthreads=%d thread_limit=%d max_active_levels=%d\n%!" nt
+    limit levels;
+
+  (* team size respects both the request and the contention-group cap *)
+  let outer_size = Atomic.make 0 in
+  Omp.parallel (fun () ->
+      if Omp.thread_num () = 0 then
+        Atomic.set outer_size (Omp.num_threads ()));
+  let expect_outer = if levels < 1 then 1 else min nt (max 1 limit) in
+  checkv "outer team size" expect_outer (Atomic.get outer_size);
+
+  (* nested region: active iff the frame still has nesting budget, and
+     always within the remaining contention-group budget *)
+  let inner = Atomic.make (-1, -1, -1) in
+  Omp.parallel ~num_threads:2 (fun () ->
+      if Omp.thread_num () = 0 then
+        Omp.parallel ~num_threads:2 (fun () ->
+            if Omp.thread_num () = 0 then
+              Atomic.set inner
+                ( Omp.num_threads (), Api.get_level (),
+                  Api.get_active_level () )));
+  let isz, ilvl, iact = Atomic.get inner in
+  let outer_active = levels >= 1 && limit >= 2 in
+  let inner_serialised = levels < 2 || limit < 3 in
+  checkv "inner level" 2 ilvl;
+  if outer_active && inner_serialised then begin
+    checkv "inner serialised to one thread" 1 isz;
+    checkv "active level inside a serialised inner region" 1 iact
+  end;
+  if outer_active && not inner_serialised then begin
+    checkv "inner team of two" 2 isz;
+    checkv "both levels active" 2 iact
+  end;
+
+  (* omp_set_num_threads isolation between siblings *)
+  let distinct = Omp.parallel ~num_threads:2 in
+  let leak = Atomic.make false in
+  distinct (fun () ->
+      let tid = Omp.thread_num () in
+      Api.set_num_threads (40 + tid);
+      Omp.barrier ();
+      if Api.get_max_threads () <> 40 + tid then Atomic.set leak true);
+  check "set_num_threads leaked between siblings" (not (Atomic.get leak));
+  checkv "initial frame untouched by in-region set_num_threads" nt
+    (Api.get_max_threads ());
+
+  (* ancestor API at depth 2 (enable nesting locally to make level 2
+     meaningful even in rows that default to serialisation) *)
+  Api.set_max_active_levels 2;
+  let bad_anc = Atomic.make 0 in
+  Omp.parallel ~num_threads:2 (fun () ->
+      let outer_tid = Omp.thread_num () in
+      Omp.parallel ~num_threads:2 (fun () ->
+          if Api.get_ancestor_thread_num 1 <> outer_tid
+             || Api.get_team_size 0 <> 1
+             || Api.get_ancestor_thread_num 0 <> 0
+             || Api.get_ancestor_thread_num 9 <> -1
+          then Atomics.Int.add bad_anc 1));
+  checkv "ancestor introspection at depth 2" 0 (Atomic.get bad_anc);
+
+  if !failures = 0 then print_endline "omp_smoke: OK"
+  else begin
+    Printf.eprintf "omp_smoke: %d failure(s)\n%!" !failures;
+    exit 1
+  end

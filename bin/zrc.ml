@@ -19,13 +19,21 @@ let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
 
 let handle_errors f =
-  try f (); 0 with
-  | Zr.Source.Error msg ->
-      Printf.eprintf "error: %s\n" msg; 1
-  | Interp.Value.Runtime_error msg ->
-      Printf.eprintf "runtime error: %s\n" msg; 1
-  | Failure msg | Invalid_argument msg ->
-      Printf.eprintf "error: %s\n" msg; 1
+  (* every Team.fork path — including serialised teams of one — wraps
+     body failures in Worker_failure; unwrap for the user *)
+  let rec cause = function
+    | Omprt.Team.Worker_failure (_, e) -> cause e
+    | e -> e
+  in
+  try f (); 0 with e -> (
+    match cause e with
+    | Zr.Source.Error msg ->
+        Printf.eprintf "error: %s\n" msg; 1
+    | Interp.Value.Runtime_error msg ->
+        Printf.eprintf "runtime error: %s\n" msg; 1
+    | Failure msg | Invalid_argument msg ->
+        Printf.eprintf "error: %s\n" msg; 1
+    | e -> raise e)
 
 (* ---- tokens ---- *)
 

@@ -46,6 +46,7 @@ type team = {
 and frame = {
   team : team;
   tid : int;
+  icvs : Omprt.Icv.t;           (* this implicit task's data environment *)
   mutable single_seen : int;    (* singles this thread has met *)
   mutable loop_epoch : int;     (* dispatch loops this thread has met *)
 }
@@ -53,13 +54,14 @@ and frame = {
 and tstate = {
   gid : int;                    (* virtual-thread id = clock index *)
   vc : Vc.t;
+  base_icvs : Omprt.Icv.t;      (* the frame outside any region *)
   mutable frames : frame list;  (* innermost region first *)
 }
 
 type session = {
   des : Des.t;
   nthreads : int;               (* configured default team size *)
-  mutable req_threads : int;    (* omp.set_num_threads state *)
+  initial_icvs : Omprt.Icv.t;   (* virtual thread 0's starting frame *)
   mode : mode;
   rng : Random.State.t option;
   race : Race.t;
@@ -83,6 +85,21 @@ let ctx ts =
   match ts.frames with
   | f :: _ -> (f.team.size, f.tid, Some f)
   | [] -> (1, 0, None)
+
+(* The current task's ICV frame — mirrors {!Omprt.Team.icvs}, so the
+   checker's serialisation/capping decisions agree with execution. *)
+let icvs_of ts =
+  match ts.frames with f :: _ -> f.icvs | [] -> ts.base_icvs
+
+(* Enclosing active regions (teams of more than one thread) — the value
+   [max_active_levels] is checked against, as in {!Omprt.Team.fork}. *)
+let active_levels ts =
+  List.length (List.filter (fun f -> f.team.size > 1) ts.frames)
+
+(* Threads this contention-group chain has committed so far: 1 for the
+   initial thread plus (size - 1) per enclosing team. *)
+let group_threads ts =
+  List.fold_left (fun acc f -> acc + (f.team.size - 1)) 1 ts.frames
 
 (* ------------------------ schedule perturbation ------------------- *)
 
@@ -183,8 +200,23 @@ let member_done sess (fr : frame) =
 
 (* --------------------------- fork/join ---------------------------- *)
 
-let fork sess parent ~call ~f ~fp ~sh ~red ~nth =
+(* [requested] is the resolved team-size request (clause value or the
+   encountering task's [nthreads-var]); the encountering task's frame is
+   then enforced exactly as {!Omprt.Team.fork} does — serialisation
+   beyond [max_active_levels], then the [thread_limit] contention-group
+   cap — so the checker explores the same team shapes execution uses. *)
+let fork sess parent ~call ~f ~fp ~sh ~red ~requested =
   Vc.tick parent.vc parent.gid;
+  let pframe = icvs_of parent in
+  let serialised =
+    requested > 1 && active_levels parent >= pframe.Omprt.Icv.max_active_levels
+  in
+  let nth =
+    if serialised then 1
+    else
+      min requested
+        (max 1 (pframe.Omprt.Icv.thread_limit - group_threads parent + 1))
+  in
   let team =
     { size = nth; bar_vc = Vc.create (); bar_blocked = []; bar_max = 0.;
       done_members = 0; diverged = false;
@@ -197,10 +229,16 @@ let fork sess parent ~call ~f ~fp ~sh ~red ~nth =
     let cvc = Vc.copy parent.vc in
     Des.spawn sess.des (fun () ->
         let vt = Des.self sess.des in
-        let child = { gid = vt.Des.id; vc = cvc; frames = [] } in
+        let child =
+          { gid = vt.Des.id; vc = cvc;
+            base_icvs = Omprt.Icv.copy pframe; frames = [] }
+        in
         Vc.tick child.vc child.gid;
         Hashtbl.replace sess.threads child.gid child;
-        let fr = { team; tid; single_seen = 0; loop_epoch = 0 } in
+        let fr =
+          { team; tid; icvs = Omprt.Icv.copy pframe;
+            single_seen = 0; loop_epoch = 0 }
+        in
         child.frames <- fr :: child.frames;
         ignore (call f [ fp; sh; red ]);
         child.frames <- List.tl child.frames;
@@ -214,7 +252,10 @@ let fork sess parent ~call ~f ~fp ~sh ~red ~nth =
   done;
   (* the encountering thread is thread 0 of the team, run in place so
      threadprivate state persists across regions as OpenMP requires *)
-  let fr0 = { team; tid = 0; single_seen = 0; loop_epoch = 0 } in
+  let fr0 =
+    { team; tid = 0; icvs = Omprt.Icv.copy pframe;
+      single_seen = 0; loop_epoch = 0 }
+  in
   parent.frames <- fr0 :: parent.frames;
   ignore (call f [ fp; sh; red ]);
   parent.frames <- List.tl parent.frames;
@@ -287,8 +328,12 @@ let on_builtin sess ~call fname args : V.t option =
       let it = V.to_int in
       (match fname, args with
        | "__kmpc_fork_call", [ V.VFun f; fp; sh; red; nt ] ->
-           let nth = match it nt with 0 -> sess.req_threads | n -> n in
-           fork sess ts ~call ~f ~fp ~sh ~red ~nth:(max 1 nth);
+           let requested =
+             match it nt with
+             | 0 -> (icvs_of ts).Omprt.Icv.nthreads
+             | n -> max 1 n
+           in
+           fork sess ts ~call ~f ~fp ~sh ~red ~requested;
            Some V.VUnit
        | "__kmpc_barrier", [] ->
            barrier sess ts;
@@ -420,13 +465,52 @@ let on_omp sess meth args : V.t option =
       (match meth, args with
        | "get_thread_num", [] -> Some (V.VInt tid)
        | "get_num_threads", [] -> Some (V.VInt nth)
-       | "get_max_threads", [] -> Some (V.VInt sess.req_threads)
+       | "get_max_threads", [] ->
+           Some (V.VInt (icvs_of ts).Omprt.Icv.nthreads)
        | "set_num_threads", [ v ] ->
-           sess.req_threads <- max 1 (V.to_int v);
+           (* the calling task's frame only — never the session *)
+           let n = V.to_int v in
+           if n > 0 then (icvs_of ts).Omprt.Icv.nthreads <- n;
            Some V.VUnit
        | "get_num_procs", [] -> Some (V.VInt sess.nthreads)
-       | "in_parallel", [] -> Some (V.VBool (ts.frames <> []))
+       | "in_parallel", [] ->
+           Some
+             (V.VBool (List.exists (fun f -> f.team.size > 1) ts.frames))
        | "get_level", [] -> Some (V.VInt (List.length ts.frames))
+       | "get_active_level", [] -> Some (V.VInt (active_levels ts))
+       | "get_ancestor_thread_num", [ v ] ->
+           let depth = List.length ts.frames in
+           let lvl = V.to_int v in
+           Some
+             (V.VInt
+                (if lvl < 0 || lvl > depth then -1
+                 else if lvl = 0 then 0
+                 else (List.nth ts.frames (depth - lvl)).tid))
+       | "get_team_size", [ v ] ->
+           let depth = List.length ts.frames in
+           let lvl = V.to_int v in
+           Some
+             (V.VInt
+                (if lvl < 0 || lvl > depth then -1
+                 else if lvl = 0 then 1
+                 else (List.nth ts.frames (depth - lvl)).team.size))
+       | "get_thread_limit", [] ->
+           Some (V.VInt (icvs_of ts).Omprt.Icv.thread_limit)
+       | "get_max_active_levels", [] ->
+           Some (V.VInt (icvs_of ts).Omprt.Icv.max_active_levels)
+       | "set_max_active_levels", [ v ] ->
+           let n = V.to_int v in
+           if n >= 0 then
+             (icvs_of ts).Omprt.Icv.max_active_levels <-
+               min n Omprt.Icv.supported_active_levels;
+           Some V.VUnit
+       | "get_supported_active_levels", [] ->
+           Some (V.VInt Omprt.Icv.supported_active_levels)
+       | "get_dynamic", [] ->
+           Some (V.VBool (icvs_of ts).Omprt.Icv.dynamic)
+       | "set_dynamic", [ v ] ->
+           (icvs_of ts).Omprt.Icv.dynamic <- V.to_bool v;
+           Some V.VUnit
        | "get_wtime", [] -> Some (V.VFloat (Des.now sess.des *. 1e-9))
        | "get_wtick", [] -> Some (V.VFloat 1e-9)
        | _ -> None)
@@ -444,8 +528,13 @@ let run_schedule ~name ~(load : unit -> Interp.program)
   let prog = load () in
   let des = Des.create () in
   let src = Zr.Source.of_string ~name prog.Interp.preprocessed in
+  (* The virtual initial task inherits the real process ICVs (so the
+     checker agrees with execution on max_active_levels, thread_limit,
+     schedule...), with the configured team size as its nthreads-var. *)
+  let initial_icvs = Omprt.Icv.copy Omprt.Icv.global in
+  initial_icvs.Omprt.Icv.nthreads <- nthreads;
   let sess =
-    { des; nthreads; req_threads = nthreads; mode;
+    { des; nthreads; initial_icvs; mode;
       rng =
         (match mode with
          | Seeded s -> Some (Random.State.make [| s; 0x5eed |])
@@ -473,7 +562,10 @@ let run_schedule ~name ~(load : unit -> Interp.program)
     (fun () ->
       Des.spawn des (fun () ->
           let vt = Des.self des in
-          let ts = { gid = vt.Des.id; vc = Vc.create (); frames = [] } in
+          let ts =
+            { gid = vt.Des.id; vc = Vc.create ();
+              base_icvs = sess.initial_icvs; frames = [] }
+          in
           Vc.tick ts.vc ts.gid;
           Hashtbl.replace sess.threads ts.gid ts;
           run prog);

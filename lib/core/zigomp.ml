@@ -141,6 +141,13 @@ let set_num_threads = Omprt.Api.set_num_threads
 
 let get_max_threads = Omprt.Api.get_max_threads
 
+(** [set_max_active_levels n] — enable nested parallelism up to [n]
+    active levels ([omp_set_max_active_levels]; the default of 1
+    serialises nested regions, as libomp does). *)
+let set_max_active_levels = Omprt.Api.set_max_active_levels
+
+let get_max_active_levels = Omprt.Api.get_max_active_levels
+
 (** The race detector and schedule-exploration checker ([zrc --check]):
     findings, configuration, and the lower-level passes. *)
 module Checker = Check

@@ -61,6 +61,23 @@ let omp_namespace_default meth args : V.t =
   | "get_num_procs", [] -> V.VInt (Omprt.Api.get_num_procs ())
   | "in_parallel", [] -> V.VBool (Omprt.Api.in_parallel ())
   | "get_level", [] -> V.VInt (Omprt.Api.get_level ())
+  | "get_active_level", [] -> V.VInt (Omprt.Api.get_active_level ())
+  | "get_ancestor_thread_num", [ v ] ->
+      V.VInt (Omprt.Api.get_ancestor_thread_num (V.to_int v))
+  | "get_team_size", [ v ] ->
+      V.VInt (Omprt.Api.get_team_size (V.to_int v))
+  | "get_thread_limit", [] -> V.VInt (Omprt.Api.get_thread_limit ())
+  | "get_max_active_levels", [] ->
+      V.VInt (Omprt.Api.get_max_active_levels ())
+  | "set_max_active_levels", [ v ] ->
+      Omprt.Api.set_max_active_levels (V.to_int v);
+      VUnit
+  | "get_supported_active_levels", [] ->
+      V.VInt (Omprt.Api.get_supported_active_levels ())
+  | "get_dynamic", [] -> V.VBool (Omprt.Api.get_dynamic ())
+  | "set_dynamic", [ v ] ->
+      Omprt.Api.set_dynamic (V.to_bool v);
+      VUnit
   | "get_wtime", [] -> V.VFloat (Omprt.Api.get_wtime ())
   | "get_wtick", [] -> V.VFloat (Omprt.Api.get_wtick ())
   | _ -> err "unknown omp.%s/%d" meth (List.length args)

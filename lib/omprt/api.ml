@@ -3,16 +3,23 @@
     The paper re-exports libomp's user entry points in an [omp] namespace
     with the redundant [omp_] prefix stripped —
     [omp.get_thread_num()] instead of [omp_get_thread_num()].  This
-    module is that namespace. *)
+    module is that namespace.
+
+    Every ICV accessor reads or writes the *calling task's* data
+    environment ({!Team.icvs}): the innermost context's frame inside a
+    parallel region, the initial task's frame ({!Icv.global}) outside.
+    Setting a value inside a region therefore affects only the calling
+    thread's subsequent forks — never sibling threads, never concurrent
+    top-level regions — per the OpenMP 5.2 data-environment rules. *)
 
 let get_thread_num () = Team.thread_num ()
 
 let get_num_threads () = Team.num_threads ()
 
-let get_max_threads () = Icv.global.nthreads
+let get_max_threads () = (Team.icvs ()).Icv.nthreads
 
 let set_num_threads n =
-  if n > 0 then Icv.global.nthreads <- n
+  if n > 0 then (Team.icvs ()).Icv.nthreads <- n
 
 let get_num_procs () = Domain.recommended_domain_count ()
 
@@ -20,19 +27,35 @@ let in_parallel () = Team.in_parallel ()
 
 let get_level () = Team.level ()
 
-let get_dynamic () = Icv.global.dynamic
+let get_active_level () = Team.active_level ()
 
-let set_dynamic b = Icv.global.dynamic <- b
+let get_ancestor_thread_num lvl = Team.ancestor_thread_num lvl
 
-let get_schedule () = Icv.global.run_sched
+let get_team_size lvl = Team.team_size lvl
 
-let set_schedule s = Icv.global.run_sched <- s
+let get_dynamic () = (Team.icvs ()).Icv.dynamic
 
-let get_thread_limit () = Icv.global.thread_limit
+let set_dynamic b = (Team.icvs ()).Icv.dynamic <- b
 
-(* Hot-team waiting knobs (OMP_WAIT_POLICY / ZIGOMP_BLOCKTIME): the
-   wait policy is read-only at runtime as in libomp, the blocktime is
-   adjustable like kmp_set_blocktime. *)
+let get_schedule () = (Team.icvs ()).Icv.run_sched
+
+let set_schedule s = (Team.icvs ()).Icv.run_sched <- s
+
+let get_thread_limit () = (Team.icvs ()).Icv.thread_limit
+
+let get_max_active_levels () = (Team.icvs ()).Icv.max_active_levels
+
+let set_max_active_levels n =
+  if n >= 0 then
+    (Team.icvs ()).Icv.max_active_levels <-
+      min n Icv.supported_active_levels
+
+let get_supported_active_levels () = Icv.supported_active_levels
+
+(* Hot-team waiting knobs (OMP_WAIT_POLICY / ZIGOMP_BLOCKTIME): device
+   scope, not task scope — the wait policy is read-only at runtime as
+   in libomp, the blocktime is adjustable like kmp_set_blocktime and
+   takes effect pool-wide. *)
 
 let get_wait_policy () = Icv.global.wait_policy
 

@@ -3,7 +3,13 @@
     The paper re-exports libomp's user entry points in an [omp]
     namespace with the redundant [omp_] prefix stripped; this module is
     that namespace on the host side, and the interpreter binds
-    [omp.get_thread_num()] etc. to it. *)
+    [omp.get_thread_num()] etc. to it.
+
+    ICV accessors operate on the *calling task's* data environment:
+    the innermost context's frame inside a parallel region (inherited
+    from the encountering task at fork), {!Icv.global} outside.  A
+    value set inside a region never leaks to sibling threads or to
+    concurrent regions. *)
 
 val get_thread_num : unit -> int
 (** Thread id within the innermost enclosing region; 0 outside. *)
@@ -12,36 +18,67 @@ val get_num_threads : unit -> int
 (** Team size of the innermost region; 1 outside. *)
 
 val get_max_threads : unit -> int
-(** The [nthreads-var] ICV: default team size for the next region. *)
+(** The [nthreads-var] ICV: default team size for the next region
+    encountered by this task. *)
 
 val set_num_threads : int -> unit
-(** Set the [nthreads-var] ICV (non-positive values are ignored). *)
+(** Set the calling task's [nthreads-var] ICV (non-positive values are
+    ignored). *)
 
 val get_num_procs : unit -> int
 
 val in_parallel : unit -> bool
+(** [true] iff any enclosing parallel region is active (team > 1). *)
 
 val get_level : unit -> int
-(** Nesting depth of enclosing parallel regions. *)
+(** Nesting depth of enclosing parallel regions, active or not. *)
+
+val get_active_level : unit -> int
+(** Number of enclosing *active* parallel regions
+    ([omp_get_active_level]). *)
+
+val get_ancestor_thread_num : int -> int
+(** [get_ancestor_thread_num level] — the calling thread's ancestor
+    thread number at nesting [level] (0 = initial task; the current
+    level returns {!get_thread_num}); [-1] out of range. *)
+
+val get_team_size : int -> int
+(** [get_team_size level] — team size at nesting [level] (level 0 is
+    the initial team of 1); [-1] out of range. *)
 
 val get_dynamic : unit -> bool
 val set_dynamic : bool -> unit
 
 val get_schedule : unit -> Omp_model.Sched.t
 val set_schedule : Omp_model.Sched.t -> unit
-(** The [run-sched-var] ICV consulted by [schedule(runtime)] loops. *)
+(** The [run-sched-var] ICV consulted by [schedule(runtime)] loops —
+    resolved against the encountering task's frame. *)
 
 val get_thread_limit : unit -> int
+(** The [thread-limit-var] ICV: contention-group thread cap enforced
+    by {!Team.fork} ([OMP_THREAD_LIMIT]). *)
+
+val get_max_active_levels : unit -> int
+val set_max_active_levels : int -> unit
+(** The [max-active-levels-var] ICV: forks beyond this many active
+    enclosing regions are serialised to a team of one.  Defaults to 1
+    (nesting disabled, as libomp); negative values are ignored, large
+    ones clamp to {!get_supported_active_levels}. *)
+
+val get_supported_active_levels : unit -> int
+(** Largest accepted [max_active_levels]
+    ([omp_get_supported_active_levels]). *)
 
 val get_wait_policy : unit -> Icv.wait_policy
 (** The [wait-policy-var] ICV ([OMP_WAIT_POLICY]) governing how parked
-    hot-team workers wait for the next region. *)
+    hot-team workers wait for the next region.  Device scope. *)
 
 val get_blocktime : unit -> int
 val set_blocktime : int -> unit
 (** Spin rounds a parked hot-team worker burns before blocking — the
     analogue of libomp's [kmp_get/set_blocktime] ([ZIGOMP_BLOCKTIME]).
-    Negative values are ignored. *)
+    Device scope: takes effect pool-wide.  Negative values are
+    ignored. *)
 
 val get_wtime : unit -> float
 (** Wall-clock seconds. *)

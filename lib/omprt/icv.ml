@@ -1,10 +1,18 @@
 (** Internal control variables (ICVs), per OpenMP 5.2 section 2.
 
-    The subset the paper's runtime needs: the default team size
-    ([nthreads-var]), the [run-sched-var] consulted by [schedule(runtime)]
-    loops, and the dynamic-adjustment flag.  Values are initialised from
-    the standard environment variables on first access and may be
-    overridden through the [omp_set_*] API (see {!module:Api}). *)
+    The subset the paper's runtime needs, held as *per-data-environment
+    frames*: every task (the implicit initial task, and each implicit
+    task of a parallel region) owns a frame snapshotted from its
+    parent's at fork, exactly as OpenMP's ICV-inheritance table
+    specifies.  [omp_set_*] therefore mutates only the calling task's
+    frame — a value set inside a parallel region is visible to that
+    thread's nested forks but never to sibling threads or to concurrent
+    top-level regions.  {!global} is the initial task's frame,
+    initialised from the standard environment variables.
+
+    [wait_policy] and [blocktime] are device-scope knobs (libomp keeps
+    them per device, not per task): the pool and the hybrid barrier
+    always consult {!global} for them, whatever frame is current. *)
 
 (** How parked pool workers wait for work, libomp's [OMP_WAIT_POLICY]:
     [Active] spins aggressively before blocking (low dispatch latency,
@@ -17,7 +25,12 @@ type t = {
   mutable dynamic : bool;       (** omp_set_dynamic *)
   mutable run_sched : Omp_model.Sched.t;  (** OMP_SCHEDULE / omp_set_schedule *)
   mutable max_active_levels : int;
+  (** nesting budget: forks beyond this many *active* enclosing regions
+      are serialised to a team of one ([OMP_MAX_ACTIVE_LEVELS]; 1 =
+      nesting disabled, the libomp default) *)
   mutable thread_limit : int;
+  (** contention-group thread cap ([OMP_THREAD_LIMIT]); {!Team.fork}
+      clamps team sizes so the chain never exceeds it *)
   mutable wait_policy : wait_policy;  (** OMP_WAIT_POLICY *)
   mutable blocktime : int;
   (** Spin iterations a parked pool worker burns before blocking on its
@@ -27,27 +40,116 @@ type t = {
       [ZIGOMP_BLOCKTIME]; defaulted from the wait policy. *)
 }
 
-let default_nthreads () =
-  match Sys.getenv_opt "OMP_NUM_THREADS" with
-  | Some s -> (match int_of_string_opt (String.trim s) with
-               | Some n when n > 0 -> n
-               | _ -> Domain.recommended_domain_count ())
-  | None -> Domain.recommended_domain_count ()
+(** The largest value [max_active_levels] can take
+    ([omp_get_supported_active_levels]); context chains are heap
+    structures, so any level the integer can express is supported. *)
+let supported_active_levels = max_int
 
-let default_sched () =
-  match Sys.getenv_opt "OMP_SCHEDULE" with
-  | Some s -> (match Omp_model.Sched.of_string s with
-               | Some sch -> sch
-               | None -> Omp_model.Sched.Static None)
-  | None -> Omp_model.Sched.Static None
+(* ------------------------------------------------------------------ *)
+(* Environment parsing.  Each variable has a pure [parse_*] function
+   (unit-tested directly) plus a defaulting reader that warns — once
+   per variable, to stderr, unless ZIGOMP_WARNINGS disables it — when a
+   set-but-malformed value is being ignored, mirroring libomp's
+   KMP_WARNINGS behaviour.  An empty value counts as unset (tests use
+   [Unix.putenv VAR ""] as the only portable way to "unset"). *)
 
-let default_dynamic () =
-  match Sys.getenv_opt "OMP_DYNAMIC" with
+let warnings_enabled () =
+  match Sys.getenv_opt "ZIGOMP_WARNINGS" with
   | Some s ->
       (match String.lowercase_ascii (String.trim s) with
-       | "true" | "1" | "yes" -> true
-       | _ -> false)
-  | None -> false
+       | "0" | "false" | "off" | "no" -> false
+       | _ -> true)
+  | None -> true
+
+let warned : (string, unit) Hashtbl.t = Hashtbl.create 8
+let warnings = ref 0
+
+let warning_count () = !warnings
+
+(* For tests only: lets the warn-once latch be exercised repeatedly. *)
+let forget_warnings () = Hashtbl.reset warned
+
+let warn_malformed ~var ~value ~expected ~used =
+  if not (Hashtbl.mem warned var) then begin
+    Hashtbl.add warned var ();
+    incr warnings;
+    if warnings_enabled () then
+      Printf.eprintf
+        "zigomp: warning: ignoring malformed %s value %S (expected %s); \
+         using %s\n%!"
+        var value expected used
+  end
+
+let parse_pos_int s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n > 0 -> Some n
+  | _ -> None
+
+let parse_nthreads = parse_pos_int
+let parse_thread_limit = parse_pos_int
+let parse_max_active_levels s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 0 -> Some n
+  | _ -> None
+
+let parse_dynamic s =
+  match String.lowercase_ascii (String.trim s) with
+  | "true" | "1" | "yes" -> Some true
+  | "false" | "0" | "no" -> Some false
+  | _ -> None
+
+let parse_schedule = Omp_model.Sched.of_string
+
+let parse_blocktime s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 0 -> Some n
+  | _ -> None
+
+(* [env_or var parse ~expected ~default ~show]: read [var], parse it,
+   warn once if a non-empty value fails to parse, fall back to the
+   (lazily computed) default either way. *)
+let env_or var parse ~expected ~(default : unit -> 'a) ~(show : 'a -> string)
+    : 'a =
+  match Sys.getenv_opt var with
+  | None -> default ()
+  | Some s when String.trim s = "" -> default ()
+  | Some s ->
+      (match parse s with
+       | Some v -> v
+       | None ->
+           let d = default () in
+           warn_malformed ~var ~value:s ~expected ~used:(show d);
+           d)
+
+let default_nthreads () =
+  env_or "OMP_NUM_THREADS" parse_nthreads
+    ~expected:"a positive integer"
+    ~default:(fun () -> Domain.recommended_domain_count ())
+    ~show:string_of_int
+
+let default_sched () =
+  env_or "OMP_SCHEDULE" parse_schedule
+    ~expected:"static|dynamic|guided|auto[,chunk]"
+    ~default:(fun () -> Omp_model.Sched.Static None)
+    ~show:Omp_model.Sched.to_string
+
+let default_dynamic () =
+  env_or "OMP_DYNAMIC" parse_dynamic
+    ~expected:"true|false"
+    ~default:(fun () -> false)
+    ~show:string_of_bool
+
+let default_max_active_levels () =
+  env_or "OMP_MAX_ACTIVE_LEVELS" parse_max_active_levels
+    ~expected:"a non-negative integer"
+    ~default:(fun () -> 1)  (* nesting disabled, as libomp defaults *)
+    ~show:string_of_int
+
+let default_thread_limit () =
+  env_or "OMP_THREAD_LIMIT" parse_thread_limit
+    ~expected:"a positive integer"
+    ~default:(fun () -> 128)  (* OCaml's maximum domain count *)
+    ~show:string_of_int
 
 let default_wait_policy () =
   match Sys.getenv_opt "OMP_WAIT_POLICY" with
@@ -66,12 +168,10 @@ let blocktime_of_policy = function
   | Passive -> 200
 
 let default_blocktime policy =
-  match Sys.getenv_opt "ZIGOMP_BLOCKTIME" with
-  | Some s ->
-      (match int_of_string_opt (String.trim s) with
-       | Some n when n >= 0 -> n
-       | _ -> blocktime_of_policy policy)
-  | None -> blocktime_of_policy policy
+  env_or "ZIGOMP_BLOCKTIME" parse_blocktime
+    ~expected:"a non-negative integer"
+    ~default:(fun () -> blocktime_of_policy policy)
+    ~show:string_of_int
 
 let create () =
   let wait_policy = default_wait_policy () in
@@ -79,14 +179,25 @@ let create () =
     nthreads = default_nthreads ();
     dynamic = default_dynamic ();
     run_sched = default_sched ();
-    max_active_levels = 1;
-    thread_limit = 128;  (* OCaml's maximum domain count *)
+    max_active_levels = default_max_active_levels ();
+    thread_limit = default_thread_limit ();
     wait_policy;
     blocktime = default_blocktime wait_policy;
   }
 
-(* The global ICV set.  libomp keeps these per device; a single global is
-   enough for one host device. *)
+(** An independent copy: the per-task snapshot taken at fork. *)
+let copy t =
+  { nthreads = t.nthreads;
+    dynamic = t.dynamic;
+    run_sched = t.run_sched;
+    max_active_levels = t.max_active_levels;
+    thread_limit = t.thread_limit;
+    wait_policy = t.wait_policy;
+    blocktime = t.blocktime }
+
+(* The initial task's ICV frame.  libomp keeps device-scope ICVs
+   globally and task-scope ones per data environment; this frame plays
+   both roles for code running outside any parallel region. *)
 let global = create ()
 
 let reset () =

@@ -1,8 +1,12 @@
 (** Internal control variables (ICVs), per OpenMP 5.2 section 2.
 
-    Initialised from [OMP_NUM_THREADS], [OMP_SCHEDULE], [OMP_DYNAMIC],
-    [OMP_WAIT_POLICY] and [ZIGOMP_BLOCKTIME]; mutated through the
-    [omp_set_*] API (see {!module:Api}). *)
+    ICVs live in *per-data-environment frames*: {!global} is the
+    initial task's frame (initialised from [OMP_NUM_THREADS],
+    [OMP_SCHEDULE], [OMP_DYNAMIC], [OMP_MAX_ACTIVE_LEVELS],
+    [OMP_THREAD_LIMIT], [OMP_WAIT_POLICY] and [ZIGOMP_BLOCKTIME]), and
+    every task created by {!Team.fork} carries a {!copy} of its
+    parent's frame.  The [omp_set_*] API (see {!module:Api}) mutates
+    the calling task's frame only. *)
 
 (** How parked hot-team workers wait for the next region: [Active]
     spins aggressively before blocking, [Passive] parks almost
@@ -15,7 +19,10 @@ type t = {
   mutable dynamic : bool;
   mutable run_sched : Omp_model.Sched.t;
   mutable max_active_levels : int;
+  (** forks beyond this many active enclosing regions serialise
+      (1 = nesting disabled, the libomp default) *)
   mutable thread_limit : int;
+  (** contention-group thread cap enforced by {!Team.fork} *)
   mutable wait_policy : wait_policy;  (** [OMP_WAIT_POLICY] *)
   mutable blocktime : int;
   (** Spin rounds before a parked worker blocks (libomp's
@@ -23,11 +30,53 @@ type t = {
       defaulted from the wait policy. *)
 }
 
+val supported_active_levels : int
+(** Largest accepted [max_active_levels]
+    ([omp_get_supported_active_levels]). *)
+
 val create : unit -> t
-(** A fresh ICV set from the environment. *)
+(** A fresh ICV frame from the environment. *)
+
+val copy : t -> t
+(** An independent snapshot — what each task inherits at fork. *)
 
 val global : t
-(** The process-wide ICV set (libomp keeps these per device). *)
+(** The initial task's frame (and the device-scope knobs: the pool and
+    barrier read [wait_policy]/[blocktime] from here always). *)
 
 val reset : unit -> unit
 (** Re-read {!global} from the environment. *)
+
+(** {2 Environment parsing}
+
+    Pure parsers for the ICV environment variables; [None] means the
+    value is malformed and the documented default applies.  The
+    defaulting readers used by {!create} additionally warn once per
+    variable on stderr when ignoring a set-but-malformed value
+    (disable with [ZIGOMP_WARNINGS=0], libomp's [KMP_WARNINGS]
+    analogue).  Empty values count as unset and never warn. *)
+
+val parse_nthreads : string -> int option
+(** [OMP_NUM_THREADS]: positive integer. *)
+
+val parse_schedule : string -> Omp_model.Sched.t option
+(** [OMP_SCHEDULE]: [static|dynamic|guided|auto[,chunk]]. *)
+
+val parse_dynamic : string -> bool option
+(** [OMP_DYNAMIC]: [true|1|yes] / [false|0|no]. *)
+
+val parse_max_active_levels : string -> int option
+(** [OMP_MAX_ACTIVE_LEVELS]: non-negative integer. *)
+
+val parse_thread_limit : string -> int option
+(** [OMP_THREAD_LIMIT]: positive integer. *)
+
+val parse_blocktime : string -> int option
+(** [ZIGOMP_BLOCKTIME]: non-negative integer. *)
+
+val warning_count : unit -> int
+(** Malformed-environment warnings emitted so far (each variable warns
+    at most once per process). *)
+
+val forget_warnings : unit -> unit
+(** Reset the warn-once latch — test hook only. *)

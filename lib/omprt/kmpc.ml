@@ -46,6 +46,12 @@ let barrier ?loc:_ () =
 (* ------------------------------------------------------------------ *)
 (* Static worksharing: __kmpc_for_static_init / _fini.                 *)
 
+(* The one place a [schedule(static, chunk)] clause value is validated;
+   every static entry point routes through it so the error names the
+   function the caller actually used. *)
+let validate_chunk ~fn c =
+  if c < 0 then invalid_arg (Printf.sprintf "Kmpc.%s: negative chunk" fn)
+
 (** Result of {!for_static_init}: the caller's slice of the iteration
     space in *user* iteration values, with an inclusive upper bound and
     the stride to advance by between chunks — the same contract as
@@ -72,7 +78,7 @@ let for_static_init ?loc:_ ?chunk ~lo ~hi ~step () =
                   upper = lo + ((e - 1) * step);
                   stride = (if trips = 0 then step else trips * step) })
   | Some c ->
-      if c < 0 then invalid_arg "for_static_init: negative chunk";
+      validate_chunk ~fn:"for_static_init" c;
       let first = tid * c in
       if first >= trips then None
       else
@@ -106,7 +112,7 @@ let static_for ?loc ?chunk ?(nowait = false) ~lo ~hi ~step body =
           rest of the runtime uses, in place of a second hand-rolled
           implementation *)
        Profile.tick Profile.Static_loop;
-       if c < 0 then invalid_arg "for_static_init: negative chunk";
+       validate_chunk ~fn:"static_for" c;
        let tid = Team.thread_num () and nth = Team.num_threads () in
        let trips = Ws.trip_count ~lo ~hi ~step () in
        Ws.static_chunks_iter ~tid ~nthreads:nth ~trips ~chunk:c
@@ -123,8 +129,11 @@ let static_for ?loc ?chunk ?(nowait = false) ~lo ~hi ~step body =
 (* ------------------------------------------------------------------ *)
 (* Dynamic dispatch: __kmpc_dispatch_init / _next / _fini.             *)
 
+(* [schedule(runtime)] resolves against the *encountering task's*
+   [run-sched-var] — the frame inherited at fork, possibly overridden
+   by this thread's own [omp_set_schedule] — not a process global. *)
 let resolve_runtime_sched trips nthreads =
-  match Icv.global.run_sched with
+  match (Team.icvs ()).Icv.run_sched with
   | Sched.Dynamic c -> (Ws.Dispatch.Dyn, max 1 c)
   | Sched.Guided c -> (Ws.Dispatch.Gui, max 1 c)
   | Sched.Static (Some c) -> (Ws.Dispatch.Dyn, max 1 c)

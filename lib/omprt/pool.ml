@@ -11,10 +11,13 @@
     {!Icv.t.blocktime}), leased wholesale to one top-level region at a
     time.
 
-    The pool serves only top-level, non-oversized regions; nested
-    regions and teams larger than [thread-limit-var] fall back to
+    The pool serves only top-level regions; nested regions fall back to
     spawn-per-fork in {!Team.fork} (and are counted as such in
-    {!Profile.pool_stats}).  A single lease is outstanding at any
+    {!Profile.pool_stats}).  Team sizing — including the
+    [thread-limit-var] cap and serialisation beyond
+    [max-active-levels-var] — happens in {!Team.fork} before the pool
+    is consulted, so [acquire] sees only final sizes.  A single lease
+    is outstanding at any
     moment — concurrent encountering threads race on one CAS and the
     losers fall back, which keeps every mailbox single-producer.
 
@@ -159,14 +162,14 @@ let ensure n =
   end
 
 (** [acquire ~nthreads] — lease [nthreads - 1] hot workers, spawning
-    any that do not exist yet.  [None] when the pool is disabled, the
-    request exceeds [thread-limit-var], another lease is outstanding,
-    or domain creation fails — all of which the caller answers with
-    spawn-per-fork. *)
+    any that do not exist yet.  [None] when the pool is disabled,
+    another lease is outstanding, or domain creation fails — all of
+    which the caller answers with spawn-per-fork.  [nthreads] is the
+    final team size: {!Team.fork} has already applied the encountering
+    task's [thread_limit] and [max_active_levels] ICVs. *)
 let acquire ~nthreads =
   let nw = nthreads - 1 in
   if nw <= 0 || not (Atomic.get enabled) then None
-  else if nw > Icv.global.thread_limit - 1 then None
   else if not (Atomic.compare_and_set busy false true) then None
   else
     match ensure nw with

@@ -8,8 +8,10 @@
     {!Icv.t.blocktime} ([OMP_WAIT_POLICY] / [ZIGOMP_BLOCKTIME]).
 
     One lease is outstanding at a time; {!Team.fork} acquires it for
-    top-level regions and falls back to spawn-per-fork for nested or
-    oversized teams (counted in {!Profile.pool_stats}). *)
+    top-level regions — after applying the encountering task's
+    [thread_limit] / [max_active_levels] ICVs to the team size — and
+    falls back to spawn-per-fork for nested teams (counted in
+    {!Profile.pool_stats}). *)
 
 type lease
 (** Exclusive use of the pool's workers for one parallel region. *)
@@ -17,8 +19,7 @@ type lease
 val acquire : nthreads:int -> lease option
 (** Lease [nthreads - 1] hot workers, growing the pool as needed.
     [None] — the caller must spawn-per-fork — when the pool is
-    disabled, busy, the request exceeds [thread-limit-var], or domain
-    creation fails. *)
+    disabled, busy, or domain creation fails. *)
 
 val dispatch : lease -> (int -> unit) -> unit
 (** Start the closure on every leased worker (thread ids

@@ -58,7 +58,7 @@ let agg_of c = List.assq c aggs
 
 let pool_counters =
   let z () = Atomics.Int.make 0 in
-  (z (), z (), z (), z (), z (), z ())
+  (z (), z (), z (), z (), z (), z (), z ())
 
 (* Hybrid-barrier statistics: how each barrier passage was satisfied —
    during the bounded spin, or by blocking on the condition variable.
@@ -76,8 +76,8 @@ let reset () =
       Atomics.Float.set a.total 0.;
       Atomics.Float.set a.slowest 0.)
     aggs;
-  let a, b, c, d, e, f = pool_counters in
-  List.iter (fun cnt -> Atomics.Int.set cnt 0) [ a; b; c; d; e; f ];
+  let a, b, c, d, e, f, g = pool_counters in
+  List.iter (fun cnt -> Atomics.Int.set cnt 0) [ a; b; c; d; e; f; g ];
   let s, bl = barrier_counters in
   Atomics.Int.set s 0;
   Atomics.Int.set bl 0
@@ -111,6 +111,7 @@ type pool_event =
   | Pool_spin_park       (** a worker picked up work while spinning *)
   | Pool_block_park      (** a worker had to block on its condvar *)
   | Pool_fallback_fork   (** a fork served by spawn-per-fork instead *)
+  | Pool_serialised_fork (** a fork serialised by [max_active_levels] *)
 
 type pool_stats = {
   forks_served : int;
@@ -119,15 +120,17 @@ type pool_stats = {
   spin_parks : int;
   block_parks : int;
   fallback_forks : int;
+  serialised_forks : int;
 }
 
 let pool_counter = function
-  | Pool_fork_served -> (let c, _, _, _, _, _ = pool_counters in c)
-  | Pool_worker_spawned -> (let _, c, _, _, _, _ = pool_counters in c)
-  | Pool_reuse_hit -> (let _, _, c, _, _, _ = pool_counters in c)
-  | Pool_spin_park -> (let _, _, _, c, _, _ = pool_counters in c)
-  | Pool_block_park -> (let _, _, _, _, c, _ = pool_counters in c)
-  | Pool_fallback_fork -> (let _, _, _, _, _, c = pool_counters in c)
+  | Pool_fork_served -> (let c, _, _, _, _, _, _ = pool_counters in c)
+  | Pool_worker_spawned -> (let _, c, _, _, _, _, _ = pool_counters in c)
+  | Pool_reuse_hit -> (let _, _, c, _, _, _, _ = pool_counters in c)
+  | Pool_spin_park -> (let _, _, _, c, _, _, _ = pool_counters in c)
+  | Pool_block_park -> (let _, _, _, _, c, _, _ = pool_counters in c)
+  | Pool_fallback_fork -> (let _, _, _, _, _, c, _ = pool_counters in c)
+  | Pool_serialised_fork -> (let _, _, _, _, _, _, c = pool_counters in c)
 
 let pool_tick e = Atomics.Int.add (pool_counter e) 1
 
@@ -137,16 +140,18 @@ let pool_stats () =
     reuse_hits = Atomics.Int.get (pool_counter Pool_reuse_hit);
     spin_parks = Atomics.Int.get (pool_counter Pool_spin_park);
     block_parks = Atomics.Int.get (pool_counter Pool_block_park);
-    fallback_forks = Atomics.Int.get (pool_counter Pool_fallback_fork) }
+    fallback_forks = Atomics.Int.get (pool_counter Pool_fallback_fork);
+    serialised_forks = Atomics.Int.get (pool_counter Pool_serialised_fork) }
 
 let pool_report () =
   let s = pool_stats () in
   Printf.sprintf
     "hot-team pool: %d forks served, %d workers spawned, %d team reuse \
      hits,\n               %d spin parks, %d block parks, %d fallback \
-     (spawn-per-fork) forks\n"
+     (spawn-per-fork) forks,\n               %d forks serialised by \
+     max_active_levels\n"
     s.forks_served s.workers_spawned s.reuse_hits s.spin_parks
-    s.block_parks s.fallback_forks
+    s.block_parks s.fallback_forks s.serialised_forks
 
 type barrier_event =
   | Barrier_spin_wait   (** passage completed within the spin budget *)
@@ -217,7 +222,8 @@ let report () =
   in
   let s = pool_stats () in
   let table =
-    if s.forks_served + s.workers_spawned + s.fallback_forks = 0 then table
+    if s.forks_served + s.workers_spawned + s.fallback_forks
+       + s.serialised_forks = 0 then table
     else table ^ pool_report ()
   in
   let bs = barrier_stats () in

@@ -61,6 +61,7 @@ type pool_event =
   | Pool_spin_park       (** a worker picked up work while spinning *)
   | Pool_block_park      (** a worker had to block on its condvar *)
   | Pool_fallback_fork   (** a fork served by spawn-per-fork instead *)
+  | Pool_serialised_fork (** a fork serialised by [max_active_levels] *)
 
 type pool_stats = {
   forks_served : int;
@@ -69,6 +70,7 @@ type pool_stats = {
   spin_parks : int;
   block_parks : int;
   fallback_forks : int;
+  serialised_forks : int;
 }
 
 val pool_tick : pool_event -> unit

@@ -8,7 +8,17 @@
     the new team, as the OpenMP execution model requires.  The current
     context is carried in domain-local storage so that [omp_get_thread_num]
     and friends work from arbitrary call depth, and contexts form a chain
-    through [parent] to support nested regions. *)
+    through [parent] to support nested regions.
+
+    Every context also carries its task's ICV frame ({!Icv.t}),
+    snapshotted from the encountering task's frame at fork: this is the
+    OpenMP data-environment model, under which [omp_set_num_threads]
+    inside a region affects only the calling thread's later forks —
+    never its siblings, and never a concurrent top-level region.
+    {!fork} enforces two of those ICVs itself: [thread_limit] caps the
+    contention group (the chain of teams grown from one initial task),
+    and regions nested beyond [max_active_levels] are serialised to a
+    team of one, running inline with no domain spawned at all. *)
 
 type t = {
   team_id : int;
@@ -40,6 +50,16 @@ and ctx = {
   team : t;
   tid : int;
   parent : ctx option;
+  icvs : Icv.t;
+  (** this implicit task's ICV frame, inherited from the encountering
+      task at fork; [Api.set_*] mutates this and nothing else *)
+  active_levels : int;
+  (** enclosing *active* regions, self included (teams of > 1 thread) —
+      the value [max_active_levels] is checked against at the next fork *)
+  group_threads : int;
+  (** threads this contention-group chain has committed so far (the
+      path through the enclosing teams); [fork] caps new teams so this
+      never exceeds [thread_limit] *)
   mutable loop_epoch : int;   (** this thread's count of dispatch loops entered *)
   mutable single_seen : int;  (** this thread's count of single constructs *)
 }
@@ -65,6 +85,11 @@ let current () = Domain.DLS.get key
 
 let set_current c = Domain.DLS.set key c
 
+(** The current task's ICV frame: the innermost context's, or the
+    initial task's ({!Icv.global}) outside any region. *)
+let icvs () =
+  match current () with None -> Icv.global | Some c -> c.icvs
+
 (** Thread id within the innermost enclosing parallel region (0 outside
     any region, matching [omp_get_thread_num]). *)
 let thread_num () =
@@ -74,10 +99,15 @@ let thread_num () =
 let num_threads () =
   match current () with None -> 1 | Some c -> c.team.nthreads
 
+(** [true] iff any enclosing region is active (a team of more than one
+    thread) — a serialised nested region inside an active one still
+    reports [true], as [omp_in_parallel] specifies. *)
 let in_parallel () =
-  match current () with
-  | None -> false
-  | Some c -> c.team.nthreads > 1
+  let rec walk = function
+    | None -> false
+    | Some c -> c.team.nthreads > 1 || walk c.parent
+  in
+  walk (current ())
 
 let level () =
   let rec depth acc = function
@@ -85,6 +115,49 @@ let level () =
     | Some c -> depth (acc + 1) c.parent
   in
   depth 0 (current ())
+
+(** Number of enclosing *active* regions ([omp_get_active_level]). *)
+let active_level () =
+  match current () with None -> 0 | Some c -> c.active_levels
+
+(* The context [lvl] nesting levels deep (1 = outermost region), from
+   the innermost context at depth [depth]. *)
+let rec ctx_at_level ~depth lvl c =
+  if depth = lvl then Some c
+  else
+    match c.parent with
+    | None -> None
+    | Some p -> ctx_at_level ~depth:(depth - 1) lvl p
+
+(** [omp_get_ancestor_thread_num level]: the thread number of this
+    thread's ancestor at [level] (0 = the initial task, always thread
+    0; the current level returns the current thread id); [-1] when
+    [level] is negative or beyond the current nesting depth. *)
+let ancestor_thread_num lvl =
+  let depth = level () in
+  if lvl < 0 || lvl > depth then -1
+  else if lvl = 0 then 0
+  else
+    match current () with
+    | None -> -1
+    | Some c ->
+        (match ctx_at_level ~depth lvl c with
+         | Some a -> a.tid
+         | None -> -1)
+
+(** [omp_get_team_size level]: the size of the team at [level] (level 0
+    — the initial implicit team — has size 1); [-1] out of range. *)
+let team_size lvl =
+  let depth = level () in
+  if lvl < 0 || lvl > depth then -1
+  else if lvl = 0 then 1
+  else
+    match current () with
+    | None -> -1
+    | Some c ->
+        (match ctx_at_level ~depth lvl c with
+         | Some a -> a.team.nthreads
+         | None -> -1)
 
 (* ------------------------------------------------------------------ *)
 (* Fork/join.                                                          *)
@@ -161,27 +234,61 @@ let pooled_fork lease (run : int -> unit -> unit) =
 
 (** [fork ?num_threads body] implements [__kmpc_fork_call]: create (or
     reuse) a team, run [body ~tid] on every member (thread 0 is the
-    encountering thread), and join.  Top-level regions are served by the
-    persistent hot-team pool ({!module:Pool}); nested or oversized
-    regions, and forks racing an outstanding lease, fall back to one
-    [Domain.spawn] per worker.  An exception in any member is re-raised
-    in the encountering thread after all members have finished, wrapped
-    in {!Worker_failure} with the failing thread id (the master's
-    failure wins, then the lowest worker tid). *)
+    encountering thread), and join.
+
+    The team size starts from the [num_threads] clause value or the
+    encountering task's [nthreads-var], then the encountering task's
+    ICV frame is enforced: a fork already inside [max_active_levels]
+    active regions is *serialised* — the body runs inline on a team of
+    one, no domain spawned (with [max_active_levels = 1], the default,
+    nested regions run with 1 thread exactly as libomp) — and
+    [thread_limit] caps the team so the contention group (this chain of
+    nested teams) never exceeds it.
+
+    Each team member's context carries a fresh copy of the
+    encountering task's ICV frame (the OpenMP inheritance rule).
+
+    Top-level regions are served by the persistent hot-team pool
+    ({!module:Pool}); nested-and-active or pool-contended forks fall
+    back to one [Domain.spawn] per worker.  An exception in any member
+    — including the inline body of a serialised or 1-thread region —
+    is re-raised in the encountering thread after all members have
+    finished, wrapped in {!Worker_failure} with the failing thread id
+    (the master's failure wins, then the lowest worker tid). *)
 let fork ?num_threads (body : tid:int -> unit) =
-  let nt =
+  let parent = current () in
+  let pframe = match parent with None -> Icv.global | Some c -> c.icvs in
+  let requested =
     match num_threads with
     | Some n when n > 0 -> n
     | Some _ -> invalid_arg "Team.fork: num_threads must be positive"
-    | None -> Icv.global.nthreads
+    | None -> pframe.Icv.nthreads
   in
-  let parent = current () in
+  let active = match parent with None -> 0 | Some c -> c.active_levels in
+  let group = match parent with None -> 1 | Some c -> c.group_threads in
+  let serialised = requested > 1 && active >= pframe.Icv.max_active_levels in
+  let nt =
+    if serialised then 1
+    else min requested (max 1 (pframe.Icv.thread_limit - group + 1))
+  in
+  if serialised then Profile.pool_tick Profile.Pool_serialised_fork;
   let run team tid () =
-    let ctx = { team; tid; parent; loop_epoch = 0; single_seen = 0 } in
+    let ctx =
+      { team; tid; parent;
+        icvs = Icv.copy pframe;
+        active_levels = active + (if nt > 1 then 1 else 0);
+        group_threads = group + (nt - 1);
+        loop_epoch = 0; single_seen = 0 }
+    in
     set_current (Some ctx);
     Fun.protect ~finally:(fun () -> set_current parent) (fun () -> body ~tid)
   in
-  if nt = 1 then run (create_team 1) 0 ()
+  if nt = 1 then
+    (* the serial path presents the same error surface as the parallel
+       ones: the inline body is "thread 0" of a team of one *)
+    match run (create_team 1) 0 () with
+    | () -> ()
+    | exception e -> raise (Worker_failure (0, e))
   else
     match (if parent = None then Pool.acquire ~nthreads:nt else None) with
     | Some lease ->

@@ -9,14 +9,24 @@
     expression). *)
 
 (** Number of iterations of the normalised loop [for i = lo; i cmp hi; i += step].
-    [inclusive] corresponds to [<=]/[>=] comparisons. *)
+    [inclusive] corresponds to [<=]/[>=] comparisons.
+
+    The inclusive case is computed as [(hi - lo) / step + 1] rather than
+    by widening [hi] one step: [hi + 1] overflows at [max_int] (and
+    [hi - 1] at [min_int] for downward loops), silently turning a full
+    range into zero trips. *)
 let trip_count ?(inclusive = false) ~lo ~hi ~step () =
   if step = 0 then invalid_arg "Ws.trip_count: zero step";
-  let hi = if inclusive then (if step > 0 then hi + 1 else hi - 1) else hi in
-  if step > 0 then
-    if lo >= hi then 0 else (hi - lo + step - 1) / step
+  if inclusive then
+    if step > 0 then
+      if lo > hi then 0 else ((hi - lo) / step) + 1
+    else
+      if lo < hi then 0 else ((lo - hi) / (-step)) + 1
   else
-    if lo <= hi then 0 else (lo - hi + (-step) - 1) / (-step)
+    if step > 0 then
+      if lo >= hi then 0 else (hi - lo + step - 1) / step
+    else
+      if lo <= hi then 0 else (lo - hi + (-step) - 1) / (-step)
 
 (** [static_block ~tid ~nthreads ~trips] is the contiguous block of the
     iteration space [\[0, trips)] owned by thread [tid] under the
@@ -106,14 +116,26 @@ module Dispatch = struct
       finished = Atomic.make 0 }
 
   (** Claim the next chunk; [None] once the iteration space is exhausted.
-      Dynamic claims fixed-size chunks with one fetch-and-add; guided
-      sizes each claim from the remaining work with a CAS loop. *)
+      Both kinds advance the cursor with a CAS loop that clamps at
+      [trips]: a bare fetch-and-add would keep growing the cursor on
+      every post-exhaustion poll (each trailing [dispatch_next] adds
+      [chunk]), making {!remaining} drift and, with a large enough
+      chunk, eventually wrapping the cursor past [max_int] back into
+      range.  Guided additionally sizes each claim from the remaining
+      work. *)
   let next t =
     match t.kind with
     | Dyn ->
-        let start = Atomic.fetch_and_add t.cursor t.chunk in
-        if start >= t.trips then None
-        else Some (start, min t.trips (start + t.chunk))
+        let rec attempt () =
+          let start = Atomic.get t.cursor in
+          if start >= t.trips then None
+          else
+            let stop = min t.trips (start + t.chunk) in
+            if Atomic.compare_and_set t.cursor start stop then
+              Some (start, stop)
+            else attempt ()
+        in
+        attempt ()
     | Gui ->
         let rec attempt () =
           let start = Atomic.get t.cursor in

@@ -43,6 +43,7 @@ type ctx = {
   team : team;
   tid : int;
   parent : ctx option;
+  active_levels : int;  (* enclosing active regions, self included *)
   mutable loop_epoch : int;
   mutable single_seen : int;
 }
@@ -51,6 +52,10 @@ type state = {
   des : Sim.Des.t;
   machine : Sim.Machine.t;
   default_threads : int;
+  max_active_levels : int;
+  (* regions nested beyond this many active levels are serialised to a
+     team of one, mirroring {!Omprt.Team.fork} (default 1: nesting
+     disabled, as libomp) *)
   ctxs : (int, ctx) Hashtbl.t;  (* vthread id -> context *)
   criticals : (string, Sim.Des.Smutex.t) Hashtbl.t;
   stats : stats;
@@ -121,6 +126,10 @@ let make_engine (st : state) : (module Omprt.Omp_intf.S) =
       let nt = max 1 nt in
       st.stats.forks <- st.stats.forks + 1;
       let parent = current_ctx st in
+      let active =
+        match parent with None -> 0 | Some c -> c.active_levels
+      in
+      let nt = if active >= st.max_active_levels then 1 else nt in
       let master_vt = Sim.Des.self st.des in
       Sim.Des.advance st.des (Sim.Perfmodel.fork_time st.machine ~nthreads:nt);
       let team = {
@@ -131,7 +140,9 @@ let make_engine (st : state) : (module Omprt.Omp_intf.S) =
       } in
       let enter vt_id tid =
         Hashtbl.replace st.ctxs vt_id
-          { team; tid; parent; loop_epoch = 0; single_seen = 0 }
+          { team; tid; parent;
+            active_levels = active + (if nt > 1 then 1 else 0);
+            loop_epoch = 0; single_seen = 0 }
       in
       let leave vt_id =
         match parent with
@@ -256,12 +267,16 @@ type result = {
   trace : Sim.Trace.t option;  (** present when tracing was requested *)
 }
 
-(** [run ?machine ?num_threads ?trace f] — execute [f engine] as the
-    initial virtual thread of a fresh simulation and return the virtual
-    makespan.  [num_threads] is the default team size for [parallel]
-    regions without a [num_threads] clause; [trace] records per-thread
-    activity intervals for {!Sim.Trace.gantt}. *)
-let run ?(machine = Sim.Machine.archer2) ?num_threads ?(trace = false)
+(** [run ?machine ?num_threads ?max_active_levels ?trace f] — execute
+    [f engine] as the initial virtual thread of a fresh simulation and
+    return the virtual makespan.  [num_threads] is the default team
+    size for [parallel] regions without a [num_threads] clause;
+    [max_active_levels] (default 1, matching the real runtime) bounds
+    the active nesting depth — deeper regions are serialised to one
+    thread; [trace] records per-thread activity intervals for
+    {!Sim.Trace.gantt}. *)
+let run ?(machine = Sim.Machine.archer2) ?num_threads
+    ?(max_active_levels = 1) ?(trace = false)
     (f : (module Omprt.Omp_intf.S) -> unit) : result =
   let des = Sim.Des.create () in
   let default_threads =
@@ -271,6 +286,7 @@ let run ?(machine = Sim.Machine.archer2) ?num_threads ?(trace = false)
   in
   let st = {
     des; machine; default_threads;
+    max_active_levels = max 0 max_active_levels;
     ctxs = Hashtbl.create 256;
     criticals = Hashtbl.create 8;
     stats = fresh_stats ();

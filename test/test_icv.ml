@@ -1,0 +1,383 @@
+(* Per-task ICV data environments: inheritance at fork, isolation of
+   omp_set_* between siblings and concurrent regions, the thread_limit
+   contention-group cap, max_active_levels serialisation, the
+   ancestor/team-size introspection API, and the warn-once environment
+   parsing. *)
+
+open Omprt
+
+let with_restored_globals f =
+  let saved = Icv.copy Icv.global in
+  Fun.protect
+    ~finally:(fun () ->
+      Icv.global.nthreads <- saved.Icv.nthreads;
+      Icv.global.dynamic <- saved.Icv.dynamic;
+      Icv.global.run_sched <- saved.Icv.run_sched;
+      Icv.global.max_active_levels <- saved.Icv.max_active_levels;
+      Icv.global.thread_limit <- saved.Icv.thread_limit;
+      Icv.global.wait_policy <- saved.Icv.wait_policy;
+      Icv.global.blocktime <- saved.Icv.blocktime)
+    f
+
+(* --- isolation ----------------------------------------------------- *)
+
+let test_set_num_threads_does_not_leak_to_siblings () =
+  with_restored_globals @@ fun () ->
+  Icv.global.nthreads <- 5;
+  let views = Array.make 4 0 in
+  Omp.parallel ~num_threads:4 (fun () ->
+      let tid = Omp.thread_num () in
+      (* every thread sets a different value in its own frame... *)
+      Api.set_num_threads (10 + tid);
+      Omp.barrier ();
+      (* ...and sees only its own, not a last-writer-wins global *)
+      views.(tid) <- Api.get_max_threads ());
+  Alcotest.(check (array int)) "each thread sees its own nthreads-var"
+    [| 10; 11; 12; 13 |] views;
+  Alcotest.(check int) "the initial task's frame is untouched" 5
+    (Api.get_max_threads ())
+
+let test_set_inside_region_does_not_leak_to_next_region () =
+  with_restored_globals @@ fun () ->
+  Icv.global.nthreads <- 3;
+  Omp.parallel ~num_threads:2 (fun () -> Api.set_num_threads 64);
+  Alcotest.(check int) "after the region the default is unchanged" 3
+    (Api.get_max_threads ());
+  let size = Atomic.make 0 in
+  Omp.parallel (fun () ->
+      if Omp.thread_num () = 0 then Atomic.set size (Omp.num_threads ()));
+  Alcotest.(check int) "the next region uses the untouched default" 3
+    (Atomic.get size)
+
+let test_concurrent_top_level_regions_are_isolated () =
+  (* two initial threads (raw domains), each encountering its own
+     top-level region: omp_set_num_threads inside one must never be
+     visible to the other — they are separate contention groups *)
+  with_restored_globals @@ fun () ->
+  Icv.global.nthreads <- 2;
+  let run mine =
+    Domain.spawn (fun () ->
+        let ok = ref true in
+        for _ = 1 to 50 do
+          Omp.parallel ~num_threads:2 (fun () ->
+              Api.set_num_threads mine;
+              for _ = 1 to 20 do
+                if Api.get_max_threads () <> mine then ok := false
+              done)
+        done;
+        !ok)
+  in
+  let d1 = run 77 and d2 = run 88 in
+  let ok1 = Domain.join d1 and ok2 = Domain.join d2 in
+  Alcotest.(check bool) "domain 1 never saw domain 2's value" true ok1;
+  Alcotest.(check bool) "domain 2 never saw domain 1's value" true ok2;
+  Alcotest.(check int) "the global frame is untouched" 2
+    (Api.get_max_threads ())
+
+let test_child_inherits_parent_frame () =
+  with_restored_globals @@ fun () ->
+  Api.set_max_active_levels 2;
+  let inherited = Atomic.make 0 in
+  let inner_size = Atomic.make 0 in
+  Omp.parallel ~num_threads:2 (fun () ->
+      if Omp.thread_num () = 0 then begin
+        (* set in this task's frame; the nested team must inherit it *)
+        Api.set_num_threads 3;
+        Omp.parallel (fun () ->
+            if Omp.thread_num () = 0 then begin
+              Atomic.set inherited (Api.get_max_threads ());
+              Atomic.set inner_size (Omp.num_threads ())
+            end)
+      end);
+  Alcotest.(check int) "nested team size comes from the parent's frame" 3
+    (Atomic.get inner_size);
+  Alcotest.(check int) "nested tasks inherit the parent's nthreads-var" 3
+    (Atomic.get inherited)
+
+(* --- thread_limit -------------------------------------------------- *)
+
+let test_thread_limit_caps_team () =
+  with_restored_globals @@ fun () ->
+  Icv.global.thread_limit <- 3;
+  let size = Atomic.make 0 in
+  Omp.parallel ~num_threads:8 (fun () ->
+      if Omp.thread_num () = 0 then Atomic.set size (Omp.num_threads ()));
+  Alcotest.(check int) "team capped to thread_limit" 3 (Atomic.get size)
+
+let test_thread_limit_caps_contention_group () =
+  with_restored_globals @@ fun () ->
+  Icv.global.thread_limit <- 3;
+  Icv.global.max_active_levels <- 2;
+  let inner_size = Atomic.make 0 in
+  Omp.parallel ~num_threads:2 (fun () ->
+      if Omp.thread_num () = 0 then
+        (* 2 threads already committed: only one more fits *)
+        Omp.parallel ~num_threads:4 (fun () ->
+            if Omp.thread_num () = 0 then
+              Atomic.set inner_size (Omp.num_threads ())));
+  Alcotest.(check int) "inner team limited to the remaining budget" 2
+    (Atomic.get inner_size)
+
+(* --- max_active_levels --------------------------------------------- *)
+
+let test_default_serialises_nested_regions () =
+  let facts = Atomic.make (0, 0, 0, false) in
+  Omp.parallel ~num_threads:2 (fun () ->
+      if Omp.thread_num () = 0 then
+        Omp.parallel ~num_threads:2 (fun () ->
+            if Omp.thread_num () = 0 then
+              Atomic.set facts
+                ( Omp.num_threads (), Api.get_level (),
+                  Api.get_active_level (), Api.in_parallel () )));
+  let nth, level, active, inpar = Atomic.get facts in
+  Alcotest.(check int) "inner team serialised to one thread" 1 nth;
+  Alcotest.(check int) "nesting level counts both regions" 2 level;
+  Alcotest.(check int) "only the outer region is active" 1 active;
+  Alcotest.(check bool) "in_parallel still true inside" true inpar
+
+let test_set_max_active_levels_round_trip () =
+  with_restored_globals @@ fun () ->
+  Api.set_max_active_levels 3;
+  Alcotest.(check int) "set/get" 3 (Api.get_max_active_levels ());
+  Api.set_max_active_levels (-1);
+  Alcotest.(check int) "negative ignored" 3 (Api.get_max_active_levels ());
+  Api.set_max_active_levels 0;
+  Alcotest.(check int) "zero accepted (all regions serialised)" 0
+    (Api.get_max_active_levels ());
+  Api.set_max_active_levels max_int;
+  Alcotest.(check int) "clamped to the supported maximum"
+    (Api.get_supported_active_levels ())
+    (Api.get_max_active_levels ())
+
+let test_zero_levels_serialises_top_level () =
+  with_restored_globals @@ fun () ->
+  Api.set_max_active_levels 0;
+  let size = Atomic.make 0 in
+  Omp.parallel ~num_threads:4 (fun () ->
+      if Omp.thread_num () = 0 then Atomic.set size (Omp.num_threads ()));
+  Alcotest.(check int) "even the top-level region is serialised" 1
+    (Atomic.get size)
+
+(* --- ancestors ----------------------------------------------------- *)
+
+let test_ancestor_and_team_size_at_depth_2 () =
+  with_restored_globals @@ fun () ->
+  Api.set_max_active_levels 2;
+  let checks = Atomic.make [] in
+  Omp.parallel ~num_threads:2 (fun () ->
+      let outer_tid = Omp.thread_num () in
+      Omp.parallel ~num_threads:2 (fun () ->
+          let facts =
+            ( outer_tid,
+              Omp.thread_num (),
+              Api.get_ancestor_thread_num 1,
+              Api.get_ancestor_thread_num 2,
+              Api.get_team_size 0,
+              Api.get_team_size 1,
+              Api.get_team_size 2,
+              Api.get_ancestor_thread_num 0,
+              Api.get_ancestor_thread_num 3,
+              Api.get_team_size 3 )
+          in
+          Atomics.cas_loop checks (fun l -> facts :: l)));
+  let all = Atomic.get checks in
+  Alcotest.(check int) "4 leaves" 4 (List.length all);
+  List.iter
+    (fun (outer, inner, anc1, anc2, sz0, sz1, sz2, anc0, anc3, sz3) ->
+      Alcotest.(check int) "ancestor at level 1 is the outer tid" outer anc1;
+      Alcotest.(check int) "ancestor at the current level is self" inner
+        anc2;
+      Alcotest.(check int) "initial team has one thread" 1 sz0;
+      Alcotest.(check int) "outer team size" 2 sz1;
+      Alcotest.(check int) "inner team size" 2 sz2;
+      Alcotest.(check int) "level 0 ancestor is thread 0" 0 anc0;
+      Alcotest.(check int) "beyond the nesting depth: -1" (-1) anc3;
+      Alcotest.(check int) "team size beyond the depth: -1" (-1) sz3)
+    all
+
+let test_ancestor_outside_any_region () =
+  Alcotest.(check int) "level 0 outside" 0 (Api.get_ancestor_thread_num 0);
+  Alcotest.(check int) "team size 0 outside" 1 (Api.get_team_size 0);
+  Alcotest.(check int) "level 1 outside is out of range" (-1)
+    (Api.get_ancestor_thread_num 1);
+  Alcotest.(check int) "negative level" (-1) (Api.get_ancestor_thread_num (-1))
+
+(* --- serial-path failures and chunk validation --------------------- *)
+
+let test_serial_fork_wraps_body_exception () =
+  Alcotest.(check bool) "nt=1 failure arrives as Worker_failure tid 0" true
+    (try
+       Team.fork ~num_threads:1 (fun ~tid:_ -> failwith "serial boom");
+       false
+     with Team.Worker_failure (0, Failure msg) -> msg = "serial boom")
+
+let test_serialised_fork_wraps_body_exception () =
+  Alcotest.(check bool)
+    "serialised nested failure arrives as Worker_failure" true
+    (try
+       Omp.parallel ~num_threads:2 (fun () ->
+           Omp.parallel ~num_threads:2 (fun () -> failwith "nested boom"));
+       false
+     with
+     | Team.Worker_failure (_, Team.Worker_failure (0, Failure msg)) ->
+         msg = "nested boom")
+
+let test_negative_chunk_error_names_the_entry_point () =
+  Alcotest.check_raises "static_for path"
+    (Invalid_argument "Kmpc.static_for: negative chunk") (fun () ->
+      Kmpc.static_for ~chunk:(-2) ~lo:0 ~hi:10 ~step:1 (fun _ -> ()));
+  Alcotest.check_raises "for_static_init path"
+    (Invalid_argument "Kmpc.for_static_init: negative chunk") (fun () ->
+      ignore (Kmpc.for_static_init ~chunk:(-2) ~lo:0 ~hi:10 ~step:1 ()))
+
+(* --- schedule(runtime) resolves against the task frame ------------- *)
+
+let test_runtime_schedule_set_inside_region () =
+  with_restored_globals @@ fun () ->
+  Icv.global.run_sched <- Omp_model.Sched.Static None;
+  let hits = Array.make 60 0 in
+  Omp.parallel ~num_threads:2 (fun () ->
+      (* each thread overrides its own run-sched-var; the runtime loop
+         must resolve against the frame, not a process global *)
+      Api.set_schedule (Omp_model.Sched.Dynamic 4);
+      Omp.ws_for ~sched:Omp_model.Sched.Runtime ~lo:0 ~hi:60 (fun lo hi ->
+          for i = lo to hi - 1 do
+            ignore (Atomic.fetch_and_add (Atomic.make 0) 1);
+            hits.(i) <- hits.(i) + 1
+          done));
+  Alcotest.(check bool) "covered exactly once" true
+    (Array.for_all (( = ) 1) hits);
+  Alcotest.(check bool) "the global run-sched-var is untouched" true
+    (Icv.global.run_sched = Omp_model.Sched.Static None)
+
+(* --- environment parsing and warn-once ----------------------------- *)
+
+let with_env pairs f =
+  let saved = List.map (fun (k, _) -> (k, Sys.getenv_opt k)) pairs in
+  List.iter (fun (k, v) -> Unix.putenv k v) pairs;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun (k, old) -> Unix.putenv k (Option.value old ~default:""))
+        saved)
+    f
+
+let test_pure_parsers () =
+  Alcotest.(check (option int)) "nthreads ok" (Some 4)
+    (Icv.parse_nthreads " 4 ");
+  Alcotest.(check (option int)) "nthreads zero rejected" None
+    (Icv.parse_nthreads "0");
+  Alcotest.(check (option int)) "nthreads garbage rejected" None
+    (Icv.parse_nthreads "four");
+  Alcotest.(check (option int)) "levels zero ok" (Some 0)
+    (Icv.parse_max_active_levels "0");
+  Alcotest.(check (option int)) "levels negative rejected" None
+    (Icv.parse_max_active_levels "-1");
+  Alcotest.(check (option bool)) "dynamic true forms" (Some true)
+    (Icv.parse_dynamic "TRUE");
+  Alcotest.(check (option bool)) "dynamic 0 is false" (Some false)
+    (Icv.parse_dynamic "0");
+  Alcotest.(check (option bool)) "dynamic garbage rejected" None
+    (Icv.parse_dynamic "maybe");
+  Alcotest.(check (option int)) "blocktime zero ok" (Some 0)
+    (Icv.parse_blocktime "0");
+  Alcotest.(check (option int)) "blocktime negative rejected" None
+    (Icv.parse_blocktime "-5");
+  Alcotest.(check bool) "schedule parse routes to Sched.of_string" true
+    (Icv.parse_schedule "dynamic,8" = Some (Omp_model.Sched.Dynamic 8))
+
+let test_malformed_env_warns_once () =
+  with_restored_globals @@ fun () ->
+  with_env
+    [ ("OMP_DYNAMIC", "perhaps"); ("OMP_NUM_THREADS", "lots");
+      ("ZIGOMP_WARNINGS", "0") ]
+    (fun () ->
+      Icv.forget_warnings ();
+      let before = Icv.warning_count () in
+      Icv.reset ();
+      Alcotest.(check int) "one warning per malformed variable"
+        (before + 2) (Icv.warning_count ());
+      Alcotest.(check bool) "dynamic fell back to its default" false
+        Icv.global.dynamic;
+      Alcotest.(check int) "nthreads fell back to the host default"
+        (Domain.recommended_domain_count ())
+        Icv.global.nthreads;
+      (* the latch: a second read of the same variables stays quiet *)
+      Icv.reset ();
+      Alcotest.(check int) "re-reading does not warn again"
+        (before + 2) (Icv.warning_count ()));
+  Icv.forget_warnings ()
+
+let test_well_formed_and_empty_env_do_not_warn () =
+  with_restored_globals @@ fun () ->
+  with_env
+    [ ("OMP_DYNAMIC", "true"); ("OMP_NUM_THREADS", "");
+      ("OMP_MAX_ACTIVE_LEVELS", "2"); ("OMP_THREAD_LIMIT", "9");
+      ("OMP_SCHEDULE", "guided,4") ]
+    (fun () ->
+      Icv.forget_warnings ();
+      let before = Icv.warning_count () in
+      Icv.reset ();
+      Alcotest.(check int) "no warnings for valid or empty values" before
+        (Icv.warning_count ());
+      Alcotest.(check bool) "dynamic parsed" true Icv.global.dynamic;
+      Alcotest.(check int) "max_active_levels parsed" 2
+        Icv.global.max_active_levels;
+      Alcotest.(check int) "thread_limit parsed" 9 Icv.global.thread_limit;
+      Alcotest.(check bool) "schedule parsed" true
+        (Icv.global.run_sched = Omp_model.Sched.Guided 4));
+  Icv.reset ()
+
+let test_malformed_schedule_env_warns () =
+  with_restored_globals @@ fun () ->
+  with_env [ ("OMP_SCHEDULE", "bogus,3"); ("ZIGOMP_WARNINGS", "off") ]
+    (fun () ->
+      Icv.forget_warnings ();
+      let before = Icv.warning_count () in
+      Icv.reset ();
+      Alcotest.(check int) "malformed schedule warned" (before + 1)
+        (Icv.warning_count ());
+      Alcotest.(check bool) "fell back to static" true
+        (Icv.global.run_sched = Omp_model.Sched.Static None));
+  Icv.forget_warnings ();
+  Icv.reset ()
+
+let suite =
+  [ Alcotest.test_case "set_num_threads stays in the caller's frame" `Quick
+      test_set_num_threads_does_not_leak_to_siblings;
+    Alcotest.test_case "no leak into the next region" `Quick
+      test_set_inside_region_does_not_leak_to_next_region;
+    Alcotest.test_case "concurrent top-level regions are isolated" `Quick
+      test_concurrent_top_level_regions_are_isolated;
+    Alcotest.test_case "nested tasks inherit the parent frame" `Quick
+      test_child_inherits_parent_frame;
+    Alcotest.test_case "thread_limit caps the team" `Quick
+      test_thread_limit_caps_team;
+    Alcotest.test_case "thread_limit caps the contention group" `Quick
+      test_thread_limit_caps_contention_group;
+    Alcotest.test_case "nested regions serialise by default" `Quick
+      test_default_serialises_nested_regions;
+    Alcotest.test_case "max_active_levels round trip" `Quick
+      test_set_max_active_levels_round_trip;
+    Alcotest.test_case "max_active_levels 0 serialises top level" `Quick
+      test_zero_levels_serialises_top_level;
+    Alcotest.test_case "ancestor/team size at depth 2" `Quick
+      test_ancestor_and_team_size_at_depth_2;
+    Alcotest.test_case "ancestor API outside any region" `Quick
+      test_ancestor_outside_any_region;
+    Alcotest.test_case "serial fork wraps body exceptions" `Quick
+      test_serial_fork_wraps_body_exception;
+    Alcotest.test_case "serialised fork wraps body exceptions" `Quick
+      test_serialised_fork_wraps_body_exception;
+    Alcotest.test_case "negative chunk names the entry point" `Quick
+      test_negative_chunk_error_names_the_entry_point;
+    Alcotest.test_case "schedule(runtime) reads the task frame" `Quick
+      test_runtime_schedule_set_inside_region;
+    Alcotest.test_case "pure env parsers" `Quick test_pure_parsers;
+    Alcotest.test_case "malformed env warns once" `Quick
+      test_malformed_env_warns_once;
+    Alcotest.test_case "valid and empty env stay quiet" `Quick
+      test_well_formed_and_empty_env_do_not_warn;
+    Alcotest.test_case "malformed OMP_SCHEDULE warns" `Quick
+      test_malformed_schedule_env_warns;
+  ]

@@ -7,6 +7,7 @@ let () =
       ("packed-clauses", Test_packed.suite);
       ("worksharing", Test_ws.suite);
       ("runtime", Test_runtime.suite);
+      ("icv", Test_icv.suite);
       ("pool", Test_pool.suite);
       ("atomics", Test_atomics.suite);
       ("simulator", Test_sim.suite);

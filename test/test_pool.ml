@@ -11,11 +11,13 @@ let with_restored_icvs f =
   let saved_limit = Icv.global.thread_limit in
   let saved_blocktime = Icv.global.blocktime in
   let saved_policy = Icv.global.wait_policy in
+  let saved_levels = Icv.global.max_active_levels in
   Fun.protect
     ~finally:(fun () ->
       Icv.global.thread_limit <- saved_limit;
       Icv.global.blocktime <- saved_blocktime;
-      Icv.global.wait_policy <- saved_policy)
+      Icv.global.wait_policy <- saved_policy;
+      Icv.global.max_active_levels <- saved_levels)
     f
 
 let test_pooled_fork_covers () =
@@ -51,6 +53,8 @@ let test_thousand_back_to_back_forks () =
     (Atomic.get total)
 
 let test_nested_regions_fall_back () =
+  with_restored_icvs @@ fun () ->
+  Icv.global.max_active_levels <- 2;  (* nesting is off by default *)
   Profile.reset ();
   let total = Atomic.make 0 in
   Omp.parallel ~num_threads:2 (fun () ->
@@ -62,17 +66,36 @@ let test_nested_regions_fall_back () =
   Alcotest.(check bool) "outer region used the pool" true
     (s.Profile.forks_served >= 1)
 
-let test_oversized_team_falls_back () =
+let test_serialised_nested_forks_are_counted () =
+  (* default max_active_levels = 1: the inner forks run inline — no
+     spawn-per-fork fallback, and the pool counters say why *)
+  Profile.reset ();
+  let total = Atomic.make 0 in
+  Omp.parallel ~num_threads:2 (fun () ->
+      Omp.parallel ~num_threads:2 (fun () -> Atomics.Int.add total 1));
+  Alcotest.(check int) "inner regions serialised" 2 (Atomic.get total);
+  let s = Profile.pool_stats () in
+  Alcotest.(check int) "both inner forks counted as serialised" 2
+    s.Profile.serialised_forks;
+  Alcotest.(check int) "no spawn-per-fork fallback" 0
+    s.Profile.fallback_forks
+
+let test_oversized_team_is_capped () =
+  (* thread_limit now caps the team size up front (OpenMP contention
+     group), so the capped team still goes through the pool rather than
+     falling back to spawn-per-fork as it used to *)
   with_restored_icvs @@ fun () ->
   Icv.global.thread_limit <- 2;
   Profile.reset ();
   let seen = Array.make nt false in
   Team.fork ~num_threads:nt (fun ~tid -> seen.(tid) <- true);
-  Alcotest.(check (array bool)) "oversized team still runs fully"
-    (Array.make nt true) seen;
+  Alcotest.(check (array bool)) "team capped to thread_limit"
+    [| true; true; false; false |] seen;
   let s = Profile.pool_stats () in
-  Alcotest.(check int) "served by spawn-per-fork" 1 s.Profile.fallback_forks;
-  Alcotest.(check int) "not by the pool" 0 s.Profile.forks_served
+  Alcotest.(check int) "capped team served by the pool" 1
+    s.Profile.forks_served;
+  Alcotest.(check int) "no spawn-per-fork fallback" 0
+    s.Profile.fallback_forks
 
 let test_worker_failure_carries_tid () =
   (* the failing thread is a pooled worker, not the master *)
@@ -196,8 +219,10 @@ let suite =
       test_thousand_back_to_back_forks;
     Alcotest.test_case "nested regions fall back to spawn" `Quick
       test_nested_regions_fall_back;
-    Alcotest.test_case "oversized teams fall back to spawn" `Quick
-      test_oversized_team_falls_back;
+    Alcotest.test_case "serialised nested forks are counted" `Quick
+      test_serialised_nested_forks_are_counted;
+    Alcotest.test_case "oversized teams are capped to thread_limit" `Quick
+      test_oversized_team_is_capped;
     Alcotest.test_case "Worker_failure carries the pooled tid" `Quick
       test_worker_failure_carries_tid;
     Alcotest.test_case "pool survives a failed region" `Quick

@@ -28,11 +28,30 @@ let test_num_threads_inside_outside () =
   Alcotest.(check int) "restored" 1 (Omp.num_threads ())
 
 let test_nested_parallel () =
+  (* nesting is disabled by default (max_active_levels = 1, as libomp);
+     raise the limit so the inner region is genuinely active *)
+  let saved = Api.get_max_active_levels () in
+  Api.set_max_active_levels 2;
+  Fun.protect ~finally:(fun () -> Api.set_max_active_levels saved)
+  @@ fun () ->
   let total = Atomic.make 0 in
   Omp.parallel ~num_threads:2 (fun () ->
       Omp.parallel ~num_threads:2 (fun () ->
           Atomics.Int.add total 1));
   Alcotest.(check int) "2 x 2 executions" 4 (Atomic.get total)
+
+let test_nested_parallel_serialised_by_default () =
+  (* with the default max_active_levels = 1, the inner region runs on a
+     team of one: 2 outer threads x 1 inner thread *)
+  let total = Atomic.make 0 in
+  let inner_sizes = Atomic.make [] in
+  Omp.parallel ~num_threads:2 (fun () ->
+      Omp.parallel ~num_threads:2 (fun () ->
+          Atomics.cas_loop inner_sizes (fun l -> Omp.num_threads () :: l);
+          Atomics.Int.add total 1));
+  Alcotest.(check int) "2 x 1 executions" 2 (Atomic.get total);
+  Alcotest.(check (list int)) "inner teams have one thread" [ 1; 1 ]
+    (Atomic.get inner_sizes)
 
 let test_barrier_ordering () =
   (* all pre-barrier increments visible after the barrier to all *)
@@ -243,6 +262,8 @@ let suite =
     Alcotest.test_case "num_threads inside/outside" `Quick
       test_num_threads_inside_outside;
     Alcotest.test_case "nested parallel" `Quick test_nested_parallel;
+    Alcotest.test_case "nested parallel serialised by default" `Quick
+      test_nested_parallel_serialised_by_default;
     Alcotest.test_case "barrier orders memory" `Quick test_barrier_ordering;
     Alcotest.test_case "barrier reusable across phases" `Quick
       test_barrier_reusable;

@@ -19,6 +19,64 @@ let test_trip_count () =
     (Invalid_argument "Ws.trip_count: zero step") (fun () ->
       ignore (Ws.trip_count ~lo:0 ~hi:1 ~step:0 ()))
 
+let test_trip_count_extreme_bounds () =
+  (* inclusive upper bound at max_int: the old [hi + 1] widening wrapped
+     to min_int and reported an empty loop *)
+  Alcotest.(check int) "<= max_int does not wrap" 10
+    (Ws.trip_count ~inclusive:true ~lo:(max_int - 9) ~hi:max_int ~step:1 ());
+  Alcotest.(check int) ">= min_int does not wrap" 10
+    (Ws.trip_count ~inclusive:true ~lo:(min_int + 9) ~hi:min_int
+       ~step:(-1) ());
+  Alcotest.(check int) "single iteration at max_int" 1
+    (Ws.trip_count ~inclusive:true ~lo:max_int ~hi:max_int ~step:1 ());
+  Alcotest.(check int) "single iteration at min_int" 1
+    (Ws.trip_count ~inclusive:true ~lo:min_int ~hi:min_int ~step:(-1) ());
+  Alcotest.(check int) "strided inclusive at max_int" 4
+    (Ws.trip_count ~inclusive:true ~lo:(max_int - 9) ~hi:max_int ~step:3 ());
+  Alcotest.(check int) "empty inclusive range stays empty" 0
+    (Ws.trip_count ~inclusive:true ~lo:max_int ~hi:(max_int - 1) ~step:1 ())
+
+let test_dispatch_exhausted_cursor_is_clamped () =
+  (* a bare fetch-and-add kept growing the cursor after exhaustion;
+     with a huge chunk a few trailing polls were enough to wrap it past
+     max_int and hand out phantom chunks *)
+  let chunk = max_int / 4 in
+  let d =
+    Ws.Dispatch.create ~kind:Ws.Dispatch.Dyn ~trips:(chunk + 1) ~chunk
+      ~nthreads:2
+  in
+  Alcotest.(check (option (pair int int))) "1st" (Some (0, chunk))
+    (Ws.Dispatch.next d);
+  Alcotest.(check (option (pair int int))) "2nd (short)"
+    (Some (chunk, chunk + 1))
+    (Ws.Dispatch.next d);
+  for _ = 1 to 100 do
+    Alcotest.(check (option (pair int int))) "post-exhaustion poll" None
+      (Ws.Dispatch.next d);
+    Alcotest.(check int) "remaining stays exact" 0 (Ws.Dispatch.remaining d)
+  done
+
+let test_dispatch_exhausted_under_contention () =
+  (* hammer an exhausted dispatcher from several domains at once: no
+     claim may ever be produced, and the cursor must not move *)
+  let d =
+    Ws.Dispatch.create ~kind:Ws.Dispatch.Dyn ~trips:8 ~chunk:(max_int / 2)
+      ~nthreads:4
+  in
+  Alcotest.(check bool) "the only chunk" true (Ws.Dispatch.next d <> None);
+  let phantom = Atomic.make 0 in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 10_000 do
+              if Ws.Dispatch.next d <> None then
+                Atomics.Int.add phantom 1
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no phantom chunks" 0 (Atomic.get phantom);
+  Alcotest.(check int) "remaining still exact" 0 (Ws.Dispatch.remaining d)
+
 let test_static_block_balance () =
   (* libomp rule: first (trips mod nthreads) threads get one extra *)
   let blocks =
@@ -199,6 +257,43 @@ let prop_static_chunks_iter_agrees =
           && Ws.static_chunks ~tid ~nthreads ~trips ~chunk = spec)
         (List.init nthreads Fun.id))
 
+(* Naive (overflow-prone near the int extremes, but run only far from
+   them) reference for the inclusive trip count. *)
+let spec_inclusive_trips ~lo ~hi ~step =
+  let rec count i acc =
+    if step > 0 then (if i > hi then acc else count (i + step) (acc + 1))
+    else if i < hi then acc
+    else count (i + step) (acc + 1)
+  in
+  count lo 0
+
+let prop_inclusive_trip_count =
+  QCheck2.Test.make
+    ~name:"inclusive trip count matches enumeration and survives extremes"
+    ~count:500
+    QCheck2.Gen.(
+      let* extreme = bool in
+      let* step_mag = int_range 1 7 in
+      let* up = bool in
+      let* span = int_range 0 50 in
+      let* lo0 = int_range (-100) 100 in
+      return (extreme, step_mag, up, span, lo0))
+    (fun (extreme, step_mag, up, span, lo0) ->
+      let step = if up then step_mag else -step_mag in
+      if extreme then begin
+        (* pin the far bound to the int extreme the old code wrapped at *)
+        let lo, hi =
+          if up then (max_int - span, max_int) else (min_int + span, min_int)
+        in
+        let expected = (span / step_mag) + 1 in
+        Ws.trip_count ~inclusive:true ~lo ~hi ~step () = expected
+      end
+      else begin
+        let hi = if up then lo0 + span else lo0 - span in
+        Ws.trip_count ~inclusive:true ~lo:lo0 ~hi ~step ()
+        = spec_inclusive_trips ~lo:lo0 ~hi ~step
+      end)
+
 let prop_dispatch_partition =
   QCheck2.Test.make
     ~name:"dynamic/guided dispatch covers every iteration exactly once"
@@ -220,6 +315,12 @@ let prop_dispatch_partition =
 
 let suite =
   [ Alcotest.test_case "trip counts" `Quick test_trip_count;
+    Alcotest.test_case "trip counts at the int extremes" `Quick
+      test_trip_count_extreme_bounds;
+    Alcotest.test_case "exhausted dispatcher cursor is clamped" `Quick
+      test_dispatch_exhausted_cursor_is_clamped;
+    Alcotest.test_case "exhausted dispatcher under contention" `Quick
+      test_dispatch_exhausted_under_contention;
     Alcotest.test_case "static block balance" `Quick test_static_block_balance;
     Alcotest.test_case "more threads than trips" `Quick
       test_static_block_fewer_trips_than_threads;
@@ -232,6 +333,7 @@ let suite =
       test_guided_chunks_decrease;
     Alcotest.test_case "dynamic dispatch sequence" `Quick
       test_dispatch_dynamic_sequential;
+    QCheck_alcotest.to_alcotest prop_inclusive_trip_count;
     QCheck_alcotest.to_alcotest prop_static_block_partition;
     QCheck_alcotest.to_alcotest prop_static_block_balanced;
     QCheck_alcotest.to_alcotest prop_static_chunks_partition;

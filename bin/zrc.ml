@@ -18,14 +18,16 @@ let read_file path =
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
 
-let handle_errors f =
-  (* every Team.fork path — including serialised teams of one — wraps
-     body failures in Worker_failure; unwrap for the user *)
-  let rec cause = function
-    | Omprt.Team.Worker_failure (_, e) -> cause e
-    | e -> e
-  in
-  try f (); 0 with e -> (
+(* every Team.fork path — including serialised teams of one — wraps
+   body failures in Worker_failure; unwrap for the user *)
+let rec cause = function
+  | Omprt.Team.Worker_failure (_, e) -> cause e
+  | e -> e
+
+(* [handle_errors' f] runs [f] for its exit code; [handle_errors f]
+   runs a unit action and exits 0 on success.  Driver errors exit 1. *)
+let handle_errors' f =
+  try f () with e -> (
     match cause e with
     | Zr.Source.Error msg ->
         Printf.eprintf "error: %s\n" msg; 1
@@ -34,6 +36,8 @@ let handle_errors f =
     | Failure msg | Invalid_argument msg ->
         Printf.eprintf "error: %s\n" msg; 1
     | e -> raise e)
+
+let handle_errors f = handle_errors' (fun () -> f (); 0)
 
 (* ---- tokens ---- *)
 
@@ -155,6 +159,111 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Preprocess and execute main()")
     Term.(const run $ file_arg $ threads $ profile $ backend)
 
+(* ---- analyze ---- *)
+
+module Report = Zigomp.Checker.Report
+
+(* The NPB Zr kernels ship inside the harness; `--kernel` analyses them
+   without needing the source on disk. *)
+let kernel_source = function
+  | "cg" -> ("conj_grad.zr", Zigomp.Harness.Zr_cg.conj_grad_src)
+  | "ep" -> ("ep.zr", Zigomp.Harness.Zr_ep.src)
+  | "is" -> ("is.zr", Zigomp.Harness.Zr_is.src)
+  | k -> failwith (Printf.sprintf "unknown kernel %S (expected cg|ep|is)" k)
+
+let print_report ~json ~show_may (r : Zigomp.Analyzer.result) =
+  if json then print_endline (Report.to_json ~may:r.Zigomp.Analyzer.may r.report)
+  else begin
+    print_endline (Report.to_string r.report);
+    if show_may && r.may <> [] then begin
+      Printf.printf "%d advisory (MAY) finding(s):\n"
+        (List.length r.Zigomp.Analyzer.may);
+      List.iter
+        (fun (f : Report.finding) -> print_endline f.Report.line)
+        r.Zigomp.Analyzer.may
+    end
+  end
+
+let analyze_cmd =
+  let file_opt =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let kernel_opt =
+    Arg.(value & opt (some string) None
+         & info [ "kernel" ] ~docv:"NAME"
+             ~doc:"Analyse a bundled NPB Zr kernel ($(b,cg), $(b,ep) or \
+                   $(b,is)) instead of a file")
+  in
+  let json_opt =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print the report as JSON (schema zigomp-report/1, \
+                   shared with $(b,zrc check --json))")
+  in
+  let fix_opt =
+    Arg.(value & flag
+         & info [ "fix" ]
+             ~doc:"Rewrite directives to repair PROVEN findings, \
+                   re-analysing to a fixpoint; print the fixed source \
+                   on stdout (report goes to stderr)")
+  in
+  let in_place_opt =
+    Arg.(value & flag
+         & info [ "in-place"; "i" ]
+             ~doc:"With $(b,--fix): write the fixed source back to FILE")
+  in
+  let may_opt =
+    Arg.(value & flag
+         & info [ "may" ]
+             ~doc:"Also print advisory (MAY) findings; they never \
+                   affect the exit code")
+  in
+  let run file kernel json fix in_place show_may =
+    handle_errors' (fun () ->
+        let name, source =
+          match (kernel, file) with
+          | Some k, None -> kernel_source k
+          | None, Some f -> (f, read_file f)
+          | Some _, Some _ -> failwith "FILE and --kernel are exclusive"
+          | None, None -> failwith "expected FILE or --kernel"
+        in
+        if not fix then begin
+          let r = Zigomp.analyze ~name source in
+          print_report ~json ~show_may r;
+          Report.exit_code r.Zigomp.Analyzer.report
+        end
+        else begin
+          let fixed, r, rounds = Zigomp.analyze_fix ~name source in
+          if in_place then begin
+            (match (kernel, file) with
+             | None, Some f when fixed <> source ->
+                 let oc = open_out_bin f in
+                 Fun.protect
+                   ~finally:(fun () -> close_out oc)
+                   (fun () -> output_string oc fixed)
+             | _ -> ());
+            print_report ~json ~show_may r
+          end
+          else if json then print_report ~json ~show_may r
+          else begin
+            print_string fixed;
+            Printf.eprintf "%s\n" (Report.to_string r.Zigomp.Analyzer.report)
+          end;
+          if rounds > 0 then
+            Printf.eprintf "analyze: %d fix round(s) applied\n" rounds;
+          Report.exit_code r.Zigomp.Analyzer.report
+        end)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Statically analyse data sharing, dependences and \
+             autoscoping; never executes the program.  PROVEN findings \
+             set exit code 2, a clean program exits 0.  $(b,--fix) \
+             rewrites directives (reduction/atomic/nowait/firstprivate \
+             repairs) until the analysis is clean.")
+    Term.(const run $ file_opt $ kernel_opt $ json_opt $ fix_opt
+          $ in_place_opt $ may_opt)
+
 (* ---- check ---- *)
 
 let check_config threads schedules seed no_sweep no_lint =
@@ -164,10 +273,20 @@ let check_config threads schedules seed no_sweep no_lint =
     sync_sweep = not no_sweep;
     lint = not no_lint }
 
-let do_check file config =
-  let report = Zigomp.check ~name:file ~config (read_file file) in
-  print_endline (Zigomp.Checker.Report.to_string report);
-  if Zigomp.Checker.Report.clean report then 0 else 2
+let do_check file config ~json ~no_static =
+  let source = read_file file in
+  let dynamic = Zigomp.check ~name:file ~config source in
+  let report =
+    if no_static then dynamic
+    else
+      (* the static pre-pass: findings it PROVES are suppressed from
+         the dynamic list by id, so one defect is reported once *)
+      let static = (Zigomp.analyze ~name:file source).Zigomp.Analyzer.report in
+      Report.merge ~static ~dynamic
+  in
+  if json then print_endline (Report.to_json report)
+  else print_endline (Report.to_string report);
+  Report.exit_code report
 
 let threads_opt =
   Arg.(value & opt int 4
@@ -194,9 +313,25 @@ let no_lint_opt =
   Arg.(value & flag
        & info [ "no-lint" ] ~doc:"Skip the execution-free lints")
 
+let check_json_opt =
+  Arg.(value & flag
+       & info [ "json" ]
+           ~doc:"Print the report as JSON (schema zigomp-report/1, \
+                 shared with $(b,zrc analyze --json))")
+
+let no_static_opt =
+  Arg.(value & flag
+       & info [ "no-static" ]
+           ~doc:"Skip the static pre-pass (by default, findings the \
+                 static analyser proves are reported once, from the \
+                 static side)")
+
 let check_cmd =
-  let run file threads schedules seed no_sweep no_lint =
-    try do_check file (check_config threads schedules seed no_sweep no_lint)
+  let run file threads schedules seed no_sweep no_lint json no_static =
+    try
+      do_check file
+        (check_config threads schedules seed no_sweep no_lint)
+        ~json ~no_static
     with
     | Zr.Source.Error msg -> Printf.eprintf "error: %s\n" msg; 1
     | Failure msg | Invalid_argument msg ->
@@ -208,7 +343,7 @@ let check_cmd =
              detection over explored schedules, plus static lints.  \
              Exit 0 when clean, 2 when findings are reported.")
     Term.(const run $ file_arg $ threads_opt $ schedules_opt $ seed_opt
-          $ no_sweep_opt $ no_lint_opt)
+          $ no_sweep_opt $ no_lint_opt $ check_json_opt $ no_static_opt)
 
 let () =
   let info =
@@ -225,6 +360,7 @@ let () =
             (try
                do_check file
                  (check_config threads schedules seed no_sweep no_lint)
+                 ~json:false ~no_static:false
              with
              | Zr.Source.Error msg -> Printf.eprintf "error: %s\n" msg; 1
              | Failure msg | Invalid_argument msg ->
@@ -243,4 +379,5 @@ let () =
   exit
     (Cmd.eval' ~catch:true
        (Cmd.group ~default info
-          [ tokens_cmd; parse_cmd; preprocess_cmd; run_cmd; check_cmd ]))
+          [ tokens_cmd; parse_cmd; preprocess_cmd; run_cmd; check_cmd;
+            analyze_cmd ]))

@@ -1,0 +1,178 @@
+(** Directive rewriting for [zrc analyze --fix].
+
+    Fix actions are semantic edits to directives; this module renders
+    them to byte replacements over the *original* source through the
+    same {!Preproc.Synth.apply_replacements} machinery the
+    preprocessor uses, so a fixed program re-parses with the same
+    front end.  A whole pragma line is regenerated from its decoded
+    clause block with the edit applied; [Insert_atomic] is a zero-width
+    insertion of an [//$omp atomic] line above the racing update. *)
+
+open Zr
+module D = Ompfront.Directive
+module Synth = Preproc.Synth
+
+type action =
+  | Move_to_reduction of { dir : int; op : D.red_op; var : string }
+      (** add [reduction(op: var)] to [dir], dropping [var] from its
+          [shared] clause if listed there *)
+  | Insert_atomic of { stmt : int }
+      (** insert [//$omp atomic] immediately above statement [stmt] *)
+  | Remove_nowait of { dir : int }
+  | Add_shared of { dir : int; vars : string list }
+  | Private_to_firstprivate of { dir : int; var : string }
+
+let describe = function
+  | Move_to_reduction { op; var; _ } ->
+      Printf.sprintf "add reduction(%s: %s)" (D.red_op_to_string op) var
+  | Insert_atomic _ -> "insert //$omp atomic"
+  | Remove_nowait _ -> "remove nowait"
+  | Add_shared { vars; _ } ->
+      Printf.sprintf "add shared(%s)" (String.concat ", " vars)
+  | Private_to_firstprivate { var; _ } ->
+      Printf.sprintf "promote private(%s) to firstprivate(%s)" var var
+
+(* ----------------------- pragma regeneration ----------------------- *)
+
+(* Byte range of the pragma line proper: from the sentinel to the start
+   of its Pragma_end token (which owns the line terminator). *)
+let pragma_range (ast : Ast.t) dir =
+  let n = Ast.node ast dir in
+  let start = (Ast.token ast n.Ast.main_token).Token.start in
+  let rec find i =
+    if (Ast.token ast i).Token.tag = Token.Pragma_end then i else find (i + 1)
+  in
+  let stop = (Ast.token ast (find (n.Ast.main_token + 1))).Token.start in
+  (start, stop)
+
+type dir_edit = {
+  mutable add_reds : (D.red_op * string) list;
+  mutable del_shared : string list;
+  mutable add_sh : string list;
+  mutable del_nowait : bool;
+  mutable promote : string list;  (* private -> firstprivate *)
+}
+
+let fresh_edit () =
+  { add_reds = []; del_shared = []; add_sh = []; del_nowait = false;
+    promote = [] }
+
+let render_pragma (c : Synth.ctx) dir (ed : dir_edit) : string option =
+  let ast = c.Synth.ast in
+  let n = Ast.node ast dir in
+  let cl = Ast.clauses ast dir in
+  let kind =
+    match Ast.omp_kind n.Ast.tag with
+    | Some k -> k
+    | None -> invalid_arg "Fix.render_pragma: not a directive"
+  in
+  let name_of = Synth.ident_name c in
+  let priv0 = List.map name_of cl.D.private_ in
+  let priv = List.filter (fun v -> not (List.mem v ed.promote)) priv0 in
+  let fp0 = List.map name_of cl.D.firstprivate in
+  let fp =
+    fp0 @ List.filter (fun v -> List.mem v priv0 && not (List.mem v fp0))
+            ed.promote
+  in
+  let sh0 = List.map name_of cl.D.shared in
+  let red0 = List.map (fun (op, id) -> (op, name_of id)) cl.D.reductions in
+  let red_names = List.map snd red0 in
+  let add_reds =
+    List.filter (fun (_, v) -> not (List.mem v red_names)) ed.add_reds
+  in
+  let moved = List.map snd add_reds @ ed.del_shared in
+  let sh =
+    List.filter (fun v -> not (List.mem v moved)) sh0
+    @ List.filter (fun v -> not (List.mem v sh0)) ed.add_sh
+  in
+  let reds = red0 @ add_reds in
+  let nowait = cl.D.flags.nowait && not ed.del_nowait in
+  let changed =
+    priv <> priv0 || fp <> fp0 || sh <> sh0 || reds <> red0
+    || nowait <> cl.D.flags.nowait
+  in
+  if not changed then None
+  else
+    let b = Buffer.create 80 in
+    Buffer.add_string b ("//$omp " ^ D.kind_to_string kind);
+    (match kind with
+     | D.Critical when cl.D.critical_name <> 0 ->
+         Buffer.add_string b
+           (Printf.sprintf "(%s)" (Synth.token_text c cl.D.critical_name))
+     | _ -> ());
+    Buffer.add_string b (Synth.print_default cl.D.flags.default);
+    if cl.D.num_threads <> 0 then
+      Buffer.add_string b
+        (Printf.sprintf " num_threads(%s)"
+           (Synth.node_text c cl.D.num_threads));
+    Buffer.add_string b (Synth.print_list_clause "private" priv);
+    Buffer.add_string b (Synth.print_list_clause "firstprivate" fp);
+    Buffer.add_string b (Synth.print_list_clause "shared" sh);
+    Buffer.add_string b (Synth.print_reductions reds);
+    Buffer.add_string b (Synth.print_schedule cl.D.schedule);
+    if cl.D.flags.collapse > 0 then
+      Buffer.add_string b (Printf.sprintf " collapse(%d)" cl.D.flags.collapse);
+    if nowait then Buffer.add_string b " nowait";
+    Some (Buffer.contents b)
+
+(* --------------------------- replacements -------------------------- *)
+
+(** Render a batch of actions to non-overlapping byte replacements.
+    Actions on the same directive are merged into one pragma rewrite;
+    duplicate atomic insertions collapse.  Actions that would change
+    nothing produce no replacement. *)
+let replacements ~(ast : Ast.t) ~(spans : Ast.spans) (actions : action list)
+    : Synth.replacement list =
+  let c = { Synth.ast; spans } in
+  let edits : (int, dir_edit) Hashtbl.t = Hashtbl.create 8 in
+  let edit dir =
+    match Hashtbl.find_opt edits dir with
+    | Some ed -> ed
+    | None ->
+        let ed = fresh_edit () in
+        Hashtbl.add edits dir ed;
+        ed
+  in
+  let atomics = ref [] in
+  List.iter
+    (fun a ->
+      match a with
+      | Move_to_reduction { dir; op; var } ->
+          let ed = edit dir in
+          if not (List.mem (op, var) ed.add_reds) then begin
+            ed.add_reds <- ed.add_reds @ [ (op, var) ];
+            ed.del_shared <- ed.del_shared @ [ var ]
+          end
+      | Insert_atomic { stmt } ->
+          if not (List.mem stmt !atomics) then atomics := stmt :: !atomics
+      | Remove_nowait { dir } -> (edit dir).del_nowait <- true
+      | Add_shared { dir; vars } ->
+          let ed = edit dir in
+          ed.add_sh <-
+            ed.add_sh @ List.filter (fun v -> not (List.mem v ed.add_sh)) vars
+      | Private_to_firstprivate { dir; var } ->
+          let ed = edit dir in
+          if not (List.mem var ed.promote) then
+            ed.promote <- ed.promote @ [ var ])
+    actions;
+  let pragma_rs =
+    Hashtbl.fold
+      (fun dir ed acc ->
+        match render_pragma c dir ed with
+        | None -> acc
+        | Some text ->
+            let start, stop = pragma_range ast dir in
+            { Synth.start; stop; text } :: acc)
+      edits []
+  in
+  let atomic_rs =
+    List.map
+      (fun stmt ->
+        let start, _ = Synth.node_bytes c stmt in
+        let _, col = Source.position ast.Ast.source start in
+        { Synth.start; stop = start;
+          text = "//$omp atomic\n" ^ String.make (max 0 (col - 1)) ' ' })
+      !atomics
+  in
+  List.sort (fun a b -> compare a.Synth.start b.Synth.start)
+    (pragma_rs @ atomic_rs)

@@ -50,6 +50,33 @@ let contains s sub =
   let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
   m = 0 || go 0
 
+let substr_index s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* The id of a default(none) finding names the offending variables, so
+   the preprocessor-raised lint and the static analyser's per-directive
+   scope finding coincide and merge cleanly. *)
+let default_none_id msg =
+  let fallback = "lint|default-none" in
+  match substr_index msg "variables " with
+  | None -> fallback
+  | Some i -> (
+      let rest = String.sub msg (i + 10) (String.length msg - i - 10) in
+      match substr_index rest " are referenced" with
+      | None -> fallback
+      | Some j ->
+          let vars =
+            String.sub rest 0 j |> String.split_on_char ','
+            |> List.map String.trim |> List.sort compare
+          in
+          "lint|default-none|" ^ String.concat "," vars)
+
 let dynamic ~name ~config ~load ~run =
   let ms = modes config in
   ( List.concat_map
@@ -72,7 +99,8 @@ let check_source ?(name = "<input>") ?(config = default_config) src :
       | exception Zr.Source.Error msg ->
           let f =
             if contains msg "default(none)" then
-              Report.lint ~rule:"default-none" ~detail:msg
+              Report.lint ~id:(default_none_id msg) ()
+                ~rule:"default-none" ~detail:msg
             else Report.error ~detail:msg
           in
           Report.make ~name ~schedules:0 (f :: lints)

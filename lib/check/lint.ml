@@ -114,7 +114,7 @@ let nowait_rule ast src findings =
             (fun (v, wpos) ->
               if Sset.mem v refs then
                 findings :=
-                  Report.lint ~rule:"nowait-dependent-read"
+                  Report.lint () ~rule:"nowait-dependent-read"
                     ~detail:
                       (Printf.sprintf
                          "%s@%s :: written under `for nowait` at %s, \
@@ -190,7 +190,7 @@ let mentions_thread_id ast i =
 let divergent_rule ast src findings =
   let report i where what =
     findings :=
-      Report.lint ~rule:"divergent-barrier"
+      Report.lint () ~rule:"divergent-barrier"
         ~detail:
           (Printf.sprintf "%s at %s :: only part of the team reaches it (%s)"
              what (node_pos ast src i) where)

@@ -136,7 +136,7 @@ let report t ~var ~(prior : evt) ~(cur : evt) =
         (render_evt t a) (render_evt t b) (snippet t b.off)
         (suggestion ~var a b)
     in
-    t.findings <- Report.race line :: t.findings
+    t.findings <- Report.race ~var line :: t.findings
   end
 
 (* --------------------------- the check ---------------------------- *)

@@ -4,33 +4,88 @@
     deduplicated, sorted list of those lines under a one-line summary.
     Golden tests and the CI determinism check compare reports textually,
     so rendering must not depend on schedule timing beyond what the
-    fixed seed already pins down. *)
+    fixed seed already pins down.
 
-type kind = Race | Lint | Divergence | Error
+    The type is shared by the dynamic checker ([zrc check]) and the
+    static analyser ([zrc analyze]).  Findings carry a stable
+    content-derived [id] (the same race proved statically and observed
+    dynamically gets the same id, which is what lets {!merge} suppress
+    the double report), an optional source [span] rendered as a caret
+    under the offending clause or expression, and an optional
+    {!verdict} for static findings. *)
+
+type kind = Race | Dep | Scope | Lint | Divergence | Error
+
+(** Static confidence: [Proven] findings are certain (and must be
+    dynamically observable); [May] findings are conservative
+    over-approximations. *)
+type verdict = Proven | May
 
 type finding = {
   kind : kind;
+  id : string;    (** stable content-derived identity, e.g. ["race|s"] *)
   line : string;  (** rendered, single line, stable across runs *)
+  span : (int * int) option;
+      (** byte range in the analysed source, for caret rendering *)
+  verdict : verdict option;  (** set by the static analyser only *)
 }
 
 type t = {
   name : string;       (** program name, as reported in the summary *)
+  backend : string;    (** ["check"] (dynamic) or ["analyze"] (static) *)
   schedules : int;     (** schedules explored by the dynamic detector *)
   findings : finding list;  (** deduplicated, sorted by rendered line *)
+  source : Zr.Source.t option;
+      (** the analysed source, when spans should render with carets *)
 }
 
-let race line = { kind = Race; line }
+let verdict_to_string = function Proven -> "PROVEN" | May -> "MAY"
 
-let lint ~rule ~detail =
-  { kind = Lint; line = Printf.sprintf "lint %s :: %s" rule detail }
+let kind_to_string = function
+  | Race -> "race"
+  | Dep -> "dep"
+  | Scope -> "scope"
+  | Lint -> "lint"
+  | Divergence -> "divergence"
+  | Error -> "error"
 
-let divergence ~detail = { kind = Divergence; line = "divergence :: " ^ detail }
+(* Shared captures reach outlined functions through a synthesised
+   [<name>__ptr] parameter; ids must use the user's name so the static
+   and dynamic spellings of the same race coincide. *)
+let clean_var v =
+  if String.length v > 5 && Filename.check_suffix v "__ptr" then
+    String.sub v 0 (String.length v - 5)
+  else v
 
-let error ~detail = { kind = Error; line = "error :: " ^ detail }
+(** Races (and statically proven loop-carried dependences, which are
+    races) on the same variable share one id: the id names the
+    equivalence class the cross-backend dedup works on. *)
+let race_id var = "race|" ^ clean_var var
+
+let race ?span ?verdict ~var line =
+  { kind = Race; id = race_id var; line; span; verdict }
+
+let dep ?span ?verdict ~var line =
+  { kind = Dep; id = race_id var; line; span; verdict }
+
+let scope ?span ?verdict ~id line = { kind = Scope; id; line; span; verdict }
+
+let lint ?span ?id ~rule ~detail () =
+  let line = Printf.sprintf "lint %s :: %s" rule detail in
+  let id = match id with Some i -> i | None -> "lint|" ^ rule ^ "|" ^ detail in
+  { kind = Lint; id; line; span; verdict = None }
+
+let divergence ~detail =
+  { kind = Divergence; id = "divergence|" ^ detail;
+    line = "divergence :: " ^ detail; span = None; verdict = None }
+
+let error ~detail =
+  { kind = Error; id = "error|" ^ detail; line = "error :: " ^ detail;
+    span = None; verdict = None }
 
 (** Assemble a report: drop exact-duplicate lines (the same race found
     under several schedules), then sort for output stability. *)
-let make ~name ~schedules findings =
+let make ?(backend = "check") ?source ~name ~schedules findings =
   let seen = Hashtbl.create 16 in
   let uniq =
     List.filter
@@ -42,17 +97,120 @@ let make ~name ~schedules findings =
         end)
       findings
   in
-  { name; schedules; findings = List.sort compare uniq }
+  { name; backend; schedules; findings = List.sort compare uniq; source }
 
-let races t = List.filter (fun f -> f.kind = Race) t.findings
+(** Cross-backend dedup: keep every static finding, and only the
+    dynamic findings whose id the static pass did not already prove.
+    The result renders under the dynamic report's name/schedules but
+    keeps the static report's source for caret rendering. *)
+let merge ~(static : t) ~(dynamic : t) : t =
+  let proved = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.replace proved f.id ()) static.findings;
+  let kept =
+    List.filter (fun f -> not (Hashtbl.mem proved f.id)) dynamic.findings
+  in
+  { name = dynamic.name;
+    backend = dynamic.backend;
+    schedules = dynamic.schedules;
+    findings = List.sort compare (static.findings @ kept);
+    source = static.source }
+
+let races t = List.filter (fun f -> f.kind = Race || f.kind = Dep) t.findings
 let lints t = List.filter (fun f -> f.kind = Lint) t.findings
 let errors t = List.filter (fun f -> f.kind = Error) t.findings
 
 let clean t = t.findings = []
 
+(** Exit code discipline shared by [zrc analyze] and [zrc check]:
+    0 clean, 2 findings (1 — a driver error — never comes from here). *)
+let exit_code t = if clean t then 0 else 2
+
 let summary t =
-  Printf.sprintf "check: %s: %d finding(s), %d schedule(s) explored"
-    t.name (List.length t.findings) t.schedules
+  Printf.sprintf "%s: %s: %d finding(s)%s" t.backend t.name
+    (List.length t.findings)
+    (if t.backend = "check" then
+       Printf.sprintf ", %d schedule(s) explored" t.schedules
+     else "")
+
+(* Caret rendering: the source line under the finding with ^^^ under
+   the span.  Only findings that carry a span (static ones) get it. *)
+let render_caret src (b, e) =
+  let text = src.Zr.Source.text in
+  let n = String.length text in
+  let b = max 0 (min b (max 0 (n - 1))) in
+  let ls = ref b in
+  while !ls > 0 && text.[!ls - 1] <> '\n' do decr ls done;
+  let le = ref b in
+  while !le < n && text.[!le] <> '\n' do incr le done;
+  let line_text = String.sub text !ls (!le - !ls) in
+  let lineno, col = Zr.Source.position src b in
+  let width = max 1 (min e !le - b) in
+  let gutter = Printf.sprintf "  %4d | " lineno in
+  let pad = String.make (String.length gutter - 2) ' ' ^ "| " in
+  Printf.sprintf "%s%s\n%s%s%s" gutter line_text pad
+    (String.make (col - 1) ' ')
+    (String.make width '^')
+
+let render_finding t f =
+  match f.span, t.source with
+  | Some span, Some src -> f.line ^ "\n" ^ render_caret src span
+  | _ -> f.line
 
 let to_string t =
-  String.concat "\n" (summary t :: List.map (fun f -> f.line) t.findings)
+  String.concat "\n" (summary t :: List.map (render_finding t) t.findings)
+
+(* ------------------------------ JSON ------------------------------ *)
+
+(* The project deliberately has no JSON dependency; the schema is flat
+   enough to print by hand.  Shared by `zrc analyze --json` and
+   `zrc check --json`. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let finding_to_json t f =
+  let pos =
+    match f.span, t.source with
+    | Some (b, _), Some src ->
+        let line, col = Zr.Source.position src b in
+        Printf.sprintf ", \"position\": {\"line\": %d, \"col\": %d}" line col
+    | _ -> ""
+  in
+  let verdict =
+    match f.verdict with
+    | Some v -> Printf.sprintf ", \"verdict\": \"%s\"" (verdict_to_string v)
+    | None -> ""
+  in
+  Printf.sprintf "{\"kind\": \"%s\", \"id\": \"%s\"%s%s, \"line\": \"%s\"}"
+    (kind_to_string f.kind) (json_escape f.id) verdict pos
+    (json_escape f.line)
+
+(** [to_json ?may t] — the shared report schema.  [may] carries the
+    static analyser's advisory (non-verdict-affecting) findings; the
+    dynamic checker has none. *)
+let to_json ?(may = []) t =
+  let arr fs =
+    "[" ^ String.concat ", " (List.map (finding_to_json t) fs) ^ "]"
+  in
+  String.concat ""
+    [ "{\"schema\": \"zigomp-report/1\"";
+      Printf.sprintf ", \"backend\": \"%s\"" (json_escape t.backend);
+      Printf.sprintf ", \"name\": \"%s\"" (json_escape t.name);
+      Printf.sprintf ", \"clean\": %b" (clean t);
+      Printf.sprintf ", \"schedules\": %d" t.schedules;
+      ", \"findings\": "; arr t.findings;
+      ", \"may\": "; arr may;
+      "}" ]

@@ -158,3 +158,22 @@ module Checker = Check
     fixed configuration; see {!Checker} for the report structure. *)
 let check ?name ?config source : Check.Report.t =
   Check.check_source ?name ?config source
+
+(** The static analyser ([zrc analyze]): data-sharing and dependence
+    analysis with autoscoping — a backend that never executes the
+    program.  See {!Analyzer} for the passes and the
+    [PROVEN]/[MAY]/[CLEAN] taxonomy. *)
+module Analyzer = Analyze
+
+(** [analyze ?name source] — statically analyse a Zr program: per-region
+    def/use dataflow, ZIV/SIV dependence tests, and clause autoscoping.
+    The report shares {!Checker.Report} with the dynamic checker, so
+    findings proved here suppress their dynamic duplicates through
+    {!Checker.Report.merge}. *)
+let analyze ?name source : Analyze.result = Analyze.run ?name source
+
+(** [analyze_fix ?name source] — analyse and rewrite directives to a
+    fixpoint; returns the fixed source, its final analysis, and the
+    number of rewrite rounds. *)
+let analyze_fix ?name ?max_rounds source =
+  Analyze.fix_to_fixpoint ?name ?max_rounds source

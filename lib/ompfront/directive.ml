@@ -67,6 +67,42 @@ let red_op_identity = function
 
 let clause_block_size = 12
 
+(** Identity of a clause occurrence on a directive, used to attach
+    source spans to individual clauses (diagnostics point at the
+    offending clause, not the whole pragma line). *)
+type clause_id =
+  | Cprivate
+  | Cfirstprivate
+  | Cshared
+  | Creduction
+  | Cschedule
+  | Cnum_threads
+  | Cdefault
+  | Cnowait
+  | Ccollapse
+  | Cname          (** the [(name)] of a critical directive *)
+
+let clause_id_to_string = function
+  | Cprivate -> "private"
+  | Cfirstprivate -> "firstprivate"
+  | Cshared -> "shared"
+  | Creduction -> "reduction"
+  | Cschedule -> "schedule"
+  | Cnum_threads -> "num_threads"
+  | Cdefault -> "default"
+  | Cnowait -> "nowait"
+  | Ccollapse -> "collapse"
+  | Cname -> "name"
+
+(** Source extent of one clause occurrence as recorded by the parser:
+    the token range from the clause keyword to its closing parenthesis
+    (or the keyword itself for bare clauses like [nowait]). *)
+type clause_span = {
+  cid : clause_id;
+  ctok_first : int;  (** token index of the clause keyword *)
+  ctok_last : int;   (** token index of the last token of the clause *)
+}
+
 (** Decoded clause view.  List clauses carry AST node indices of the
     identifiers named in the clause. *)
 type clauses = {

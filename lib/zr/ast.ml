@@ -84,6 +84,9 @@ type t = {
   tokens : Token.t array;
   nodes : node array;        (* node 0 is the Root *)
   extra_data : int array;    (* the 32-bit side array *)
+  clause_spans : (int * Ompfront.Directive.clause_span list) list;
+      (* clause block base -> source spans of the clauses written on
+         that directive, in source order (see {!clause_spans}) *)
 }
 
 let node t i = t.nodes.(i)
@@ -129,3 +132,20 @@ let clauses t i =
   let n = node t i in
   if not (tag_is_omp n.tag) then invalid_arg "Ast.clauses: not a directive";
   Ompfront.Directive.decode t.extra_data n.lhs
+
+(** Per-clause source spans of directive node [i], in the order the
+    clauses were written.  Each span covers the clause keyword through
+    its closing parenthesis, so diagnostics can point at the precise
+    clause instead of the whole pragma line. *)
+let clause_spans t i : Ompfront.Directive.clause_span list =
+  let n = node t i in
+  if not (tag_is_omp n.tag) then
+    invalid_arg "Ast.clause_spans: not a directive";
+  match List.assoc_opt n.lhs t.clause_spans with
+  | Some spans -> spans
+  | None -> []
+
+(** Byte range [\[start, stop)] of a clause span. *)
+let clause_span_bytes t (cs : Ompfront.Directive.clause_span) =
+  ((token t cs.Ompfront.Directive.ctok_first).Token.start,
+   (token t cs.Ompfront.Directive.ctok_last).Token.stop)

@@ -17,6 +17,8 @@ type state = {
   mutable extra : int array;
   mutable n_extra : int;
   mutable spans : (int * int) array;
+  mutable clause_spans :
+    (int * Ompfront.Directive.clause_span list) list;
 }
 
 let fail st fmt =
@@ -308,7 +310,15 @@ type clause_acc = {
   mutable shared : int list;
   mutable reductions : (Ompfront.Directive.red_op * int) list;
   mutable critical_name : int;
+  mutable cspans : Ompfront.Directive.clause_span list;
 }
+
+(* Record the span of the clause that started at keyword token [t0] and
+   ended at the token just consumed. *)
+let record_clause st (acc : clause_acc) cid t0 =
+  acc.cspans <-
+    acc.cspans
+    @ [ { Ompfront.Directive.cid; ctok_first = t0; ctok_last = st.pos - 1 } ]
 
 let fresh_clauses () = {
   flags = Ompfront.Packed.no_flags;
@@ -320,6 +330,7 @@ let fresh_clauses () = {
   shared = [];
   reductions = [];
   critical_name = 0;
+  cspans = [];
 }
 
 let parse_ident_list st =
@@ -355,16 +366,19 @@ let parse_clauses st (acc : clause_acc) =
   while !continue_ do
     match peek_omp st with
     | Some Token.Omp_private ->
-        ignore (next st);
-        acc.private_ <- acc.private_ @ parse_ident_list st
+        let t0 = next st in
+        acc.private_ <- acc.private_ @ parse_ident_list st;
+        record_clause st acc Ompfront.Directive.Cprivate t0
     | Some Token.Omp_firstprivate ->
-        ignore (next st);
-        acc.firstprivate <- acc.firstprivate @ parse_ident_list st
+        let t0 = next st in
+        acc.firstprivate <- acc.firstprivate @ parse_ident_list st;
+        record_clause st acc Ompfront.Directive.Cfirstprivate t0
     | Some Token.Omp_shared ->
-        ignore (next st);
-        acc.shared <- acc.shared @ parse_ident_list st
+        let t0 = next st in
+        acc.shared <- acc.shared @ parse_ident_list st;
+        record_clause st acc Ompfront.Directive.Cshared t0
     | Some Token.Omp_reduction ->
-        ignore (next st);
+        let t0 = next st in
         let _ = expect st Token.L_paren in
         let op = parse_red_op st in
         let _ = expect st Token.Colon in
@@ -382,9 +396,10 @@ let parse_clauses st (acc : clause_acc) =
         while eat st Token.Comma <> None do one () done;
         let _ = expect st Token.R_paren in
         acc.reductions <-
-          acc.reductions @ List.map (fun id -> (op, id)) (List.rev !ids)
+          acc.reductions @ List.map (fun id -> (op, id)) (List.rev !ids);
+        record_clause st acc Ompfront.Directive.Creduction t0
     | Some Token.Omp_schedule ->
-        ignore (next st);
+        let t0 = next st in
         let _ = expect st Token.L_paren in
         let kind =
           match peek_omp st with
@@ -406,15 +421,17 @@ let parse_clauses st (acc : clause_acc) =
           else 0
         in
         let _ = expect st Token.R_paren in
-        acc.sched_word <- Ompfront.Packed.encode_schedule kind chunk
+        acc.sched_word <- Ompfront.Packed.encode_schedule kind chunk;
+        record_clause st acc Ompfront.Directive.Cschedule t0
     | Some Token.Omp_num_threads ->
-        ignore (next st);
+        let t0 = next st in
         let _ = expect st Token.L_paren in
         let e = parse_expr st in
         let _ = expect st Token.R_paren in
-        acc.num_threads <- e
+        acc.num_threads <- e;
+        record_clause st acc Ompfront.Directive.Cnum_threads t0
     | Some Token.Omp_default ->
-        ignore (next st);
+        let t0 = next st in
         let _ = expect st Token.L_paren in
         let d =
           match peek_omp st with
@@ -424,12 +441,14 @@ let parse_clauses st (acc : clause_acc) =
         in
         ignore (next st);
         let _ = expect st Token.R_paren in
-        acc.flags <- { acc.flags with default = d }
+        acc.flags <- { acc.flags with default = d };
+        record_clause st acc Ompfront.Directive.Cdefault t0
     | Some Token.Omp_nowait ->
-        ignore (next st);
-        acc.flags <- { acc.flags with nowait = true }
+        let t0 = next st in
+        acc.flags <- { acc.flags with nowait = true };
+        record_clause st acc Ompfront.Directive.Cnowait t0
     | Some Token.Omp_collapse ->
-        ignore (next st);
+        let t0 = next st in
         let _ = expect st Token.L_paren in
         let t = expect st Token.Int_literal in
         let n =
@@ -438,7 +457,8 @@ let parse_clauses st (acc : clause_acc) =
           | _ -> fail st "invalid collapse count"
         in
         let _ = expect st Token.R_paren in
-        acc.flags <- { acc.flags with collapse = n }
+        acc.flags <- { acc.flags with collapse = n };
+        record_clause st acc Ompfront.Directive.Ccollapse t0
     | _ -> continue_ := false
   done
 
@@ -467,6 +487,8 @@ let encode_clauses st (acc : clause_acc) =
   ignore (add_extra st (fst red));
   ignore (add_extra st (snd red));
   ignore (add_extra st acc.critical_name);
+  if acc.cspans <> [] then
+    st.clause_spans <- (base, acc.cspans) :: st.clause_spans;
   base
 
 (* ------------------------------------------------------------------ *)
@@ -596,11 +618,13 @@ and parse_pragma st =
     | Some Token.Omp_critical ->
         ignore (next st);
         let acc = fresh_clauses () in
-        if eat st Token.L_paren <> None then begin
-          let name = expect st Token.Identifier in
-          let _ = expect st Token.R_paren in
-          acc.critical_name <- name
-        end;
+        (match eat st Token.L_paren with
+         | Some lp ->
+             let name = expect st Token.Identifier in
+             let _ = expect st Token.R_paren in
+             acc.critical_name <- name;
+             record_clause st acc Ompfront.Directive.Cname lp
+         | None -> ());
         (Ast.Omp_critical, acc)
     | Some Token.Omp_master ->
         ignore (next st); (Ast.Omp_master, fresh_clauses ())
@@ -675,7 +699,9 @@ let parse_threadprivate st =
        fail st "only the 'threadprivate' directive may appear at the top \
                 level");
   let acc = fresh_clauses () in
+  let t0 = st.pos - 1 in  (* the threadprivate keyword *)
   acc.private_ <- parse_ident_list st;
+  record_clause st acc Ompfront.Directive.Cprivate t0;
   let pragma_end = expect st Token.Pragma_end in
   let clause_base = encode_clauses st acc in
   add_node st
@@ -701,6 +727,7 @@ let parse (src : Source.t) : Ast.t * Ast.spans =
     extra = Array.make 64 0;
     n_extra = 0;
     spans = Array.make 64 (0, 0);
+    clause_spans = [];
   } in
   (* reserve node 0 for the root *)
   ignore (add_node st dummy_node (0, 0));
@@ -717,6 +744,7 @@ let parse (src : Source.t) : Ast.t * Ast.spans =
     tokens;
     nodes = Array.sub st.nodes 0 st.n_nodes;
     extra_data = Array.sub st.extra 0 st.n_extra;
+    clause_spans = List.rev st.clause_spans;
   } in
   (ast, Array.sub st.spans 0 st.n_nodes)
 

@@ -22,5 +22,6 @@ let () =
       ("zr-examples", Test_zr_examples.suite);
       ("pipeline-properties", Test_pipeline_prop.suite);
       ("check", Test_check.suite);
+      ("analyze", Test_analyze.suite);
       ("npb-zr", Test_npb_zr.suite);
     ]

@@ -256,6 +256,84 @@ let bench_interp () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* The third tier head-to-head: the same two loop bodies executed by
+   all three backends, plus the guard-elision ablation (bytecode with
+   the subscript-analysis elision disabled, so every array access runs
+   the guarded twin).  Written to BENCH_bytecode.json for the perf
+   trajectory and for CI's bytecode-not-slower-than-compiled gate.     *)
+
+let bench_bytecode () =
+  print_endline
+    "== bytecode: register VM vs staged closures vs AST walker (real \
+     execution, 1 thread) ==";
+  Zigomp.set_num_threads 1;
+  let time_per_iter prog fname args ~iters ~reps =
+    ignore (Zigomp.call prog fname args);  (* warm-up, and specialise *)
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do ignore (Zigomp.call prog fname args) done;
+    1e9 *. (Unix.gettimeofday () -. t0) /. float_of_int (reps * iters)
+  in
+  let case ~name ~src ~fname ~args ~iters ~reps =
+    let run backend ?elide () =
+      let p = Zigomp.compile ~backend ?elide ~name:(name ^ ".zr") src in
+      time_per_iter p fname args ~iters ~reps
+    in
+    let ast_ns = run `Ast () in
+    let compiled_ns = run `Compiled () in
+    let bc_ns = run `Bytecode ~elide:true () in
+    let bc_guarded_ns = run `Bytecode ~elide:false () in
+    Printf.printf
+      "  %-14s %8.1f ns/iter (ast) %8.1f (compiled) %8.1f (bytecode) \
+       %8.1f (bytecode, guards kept) %6.1fx vs compiled\n%!"
+      name ast_ns compiled_ns bc_ns bc_guarded_ns (compiled_ns /. bc_ns);
+    (name, iters, ast_ns, compiled_ns, bc_ns, bc_guarded_ns)
+  in
+  let n = 4_096 in
+  let a = Array.init n (fun i -> float_of_int (i mod 7)) in
+  let b = Array.make n 0. in
+  let stencil_row =
+    case ~name:"stencil_body" ~src:stencil_src ~fname:"stencil"
+      ~args:[ Zigomp.Value.VInt n; Zigomp.Value.VFloatArr a;
+              Zigomp.Value.VFloatArr b ]
+      ~iters:(n - 2) ~reps:20
+  in
+  let nrows = 1_024 in
+  let band = 5 in
+  let rowstr = Array.init (nrows + 1) (fun r -> r * band) in
+  let colidx =
+    Array.init (nrows * band) (fun k ->
+        let r = k / band and d = k mod band in
+        (r + d * 17) mod nrows)
+  in
+  let av = Array.init (nrows * band) (fun k -> float_of_int (k mod 3)) in
+  let x = Array.init nrows (fun i -> float_of_int (i mod 5)) in
+  let y = Array.make nrows 0. in
+  let spmv_row =
+    case ~name:"spmv_body" ~src:spmv_src ~fname:"spmv"
+      ~args:[ Zigomp.Value.VInt nrows; Zigomp.Value.VFloatArr av;
+              Zigomp.Value.VIntArr colidx; Zigomp.Value.VIntArr rowstr;
+              Zigomp.Value.VFloatArr x; Zigomp.Value.VFloatArr y ]
+      ~iters:(nrows * band) ~reps:20
+  in
+  let json_row (name, iters, ast_ns, compiled_ns, bc_ns, bc_guarded_ns) =
+    Printf.sprintf
+      {|    { "kernel": %S, "iters_per_call": %d, "ast_ns_per_iter": %.2f, "compiled_ns_per_iter": %.2f, "bytecode_ns_per_iter": %.2f, "bytecode_guarded_ns_per_iter": %.2f, "speedup_vs_compiled": %.2f, "elision_gain": %.2f }|}
+      name iters ast_ns compiled_ns bc_ns bc_guarded_ns
+      (compiled_ns /. bc_ns) (bc_guarded_ns /. bc_ns)
+  in
+  let json =
+    Printf.sprintf
+      "{\n  \"bench\": \"bytecode\",\n  \"unit\": \"ns/iteration\",\n  \
+       \"results\": [\n%s\n  ]\n}\n"
+      (String.concat ",\n" (List.map json_row [ stencil_row; spmv_row ]))
+  in
+  let oc = open_out "BENCH_bytecode.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "  wrote BENCH_bytecode.json";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* The hot-team pool ablation: spawn-per-fork and pooled fork measured
    back-to-back in the same process, so the speedup is observable on
    any host without cross-run noise.  Empty region bodies isolate the
@@ -473,6 +551,7 @@ let sections =
     ("fig5", fun () -> emit_figure Harness.Experiment.IS);
     ("micro", run_micro);
     ("interp", bench_interp);
+    ("bytecode", bench_bytecode);
     ("pool", bench_pool);
     ("sensitivity", sensitivity);
     ("ablation",

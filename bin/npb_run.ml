@@ -78,10 +78,15 @@ let engine_arg =
 
 let backend_arg =
   Arg.(value
-       & opt (enum [ ("compiled", `Compiled); ("ast", `Ast) ]) `Compiled
+       & opt
+           (enum
+              [ ("compiled", `Compiled); ("ast", `Ast);
+                ("bytecode", `Bytecode) ])
+           `Compiled
        & info [ "backend" ] ~docv:"BACKEND"
            ~doc:"Zr execution backend for --engine zr: $(b,compiled) \
-                 (staged closures, default) or $(b,ast) (tree walker)")
+                 (staged closures, default), $(b,ast) (tree walker) or \
+                 $(b,bytecode) (register VM for loop bodies)")
 
 let main kernel cls threads sim sweep lang engine backend =
   if engine = `Zr then begin

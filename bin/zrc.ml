@@ -134,30 +134,56 @@ let run_cmd =
   in
   let backend =
     Arg.(value
-         & opt (some (enum [ ("compiled", `Compiled); ("ast", `Ast) ])) None
+         & opt
+             (some
+                (enum
+                   [ ("compiled", `Compiled); ("ast", `Ast);
+                     ("bytecode", `Bytecode) ]))
+             None
          & info [ "backend" ] ~docv:"BACKEND"
              ~doc:"Execution backend: $(b,compiled) (staged closures, \
-                   default) or $(b,ast) (tree walker).  Defaults to \
-                   $(b,ZIGOMP_BACKEND) when set.")
+                   default), $(b,ast) (tree walker) or $(b,bytecode) \
+                   (register VM for worksharing loop bodies, closures \
+                   elsewhere).  Defaults to $(b,ZIGOMP_BACKEND) when \
+                   set.")
   in
-  let run file threads profile backend =
+  let dump_bc =
+    Arg.(value & flag
+         & info [ "dump-bc" ]
+             ~doc:"After the run, print the bytecode listing of every \
+                   specialised loop body to stderr (drain label, \
+                   per-instruction source lines, $(b,[unguarded]) \
+                   markers on guard-elided accesses).  Implies \
+                   $(b,--backend bytecode) unless a backend is given.")
+  in
+  let run file threads profile backend dump_bc =
     handle_errors (fun () ->
         Option.iter Zigomp.set_num_threads threads;
         if profile then begin
           Omprt.Profile.reset ();
           Omprt.Profile.enable ()
         end;
+        let backend =
+          match backend with
+          | Some _ -> backend
+          | None -> if dump_bc then Some `Bytecode else None
+        in
         let p = Zigomp.compile ?backend ~name:file (read_file file) in
         (match Zigomp.run_main p with
          | Zigomp.Value.VUnit -> ()
          | v -> print_endline (Zigomp.Value.to_string v));
+        if dump_bc then
+          List.iter
+            (fun (label, listing) ->
+              Printf.eprintf "=== %s ===\n%s" label listing)
+            (Zigomp.bc_listings p);
         if profile then begin
           Omprt.Profile.disable ();
           prerr_string (Omprt.Profile.report ())
         end)
   in
   Cmd.v (Cmd.info "run" ~doc:"Preprocess and execute main()")
-    Term.(const run $ file_arg $ threads $ profile $ backend)
+    Term.(const run $ file_arg $ threads $ profile $ backend $ dump_bc)
 
 (* ---- analyze ---- *)
 

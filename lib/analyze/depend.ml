@@ -61,21 +61,21 @@ let split_proven li =
   li.Df.static_unchunked
   && (match trips li with Some t -> t >= 2 | None -> false)
 
-(* The element interval touched by [counter + c] over the whole loop. *)
+(* The element interval touched by [counter + c] over the whole loop.
+   The interval arithmetic lives in {!Omp_model.Subscript} so the
+   bytecode tier's guard elision provably applies the same reasoning
+   per chunk. *)
 let affine_interval li c =
   match (li.Df.lb, li.Df.step, trips li) with
-  | Some lb, Some s, Some t when t > 0 ->
-      let first = lb + c and last = lb + ((t - 1) * s) + c in
-      Some (min first last, max first last)
+  | Some lb, Some s, Some t ->
+      Omp_model.Subscript.affine_interval ~lb ~step:s ~trips:t c
   | _ -> None
 
 (* Is constant element [k] ever touched by [counter + c]? *)
 let affine_hits li c k =
   match (li.Df.lb, li.Df.step, trips li) with
-  | Some lb, Some s, Some t when t > 0 && s <> 0 ->
-      let lo = lb + c and hi = lb + ((t - 1) * s) + c in
-      if k < min lo hi || k > max lo hi then Some false
-      else Some ((k - lo) mod s = 0)
+  | Some lb, Some s, Some t ->
+      Omp_model.Subscript.affine_hits ~lb ~step:s ~trips:t c k
   | _ -> None
 
 (* Storage overlap of two subscripts evaluated in *different*

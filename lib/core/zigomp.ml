@@ -57,33 +57,72 @@ module Model = Omp_model
 
 module Value = Interp.Value
 
-(** Execution backend: [`Compiled] stages each function once into
-    nested OCaml closures over a flat slot frame ({!Interp.Compile}),
-    [`Ast] walks the tree on every evaluation ({!Interp}).  Both share
-    the runtime core and builtin registry, so results, error messages
-    and profile counts are identical; [`Compiled] is simply faster and
-    is the default.  [`Ast] remains the executable specification and
-    the fallback for debugging the compiler itself. *)
-type backend = [ `Compiled | `Ast ]
+(** Execution backend — the three tiers: [`Ast] walks the tree on
+    every evaluation ({!Interp}, the executable specification),
+    [`Compiled] stages each function once into nested OCaml closures
+    over a flat slot frame ({!Interp.Compile}), and [`Bytecode] is
+    [`Compiled] plus a register-bytecode VM for worksharing loop
+    bodies: drain bodies the planner covers are lowered to fixed-width
+    register instructions over untagged [int array]/[float array]
+    files, with bounds guards elided where the subscript analysis
+    proves every access of the chunk in range; anything uncovered
+    falls back to the staged closures of the same program, so results,
+    error messages and profile construct counts are identical across
+    all three tiers. *)
+type backend = [ `Compiled | `Ast | `Bytecode ]
+
+(** [parse_backend s] — the pure [ZIGOMP_BACKEND] value parser
+    (unit-tested directly, like the {!Omprt.Icv} [parse_*] family).
+    Accepts the tier names and their synonyms, case-insensitively;
+    [None] for anything else. *)
+let parse_backend (s : string) : backend option =
+  match String.lowercase_ascii (String.trim s) with
+  | "ast" | "tree" | "walk" -> Some `Ast
+  | "compiled" | "closure" | "staged" -> Some `Compiled
+  | "bytecode" | "bc" | "vm" -> Some `Bytecode
+  | _ -> None
 
 (** Default backend: [`Compiled], overridable with
-    [ZIGOMP_BACKEND=ast|compiled] (the same escape hatch shape as
-    [OMP_*] ICV environment variables). *)
+    [ZIGOMP_BACKEND=ast|compiled|bytecode] (the same escape-hatch
+    shape as the [OMP_*] ICV environment variables, including the
+    warn-once-and-fall-back treatment of malformed values: an
+    unrecognised backend name is reported to stderr — unless
+    [ZIGOMP_WARNINGS=0] — and [`Compiled] is used).  An empty value
+    counts as unset. *)
 let default_backend () : backend =
   match Sys.getenv_opt "ZIGOMP_BACKEND" with
+  | None | Some "" -> `Compiled
   | Some v ->
-      (match String.lowercase_ascii (String.trim v) with
-       | "ast" | "tree" | "walk" -> `Ast
-       | "compiled" | "closure" | "staged" -> `Compiled
-       | other ->
-           invalid_arg
-             (Printf.sprintf
-                "ZIGOMP_BACKEND=%s: expected 'compiled' or 'ast'" other))
-  | None -> `Compiled
+      (match parse_backend v with
+       | Some b -> b
+       | None ->
+           Omprt.Icv.warn_malformed ~var:"ZIGOMP_BACKEND" ~value:v
+             ~expected:"'compiled', 'ast' or 'bytecode'" ~used:"compiled";
+           `Compiled)
+
+(** [parse_bc_elide s] — the pure [ZIGOMP_BC_ELIDE] parser: boolean
+    switch for analysis-driven guard elision on the bytecode tier. *)
+let parse_bc_elide (s : string) : bool option =
+  match String.lowercase_ascii (String.trim s) with
+  | "1" | "true" | "on" | "yes" -> Some true
+  | "0" | "false" | "off" | "no" -> Some false
+  | _ -> None
+
+let default_bc_elide () : bool =
+  match Sys.getenv_opt "ZIGOMP_BC_ELIDE" with
+  | None | Some "" -> true
+  | Some v ->
+      (match parse_bc_elide v with
+       | Some b -> b
+       | None ->
+           Omprt.Icv.warn_malformed ~var:"ZIGOMP_BC_ELIDE" ~value:v
+             ~expected:"'1' or '0'" ~used:"1";
+           true)
 
 type compiled = {
   prog : Interp.program;
-  cc : Interp.Compile.t option;  (* Some iff backend = `Compiled *)
+  cc : Interp.Compile.t option;  (* Some iff backend <> `Ast *)
+  backend : backend;
 }
 
 (** [preprocess ?name source] — run only the pragma lowering; returns
@@ -91,32 +130,49 @@ type compiled = {
     next stage). *)
 let preprocess = Preproc.Preprocess.run
 
-let stage ?backend prog =
+let stage ?backend ?elide prog =
   let backend =
     match backend with Some b -> b | None -> default_backend ()
   in
-  match backend with
-  | `Compiled -> { prog; cc = Some (Interp.Compile.compile prog) }
-  | `Ast -> { prog; cc = None }
+  let cc =
+    match backend with
+    | `Compiled -> Some (Interp.Compile.compile prog)
+    | `Bytecode ->
+        let elide =
+          match elide with Some e -> e | None -> default_bc_elide ()
+        in
+        Some (Interp.Compile.compile ~bc:{ Interp.Bcgen.elide } prog)
+    | `Ast -> None
+  in
+  { prog; cc; backend }
 
-(** [compile ?backend ?name source] — preprocess, parse, load, and (on
-    the default [`Compiled] backend) stage every function into
-    closures. *)
-let compile ?backend ?name source : compiled =
-  stage ?backend (Interp.load ?name source)
+(** [compile ?backend ?elide ?name source] — preprocess, parse, load,
+    and (on the default [`Compiled] backend, or [`Bytecode]) stage
+    every function into closures.  [elide] enables bounds-guard
+    elision on the bytecode tier (default: [ZIGOMP_BC_ELIDE], else
+    on); it is ignored by the other backends. *)
+let compile ?backend ?elide ?name source : compiled =
+  stage ?backend ?elide (Interp.load ?name source)
 
 (** [compile_plain ?backend ?name source] — load without pragma
     processing (pragmas then cause a runtime error if reached; useful
     for testing the preprocessor's necessity). *)
-let compile_plain ?backend ?name source : compiled =
-  stage ?backend (Interp.load ?name ~preprocess:false source)
+let compile_plain ?backend ?elide ?name source : compiled =
+  stage ?backend ?elide (Interp.load ?name ~preprocess:false source)
 
 (** The synthesised source of a compiled program. *)
 let preprocessed_source (p : compiled) = p.prog.Interp.preprocessed
 
 (** The backend a program was staged for. *)
-let backend_of (p : compiled) : backend =
-  match p.cc with Some _ -> `Compiled | None -> `Ast
+let backend_of (p : compiled) : backend = p.backend
+
+(** Bytecode listings of every drain specialised so far (label ×
+    disassembly, specialisation order).  Empty for the other backends,
+    and before the program has run (specialisation is lazy). *)
+let bc_listings (p : compiled) : (string * string) list =
+  match p.cc with
+  | Some cc -> Interp.Compile.bc_listings cc
+  | None -> []
 
 (** [call p fn args] — invoke an exported function.  Parallel regions
     inside it execute on OCaml domains through the bundled runtime. *)

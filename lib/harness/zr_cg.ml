@@ -108,7 +108,7 @@ fn conj_grad(n: i64, rowstr: []i64, colidx: []i64, a: []f64,
 }
 |}
 
-type backend = [ `Compiled | `Ast ]
+type backend = [ `Compiled | `Ast | `Bytecode ]
 
 module V = Interp.Value
 
@@ -119,6 +119,9 @@ let load_conj_grad (backend : backend) : V.t list -> V.t =
   match backend with
   | `Compiled ->
       let cc = Interp.Compile.compile prog in
+      fun args -> Interp.Compile.call cc "conj_grad" args
+  | `Bytecode ->
+      let cc = Interp.Compile.compile ~bc:{ Interp.Bcgen.elide = true } prog in
       fun args -> Interp.Compile.call cc "conj_grad" args
   | `Ast -> fun args -> Interp.call prog "conj_grad" args
 
@@ -181,6 +184,7 @@ let run ?(backend : backend = `Compiled) ~cls ~nthreads () : Npb.Result.t =
   { Npb.Result.kernel =
       (match backend with
        | `Compiled -> "CG[zr/compiled]"
+       | `Bytecode -> "CG[zr/bytecode]"
        | `Ast -> "CG[zr/ast]");
     cls; nthreads; time; mops = 0.;
     verification;

@@ -62,13 +62,16 @@ let with_hosts f =
     ~finally:(fun () -> Interp.unregister_host "ep_batch")
     f
 
-type backend = [ `Compiled | `Ast ]
+type backend = [ `Compiled | `Ast | `Bytecode ]
 
 let load (backend : backend) : V.t list -> V.t =
   let prog = Interp.load ~name:"ep_main.zr" src in
   match backend with
   | `Compiled ->
       let cc = Interp.Compile.compile prog in
+      fun args -> Interp.Compile.call cc "ep_main" args
+  | `Bytecode ->
+      let cc = Interp.Compile.compile ~bc:{ Interp.Bcgen.elide = true } prog in
       fun args -> Interp.Compile.call cc "ep_main" args
   | `Ast -> fun args -> Interp.call prog "ep_main" args
 
@@ -108,6 +111,7 @@ let run ?(backend : backend = `Compiled) ~cls ~nthreads () : Npb.Result.t =
       { Npb.Result.kernel =
           (match backend with
            | `Compiled -> "EP[zr/compiled]"
+           | `Bytecode -> "EP[zr/bytecode]"
            | `Ast -> "EP[zr/ast]");
         cls; nthreads; time;
         mops = (2. ** float_of_int p.Npb.Classes.Ep.m) /. time /. 1e6;

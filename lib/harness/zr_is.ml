@@ -170,13 +170,16 @@ let with_hosts f =
 
 (* ---- driver ------------------------------------------------------- *)
 
-type backend = [ `Compiled | `Ast ]
+type backend = [ `Compiled | `Ast | `Bytecode ]
 
 let load (backend : backend) : V.t list -> V.t =
   let prog = Interp.load ~name:"is_rank.zr" src in
   match backend with
   | `Compiled ->
       let cc = Interp.Compile.compile prog in
+      fun args -> Interp.Compile.call cc "is_rank" args
+  | `Bytecode ->
+      let cc = Interp.Compile.compile ~bc:{ Interp.Bcgen.elide = true } prog in
       fun args -> Interp.Compile.call cc "is_rank" args
   | `Ast -> fun args -> Interp.call prog "is_rank" args
 
@@ -240,6 +243,7 @@ let run ?(backend : backend = `Compiled) ~cls ~nthreads () : Npb.Result.t =
       { Npb.Result.kernel =
           (match backend with
            | `Compiled -> "IS[zr/compiled]"
+           | `Bytecode -> "IS[zr/bytecode]"
            | `Ast -> "IS[zr/ast]");
         cls; nthreads; time;
         mops =

@@ -1,0 +1,458 @@
+(** The bytecode dispatch loop and the drain-entry / chunk / writeback
+    lifecycle around it ({!Bc}, {!Bcgen}).
+
+    A drain execution calls {!enter} once: it observes the shapes of
+    the captured slots, specialises (or reuses the cached program),
+    and binds a {!state} — register files sized for the program,
+    captures and hoisted dereferences loaded, array bases resolved
+    into the per-bank tables.  Each claimed chunk then runs through
+    {!run_chunk}; after the last chunk {!writeback} restores the
+    written captures and the counter into the frame.  Any runtime
+    error raises {!Value.Runtime_error} out of the dispatch loop
+    without writing back — safe because each thread owns its outlined
+    frame, so a half-updated register file is unobservable after the
+    unwind, exactly like the closure tier's abandoned locals.
+
+    [Array.unsafe_*] discipline: [code] indices come from the emitter
+    (always in range by construction), register indices from the
+    allocator; user arrays are touched unsafely only by the [*u]
+    opcodes, which {!Bcgen} emits strictly under a per-chunk
+    {!Omp_model.Subscript.in_range} proof, and by the plain store
+    opcodes, which are always preceded by an emitted check or covered
+    by the same proof. *)
+
+module V = Value
+
+type state = {
+  prog : Bc.program;
+  ints : int array;
+  floats : float array;
+  farrs : float array array;
+  iarrs : int array array;
+}
+
+(* A hoisted read (scalar dereference, or an array reached through a
+   pointer) is loop-invariant only when the body provably cannot move
+   what it points at: variable cells and other frames' slots are fine
+   (this body writes neither — writes through pointers bail at plan
+   time), but a slot of *this* frame or an array element could be
+   written between iterations by the body itself. *)
+let ptr_hoistable (fr : V.t array) = function
+  | V.PVar _ -> true
+  | V.PSlot (fr', _) -> fr' != fr
+  | V.PElemF _ | V.PElemI _ -> false
+
+exception Shape
+
+(* ------------------------------------------------------------------ *)
+(* Entry: observe, specialise-or-reuse, validate, bind.                *)
+
+let observe_caps (plan : Bcgen.plan) fr =
+  Array.map
+    (fun (slot, _) ->
+      match fr.(slot) with
+      | V.VInt _ -> `I
+      | V.VFloat _ -> `F
+      | V.VBool _ -> `B
+      | _ -> raise Shape)
+    plan.Bcgen.caps
+
+(* Resolve each indexed base to its runtime array (through the pointer
+   when the base is a dereference). *)
+let observe_bases (plan : Bcgen.plan) fr =
+  Array.map
+    (fun (slot, deref, _) ->
+      let v =
+        if deref then
+          match fr.(slot) with
+          | V.VPtr p when ptr_hoistable fr p -> Rt.ptr_read p
+          | _ -> raise Shape
+        else fr.(slot)
+      in
+      match v with
+      | V.VFloatArr a -> `FA a
+      | V.VIntArr a -> `IA a
+      | _ -> raise Shape)
+    plan.Bcgen.ubases
+
+let observe_derefs (plan : Bcgen.plan) fr =
+  Array.map
+    (fun (slot, _) ->
+      match fr.(slot) with
+      | V.VPtr p when ptr_hoistable fr p -> (
+          match Rt.ptr_read p with
+          | V.VInt i -> `DI i
+          | V.VFloat x -> `DF x
+          | _ -> raise Shape)
+      | _ -> raise Shape)
+    plan.Bcgen.uderefs
+
+let enter (plan : Bcgen.plan) (fr : V.t array) : state option =
+  match Atomic.get plan.Bcgen.cache with
+  | Bcgen.Cfail -> None
+  | cached -> (
+      match
+        let ckinds = observe_caps plan fr in
+        let bvals = observe_bases plan fr in
+        let dvals = observe_derefs plan fr in
+        let bbanks =
+          Array.map (function `FA _ -> `F | `IA _ -> `I) bvals
+        in
+        let dkinds = Array.map (function `DI _ -> `I | `DF _ -> `F) dvals in
+        let prog =
+          match cached with
+          | Bcgen.Cprog p -> Some p
+          | Bcgen.Cfail -> None
+          | Bcgen.Cnone -> (
+              match Bcgen.specialize plan ~ckinds ~bbanks ~dkinds with
+              | Some p ->
+                  if
+                    Atomic.compare_and_set plan.Bcgen.cache Bcgen.Cnone
+                      (Bcgen.Cprog p)
+                  then begin
+                    plan.Bcgen.on_spec p;
+                    Some p
+                  end
+                  else (
+                    (* lost the race: use the winner's program (it will
+                       be validated against our shapes below) *)
+                    match Atomic.get plan.Bcgen.cache with
+                    | Bcgen.Cprog p' -> Some p'
+                    | _ -> None)
+              | None ->
+                  ignore
+                    (Atomic.compare_and_set plan.Bcgen.cache Bcgen.Cnone
+                       Bcgen.Cfail);
+                  None)
+        in
+        match prog with
+        | None -> None
+        | Some p ->
+            (* validate this execution's shapes against the cached
+               specialisation; a mismatch bails without respecialising *)
+            Array.iteri
+              (fun c k -> if p.Bc.caps.(c).Bc.ckind <> k then raise Shape)
+              ckinds;
+            if Array.length p.Bc.hoisted <> Array.length dkinds then
+              raise Shape;
+            Array.iteri
+              (fun d k ->
+                let _, bank, _ = p.Bc.hoisted.(d) in
+                if bank <> k then raise Shape)
+              dkinds;
+            let nfb = Array.length p.Bc.fbases
+            and nib = Array.length p.Bc.ibases in
+            let farrs = Array.make nfb [||] in
+            let iarrs = Array.make nib [||] in
+            let fi = ref 0 and ii = ref 0 in
+            Array.iter
+              (function
+                | `FA a ->
+                    if !fi >= nfb then raise Shape;
+                    farrs.(!fi) <- a;
+                    incr fi
+                | `IA a ->
+                    if !ii >= nib then raise Shape;
+                    iarrs.(!ii) <- a;
+                    incr ii)
+              bvals;
+            if !fi <> nfb || !ii <> nib then raise Shape;
+            let ints = Array.make (max p.Bc.nints 1) 0 in
+            let floats = Array.make (max p.Bc.nfloats 1) 0.0 in
+            Array.iter
+              (fun (c : Bc.cap) ->
+                match (fr.(c.Bc.slot), c.Bc.ckind) with
+                | V.VInt i, `I -> ints.(c.Bc.reg) <- i
+                | V.VFloat x, `F -> floats.(c.Bc.reg) <- x
+                | V.VBool b, `B -> ints.(c.Bc.reg) <- (if b then 1 else 0)
+                | _ -> raise Shape)
+              p.Bc.caps;
+            Array.iteri
+              (fun d (h : int * [ `I | `F ] * int) ->
+                let _, bank, reg = h in
+                match (dvals.(d), bank) with
+                | `DI i, `I -> ints.(reg) <- i
+                | `DF x, `F -> floats.(reg) <- x
+                | _ -> raise Shape)
+              p.Bc.hoisted;
+            if p.Bc.tid_reg >= 0 then
+              ints.(p.Bc.tid_reg) <- Omprt.Api.get_thread_num ();
+            if p.Bc.ntd_reg >= 0 then
+              ints.(p.Bc.ntd_reg) <- Omprt.Api.get_num_threads ();
+            Some { prog = p; ints; floats; farrs; iarrs }
+      with
+      | st -> st
+      | exception Shape -> None)
+
+(* ------------------------------------------------------------------ *)
+(* The dispatch loop.                                                  *)
+
+let[@inline] oob idx len = V.err "index %d out of bounds (len %d)" idx len
+
+let exec (p : Bc.program) (st : state) (code : int array) =
+  let ints = st.ints and floats = st.floats in
+  let farrs = st.farrs and iarrs = st.iarrs in
+  let fpool = p.Bc.fpool in
+  let pc = ref 0 in
+  (try
+     while true do
+       let base = !pc in
+       let op = Array.unsafe_get code base in
+       let a = Array.unsafe_get code (base + 1)
+       and b = Array.unsafe_get code (base + 2)
+       and c = Array.unsafe_get code (base + 3)
+       and d = Array.unsafe_get code (base + 4) in
+       pc := base + Bc.width;
+       match op with
+       | 0 (* halt *) -> raise_notrace Exit
+       | 1 (* jmp *) -> pc := a
+       | 2 (* brz *) -> if Array.unsafe_get ints a = 0 then pc := b
+       | 3 (* cmpbr.ii: branch if NOT cc *) ->
+           let x = Array.unsafe_get ints b
+           and y = Array.unsafe_get ints c in
+           let holds =
+             match a with
+             | 0 -> x < y | 1 -> x <= y | 2 -> x > y | 3 -> x >= y
+             | 4 -> x = y | _ -> x <> y
+           in
+           if not holds then pc := d
+       | 4 (* cmpbr.ff *) ->
+           (* Float.compare, not IEEE: the closure tier's polymorphic
+              compare orders NaN totally, and parity wins over speed *)
+           let r =
+             Float.compare (Array.unsafe_get floats b)
+               (Array.unsafe_get floats c)
+           in
+           let holds =
+             match a with
+             | 0 -> r < 0 | 1 -> r <= 0 | 2 -> r > 0 | 3 -> r >= 0
+             | 4 -> r = 0 | _ -> r <> 0
+           in
+           if not holds then pc := d
+       | 5 (* addcmple.br *) ->
+           let iv = Array.unsafe_get ints a + b in
+           Array.unsafe_set ints a iv;
+           if iv <= Array.unsafe_get ints c then pc := d
+       | 6 (* addcmpge.br *) ->
+           let iv = Array.unsafe_get ints a + b in
+           Array.unsafe_set ints a iv;
+           if iv >= Array.unsafe_get ints c then pc := d
+       | 7 (* mov.i *) -> Array.unsafe_set ints a (Array.unsafe_get ints b)
+       | 8 (* mov.f *) ->
+           Array.unsafe_set floats a (Array.unsafe_get floats b)
+       | 9 (* ldc.i *) -> Array.unsafe_set ints a b
+       | 10 (* ldc.f *) ->
+           Array.unsafe_set floats a (Array.unsafe_get fpool b)
+       | 11 ->
+           Array.unsafe_set ints a
+             (Array.unsafe_get ints b + Array.unsafe_get ints c)
+       | 12 ->
+           Array.unsafe_set ints a
+             (Array.unsafe_get ints b - Array.unsafe_get ints c)
+       | 13 ->
+           Array.unsafe_set ints a
+             (Array.unsafe_get ints b * Array.unsafe_get ints c)
+       | 14 (* div.i *) ->
+           let den = Array.unsafe_get ints c in
+           if den = 0 then V.err "integer division by zero";
+           Array.unsafe_set ints a (Array.unsafe_get ints b / den)
+       | 15 (* mod.i *) ->
+           let den = Array.unsafe_get ints c in
+           if den = 0 then V.err "integer modulo by zero";
+           Array.unsafe_set ints a (Array.unsafe_get ints b mod den)
+       | 16 (* neg.i *) -> Array.unsafe_set ints a (-Array.unsafe_get ints b)
+       | 17 (* not.b *) ->
+           Array.unsafe_set ints a (1 - Array.unsafe_get ints b)
+       | 18 ->
+           Array.unsafe_set floats a
+             (Array.unsafe_get floats b +. Array.unsafe_get floats c)
+       | 19 ->
+           Array.unsafe_set floats a
+             (Array.unsafe_get floats b -. Array.unsafe_get floats c)
+       | 20 ->
+           Array.unsafe_set floats a
+             (Array.unsafe_get floats b *. Array.unsafe_get floats c)
+       | 21 ->
+           Array.unsafe_set floats a
+             (Array.unsafe_get floats b /. Array.unsafe_get floats c)
+       | 22 (* mod.f *) ->
+           Array.unsafe_set floats a
+             (Float.rem (Array.unsafe_get floats b)
+                (Array.unsafe_get floats c))
+       | 23 (* neg.f *) ->
+           Array.unsafe_set floats a (-.Array.unsafe_get floats b)
+       | 24 (* i2f *) ->
+           Array.unsafe_set floats a (float_of_int (Array.unsafe_get ints b))
+       | 25 (* f2i *) ->
+           Array.unsafe_set ints a (int_of_float (Array.unsafe_get floats b))
+       | 26 (* cmp.ii *) ->
+           let x = Array.unsafe_get ints c
+           and y = Array.unsafe_get ints d in
+           let holds =
+             match a with
+             | 0 -> x < y | 1 -> x <= y | 2 -> x > y | 3 -> x >= y
+             | 4 -> x = y | _ -> x <> y
+           in
+           Array.unsafe_set ints b (if holds then 1 else 0)
+       | 27 (* cmp.ff *) ->
+           let r =
+             Float.compare (Array.unsafe_get floats c)
+               (Array.unsafe_get floats d)
+           in
+           let holds =
+             match a with
+             | 0 -> r < 0 | 1 -> r <= 0 | 2 -> r > 0 | 3 -> r >= 0
+             | 4 -> r = 0 | _ -> r <> 0
+           in
+           Array.unsafe_set ints b (if holds then 1 else 0)
+       | 28 (* ld.f *) ->
+           let arr = Array.unsafe_get farrs b in
+           let idx = Array.unsafe_get ints c + d in
+           if idx < 0 || idx >= Array.length arr then
+             oob idx (Array.length arr);
+           Array.unsafe_set floats a (Array.unsafe_get arr idx)
+       | 29 (* ld.fu *) ->
+           Array.unsafe_set floats a
+             (Array.unsafe_get
+                (Array.unsafe_get farrs b)
+                (Array.unsafe_get ints c + d))
+       | 30 (* ld.i *) ->
+           let arr = Array.unsafe_get iarrs b in
+           let idx = Array.unsafe_get ints c + d in
+           if idx < 0 || idx >= Array.length arr then
+             oob idx (Array.length arr);
+           Array.unsafe_set ints a (Array.unsafe_get arr idx)
+       | 31 (* ld.iu *) ->
+           Array.unsafe_set ints a
+             (Array.unsafe_get
+                (Array.unsafe_get iarrs b)
+                (Array.unsafe_get ints c + d))
+       | 32 (* chk.f *) ->
+           let arr = Array.unsafe_get farrs a in
+           let idx = Array.unsafe_get ints b + c in
+           if idx < 0 || idx >= Array.length arr then
+             oob idx (Array.length arr)
+       | 33 (* chk.i *) ->
+           let arr = Array.unsafe_get iarrs a in
+           let idx = Array.unsafe_get ints b + c in
+           if idx < 0 || idx >= Array.length arr then
+             oob idx (Array.length arr)
+       | 34 (* st.f — check already emitted or elision-proven *) ->
+           Array.unsafe_set
+             (Array.unsafe_get farrs a)
+             (Array.unsafe_get ints b + c)
+             (Array.unsafe_get floats d)
+       | 35 (* st.i *) ->
+           Array.unsafe_set
+             (Array.unsafe_get iarrs a)
+             (Array.unsafe_get ints b + c)
+             (Array.unsafe_get ints d)
+       | 36 (* len.f *) ->
+           Array.unsafe_set ints a (Array.length (Array.unsafe_get farrs b))
+       | 37 (* len.i *) ->
+           Array.unsafe_set ints a (Array.length (Array.unsafe_get iarrs b))
+       | 38 ->
+           Array.unsafe_set floats a (sqrt (Array.unsafe_get floats b))
+       | 39 -> Array.unsafe_set floats a (log (Array.unsafe_get floats b))
+       | 40 -> Array.unsafe_set floats a (exp (Array.unsafe_get floats b))
+       | 41 ->
+           Array.unsafe_set floats a (Float.abs (Array.unsafe_get floats b))
+       | 42 ->
+           Array.unsafe_set floats a
+             (Float.floor (Array.unsafe_get floats b))
+       | 43 (* mulc.ld.fu *) ->
+           let off = Array.unsafe_get code (base + 5) in
+           Array.unsafe_set floats a
+             (Array.unsafe_get fpool d
+             *. Array.unsafe_get
+                  (Array.unsafe_get farrs b)
+                  (Array.unsafe_get ints c + off))
+       | 44 (* acc.ld.fu *) ->
+           Array.unsafe_set floats a
+             (Array.unsafe_get floats a
+             +. Array.unsafe_get
+                  (Array.unsafe_get farrs b)
+                  (Array.unsafe_get ints c + d))
+       | 45 (* accmul.ld.ld.fu *) ->
+           let i2r = Array.unsafe_get code (base + 5) in
+           Array.unsafe_set floats a
+             (Array.unsafe_get floats a
+             +. Array.unsafe_get
+                  (Array.unsafe_get farrs b)
+                  (Array.unsafe_get ints c)
+                *. Array.unsafe_get
+                     (Array.unsafe_get farrs d)
+                     (Array.unsafe_get ints i2r))
+       | 46 (* accmul.ld.ld.f — both guarded, first array first *) ->
+           let i2r = Array.unsafe_get code (base + 5) in
+           let a1 = Array.unsafe_get farrs b in
+           let i1 = Array.unsafe_get ints c in
+           if i1 < 0 || i1 >= Array.length a1 then oob i1 (Array.length a1);
+           let a2 = Array.unsafe_get farrs d in
+           let i2 = Array.unsafe_get ints i2r in
+           if i2 < 0 || i2 >= Array.length a2 then oob i2 (Array.length a2);
+           Array.unsafe_set floats a
+             (Array.unsafe_get floats a
+             +. (Array.unsafe_get a1 i1 *. Array.unsafe_get a2 i2))
+       | 47 (* ldst.add.fu *) ->
+           let arr = Array.unsafe_get farrs a in
+           let idx = Array.unsafe_get ints b + c in
+           Array.unsafe_set arr idx
+             (Array.unsafe_get arr idx +. Array.unsafe_get floats d)
+       | 48 (* ldst.add.iu *) ->
+           let arr = Array.unsafe_get iarrs a in
+           let idx = Array.unsafe_get ints b + c in
+           Array.unsafe_set arr idx
+             (Array.unsafe_get arr idx + Array.unsafe_get ints d)
+       | _ -> V.err "bytecode: invalid opcode %d" op
+     done
+   with Exit -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Per-chunk driver and exit.                                          *)
+
+(** Run one claimed chunk, counter range [lower..upper] (the loop's own
+    direction).  Selects the elided variant when every per-chunk
+    subscript interval is proven in range — the same
+    {!Omp_model.Subscript} arithmetic {!Analyze.Depend} uses for its
+    PROVEN dependence verdicts — and the guarded twin otherwise. *)
+let run_chunk (st : state) ~lower ~upper =
+  let p = st.prog in
+  st.ints.(p.Bc.iv_reg) <- lower;
+  st.ints.(p.Bc.upper_reg) <- upper;
+  let code =
+    if Array.length p.Bc.checks = 0 then p.Bc.code
+    else if
+      Array.for_all
+        (fun (c : Bc.check) ->
+          let len =
+            match c.Bc.kbank with
+            | `F -> Array.length st.farrs.(c.Bc.karr)
+            | `I -> Array.length st.iarrs.(c.Bc.karr)
+          in
+          Omp_model.Subscript.in_range ~first:lower ~last:upper ~len
+            c.Bc.c_min c.Bc.c_max)
+        p.Bc.checks
+    then begin
+      Omprt.Profile.bc_elided_tick ();
+      p.Bc.code
+    end
+    else p.Bc.gcode
+  in
+  exec p st code
+
+(** Restore the written captures and the counter.  Called once per
+    drain execution, after the last chunk; skipped (by unwinding) on a
+    runtime error, like the closure tier's abandoned frame. *)
+let writeback (st : state) (fr : V.t array) =
+  let p = st.prog in
+  Array.iter
+    (fun (c : Bc.cap) ->
+      if c.Bc.written then
+        fr.(c.Bc.slot) <-
+          (match c.Bc.ckind with
+           | `I -> V.VInt st.ints.(c.Bc.reg)
+           | `F -> V.VFloat st.floats.(c.Bc.reg)
+           | `B -> V.VBool (st.ints.(c.Bc.reg) <> 0)))
+    p.Bc.caps;
+  fr.(p.Bc.ivslot) <- V.VInt st.ints.(p.Bc.iv_reg)

@@ -69,6 +69,10 @@ type cfn = {
 type t = {
   prog : Rt.program;
   cfns : (string, cfn) Hashtbl.t;
+  bc : Bcgen.opts option;  (* Some iff the bytecode tier is enabled *)
+  bc_listings : (string * string) list Atomic.t;
+      (* (drain label, disassembly), pushed by the specialisation
+         winner — possibly from a worker domain, hence the atomic *)
 }
 
 (** Per-function compile context: lexical scopes mapping names to slots
@@ -77,9 +81,11 @@ type t = {
     layout. *)
 type ctx = {
   cp : t;
+  cfname : string;
   mutable scopes : (string * int) list list;
   mutable next_slot : int;
   mutable slots_rev : (int * string) list;
+  mutable ndrains : int;
 }
 
 type res =
@@ -115,6 +121,37 @@ let resolve ctx name : res =
        | Some sl -> Rglobal sl
        | None ->
            if Hashtbl.mem ctx.cp.prog.fns name then Rfn name else Runbound)
+
+(* ------------------------------------------------------------------ *)
+(* Bytecode tier: attempt to plan a drain body for the register VM.
+   The plan runs against the pre-body scope state (before the handle
+   slot exists), so it must be called first in the drain builders.     *)
+
+let bc_res = function
+  | Rlocal s -> Bcgen.Rslot s
+  | Rfn _ -> Bcgen.Rfnname
+  | Rglobal _ -> Bcgen.Rglobalish
+  | Runbound -> Bcgen.Runbound
+
+let bc_plan ctx ~ivslot ~step2 ~cont ~body : Bcgen.plan option =
+  match ctx.cp.bc with
+  | None -> None
+  | Some opts ->
+      let label = Printf.sprintf "%s#%d" ctx.cfname ctx.ndrains in
+      ctx.ndrains <- ctx.ndrains + 1;
+      let listings = ctx.cp.bc_listings in
+      let on_spec prog =
+        let entry = (label, Bc.disasm prog) in
+        let rec push () =
+          let cur = Atomic.get listings in
+          if not (Atomic.compare_and_set listings cur (entry :: cur)) then
+            push ()
+        in
+        push ()
+      in
+      Bcgen.plan ~opts ~ast:ctx.cp.prog.ast
+        ~resolve:(fun n -> bc_res (resolve ctx n))
+        ~label ~ivslot ~step2 ~cont ~body ~on_spec ()
 
 (* ------------------------------------------------------------------ *)
 (* Invocation.                                                         *)
@@ -795,6 +832,8 @@ and try_static_drain ctx decl rest =
                  | _ -> None)
 
 and build_static_drain ctx ~cv ~ub ~stp ~incl ~ivslot ~step2 ~cont ~body =
+  let bplan = bc_plan ctx ~ivslot ~step2 ~cont ~body in
+  let bc_on = ctx.cp.bc <> None in
   (* initialiser closures compile before the handle slot exists *)
   let gcv = force (compile_expr ctx cv) in
   let gub = force (compile_expr ctx ub) in
@@ -821,20 +860,29 @@ and build_static_drain ctx ~cv ~ub ~stp ~incl ~ivslot ~step2 ~cont ~body =
     in
     match Omprt.Kmpc.for_static_init ~lo ~hi ~step () with
     | None -> ()
-    | Some { Omprt.Kmpc.lower; upper; _ } ->
-        fr.(ivslot) <- V.VInt lower;
-        (try
-           let rec loop () =
-             let s = V.to_int (gstep2 fr) in
-             let i = V.to_int fr.(ivslot) in
-             if (if s > 0 then i <= upper else i >= upper) then begin
-               (try gbody fr with Rt.Continue_exc -> ());
-               gcont fr;
+    | Some { Omprt.Kmpc.lower; upper; _ } -> (
+        match
+          match bplan with Some p -> Bcexec.enter p fr | None -> None
+        with
+        | Some st ->
+            Omprt.Profile.bc_entered_tick ();
+            Bcexec.run_chunk st ~lower ~upper;
+            Bcexec.writeback st fr
+        | None ->
+            if bc_on then Omprt.Profile.bc_bailout_tick ();
+            fr.(ivslot) <- V.VInt lower;
+            (try
+               let rec loop () =
+                 let s = V.to_int (gstep2 fr) in
+                 let i = V.to_int fr.(ivslot) in
+                 if (if s > 0 then i <= upper else i >= upper) then begin
+                   (try gbody fr with Rt.Continue_exc -> ());
+                   gcont fr;
+                   loop ()
+                 end
+               in
                loop ()
-             end
-           in
-           loop ()
-         with Rt.Break_exc -> ())
+             with Rt.Break_exc -> ()))
 
 (*  var __omp_h = <init_fn>(cv, ub, step, chunk, incl);
     var __omp_c = __kmpc_dispatch_next(__omp_h);
@@ -929,6 +977,8 @@ and try_dispatch_drain ctx stmt rest =
 
 and build_dispatch_drain ctx ~kind ~cv ~ub ~stp ~chk ~incl ~ivslot ~step2
     ~icont ~ibody =
+  let bplan = bc_plan ctx ~ivslot ~step2 ~cont:icont ~body:ibody in
+  let bc_on = ctx.cp.bc <> None in
   let gcv = force (compile_expr ctx cv) in
   let gub = force (compile_expr ctx ub) in
   let gstp = force (compile_expr ctx stp) in
@@ -973,30 +1023,47 @@ and build_dispatch_drain ctx ~kind ~cv ~ub ~stp ~chk ~incl ~ivslot ~step2
         (if step > 0 then V.to_int vub + 1 else V.to_int vub - 1)
       else V.to_int vub
     in
-    match kind with
-    | `Chunked ->
-        let trips = Omprt.Ws.trip_count ~lo ~hi ~step () in
-        let tid = Omprt.Api.get_thread_num () in
-        let nth = Omprt.Api.get_num_threads () in
-        Omprt.Ws.static_chunks_iter ~tid ~nthreads:nth ~trips ~chunk:chunk0
-          (fun b e -> run_chunk fr (lo + (b * step)) (lo + ((e - 1) * step)))
-    | (`Dynamic | `Guided | `Runtime) as k ->
-        let chunk = max 1 chunk0 in
-        let sched =
-          match k with
-          | `Dynamic -> Omp_model.Sched.Dynamic chunk
-          | `Guided -> Omp_model.Sched.Guided chunk
-          | `Runtime -> Omp_model.Sched.Runtime
-        in
-        let d = Omprt.Kmpc.dispatch_init ~sched ~lo ~hi ~step () in
-        let rec drain () =
-          match Omprt.Kmpc.dispatch_next d with
-          | Some (lower, upper) ->
-              run_chunk fr lower upper;
-              drain ()
-          | None -> ()
-        in
-        drain ()
+    let bst = match bplan with Some p -> Bcexec.enter p fr | None -> None in
+    (match bst with
+     | Some _ -> Omprt.Profile.bc_entered_tick ()
+     | None -> if bc_on then Omprt.Profile.bc_bailout_tick ());
+    (* the closure tier only touches the frame when a chunk runs, so
+       the bytecode writeback must stay conditional on that too *)
+    let ran = ref false in
+    let run_chunk fr lower upper =
+      match bst with
+      | Some st ->
+          ran := true;
+          Bcexec.run_chunk st ~lower ~upper
+      | None -> run_chunk fr lower upper
+    in
+    (match kind with
+     | `Chunked ->
+         let trips = Omprt.Ws.trip_count ~lo ~hi ~step () in
+         let tid = Omprt.Api.get_thread_num () in
+         let nth = Omprt.Api.get_num_threads () in
+         Omprt.Ws.static_chunks_iter ~tid ~nthreads:nth ~trips ~chunk:chunk0
+           (fun b e -> run_chunk fr (lo + (b * step)) (lo + ((e - 1) * step)))
+     | (`Dynamic | `Guided | `Runtime) as k ->
+         let chunk = max 1 chunk0 in
+         let sched =
+           match k with
+           | `Dynamic -> Omp_model.Sched.Dynamic chunk
+           | `Guided -> Omp_model.Sched.Guided chunk
+           | `Runtime -> Omp_model.Sched.Runtime
+         in
+         let d = Omprt.Kmpc.dispatch_init ~sched ~lo ~hi ~step () in
+         let rec drain () =
+           match Omprt.Kmpc.dispatch_next d with
+           | Some (lower, upper) ->
+               run_chunk fr lower upper;
+               drain ()
+           | None -> ()
+         in
+         drain ());
+    match bst with
+    | Some st when !ran -> Bcexec.writeback st fr
+    | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Program compilation: stubs first so direct calls can link, then the
@@ -1007,7 +1074,10 @@ let compile_fn cp fname fn_node =
   let n = Ast.node ast fn_node in
   let proto = n.Ast.lhs in
   let nparams = Ast.extra ast proto in
-  let ctx = { cp; scopes = [ [] ]; next_slot = 0; slots_rev = [] } in
+  let ctx =
+    { cp; cfname = fname; scopes = [ [] ]; next_slot = 0; slots_rev = [];
+      ndrains = 0 }
+  in
   for k = 0 to nparams - 1 do
     let name_tok = Ast.extra ast (proto + 1 + (2 * k)) in
     ignore (alloc ctx (Ast.token_text ast name_tok))
@@ -1018,8 +1088,10 @@ let compile_fn cp fname fn_node =
   stub.body <- body;
   stub.layout <- List.rev ctx.slots_rev
 
-let compile (prog : Rt.program) : t =
-  let cp = { prog; cfns = Hashtbl.create 16 } in
+let compile ?bc (prog : Rt.program) : t =
+  let cp =
+    { prog; cfns = Hashtbl.create 16; bc; bc_listings = Atomic.make [] }
+  in
   Hashtbl.iter
     (fun fname fn_node ->
       let n = Ast.node prog.ast fn_node in
@@ -1038,3 +1110,7 @@ let run_main cp = call cp "main" []
 
 let slot_layout cp fname =
   Option.map (fun f -> f.layout) (Hashtbl.find_opt cp.cfns fname)
+
+let bc_enabled cp = cp.bc <> None
+
+let bc_listings cp = List.rev (Atomic.get cp.bc_listings)

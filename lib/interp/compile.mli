@@ -10,8 +10,14 @@
 type t
 
 (** Compile all functions of a loaded program.  The program's globals
-    must be fully initialised (i.e. this runs after [Interp.load]). *)
-val compile : Rt.program -> t
+    must be fully initialised (i.e. this runs after [Interp.load]).
+
+    With [~bc], worksharing drain bodies are additionally planned for
+    the register-bytecode tier ({!Bcgen}/{!Bcexec}): drains whose body
+    the planner covers execute on the VM (specialised lazily on first
+    entry), everything else falls back to the closures compiled here.
+    [bc.elide] controls analysis-driven bounds-guard elision. *)
+val compile : ?bc:Bcgen.opts -> Rt.program -> t
 
 (** The underlying loaded program. *)
 val program : t -> Rt.program
@@ -30,3 +36,13 @@ val run_main : t -> Value.t
     function does not exist.  Exposed for the slot-allocation
     goldens. *)
 val slot_layout : t -> string -> (int * string) list option
+
+(** Whether this program was compiled with the bytecode tier. *)
+val bc_enabled : t -> bool
+
+(** Disassembly listings of every drain body specialised so far, as
+    [(label, listing)] in specialisation order; [label] is
+    ["<fn>#<k>"] for the [k]-th recognised drain of [<fn>].  Listings
+    appear only after a drain has executed once (specialisation is
+    lazy), so run the program before dumping. *)
+val bc_listings : t -> (string * string) list

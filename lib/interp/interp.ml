@@ -26,6 +26,8 @@ module Value = Value
 module Compile = Compile
 module Rt = Rt
 module Builtins = Builtins
+module Bc = Bc
+module Bcgen = Bcgen
 
 exception Return_exc = Rt.Return_exc
 exception Break_exc = Rt.Break_exc

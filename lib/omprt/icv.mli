@@ -74,6 +74,13 @@ val parse_thread_limit : string -> int option
 val parse_blocktime : string -> int option
 (** [ZIGOMP_BLOCKTIME]: non-negative integer. *)
 
+val warn_malformed :
+  var:string -> value:string -> expected:string -> used:string -> unit
+(** Report a set-but-malformed environment value being ignored: once
+    per variable, to stderr unless [ZIGOMP_WARNINGS=0].  Exposed so
+    non-[OMP_*] environment switches ([ZIGOMP_BACKEND], ...) share the
+    warn-once path. *)
+
 val warning_count : unit -> int
 (** Malformed-environment warnings emitted so far (each variable warns
     at most once per process). *)

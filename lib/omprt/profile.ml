@@ -65,6 +65,12 @@ let pool_counters =
    Always-on for the same reason as the pool counters. *)
 let barrier_counters = (Atomics.Int.make 0, Atomics.Int.make 0)
 
+(* Bytecode-tier statistics: drain executions entering the register
+   bytecode, drain executions bailing to the closure tier, and chunks
+   that ran the guard-elided code variant.  Always-on: tier selection
+   must be observable (and testable) without enabling timing. *)
+let bc_counters = (Atomics.Int.make 0, Atomics.Int.make 0, Atomics.Int.make 0)
+
 let enable () = Atomic.set enabled true
 let disable () = Atomic.set enabled false
 let is_enabled () = Atomic.get enabled
@@ -80,7 +86,11 @@ let reset () =
   List.iter (fun cnt -> Atomics.Int.set cnt 0) [ a; b; c; d; e; f; g ];
   let s, bl = barrier_counters in
   Atomics.Int.set s 0;
-  Atomics.Int.set bl 0
+  Atomics.Int.set bl 0;
+  let be, bb, bg = bc_counters in
+  Atomics.Int.set be 0;
+  Atomics.Int.set bb 0;
+  Atomics.Int.set bg 0
 
 (** Record one completed construct of duration [dt] seconds. *)
 let record c dt =
@@ -178,6 +188,40 @@ let barrier_report () =
     "hybrid barrier: %d spin waits, %d block waits\n"
     s.spin_waits s.block_waits
 
+type bc_event =
+  | Bc_entered       (** a drain execution ran on the bytecode tier *)
+  | Bc_bailout       (** a drain execution fell back to closures *)
+  | Bc_guard_elided  (** a chunk ran the guard-elided code variant *)
+
+type bc_stats = {
+  bc_entered : int;
+  bc_bailouts : int;
+  bc_guard_elided : int;
+}
+
+let bc_counter = function
+  | Bc_entered -> (let c, _, _ = bc_counters in c)
+  | Bc_bailout -> (let _, c, _ = bc_counters in c)
+  | Bc_guard_elided -> (let _, _, c = bc_counters in c)
+
+let bc_tick e = Atomics.Int.add (bc_counter e) 1
+
+let bc_entered_tick () = bc_tick Bc_entered
+let bc_bailout_tick () = bc_tick Bc_bailout
+let bc_elided_tick () = bc_tick Bc_guard_elided
+
+let bc_stats () =
+  { bc_entered = Atomics.Int.get (bc_counter Bc_entered);
+    bc_bailouts = Atomics.Int.get (bc_counter Bc_bailout);
+    bc_guard_elided = Atomics.Int.get (bc_counter Bc_guard_elided) }
+
+let bc_report () =
+  let s = bc_stats () in
+  Printf.sprintf
+    "bytecode tier: %d drains entered, %d bailouts to closures, %d \
+     guard-elided chunks\n"
+    s.bc_entered s.bc_bailouts s.bc_guard_elided
+
 type snapshot = {
   construct : construct;
   count : int;
@@ -227,5 +271,10 @@ let report () =
     else table ^ pool_report ()
   in
   let bs = barrier_stats () in
-  if bs.spin_waits + bs.block_waits = 0 then table
-  else table ^ barrier_report ()
+  let table =
+    if bs.spin_waits + bs.block_waits = 0 then table
+    else table ^ barrier_report ()
+  in
+  let bc = bc_stats () in
+  if bc.bc_entered + bc.bc_bailouts + bc.bc_guard_elided = 0 then table
+  else table ^ bc_report ()

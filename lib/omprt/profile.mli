@@ -101,3 +101,33 @@ val barrier_stats : unit -> barrier_stats
 
 val barrier_report : unit -> string
 (** The rendered one-line barrier-counter summary. *)
+
+(** {2 Bytecode-tier statistics}
+
+    Always-on counters fed by the interpreter's register-bytecode tier:
+    drain executions that entered bytecode, drain executions that
+    bailed out to the closure tier (unsupported construct or shape
+    mismatch), and chunks that ran the guard-elided code variant.
+    Zeroed by {!reset}; appended to {!report} when nonzero. *)
+
+type bc_event =
+  | Bc_entered       (** a drain execution ran on the bytecode tier *)
+  | Bc_bailout       (** a drain execution fell back to closures *)
+  | Bc_guard_elided  (** a chunk ran the guard-elided code variant *)
+
+type bc_stats = {
+  bc_entered : int;
+  bc_bailouts : int;
+  bc_guard_elided : int;
+}
+
+val bc_tick : bc_event -> unit
+
+val bc_entered_tick : unit -> unit
+val bc_bailout_tick : unit -> unit
+val bc_elided_tick : unit -> unit
+
+val bc_stats : unit -> bc_stats
+
+val bc_report : unit -> string
+(** The rendered one-line bytecode-tier summary. *)

@@ -1,0 +1,623 @@
+(* The register-bytecode tier ([Interp.Bc]/[Bcgen]/[Bcexec]):
+
+   - ZIGOMP_BACKEND / ZIGOMP_BC_ELIDE parsing, and the warn-once
+     fall-back for unrecognised values (the PR-4 ICV treatment instead
+     of a hard failure);
+   - differential qcheck: randomly generated worksharing programs,
+     restricted to the planner's covered construct set, executed by
+     all three tiers — tree walker, staged closures, bytecode — must
+     agree on results, raised errors and per-construct profile counts,
+     and must actually enter the VM (never silently bail);
+   - out-of-bounds error parity on one deterministic schedule;
+   - disassembly goldens: the stencil body listing (opcodes, fused
+     superinstructions, [unguarded] markers) and the register
+     allocation of the NPB CG loop bodies;
+   - the NPB EP/IS bodies pinned as bailouts (their loop bodies call
+     host functions, which the planner must refuse);
+   - the standalone examples under compiled vs bytecode. *)
+
+module V = Interp.Value
+module G = QCheck2.Gen
+
+(* ------------------------------------------------------------------ *)
+(* Backend environment parsing (satellite of the bytecode PR).         *)
+
+let backend_t =
+  Alcotest.testable
+    (fun ppf b ->
+      Format.pp_print_string ppf
+        (match b with
+         | `Ast -> "ast"
+         | `Compiled -> "compiled"
+         | `Bytecode -> "bytecode"))
+    ( = )
+
+let test_parse_backend () =
+  let check s exp =
+    Alcotest.(check (option backend_t)) s exp (Zigomp.parse_backend s)
+  in
+  check "bytecode" (Some `Bytecode);
+  check "BC" (Some `Bytecode);
+  check " vm " (Some `Bytecode);
+  check "compiled" (Some `Compiled);
+  check "Closure" (Some `Compiled);
+  check "staged" (Some `Compiled);
+  check "ast" (Some `Ast);
+  check "tree" (Some `Ast);
+  check "walk" (Some `Ast);
+  check "" None;
+  check "bytecodes" None;
+  check "fast" None;
+  Alcotest.(check (option bool)) "elide on" (Some true)
+    (Zigomp.parse_bc_elide "1");
+  Alcotest.(check (option bool)) "elide off" (Some false)
+    (Zigomp.parse_bc_elide "off");
+  Alcotest.(check (option bool)) "elide junk" None
+    (Zigomp.parse_bc_elide "sometimes")
+
+(* An unrecognised ZIGOMP_BACKEND warns once and falls back to the
+   compiled backend, exactly like a malformed OMP_* ICV. *)
+let test_backend_warn_once () =
+  let with_env pairs f =
+    let saved = List.map (fun (k, _) -> (k, Sys.getenv_opt k)) pairs in
+    List.iter (fun (k, v) -> Unix.putenv k v) pairs;
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter
+          (fun (k, old) -> Unix.putenv k (Option.value old ~default:""))
+          saved;
+        Omprt.Icv.forget_warnings ())
+      f
+  in
+  with_env [ ("ZIGOMP_BACKEND", "turbo"); ("ZIGOMP_WARNINGS", "0") ]
+    (fun () ->
+      Omprt.Icv.forget_warnings ();
+      let n0 = Omprt.Icv.warning_count () in
+      Alcotest.(check backend_t) "falls back to compiled" `Compiled
+        (Zigomp.default_backend ());
+      Alcotest.(check int) "one warning" (n0 + 1)
+        (Omprt.Icv.warning_count ());
+      Alcotest.(check backend_t) "still compiled" `Compiled
+        (Zigomp.default_backend ());
+      Alcotest.(check int) "warned only once" (n0 + 1)
+        (Omprt.Icv.warning_count ()));
+  with_env [ ("ZIGOMP_BACKEND", "bytecode") ] (fun () ->
+      Alcotest.(check backend_t) "well-formed value honoured" `Bytecode
+        (Zigomp.default_backend ()))
+
+(* ------------------------------------------------------------------ *)
+(* Random covered programs.  The function shape:
+
+     fn f(n, x: []f64, ix: []i64, w: []f64, iw: []i64) f64
+
+   with x/ix read-only (ix entries always in [0, n)), w/iw written
+   only at subscript [i], a + reduction into acc, and a serial
+   checksum of w/iw after the region so every store is observable in
+   the returned value.  Subscripts stay in [0, n) by construction
+   (the loop runs over [1, n-1) and offsets are ±1), so the only
+   nondeterminism left is reduction order — fixed by restricting
+   dynamic/guided/runtime schedules to one thread, and float-typed
+   reductions likewise (see [program_gen]).                           *)
+
+type env = {
+  flocals : string list;
+  ilocals : string list;   (* readable int locals, incl. loop counters *)
+  iassign : string list;   (* assignable int locals: counters excluded,
+                              else a generated [tk = 0] in a loop body
+                              would never terminate *)
+  fresh : int;
+}
+
+let sub_gen =
+  G.oneofl [ "i"; "i - 1"; "i + 1"; "ix[i]" ]
+
+let rec iexpr env depth =
+  let leaf =
+    G.oneof
+      ([ G.map string_of_int (G.int_range (-9) 9);
+         G.return "i";
+         G.map (Printf.sprintf "ix[%s]") sub_gen;
+         G.map (Printf.sprintf "int_of(x[%s])") sub_gen ]
+      @ (if env.ilocals = [] then [] else [ G.oneofl env.ilocals ]))
+  in
+  if depth <= 0 then leaf
+  else
+    let sub = iexpr env (depth - 1) in
+    G.oneof
+      [ leaf;
+        G.map2 (Printf.sprintf "(%s + %s)") sub sub;
+        G.map2 (Printf.sprintf "(%s - %s)") sub sub;
+        G.map2 (Printf.sprintf "(%s * %s)") sub sub;
+        G.map2 (fun e k -> Printf.sprintf "(%s / %d)" e k) sub
+          (G.int_range 2 7);
+        G.map2 (fun e k -> Printf.sprintf "(%s %% %d)" e k) sub
+          (G.int_range 2 7);
+      ]
+
+let rec fexpr env depth =
+  let leaf =
+    G.oneof
+      ([ G.oneofl [ "0.5"; "1.0"; "2.0"; "3.0"; "0.25" ];
+         G.map (Printf.sprintf "x[%s]") sub_gen;
+         G.return "w[i]";
+         G.map (Printf.sprintf "float_of(%s)") (iexpr env 0) ]
+      @ (if env.flocals = [] then [] else [ G.oneofl env.flocals ]))
+  in
+  if depth <= 0 then leaf
+  else
+    let sub = fexpr env (depth - 1) in
+    G.oneof
+      [ leaf;
+        G.map2 (Printf.sprintf "(%s + %s)") sub sub;
+        G.map2 (Printf.sprintf "(%s - %s)") sub sub;
+        G.map2 (Printf.sprintf "(%s * %s)") sub sub;
+        G.map (Printf.sprintf "(%s / 2.0)") sub;
+        G.map (Printf.sprintf "sqrt(fabs(%s))") sub;
+        G.map (Printf.sprintf "floor(%s)") sub;
+      ]
+
+let cond_gen env depth =
+  let cmp =
+    G.oneof
+      [ G.map3
+          (fun l op r -> Printf.sprintf "%s %s %s" l op r)
+          (fexpr env 1)
+          (G.oneofl [ "<"; "<="; ">"; ">="; "=="; "!=" ])
+          (fexpr env 1);
+        G.map3
+          (fun l op r -> Printf.sprintf "%s %s %s" l op r)
+          (iexpr env 1)
+          (G.oneofl [ "<"; "<="; ">"; ">="; "=="; "!=" ])
+          (iexpr env 1) ]
+  in
+  if depth <= 0 then cmp
+  else
+    G.oneof
+      [ cmp;
+        G.map2 (Printf.sprintf "(%s and %s)") cmp cmp;
+        G.map2 (Printf.sprintf "(%s or %s)") cmp cmp;
+        G.map (Printf.sprintf "!(%s)") cmp ]
+
+let indent lines = List.map (fun l -> "        " ^ l) lines
+
+(* One statement; declarations use fresh names only, so every use is
+   after its (initialised) declaration on every tier. *)
+let rec stmt_gen env depth : (string list * env) G.t =
+  let open G in
+  let store =
+    [ (let* arr = oneofl [ `W; `Iw ] in
+       let* op = oneofl [ "="; "+="; "-="; "*="; "/=" ] in
+       match arr with
+       | `W ->
+           let* e = fexpr env 2 in
+           return ([ Printf.sprintf "w[i] %s %s;" op e ], env)
+       | `Iw ->
+           let* e = iexpr env 2 in
+           return ([ Printf.sprintf "iw[i] %s %s;" op e ], env)) ]
+  in
+  let decl =
+    [ (let* kind = oneofl [ `F; `I ] in
+       let name = Printf.sprintf "t%d" env.fresh in
+       match kind with
+       | `F ->
+           let* e = fexpr env 2 in
+           return
+             ( [ Printf.sprintf "var %s: f64 = %s;" name e ],
+               { env with flocals = name :: env.flocals;
+                 fresh = env.fresh + 1 } )
+       | `I ->
+           let* e = iexpr env 2 in
+           return
+             ( [ Printf.sprintf "var %s: i64 = %s;" name e ],
+               { env with ilocals = name :: env.ilocals;
+                 iassign = name :: env.iassign;
+                 fresh = env.fresh + 1 } )) ]
+  in
+  let local_assign =
+    (if env.flocals = [] then []
+     else
+       [ (let* v = oneofl env.flocals in
+          let* op = oneofl [ "="; "+="; "-="; "*=" ] in
+          let* e = fexpr env 2 in
+          return ([ Printf.sprintf "%s %s %s;" v op e ], env)) ])
+    @
+    if env.iassign = [] then []
+    else
+      [ (let* v = oneofl env.iassign in
+         let* op = oneofl [ "="; "+="; "-="; "*=" ] in
+         let* e = iexpr env 2 in
+         return ([ Printf.sprintf "%s %s %s;" v op e ], env)) ]
+  in
+  let if_stmt =
+    if depth <= 0 then []
+    else
+      [ (let* c = cond_gen env 1 in
+         let* then_lines, tenv = stmts_gen env (depth - 1) in
+         let* has_else = bool in
+         let* else_lines, eenv =
+           if has_else then stmts_gen { env with fresh = tenv.fresh } (depth - 1)
+           else return ([], tenv)
+         in
+         return
+           ( (Printf.sprintf "if (%s) {" c :: indent then_lines)
+             @ (if has_else then ("} else {" :: indent else_lines) else [])
+             @ [ "}" ],
+             (* branch-local declarations go out of scope, but their
+                names stay burnt so later siblings never redeclare *)
+             { env with fresh = eenv.fresh } )) ]
+  in
+  let while_stmt =
+    if depth <= 0 then []
+    else
+      [ (let name = Printf.sprintf "t%d" env.fresh in
+         (* counter readable but not assignable inside the body *)
+         let env' =
+           { env with ilocals = name :: env.ilocals; fresh = env.fresh + 1 }
+         in
+         let* bound = int_range 2 4 in
+         let* body_lines, benv = stmts_gen env' (depth - 1) in
+         let* brk = bool in
+         let body_lines =
+           if brk then
+             body_lines
+             @ [ Printf.sprintf "if (%s > 2) { break; }" name ]
+           else body_lines
+         in
+         return
+           ( [ Printf.sprintf "var %s: i64 = 0;" name;
+               Printf.sprintf "while (%s < %d) : (%s += 1) {" name bound
+                 name ]
+             @ indent body_lines @ [ "}" ],
+             (* the counter survives the loop; body locals do not, but
+                their names stay burnt *)
+             { env' with fresh = benv.fresh } )) ]
+  in
+  let continue_stmt =
+    if depth <= 0 then []
+    else
+      [ (let* c = cond_gen env 0 in
+         return ([ Printf.sprintf "if (%s) { continue; }" c ], env)) ]
+  in
+  oneof
+    (store @ store @ decl @ local_assign @ if_stmt @ while_stmt
+     @ continue_stmt)
+
+and stmts_gen env depth : (string list * env) G.t =
+  let open G in
+  let* count = int_range 1 3 in
+  let rec go env k acc =
+    if k = 0 then return (List.concat (List.rev acc), env)
+    else
+      let* lines, env = stmt_gen env depth in
+      go env (k - 1) (lines :: acc)
+  in
+  go env count []
+
+(* (schedule clause, allowed thread counts): non-static claim orders
+   are racy, so those schedules run on one thread where the reduction
+   order is total anyway. *)
+let sched_gen =
+  G.oneof
+    [ G.map (fun t -> ("", t)) (G.int_range 1 4);
+      G.map (fun t -> ("schedule(static)", t)) (G.int_range 1 4);
+      G.map (fun t -> ("schedule(static, 3)", t)) (G.int_range 1 4);
+      G.return ("schedule(dynamic, 2)", 1);
+      G.return ("schedule(guided, 2)", 1);
+      G.return ("schedule(runtime)", 1) ]
+
+let program_gen =
+  let open G in
+  let env = { flocals = []; ilocals = []; iassign = []; fresh = 0 } in
+  let* body, env' = stmts_gen env 2 in
+  let* sched, threads = sched_gen in
+  (* Threaded float reduction is bit-nondeterministic (the combine
+     order over per-thread partials is not fixed), so a float acc is
+     only generated on one thread; otherwise acc is an i64, whose
+     wrapping sum is exactly order-insensitive.  Float stores are
+     still observed bit-exactly through the serial checksum. *)
+  let* accf = if threads = 1 then bool else return false in
+  let* red = if accf then fexpr env' 2 else iexpr env' 2 in
+  let* n = int_range 3 24 in
+  let src =
+    String.concat "\n"
+      ([ "fn f(n: i64, x: []f64, ix: []i64, w: []f64, iw: []i64) f64 {";
+         (if accf then "    var acc: f64 = 0.0;"
+          else "    var acc: i64 = 0;");
+         "    var i: i64 = 1;";
+         Printf.sprintf
+           "    //$omp parallel for reduction(+: acc) shared(x, ix, w, \
+            iw) %s"
+           sched;
+         "    while (i < n - 1) : (i += 1) {" ]
+      @ indent body
+      @ [ Printf.sprintf "        acc += %s;" red;
+          "    }";
+          "    var j: i64 = 0;";
+          "    var chk: f64 = 0.0;";
+          "    while (j < n) : (j += 1) { chk = chk + w[j] + \
+           float_of(iw[j]); }";
+          "    return float_of(acc) + chk + float_of(i);";
+          "}" ])
+  in
+  return (src, n, threads)
+
+let args_for n =
+  let x = Array.init n (fun k -> float_of_int ((k mod 7) - 3) *. 0.5) in
+  let ix = Array.init n (fun k -> (k * 5 + 2) mod n) in
+  [ V.VInt n; V.VFloatArr x; V.VIntArr ix;
+    V.VFloatArr (Array.make n 0.); V.VIntArr (Array.make n 0) ]
+
+(* One tier under the profiler: result, per-construct counts, and the
+   bytecode-tier counters (captured before the final reset).           *)
+let run_counted run =
+  Omprt.Profile.reset ();
+  Omprt.Profile.enable ();
+  let res = try Ok (run ()) with e -> Error (Printexc.to_string e) in
+  Omprt.Profile.disable ();
+  let counts =
+    List.map
+      (fun (s : Omprt.Profile.snapshot) ->
+        (Omprt.Profile.construct_name s.construct, s.count))
+      (Omprt.Profile.snapshot ())
+  in
+  let bc = Omprt.Profile.bc_stats () in
+  Omprt.Profile.reset ();
+  (res, counts, bc)
+
+let run_three_tiers src n threads =
+  Omprt.Api.set_num_threads threads;
+  let p = Interp.load ~name:"bcdiff.zr" src in
+  let walker = run_counted (fun () -> Interp.call p "f" (args_for n)) in
+  let compiled =
+    let cc = Interp.Compile.compile p in
+    run_counted (fun () -> Interp.Compile.call cc "f" (args_for n))
+  in
+  let bytecode =
+    let cc = Interp.Compile.compile ~bc:{ Interp.Bcgen.elide = true } p in
+    run_counted (fun () -> Interp.Compile.call cc "f" (args_for n))
+  in
+  (walker, compiled, bytecode)
+
+let print_case (src, n, threads) =
+  Printf.sprintf "n=%d threads=%d\n%s" n threads src
+
+let prop_three_tier =
+  QCheck2.Test.make
+    ~name:
+      "random covered programs: walker = compiled = bytecode (results, \
+       profile counts), and the VM is entered"
+    ~count:500 ~print:print_case program_gen
+    (fun (src, n, threads) ->
+      let (wres, wcounts, _), (cres, ccounts, cbc), (bres, bcounts, bbc) =
+        run_three_tiers src n threads
+      in
+      (* structural compare, not (=): a NaN checksum is a legitimate
+         outcome (w[i] /= 0.0) and must still count as agreement *)
+      compare wres cres = 0 && compare wres bres = 0
+      && wcounts = ccounts && wcounts = bcounts
+      && cbc.Omprt.Profile.bc_entered = 0
+      && bbc.Omprt.Profile.bc_entered > 0
+      && bbc.Omprt.Profile.bc_bailouts = 0)
+
+(* Out-of-bounds subscripts: one thread, static schedule, so the first
+   faulting iteration is deterministic; all three tiers must raise the
+   identical error (the bytecode tier through its guarded twin).       *)
+let oob_program_gen =
+  let open G in
+  let* off = int_range 1 3 in
+  let* dir = oneofl [ `Low; `High ] in
+  let* compound = bool in
+  let sub =
+    match dir with
+    | `Low -> Printf.sprintf "i - %d" off
+    | `High -> Printf.sprintf "i + %d" off
+  in
+  let body =
+    if compound then Printf.sprintf "w[%s] += x[i];" sub
+    else Printf.sprintf "w[i] = x[%s];" sub
+  in
+  let src =
+    Printf.sprintf
+      {|
+fn f(n: i64, x: []f64, ix: []i64, w: []f64, iw: []i64) f64 {
+    var acc: f64 = 0.0;
+    var i: i64 = 0;
+    //$omp parallel for reduction(+: acc) shared(x, ix, w, iw) schedule(static)
+    while (i < n) : (i += 1) {
+        %s
+        acc += w[i];
+    }
+    return acc;
+}
+|}
+      body
+  in
+  let* n = int_range 1 8 in
+  return (src, n, 1)
+
+let prop_oob_parity =
+  QCheck2.Test.make
+    ~name:"out-of-bounds bodies: identical error on all three tiers"
+    ~count:100 ~print:print_case oob_program_gen
+    (fun (src, n, threads) ->
+      let (wres, _, _), (cres, _, _), (bres, _, _) =
+        run_three_tiers src n threads
+      in
+      let is_err = match wres with Error _ -> true | Ok _ -> false in
+      is_err && wres = cres && wres = bres)
+
+(* ------------------------------------------------------------------ *)
+(* Disassembly goldens.                                                *)
+
+let stencil_src =
+  {|
+fn stencil(n: i64, a: []f64, b: []f64) f64 {
+    var i: i64 = 1;
+    //$omp parallel for shared(a, b)
+    while (i < n - 1) : (i += 1) {
+        b[i] = 0.25 * a[i - 1] + 0.5 * a[i] + 0.25 * a[i + 1];
+    }
+    return b[1];
+}
+|}
+
+let stencil_listing () =
+  Omprt.Api.set_num_threads 1;
+  let p = Zigomp.compile ~backend:`Bytecode ~name:"stencil.zr" stencil_src in
+  let n = 32 in
+  ignore
+    (Zigomp.call p "stencil"
+       [ V.VInt n; V.VFloatArr (Array.init n float_of_int);
+         V.VFloatArr (Array.make n 0.) ]);
+  match Zigomp.bc_listings p with
+  | [ (label, listing) ] -> (label, listing)
+  | l -> Alcotest.failf "expected one listing, got %d" (List.length l)
+
+let stencil_golden =
+  "registers: 2 int (iv=i0, upper=i1), 3 float\n\
+  \  farr 0 <- slot 4 'b__ptr' (deref)\n\
+  \  farr 1 <- slot 3 'a__ptr' (deref)\n\
+   chunk check (all pass => elided code, else guarded):\n\
+  \  b__ptr[iv+0 .. iv+0] in range over the chunk\n\
+  \  a__ptr[iv-1 .. iv+1] in range over the chunk\n\
+   code (elided):\n\
+  \  @0    L21   cmpbr.ii !le i0{iv}, i1{upper}, @48\n\
+  \  @6    L22   mulc.ld.fu f0, 0.25 * a__ptr[i0{iv}-1]   [unguarded]\n\
+  \  @12   L22   mulc.ld.fu f1, 0.5 * a__ptr[i0{iv}]   [unguarded]\n\
+  \  @18   L22   add.f f0, f0, f1\n\
+  \  @24   L22   mulc.ld.fu f1, 0.25 * a__ptr[i0{iv}+1]   [unguarded]\n\
+  \  @30   L22   add.f f0, f0, f1\n\
+  \  @36   L22   st.f b__ptr[i0{iv}], f0   [unguarded]\n\
+  \  @42   L21   addcmple.br i0{iv} += 1, <= i1{upper}, @6\n\
+  \  @48   L21   halt\n\
+   code (guarded twin):\n\
+  \  @0    L21   cmpbr.ii !le i0{iv}, i1{upper}, @90\n\
+  \  @6    L22   chk.f b__ptr[i0{iv}]\n\
+  \  @12   L22   ldc.f f0, 0.25\n\
+  \  @18   L22   ld.f f1, a__ptr[i0{iv}-1]\n\
+  \  @24   L22   mul.f f0, f0, f1\n\
+  \  @30   L22   ldc.f f1, 0.5\n\
+  \  @36   L22   ld.f f2, a__ptr[i0{iv}]\n\
+  \  @42   L22   mul.f f1, f1, f2\n\
+  \  @48   L22   add.f f0, f0, f1\n\
+  \  @54   L22   ldc.f f1, 0.25\n\
+  \  @60   L22   ld.f f2, a__ptr[i0{iv}+1]\n\
+  \  @66   L22   mul.f f1, f1, f2\n\
+  \  @72   L22   add.f f0, f0, f1\n\
+  \  @78   L22   st.f b__ptr[i0{iv}], f0   [unguarded]\n\
+  \  @84   L21   addcmple.br i0{iv} += 1, <= i1{upper}, @6\n\
+  \  @90   L21   halt\n"
+
+let test_stencil_golden () =
+  let label, listing = stencil_listing () in
+  Alcotest.(check string) "drain label" "__omp_outlined_0#0" label;
+  Alcotest.(check string) "stencil body listing" stencil_golden listing
+
+(* Register allocation of the NPB CG loop bodies: every drain of
+   conj_grad specialises (no bailouts), and the register-file header
+   of each listing — the allocator's contract — is pinned.             *)
+let test_cg_regalloc_golden () =
+  Omprt.Api.set_num_threads 1;
+  Omprt.Profile.reset ();
+  let p = Interp.load ~name:"conj_grad.zr" Harness.Zr_cg.conj_grad_src in
+  let cc = Interp.Compile.compile ~bc:{ Interp.Bcgen.elide = true } p in
+  ignore (Interp.Compile.call cc "conj_grad" (Test_npb_zr.spd_args 16));
+  let bc = Omprt.Profile.bc_stats () in
+  Omprt.Profile.reset ();
+  Alcotest.(check int) "no conj_grad drain bails" 0
+    bc.Omprt.Profile.bc_bailouts;
+  Alcotest.(check bool) "drains entered" true
+    (bc.Omprt.Profile.bc_entered > 0);
+  let header listing =
+    match String.index_opt listing '\n' with
+    | Some k -> String.sub listing 0 k
+    | None -> listing
+  in
+  let headers =
+    List.map
+      (fun (label, listing) -> Printf.sprintf "%s: %s" label (header listing))
+      (List.sort compare (Interp.Compile.bc_listings cc))
+  in
+  Alcotest.(check (list string)) "per-drain register files"
+    [ "__omp_outlined_0#0: registers: 2 int (iv=i0, upper=i1), 1 float";
+      "__omp_outlined_0#1: registers: 2 int (iv=i0, upper=i1), 1 float";
+      "__omp_outlined_0#2: registers: 4 int (iv=i0, upper=i1), 3 float";
+      "__omp_outlined_0#3: registers: 2 int (iv=i0, upper=i1), 1 float";
+      "__omp_outlined_0#4: registers: 2 int (iv=i0, upper=i1), 3 float";
+      "__omp_outlined_0#5: registers: 2 int (iv=i0, upper=i1), 1 float";
+      "__omp_outlined_0#6: registers: 2 int (iv=i0, upper=i1), 3 float";
+      "__omp_outlined_0#7: registers: 4 int (iv=i0, upper=i1), 3 float";
+      "__omp_outlined_0#8: registers: 2 int (iv=i0, upper=i1), 4 float" ]
+    headers
+
+(* EP and IS loop bodies call registered host functions (ep_batch and
+   the is_ phases), which the planner must refuse: every drain
+   execution is a bailout, and nothing specialises. *)
+let test_ep_is_bail () =
+  Omprt.Profile.reset ();
+  let r = Harness.Zr_ep.run ~backend:`Bytecode ~cls:Npb.Classes.S ~nthreads:2 () in
+  (match r.Npb.Result.verification with
+   | Npb.Result.Verified -> ()
+   | _ -> Alcotest.fail "EP class S (bytecode) must verify");
+  let ep = Omprt.Profile.bc_stats () in
+  Alcotest.(check int) "EP: no drain enters the VM" 0
+    ep.Omprt.Profile.bc_entered;
+  Alcotest.(check bool) "EP: drains bail to closures" true
+    (ep.Omprt.Profile.bc_bailouts > 0);
+  Omprt.Profile.reset ();
+  let r = Harness.Zr_is.run ~backend:`Bytecode ~cls:Npb.Classes.S ~nthreads:2 () in
+  (match r.Npb.Result.verification with
+   | Npb.Result.Verified -> ()
+   | _ -> Alcotest.fail "IS class S (bytecode) must verify");
+  let is = Omprt.Profile.bc_stats () in
+  Omprt.Profile.reset ();
+  Alcotest.(check int) "IS: no drain enters the VM" 0
+    is.Omprt.Profile.bc_entered;
+  Alcotest.(check bool) "IS: drains bail to closures" true
+    (is.Omprt.Profile.bc_bailouts > 0)
+
+(* ------------------------------------------------------------------ *)
+(* The standalone examples under compiled vs bytecode.                 *)
+
+(* cwd is test/ under dune runtest, the workspace root under dune exec *)
+let examples_dir =
+  let up = Filename.concat (Filename.concat ".." "examples") "zr" in
+  if Sys.file_exists up then up else Filename.concat "examples" "zr"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_examples_parity () =
+  Omprt.Api.set_num_threads 4;
+  List.iter
+    (fun name ->
+      let src = read_file (Filename.concat examples_dir name) in
+      let run backend =
+        let p = Zigomp.compile ~backend ~name src in
+        try Ok (Zigomp.run_main p) with e -> Error (Printexc.to_string e)
+      in
+      let compiled = run `Compiled in
+      let bytecode = run `Bytecode in
+      if compiled <> bytecode then
+        Alcotest.failf "%s: compiled and bytecode disagree" name)
+    [ "jacobi.zr"; "mandelbrot.zr"; "histogram.zr" ]
+
+let suite =
+  [ Alcotest.test_case "ZIGOMP_BACKEND / ZIGOMP_BC_ELIDE parsing" `Quick
+      test_parse_backend;
+    Alcotest.test_case "unknown backend warns once, falls back" `Quick
+      test_backend_warn_once;
+    QCheck_alcotest.to_alcotest prop_three_tier;
+    QCheck_alcotest.to_alcotest prop_oob_parity;
+    Alcotest.test_case "stencil body listing golden" `Quick
+      test_stencil_golden;
+    Alcotest.test_case "CG bodies: register-allocation golden" `Quick
+      test_cg_regalloc_golden;
+    Alcotest.test_case "EP/IS bodies bail to closures (and verify)" `Quick
+      test_ep_is_bail;
+    Alcotest.test_case "examples: compiled = bytecode" `Quick
+      test_examples_parity;
+  ]

@@ -24,4 +24,5 @@ let () =
       ("check", Test_check.suite);
       ("analyze", Test_analyze.suite);
       ("npb-zr", Test_npb_zr.suite);
+      ("bytecode", Test_bc.suite);
     ]

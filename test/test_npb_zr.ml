@@ -2,10 +2,10 @@
    through the interpreter pipeline against the official NPB
    verification values, plus checker passes over the same Zr sources.
 
-   EP and IS run class W under both backends.  CG class W runs on the
-   staged-closure backend only (the tree walker takes minutes on it);
-   backend agreement is covered by an exact-parity check on a small
-   synthetic system instead. *)
+   EP and IS run class W under all three backends.  CG class W runs on
+   the staged-closure backend only (the tree walker takes minutes on
+   it); backend agreement — including the bytecode tier — is covered
+   by an exact-parity check on a small synthetic system instead. *)
 
 module V = Interp.Value
 module Checker = Zigomp.Checker
@@ -74,8 +74,13 @@ let test_cg_backend_parity () =
   let ast =
     rnorm_of "ast" (Harness.Zr_cg.load_conj_grad `Ast (spd_args n))
   in
+  let bytecode =
+    rnorm_of "bytecode" (Harness.Zr_cg.load_conj_grad `Bytecode (spd_args n))
+  in
   Alcotest.(check (float 0.)) "bit-identical rnorm across backends"
     compiled ast;
+  Alcotest.(check (float 0.)) "bit-identical rnorm under the bytecode tier"
+    compiled bytecode;
   Alcotest.(check bool)
     (Printf.sprintf "near-converged, finite rnorm (%g)" compiled)
     true
@@ -140,9 +145,13 @@ let suite =
   [ Alcotest.test_case "EP class W (compiled) verifies" `Slow
       (test_ep_w `Compiled);
     Alcotest.test_case "EP class W (ast) verifies" `Slow (test_ep_w `Ast);
+    Alcotest.test_case "EP class W (bytecode) verifies" `Slow
+      (test_ep_w `Bytecode);
     Alcotest.test_case "IS class W (compiled) verifies" `Quick
       (test_is_w `Compiled);
     Alcotest.test_case "IS class W (ast) verifies" `Quick (test_is_w `Ast);
+    Alcotest.test_case "IS class W (bytecode) verifies" `Quick
+      (test_is_w `Bytecode);
     Alcotest.test_case "CG class W (compiled) verifies" `Slow
       test_cg_w_compiled;
     Alcotest.test_case "CG backends agree bit-for-bit" `Quick

@@ -334,6 +334,245 @@ let bench_bytecode () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Loop transformations: the measured effect of the source-to-source
+   rewrites (tile, interchange, unroll, collapse) under the bytecode
+   tier, and the roofline model's verdict on the tiling.
+   BENCH_transform.json carries both, so CI can gate on the measured
+   tiling speedup and on prediction/measurement sign agreement.        *)
+
+let transform_stencil_src clause =
+  Printf.sprintf
+    {|
+fn sweep(a: []f64, b: []f64, out: []f64) f64 {
+    //$omp parallel shared(a, b, out)
+    {
+        var i: i64 = 0;
+        //$omp for %s
+        while (i < 1024) : (i += 1) {
+            var j: i64 = 0;
+            while (j < 1024) : (j += 1) {
+                out[i * 1024 + j] = a[i * 1024 + j] + b[j * 1024 + i];
+            }
+        }
+    }
+    return out[0];
+}
+|}
+    clause
+
+let transform_colmajor_src clause =
+  Printf.sprintf
+    {|
+fn sweep(src: []f64, out: []f64) f64 {
+    //$omp parallel shared(src, out)
+    {
+        var i: i64 = 0;
+        //$omp for %s
+        while (i < 512) : (i += 1) {
+            var j: i64 = 0;
+            while (j < 512) : (j += 1) {
+                out[j * 512 + i] = src[j * 512 + i] * 2.0;
+            }
+        }
+    }
+    return out[0];
+}
+|}
+    clause
+
+let transform_saxpy_src clause =
+  Printf.sprintf
+    {|
+fn saxpy(x: []f64, y: []f64) f64 {
+    //$omp parallel shared(x, y)
+    {
+        var i: i64 = 0;
+        //$omp for %s
+        while (i < 65536) : (i += 1) {
+            y[i] = y[i] + 0.5 * x[i];
+        }
+    }
+    return y[0];
+}
+|}
+    clause
+
+let transform_grid_src clause =
+  Printf.sprintf
+    {|
+fn grid(hits: []i64) i64 {
+    //$omp parallel shared(hits)
+    {
+        var i: i64 = 0;
+        //$omp for %s
+        while (i < 512) : (i += 1) {
+            var j: i64 = 0;
+            while (j < 512) : (j += 1) {
+                hits[i * 512 + j] = hits[i * 512 + j] + i + j;
+            }
+        }
+    }
+    return hits[0];
+}
+|}
+    clause
+
+let bench_transform () =
+  print_endline
+    "== transform: tile/interchange/unroll/collapse rewrites under the \
+     bytecode tier (real execution) ==";
+  let time_per_iter prog fname args ~iters ~reps =
+    ignore (Zigomp.call prog fname args);  (* warm-up, and specialise *)
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do ignore (Zigomp.call prog fname args) done;
+    1e9 *. (Unix.gettimeofday () -. t0) /. float_of_int (reps * iters)
+  in
+  let run_variant ~name ~src ~fname ~args ~iters ~reps =
+    let p = Zigomp.compile ~backend:`Bytecode ~name:(name ^ ".zr") src in
+    time_per_iter p fname args ~iters ~reps
+  in
+  (* tiled vs untiled transpose-add, 1 thread so the cache effect is
+     not diluted across private slices; the roofline prediction is
+     evaluated at the same active=1 *)
+  Zigomp.set_num_threads 1;
+  let n = 1024 in
+  let a = Array.init (n * n) (fun t -> float_of_int (t mod 97)) in
+  let b = Array.init (n * n) (fun t -> float_of_int (t mod 89)) in
+  let out = Array.make (n * n) 0. in
+  let stencil_args =
+    [ Zigomp.Value.VFloatArr a; Zigomp.Value.VFloatArr b;
+      Zigomp.Value.VFloatArr out ]
+  in
+  let untiled_ns =
+    run_variant ~name:"stencil_untiled" ~src:(transform_stencil_src "")
+      ~fname:"sweep" ~args:stencil_args ~iters:(n * n) ~reps:3
+  in
+  let tiled_ns =
+    run_variant ~name:"stencil_tiled"
+      ~src:(transform_stencil_src "tile(8, 8)") ~fname:"sweep"
+      ~args:stencil_args ~iters:(n * n) ~reps:3
+  in
+  let measured = untiled_ns /. tiled_ns in
+  let predicted =
+    let src = transform_stencil_src "tile(8, 8)" in
+    let ast, spans =
+      Zigomp.Frontend.Parser.parse_string ~name:"stencil_tiled.zr" src
+    in
+    match
+      Zigomp.Preprocessor.Transform.footprints
+        { Zigomp.Preprocessor.Synth.ast; spans }
+    with
+    | [] -> 1.0
+    | (fp : Zigomp.Preprocessor.Transform.footprint) :: _ ->
+        let cost =
+          Omp_model.Cost.make
+            ~flops:(fp.fp_iters *. float_of_int fp.fp_accesses)
+            ~bytes:fp.fp_bytes ()
+        in
+        (Sim.Perfmodel.predict_tiling Sim.Machine.archer2 ~active:1 ~cost
+           ~ws_before:fp.fp_ws_before ~ws_after:fp.fp_ws_after)
+          .Sim.Perfmodel.speedup
+  in
+  let sign_agrees =
+    (* both sides within 2% of 1.0 also count as agreement: the model
+       saying "no change" about a flat measurement is a correct call *)
+    (predicted >= 1.0 && measured >= 0.98)
+    || (predicted <= 1.0 && measured <= 1.02)
+  in
+  Printf.printf
+    "  tile(8,8) transpose-add 1024^2: %8.1f ns/iter untiled %8.1f \
+     tiled  measured %.2fx, predicted %.2fx (%s)\n%!"
+    untiled_ns tiled_ns measured predicted
+    (if sign_agrees then "signs agree" else "signs DISAGREE");
+  (* interchange: column-major sweep made row-major *)
+  let m = 512 in
+  let src_arr = Array.init (m * m) (fun t -> float_of_int (t mod 31)) in
+  let out2 = Array.make (m * m) 0. in
+  let colmajor_args =
+    [ Zigomp.Value.VFloatArr src_arr; Zigomp.Value.VFloatArr out2 ]
+  in
+  let colmajor_ns =
+    run_variant ~name:"colmajor" ~src:(transform_colmajor_src "")
+      ~fname:"sweep" ~args:colmajor_args ~iters:(m * m) ~reps:3
+  in
+  let interchanged_ns =
+    run_variant ~name:"interchanged"
+      ~src:(transform_colmajor_src "interchange") ~fname:"sweep"
+      ~args:colmajor_args ~iters:(m * m) ~reps:3
+  in
+  Printf.printf
+    "  interchange col-major 512^2:    %8.1f ns/iter original %8.1f \
+     interchanged  %.2fx\n%!"
+    colmajor_ns interchanged_ns (colmajor_ns /. interchanged_ns);
+  (* unroll ablation on a streamed daxpy *)
+  let x = Array.init 65536 (fun t -> float_of_int (t mod 7)) in
+  let y = Array.make 65536 1.0 in
+  let saxpy_args = [ Zigomp.Value.VFloatArr x; Zigomp.Value.VFloatArr y ] in
+  let unroll_ns =
+    List.map
+      (fun f ->
+        let clause = if f = 1 then "" else Printf.sprintf "unroll(%d)" f in
+        ( f,
+          run_variant
+            ~name:(Printf.sprintf "saxpy_u%d" f)
+            ~src:(transform_saxpy_src clause) ~fname:"saxpy"
+            ~args:saxpy_args ~iters:65536 ~reps:10 ))
+      [ 1; 2; 4; 8 ]
+  in
+  List.iter
+    (fun (f, ns) ->
+      Printf.printf "  unroll(%d) daxpy 64k:            %8.1f ns/iter\n%!"
+        f ns)
+    unroll_ns;
+  (* collapse(2) vs worksharing only the outer loop, 4 threads *)
+  Zigomp.set_num_threads 4;
+  let hits = Array.make (m * m) 0 in
+  let grid_args = [ Zigomp.Value.VIntArr hits ] in
+  let nested_ns =
+    run_variant ~name:"grid_nested" ~src:(transform_grid_src "")
+      ~fname:"grid" ~args:grid_args ~iters:(m * m) ~reps:3
+  in
+  let collapse_ns =
+    run_variant ~name:"grid_collapse"
+      ~src:(transform_grid_src "collapse(2)") ~fname:"grid"
+      ~args:grid_args ~iters:(m * m) ~reps:3
+  in
+  Printf.printf
+    "  collapse(2) grid 512^2, 4 thr:  %8.1f ns/iter nested %8.1f \
+     collapsed  %.2fx\n%!"
+    nested_ns collapse_ns (nested_ns /. collapse_ns);
+  let json =
+    Printf.sprintf
+      "{\n  \"bench\": \"transform\",\n  \"unit\": \"ns/iteration\",\n  \
+       \"results\": [\n\
+      \    { \"kernel\": \"stencil_tile8x8\", \"untiled_ns_per_iter\": \
+       %.2f, \"tiled_ns_per_iter\": %.2f, \"measured_speedup\": %.3f, \
+       \"predicted_speedup\": %.3f, \"prediction_sign_agrees\": %b },\n\
+      \    { \"kernel\": \"interchange_colmajor\", \
+       \"original_ns_per_iter\": %.2f, \"interchanged_ns_per_iter\": \
+       %.2f, \"speedup\": %.3f },\n\
+      \    { \"kernel\": \"unroll_daxpy\", %s },\n\
+      \    { \"kernel\": \"collapse2_grid\", \"nested_ns_per_iter\": \
+       %.2f, \"collapsed_ns_per_iter\": %.2f, \"ratio\": %.3f }\n\
+      \  ]\n}\n"
+      untiled_ns tiled_ns measured predicted sign_agrees colmajor_ns
+      interchanged_ns
+      (colmajor_ns /. interchanged_ns)
+      (String.concat ", "
+         (List.map
+            (fun (f, ns) ->
+              Printf.sprintf "\"unroll%d_ns_per_iter\": %.2f" f ns)
+            unroll_ns))
+      nested_ns collapse_ns
+      (nested_ns /. collapse_ns)
+  in
+  let oc = open_out "BENCH_transform.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "  wrote BENCH_transform.json";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* The hot-team pool ablation: spawn-per-fork and pooled fork measured
    back-to-back in the same process, so the speedup is observable on
    any host without cross-run noise.  Empty region bodies isolate the
@@ -552,6 +791,7 @@ let sections =
     ("micro", run_micro);
     ("interp", bench_interp);
     ("bytecode", bench_bytecode);
+    ("transform", bench_transform);
     ("pool", bench_pool);
     ("sensitivity", sensitivity);
     ("ablation",

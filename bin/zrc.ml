@@ -111,14 +111,31 @@ let parse_cmd =
 (* ---- preprocess ---- *)
 
 let preprocess_cmd =
-  let run file =
+  let dump_transformed =
+    Arg.(value & flag
+         & info [ "dump-transformed" ]
+             ~doc:"Stop after the loop-transformation stage (tile, \
+                   unroll, interchange, legality checks) and print its \
+                   output — the input to the rest of the lowering.  \
+                   Prints the source unchanged when no transform \
+                   applies.")
+  in
+  let run file dump_transformed =
     handle_errors (fun () ->
-        print_string (Zigomp.preprocess ~name:file (read_file file)))
+        let source = read_file file in
+        if dump_transformed then
+          print_string
+            (match
+               Zigomp.Preprocessor.Transform.run ~name:file source
+             with
+             | Some transformed -> transformed
+             | None -> source)
+        else print_string (Zigomp.preprocess ~name:file source))
   in
   Cmd.v
     (Cmd.info "preprocess"
        ~doc:"Lower OpenMP pragmas to runtime calls; print the result")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ dump_transformed)
 
 (* ---- run ---- *)
 
@@ -244,7 +261,63 @@ let analyze_cmd =
              ~doc:"Also print advisory (MAY) findings; they never \
                    affect the exit code")
   in
-  let run file kernel json fix in_place show_may =
+  let predict_opt =
+    Arg.(value & flag
+         & info [ "predict" ]
+             ~doc:"For every legal tiling with literal bounds, print \
+                   the roofline model's predicted cache working sets, \
+                   L3 miss factors, effective arithmetic intensity and \
+                   speedup (before vs after tiling) on the modelled \
+                   machine.  Advisory; never affects the exit code.")
+  in
+  let predict_threads_opt =
+    Arg.(value & opt int 1
+         & info [ "predict-threads" ] ~docv:"N"
+             ~doc:"Active threads assumed by $(b,--predict) (the \
+                   per-thread working-set slice shrinks with the team)")
+  in
+  let print_predictions ~json ~name ~active source =
+    match Zr.Parser.parse_string ~name source with
+    | exception Zr.Source.Error _ -> ()
+    | ast, spans ->
+        let module T = Zigomp.Preprocessor.Transform in
+        let module P = Zigomp.Simulator.Perfmodel in
+        let fps = T.footprints { Zigomp.Preprocessor.Synth.ast; spans } in
+        let m = Zigomp.Simulator.Machine.archer2 in
+        (* the report owns stdout in JSON mode *)
+        let ch = if json then stderr else stdout in
+        let kib b = b /. 1024. in
+        if fps = [] then
+          Printf.fprintf ch
+            "predict: no legal tiling with literal bounds\n"
+        else
+          List.iter
+            (fun (fp : T.footprint) ->
+              let cost =
+                Zigomp.Model.Cost.make
+                  ~flops:(fp.T.fp_iters *. float_of_int fp.T.fp_accesses)
+                  ~bytes:fp.T.fp_bytes ()
+              in
+              let p =
+                P.predict_tiling m ~active ~cost ~ws_before:fp.T.fp_ws_before
+                  ~ws_after:fp.T.fp_ws_after
+              in
+              if fp.T.fp_ws_after >= fp.T.fp_ws_before then
+                Printf.fprintf ch
+                  "predict: line %d %s: ws %.1f KiB unchanged, no \
+                   predicted change (speedup 1.00x)\n"
+                  fp.T.fp_line fp.T.fp_desc (kib fp.T.fp_ws_before)
+              else
+                Printf.fprintf ch
+                  "predict: line %d %s: ws %.1f KiB -> %.1f KiB, miss \
+                   %.2f -> %.2f, AI %.3f -> %.3f flop/B, predicted \
+                   speedup %.2fx\n"
+                  fp.T.fp_line fp.T.fp_desc (kib fp.T.fp_ws_before)
+                  (kib fp.T.fp_ws_after) p.P.miss_before p.P.miss_after
+                  p.P.ai_before p.P.ai_after p.P.speedup)
+            fps
+  in
+  let run file kernel json fix in_place show_may predict predict_threads =
     handle_errors' (fun () ->
         let name, source =
           match (kernel, file) with
@@ -256,6 +329,8 @@ let analyze_cmd =
         if not fix then begin
           let r = Zigomp.analyze ~name source in
           print_report ~json ~show_may r;
+          if predict then
+            print_predictions ~json ~name ~active:predict_threads source;
           Report.exit_code r.Zigomp.Analyzer.report
         end
         else begin
@@ -288,7 +363,7 @@ let analyze_cmd =
              rewrites directives (reduction/atomic/nowait/firstprivate \
              repairs) until the analysis is clean.")
     Term.(const run $ file_opt $ kernel_opt $ json_opt $ fix_opt
-          $ in_place_opt $ may_opt)
+          $ in_place_opt $ may_opt $ predict_opt $ predict_threads_opt)
 
 (* ---- check ---- *)
 

@@ -62,10 +62,29 @@ let run ?(name = "<input>") source : result =
   | ast, spans ->
       let df = Dataflow.run ast spans in
       let out = Autoscope.run df in
+      (* advisory: loop transforms the preprocessor would refuse, with
+         the legality verdict in the rendered line (the refusal itself
+         is safe — the clause is stripped — so these never affect the
+         exit code) *)
+      let transform_may =
+        Preproc.Transform.assess { Preproc.Synth.ast; spans }
+        |> List.map (fun (r : Preproc.Transform.refusal) ->
+               Report.lint ~rule:"transform"
+                 ~detail:
+                   (Printf.sprintf "line %d: %s refused [%s]: %s" r.line
+                      r.clause
+                      (match r.verdict with
+                       | Preproc.Transform.Proven -> "PROVEN"
+                       | Preproc.Transform.May -> "MAY")
+                      r.reason)
+                 ())
+      in
       { report =
           Report.make ~backend:"analyze" ~source:ast.Zr.Ast.source ~name
             ~schedules:0 out.Autoscope.findings;
-        may = List.sort compare (dedup_by_line out.Autoscope.may);
+        may =
+          List.sort compare (dedup_by_line out.Autoscope.may)
+          @ transform_may;
         fixes = out.Autoscope.fixes }
 
 (** The strongest static verdict: no findings of either confidence. *)

@@ -133,45 +133,44 @@ let same_loop_pair li (a : Df.access) (b : Df.access) :
       (* same element only in the same iteration: thread-local order *)
       (VNone, None)
   | Some (Df.Saffine (_, c1)), Some (Df.Saffine (_, c2)) -> (
-      let delta = c2 - c1 in
       match li.Df.step with
-      | Some s when s <> 0 ->
-          if delta mod s <> 0 then (VNone, None)
-          else
-            let d = delta / s in
-            let carried =
-              Some
-                { distance = abs d;
-                  direction = (if d > 0 then "<" else ">") }
-            in
-            (match trips li with
-             | Some t when abs d >= t -> (VNone, None)
-             | Some t when t >= 2 ->
-                 (* a contiguous split over two threads separates
-                    iterations [ceil(t/2)] apart at most; a distance
-                    within half the iteration space must cross the
-                    chunk boundary of some team size *)
-                 if li.Df.static_unchunked && abs d <= t / 2 then
-                   ( VProven
-                       (Printf.sprintf
-                          "loop-carried dependence, distance %d, \
-                           direction (%s)"
-                          (abs d)
-                          (if d > 0 then "<" else ">")),
-                     carried )
-                 else
+      | Some s when s <> 0 -> (
+          (* the distance arithmetic is shared with the preprocessor's
+             transform legality checks through {!Omp_model.Depvec} *)
+          match Omp_model.Depvec.siv_distance ~c1 ~c2 ~step:s with
+          | None -> (VNone, None)
+          | Some d ->
+              let dir =
+                Omp_model.Depvec.(dir_to_string (dir_of_distance d))
+              in
+              let carried = Some { distance = abs d; direction = dir } in
+              (match trips li with
+               | Some t when abs d >= t -> (VNone, None)
+               | Some t when t >= 2 ->
+                   (* a contiguous split over two threads separates
+                      iterations [ceil(t/2)] apart at most; a distance
+                      within half the iteration space must cross the
+                      chunk boundary of some team size *)
+                   if li.Df.static_unchunked && abs d <= t / 2 then
+                     ( VProven
+                         (Printf.sprintf
+                            "loop-carried dependence, distance %d, \
+                             direction (%s)"
+                            (abs d) dir),
+                       carried )
+                   else
+                     ( VMay
+                         (Printf.sprintf
+                            "loop-carried dependence, distance %d, may \
+                             stay inside one thread's chunk"
+                            (abs d)),
+                       carried )
+               | _ ->
                    ( VMay
                        (Printf.sprintf
-                          "loop-carried dependence, distance %d, may \
-                           stay inside one thread's chunk"
+                          "possible loop-carried dependence, distance %d"
                           (abs d)),
-                     carried )
-             | _ ->
-                 ( VMay
-                     (Printf.sprintf
-                        "possible loop-carried dependence, distance %d"
-                        (abs d)),
-                   carried ))
+                     carried )))
       | _ -> (VMay "possible loop-carried dependence, unknown step", None))
   | Some (Df.Saffine (_, c)), Some (Df.Sconst k)
   | Some (Df.Sconst k), Some (Df.Saffine (_, c)) -> (

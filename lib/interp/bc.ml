@@ -107,8 +107,11 @@ let op_accmul_ld_ld_fu = 45 (* s += a1[i] * a2[j]         [unguarded] *)
 let op_accmul_ld_ld_f = 46  (* s += a1[i] * a2[j], both guarded       *)
 let op_ldst_add_fu = 47     (* arr[i+off] += floats[a]    [unguarded] *)
 let op_ldst_add_iu = 48     (* arr[i+off] += ints[a]      [unguarded] *)
+let op_recover = 49         (* a <- b + ((iv / c) % d) * imm — the
+                               collapse(n) counter-recovery statement;
+                               traps like div.i then mod.i            *)
 
-let n_ops = 49
+let n_ops = 50
 
 (* Comparison condition codes for cmp/cmpbr. *)
 let cc_lt = 0
@@ -203,6 +206,7 @@ let opcode_name = function
   | 43 -> "mulc.ld.fu" | 44 -> "acc.ld.fu"
   | 45 -> "accmul.ld.ld.fu" | 46 -> "accmul.ld.ld.f"
   | 47 -> "ldst.add.fu" | 48 -> "ldst.add.iu"
+  | 49 -> "recover"
   | _ -> "???"
 
 let unguarded_op op =
@@ -282,6 +286,9 @@ let disasm_instr (p : program) code lines pc =
     | 48 ->
         Printf.sprintf "ldst.add.iu %s[%s%s] += %s" (iarr a) (ir b) (off c)
           (ir d)
+    | 49 ->
+        Printf.sprintf "recover %s, %s + ((%s / %s) %% %s) * %d" (ir a)
+          (ir b) (ir p.iv_reg) (ir c) (ir d) code.(pc + 5)
     | _ -> "???"
   in
   Printf.sprintf "  @%-4d L%-4d %s%s" pc lines.(pc / width) body

@@ -193,6 +193,7 @@ let exec (p : Bc.program) (st : state) (code : int array) =
   let ints = st.ints and floats = st.floats in
   let farrs = st.farrs and iarrs = st.iarrs in
   let fpool = p.Bc.fpool in
+  let ivr = p.Bc.iv_reg in
   let pc = ref 0 in
   (try
      while true do
@@ -404,6 +405,15 @@ let exec (p : Bc.program) (st : state) (code : int array) =
            let idx = Array.unsafe_get ints b + c in
            Array.unsafe_set arr idx
              (Array.unsafe_get arr idx + Array.unsafe_get ints d)
+       | 49 (* recover: a <- b + ((iv / c) % d) * imm *) ->
+           let dv = Array.unsafe_get ints c in
+           if dv = 0 then V.err "integer division by zero";
+           let nv = Array.unsafe_get ints d in
+           if nv = 0 then V.err "integer modulo by zero";
+           let s = Array.unsafe_get code (base + 5) in
+           Array.unsafe_set ints a
+             (Array.unsafe_get ints b
+             + (Array.unsafe_get ints ivr / dv mod nv * s))
        | _ -> V.err "bytecode: invalid opcode %d" op
      done
    with Exit -> ())

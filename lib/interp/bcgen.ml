@@ -1134,16 +1134,46 @@ let specialize (p : plan) ~(ckinds : [ `I | `F | `B ] array)
               | _ -> false)
           | _ -> false
       in
+      (* The collapse(n) counter-recovery statement the preprocessor
+         emits — [c_k = lb_k + ((iv / d_k) % n_k) * step_k] — fuses
+         into one [recover] dispatch per nest level.  All scalars are
+         register-resident ints and the step a literal, so the only
+         trap risks are the division and modulo, which the opcode
+         checks in the same order with the same messages. *)
+      let try_recover_fuse ln (tk, treg) e =
+        if tk <> KI then false
+        else
+          match e with
+          | UBin
+              (Badd, lbe,
+               UBin (Bmul, UBin (Bmod, UBin (Bdiv, UIv, de), ne), se)) -> (
+              let step =
+                match se with
+                | UConstI s -> Some s
+                | UNeg (UConstI s) -> Some (-s)
+                | _ -> None
+              in
+              match (step, simple_idx lbe, simple_idx de, simple_idx ne) with
+              | Some s, Some (rlb, _), Some (rd, _), Some (rn, _) ->
+                  ignore (eb_emit eb ln Bc.op_recover treg rlb rd rn s);
+                  true
+              | _ -> false)
+          | _ -> false
+      in
       (* statements *)
       let rec cs ~brk ~cnt s =
         let ln = s.sline in
         match s.sk with
         | SAssignL (l, e) ->
-            if not (try_acc_fuse ln regs.loc_reg.(l) (ULocal l) e) then
-              emit_assign ln regs.loc_reg.(l) e
+            if
+              not (try_acc_fuse ln regs.loc_reg.(l) (ULocal l) e)
+              && not (try_recover_fuse ln regs.loc_reg.(l) e)
+            then emit_assign ln regs.loc_reg.(l) e
         | SAssignC (c, e) ->
-            if not (try_acc_fuse ln regs.cap_reg.(c) (UCap c) e) then
-              emit_assign ln regs.cap_reg.(c) e
+            if
+              not (try_acc_fuse ln regs.cap_reg.(c) (UCap c) e)
+              && not (try_recover_fuse ln regs.cap_reg.(c) e)
+            then emit_assign ln regs.cap_reg.(c) e
         | SStore (b, idx, v) ->
             let bank, bi = regs.bmap.(b) in
             let sv = save () in

@@ -1,0 +1,53 @@
+(** Dependence distances and direction vectors, shared between the
+    static analyser's SIV battery ({!Analyze.Depend}) and the
+    preprocessor's loop-transformation legality checks
+    ({!Preproc.Transform}).
+
+    Both clients reason about affine subscripts [counter + c] in
+    counted loops; the quantity they share is the iteration distance of
+    a subscript pair and the direction it induces.  Keeping the
+    arithmetic here — below both clients in the library graph — makes
+    "a transform the preprocessor applies is one the analyser would
+    bless" a property of one function rather than two copies, exactly
+    as {!Subscript} does for bounds-guard elision. *)
+
+(** Dependence direction in one loop dimension, in the classical
+    notation: [Dlt] ([<]) — the source iteration precedes the sink,
+    [Deq] ([=]) — same iteration, [Dgt] ([>]) — the source follows the
+    sink. *)
+type dir = Dlt | Deq | Dgt
+
+let dir_of_distance d = if d > 0 then Dlt else if d < 0 then Dgt else Deq
+
+let dir_to_string = function Dlt -> "<" | Deq -> "=" | Dgt -> ">"
+
+(** [siv_distance ~c1 ~c2 ~step] — iteration distance of an SIV pair
+    [counter + c1] (source) against [counter + c2] (sink) in a loop of
+    stride [step]: [Some d] iff [step] divides [c2 - c1], meaning the
+    two subscripts touch the same element exactly [d] iterations apart.
+    [None] when the stride never aligns them — the pair is
+    independent. *)
+let siv_distance ~c1 ~c2 ~step =
+  if step = 0 then None
+  else
+    let delta = c2 - c1 in
+    if delta mod step <> 0 then None else Some (delta / step)
+
+(** [interchange_legal vectors] — legality of swapping the two loops of
+    a 2-deep nest against its dependence distance vectors
+    [(d_outer, d_inner)]: the swap reverses a dependence iff some
+    vector is [(<, >)] — carried outward with a negative inner
+    component.  Vectors with a [=] outer component are inner-loop-only
+    and unaffected; [(<, <)] and [(<, =)] stay lexicographically
+    positive after the swap. *)
+let interchange_legal vectors =
+  List.for_all (fun (d1, d2) -> not (d1 > 0 && d2 < 0)) vectors
+
+(** [group_legal ~factor dists] — legality of grouping [factor]
+    consecutive iterations into one sequential unit (unroll replicas,
+    or a tile's point loop) against the loop's carried distances: safe
+    when every carried dependence either stays inside an iteration
+    ([d = 0]) or spans at least the whole group ([|d| >= factor]), so
+    no group both sources and sinks the same dependence. *)
+let group_legal ~factor dists =
+  List.for_all (fun d -> d = 0 || abs d >= factor) dists

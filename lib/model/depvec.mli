@@ -1,0 +1,20 @@
+(** Dependence distances and direction vectors, shared between the
+    static analyser ({!Analyze.Depend}) and the preprocessor's
+    loop-transformation legality checks ({!Preproc.Transform}). *)
+
+type dir = Dlt | Deq | Dgt
+
+val dir_of_distance : int -> dir
+val dir_to_string : dir -> string
+
+(** Iteration distance of an SIV subscript pair [counter + c1] /
+    [counter + c2] under stride [step]; [None] when the stride never
+    aligns the two (independent). *)
+val siv_distance : c1:int -> c2:int -> step:int -> int option
+
+(** No [(<, >)] distance vector: swapping a 2-deep nest is legal. *)
+val interchange_legal : (int * int) list -> bool
+
+(** Every carried distance is 0 or at least [factor]: grouping [factor]
+    consecutive iterations (unroll, tile point loop) is legal. *)
+val group_legal : factor:int -> int list -> bool

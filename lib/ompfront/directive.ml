@@ -19,6 +19,9 @@
       +9  reduction slice begin   -- entries are (op code, ident node)
       +10 reduction slice end        pairs, so end-begin is even
       +11 critical name token     (0 = unnamed)
+      +12 packed transform        (Packed.encode_transform)
+      +13 tile slice begin        -- entries are literal tile sizes,
+      +14 tile slice end             not node indices
     v} *)
 
 type kind =
@@ -65,7 +68,7 @@ let red_op_identity = function
   | Rmin -> "__omp_huge()"
   | Rmax -> "-__omp_huge()"
 
-let clause_block_size = 12
+let clause_block_size = 15
 
 (** Identity of a clause occurrence on a directive, used to attach
     source spans to individual clauses (diagnostics point at the
@@ -80,6 +83,9 @@ type clause_id =
   | Cdefault
   | Cnowait
   | Ccollapse
+  | Ctile
+  | Cunroll
+  | Cinterchange
   | Cname          (** the [(name)] of a critical directive *)
 
 let clause_id_to_string = function
@@ -92,6 +98,9 @@ let clause_id_to_string = function
   | Cdefault -> "default"
   | Cnowait -> "nowait"
   | Ccollapse -> "collapse"
+  | Ctile -> "tile"
+  | Cunroll -> "unroll"
+  | Cinterchange -> "interchange"
   | Cname -> "name"
 
 (** Source extent of one clause occurrence as recorded by the parser:
@@ -114,6 +123,8 @@ type clauses = {
   shared : int list;
   reductions : (red_op * int) list;
   critical_name : int;      (** token index, 0 if unnamed *)
+  transform : Packed.transform;
+  tile : int list;          (** literal tile sizes, outermost first *)
 }
 
 let empty_clauses = {
@@ -125,6 +136,8 @@ let empty_clauses = {
   shared = [];
   reductions = [];
   critical_name = 0;
+  transform = Packed.no_transform;
+  tile = [];
 }
 
 (** [decode extra base] — read a clause block at index [base] of the
@@ -152,4 +165,6 @@ let decode (extra : int array) base : clauses =
     shared = slice extra.(base + 7) extra.(base + 8);
     reductions;
     critical_name = extra.(base + 11);
+    transform = Packed.decode_transform extra.(base + 12);
+    tile = slice extra.(base + 13) extra.(base + 14);
   }

@@ -107,5 +107,47 @@ let decode_flags word =
         nowait = (word lsr 2) land 1 = 1;
         collapse = (word lsr 3) land 0xf }
 
+(* --------------------------- transform ---------------------------- *)
+
+(** Packed loop-transformation word (the third scalar word of the
+    clause block).  [unroll] is the requested replication factor
+    (0 = no clause); [interchange] requests the two outermost loops be
+    swapped.  Tile sizes are list data and live in an extra_data slice,
+    not here.  The [*_malformed] bits record that the clause was
+    present but its argument was rejected at parse time (non-literal,
+    zero, negative, out of range) — the transform stage warns once and
+    ignores the clause, matching the ICV env-var treatment, instead of
+    hard-failing the parse. *)
+type transform = {
+  unroll : int;              (* 8 bits; 0 = no clause *)
+  interchange : bool;        (* 1 bit *)
+  unroll_malformed : bool;   (* 1 bit *)
+  tile_malformed : bool;     (* 1 bit *)
+}
+
+let no_transform =
+  { unroll = 0; interchange = false;
+    unroll_malformed = false; tile_malformed = false }
+
+let max_unroll = 255
+
+let encode_transform t =
+  if t.unroll < 0 || t.unroll > max_unroll then
+    invalid_arg "Packed.encode_transform: unroll out of the 8-bit range";
+  (if t.interchange then 1 else 0)
+  lor (t.unroll lsl 1)
+  lor (if t.unroll_malformed then 1 lsl 9 else 0)
+  lor (if t.tile_malformed then 1 lsl 10 else 0)
+
+let decode_transform word =
+  { interchange = word land 1 = 1;
+    unroll = (word lsr 1) land 0xff;
+    unroll_malformed = (word lsr 9) land 1 = 1;
+    tile_malformed = (word lsr 10) land 1 = 1 }
+
+(** Largest accepted tile size: tile sizes share the 29-bit positive
+    range of schedule chunks (they are loop-trip quantities too). *)
+let max_tile = max_chunk
+
 (* 32-bit sanity: both packed words must fit the extra_data element. *)
 let fits_u32 w = w >= 0 && w < 1 lsl 32

@@ -74,6 +74,12 @@ val parse_thread_limit : string -> int option
 val parse_blocktime : string -> int option
 (** [ZIGOMP_BLOCKTIME]: non-negative integer. *)
 
+val warnings_enabled : unit -> bool
+(** Whether diagnostics gated by [ZIGOMP_WARNINGS] should print (true
+    unless the variable is set to [0|false|off|no]).  Exposed so other
+    warn-once emitters (the preprocessor's transform refusals) honour
+    the same switch. *)
+
 val warn_malformed :
   var:string -> value:string -> expected:string -> used:string -> unit
 (** Report a set-but-malformed environment value being ignored: once

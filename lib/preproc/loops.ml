@@ -91,17 +91,17 @@ let decompose (c : Synth.ctx) dir wh : loop_parts =
   { counter_base; counter_is_ptr; upper = cond.Ast.rhs; inclusive;
     cont; step_text; body }
 
-(* Collapse(2): the outer loop's body must be the canonical nest — an
-   initialisation of the inner counter (assignment or var decl with
-   init) directly followed by the inner while.  Returns the inner
+(* Collapse: each collapsed loop's body must be the canonical nest — an
+   initialisation of the next counter (assignment or var decl with
+   init) directly followed by the next while.  Returns the inner
    counter's init expression node and the inner loop node. *)
 let decompose_nest (c : Synth.ctx) dir outer_body =
   let ast = c.ast in
   let fail () =
     Source.error ast.Ast.source
       (Ast.token ast (Ast.node ast dir).Ast.main_token).Token.start
-      "collapse(2): the outer loop body must contain exactly the inner \
-       counter initialisation followed by the inner while loop"
+      "collapse: each collapsed loop body must contain exactly the next \
+       counter initialisation followed by the next while loop"
   in
   match Ast.block_stmts ast outer_body with
   | [ init; inner ] ->
@@ -125,18 +125,33 @@ let plan_loop (c : Synth.ctx) dir : Synth.replacement =
   let cl = Ast.clauses ast dir in
   let wh = node.Ast.rhs in
   let lp = decompose c dir wh in
-  let collapse2 = cl.flags.Packed.collapse >= 2 in
-  (if cl.flags.Packed.collapse > 2 then
-     Source.error ast.Ast.source
-       (Ast.token ast node.Ast.main_token).Token.start
-       "collapse(%d): only collapse(2) is code-generated"
-       cl.flags.Packed.collapse);
-  let nest =
-    if collapse2 then begin
-      let init_expr, inner = decompose_nest c dir lp.body in
-      Some (init_expr, decompose c dir inner)
-    end
-    else None
+  let depth = max 1 cl.flags.Packed.collapse in
+  (* Levels 1..depth-1 of the collapsed nest, outermost first: the init
+     expression of each counter and the decomposed loop.  A body that is
+     not a canonical nest at some level is a hard (diagnosed) error —
+     collapse is never silently ignored. *)
+  let nest_levels =
+    let rec chain body k acc =
+      if k >= depth then List.rev acc
+      else
+        let init_expr, inner = decompose_nest c dir body in
+        let ilp = decompose c dir inner in
+        chain ilp.body (k + 1) ((init_expr, ilp) :: acc)
+    in
+    chain lp.body 1 []
+  in
+  let collapsed = depth >= 2 in
+  (* Collapsed counter name at nest level [k] (0 = the pragma's loop). *)
+  let cname k = Printf.sprintf "__omp_c%d" k in
+  let level_of name =
+    if name = lp.counter_base then Some 0
+    else
+      let rec find k = function
+        | [] -> None
+        | (_, ilp) :: rest ->
+            if ilp.counter_base = name then Some k else find (k + 1) rest
+      in
+      find 1 nest_levels
   in
   let name_of = Synth.ident_name c in
   let priv = List.map name_of cl.private_ in
@@ -146,15 +161,13 @@ let plan_loop (c : Synth.ctx) dir : Synth.replacement =
      their thread-local temporaries. *)
   let red_tmp x = "__omp_red_" ^ x in
   let map name =
-    if name = lp.counter_base then
-      Some (if collapse2 then "__omp_ov" else "__omp_iv")
-    else
-      match nest with
-      | Some (_, ilp) when name = ilp.counter_base -> Some "__omp_inv"
-      | _ ->
-          if List.exists (fun (_, x) -> x = name) reds then
-            Some (red_tmp name)
-          else None
+    match level_of name with
+    | Some 0 -> Some (if collapsed then cname 0 else "__omp_iv")
+    | Some k -> Some (cname k)
+    | None ->
+        if List.exists (fun (_, x) -> x = name) reds then
+          Some (red_tmp name)
+        else None
   in
   let consume name = map name <> None in
   let rw node_ =
@@ -166,9 +179,10 @@ let plan_loop (c : Synth.ctx) dir : Synth.replacement =
   let upper_text = rw lp.upper in
   let cont_text = rw lp.cont in
   let body_text =
-    match nest with
-    | None -> rw lp.body
-    | Some (_, ilp) -> rw ilp.body  (* only the innermost body runs *)
+    (* only the innermost body runs *)
+    match List.rev nest_levels with
+    | [] -> rw lp.body
+    | (_, innermost) :: _ -> rw innermost.body
   in
   let counter_value =
     if lp.counter_is_ptr then lp.counter_base ^ ".*" else lp.counter_base
@@ -187,36 +201,64 @@ let plan_loop (c : Synth.ctx) dir : Synth.replacement =
       bpf "    var %s = %s;\n" (red_tmp x) (Directive.red_op_identity op))
     reds;
   bpf "    var __omp_iv = undefined;\n";
-  (* For collapse(2) the worksharing runs over the fused linear space
-     [0, outer trips x inner trips) and the two original counters are
-     recovered by division/modulo per iteration. *)
+  (* For collapse(n) the worksharing runs over the fused linear space
+     [0, product of all trip counts) and the n original counters are
+     recovered by division/modulo per iteration: counter k is
+     [lb_k + ((iv / d_k) % n_k) * step_k], where the divisor [d_k] is
+     the product of the trip counts of the levels nested inside k. *)
   let counter_value, upper_text, step, incl, cont_text =
-    match nest with
-    | None -> (counter_value, upper_text, step, incl, cont_text)
-    | Some (init_expr, ilp) ->
-        let iupper_text = rw ilp.upper in
-        let iincl = if ilp.inclusive then "1" else "0" in
-        bpf "    var __omp_olb = %s;\n" counter_value;
-        bpf "    var __omp_ilb = %s;\n" (rw init_expr);
-        bpf "    var __omp_nin = __omp_trips(__omp_ilb, %s, %s, %s);\n"
-          iupper_text ilp.step_text iincl;
-        bpf "    var __omp_nout = __omp_trips(__omp_olb, %s, %s, %s);\n"
-          upper_text step incl;
-        bpf "    var __omp_ov = undefined;\n";
-        bpf "    var __omp_inv = undefined;\n";
-        ("0", "__omp_nout * __omp_nin", "1", "0", "__omp_iv += 1")
+    if not collapsed then (counter_value, upper_text, step, incl, cont_text)
+    else begin
+      bpf "    var __omp_lb0 = %s;\n" counter_value;
+      List.iteri
+        (fun idx (init_expr, _) ->
+          bpf "    var __omp_lb%d = %s;\n" (idx + 1) (rw init_expr))
+        nest_levels;
+      bpf "    var __omp_n0 = __omp_trips(__omp_lb0, %s, %s, %s);\n"
+        upper_text step incl;
+      List.iteri
+        (fun idx (_, ilp) ->
+          let k = idx + 1 in
+          bpf "    var __omp_n%d = __omp_trips(__omp_lb%d, %s, %s, %s);\n"
+            k k (rw ilp.upper) ilp.step_text
+            (if ilp.inclusive then "1" else "0"))
+        nest_levels;
+      bpf "    var __omp_d%d = 1;\n" (depth - 1);
+      for k = depth - 2 downto 0 do
+        bpf "    var __omp_d%d = __omp_d%d * __omp_n%d;\n" k (k + 1) (k + 1)
+      done;
+      (* Initialised to 0, not [undefined]: the recovery statements
+         assign every counter before any read, but the bytecode tier
+         observes captured slots at drain entry and an [undefined]
+         value has no register kind — it would force a bailout. *)
+      for k = 0 to depth - 1 do
+        bpf "    var %s = 0;\n" (cname k)
+      done;
+      ("0", "__omp_n0 * __omp_d0", "1", "0", "__omp_iv += 1")
+    end
   in
-  (* Inside the claimed range, a collapsed loop recovers (ov, inv) from
-     the linear index before running the body. *)
+  (* Inside the claimed range, a collapsed loop recovers the counters
+     from the linear index before running the body. *)
   let body_text =
-    match nest with
-    | None -> body_text
-    | Some (_, ilp) ->
-        Printf.sprintf
-          "{\n            __omp_ov = __omp_olb + (__omp_iv / __omp_nin) * \
-           (%s);\n            __omp_inv = __omp_ilb + (__omp_iv %% \
-           __omp_nin) * (%s);\n            %s\n        }"
-          lp.step_text ilp.step_text body_text
+    if not collapsed then body_text
+    else begin
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf "{\n";
+      let steps =
+        lp.step_text :: List.map (fun (_, ilp) -> ilp.step_text) nest_levels
+      in
+      List.iteri
+        (fun k step_k ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "            %s = __omp_lb%d + ((__omp_iv / __omp_d%d) %% \
+                __omp_n%d) * (%s);\n"
+               (cname k) k k k step_k))
+        steps;
+      Buffer.add_string buf
+        (Printf.sprintf "            %s\n        }" body_text);
+      Buffer.contents buf
+    end
   in
   (match cl.schedule with
    | None | Some (Omp_model.Sched.Static None) | Some Omp_model.Sched.Auto ->

@@ -11,11 +11,23 @@
 
 open Zr
 
-type step = Split_combined | Parallel_regions | Worksharing_loops | Sync
+type step =
+  | Loop_transforms
+  | Split_combined
+  | Parallel_regions
+  | Worksharing_loops
+  | Sync
 
-let steps = [ Split_combined; Parallel_regions; Worksharing_loops; Sync ]
+(* Loop transforms run first: refusal diagnostics keep the user's
+   original source coordinates, counters are still plain identifiers
+   (not yet [x__ptr.*] captures), and the combined split's clause
+   printer never needs to learn the transform clauses. *)
+let steps =
+  [ Loop_transforms; Split_combined; Parallel_regions;
+    Worksharing_loops; Sync ]
 
 let step_to_string = function
+  | Loop_transforms -> "loop transformations"
   | Split_combined -> "split combined constructs"
   | Parallel_regions -> "parallel regions"
   | Worksharing_loops -> "worksharing loops"
@@ -42,6 +54,7 @@ let run ?(name = "<input>") (source : string) : string =
   List.fold_left
     (fun src step ->
       match step with
+      | Loop_transforms -> fixpoint (Transform.run ~name) src
       | Split_combined -> fixpoint (Sync.split_combined ~name) src
       | Parallel_regions -> fixpoint (Outline.run ~name ~counter) src
       | Worksharing_loops -> fixpoint (Loops.run ~name) src

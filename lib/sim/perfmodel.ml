@@ -68,6 +68,37 @@ let time (m : Machine.t) ~active ?working_set (c : Cost.t) =
   let gather_t = c.Cost.gather *. miss /. gather_bw_per_thread m ~active in
   Float.max flop_t (Float.max stream_t gather_t)
 
+(* ------------------------------------------------------------------ *)
+(* Tiling prediction for [zrc analyze --predict].  A loop nest with
+   reuse working set [ws_before] that a tiling shrinks to [ws_after]
+   changes its L3 miss factor and therefore its effective arithmetic
+   intensity (flops per byte actually drawn from DRAM) and runtime.   *)
+
+type tile_prediction = {
+  miss_before : float;
+  miss_after : float;
+  ai_before : float;  (* flops / (bytes * miss): effective intensity *)
+  ai_after : float;
+  t_before : float;   (* virtual seconds, one traversal *)
+  t_after : float;
+  speedup : float;    (* t_before / t_after; 1.0 = no predicted change *)
+}
+
+let predict_tiling (m : Machine.t) ~active ~(cost : Cost.t) ~ws_before
+    ~ws_after : tile_prediction =
+  let miss_before = miss_factor m ~active ws_before in
+  let miss_after = miss_factor m ~active ws_after in
+  let ai miss =
+    let dram = Cost.total_bytes cost *. miss in
+    if dram <= 0. then Float.infinity else cost.Cost.flops /. dram
+  in
+  let t_before = time m ~active ~working_set:ws_before cost in
+  let t_after = time m ~active ~working_set:ws_after cost in
+  { miss_before; miss_after;
+    ai_before = ai miss_before; ai_after = ai miss_after;
+    t_before; t_after;
+    speedup = (if t_after > 0. then t_before /. t_after else 1.0) }
+
 let fork_time (m : Machine.t) ~nthreads =
   m.fork_base +. (m.fork_per_thread *. float_of_int nthreads)
 

@@ -27,6 +27,30 @@ val time :
     threads run; compute, streamed and scattered traffic overlap
     (roofline): the slowest resource bounds. *)
 
+type tile_prediction = {
+  miss_before : float;
+  miss_after : float;
+  ai_before : float;
+  ai_after : float;
+  t_before : float;
+  t_after : float;
+  speedup : float;
+}
+(** Effect of shrinking a nest's reuse working set by tiling: L3 miss
+    factors, effective arithmetic intensity (flops per DRAM byte) and
+    one-traversal virtual time, before and after.  [speedup] is
+    [t_before /. t_after]; 1.0 means no predicted change. *)
+
+val predict_tiling :
+  Machine.t ->
+  active:int ->
+  cost:Omp_model.Cost.t ->
+  ws_before:float ->
+  ws_after:float ->
+  tile_prediction
+(** [predict_tiling m ~active ~cost ~ws_before ~ws_after] — evaluate
+    {!time} and {!miss_factor} at the two working sets. *)
+
 val fork_time : Machine.t -> nthreads:int -> float
 
 val barrier_time : Machine.t -> nthreads:int -> float

@@ -310,6 +310,8 @@ type clause_acc = {
   mutable shared : int list;
   mutable reductions : (Ompfront.Directive.red_op * int) list;
   mutable critical_name : int;
+  mutable transform : Ompfront.Packed.transform;
+  mutable tile : int list;
   mutable cspans : Ompfront.Directive.clause_span list;
 }
 
@@ -330,6 +332,8 @@ let fresh_clauses () = {
   shared = [];
   reductions = [];
   critical_name = 0;
+  transform = Ompfront.Packed.no_transform;
+  tile = [];
   cspans = [];
 }
 
@@ -360,6 +364,25 @@ let parse_red_op st =
        | Some Token.Omp_max -> ignore (next st); Ompfront.Directive.Rmax
        | _ -> fail st "expected a reduction operator")
   | _ -> fail st "expected a reduction operator"
+
+(* Literal integer value of an already-parsed expression node, if it is
+   one: an [Int_lit], possibly under a unary minus.  Transform clause
+   arguments must be compile-time literals — anything else is recorded
+   as malformed and warned about (once) by the transform stage instead
+   of failing the parse. *)
+let node_int_lit st n =
+  let node = st.nodes.(n) in
+  match node.Ast.tag with
+  | Ast.Int_lit -> int_of_string_opt (tok_text st node.Ast.main_token)
+  | Ast.Un_op
+    when st.tokens.(node.Ast.main_token).Token.tag = Token.Minus -> (
+      let l = st.nodes.(node.Ast.lhs) in
+      if l.Ast.tag <> Ast.Int_lit then None
+      else
+        match int_of_string_opt (tok_text st l.Ast.main_token) with
+        | Some v -> Some (-v)
+        | None -> None)
+  | _ -> None
 
 let parse_clauses st (acc : clause_acc) =
   let continue_ = ref true in
@@ -459,11 +482,44 @@ let parse_clauses st (acc : clause_acc) =
         let _ = expect st Token.R_paren in
         acc.flags <- { acc.flags with collapse = n };
         record_clause st acc Ompfront.Directive.Ccollapse t0
+    | Some Token.Omp_unroll ->
+        let t0 = next st in
+        let _ = expect st Token.L_paren in
+        let e = parse_expr st in
+        let _ = expect st Token.R_paren in
+        (match node_int_lit st e with
+         | Some n when n >= 1 && n <= Ompfront.Packed.max_unroll ->
+             acc.transform <- { acc.transform with unroll = n }
+         | _ ->
+             acc.transform <- { acc.transform with unroll_malformed = true });
+        record_clause st acc Ompfront.Directive.Cunroll t0
+    | Some Token.Omp_tile ->
+        let t0 = next st in
+        let _ = expect st Token.L_paren in
+        let sizes = ref [] and ok = ref true in
+        let one () =
+          let e = parse_expr st in
+          match node_int_lit st e with
+          | Some n when n >= 1 && n <= Ompfront.Packed.max_tile ->
+              sizes := n :: !sizes
+          | _ -> ok := false
+        in
+        one ();
+        while eat st Token.Comma <> None do one () done;
+        let _ = expect st Token.R_paren in
+        if !ok then acc.tile <- acc.tile @ List.rev !sizes
+        else
+          acc.transform <- { acc.transform with tile_malformed = true };
+        record_clause st acc Ompfront.Directive.Ctile t0
+    | Some Token.Omp_interchange ->
+        let t0 = next st in
+        acc.transform <- { acc.transform with interchange = true };
+        record_clause st acc Ompfront.Directive.Cinterchange t0
     | _ -> continue_ := false
   done
 
 (** Encode the accumulated clauses: list slices first, then the fixed
-    12-word clause block.  Returns the block's base index. *)
+    15-word clause block.  Returns the block's base index. *)
 let encode_clauses st (acc : clause_acc) =
   let priv = add_extra_list st acc.private_ in
   let fp = add_extra_list st acc.firstprivate in
@@ -474,6 +530,7 @@ let encode_clauses st (acc : clause_acc) =
          (fun (op, id) -> [ Ompfront.Directive.red_op_code op; id ])
          acc.reductions)
   in
+  let tl = add_extra_list st acc.tile in
   let base = st.n_extra in
   ignore (add_extra st (Ompfront.Packed.encode_flags acc.flags));
   ignore (add_extra st acc.sched_word);
@@ -487,6 +544,9 @@ let encode_clauses st (acc : clause_acc) =
   ignore (add_extra st (fst red));
   ignore (add_extra st (snd red));
   ignore (add_extra st acc.critical_name);
+  ignore (add_extra st (Ompfront.Packed.encode_transform acc.transform));
+  ignore (add_extra st (fst tl));
+  ignore (add_extra st (snd tl));
   if acc.cspans <> [] then
     st.clause_spans <- (base, acc.cspans) :: st.clause_spans;
   base

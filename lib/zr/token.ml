@@ -98,6 +98,7 @@ type omp_kw =
   | Omp_nowait | Omp_num_threads | Omp_default | Omp_collapse
   | Omp_none | Omp_barrier | Omp_critical | Omp_master | Omp_single
   | Omp_atomic | Omp_min | Omp_max | Omp_threadprivate
+  | Omp_tile | Omp_unroll | Omp_interchange
 
 let omp_keywords = [
   ("parallel", Omp_parallel); ("for", Omp_for);
@@ -113,6 +114,8 @@ let omp_keywords = [
   ("single", Omp_single); ("atomic", Omp_atomic);
   ("threadprivate", Omp_threadprivate);
   ("min", Omp_min); ("max", Omp_max);
+  ("tile", Omp_tile); ("unroll", Omp_unroll);
+  ("interchange", Omp_interchange);
 ]
 
 let omp_keyword_table : (string, omp_kw) Hashtbl.t =

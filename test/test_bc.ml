@@ -550,6 +550,111 @@ let test_cg_regalloc_golden () =
       "__omp_outlined_0#8: registers: 2 int (iv=i0, upper=i1), 4 float" ]
     headers
 
+(* collapse(n) loops: the fused-iteration-space drain — counter
+   recovery by division/modulo per nest level — specialises into the
+   [recover] superinstruction instead of bailing to closures, and the
+   bytecode result matches the compiled tier (including downward
+   steps, whose recovery multiplies by a negative immediate). *)
+let collapse_src =
+  {|
+fn f(n: i64, hits: []i64) i64 {
+    var i: i64 = 0;
+    //$omp parallel for collapse(3) shared(hits)
+    while (i < 5) : (i += 1) {
+        var j: i64 = 0;
+        while (j < 7) : (j += 1) {
+            var k: i64 = 0;
+            while (k < 3) : (k += 1) {
+                hits[i * 21 + j * 3 + k] += 1;
+            }
+        }
+    }
+    var t: i64 = 0;
+    var s: i64 = 0;
+    while (t < n) : (t += 1) { s += hits[t] * (t + 1); }
+    return s;
+}
+
+fn down(a: []i64) i64 {
+    var s: i64 = 0;
+    var i: i64 = 9;
+    //$omp parallel for collapse(2) reduction(+: s) shared(a)
+    while (i >= 0) : (i -= 3) {
+        var j: i64 = 0;
+        while (j < 8) : (j += 2) {
+            s += a[i * 8 + j];
+        }
+    }
+    return s;
+}
+|}
+
+let test_collapse_bytecode () =
+  Omprt.Api.set_num_threads 4;
+  let n = 105 in
+  let run backend fname args =
+    Omprt.Profile.reset ();
+    let p = Interp.load ~name:"collapse.zr" collapse_src in
+    let cc =
+      match backend with
+      | `Compiled -> Interp.Compile.compile p
+      | `Bytecode -> Interp.Compile.compile ~bc:{ Interp.Bcgen.elide = true } p
+    in
+    let r = Interp.Compile.call cc "f" args in
+    ignore fname;
+    let bc = Omprt.Profile.bc_stats () in
+    Omprt.Profile.reset ();
+    (r, bc, cc)
+  in
+  let args () = [ V.VInt n; V.VIntArr (Array.make n 0) ] in
+  let cres, _, _ = run `Compiled "f" (args ()) in
+  let bres, bc, cc = run `Bytecode "f" (args ()) in
+  Alcotest.(check bool) "compiled = bytecode" true (compare cres bres = 0);
+  Alcotest.(check int) "no bailouts" 0 bc.Omprt.Profile.bc_bailouts;
+  Alcotest.(check bool) "drains entered" true
+    (bc.Omprt.Profile.bc_entered > 0);
+  let contains_at l from re =
+    from + String.length re <= String.length l
+    && String.sub l from (String.length re) = re
+  in
+  let has_recover l =
+    let rec go from =
+      from < String.length l
+      && (contains_at l from "recover " || go (from + 1))
+    in
+    go 0
+  in
+  let recovers listing =
+    List.length
+      (List.filter has_recover (String.split_on_char '\n' listing))
+  in
+  (match Interp.Compile.bc_listings cc with
+   | [ (_, listing) ] ->
+       Alcotest.(check int) "one recover per nest level" 3
+         (recovers listing)
+   | l -> Alcotest.failf "expected one listing, got %d" (List.length l));
+  (* mixed/downward steps under the bytecode tier *)
+  let a = Array.init 80 (fun t -> (t * t) mod 97) in
+  let expected = ref 0 in
+  for i = 0 to 9 do
+    for j = 0 to 7 do
+      if i mod 3 = 0 && j mod 2 = 0 then
+        expected := !expected + a.((i * 8) + j)
+    done
+  done;
+  Omprt.Profile.reset ();
+  let p = Interp.load ~name:"collapse.zr" collapse_src in
+  let cc = Interp.Compile.compile ~bc:{ Interp.Bcgen.elide = true } p in
+  let r = Interp.Compile.call cc "down" [ V.VIntArr (Array.copy a) ] in
+  let bc = Omprt.Profile.bc_stats () in
+  Omprt.Profile.reset ();
+  Alcotest.(check int) "down: no bailouts" 0 bc.Omprt.Profile.bc_bailouts;
+  Alcotest.(check bool) "down: drains entered" true
+    (bc.Omprt.Profile.bc_entered > 0);
+  (match r with
+   | V.VInt got -> Alcotest.(check int) "down: sum" !expected got
+   | v -> Alcotest.failf "down: expected an int, got %s" (V.type_name v))
+
 (* EP and IS loop bodies call registered host functions (ep_batch and
    the is_ phases), which the planner must refuse: every drain
    execution is a bailout, and nothing specialises. *)
@@ -616,6 +721,8 @@ let suite =
       test_stencil_golden;
     Alcotest.test_case "CG bodies: register-allocation golden" `Quick
       test_cg_regalloc_golden;
+    Alcotest.test_case "collapse(n) drains enter the VM (recover op)" `Quick
+      test_collapse_bytecode;
     Alcotest.test_case "EP/IS bodies bail to closures (and verify)" `Quick
       test_ep_is_bail;
     Alcotest.test_case "examples: compiled = bytecode" `Quick

@@ -362,6 +362,74 @@ fn grid(n: i64, m: i64, hits: []f64) f64 {
        (Interp.call p "grid"
           [ V.VInt n; V.VInt m; V.VFloatArr (Array.make (n * m) 0.) ]))
 
+let test_collapse3 () =
+  (* depth > 2 fuses the whole nest: every (i, j, k) cell is visited
+     exactly once even when no dimension divides the team size *)
+  let p = load {|
+fn cube(n: i64, m: i64, l: i64, hits: []f64) f64 {
+    var i: i64 = 0;
+    //$omp parallel for collapse(3) shared(hits)
+    while (i < n) : (i += 1) {
+        var j: i64 = 0;
+        while (j < m) : (j += 1) {
+            var k: i64 = 0;
+            while (k < l) : (k += 1) {
+                hits[(i * m + j) * l + k] = hits[(i * m + j) * l + k] + 1.0;
+            }
+        }
+    }
+    var t: i64 = 0;
+    var bad: f64 = 0.0;
+    while (t < n * m * l) : (t += 1) {
+        if (hits[t] != 1.0) { bad += 1.0; }
+    }
+    return bad;
+}
+|} in
+  let n = 5 and m = 7 and l = 3 in
+  Alcotest.(check (float 0.)) "every cell exactly once" 0.
+    (vfloat
+       (Interp.call p "cube"
+          [ V.VInt n; V.VInt m; V.VInt l;
+            V.VFloatArr (Array.make (n * m * l) 0.) ]))
+
+let test_collapse3_downward_steps () =
+  (* mixed directions and strides through the div/mod recovery *)
+  let p = load {|
+fn sum(a: []f64) f64 {
+    var s: f64 = 0.0;
+    var i: i64 = 9;
+    //$omp parallel for collapse(3) reduction(+: s) shared(a)
+    while (i >= 0) : (i -= 3) {
+        var j: i64 = 0;
+        while (j < 8) : (j += 2) {
+            var k: i64 = 5;
+            while (k > 0) : (k -= 1) {
+                s += a[i * 10 + j + k];
+            }
+        }
+    }
+    return s;
+}
+|} in
+  let a = Array.init 110 (fun t -> float_of_int (t * t mod 97)) in
+  let expect = ref 0.0 in
+  let i = ref 9 in
+  while !i >= 0 do
+    let j = ref 0 in
+    while !j < 8 do
+      let k = ref 5 in
+      while !k > 0 do
+        expect := !expect +. a.((!i * 10) + !j + !k);
+        decr k
+      done;
+      j := !j + 2
+    done;
+    i := !i - 3
+  done;
+  Alcotest.(check (float 1e-9)) "collapse(3) with mixed steps" !expect
+    (vfloat (Interp.call p "sum" [ V.VFloatArr a ]))
+
 let test_collapse2_requires_canonical_nest () =
   Alcotest.(check bool) "non-nested body rejected" true
     (try
@@ -505,5 +573,8 @@ let suite =
       test_collapse2_dynamic_ragged;
     Alcotest.test_case "collapse(2) canonical-nest check" `Quick
       test_collapse2_requires_canonical_nest;
+    Alcotest.test_case "collapse(3) correctness" `Quick test_collapse3;
+    Alcotest.test_case "collapse(3) mixed steps" `Quick
+      test_collapse3_downward_steps;
     Alcotest.test_case "omp namespace" `Quick test_omp_namespace;
   ]

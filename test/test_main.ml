@@ -25,4 +25,5 @@ let () =
       ("analyze", Test_analyze.suite);
       ("npb-zr", Test_npb_zr.suite);
       ("bytecode", Test_bc.suite);
+      ("transform", Test_transform.suite);
     ]

@@ -1,0 +1,479 @@
+(* Loop-transformation pragmas: tile / unroll / interchange legality,
+   golden rewrites, the collapse(2) fixtures, the roofline prediction
+   hook, and a qcheck differential property — a transformed program
+   computes exactly what the untransformed one does, on every backend
+   and team size.  The forced-rewrite test shows a refusal was sound:
+   [~force:true] on a refused interchange really does introduce the
+   race the checker then observes. *)
+
+module V = Interp.Value
+module Transform = Zigomp.Preprocessor.Transform
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let fixture name =
+  read_file
+    (Filename.concat
+       (Filename.concat (Filename.concat ".." "examples") "zr")
+       (Filename.concat "transform" name))
+
+let contains_sub ~haystack ~needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  nn = 0 || go 0
+
+let check_contains msg ~haystack ~needle =
+  if not (contains_sub ~haystack ~needle) then
+    Alcotest.failf "%s: %S not found in output" msg needle
+
+(* ------------------------------------------------------------------ *)
+(* Golden rewrites: the exact transformed source for one program per
+   transform.  Synthetic names embed the directive's source line, and
+   a consumed clause leaves [//$omp for ] with a trailing space where
+   the clause text was.                                                *)
+
+let tile_input =
+  {|fn f(out: []i64, a: []i64) i64 {
+    //$omp parallel shared(out, a)
+    {
+        var i: i64 = 0;
+        //$omp for tile(4, 4)
+        while (i < 10) : (i += 1) {
+            var j: i64 = 0;
+            while (j < 12) : (j += 1) {
+                out[i * 12 + j] = a[j * 10 + i] + 1;
+            }
+        }
+    }
+    return out[0];
+}
+|}
+
+let tile_expected =
+  {|fn f(out: []i64, a: []i64) i64 {
+    //$omp parallel shared(out, a)
+    {
+        var i: i64 = 0;
+        //$omp for 
+        while (i < 10) : (i += 4) {
+    var __omp_t1_5 = 0;
+    while (__omp_t1_5 < 12) : (__omp_t1_5 += 4) {
+        var __omp_p0_5 = i;
+        while ((__omp_p0_5 < 10) and (__omp_p0_5 < i + 4)) : (__omp_p0_5 += 1) {
+            var __omp_p1_5 = __omp_t1_5;
+            while ((__omp_p1_5 < 12) and (__omp_p1_5 < __omp_t1_5 + 4)) : (__omp_p1_5 += 1) {
+                out[__omp_p0_5 * 12 + __omp_p1_5] = a[__omp_p1_5 * 10 + __omp_p0_5] + 1;
+            }
+        }
+    }
+}
+    }
+    return out[0];
+}
+|}
+
+let interchange_input =
+  {|fn f(out: []i64, a: []i64) i64 {
+    //$omp parallel shared(out, a)
+    {
+        var i: i64 = 0;
+        //$omp for interchange
+        while (i < 6) : (i += 1) {
+            var j: i64 = 0;
+            while (j < 8) : (j += 1) {
+                out[j * 6 + i] = a[j * 6 + i] * 2;
+            }
+        }
+    }
+    return out[0];
+}
+|}
+
+let interchange_expected =
+  {|fn f(out: []i64, a: []i64) i64 {
+    //$omp parallel shared(out, a)
+    {
+        var i: i64 = 0;
+        {
+var __omp_x1_5 = 0;
+//$omp for 
+        while (__omp_x1_5 < 8) : (__omp_x1_5 += 1) {
+    var __omp_x0_5 = i;
+    while (__omp_x0_5 < 6) : (__omp_x0_5 += 1) {
+                out[__omp_x1_5 * 6 + __omp_x0_5] = a[__omp_x1_5 * 6 + __omp_x0_5] * 2;
+            }
+}
+}
+    }
+    return out[0];
+}
+|}
+
+let unroll_input =
+  {|fn f(y: []i64, x: []i64) i64 {
+    //$omp parallel shared(y, x)
+    {
+        var i: i64 = 0;
+        //$omp for unroll(3)
+        while (i < 10) : (i += 1) {
+            y[i] = x[i] + i;
+        }
+    }
+    return y[0];
+}
+|}
+
+let unroll_expected =
+  {|fn f(y: []i64, x: []i64) i64 {
+    //$omp parallel shared(y, x)
+    {
+        var i: i64 = 0;
+        //$omp for 
+        while (i < 10) : (i += 3) {
+    {
+            y[i] = x[i] + i;
+        }
+    if ((i + 1) < 10) {
+            y[(i + 1)] = x[(i + 1)] + (i + 1);
+        }
+    if ((i + 2) < 10) {
+            y[(i + 2)] = x[(i + 2)] + (i + 2);
+        }
+}
+    }
+    return y[0];
+}
+|}
+
+let test_goldens () =
+  let golden what input expected =
+    match Transform.run ~name:(what ^ ".zr") input with
+    | None -> Alcotest.failf "%s: no rewrite applied" what
+    | Some got -> Alcotest.(check string) what expected got
+  in
+  golden "tile" tile_input tile_expected;
+  golden "interchange" interchange_input interchange_expected;
+  golden "unroll" unroll_input unroll_expected
+
+(* ------------------------------------------------------------------ *)
+(* Refusals: verdicts, reasons and clause stripping.                   *)
+
+let parse_ctx source =
+  let ast, spans =
+    Zigomp.Frontend.Parser.parse_string ~name:"refuse.zr" source
+  in
+  { Zigomp.Preprocessor.Synth.ast; spans }
+
+let nest_with clause body =
+  Printf.sprintf
+    {|fn f(a: []i64) i64 {
+    //$omp parallel shared(a)
+    {
+        var i: i64 = 1;
+        //$omp for %s
+        while (i < 64) : (i += 1) {
+            var j: i64 = 1;
+            while (j < 63) : (j += 1) {
+                %s
+            }
+        }
+    }
+    return a[0];
+}
+|}
+    clause body
+
+let assess_one source =
+  match Transform.assess (parse_ctx source) with
+  | [ r ] -> r
+  | rs -> Alcotest.failf "expected one refusal, got %d" (List.length rs)
+
+let test_refusal_verdicts () =
+  (* distance (1, -1): provably illegal for both tile and interchange *)
+  let carried = "a[i * 64 + j] = a[i * 64 + j - 63] + 1;" in
+  let r = assess_one (nest_with "tile(8, 8)" carried) in
+  Alcotest.(check bool) "tile (1,-1) is PROVEN" true
+    (r.Transform.verdict = Transform.Proven && r.Transform.clause = "tile");
+  let r = assess_one (nest_with "interchange" carried) in
+  Alcotest.(check bool) "interchange (1,-1) is PROVEN" true
+    (r.Transform.verdict = Transform.Proven);
+  (* an inner-carried recurrence: classically interchangeable, but the
+     swap would move the worksharing onto the carrying loop *)
+  let inner_rec = "a[i * 64 + j] = a[i * 64 + j - 1] + 1;" in
+  let r = assess_one (nest_with "interchange" inner_rec) in
+  Alcotest.(check bool) "interchange (=,<) refused PROVEN" true
+    (r.Transform.verdict = Transform.Proven);
+  check_contains "reason names the worksharing move"
+    ~haystack:r.Transform.reason ~needle:"worksharing";
+  (* tiling the same nest at factor 8 breaks the distance-1 chain *)
+  let r = assess_one (nest_with "tile(8, 8)" inner_rec) in
+  Alcotest.(check bool) "tile across a distance-1 recurrence refused"
+    true
+    (r.Transform.clause = "tile");
+  (* an opaque subscript downgrades to MAY *)
+  let opaque = "a[a[i * 64 + j] % 64] = i + j;" in
+  let r = assess_one (nest_with "tile(8, 8)" opaque) in
+  Alcotest.(check bool) "opaque subscript is MAY" true
+    (r.Transform.verdict = Transform.May);
+  (* composition on one directive is refused whole, not half-applied *)
+  let r = assess_one (nest_with "tile(4, 4) unroll(2)" "a[i * 64 + j] = i;") in
+  Alcotest.(check bool) "composition refused MAY" true
+    (r.Transform.verdict = Transform.May && r.Transform.clause = "transform");
+  (* a refusal strips the clause but keeps the loop intact *)
+  match Transform.run (nest_with "interchange" inner_rec) with
+  | None -> Alcotest.fail "refusal should still strip the clause"
+  | Some src ->
+      Alcotest.(check bool) "clause stripped" false
+        (contains_sub ~haystack:src ~needle:"interchange");
+      check_contains "loop body kept" ~haystack:src
+        ~needle:"a[i * 64 + j - 1]"
+
+let test_malformed_strip () =
+  Transform.forget_warnings ();
+  let src = nest_with "tile(0, 4)" "a[i * 64 + j] = i;" in
+  (* malformed sizes: the clause is dropped with a warn-once
+     diagnostic and the loop is left untouched *)
+  (match Transform.run src with
+   | None -> Alcotest.fail "malformed tile should strip its clause"
+   | Some out ->
+       Alcotest.(check bool) "tile clause dropped" false
+         (contains_sub ~haystack:out ~needle:"tile(");
+       Alcotest.(check bool) "no tile loops synthesised" false
+         (contains_sub ~haystack:out ~needle:"__omp_t1"));
+  (* oversized unroll factors are malformed too *)
+  (match Transform.run (nest_with "unroll(256)" "a[i * 64 + j] = i;") with
+   | None -> Alcotest.fail "oversized unroll should strip its clause"
+   | Some out ->
+       Alcotest.(check bool) "unroll clause dropped" false
+         (contains_sub ~haystack:out ~needle:"unroll"));
+  Transform.forget_warnings ()
+
+(* ------------------------------------------------------------------ *)
+(* Fixture files: the clean twin applies, the illegal twin refuses.    *)
+
+let test_fixture_twins () =
+  let applies name marker =
+    match Transform.run ~name (fixture name) with
+    | None -> Alcotest.failf "%s: transform did not apply" name
+    | Some src -> check_contains name ~haystack:src ~needle:marker
+  in
+  applies "tile_stencil.zr" "__omp_t1";
+  applies "interchange_colmajor.zr" "__omp_x1";
+  let refuses name =
+    let rs = Transform.assess (parse_ctx (fixture name)) in
+    Alcotest.(check bool) (name ^ ": refused PROVEN") true
+      (List.exists (fun r -> r.Transform.verdict = Transform.Proven) rs)
+  in
+  refuses "tile_stencil_illegal.zr";
+  refuses "interchange_colmajor_illegal.zr";
+  (* the analyzer surfaces refusals as advisory findings without
+     touching the exit code *)
+  let r =
+    Zigomp.analyze ~name:"illegal.zr" (fixture "tile_stencil_illegal.zr")
+  in
+  Alcotest.(check int) "refusal never affects the verdict" 0
+    (Zigomp.Checker.Report.exit_code r.Zigomp.Analyzer.report);
+  Alcotest.(check bool) "advisory transform lint present" true
+    (List.exists
+       (fun (f : Zigomp.Checker.Report.finding) ->
+         contains_sub ~haystack:f.Zigomp.Checker.Report.line
+           ~needle:"refused")
+       r.Zigomp.Analyzer.may)
+
+let run_fixture ~threads ~backend name =
+  Omprt.Api.set_num_threads threads;
+  let p = Zigomp.compile ~backend ~name (fixture name) in
+  match Zigomp.run_main p with
+  | V.VInt n -> n
+  | v -> Alcotest.failf "%s: expected an int, got %s" name (V.to_string v)
+
+let test_collapse2_fixture () =
+  (* sum of 0..59 doubled = 3540, on every backend and team size *)
+  List.iter
+    (fun backend ->
+      List.iter
+        (fun threads ->
+          Alcotest.(check int)
+            (Printf.sprintf "collapse2.zr (%d threads)" threads)
+            3540
+            (run_fixture ~threads ~backend "collapse2.zr"))
+        [ 1; 4 ])
+    [ `Ast; `Compiled; `Bytecode ]
+
+(* ------------------------------------------------------------------ *)
+(* Forced rewrite: the refused interchange, applied anyway, introduces
+   exactly the race the refusal predicted — the checker observes it,
+   while the honest (refused, clause-stripped) lowering stays clean.   *)
+
+let forced_src =
+  {|fn main() i64 {
+    var a = alloc_i64(256);
+    //$omp parallel shared(a)
+    {
+        var i: i64 = 0;
+        //$omp for interchange
+        while (i < 16) : (i += 1) {
+            var j: i64 = 1;
+            while (j < 16) : (j += 1) {
+                a[i * 16 + j] = a[i * 16 + j - 1] + 1;
+            }
+        }
+    }
+    return a[255];
+}
+|}
+
+let test_forced_rewrite_racy () =
+  let honest =
+    match Transform.run forced_src with Some s -> s | None -> forced_src
+  in
+  let clean = Zigomp.check ~name:"honest.zr" honest in
+  Alcotest.(check bool) "refused lowering stays race-free" true
+    (Zigomp.Checker.Report.clean clean);
+  let forced =
+    match Transform.run ~force:true forced_src with
+    | Some s -> s
+    | None -> Alcotest.fail "force should apply the interchange"
+  in
+  check_contains "interchange applied under force" ~haystack:forced
+    ~needle:"__omp_x1";
+  let report = Zigomp.check ~name:"forced.zr" forced in
+  Alcotest.(check bool) "forced rewrite is racy" false
+    (Zigomp.Checker.Report.clean report)
+
+(* ------------------------------------------------------------------ *)
+(* The roofline prediction hook.                                       *)
+
+let test_predict () =
+  let src = fixture "tile_stencil.zr" in
+  match Transform.footprints (parse_ctx src) with
+  | [ fp ] ->
+      Alcotest.(check bool) "tiling shrinks the reuse working set" true
+        (fp.Transform.fp_ws_after < fp.Transform.fp_ws_before);
+      Alcotest.(check bool) "traversal bytes dominate both working sets"
+        true
+        (fp.Transform.fp_bytes >= fp.Transform.fp_ws_before);
+      let cost =
+        Zigomp.Model.Cost.make
+          ~flops:(fp.Transform.fp_iters *. float_of_int fp.Transform.fp_accesses)
+          ~bytes:fp.Transform.fp_bytes ()
+      in
+      let p =
+        Zigomp.Simulator.Perfmodel.predict_tiling
+          Zigomp.Simulator.Machine.archer2 ~active:1 ~cost
+          ~ws_before:fp.Transform.fp_ws_before
+          ~ws_after:fp.Transform.fp_ws_after
+      in
+      Alcotest.(check bool) "lower miss factor after tiling" true
+        (p.Zigomp.Simulator.Perfmodel.miss_after
+        < p.Zigomp.Simulator.Perfmodel.miss_before);
+      Alcotest.(check bool) "higher arithmetic intensity after tiling"
+        true
+        (p.Zigomp.Simulator.Perfmodel.ai_after
+        > p.Zigomp.Simulator.Perfmodel.ai_before);
+      Alcotest.(check bool) "predicted speedup above 1" true
+        (p.Zigomp.Simulator.Perfmodel.speedup > 1.0)
+  | fps -> Alcotest.failf "expected one footprint, got %d" (List.length fps)
+
+(* ------------------------------------------------------------------ *)
+(* Differential property: for a family of clean 2-nests over integer
+   arrays, the transformed program equals the untransformed one on
+   every backend and team size, bit for bit.  The template's only
+   dependence is the (0, 0) self-dependence on [out], so every clause
+   in the pool is legal.                                               *)
+
+let diff_program ~clause ~ni ~nj ~ca ~cb =
+  Printf.sprintf
+    {|fn kern(out: []i64, a: []i64) i64 {
+    //$omp parallel shared(out, a)
+    {
+        var i: i64 = 0;
+        //$omp for %s
+        while (i < %d) : (i += 1) {
+            var j: i64 = 0;
+            while (j < %d) : (j += 1) {
+                out[i * 16 + j] = out[i * 16 + j] + a[j * 16 + i] * %d + i * %d + j;
+            }
+        }
+    }
+    var s: i64 = 0;
+    var t: i64 = 0;
+    while (t < 256) : (t += 1) {
+        s += out[t] * (t + 3);
+    }
+    return s;
+}
+|}
+    clause ni nj ca cb
+
+let diff_clauses =
+  [ "tile(2, 2)"; "tile(4, 4)"; "tile(8, 8)"; "tile(3, 5)"; "tile(4)";
+    "unroll(2)"; "unroll(3)"; "unroll(4)"; "interchange"; "collapse(2)" ]
+
+let diff_gen =
+  QCheck2.Gen.(
+    let* clause = oneofl diff_clauses in
+    let* ni = int_range 1 16 in
+    let* nj = int_range 1 16 in
+    let* ca = int_range (-3) 3 in
+    let* cb = int_range 0 5 in
+    let* seed = int_range 0 1000 in
+    return (clause, ni, nj, ca, cb, seed))
+
+let diff_run ~src ~backend ~threads ~seed =
+  Omprt.Api.set_num_threads threads;
+  let p = Zigomp.compile ~backend ~name:"diff.zr" src in
+  let out = Array.init 256 (fun t -> t * 7 mod 23) in
+  let a = Array.init 256 (fun t -> ((t * 13) + seed) mod 17) in
+  match Zigomp.call p "kern" [ V.VIntArr out; V.VIntArr a ] with
+  | V.VInt n -> n
+  | v -> failwith ("unexpected " ^ V.to_string v)
+
+let diff_prop (clause, ni, nj, ca, cb, seed) =
+  let plain = diff_program ~clause:"" ~ni ~nj ~ca ~cb in
+  let transformed = diff_program ~clause ~ni ~nj ~ca ~cb in
+  let reference = diff_run ~src:plain ~backend:`Compiled ~threads:1 ~seed in
+  List.for_all
+    (fun backend ->
+      List.for_all
+        (fun threads ->
+          diff_run ~src:transformed ~backend ~threads ~seed = reference
+          && diff_run ~src:plain ~backend ~threads ~seed = reference)
+        [ 1; 4 ])
+    [ `Ast; `Compiled; `Bytecode ]
+
+let differential_case =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:20
+       ~name:
+         "transformed == untransformed on ast/compiled/bytecode x \
+          {1,4} threads"
+       ~print:(fun (clause, ni, nj, ca, cb, seed) ->
+         Printf.sprintf "clause=%S ni=%d nj=%d ca=%d cb=%d seed=%d"
+           clause ni nj ca cb seed)
+       diff_gen diff_prop)
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [ Alcotest.test_case "golden rewrites (tile, interchange, unroll)"
+      `Quick test_goldens;
+    Alcotest.test_case "refusal verdicts and clause stripping" `Quick
+      test_refusal_verdicts;
+    Alcotest.test_case "malformed transform args strip cleanly" `Quick
+      test_malformed_strip;
+    Alcotest.test_case "fixture twins: clean applies, illegal refuses"
+      `Quick test_fixture_twins;
+    Alcotest.test_case "collapse(2) fixture agrees on every backend"
+      `Quick test_collapse2_fixture;
+    Alcotest.test_case "forced refused interchange is racy (checker)"
+      `Quick test_forced_rewrite_racy;
+    Alcotest.test_case "roofline tiling prediction" `Quick
+      test_predict;
+    differential_case ]

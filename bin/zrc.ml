@@ -214,6 +214,14 @@ let kernel_source = function
   | "is" -> ("is.zr", Zigomp.Harness.Zr_is.src)
   | k -> failwith (Printf.sprintf "unknown kernel %S (expected cg|ep|is)" k)
 
+(* Corpus batch mode, shared by `zrc check --corpus` and
+   `zrc analyze --corpus`. *)
+let do_corpus ~mode ~config ~kernels ~json dir =
+  let t = Zigomp.Corpus.run ~config ~kernels ~mode ~dir () in
+  if json then print_endline (Zigomp.Corpus.to_json t)
+  else print_endline (Zigomp.Corpus.to_string t);
+  t.Zigomp.Corpus.exit
+
 let print_report ~json ~show_may (r : Zigomp.Analyzer.result) =
   if json then print_endline (Report.to_json ~may:r.Zigomp.Analyzer.may r.report)
   else begin
@@ -317,8 +325,26 @@ let analyze_cmd =
                   p.P.ai_before p.P.ai_after p.P.speedup)
             fps
   in
-  let run file kernel json fix in_place show_may predict predict_threads =
+  let corpus_opt =
+    Arg.(value & opt (some dir) None
+         & info [ "corpus" ] ~docv:"DIR"
+             ~doc:"Batch mode: statically analyse every $(b,.zr) \
+                   fixture under $(docv) plus the bundled NPB Zr \
+                   kernels in one process; print one summary (JSON \
+                   schema $(b,zigomp-corpus/1) with $(b,--json)) and \
+                   exit with the maximum per-entry code")
+  in
+  let run file kernel corpus json fix in_place show_may predict
+      predict_threads =
     handle_errors' (fun () ->
+        match corpus with
+        | Some dir ->
+            if file <> None || kernel <> None || fix then
+              failwith "--corpus excludes FILE, --kernel and --fix";
+            do_corpus ~mode:Zigomp.Corpus.Manalyze
+              ~config:Zigomp.Checker.default_config ~kernels:true ~json
+              dir
+        | None ->
         let name, source =
           match (kernel, file) with
           | Some k, None -> kernel_source k
@@ -362,17 +388,22 @@ let analyze_cmd =
              set exit code 2, a clean program exits 0.  $(b,--fix) \
              rewrites directives (reduction/atomic/nowait/firstprivate \
              repairs) until the analysis is clean.")
-    Term.(const run $ file_opt $ kernel_opt $ json_opt $ fix_opt
-          $ in_place_opt $ may_opt $ predict_opt $ predict_threads_opt)
+    Term.(const run $ file_opt $ kernel_opt $ corpus_opt $ json_opt
+          $ fix_opt $ in_place_opt $ may_opt $ predict_opt
+          $ predict_threads_opt)
 
 (* ---- check ---- *)
 
-let check_config threads schedules seed no_sweep no_lint =
+let check_config threads schedules seed no_sweep no_lint sampled
+    preempt_bound max_execs =
   { Zigomp.Checker.nthreads = threads;
     schedules;
     seed;
     sync_sweep = not no_sweep;
-    lint = not no_lint }
+    lint = not no_lint;
+    exploration =
+      (if sampled then Zigomp.Checker.Sampled
+       else Zigomp.Checker.Dpor { max_execs; preempt_bound }) }
 
 let do_check file config ~json ~no_static =
   let source = read_file file in
@@ -427,24 +458,79 @@ let no_static_opt =
                  static analyser proves are reported once, from the \
                  static side)")
 
+let sampled_opt =
+  Arg.(value & flag
+       & info [ "sampled" ]
+           ~doc:"Use the legacy fixed-schedule sampling (uniform + \
+                 skewed sweep + seeded draws) instead of DPOR; the \
+                 report verdict is SAMPLED and a clean result is \
+                 evidence, not a proof")
+
+let preempt_bound_opt =
+  Arg.(value & opt int 2
+       & info [ "preempt-bound" ] ~docv:"N"
+           ~doc:"DPOR frontier order and BOUNDED verdict bound: \
+                 prefixes forcing at most $(docv) preemptions are \
+                 explored first, and a budget-truncated search \
+                 reports whether any within-bound prefix was left")
+
+let max_execs_opt =
+  Arg.(value & opt int 256
+       & info [ "max-execs" ] ~docv:"N"
+           ~doc:"DPOR execution budget per checked program; when the \
+                 reduced interleaving space needs more, the report \
+                 verdict degrades from COMPLETE to BOUNDED (clean \
+                 exit 1 instead of 0)")
+
+let corpus_check_opt =
+  Arg.(value & opt (some dir) None
+       & info [ "corpus" ] ~docv:"DIR"
+           ~doc:"Batch mode: analyse and check every $(b,.zr) fixture \
+                 under $(docv) plus the bundled NPB Zr kernels in one \
+                 process; print one summary (JSON schema \
+                 $(b,zigomp-corpus/1) with $(b,--json)) and exit with \
+                 the maximum per-entry code")
+
+let no_kernels_opt =
+  Arg.(value & flag
+       & info [ "no-kernels" ]
+           ~doc:"With $(b,--corpus): skip the bundled NPB Zr kernels")
+
 let check_cmd =
-  let run file threads schedules seed no_sweep no_lint json no_static =
+  let run file corpus no_kernels threads schedules seed no_sweep no_lint
+      sampled preempt_bound max_execs json no_static =
     try
-      do_check file
-        (check_config threads schedules seed no_sweep no_lint)
-        ~json ~no_static
+      let config =
+        check_config threads schedules seed no_sweep no_lint sampled
+          preempt_bound max_execs
+      in
+      match (corpus, file) with
+      | Some dir, None ->
+          do_corpus ~mode:Zigomp.Corpus.Mcheck ~config
+            ~kernels:(not no_kernels) ~json dir
+      | None, Some file -> do_check file config ~json ~no_static
+      | Some _, Some _ -> failwith "FILE and --corpus are exclusive"
+      | None, None -> failwith "expected FILE or --corpus"
     with
     | Zr.Source.Error msg -> Printf.eprintf "error: %s\n" msg; 1
     | Failure msg | Invalid_argument msg ->
         Printf.eprintf "error: %s\n" msg; 1
   in
+  let file_opt =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Race-check a program: vector-clock happens-before \
-             detection over explored schedules, plus static lints.  \
-             Exit 0 when clean, 2 when findings are reported.")
-    Term.(const run $ file_arg $ threads_opt $ schedules_opt $ seed_opt
-          $ no_sweep_opt $ no_lint_opt $ check_json_opt $ no_static_opt)
+             detection with DPOR exploration of the reduced \
+             interleaving space (COMPLETE/BOUNDED verdicts; \
+             $(b,--sampled) restores fixed-schedule sampling), plus \
+             static lints.  Exit 0 when clean and complete, 1 when \
+             clean but budget-bounded, 2 when findings are reported.")
+    Term.(const run $ file_opt $ corpus_check_opt $ no_kernels_opt
+          $ threads_opt $ schedules_opt $ seed_opt $ no_sweep_opt
+          $ no_lint_opt $ sampled_opt $ preempt_bound_opt $ max_execs_opt
+          $ check_json_opt $ no_static_opt)
 
 let () =
   let info =
@@ -454,13 +540,15 @@ let () =
   (* `zrc --check FILE` is accepted at top level as a synonym for the
      `check` subcommand, the spelling used throughout the docs. *)
   let default =
-    let run check_file threads schedules seed no_sweep no_lint =
+    let run check_file threads schedules seed no_sweep no_lint sampled
+        preempt_bound max_execs =
       match check_file with
       | Some file ->
           `Ok
             (try
                do_check file
-                 (check_config threads schedules seed no_sweep no_lint)
+                 (check_config threads schedules seed no_sweep no_lint
+                    sampled preempt_bound max_execs)
                  ~json:false ~no_static:false
              with
              | Zr.Source.Error msg -> Printf.eprintf "error: %s\n" msg; 1
@@ -475,7 +563,8 @@ let () =
                      subcommand)")
     in
     Term.(ret (const run $ check_file $ threads_opt $ schedules_opt
-               $ seed_opt $ no_sweep_opt $ no_lint_opt))
+               $ seed_opt $ no_sweep_opt $ no_lint_opt $ sampled_opt
+               $ preempt_bound_opt $ max_execs_opt))
   in
   exit
     (Cmd.eval' ~catch:true

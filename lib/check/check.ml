@@ -22,18 +22,30 @@ module Report = Report
 module Vc = Vc
 module Race = Race
 module Sched = Sched
+module Dpor = Dpor
 module Lint = Lint
+
+(** How the dynamic pass explores interleavings.  [Dpor] is the
+    default: exhaust the reduced interleaving space (up to
+    [max_execs] executions, lowest-preemption-count prefixes first)
+    and report COMPLETE or BOUNDED.  [Sampled] is the legacy
+    fixed-schedule mode (uniform + skewed sweep + seeded draws). *)
+type exploration_cfg =
+  | Sampled
+  | Dpor of { max_execs : int; preempt_bound : int }
 
 type config = {
   nthreads : int;    (** team size for the checked runs *)
-  schedules : int;   (** number of seeded random schedules *)
+  schedules : int;   (** number of seeded random schedules (sampled) *)
   seed : int;        (** base seed for the random schedules *)
   sync_sweep : bool; (** also run the systematic skewed schedules *)
   lint : bool;       (** run the execution-free lints *)
+  exploration : exploration_cfg;
 }
 
 let default_config =
-  { nthreads = 4; schedules = 3; seed = 42; sync_sweep = true; lint = true }
+  { nthreads = 4; schedules = 3; seed = 42; sync_sweep = true; lint = true;
+    exploration = Dpor { max_execs = 256; preempt_bound = 2 } }
 
 (* The schedule set: lockstep interleaving, then systematic relative
    skews (each team member fastest in turn), then the seeded draws. *)
@@ -77,15 +89,34 @@ let default_none_id msg =
           in
           "lint|default-none|" ^ String.concat "," vars)
 
+(* The dynamic pass: findings, number of executions, and how the
+   interleaving space was explored (for the report's verdict). *)
 let dynamic ~name ~config ~load ~run =
-  let ms = modes config in
-  ( List.concat_map
-      (fun mode ->
+  match config.exploration with
+  | Sampled ->
+      let ms = modes config in
+      ( List.concat_map
+          (fun mode ->
+            fst
+              (Sched.run_schedule ~name ~load ~run ~mode
+                 ~nthreads:config.nthreads ()))
+          ms,
+        List.length ms,
+        Report.Sampled )
+  | Dpor { max_execs; preempt_bound } ->
+      let run_one ex =
         fst
-          (Sched.run_schedule ~name ~load ~run ~mode
-             ~nthreads:config.nthreads ()))
-      ms,
-    List.length ms )
+          (Sched.run_controlled ~name ~load ~run
+             ~nthreads:config.nthreads ~ex ())
+      in
+      let findings, stats = Dpor.explore ~max_execs ~preempt_bound ~run_one in
+      let executions = stats.Dpor.executions in
+      ( findings,
+        executions,
+        match stats.Dpor.verdict with
+        | Dpor.Complete -> Report.Complete { executions }
+        | Dpor.Bounded { within_bound_left } ->
+            Report.Bounded { executions; preempt_bound; within_bound_left } )
 
 (** Check a whole program (its [main] drives the dynamic pass; a
     program without [main] gets the static passes only). *)
@@ -110,8 +141,8 @@ let check_source ?(name = "<input>") ?(config = default_config) src :
             Report.make ~name ~schedules:0 lints
           else
             let run prog = ignore (Interp.run_main prog) in
-            let dyn, k = dynamic ~name ~config ~load ~run in
-            Report.make ~name ~schedules:k (lints @ dyn))
+            let dyn, k, expl = dynamic ~name ~config ~load ~run in
+            Report.make ~name ~schedules:k ~exploration:expl (lints @ dyn))
 
 (** Check a program driven by a host entry point instead of [main] —
     how the NPB Zr kernels are checked: the caller registers its host
@@ -129,5 +160,5 @@ let check_run ?(name = "<zr>") ?(config = default_config) ~source
       Report.make ~name ~schedules:0 [ Report.error ~detail:msg ]
   | pre ->
       let load () = Interp.load ~name ~preprocess:false pre in
-      let dyn, k = dynamic ~name ~config ~load ~run:entry in
-      Report.make ~name ~schedules:k (lints @ dyn)
+      let dyn, k, expl = dynamic ~name ~config ~load ~run:entry in
+      Report.make ~name ~schedules:k ~exploration:expl (lints @ dyn)

@@ -1,0 +1,70 @@
+(** Dynamic partial-order reduction for the cooperative checker.
+
+    See the implementation header for the algorithm; DESIGN.md for the
+    happens-before model and the soundness caveats. *)
+
+(** Dependence class of a visible operation. *)
+type kind =
+  | Kread      (** data read — happens-before-filtered *)
+  | Kwrite     (** data write — happens-before-filtered *)
+  | Kacquire   (** lock-style acquisition: critical, atomic statement
+                   lock, [single] claim, shared dispatch claim *)
+  | Kcombine   (** commuting atomic reduction update *)
+  | Kload      (** atomic load — conflicts with combines *)
+
+(** Object identity of a visible operation; data locations are
+    physical, matching what the tracer hands the race detector. *)
+type obj =
+  | Ocell of Interp.Value.t ref
+  | Ofelem of float array * int
+  | Oielem of int array * int
+  | Olock of string
+  | Oatomf of Omprt.Atomics.Float.t
+  | Oatomi of Omprt.Atomics.Int.t
+  | Odispatch of Omprt.Ws.Dispatch.t
+  | Osingle of int * int  (** team uid, single epoch *)
+
+type exec
+(** One controlled execution: the forced decision prefix, the decision
+    log, the per-object last-access state and the backtrack candidates
+    harvested so far. *)
+
+val new_exec : prefix:int array -> exec
+
+val decide : exec -> enabled:int list -> int
+(** The controlled scheduler's decision function: replays the forced
+    prefix, then stays on the current thread when runnable, else the
+    lowest runnable id.  Logs every decision.  [enabled] must be the
+    sorted non-empty runnable set. *)
+
+val record :
+  exec -> gid:int -> vc:Vc.t -> obj:obj -> kind:kind -> unit
+(** Record a visible operation of the current thread and derive
+    backtrack candidates from dependent, reorderable prior operations
+    on the same object. *)
+
+val diverged : exec -> bool
+(** A forced prefix failed to replay — a determinism violation. *)
+
+val candidate_prefixes : exec -> (int array * int) list
+(** The next prefixes this execution justifies, each with its
+    preemption count; sorted for deterministic frontier insertion. *)
+
+type verdict =
+  | Complete
+  | Bounded of { within_bound_left : bool }
+
+type stats = {
+  executions : int;
+  racy_execs : int;
+  diverged_execs : int;
+  verdict : verdict;
+}
+
+val explore :
+  max_execs:int ->
+  preempt_bound:int ->
+  run_one:(exec -> Report.finding list) ->
+  Report.finding list * stats
+(** Drain the reduced interleaving space, lowest-preemption prefixes
+    first, running at most [max_execs] executions. *)

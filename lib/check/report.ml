@@ -30,13 +30,32 @@ type finding = {
   verdict : verdict option;  (** set by the static analyser only *)
 }
 
+(** How the dynamic interleaving space was explored.  [Sampled] is the
+    legacy fixed-schedule mode: a clean verdict is evidence, not proof.
+    [Complete] means DPOR drained the reduced interleaving space —
+    clean is a proof (relative to the happens-before model, DESIGN.md).
+    [Bounded] means the execution budget was hit after the
+    lowest-preemption prefixes were preferred; [within_bound_left]
+    records whether schedules within the preemption bound were still
+    pending when the budget ran out. *)
+type exploration =
+  | Sampled
+  | Complete of { executions : int }
+  | Bounded of {
+      executions : int;
+      preempt_bound : int;
+      within_bound_left : bool;
+    }
+
 type t = {
   name : string;       (** program name, as reported in the summary *)
   backend : string;    (** ["check"] (dynamic) or ["analyze"] (static) *)
-  schedules : int;     (** schedules explored by the dynamic detector *)
+  schedules : int;     (** schedules/executions explored dynamically *)
   findings : finding list;  (** deduplicated, sorted by rendered line *)
   source : Zr.Source.t option;
       (** the analysed source, when spans should render with carets *)
+  exploration : exploration option;
+      (** dynamic checker only; [None] for the static analyser *)
 }
 
 let verdict_to_string = function Proven -> "PROVEN" | May -> "MAY"
@@ -83,9 +102,14 @@ let error ~detail =
   { kind = Error; id = "error|" ^ detail; line = "error :: " ^ detail;
     span = None; verdict = None }
 
+let exploration_verdict = function
+  | Sampled -> "SAMPLED"
+  | Complete _ -> "COMPLETE"
+  | Bounded _ -> "BOUNDED"
+
 (** Assemble a report: drop exact-duplicate lines (the same race found
     under several schedules), then sort for output stability. *)
-let make ?(backend = "check") ?source ~name ~schedules findings =
+let make ?(backend = "check") ?source ?exploration ~name ~schedules findings =
   let seen = Hashtbl.create 16 in
   let uniq =
     List.filter
@@ -97,7 +121,8 @@ let make ?(backend = "check") ?source ~name ~schedules findings =
         end)
       findings
   in
-  { name; backend; schedules; findings = List.sort compare uniq; source }
+  { name; backend; schedules; findings = List.sort compare uniq; source;
+    exploration }
 
 (** Cross-backend dedup: keep every static finding, and only the
     dynamic findings whose id the static pass did not already prove.
@@ -113,7 +138,8 @@ let merge ~(static : t) ~(dynamic : t) : t =
     backend = dynamic.backend;
     schedules = dynamic.schedules;
     findings = List.sort compare (static.findings @ kept);
-    source = static.source }
+    source = static.source;
+    exploration = dynamic.exploration }
 
 let races t = List.filter (fun f -> f.kind = Race || f.kind = Dep) t.findings
 let lints t = List.filter (fun f -> f.kind = Lint) t.findings
@@ -122,15 +148,35 @@ let errors t = List.filter (fun f -> f.kind = Error) t.findings
 let clean t = t.findings = []
 
 (** Exit code discipline shared by [zrc analyze] and [zrc check]:
-    0 clean, 2 findings (1 — a driver error — never comes from here). *)
-let exit_code t = if clean t then 0 else 2
+    0 clean with a complete (or merely sampled — the historical
+    behaviour) exploration, 2 findings, and 1 for a clean report whose
+    DPOR exploration was budget-bounded — a truncated search must not
+    read as a proof, so CI can tell 0 ("proven clean") from 1 ("no
+    finding yet, search incomplete"). *)
+let exit_code t =
+  if not (clean t) then 2
+  else
+    match t.exploration with
+    | Some (Bounded _) -> 1
+    | Some (Complete _) | Some Sampled | None -> 0
 
 let summary t =
   Printf.sprintf "%s: %s: %d finding(s)%s" t.backend t.name
     (List.length t.findings)
-    (if t.backend = "check" then
-       Printf.sprintf ", %d schedule(s) explored" t.schedules
-     else "")
+    (match t.exploration with
+     | Some Sampled ->
+         Printf.sprintf ", %d schedule(s) explored [SAMPLED]" t.schedules
+     | Some (Complete { executions }) ->
+         Printf.sprintf ", %d execution(s) explored [COMPLETE]" executions
+     | Some (Bounded { executions; preempt_bound; within_bound_left }) ->
+         Printf.sprintf
+           ", %d execution(s) explored [BOUNDED preempt<=%d%s]" executions
+           preempt_bound
+           (if within_bound_left then ", truncated" else "")
+     | None ->
+         if t.backend = "check" then
+           Printf.sprintf ", %d schedule(s) explored" t.schedules
+         else "")
 
 (* Caret rendering: the source line under the finding with ^^^ under
    the span.  Only findings that carry a span (static ones) get it. *)
@@ -201,6 +247,17 @@ let finding_to_json t f =
 (** [to_json ?may t] — the shared report schema.  [may] carries the
     static analyser's advisory (non-verdict-affecting) findings; the
     dynamic checker has none. *)
+let exploration_to_json = function
+  | Sampled -> "{\"verdict\": \"SAMPLED\"}"
+  | Complete { executions } ->
+      Printf.sprintf "{\"verdict\": \"COMPLETE\", \"executions\": %d}"
+        executions
+  | Bounded { executions; preempt_bound; within_bound_left } ->
+      Printf.sprintf
+        "{\"verdict\": \"BOUNDED\", \"executions\": %d, \
+         \"preempt_bound\": %d, \"within_bound_left\": %b}"
+        executions preempt_bound within_bound_left
+
 let to_json ?(may = []) t =
   let arr fs =
     "[" ^ String.concat ", " (List.map (finding_to_json t) fs) ^ "]"
@@ -210,7 +267,12 @@ let to_json ?(may = []) t =
       Printf.sprintf ", \"backend\": \"%s\"" (json_escape t.backend);
       Printf.sprintf ", \"name\": \"%s\"" (json_escape t.name);
       Printf.sprintf ", \"clean\": %b" (clean t);
+      Printf.sprintf ", \"exit\": %d" (exit_code t);
       Printf.sprintf ", \"schedules\": %d" t.schedules;
+      (match t.exploration with
+       | None -> ""
+       | Some e ->
+           Printf.sprintf ", \"exploration\": %s" (exploration_to_json e));
       ", \"findings\": "; arr t.findings;
       ", \"may\": "; arr may;
       "}" ]

@@ -33,6 +33,7 @@ let mode_name = function
 (* ----------------------------- state ------------------------------ *)
 
 type team = {
+  uid : int;                    (* stable creation-order id, for DPOR *)
   size : int;
   mutable bar_vc : Vc.t;        (* join of clocks of barrier arrivals *)
   mutable bar_blocked : (tstate * Des.wake) list;
@@ -63,6 +64,8 @@ type session = {
   nthreads : int;               (* configured default team size *)
   initial_icvs : Omprt.Icv.t;   (* virtual thread 0's starting frame *)
   mode : mode;
+  ctl : Dpor.exec option;       (* DPOR-controlled run, else sampled *)
+  mutable nteams : int;         (* teams forked so far, for team uids *)
   rng : Random.State.t option;
   race : Race.t;
   mutable findings : Report.finding list;
@@ -120,6 +123,16 @@ let pause sess ts =
     in
     Des.advance sess.des dt
 
+(* Report a visible operation to the DPOR engine (controlled runs
+   only); must run after the [pause] of the same operation, so the
+   event lands on the decision that resumed this thread. *)
+let note sess ts ~obj ~kind =
+  match sess.ctl with
+  | Some ex -> Dpor.record ex ~gid:ts.gid ~vc:ts.vc ~obj ~kind
+  | None -> ()
+
+let controlled sess = sess.ctl <> None
+
 (* --------------------------- the tracer --------------------------- *)
 
 let on_trace sess ~rw acc ~off ~hint =
@@ -131,6 +144,14 @@ let on_trace sess ~rw acc ~off ~hint =
   | None -> ()
   | Some ts ->
       pause sess ts;
+      (let obj =
+         match acc with
+         | Rt.Acell r -> Dpor.Ocell r
+         | Rt.Afelem (a, i) -> Dpor.Ofelem (a, i)
+         | Rt.Aielem (a, i) -> Dpor.Oielem (a, i)
+       in
+       note sess ts ~obj
+         ~kind:(match rw with `R -> Dpor.Kread | `W -> Dpor.Kwrite));
       Race.access sess.race ~rw acc ~off ~hint ~gid:ts.gid ~vc:ts.vc ~op
 
 (* --------------------------- barriers ----------------------------- *)
@@ -218,10 +239,12 @@ let fork sess parent ~call ~f ~fp ~sh ~red ~requested =
         (max 1 (pframe.Omprt.Icv.thread_limit - group_threads parent + 1))
   in
   let team =
-    { size = nth; bar_vc = Vc.create (); bar_blocked = []; bar_max = 0.;
+    { uid = sess.nteams;
+      size = nth; bar_vc = Vc.create (); bar_blocked = []; bar_max = 0.;
       done_members = 0; diverged = false;
       dispatchers = Hashtbl.create 8; single_claims = Hashtbl.create 8 }
   in
+  sess.nteams <- sess.nteams + 1;
   let remaining = ref (nth - 1) in
   let parent_wake : Des.wake option ref = ref None in
   let child_finals : Vc.t list ref = ref [] in
@@ -250,6 +273,10 @@ let fork sess parent ~call ~f ~fp ~sh ~red ~requested =
           | Some wake -> wake ~at:vt.Des.clock
           | None -> ())
   done;
+  (* the children received a copy of the parent's clock: tick so the
+     parent's own region-body events are distinguishable from the fork
+     point (else a child's start would wrongly cover them) *)
+  Vc.tick parent.vc parent.gid;
   (* the encountering thread is thread 0 of the team, run in place so
      threadprivate state persists across regions as OpenMP requires *)
   let fr0 =
@@ -276,8 +303,9 @@ let lock_of sess name =
       Hashtbl.add sess.locks name lv;
       lv
 
-let acquire sess ts (m, lvc) =
+let acquire sess ts ~lname (m, lvc) =
   pause sess ts;
+  note sess ts ~obj:(Dpor.Olock lname) ~kind:Dpor.Kacquire;
   Des.Smutex.lock m;
   Vc.join ts.vc lvc
 
@@ -405,18 +433,22 @@ let on_builtin sess ~call fname args : V.t option =
              (V.VDispatch
                 (V.Shared
                    { Omprt.Kmpc.d; lo; step; home = None; drained = false }))
-       | "__kmpc_dispatch_next", [ V.VDispatch _ ] ->
+       | "__kmpc_dispatch_next", [ V.VDispatch disp ] ->
            (* perturb the claim order, then use the shared engine *)
            pause sess ts;
+           (match disp with
+            | V.Shared { Omprt.Kmpc.d; _ } ->
+                note sess ts ~obj:(Dpor.Odispatch d) ~kind:Dpor.Kacquire
+            | _ -> ());
            None
        | "__kmpc_critical", [ V.VStr name ] ->
-           acquire sess ts (lock_of sess name);
+           acquire sess ts ~lname:name (lock_of sess name);
            Some V.VUnit
        | "__kmpc_end_critical", [ V.VStr name ] ->
            release sess ts (lock_of sess name);
            Some V.VUnit
        | "__kmpc_atomic_begin", [] ->
-           acquire sess ts sess.atomic_lock;
+           acquire sess ts ~lname:"<atomic>" sess.atomic_lock;
            Some V.VUnit
        | "__kmpc_atomic_end", [] ->
            release sess ts sess.atomic_lock;
@@ -427,6 +459,13 @@ let on_builtin sess ~call fname args : V.t option =
             | fr :: _ ->
                 let e = fr.single_seen in
                 fr.single_seen <- e + 1;
+                (* which thread claims a single is schedule-sensitive:
+                   under DPOR the claim is a visible contended op *)
+                if controlled sess then begin
+                  pause sess ts;
+                  note sess ts ~obj:(Dpor.Osingle (fr.team.uid, e))
+                    ~kind:Dpor.Kacquire
+                end;
                 if Hashtbl.mem fr.team.single_claims e then
                   Some (V.VBool false)
                 else begin
@@ -438,17 +477,27 @@ let on_builtin sess ~call fname args : V.t option =
            let _, tid, _ = ctx ts in
            Some (V.VInt tid)
        | "__omp_atomic_load", [ V.VAtomicF a ] ->
+           if controlled sess then begin
+             pause sess ts;
+             note sess ts ~obj:(Dpor.Oatomf a) ~kind:Dpor.Kload
+           end;
            atomic_sync sess ts (af_vc sess a) ~combine:false;
            None
        | "__omp_atomic_load", [ V.VAtomicI a ] ->
+           if controlled sess then begin
+             pause sess ts;
+             note sess ts ~obj:(Dpor.Oatomi a) ~kind:Dpor.Kload
+           end;
            atomic_sync sess ts (ai_vc sess a) ~combine:false;
            None
        | _, (V.VAtomicF a :: _) when is_combine fname ->
            pause sess ts;
+           note sess ts ~obj:(Dpor.Oatomf a) ~kind:Dpor.Kcombine;
            atomic_sync sess ts (af_vc sess a) ~combine:true;
            None
        | _, (V.VAtomicI a :: _) when is_combine fname ->
            pause sess ts;
+           note sess ts ~obj:(Dpor.Oatomi a) ~kind:Dpor.Kcombine;
            atomic_sync sess ts (ai_vc sess a) ~combine:true;
            None
        | "print", [ v ] ->
@@ -517,13 +566,15 @@ let on_omp sess meth args : V.t option =
 
 (* --------------------------- driving ------------------------------ *)
 
-(** Run one schedule: load the program with the hooks uninstalled (so
-    global initialisation is untraced), install tracer + interceptor +
-    virtual-thread TLS keying, execute [run prog] on virtual thread 0,
-    and collect findings.  Hook installation is globally exclusive —
-    the checker is single-domain by construction. *)
-let run_schedule ~name ~(load : unit -> Interp.program)
-    ~(run : Interp.program -> unit) ~mode ~nthreads () :
+(* Run one execution: load the program with the hooks uninstalled (so
+   global initialisation is untraced), install tracer + interceptor +
+   virtual-thread TLS keying, execute [run prog] on virtual thread 0,
+   and collect findings.  Hook installation is globally exclusive —
+   the checker is single-domain by construction.  With [ctl] the DES
+   runs in controlled mode: the DPOR execution decides every
+   scheduling point instead of the min-clock rule. *)
+let run_session ~name ~(load : unit -> Interp.program)
+    ~(run : Interp.program -> unit) ~mode ~nthreads ~ctl () :
     Report.finding list * string =
   let prog = load () in
   let des = Des.create () in
@@ -534,7 +585,7 @@ let run_schedule ~name ~(load : unit -> Interp.program)
   let initial_icvs = Omprt.Icv.copy Omprt.Icv.global in
   initial_icvs.Omprt.Icv.nthreads <- nthreads;
   let sess =
-    { des; nthreads; initial_icvs; mode;
+    { des; nthreads; initial_icvs; mode; ctl; nteams = 0;
       rng =
         (match mode with
          | Seeded s -> Some (Random.State.make [| s; 0x5eed |])
@@ -545,6 +596,12 @@ let run_schedule ~name ~(load : unit -> Interp.program)
       atomic_lock = (Des.Smutex.create des, Vc.create ());
       af = []; ai = []; output = Buffer.create 256 }
   in
+  let label =
+    match ctl with Some _ -> "dpor" | None -> mode_name mode
+  in
+  (match ctl with
+   | Some ex -> Des.set_decide des (fun ids -> Dpor.decide ex ~enabled:ids)
+   | None -> ());
   Rt.tracer := Some { Rt.trace = on_trace sess };
   B.interceptor :=
     Some { B.on_builtin = on_builtin sess; on_omp = on_omp sess };
@@ -572,14 +629,21 @@ let run_schedule ~name ~(load : unit -> Interp.program)
       (try ignore (Des.run des) with
        | Des.Deadlock msg ->
            sess.findings <-
-             Report.error ~detail:(mode_name mode ^ ": " ^ msg)
-             :: sess.findings
+             Report.error ~detail:(label ^ ": " ^ msg) :: sess.findings
        | V.Runtime_error msg ->
            sess.findings <-
-             Report.error ~detail:(mode_name mode ^ ": " ^ msg)
-             :: sess.findings
+             Report.error ~detail:(label ^ ": " ^ msg) :: sess.findings
        | Zr.Source.Error msg ->
            sess.findings <-
-             Report.error ~detail:(mode_name mode ^ ": " ^ msg)
-             :: sess.findings));
+             Report.error ~detail:(label ^ ": " ^ msg) :: sess.findings));
   (Race.findings sess.race @ sess.findings, Buffer.contents sess.output)
+
+(** Run one sampled schedule (the legacy 7-schedule mode). *)
+let run_schedule ~name ~load ~run ~mode ~nthreads () =
+  run_session ~name ~load ~run ~mode ~nthreads ~ctl:None ()
+
+(** Run one DPOR-controlled execution: [ex]'s forced prefix decides the
+    first scheduling points, then the default continuation; the events
+    and backtrack candidates land in [ex]. *)
+let run_controlled ~name ~load ~run ~nthreads ~ex () =
+  run_session ~name ~load ~run ~mode:Uniform ~nthreads ~ctl:(Some ex) ()

@@ -233,3 +233,8 @@ let analyze ?name source : Analyze.result = Analyze.run ?name source
     number of rewrite rounds. *)
 let analyze_fix ?name ?max_rounds source =
   Analyze.fix_to_fixpoint ?name ?max_rounds source
+
+(** Corpus batch mode ([zrc check --corpus], [zrc analyze --corpus]):
+    every fixture under a directory plus the bundled NPB Zr kernels,
+    one process, one machine-readable summary. *)
+module Corpus = Corpus

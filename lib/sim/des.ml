@@ -26,13 +26,19 @@ type vthread = {
 }
 
 type t = {
-  runq : (unit -> unit) Heap.t;
+  runq : entry Heap.t;
   mutable threads : vthread list;  (* newest first *)
   mutable current : vthread option;
   mutable spawned : int;
   mutable finished : int;
   mutable horizon : float;  (* max clock observed at completion points *)
+  mutable decide : (int list -> int) option;
+      (* controlled mode: pick the next thread from the runnable set *)
 }
+
+(* Runqueue entries carry the virtual-thread id so a controlled
+   scheduler can be offered the runnable set by identity. *)
+and entry = { eid : int; estep : unit -> unit }
 
 exception Deadlock of string
 
@@ -43,7 +49,19 @@ let create () = {
   spawned = 0;
   finished = 0;
   horizon = 0.;
+  decide = None;
 }
+
+(** [set_decide t f] — switch the scheduler into controlled mode: at
+    every scheduling point [f] receives the sorted ids of the runnable
+    virtual threads and returns the one to resume, overriding the
+    min-clock rule.  A thread is runnable iff it is neither running nor
+    suspended on a {!Suspend} registration.  Used by the DPOR model
+    checker to force and replay interleavings; everything else about
+    the simulation (spawning, suspension, wake-ups) is unchanged. *)
+let set_decide t f = t.decide <- Some f
+
+let clear_decide t = t.decide <- None
 
 let self t =
   match t.current with
@@ -70,9 +88,11 @@ let exec t vt (step : unit -> unit) =
           | Advance dt ->
               Some (fun (k : (a, unit) continuation) ->
                   vt.clock <- vt.clock +. dt;
-                  Heap.push t.runq vt.clock (fun () ->
-                      t.current <- Some vt;
-                      continue k ()))
+                  Heap.push t.runq vt.clock
+                    { eid = vt.id;
+                      estep = (fun () ->
+                          t.current <- Some vt;
+                          continue k ()) })
           | Suspend register ->
               Some (fun (k : (a, unit) continuation) ->
                   let woken = ref false in
@@ -81,9 +101,11 @@ let exec t vt (step : unit -> unit) =
                         invalid_arg "Des: thread woken twice";
                       woken := true;
                       if at > vt.clock then vt.clock <- at;
-                      Heap.push t.runq vt.clock (fun () ->
-                          t.current <- Some vt;
-                          continue k ())))
+                      Heap.push t.runq vt.clock
+                        { eid = vt.id;
+                          estep = (fun () ->
+                              t.current <- Some vt;
+                              continue k ()) }))
           | _ -> None) }
 
 (** [spawn t ?at body] — create a virtual thread whose clock starts at
@@ -98,15 +120,59 @@ let spawn t ?at body =
   let vt = { id = t.spawned; clock = start; done_ = false } in
   t.spawned <- t.spawned + 1;
   t.threads <- vt :: t.threads;
-  Heap.push t.runq start (fun () -> exec t vt body)
+  Heap.push t.runq start { eid = vt.id; estep = (fun () -> exec t vt body) }
+
+(* The next step to run: min-clock order normally; in controlled mode
+   the decide hook picks among the runnable ids (a thread has at most
+   one queued entry, so the offered ids are distinct). *)
+let pop_next t =
+  match t.decide with
+  | None ->
+      (match Heap.pop t.runq with
+       | Some (_, e) -> Some e.estep
+       | None -> None)
+  | Some decide ->
+      if Heap.is_empty t.runq then None
+      else begin
+        let entries = ref [] in
+        let rec drain () =
+          match Heap.pop t.runq with
+          | Some (clk, e) ->
+              entries := (clk, e) :: !entries;
+              drain ()
+          | None -> ()
+        in
+        drain ();
+        let entries = List.rev !entries in
+        let ids =
+          List.sort compare (List.map (fun (_, e) -> e.eid) entries)
+        in
+        let chosen = decide ids in
+        let rest, found =
+          List.fold_left
+            (fun (rest, found) (clk, e) ->
+              if found = None && e.eid = chosen then (rest, Some e)
+              else ((clk, e) :: rest, found))
+            ([], None) entries
+        in
+        match found with
+        | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "Des: scheduling decision chose thread %d, which is \
+                  not runnable" chosen)
+        | Some e ->
+            List.iter (fun (clk, e) -> Heap.push t.runq clk e) (List.rev rest);
+            Some e.estep
+      end
 
 (** Drive the simulation until every spawned thread has finished.
     Returns the makespan (latest clock at any completion).  Raises
     {!Deadlock} if threads remain but none is runnable. *)
 let run t =
   let rec loop () =
-    match Heap.pop t.runq with
-    | Some (_, step) -> step (); loop ()
+    match pop_next t with
+    | Some step -> step (); loop ()
     | None ->
         if t.finished < t.spawned then
           raise (Deadlock

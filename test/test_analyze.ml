@@ -27,7 +27,8 @@ let analyze_file name =
   Zigomp.analyze ~name (read_file path)
 
 let config ?(schedules = 3) ?(sync_sweep = true) () =
-  { Checker.nthreads = 4; schedules; seed = 42; sync_sweep; lint = true }
+  { Checker.nthreads = 4; schedules; seed = 42; sync_sweep; lint = true;
+    exploration = Checker.Sampled }
 
 let lines_of (r : Report.t) =
   List.map (fun (f : Report.finding) -> f.Report.line) r.Report.findings

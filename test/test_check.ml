@@ -19,7 +19,13 @@ let examples_dir =
   Filename.concat (Filename.concat ".." "examples") "zr"
 
 let config ?(schedules = 3) ?(sync_sweep = true) () =
-  { Checker.nthreads = 4; schedules; seed = 42; sync_sweep; lint = true }
+  (* the historical tests pin the sampled-schedule behaviour *)
+  { Checker.nthreads = 4; schedules; seed = 42; sync_sweep; lint = true;
+    exploration = Checker.Sampled }
+
+let dpor_config ?(nthreads = 2) ?(max_execs = 256) ?(preempt_bound = 2) () =
+  { Checker.nthreads; schedules = 3; seed = 42; sync_sweep = true;
+    lint = true; exploration = Checker.Dpor { max_execs; preempt_bound } }
 
 let check_file ?config:(cfg = config ()) name =
   let path = Filename.concat examples_dir name in
@@ -156,6 +162,220 @@ let test_deterministic () =
   Alcotest.(check string) "identical report across two runs" (once ())
     (once ())
 
+(* ---- DPOR exploration --------------------------------------------- *)
+
+let executions (r : Report.t) =
+  match r.Report.exploration with
+  | Some (Report.Complete { executions }) -> executions
+  | Some (Report.Bounded { executions; _ }) -> executions
+  | _ -> 0
+
+let is_complete (r : Report.t) =
+  match r.Report.exploration with
+  | Some (Report.Complete _) -> true
+  | _ -> false
+
+let is_systematic (r : Report.t) =
+  match r.Report.exploration with
+  | Some (Report.Complete _) | Some (Report.Bounded _) -> true
+  | _ -> false
+
+(* Every racy fixture must be caught by the systematic search too, with
+   an honest verdict (COMPLETE, or BOUNDED when the budget truncates). *)
+let test_dpor_racy_fixtures () =
+  List.iter
+    (fun name ->
+      let cfg = dpor_config ~max_execs:64 () in
+      let r = check_file ~config:cfg (Filename.concat "racy" name) in
+      Alcotest.(check bool) (name ^ ": race found under DPOR") true
+        (Report.races r <> []);
+      Alcotest.(check bool) (name ^ ": systematic verdict") true
+        (is_systematic r))
+    [ "missing_reduction.zr"; "shared_counter.zr"; "nowait_useafter.zr" ]
+
+(* The race-free twins must come back COMPLETE and clean: the reduced
+   interleaving space is exhausted, not merely sampled, at both 2 and 3
+   threads. *)
+let test_dpor_clean_twins_complete () =
+  List.iter
+    (fun nthreads ->
+      List.iter
+        (fun name ->
+          let cfg = dpor_config ~nthreads () in
+          let r = check_file ~config:cfg (Filename.concat "clean" name) in
+          let label = Printf.sprintf "%s at %d threads" name nthreads in
+          Alcotest.(check (list string)) (label ^ ": no findings") []
+            (lines_of r);
+          Alcotest.(check bool) (label ^ ": COMPLETE") true (is_complete r))
+        [ "reduction.zr"; "atomic_counter.zr"; "nowait_barrier.zr" ])
+    [ 2; 3 ]
+
+(* The regression the sampler can never catch: hidden_handoff.zr only
+   races when thread 0 wins a critical-section handoff, an order the
+   seven cost-based schedules provably never execute (thread 0 pays 32
+   traced writes before its acquire).  DPOR must find it; the sampler
+   must stay quiet; the lock-ordered twin must be COMPLETE-clean. *)
+let test_dpor_hidden_handoff () =
+  let sampled = check_file ~config:(config ()) "dpor/hidden_handoff.zr" in
+  Alcotest.(check (list string)) "sampled schedules miss the race" []
+    (lines_of sampled);
+  let r = check_file ~config:(dpor_config ()) "dpor/hidden_handoff.zr" in
+  Alcotest.(check bool) "DPOR reports the race on data" true
+    (List.exists
+       (fun (f : Report.finding) -> contains f.Report.line "race data")
+       (Report.races r));
+  Alcotest.(check bool) "and the search still completes" true
+    (is_complete r);
+  let twin = check_file ~config:(dpor_config ()) "dpor/hidden_handoff_clean.zr" in
+  Alcotest.(check (list string)) "lock-ordered twin is clean" []
+    (lines_of twin);
+  Alcotest.(check bool) "twin COMPLETE" true (is_complete twin)
+
+(* Same seed, same program, same budget: identical report text and
+   identical execution counts.  The whole engine — replay, backtrack-set
+   computation, frontier order — must be deterministic. *)
+let test_dpor_deterministic () =
+  let once name =
+    let r = check_file ~config:(dpor_config ~max_execs:64 ()) name in
+    (Report.to_string r, executions r)
+  in
+  List.iter
+    (fun name ->
+      let s1, n1 = once name and s2, n2 = once name in
+      Alcotest.(check string) (name ^ ": identical report") s1 s2;
+      Alcotest.(check int) (name ^ ": identical execution count") n1 n2;
+      Alcotest.(check bool) (name ^ ": explored something") true (n1 >= 1))
+    [ "racy/shared_counter.zr"; "dpor/hidden_handoff.zr" ]
+
+(* Exit-code discipline: findings -> 2; a clean but truncated search is
+   only a partial proof -> 1; a clean COMPLETE (or sampled) run -> 0. *)
+let test_dpor_exit_codes () =
+  let code ?config:(cfg = dpor_config ()) name =
+    Report.exit_code (check_file ~config:cfg name)
+  in
+  Alcotest.(check int) "COMPLETE clean -> 0" 0 (code "clean/reduction.zr");
+  Alcotest.(check int) "findings -> 2" 2 (code "dpor/hidden_handoff.zr");
+  Alcotest.(check int) "BOUNDED clean -> 1" 1
+    (code
+       ~config:(dpor_config ~nthreads:3 ~max_execs:4 ())
+       "clean/atomic_counter.zr");
+  Alcotest.(check int) "sampled clean -> 0" 0
+    (code ~config:(config ()) "clean/reduction.zr")
+
+(* ---- differential property: DPOR vs sampling ---------------------- *)
+
+module G = QCheck2.Gen
+
+(* Small random parallel programs over two shared counters: every
+   statement template either races, synchronises, or is gated to a
+   single thread.  The SPMD body keeps barriers convergent. *)
+type op =
+  | Plain of string           (* v = v + 1;               racy rmw  *)
+  | Crit of string            (* critical { v = v + 1; }  ordered   *)
+  | Atomic of string          (* atomic v += 1;           commuting *)
+  | Gated of string * int     (* one thread writes        *)
+  | Copyv of string * string  (* dst = src;               read+write *)
+  | Barrier
+
+let render_op = function
+  | Plain v -> Printf.sprintf "        %s = %s + 1;" v v
+  | Crit v ->
+      Printf.sprintf "        //$omp critical\n        { %s = %s + 1; }" v v
+  | Atomic v -> Printf.sprintf "        //$omp atomic\n        %s += 1;" v
+  | Gated (v, t) ->
+      Printf.sprintf "        if (omp.get_thread_num() == %d) { %s = %s + 1; }"
+        t v v
+  | Copyv (d, s) -> Printf.sprintf "        %s = %s;" d s
+  | Barrier -> "        //$omp barrier"
+
+let op_gen =
+  let var = G.oneofl [ "x"; "y" ] in
+  G.oneof
+    [ G.map (fun v -> Plain v) var;
+      G.map (fun v -> Crit v) var;
+      G.map (fun v -> Atomic v) var;
+      G.map2 (fun v t -> Gated (v, t)) var (G.int_range 0 1);
+      G.map2 (fun d s -> Copyv (d, s)) var var;
+      G.pure Barrier ]
+
+let program_gen =
+  G.map
+    (fun ops ->
+      Printf.sprintf
+        "fn main() i64 {\n\
+        \    var x: i64 = 0;\n\
+        \    var y: i64 = 0;\n\
+        \    //$omp parallel shared(x, y)\n\
+        \    {\n\
+         %s\n\
+        \    }\n\
+        \    return x + y;\n\
+         }\n"
+        (String.concat "\n" (List.map render_op ops)))
+    (G.list_size (G.int_range 2 4) op_gen)
+
+let race_ids r =
+  List.sort_uniq compare
+    (List.map (fun (f : Report.finding) -> f.Report.id) (Report.races r))
+
+(* When the DPOR search completes, it has covered every Mazurkiewicz
+   trace class — so it must report (at least) every race any sampled
+   schedule can observe.  In particular COMPLETE + clean means the
+   sampler is provably quiet.  A BOUNDED run makes no containment
+   claim, so those cases pass vacuously. *)
+let prop_dpor_superset =
+  QCheck2.Test.make ~name:"DPOR findings contain sampled findings" ~count:25
+    ~print:(fun s -> s) program_gen
+    (fun src ->
+      let sampled_cfg =
+        { Checker.nthreads = 2; schedules = 3; seed = 42; sync_sweep = true;
+          lint = true; exploration = Checker.Sampled }
+      in
+      let sampled = Zigomp.check ~name:"rand.zr" ~config:sampled_cfg src in
+      let dpor =
+        Zigomp.check ~name:"rand.zr" ~config:(dpor_config ~max_execs:128 ())
+          src
+      in
+      (not (is_complete dpor))
+      || List.for_all
+           (fun id -> List.mem id (race_ids dpor))
+           (race_ids sampled))
+
+(* ---- corpus batch mode -------------------------------------------- *)
+
+module Corpus = Zigomp.Corpus
+
+let test_corpus_check_clean () =
+  let dir = Filename.concat examples_dir "clean" in
+  let c =
+    Corpus.run ~config:(dpor_config ()) ~kernels:false ~mode:Corpus.Mcheck
+      ~dir ()
+  in
+  Alcotest.(check int) "three entries" 3 (List.length c.Corpus.entries);
+  Alcotest.(check int) "clean corpus exits 0" 0 c.Corpus.exit;
+  Alcotest.(check bool) "executions summed" true (c.Corpus.total_execs >= 3);
+  Alcotest.(check bool) "summary renders" true
+    (contains (Corpus.summary c) "3 entries");
+  Alcotest.(check bool) "json carries the schema" true
+    (contains (Corpus.to_json c) "zigomp-corpus/1")
+
+let test_corpus_check_racy_exit () =
+  let dir = Filename.concat examples_dir "dpor" in
+  let c =
+    Corpus.run ~config:(dpor_config ()) ~kernels:false ~mode:Corpus.Mcheck
+      ~dir ()
+  in
+  Alcotest.(check int) "two entries" 2 (List.length c.Corpus.entries);
+  Alcotest.(check int) "racy member dominates the exit" 2 c.Corpus.exit
+
+let test_corpus_analyze () =
+  let dir = Filename.concat examples_dir "racy" in
+  let c = Corpus.run ~kernels:false ~mode:Corpus.Manalyze ~dir () in
+  Alcotest.(check int) "three entries" 3 (List.length c.Corpus.entries);
+  Alcotest.(check int) "proven findings exit 2" 2 c.Corpus.exit;
+  Alcotest.(check int) "no dynamic executions in analyze mode" 0
+    c.Corpus.total_execs
+
 let suite =
   [ Alcotest.test_case "racy fixtures report both locations" `Quick
       test_racy_fixtures;
@@ -173,4 +393,20 @@ let suite =
       test_default_none_lint;
     Alcotest.test_case "fixed seed is deterministic" `Quick
       test_deterministic;
+    Alcotest.test_case "racy fixtures race under DPOR" `Quick
+      test_dpor_racy_fixtures;
+    Alcotest.test_case "clean twins COMPLETE under DPOR" `Slow
+      test_dpor_clean_twins_complete;
+    Alcotest.test_case "DPOR finds the sampler-proof race" `Quick
+      test_dpor_hidden_handoff;
+    Alcotest.test_case "DPOR search is deterministic" `Quick
+      test_dpor_deterministic;
+    Alcotest.test_case "exit codes: 0/1/2 by verdict" `Quick
+      test_dpor_exit_codes;
+    QCheck_alcotest.to_alcotest prop_dpor_superset;
+    Alcotest.test_case "corpus: clean dir is clean" `Slow
+      test_corpus_check_clean;
+    Alcotest.test_case "corpus: exit is the max member exit" `Quick
+      test_corpus_check_racy_exit;
+    Alcotest.test_case "corpus: analyze mode" `Quick test_corpus_analyze;
   ]

@@ -21,6 +21,7 @@ let () =
       ("public-api", Test_zigomp.suite);
       ("zr-examples", Test_zr_examples.suite);
       ("pipeline-properties", Test_pipeline_prop.suite);
+      ("vc", Test_vc.suite);
       ("check", Test_check.suite);
       ("analyze", Test_analyze.suite);
       ("npb-zr", Test_npb_zr.suite);

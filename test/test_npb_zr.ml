@@ -98,7 +98,10 @@ let assert_clean what (r : Checker.Report.t) =
    traces every access, so the checked problems are small — the
    happens-before structure is identical at any size. *)
 let cfg ~schedules ~sync_sweep =
-  { Checker.nthreads = 4; schedules; seed = 42; sync_sweep; lint = true }
+  (* the kernels pin the sampled behaviour; the DPOR corpus covers them
+     systematically (see Corpus.kernel_sources) *)
+  { Checker.nthreads = 4; schedules; seed = 42; sync_sweep; lint = true;
+    exploration = Checker.Sampled }
 
 let test_check_cg () =
   let entry prog =

@@ -780,6 +780,138 @@ let sensitivity () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Deferred tasking: the same stencil body run as a taskloop (tasks of
+   [grainsize] consecutive iterations, rooted in a single) and as the
+   static worksharing loop, and recursive task fib against its serial
+   twin.  Written to BENCH_tasking.json for the perf trajectory across
+   PRs; no gate — task overhead vs static partitioning is the quantity
+   being tracked, not bounded.                                         *)
+
+let taskloop_sweep_src =
+  {|
+fn sweep(n: i64, a: []f64, b: []f64) f64 {
+    //$omp parallel shared(a, b)
+    {
+        //$omp single
+        {
+            var i: i64 = 1;
+            //$omp taskloop grainsize(256)
+            while (i < n - 1) : (i += 1) {
+                b[i] = 0.25 * a[i - 1] + 0.5 * a[i] + 0.25 * a[i + 1];
+            }
+        }
+    }
+    return b[1];
+}
+|}
+
+let staticfor_sweep_src =
+  {|
+fn sweep(n: i64, a: []f64, b: []f64) f64 {
+    var i: i64 = 1;
+    //$omp parallel for shared(a, b)
+    while (i < n - 1) : (i += 1) {
+        b[i] = 0.25 * a[i - 1] + 0.5 * a[i] + 0.25 * a[i + 1];
+    }
+    return b[1];
+}
+|}
+
+let task_fib_src =
+  {|
+fn fib(n: i64) i64 {
+    if (n < 2) { return n; }
+    var a: i64 = 0;
+    var b: i64 = 0;
+    //$omp task shared(a) firstprivate(n)
+    { a = fib(n - 1); }
+    //$omp task shared(b) firstprivate(n)
+    { b = fib(n - 2); }
+    //$omp taskwait
+    return a + b;
+}
+
+fn fibmain(n: i64) i64 {
+    var r: i64 = 0;
+    //$omp parallel
+    {
+        //$omp single
+        { r = fib(n); }
+    }
+    return r;
+}
+|}
+
+let serial_fib_src =
+  {|
+fn fib(n: i64) i64 {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+
+fn fibmain(n: i64) i64 {
+    return fib(n);
+}
+|}
+
+let bench_tasking () =
+  print_endline
+    "== tasking: taskloop vs static for; task fib vs serial (4 threads) ==";
+  Zigomp.set_num_threads 4;
+  let time prog fname args ~reps =
+    ignore (Zigomp.call prog fname args);  (* warm-up *)
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do ignore (Zigomp.call prog fname args) done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let n = 65_536 in
+  let a = Array.init n (fun i -> float_of_int (i mod 7)) in
+  let b = Array.make n 0. in
+  let sweep_args =
+    [ Zigomp.Value.VInt n; Zigomp.Value.VFloatArr a;
+      Zigomp.Value.VFloatArr b ]
+  in
+  let per_iter s = 1e9 *. s /. float_of_int (n - 2) in
+  let tl_prog = Zigomp.compile ~name:"taskloop_sweep.zr" taskloop_sweep_src in
+  let st_prog = Zigomp.compile ~name:"staticfor_sweep.zr" staticfor_sweep_src in
+  let tl_ns = per_iter (time tl_prog "sweep" sweep_args ~reps:10) in
+  let st_ns = per_iter (time st_prog "sweep" sweep_args ~reps:10) in
+  Printf.printf
+    "  %-14s %10.1f ns/iter (taskloop g=256) %10.1f ns/iter (static for) \
+     %6.2fx overhead\n%!"
+    "stencil_sweep" tl_ns st_ns (tl_ns /. st_ns);
+  let fib_n = 18 in
+  let fib_args = [ Zigomp.Value.VInt fib_n ] in
+  let tfib_prog = Zigomp.compile ~name:"task_fib.zr" task_fib_src in
+  let sfib_prog = Zigomp.compile ~name:"serial_fib.zr" serial_fib_src in
+  (* correctness before timing: both must agree *)
+  let tv = Zigomp.call tfib_prog "fibmain" fib_args in
+  let sv = Zigomp.call sfib_prog "fibmain" fib_args in
+  if tv <> sv then failwith "bench tasking: task fib diverged from serial";
+  let tfib_ms = 1e3 *. time tfib_prog "fibmain" fib_args ~reps:5 in
+  let sfib_ms = 1e3 *. time sfib_prog "fibmain" fib_args ~reps:5 in
+  Printf.printf
+    "  %-14s %10.2f ms/call (task) %10.2f ms/call (serial) %6.2fx \
+     overhead\n%!"
+    (Printf.sprintf "fib_%d" fib_n)
+    tfib_ms sfib_ms (tfib_ms /. sfib_ms);
+  let json =
+    Printf.sprintf
+      "{\n  \"bench\": \"tasking\",\n  \"threads\": 4,\n  \"results\": [\n\
+      \    { \"case\": \"stencil_sweep\", \"taskloop_ns_per_iter\": %.2f, \
+       \"static_ns_per_iter\": %.2f, \"overhead_ratio\": %.3f },\n\
+      \    { \"case\": \"fib_%d\", \"task_ms_per_call\": %.3f, \
+       \"serial_ms_per_call\": %.3f, \"overhead_ratio\": %.3f }\n  ]\n}\n"
+      tl_ns st_ns (tl_ns /. st_ns) fib_n tfib_ms sfib_ms
+      (tfib_ms /. sfib_ms)
+  in
+  let oc = open_out "BENCH_tasking.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "  wrote BENCH_tasking.json";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [ ("table1", fun () -> emit_table Harness.Experiment.CG);
@@ -792,6 +924,7 @@ let sections =
     ("interp", bench_interp);
     ("bytecode", bench_bytecode);
     ("transform", bench_transform);
+    ("tasking", bench_tasking);
     ("pool", bench_pool);
     ("sensitivity", sensitivity);
     ("ablation",

@@ -101,7 +101,12 @@ let parse_cmd =
                | Zr.Ast.Omp_master -> "Omp_master"
                | Zr.Ast.Omp_single -> "Omp_single"
                | Zr.Ast.Omp_atomic -> "Omp_atomic"
-               | Zr.Ast.Omp_threadprivate -> "Omp_threadprivate")
+               | Zr.Ast.Omp_threadprivate -> "Omp_threadprivate"
+               | Zr.Ast.Omp_task -> "Omp_task"
+               | Zr.Ast.Omp_taskwait -> "Omp_taskwait"
+               | Zr.Ast.Omp_taskloop -> "Omp_taskloop"
+               | Zr.Ast.Omp_sections -> "Omp_sections"
+               | Zr.Ast.Omp_section -> "Omp_section")
               n.main_token n.lhs n.rhs)
           ast.Zr.Ast.nodes)
   in
@@ -396,6 +401,8 @@ let analyze_cmd =
 
 let check_config threads schedules seed no_sweep no_lint sampled
     preempt_bound max_execs =
+  Option.iter (Printf.eprintf "%s\n")
+    (Zigomp.Checker.no_effect_warning ~sampled ~preempt_bound);
   { Zigomp.Checker.nthreads = threads;
     schedules;
     seed;
@@ -403,7 +410,10 @@ let check_config threads schedules seed no_sweep no_lint sampled
     lint = not no_lint;
     exploration =
       (if sampled then Zigomp.Checker.Sampled
-       else Zigomp.Checker.Dpor { max_execs; preempt_bound }) }
+       else
+         Zigomp.Checker.Dpor
+           { max_execs;
+             preempt_bound = Option.value preempt_bound ~default:2 }) }
 
 let do_check file config ~json ~no_static =
   let source = read_file file in
@@ -467,12 +477,14 @@ let sampled_opt =
                  evidence, not a proof")
 
 let preempt_bound_opt =
-  Arg.(value & opt int 2
+  Arg.(value & opt (some int) None
        & info [ "preempt-bound" ] ~docv:"N"
-           ~doc:"DPOR frontier order and BOUNDED verdict bound: \
-                 prefixes forcing at most $(docv) preemptions are \
-                 explored first, and a budget-truncated search \
-                 reports whether any within-bound prefix was left")
+           ~doc:"DPOR frontier order and BOUNDED verdict bound \
+                 (default 2): prefixes forcing at most $(docv) \
+                 preemptions are explored first, and a \
+                 budget-truncated search reports whether any \
+                 within-bound prefix was left.  No effect with \
+                 $(b,--sampled).")
 
 let max_execs_opt =
   Arg.(value & opt int 256

@@ -47,6 +47,21 @@ let default_config =
   { nthreads = 4; schedules = 3; seed = 42; sync_sweep = true; lint = true;
     exploration = Dpor { max_execs = 256; preempt_bound = 2 } }
 
+(** CLI flag cross-check: a [--preempt-bound] given alongside
+    [--sampled] is dead weight — the bound orders DPOR exploration, and
+    sampled schedules are never preemption-bounded.  Returns the
+    diagnostic to print, [None] when the combination is fine. *)
+let no_effect_warning ~sampled ~preempt_bound =
+  match (sampled, preempt_bound) with
+  | true, Some n ->
+      Some
+        (Printf.sprintf
+           "warning: --preempt-bound %d has no effect with --sampled \
+            (the bound orders DPOR exploration; sampled schedules are \
+            never preemption-bounded)"
+           n)
+  | _ -> None
+
 (* The schedule set: lockstep interleaving, then systematic relative
    skews (each team member fastest in turn), then the seeded draws. *)
 let modes config =

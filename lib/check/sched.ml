@@ -42,6 +42,13 @@ type team = {
   mutable diverged : bool;      (* divergence already reported *)
   dispatchers : (int, Omprt.Ws.Dispatch.t) Hashtbl.t;  (* by loop epoch *)
   single_claims : (int, unit) Hashtbl.t;               (* by single epoch *)
+  (* deferred explicit tasks: barriers and the region end gate on
+     [task_live] reaching zero; the final clock of every completed task
+     is kept so those gates establish the task-body → completion-point
+     happens-before edges *)
+  mutable task_live : int;
+  mutable task_finals : Vc.t list;
+  mutable task_waiters : Des.wake list;
 }
 
 and frame = {
@@ -50,6 +57,9 @@ and frame = {
   icvs : Omprt.Icv.t;           (* this implicit task's data environment *)
   mutable single_seen : int;    (* singles this thread has met *)
   mutable loop_epoch : int;     (* dispatch loops this thread has met *)
+  mutable task_children : Vc.t option ref list;
+      (* direct child tasks: the cell fills with the child's final
+         clock on completion; [taskwait] drains and joins them *)
 }
 
 and tstate = {
@@ -74,6 +84,10 @@ type session = {
   atomic_lock : Des.Smutex.t * Vc.t;         (* __kmpc_atomic_begin/end *)
   mutable af : (Omprt.Atomics.Float.t * Vc.t) list;
   mutable ai : (Omprt.Atomics.Int.t * Vc.t) list;
+  cp_slots : (int * int, V.t * Vc.t) Hashtbl.t;
+      (* copyprivate broadcasts by (team uid, single epoch): value and
+         the claimer's clock at the put *)
+  mutable orphan_cp : V.t option;  (* copyprivate outside any region *)
   output : Buffer.t;            (* captured [print] output *)
 }
 
@@ -156,7 +170,20 @@ let on_trace sess ~rw acc ~off ~hint =
 
 (* --------------------------- barriers ----------------------------- *)
 
+(* Task-completion happens-before: every gate that waits out the team's
+   outstanding explicit tasks joins their final clocks. *)
+let join_task_finals team vc =
+  List.iter (fun fvc -> Vc.join vc fvc) team.task_finals
+
+let rec wait_team_tasks sess team =
+  if team.task_live > 0 then begin
+    Des.suspend sess.des (fun wake ->
+        team.task_waiters <- wake :: team.task_waiters);
+    wait_team_tasks sess team
+  end
+
 let release_barrier sess team =
+  join_task_finals team team.bar_vc;
   let blocked = List.rev team.bar_blocked in
   let bvc = team.bar_vc in
   let at = team.bar_max in
@@ -194,14 +221,18 @@ let barrier sess ts =
         let now = Des.now sess.des in
         if now > team.bar_max then team.bar_max <- now;
         let arrived = List.length team.bar_blocked + 1 in
-        if arrived + team.done_members >= team.size then begin
+        if arrived + team.done_members >= team.size && team.task_live = 0
+        then begin
           if team.done_members > 0 then note_divergence sess team;
           (* self: adopt the rendezvous clock before the state resets *)
+          join_task_finals team team.bar_vc;
           Vc.join ts.vc team.bar_vc;
           Vc.tick ts.vc ts.gid;
           release_barrier sess team
         end
         else
+          (* not full yet — or full but outstanding explicit tasks keep
+             the barrier closed; the last task completion releases it *)
           Des.suspend sess.des (fun wake ->
               team.bar_blocked <- (ts, wake) :: team.bar_blocked)
       end
@@ -242,7 +273,8 @@ let fork sess parent ~call ~f ~fp ~sh ~red ~requested =
     { uid = sess.nteams;
       size = nth; bar_vc = Vc.create (); bar_blocked = []; bar_max = 0.;
       done_members = 0; diverged = false;
-      dispatchers = Hashtbl.create 8; single_claims = Hashtbl.create 8 }
+      dispatchers = Hashtbl.create 8; single_claims = Hashtbl.create 8;
+      task_live = 0; task_finals = []; task_waiters = [] }
   in
   sess.nteams <- sess.nteams + 1;
   let remaining = ref (nth - 1) in
@@ -260,7 +292,7 @@ let fork sess parent ~call ~f ~fp ~sh ~red ~requested =
         Hashtbl.replace sess.threads child.gid child;
         let fr =
           { team; tid; icvs = Omprt.Icv.copy pframe;
-            single_seen = 0; loop_epoch = 0 }
+            single_seen = 0; loop_epoch = 0; task_children = [] }
         in
         child.frames <- fr :: child.frames;
         ignore (call f [ fp; sh; red ]);
@@ -281,7 +313,7 @@ let fork sess parent ~call ~f ~fp ~sh ~red ~requested =
      threadprivate state persists across regions as OpenMP requires *)
   let fr0 =
     { team; tid = 0; icvs = Omprt.Icv.copy pframe;
-      single_seen = 0; loop_epoch = 0 }
+      single_seen = 0; loop_epoch = 0; task_children = [] }
   in
   parent.frames <- fr0 :: parent.frames;
   ignore (call f [ fp; sh; red ]);
@@ -289,6 +321,11 @@ let fork sess parent ~call ~f ~fp ~sh ~red ~requested =
   member_done sess fr0;
   if !remaining > 0 then
     Des.suspend sess.des (fun wake -> parent_wake := Some wake);
+  (* region end: outstanding explicit tasks complete before the region
+     is left (the runtime has every member drain its deque; here the
+     encountering thread stands in for the team) *)
+  wait_team_tasks sess team;
+  join_task_finals team parent.vc;
   (* join: the parent happens-after every child's last event *)
   List.iter (fun cvc -> Vc.join parent.vc cvc) !child_finals;
   Vc.tick parent.vc parent.gid
@@ -473,6 +510,124 @@ let on_builtin sess ~call fname args : V.t option =
                   Some (V.VBool true)
                 end)
        | "__kmpc_end_single", [] -> Some V.VUnit
+       | "__kmpc_omp_task", [ V.VFun f; fp; sh ] ->
+           (match ts.frames with
+            | fr :: _ when fr.team.size > 1 ->
+                let team = fr.team in
+                (* creation is a visible scheduling point, and the task
+                   body happens-after it: the child vthread starts from
+                   a copy of the creator's clock *)
+                pause sess ts;
+                Vc.tick ts.vc ts.gid;
+                let cvc = Vc.copy ts.vc in
+                let cell = ref None in
+                fr.task_children <- cell :: fr.task_children;
+                team.task_live <- team.task_live + 1;
+                let ticvs = Omprt.Icv.copy fr.icvs in
+                Des.spawn sess.des (fun () ->
+                    let vt = Des.self sess.des in
+                    let child =
+                      { gid = vt.Des.id; vc = cvc; base_icvs = ticvs;
+                        frames = [] }
+                    in
+                    Vc.tick child.vc child.gid;
+                    Hashtbl.replace sess.threads child.gid child;
+                    let cfr =
+                      { team; tid = fr.tid; icvs = ticvs;
+                        single_seen = 0; loop_epoch = 0;
+                        task_children = [] }
+                    in
+                    child.frames <- [ cfr ];
+                    ignore (call f [ fp; sh ]);
+                    (* completion: fill the creator's child cell,
+                       publish the final clock, and reopen any gate
+                       this was the last outstanding task of *)
+                    let final = Vc.copy child.vc in
+                    cell := Some final;
+                    team.task_live <- team.task_live - 1;
+                    team.task_finals <- final :: team.task_finals;
+                    let at = Des.now sess.des in
+                    if at > team.bar_max then team.bar_max <- at;
+                    let ws = team.task_waiters in
+                    team.task_waiters <- [];
+                    List.iter (fun wake -> wake ~at) ws;
+                    if team.task_live = 0
+                       && team.bar_blocked <> []
+                       && List.length team.bar_blocked + team.done_members
+                          >= team.size
+                    then release_barrier sess team);
+                (* separate the creator's later events from the spawn *)
+                Vc.tick ts.vc ts.gid
+            | fr :: _ ->
+                (* serialised team: undeferred, in its own ICV frame *)
+                let cfr =
+                  { team = fr.team; tid = fr.tid;
+                    icvs = Omprt.Icv.copy fr.icvs;
+                    single_seen = fr.single_seen;
+                    loop_epoch = fr.loop_epoch; task_children = [] }
+                in
+                ts.frames <- cfr :: ts.frames;
+                Fun.protect
+                  ~finally:(fun () -> ts.frames <- List.tl ts.frames)
+                  (fun () -> ignore (call f [ fp; sh ]))
+            | [] -> ignore (call f [ fp; sh ]));
+           Some V.VUnit
+       | "__kmpc_omp_taskwait", [] ->
+           (match ts.frames with
+            | fr :: _ ->
+                pause sess ts;
+                let rec wait () =
+                  if List.for_all (fun c -> !c <> None) fr.task_children
+                  then begin
+                    (* child bodies happen-before taskwait return *)
+                    List.iter
+                      (fun c ->
+                        match !c with
+                        | Some fvc -> Vc.join ts.vc fvc
+                        | None -> ())
+                      fr.task_children;
+                    fr.task_children <- [];
+                    Vc.tick ts.vc ts.gid
+                  end
+                  else begin
+                    Des.suspend sess.des (fun wake ->
+                        fr.team.task_waiters <-
+                          wake :: fr.team.task_waiters);
+                    wait ()
+                  end
+                in
+                wait ()
+            | [] -> Vc.tick ts.vc ts.gid);
+           Some V.VUnit
+       | "__kmpc_copyprivate_put", [ v ] ->
+           (match ts.frames with
+            | fr :: _ ->
+                Hashtbl.replace sess.cp_slots
+                  (fr.team.uid, fr.single_seen - 1)
+                  (v, Vc.copy ts.vc)
+            | [] -> sess.orphan_cp <- Some v);
+           Some V.VUnit
+       | "__kmpc_copyprivate_get", [] ->
+           let missing () =
+             raise
+               (V.Runtime_error
+                  "__kmpc_copyprivate_get: no pending broadcast")
+           in
+           (match ts.frames with
+            | fr :: _ ->
+                (match
+                   Hashtbl.find_opt sess.cp_slots
+                     (fr.team.uid, fr.single_seen - 1)
+                 with
+                 | Some (v, pvc) ->
+                     (* broadcast → consumers happens-before edge *)
+                     Vc.join ts.vc pvc;
+                     Some v
+                 | None -> missing ())
+            | [] ->
+                (match sess.orphan_cp with
+                 | Some v -> Some v
+                 | None -> missing ()))
        | "__omp_get_thread_num", [] ->
            let _, tid, _ = ctx ts in
            Some (V.VInt tid)
@@ -594,7 +749,8 @@ let run_session ~name ~(load : unit -> Interp.program)
       findings = []; threads = Hashtbl.create 16;
       locks = Hashtbl.create 8;
       atomic_lock = (Des.Smutex.create des, Vc.create ());
-      af = []; ai = []; output = Buffer.create 256 }
+      af = []; ai = []; cp_slots = Hashtbl.create 8; orphan_cp = None;
+      output = Buffer.create 256 }
   in
   let label =
     match ctl with Some _ -> "dpor" | None -> mode_name mode

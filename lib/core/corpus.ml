@@ -33,7 +33,8 @@ type t = {
 (** [.zr] files under [dir], recursively, in sorted order. *)
 let rec discover dir =
   match Sys.readdir dir with
-  | exception Sys_error msg -> failwith msg
+  | exception Sys_error msg ->
+      failwith (Printf.sprintf "corpus: cannot read %s: %s" dir msg)
   | names ->
       Array.sort compare names;
       Array.to_list names
@@ -153,7 +154,9 @@ let executions (r : Report.t) =
 (** Run the corpus: fixtures under [dir] in path order, then the NPB
     kernels (unless [kernels] is [false]).  A fixture whose check
     raises is reported as an [error] finding, not a crash — one bad
-    fixture must not hide the rest of the corpus. *)
+    fixture must not hide the rest of the corpus.  A directory with no
+    fixtures at all is a [Failure], not an empty (vacuously clean)
+    report: a mistyped path must not read as a passing corpus. *)
 let run ?(config = Check.default_config) ?(kernels = true) ~mode ~dir () : t
     =
   let guarded name f =
@@ -164,12 +167,19 @@ let run ?(config = Check.default_config) ?(kernels = true) ~mode ~dir () : t
             Report.make ~name ~schedules:0 [ Report.error ~detail:msg ];
           may = [] }
   in
+  let paths = discover dir in
+  if paths = [] then
+    failwith
+      (Printf.sprintf
+         "corpus: no .zr fixtures under %s — an empty corpus would \
+          report vacuously clean"
+         dir);
   let fixtures =
     List.map
       (fun path ->
         guarded path (fun () ->
             run_entry ~mode ~config ~name:path (read_file path)))
-      (discover dir)
+      paths
   in
   let kernel_entries =
     if not kernels then []

@@ -110,6 +110,15 @@ let dispatch_default ~(call : string -> V.t list -> V.t) fname args : V.t =
         ();
       VUnit
   | "__kmpc_barrier", [] -> Omprt.Kmpc.barrier (); VUnit
+  (* --- deferred tasks --- *)
+  | "__kmpc_omp_task", [ V.VFun f; fp; sh ] ->
+      Omprt.Kmpc.omp_task (fun () -> ignore (call f [ fp; sh ]));
+      VUnit
+  | "__kmpc_omp_taskwait", [] -> Omprt.Kmpc.omp_taskwait (); VUnit
+  (* --- copyprivate broadcast --- *)
+  | "__kmpc_copyprivate_put", [ v ] ->
+      Omprt.Kmpc.copyprivate_put v; VUnit
+  | "__kmpc_copyprivate_get", [] -> (Omprt.Kmpc.copyprivate_get () : V.t)
   (* --- static worksharing --- *)
   | "__kmpc_for_static_init", [ lb; ub; step; incl ] ->
       let lo = it lb and step = it step in

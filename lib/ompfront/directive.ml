@@ -22,6 +22,9 @@
       +12 packed transform        (Packed.encode_transform)
       +13 tile slice begin        -- entries are literal tile sizes,
       +14 tile slice end             not node indices
+      +15 grainsize literal       (0 = no clause; taskloop)
+      +16 copyprivate slice begin -- identifier nodes, like private
+      +17 copyprivate slice end
     v} *)
 
 type kind =
@@ -34,6 +37,11 @@ type kind =
   | Single
   | Atomic
   | Threadprivate  (** top-level: named globals become per-thread *)
+  | Task           (** deferred explicit task over the governed stmt *)
+  | Taskwait       (** standalone: wait for the current task's children *)
+  | Taskloop       (** loop whose chunks become deferred tasks *)
+  | Sections       (** worksharing over the [section] blocks inside *)
+  | Section        (** one unit of a [sections] construct *)
 
 let kind_to_string = function
   | Parallel -> "parallel"
@@ -45,6 +53,11 @@ let kind_to_string = function
   | Single -> "single"
   | Atomic -> "atomic"
   | Threadprivate -> "threadprivate"
+  | Task -> "task"
+  | Taskwait -> "taskwait"
+  | Taskloop -> "taskloop"
+  | Sections -> "sections"
+  | Section -> "section"
 
 (** Reduction operators accepted in [reduction(op: list)] clauses. *)
 type red_op = Radd | Rsub | Rmul | Rmin | Rmax
@@ -68,7 +81,7 @@ let red_op_identity = function
   | Rmin -> "__omp_huge()"
   | Rmax -> "-__omp_huge()"
 
-let clause_block_size = 15
+let clause_block_size = 18
 
 (** Identity of a clause occurrence on a directive, used to attach
     source spans to individual clauses (diagnostics point at the
@@ -87,6 +100,8 @@ type clause_id =
   | Cunroll
   | Cinterchange
   | Cname          (** the [(name)] of a critical directive *)
+  | Cgrainsize
+  | Ccopyprivate
 
 let clause_id_to_string = function
   | Cprivate -> "private"
@@ -102,6 +117,8 @@ let clause_id_to_string = function
   | Cunroll -> "unroll"
   | Cinterchange -> "interchange"
   | Cname -> "name"
+  | Cgrainsize -> "grainsize"
+  | Ccopyprivate -> "copyprivate"
 
 (** Source extent of one clause occurrence as recorded by the parser:
     the token range from the clause keyword to its closing parenthesis
@@ -125,6 +142,8 @@ type clauses = {
   critical_name : int;      (** token index, 0 if unnamed *)
   transform : Packed.transform;
   tile : int list;          (** literal tile sizes, outermost first *)
+  grainsize : int;          (** literal chunk size, 0 if absent *)
+  copyprivate : int list;   (** identifier nodes to broadcast from single *)
 }
 
 let empty_clauses = {
@@ -138,6 +157,8 @@ let empty_clauses = {
   critical_name = 0;
   transform = Packed.no_transform;
   tile = [];
+  grainsize = 0;
+  copyprivate = [];
 }
 
 (** [decode extra base] — read a clause block at index [base] of the
@@ -167,4 +188,6 @@ let decode (extra : int array) base : clauses =
     critical_name = extra.(base + 11);
     transform = Packed.decode_transform extra.(base + 12);
     tile = slice extra.(base + 13) extra.(base + 14);
+    grainsize = extra.(base + 15);
+    copyprivate = slice extra.(base + 16) extra.(base + 17);
   }

@@ -100,6 +100,12 @@ let parse_dynamic s =
 
 let parse_schedule = Omp_model.Sched.of_string
 
+let parse_wait_policy s =
+  match String.lowercase_ascii (String.trim s) with
+  | "active" -> Some Active
+  | "passive" -> Some Passive
+  | _ -> None
+
 let parse_blocktime s =
   match int_of_string_opt (String.trim s) with
   | Some n when n >= 0 -> Some n
@@ -151,13 +157,13 @@ let default_thread_limit () =
     ~default:(fun () -> 128)  (* OCaml's maximum domain count *)
     ~show:string_of_int
 
+let show_wait_policy = function Active -> "active" | Passive -> "passive"
+
 let default_wait_policy () =
-  match Sys.getenv_opt "OMP_WAIT_POLICY" with
-  | Some s ->
-      (match String.lowercase_ascii (String.trim s) with
-       | "active" -> Active
-       | _ -> Passive)
-  | None -> Passive
+  env_or "OMP_WAIT_POLICY" parse_wait_policy
+    ~expected:"active|passive"
+    ~default:(fun () -> Passive)
+    ~show:show_wait_policy
 
 (* Spin budgets behind each policy: active waiting spins long enough to
    catch back-to-back regions without ever reaching the futex; passive

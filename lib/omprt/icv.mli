@@ -74,6 +74,9 @@ val parse_thread_limit : string -> int option
 val parse_blocktime : string -> int option
 (** [ZIGOMP_BLOCKTIME]: non-negative integer. *)
 
+val parse_wait_policy : string -> wait_policy option
+(** [OMP_WAIT_POLICY]: [active|passive], case-insensitive. *)
+
 val warnings_enabled : unit -> bool
 (** Whether diagnostics gated by [ZIGOMP_WARNINGS] should print (true
     unless the variable is set to [0|false|off|no]).  Exposed so other

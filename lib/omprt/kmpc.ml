@@ -298,13 +298,103 @@ let single_begin ?loc:_ () =
 let single_end ?loc:_ () = ()
 
 (** [single ?nowait f] — run [f] on the first thread to arrive at this
-    construct; implied barrier at the end unless [nowait]. *)
+    construct; implied barrier at the end unless [nowait].
+
+    Exception safety: a raise inside the claimed body must not strand
+    teammates at the implied barrier — the construct is still ended and
+    the barrier still joined, then the failure re-raised so it surfaces
+    as {!Team.Worker_failure} through the region join. *)
 let single ?loc:_ ?(nowait = false) f =
+  let failure = ref None in
   if single_begin () then begin
-    f ();
+    (try f () with e ->
+       failure := Some (e, Printexc.get_raw_backtrace ()));
     single_end ()
   end;
-  if not nowait then barrier ()
+  if not nowait then barrier ();
+  match !failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Deferred tasks: __kmpc_omp_task / __kmpc_omp_taskwait.              *)
+
+(** [omp_task f] — create an explicit task running [f].  Inside a real
+    team the task is deferred onto the encountering thread's
+    work-stealing deque (teammates steal it at their scheduling
+    points); on serialised/1-thread teams, and outside any region, it
+    executes undeferred at the creation point.  Either way the task's
+    data environment is a fresh copy of the generating task's ICV
+    frame, exactly as {!Team.fork} snapshots frames for implicit
+    tasks. *)
+let omp_task ?loc:_ (f : unit -> unit) =
+  match Team.current () with
+  | Some ctx -> Team.spawn_task ctx f
+  | None ->
+      (* the initial task, outside any region: undeferred, and there is
+         no teammate to wait on it, so plain execution is exact *)
+      Profile.task_tick Profile.Task_spawned;
+      Profile.task_tick Profile.Task_undeferred;
+      f ()
+
+(** [omp_taskwait ()] — wait for the current task's direct children to
+    complete, executing available team tasks while waiting (a task
+    scheduling point, as in libomp). *)
+let omp_taskwait ?loc:_ () = Team.taskwait ()
+
+(* ------------------------------------------------------------------ *)
+(* copyprivate: the broadcast half of [single copyprivate(list)].      *)
+
+(* The claiming thread packs its private values and publishes them
+   under the single epoch it claimed; after the construct's implied
+   barrier (copyprivate forbids nowait) every teammate — claimer
+   included — reads the packet back.  Epoch keying means back-to-back
+   singles never collide, and the implied barrier supplies the
+   happens-before edge from the claimer's write to every read. *)
+
+let cp_epoch ctx =
+  (* single_seen was incremented by the claim this broadcast belongs
+     to, so the construct's epoch is the predecessor *)
+  ctx.Team.single_seen - 1
+
+(* Orphaned singles (outside any region) always claim; the broadcast is
+   thread-to-itself.  Kept in DLS so concurrent initial threads cannot
+   interfere. *)
+let orphan_cp : Obj.t option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+(** [copyprivate_put v] — called by the thread whose {!single_begin}
+    returned [true], before the implied barrier. *)
+let copyprivate_put ?loc:_ (v : 'a) =
+  match Team.current () with
+  | None -> Domain.DLS.set orphan_cp (Some (Obj.repr v))
+  | Some ctx ->
+      let team = ctx.Team.team in
+      Mutex.lock team.Team.cp_mutex;
+      Hashtbl.replace team.Team.cp_slots (cp_epoch ctx) (Obj.repr v);
+      Mutex.unlock team.Team.cp_mutex
+
+(** [copyprivate_get ()] — called by every team member after the
+    implied barrier; returns the packet the claimer put.  The claimer's
+    own value round-trips, so callers need not special-case it. *)
+let copyprivate_get ?loc:_ () : 'a =
+  match Team.current () with
+  | None ->
+      (match Domain.DLS.get orphan_cp with
+       | Some v -> Obj.obj v
+       | None ->
+           invalid_arg
+             "Kmpc.copyprivate_get: no broadcast for this single construct")
+  | Some ctx ->
+      let team = ctx.Team.team in
+      Mutex.lock team.Team.cp_mutex;
+      let v = Hashtbl.find_opt team.Team.cp_slots (cp_epoch ctx) in
+      Mutex.unlock team.Team.cp_mutex;
+      (match v with
+       | Some v -> Obj.obj v
+       | None ->
+           invalid_arg
+             "Kmpc.copyprivate_get: no broadcast for this single construct")
 
 (* The global lock behind the [atomic] directive's generic fallback
    (libomp's __kmpc_atomic_start/_end). *)

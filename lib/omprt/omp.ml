@@ -18,6 +18,8 @@ let barrier () = Kmpc.barrier ()
 let wtime = Api.get_wtime
 let master f = Kmpc.master f
 let single ?nowait f = Kmpc.single ?nowait f
+let task f = Kmpc.omp_task f
+let taskwait () = Kmpc.omp_taskwait ()
 let critical ?name ?cost:_ f = Kmpc.critical ?name f
 let atomic ?cost:_ f = Lock.critical ~name:".omp.atomic" f
 let work ?cost:_ f = f ()

@@ -27,6 +27,122 @@
     the master's collection.  The condition variables only ever
     re-check those atomics, never carry data themselves. *)
 
+(* ------------------------------------------------------------------ *)
+(* Deferred tasks.  A task packages an outlined body with its data
+   environment: the ICV frame snapshotted from the generating task at
+   creation (the OpenMP inheritance rule, identical to what
+   {!Team.fork} does for implicit tasks) and the parent/child links
+   [taskwait] needs.  The types live here — next to the workers that
+   will run them — so the per-worker deques below can be monomorphic
+   and the {!Team}/{!Kmpc} layers above can share them without a
+   dependency cycle.                                                   *)
+
+(** Per-task completion accounting: one node per task (and per implicit
+    task), counting its outstanding direct children.  [taskwait] spins
+    this to zero; completion of a child decrements its parent's node. *)
+type tasknode = { live_children : int Atomic.t }
+
+let fresh_tasknode () = { live_children = Atomic.make 0 }
+
+type task = {
+  t_run : unit -> unit;      (** the outlined task body *)
+  t_icvs : Icv.t;            (** data-environment frame, copied at creation *)
+  t_node : tasknode;         (** this task's own node (for its children) *)
+  t_parent : tasknode;       (** decremented when this task completes *)
+}
+
+(** A Chase–Lev-style work-stealing deque of {!task}s: the owning
+    worker pushes and pops at the bottom (LIFO — depth-first on its own
+    spawn tree, the cache-friendly order), thieves claim from the top
+    (FIFO — the oldest, typically largest subtree).  Single owner, many
+    thieves; the only synchronisation is the CAS on [top] that resolves
+    steal/steal and steal/last-element-pop races.  The circular buffer
+    grows by publishing a bigger copy through an [Atomic.t]: a thief
+    holding the old buffer still reads valid cells, because live
+    entries are copied at the same logical index and the owner never
+    overwrites an unstolen slot (it would need [bottom - top > mask],
+    which growth just excluded). *)
+module Taskdeque = struct
+  type buf = { arr : task option array; mask : int }
+
+  type t = {
+    top : int Atomic.t;     (* next index to steal *)
+    bottom : int Atomic.t;  (* next index to push; owner-written *)
+    buf : buf Atomic.t;
+  }
+
+  let create () =
+    { top = Atomic.make 0;
+      bottom = Atomic.make 0;
+      buf = Atomic.make { arr = Array.make 64 None; mask = 63 } }
+
+  (* Owner only. *)
+  let push q tk =
+    let b = Atomic.get q.bottom and t = Atomic.get q.top in
+    let bf = Atomic.get q.buf in
+    let bf =
+      if b - t > bf.mask then begin
+        let n = 2 * (bf.mask + 1) in
+        let arr = Array.make n None in
+        for i = t to b - 1 do
+          arr.(i land (n - 1)) <- bf.arr.(i land bf.mask)
+        done;
+        let nbf = { arr; mask = n - 1 } in
+        Atomic.set q.buf nbf;
+        nbf
+      end
+      else bf
+    in
+    bf.arr.(b land bf.mask) <- Some tk;
+    Atomic.set q.bottom (b + 1)
+
+  (* Owner only: LIFO pop from the bottom.  The reservation store of
+     [bottom] before re-reading [top] is the classic Chase–Lev dance;
+     the CAS on [top] arbitrates the final element against thieves. *)
+  let pop q =
+    let b = Atomic.get q.bottom - 1 in
+    Atomic.set q.bottom b;
+    let t = Atomic.get q.top in
+    if t > b then begin
+      Atomic.set q.bottom t;
+      None
+    end
+    else begin
+      let bf = Atomic.get q.buf in
+      let x = bf.arr.(b land bf.mask) in
+      if t = b then begin
+        let won = Atomic.compare_and_set q.top t (t + 1) in
+        Atomic.set q.bottom (t + 1);
+        if won then begin bf.arr.(b land bf.mask) <- None; x end
+        else None
+      end
+      else begin
+        bf.arr.(b land bf.mask) <- None;
+        x
+      end
+    end
+
+  (* Any thread: FIFO steal from the top.  A failed CAS means another
+     thief (or the owner's last-element pop) got there first. *)
+  let steal q =
+    let t = Atomic.get q.top in
+    let b = Atomic.get q.bottom in
+    if t >= b then None
+    else begin
+      let bf = Atomic.get q.buf in
+      let x = bf.arr.(t land bf.mask) in
+      if Atomic.compare_and_set q.top t (t + 1) then x else None
+    end
+
+  (* Lease-time reset: only called while the deque's owner is parked
+     and no region is live, so plain stores suffice. *)
+  let clear q =
+    let bf = Atomic.get q.buf in
+    Array.fill bf.arr 0 (Array.length bf.arr) None;
+    Atomic.set q.top 0;
+    Atomic.set q.bottom 0
+end
+
 type cmd =
   | Idle                  (** mailbox empty — park *)
   | Run of (unit -> unit) (** one region's work for this worker *)
@@ -43,6 +159,10 @@ type worker = {
   (* written by the worker before [finished := true]; the atomic store
      publishes it to the master *)
   mutable domain : unit Domain.t option;
+  deque : Taskdeque.t;
+  (* this worker's task deque, persistent across leases like the
+     worker itself (the hot-deque analogue of the hot team: the grown
+     buffer stays warm between regions) *)
 }
 
 type lease = { nworkers : int }
@@ -117,7 +237,23 @@ let make_worker () =
     done_m = Mutex.create ();
     done_cv = Condition.create ();
     failure = None;
-    domain = None }
+    domain = None;
+    deque = Taskdeque.create () }
+
+(* The encountering thread is tid 0 of every pooled team; its deque is
+   as persistent as the lease discipline (one outstanding lease) makes
+   the master unique. *)
+let master_deque = Taskdeque.create ()
+
+(** The member-indexed deque array for a pooled team: tid 0 is the
+    master's persistent deque, tids 1.. are the leased workers' own.
+    Cleared here — the owners are parked or (for the master) calling
+    us, so no region is concurrently touching them. *)
+let task_deques { nworkers } =
+  Array.init (nworkers + 1) (fun i ->
+      let dq = if i = 0 then master_deque else !workers.(i - 1).deque in
+      Taskdeque.clear dq;
+      dq)
 
 (* ------------------------------------------------------------------ *)
 (* Master side.                                                        *)

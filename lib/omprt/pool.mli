@@ -13,8 +13,57 @@
     falls back to spawn-per-fork for nested teams (counted in
     {!Profile.pool_stats}). *)
 
+(** {2 Deferred tasks}
+
+    The task representation and the per-worker work-stealing deques.
+    The types live here, next to the workers that own the deques; the
+    scheduling protocol (creation, claiming, drains at scheduling
+    points) is in {!Team} and {!Kmpc}. *)
+
+type tasknode = { live_children : int Atomic.t }
+(** Per-task completion accounting: outstanding direct children.
+    [taskwait] drains the current task's node to zero. *)
+
+val fresh_tasknode : unit -> tasknode
+
+type task = {
+  t_run : unit -> unit;      (** the outlined task body *)
+  t_icvs : Icv.t;            (** data-environment frame, copied at creation *)
+  t_node : tasknode;         (** this task's own node (for its children) *)
+  t_parent : tasknode;       (** decremented when this task completes *)
+}
+
+(** A Chase–Lev-style work-stealing deque of {!task}s: LIFO push/pop at
+    the bottom for the single owner, FIFO CAS-arbitrated steals at the
+    top for everyone else. *)
+module Taskdeque : sig
+  type t
+
+  val create : unit -> t
+
+  val push : t -> task -> unit
+  (** Owner only. *)
+
+  val pop : t -> task option
+  (** Owner only; LIFO. *)
+
+  val steal : t -> task option
+  (** Any thread; FIFO. *)
+
+  val clear : t -> unit
+  (** Reset to empty.  Only legal while no other thread can touch the
+      deque (lease time / teardown). *)
+end
+
 type lease
 (** Exclusive use of the pool's workers for one parallel region. *)
+
+val task_deques : lease -> Taskdeque.t array
+(** The member-indexed (tid 0 = the encountering thread) deque array
+    for a pooled team: the master's persistent deque plus each leased
+    worker's own, all cleared.  Like the workers themselves, the
+    deques persist across leases — the hot-deque analogue of the hot
+    team. *)
 
 val acquire : nthreads:int -> lease option
 (** Lease [nthreads - 1] hot workers, growing the pool as needed.

@@ -71,6 +71,15 @@ let barrier_counters = (Atomics.Int.make 0, Atomics.Int.make 0)
    must be observable (and testable) without enabling timing. *)
 let bc_counters = (Atomics.Int.make 0, Atomics.Int.make 0, Atomics.Int.make 0)
 
+(* Tasking statistics: tasks created, tasks run undeferred at the
+   creation point (serialised/1-thread teams), LIFO pops from the
+   owner's own deque, and FIFO steals from a teammate's.  Always-on so
+   load balance (did work actually migrate?) is observable — and
+   testable — without enabling timing. *)
+let task_counters =
+  (Atomics.Int.make 0, Atomics.Int.make 0, Atomics.Int.make 0,
+   Atomics.Int.make 0)
+
 let enable () = Atomic.set enabled true
 let disable () = Atomic.set enabled false
 let is_enabled () = Atomic.get enabled
@@ -90,7 +99,12 @@ let reset () =
   let be, bb, bg = bc_counters in
   Atomics.Int.set be 0;
   Atomics.Int.set bb 0;
-  Atomics.Int.set bg 0
+  Atomics.Int.set bg 0;
+  let ts, tu, tp, tt = task_counters in
+  Atomics.Int.set ts 0;
+  Atomics.Int.set tu 0;
+  Atomics.Int.set tp 0;
+  Atomics.Int.set tt 0
 
 (** Record one completed construct of duration [dt] seconds. *)
 let record c dt =
@@ -222,6 +236,39 @@ let bc_report () =
      guard-elided chunks\n"
     s.bc_entered s.bc_bailouts s.bc_guard_elided
 
+type task_event =
+  | Task_spawned    (** a task created ([__kmpc_omp_task]) *)
+  | Task_undeferred (** …and executed immediately at the creation point *)
+  | Task_local_pop  (** a task claimed LIFO from the owner's deque *)
+  | Task_steal      (** a task claimed FIFO from a teammate's deque *)
+
+type task_stats = {
+  tasks_spawned : int;
+  tasks_undeferred : int;
+  task_local_pops : int;
+  task_steals : int;
+}
+
+let task_counter = function
+  | Task_spawned -> (let c, _, _, _ = task_counters in c)
+  | Task_undeferred -> (let _, c, _, _ = task_counters in c)
+  | Task_local_pop -> (let _, _, c, _ = task_counters in c)
+  | Task_steal -> (let _, _, _, c = task_counters in c)
+
+let task_tick e = Atomics.Int.add (task_counter e) 1
+
+let task_stats () =
+  { tasks_spawned = Atomics.Int.get (task_counter Task_spawned);
+    tasks_undeferred = Atomics.Int.get (task_counter Task_undeferred);
+    task_local_pops = Atomics.Int.get (task_counter Task_local_pop);
+    task_steals = Atomics.Int.get (task_counter Task_steal) }
+
+let task_report () =
+  let s = task_stats () in
+  Printf.sprintf
+    "tasking: %d tasks spawned, %d undeferred, %d local pops, %d steals\n"
+    s.tasks_spawned s.tasks_undeferred s.task_local_pops s.task_steals
+
 type snapshot = {
   construct : construct;
   count : int;
@@ -276,5 +323,9 @@ let report () =
     else table ^ barrier_report ()
   in
   let bc = bc_stats () in
-  if bc.bc_entered + bc.bc_bailouts + bc.bc_guard_elided = 0 then table
-  else table ^ bc_report ()
+  let table =
+    if bc.bc_entered + bc.bc_bailouts + bc.bc_guard_elided = 0 then table
+    else table ^ bc_report ()
+  in
+  let ts = task_stats () in
+  if ts.tasks_spawned = 0 then table else table ^ task_report ()

@@ -131,3 +131,30 @@ val bc_stats : unit -> bc_stats
 
 val bc_report : unit -> string
 (** The rendered one-line bytecode-tier summary. *)
+
+(** {2 Tasking statistics}
+
+    Always-on counters fed by {!module:Team}'s task scheduling: load
+    balance across the work-stealing deques is observable (and
+    testable) without enabling construct timing.  Zeroed by {!reset};
+    appended to {!report} when any task was spawned. *)
+
+type task_event =
+  | Task_spawned    (** a task created ([__kmpc_omp_task]) *)
+  | Task_undeferred (** …and executed immediately at the creation point *)
+  | Task_local_pop  (** a task claimed LIFO from the owner's deque *)
+  | Task_steal      (** a task claimed FIFO from a teammate's deque *)
+
+type task_stats = {
+  tasks_spawned : int;
+  tasks_undeferred : int;
+  task_local_pops : int;
+  task_steals : int;
+}
+
+val task_tick : task_event -> unit
+
+val task_stats : unit -> task_stats
+
+val task_report : unit -> string
+(** The rendered one-line tasking-counter summary. *)

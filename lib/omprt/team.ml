@@ -44,15 +44,34 @@ type t = {
   (* Per-construct reduction scratch: index -> boxed accumulator.  Used by
      the generated code path; the high-level API keeps its own state. *)
   reduce_mutex : Mutex.t;
+  (* Deferred tasking: one work-stealing deque per member (tid-indexed;
+     pooled teams alias the persistent per-worker deques in {!Pool}),
+     and the count of tasks created but not yet finished — the quantity
+     barriers and region ends drain to zero, making them task
+     scheduling points. *)
+  deques : Pool.Taskdeque.t array;
+  task_live : int Atomic.t;
+  (* copyprivate broadcast slots, keyed by the single epoch that filled
+     them: the claiming thread of [single copyprivate(...)] publishes
+     its packed values here before the construct's implied barrier, and
+     every teammate reads them after it. *)
+  cp_slots : (int, Obj.t) Hashtbl.t;
+  cp_mutex : Mutex.t;
 }
 
 and ctx = {
   team : t;
   tid : int;
   parent : ctx option;
-  icvs : Icv.t;
-  (** this implicit task's ICV frame, inherited from the encountering
-      task at fork; [Api.set_*] mutates this and nothing else *)
+  mutable icvs : Icv.t;
+  (** the *current* task's ICV frame on this thread: the implicit
+      task's (inherited from the encountering task at fork) except
+      while an explicit task runs, when {!run_task} swaps the task's
+      own frame in; [Api.set_*] mutates this and nothing else *)
+  mutable task_node : Pool.tasknode;
+  (** the current task's completion node — children spawned here hang
+      off it, and [taskwait] drains it to zero; swapped alongside
+      [icvs] during explicit-task execution *)
   active_levels : int;
   (** enclosing *active* regions, self included (teams of > 1 thread) —
       the value [max_active_levels] is checked against at the next fork *)
@@ -66,7 +85,12 @@ and ctx = {
 
 let next_team_id = Atomic.make 0
 
-let create_team nthreads =
+let create_team ?deques nthreads =
+  let deques =
+    match deques with
+    | Some d -> d
+    | None -> Array.init nthreads (fun _ -> Pool.Taskdeque.create ())
+  in
   { team_id = Atomic.fetch_and_add next_team_id 1;
     nthreads;
     barrier = Barrier.create nthreads;
@@ -74,7 +98,11 @@ let create_team nthreads =
     dispatch_mutex = Mutex.create ();
     latest_dispatch = Atomic.make None;
     single_epoch = Atomic.make 0;
-    reduce_mutex = Mutex.create () }
+    reduce_mutex = Mutex.create ();
+    deques;
+    task_live = Atomic.make 0;
+    cp_slots = Hashtbl.create 8;
+    cp_mutex = Mutex.create () }
 
 (* ------------------------------------------------------------------ *)
 (* Current context, in domain-local storage.                           *)
@@ -160,6 +188,104 @@ let team_size lvl =
          | None -> -1)
 
 (* ------------------------------------------------------------------ *)
+(* Deferred tasks: creation, claiming, and the scheduling points.      *)
+
+(** Claim a task for [c]'s thread: LIFO from its own deque first (the
+    depth-first order that keeps a spawn tree hot in cache), then FIFO
+    steals round-robin from its teammates. *)
+let try_get_task (c : ctx) =
+  let dq = c.team.deques in
+  let n = Array.length dq in
+  match Pool.Taskdeque.pop dq.(c.tid) with
+  | Some _ as t ->
+      Profile.task_tick Profile.Task_local_pop;
+      t
+  | None ->
+      let rec go k =
+        if k >= n then None
+        else
+          match Pool.Taskdeque.steal dq.((c.tid + k) mod n) with
+          | Some _ as t ->
+              Profile.task_tick Profile.Task_steal;
+              t
+          | None -> go (k + 1)
+      in
+      go 1
+
+(** Execute [tk] on [c]'s thread: swap in the task's data environment
+    (ICV frame and completion node), run the body, and — even on a
+    raise — restore the thread's own environment and retire the task
+    from its parent's and the team's live counts, so waiting teammates
+    can never hang on a failed task. *)
+let run_task (c : ctx) (tk : Pool.task) =
+  let saved_icvs = c.icvs and saved_node = c.task_node in
+  c.icvs <- tk.Pool.t_icvs;
+  c.task_node <- tk.Pool.t_node;
+  Fun.protect
+    ~finally:(fun () ->
+      c.icvs <- saved_icvs;
+      c.task_node <- saved_node;
+      ignore (Atomic.fetch_and_add tk.Pool.t_parent.Pool.live_children (-1));
+      ignore (Atomic.fetch_and_add c.team.task_live (-1)))
+    tk.Pool.t_run
+
+(** [spawn_task c f] — create a task whose data environment snapshots
+    [c]'s current frame.  Deferred onto this thread's deque on real
+    teams; undeferred (executed immediately, still through the full
+    task protocol so ICV isolation and completion accounting hold) on
+    serialised/1-thread teams, where deferral could never add
+    parallelism. *)
+let spawn_task (c : ctx) (f : unit -> unit) =
+  Profile.task_tick Profile.Task_spawned;
+  let tk =
+    { Pool.t_run = f;
+      t_icvs = Icv.copy c.icvs;
+      t_node = Pool.fresh_tasknode ();
+      t_parent = c.task_node }
+  in
+  ignore (Atomic.fetch_and_add c.task_node.Pool.live_children 1);
+  ignore (Atomic.fetch_and_add c.team.task_live 1);
+  if c.team.nthreads = 1 then begin
+    Profile.task_tick Profile.Task_undeferred;
+    run_task c tk
+  end
+  else Pool.Taskdeque.push c.team.deques.(c.tid) tk
+
+(** Task scheduling point: execute/steal team tasks until none are
+    live.  A task body that raises is noted (first failure wins) but
+    the drain continues, so the team always quiesces; the caller
+    re-raises after its synchronisation completes. *)
+let task_drain (c : ctx) =
+  if Atomic.get c.team.task_live = 0 then None
+  else begin
+    let failure = ref None in
+    while Atomic.get c.team.task_live > 0 do
+      match try_get_task c with
+      | Some tk ->
+          (try run_task c tk
+           with e ->
+             if !failure = None then
+               failure := Some (e, Printexc.get_raw_backtrace ()))
+      | None -> Domain.cpu_relax ()
+    done;
+    !failure
+  end
+
+(** [taskwait ()] — wait for the current task's direct children,
+    executing any available team task while waiting (the taskwait
+    scheduling point). *)
+let taskwait () =
+  match current () with
+  | None -> ()
+  | Some c ->
+      let node = c.task_node in
+      while Atomic.get node.Pool.live_children > 0 do
+        match try_get_task c with
+        | Some tk -> run_task c tk
+        | None -> Domain.cpu_relax ()
+      done
+
+(* ------------------------------------------------------------------ *)
 (* Fork/join.                                                          *)
 
 exception Worker_failure of int * exn
@@ -171,7 +297,7 @@ exception Worker_failure of int * exn
    all pooled forks, so no extra lock is needed. *)
 let hot_team : t option ref = ref None
 
-let lease_team nt =
+let lease_team lease nt =
   match !hot_team with
   | Some team when team.nthreads = nt ->
       Hashtbl.reset team.dispatchers;
@@ -179,10 +305,15 @@ let lease_team nt =
          region's first dispatch loop *)
       Atomic.set team.latest_dispatch None;
       Atomic.set team.single_epoch 0;
+      (* tasks/broadcasts left behind by a region that failed mid-drain
+         must not leak into this one *)
+      Atomic.set team.task_live 0;
+      Array.iter Pool.Taskdeque.clear team.deques;
+      Hashtbl.reset team.cp_slots;
       Profile.pool_tick Profile.Pool_reuse_hit;
       team
   | _ ->
-      let team = create_team nt in
+      let team = create_team ~deques:(Pool.task_deques lease) nt in
       hot_team := Some team;
       team
 
@@ -276,12 +407,21 @@ let fork ?num_threads (body : tid:int -> unit) =
     let ctx =
       { team; tid; parent;
         icvs = Icv.copy pframe;
+        task_node = Pool.fresh_tasknode ();
         active_levels = active + (if nt > 1 then 1 else 0);
         group_threads = group + (nt - 1);
         loop_epoch = 0; single_seen = 0 }
     in
     set_current (Some ctx);
-    Fun.protect ~finally:(fun () -> set_current parent) (fun () -> body ~tid)
+    Fun.protect ~finally:(fun () -> set_current parent)
+      (fun () ->
+        body ~tid;
+        (* region-end task scheduling point: every member helps drain
+           outstanding tasks before leaving, so the join implies all
+           tasks of the region completed (the implicit-barrier rule) *)
+        match task_drain ctx with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
   in
   if nt = 1 then
     (* the serial path presents the same error surface as the parallel
@@ -292,14 +432,23 @@ let fork ?num_threads (body : tid:int -> unit) =
   else
     match (if parent = None then Pool.acquire ~nthreads:nt else None) with
     | Some lease ->
-        let team = lease_team nt in
+        let team = lease_team lease nt in
         pooled_fork lease (run team)
     | None ->
         Profile.pool_tick Profile.Pool_fallback_fork;
         spawn_fork nt (run (create_team nt))
 
-(** The team barrier for the current context; a no-op outside a region. *)
+(** The team barrier for the current context; a no-op outside a region.
+    A barrier is a task scheduling point: outstanding team tasks are
+    drained before arrival, so no member passes while tasks are live —
+    and a task failure is re-raised only after the barrier completes,
+    so teammates are never stranded waiting for this member. *)
 let barrier () =
   match current () with
   | None -> ()
-  | Some c -> ignore (Barrier.wait c.team.barrier)
+  | Some c ->
+      let fl = task_drain c in
+      ignore (Barrier.wait c.team.barrier);
+      (match fl with
+       | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+       | None -> ())

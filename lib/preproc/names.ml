@@ -49,9 +49,10 @@ let children (t : Ast.t) i : int list =
   | Ast.Type_name -> []
   | Ast.Type_slice | Ast.Type_ptr -> [ n.lhs ]
   | Ast.Omp_parallel | Ast.Omp_for | Ast.Omp_parallel_for
-  | Ast.Omp_critical | Ast.Omp_master | Ast.Omp_single | Ast.Omp_atomic ->
+  | Ast.Omp_critical | Ast.Omp_master | Ast.Omp_single | Ast.Omp_atomic
+  | Ast.Omp_task | Ast.Omp_taskloop | Ast.Omp_sections | Ast.Omp_section ->
       List.filter (fun x -> x <> 0) [ n.rhs ]
-  | Ast.Omp_barrier | Ast.Omp_threadprivate -> []
+  | Ast.Omp_barrier | Ast.Omp_taskwait | Ast.Omp_threadprivate -> []
 
 (** Depth-first walk calling [f] on every node index under [i]
     (including [i]). *)

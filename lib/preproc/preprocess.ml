@@ -16,21 +16,26 @@ type step =
   | Split_combined
   | Parallel_regions
   | Worksharing_loops
+  | Tasking
   | Sync
 
 (* Loop transforms run first: refusal diagnostics keep the user's
    original source coordinates, counters are still plain identifiers
    (not yet [x__ptr.*] captures), and the combined split's clause
-   printer never needs to learn the transform clauses. *)
+   printer never needs to learn the transform clauses.  Tasking runs
+   after region outlining so enclosing-shared variables are already
+   pointer rebindings — which is what makes by-value capture the right
+   default for task bodies (see {!Tasking}). *)
 let steps =
   [ Loop_transforms; Split_combined; Parallel_regions;
-    Worksharing_loops; Sync ]
+    Worksharing_loops; Tasking; Sync ]
 
 let step_to_string = function
   | Loop_transforms -> "loop transformations"
   | Split_combined -> "split combined constructs"
   | Parallel_regions -> "parallel regions"
   | Worksharing_loops -> "worksharing loops"
+  | Tasking -> "tasking and sections"
   | Sync -> "synchronisation constructs"
 
 (* Fixpoint guard: a replacement can expose at most a handful of nested
@@ -51,6 +56,7 @@ let fixpoint (f : string -> string option) source =
     plain Zr calling the [.omp.internal] runtime out. *)
 let run ?(name = "<input>") (source : string) : string =
   let counter = ref 0 in
+  let task_counter = ref 0 in
   List.fold_left
     (fun src step ->
       match step with
@@ -58,6 +64,7 @@ let run ?(name = "<input>") (source : string) : string =
       | Split_combined -> fixpoint (Sync.split_combined ~name) src
       | Parallel_regions -> fixpoint (Outline.run ~name ~counter) src
       | Worksharing_loops -> fixpoint (Loops.run ~name) src
+      | Tasking -> fixpoint (Tasking.run ~name ~counter:task_counter) src
       | Sync -> fixpoint (Sync.run_sync ~name) src)
     source steps
 

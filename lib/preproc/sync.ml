@@ -86,6 +86,30 @@ let lower_sync (c : Synth.ctx) dir : Synth.replacement =
           name (stmt_text ()) name
     | Ast.Omp_master ->
         Printf.sprintf "if (__omp_get_thread_num() == 0) %s" (stmt_text ())
+    | Ast.Omp_single when cl.copyprivate <> [] ->
+        (* copyprivate forbids nowait: the broadcast needs the implied
+           barrier between the claimer's put and everyone's get *)
+        let cp = List.map (Synth.ident_name c) cl.copyprivate in
+        let fields =
+          String.concat ", "
+            (List.map
+               (fun x ->
+                 Printf.sprintf ".%s = %s" x (Outline.value_text x))
+               cp)
+        in
+        let assigns =
+          String.concat "\n"
+            (List.map
+               (fun x ->
+                 Printf.sprintf "%s = __omp_cp.%s;"
+                   (Outline.value_text x) x)
+               cp)
+        in
+        Printf.sprintf
+          "{\nif (__kmpc_single()) {\n%s\n__kmpc_copyprivate_put(.{ %s \
+           });\n__kmpc_end_single();\n}\n__kmpc_barrier();\nvar __omp_cp \
+           = __kmpc_copyprivate_get();\n%s\n}"
+          (stmt_text ()) fields assigns
     | Ast.Omp_single ->
         let barrier =
           if cl.flags.Packed.nowait then "" else "\n__kmpc_barrier();"

@@ -49,11 +49,17 @@ type tag =
   | Omp_single
   | Omp_atomic
   | Omp_threadprivate  (* top-level; lhs: clause block (list in private slice) *)
+  | Omp_task           (* lhs: clause block; rhs: governed statement *)
+  | Omp_taskwait       (* standalone *)
+  | Omp_taskloop       (* lhs: clause block; rhs: the governed while *)
+  | Omp_sections       (* lhs: clause block; rhs: block of Omp_section *)
+  | Omp_section        (* lhs: clause block; rhs: governed statement *)
 
 let tag_is_omp = function
   | Omp_parallel | Omp_for | Omp_parallel_for | Omp_barrier
   | Omp_critical | Omp_master | Omp_single | Omp_atomic
-  | Omp_threadprivate -> true
+  | Omp_threadprivate | Omp_task | Omp_taskwait | Omp_taskloop
+  | Omp_sections | Omp_section -> true
   | Root | Fn_decl | Block | Var_decl | Const_decl | Assign | While | If
   | Return | Break | Continue | Expr_stmt | Bin_op | Un_op | Call | Index
   | Field | Deref | Addr_of | Ident | Int_lit | Float_lit | String_lit
@@ -70,6 +76,11 @@ let omp_kind = function
   | Omp_single -> Some Ompfront.Directive.Single
   | Omp_atomic -> Some Ompfront.Directive.Atomic
   | Omp_threadprivate -> Some Ompfront.Directive.Threadprivate
+  | Omp_task -> Some Ompfront.Directive.Task
+  | Omp_taskwait -> Some Ompfront.Directive.Taskwait
+  | Omp_taskloop -> Some Ompfront.Directive.Taskloop
+  | Omp_sections -> Some Ompfront.Directive.Sections
+  | Omp_section -> Some Ompfront.Directive.Section
   | _ -> None
 
 type node = {

@@ -312,6 +312,8 @@ type clause_acc = {
   mutable critical_name : int;
   mutable transform : Ompfront.Packed.transform;
   mutable tile : int list;
+  mutable grainsize : int;
+  mutable copyprivate : int list;
   mutable cspans : Ompfront.Directive.clause_span list;
 }
 
@@ -334,6 +336,8 @@ let fresh_clauses () = {
   critical_name = 0;
   transform = Ompfront.Packed.no_transform;
   tile = [];
+  grainsize = 0;
+  copyprivate = [];
   cspans = [];
 }
 
@@ -515,11 +519,27 @@ let parse_clauses st (acc : clause_acc) =
         let t0 = next st in
         acc.transform <- { acc.transform with interchange = true };
         record_clause st acc Ompfront.Directive.Cinterchange t0
+    | Some Token.Omp_grainsize ->
+        let t0 = next st in
+        let _ = expect st Token.L_paren in
+        let t = expect st Token.Int_literal in
+        let n =
+          match int_of_string_opt (tok_text st t) with
+          | Some n when n >= 1 && n <= Ompfront.Packed.max_chunk -> n
+          | _ -> fail st "invalid grainsize"
+        in
+        let _ = expect st Token.R_paren in
+        acc.grainsize <- n;
+        record_clause st acc Ompfront.Directive.Cgrainsize t0
+    | Some Token.Omp_copyprivate ->
+        let t0 = next st in
+        acc.copyprivate <- acc.copyprivate @ parse_ident_list st;
+        record_clause st acc Ompfront.Directive.Ccopyprivate t0
     | _ -> continue_ := false
   done
 
 (** Encode the accumulated clauses: list slices first, then the fixed
-    15-word clause block.  Returns the block's base index. *)
+    18-word clause block.  Returns the block's base index. *)
 let encode_clauses st (acc : clause_acc) =
   let priv = add_extra_list st acc.private_ in
   let fp = add_extra_list st acc.firstprivate in
@@ -531,6 +551,7 @@ let encode_clauses st (acc : clause_acc) =
          acc.reductions)
   in
   let tl = add_extra_list st acc.tile in
+  let cp = add_extra_list st acc.copyprivate in
   let base = st.n_extra in
   ignore (add_extra st (Ompfront.Packed.encode_flags acc.flags));
   ignore (add_extra st acc.sched_word);
@@ -547,6 +568,9 @@ let encode_clauses st (acc : clause_acc) =
   ignore (add_extra st (Ompfront.Packed.encode_transform acc.transform));
   ignore (add_extra st (fst tl));
   ignore (add_extra st (snd tl));
+  ignore (add_extra st acc.grainsize);
+  ignore (add_extra st (fst cp));
+  ignore (add_extra st (snd cp));
   if acc.cspans <> [] then
     st.clause_spans <- (base, acc.cspans) :: st.clause_spans;
   base
@@ -692,23 +716,48 @@ and parse_pragma st =
         ignore (next st); (Ast.Omp_single, fresh_clauses ())
     | Some Token.Omp_atomic ->
         ignore (next st); (Ast.Omp_atomic, fresh_clauses ())
+    | Some Token.Omp_task ->
+        ignore (next st); (Ast.Omp_task, fresh_clauses ())
+    | Some Token.Omp_taskwait ->
+        ignore (next st); (Ast.Omp_taskwait, fresh_clauses ())
+    | Some Token.Omp_taskloop ->
+        ignore (next st); (Ast.Omp_taskloop, fresh_clauses ())
+    | Some Token.Omp_sections ->
+        ignore (next st); (Ast.Omp_sections, fresh_clauses ())
+    | Some Token.Omp_section ->
+        ignore (next st); (Ast.Omp_section, fresh_clauses ())
     | _ -> fail st "expected an OpenMP directive name"
   in
   parse_clauses st acc;
   let pragma_end = expect st Token.Pragma_end in
   let clause_base = encode_clauses st acc in
   match tag with
-  | Ast.Omp_barrier ->
+  | Ast.Omp_barrier | Ast.Omp_taskwait ->
       add_node st
         { tag; main_token = sentinel; lhs = clause_base; rhs = 0 }
         (sentinel, pragma_end)
   | _ ->
       let stmt = parse_statement st in
       (match tag, st.nodes.(stmt).Ast.tag with
-       | (Ast.Omp_for | Ast.Omp_parallel_for), Ast.While -> ()
-       | (Ast.Omp_for | Ast.Omp_parallel_for), _ ->
+       | (Ast.Omp_for | Ast.Omp_parallel_for | Ast.Omp_taskloop), Ast.While ->
+           ()
+       | (Ast.Omp_for | Ast.Omp_parallel_for | Ast.Omp_taskloop), _ ->
            Source.error st.src st.tokens.(sentinel).Token.start
              "an OpenMP worksharing directive must precede a while loop"
+       | Ast.Omp_sections, Ast.Block ->
+           (* every statement of the governed block must be a section *)
+           let b = st.nodes.(stmt) in
+           for i = b.Ast.lhs to b.Ast.rhs - 1 do
+             let s = st.extra.(i) in
+             if st.nodes.(s).Ast.tag <> Ast.Omp_section then
+               Source.error st.src
+                 st.tokens.(fst st.spans.(s)).Token.start
+                 "every statement of a sections block must be a \
+                  '//$omp section'"
+           done
+       | Ast.Omp_sections, _ ->
+           Source.error st.src st.tokens.(sentinel).Token.start
+             "an OpenMP sections directive must precede a block"
        | _ -> ());
       add_node st
         { tag; main_token = sentinel; lhs = clause_base; rhs = stmt }

@@ -99,6 +99,8 @@ type omp_kw =
   | Omp_none | Omp_barrier | Omp_critical | Omp_master | Omp_single
   | Omp_atomic | Omp_min | Omp_max | Omp_threadprivate
   | Omp_tile | Omp_unroll | Omp_interchange
+  | Omp_task | Omp_taskwait | Omp_taskloop | Omp_grainsize
+  | Omp_sections | Omp_section | Omp_copyprivate
 
 let omp_keywords = [
   ("parallel", Omp_parallel); ("for", Omp_for);
@@ -116,6 +118,10 @@ let omp_keywords = [
   ("min", Omp_min); ("max", Omp_max);
   ("tile", Omp_tile); ("unroll", Omp_unroll);
   ("interchange", Omp_interchange);
+  ("task", Omp_task); ("taskwait", Omp_taskwait);
+  ("taskloop", Omp_taskloop); ("grainsize", Omp_grainsize);
+  ("sections", Omp_sections); ("section", Omp_section);
+  ("copyprivate", Omp_copyprivate);
 ]
 
 let omp_keyword_table : (string, omp_kw) Hashtbl.t =

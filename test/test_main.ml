@@ -9,6 +9,7 @@ let () =
       ("runtime", Test_runtime.suite);
       ("icv", Test_icv.suite);
       ("pool", Test_pool.suite);
+      ("task", Test_task.suite);
       ("atomics", Test_atomics.suite);
       ("simulator", Test_sim.suite);
       ("sim-runtime", Test_simrt.suite);
@@ -25,6 +26,7 @@ let () =
       ("check", Test_check.suite);
       ("analyze", Test_analyze.suite);
       ("npb-zr", Test_npb_zr.suite);
+      ("task-diff", Test_task_diff.suite);
       ("bytecode", Test_bc.suite);
       ("transform", Test_transform.suite);
     ]

@@ -1,0 +1,218 @@
+(* Deferred tasking on the native runtime: work-stealing deques, task
+   scheduling points (taskwait/barrier/region end), per-task ICV data
+   environments, copyprivate broadcast — and the exception-safety
+   regression for [single] (a raise in the claimed body used to strand
+   teammates at the implied barrier forever). *)
+
+open Omprt
+
+(* Recursive fib over explicit tasks: the canonical irregular workload
+   static partitioning cannot express. *)
+let rec task_fib n =
+  if n < 2 then n
+  else begin
+    let a = ref 0 and b = ref 0 in
+    Omp.task (fun () -> a := task_fib (n - 1));
+    Omp.task (fun () -> b := task_fib (n - 2));
+    Omp.taskwait ();
+    !a + !b
+  end
+
+let fib_expected = 987 (* fib 16 *)
+
+let test_task_fib_parallel () =
+  (* the only way work reaches tids 1..3 is stealing: every task is
+     rooted in the single-claiming thread's deque.  Whether an idle
+     worker wins a probe before the owner drains its own deque is up to
+     the OS scheduler, so retry the region a few times — correctness is
+     asserted on every attempt, migration on at least one *)
+  let rec attempt tries =
+    let result = ref 0 in
+    let before = Profile.task_stats () in
+    Omp.parallel ~num_threads:4 (fun () ->
+        Omp.single (fun () -> result := task_fib 16));
+    let after = Profile.task_stats () in
+    Alcotest.(check int) "fib 16 over deferred tasks" fib_expected !result;
+    Alcotest.(check bool) "tasks were spawned" true
+      (after.Profile.tasks_spawned > before.Profile.tasks_spawned);
+    if after.Profile.task_steals > before.Profile.task_steals then ()
+    else if tries > 1 then attempt (tries - 1)
+    else
+      Alcotest.(check bool) "work migrated through steals" true
+        (after.Profile.task_steals > before.Profile.task_steals)
+  in
+  attempt 8
+
+let test_task_fib_serial_team () =
+  (* nt=1: every task must execute undeferred at its creation point *)
+  let result = ref 0 in
+  let before = Profile.task_stats () in
+  Omp.parallel ~num_threads:1 (fun () -> result := task_fib 12);
+  let after = Profile.task_stats () in
+  Alcotest.(check int) "fib 12 undeferred" 144 !result;
+  Alcotest.(check int) "every spawn ran undeferred"
+    (after.Profile.tasks_spawned - before.Profile.tasks_spawned)
+    (after.Profile.tasks_undeferred - before.Profile.tasks_undeferred);
+  Alcotest.(check int) "no steals on a team of one"
+    before.Profile.task_steals after.Profile.task_steals
+
+let test_task_outside_region_is_undeferred () =
+  let ran = ref false in
+  Omp.task (fun () -> ran := true);
+  Alcotest.(check bool) "executed at the creation point" true !ran;
+  Omp.taskwait () (* no-op outside a region; must not raise *)
+
+let test_region_end_drains_tasks () =
+  (* tasks spawned but never taskwaited: the implicit region-end
+     scheduling point must complete them before the join *)
+  let hits = Array.make 64 0 in
+  Omp.parallel ~num_threads:4 (fun () ->
+      Omp.single ~nowait:true (fun () ->
+          for i = 0 to 63 do
+            Omp.task (fun () -> hits.(i) <- hits.(i) + 1)
+          done));
+  Alcotest.(check bool) "every task ran exactly once" true
+    (Array.for_all (( = ) 1) hits)
+
+let test_barrier_is_a_scheduling_point () =
+  (* all tasks are complete once any thread passes an explicit barrier *)
+  let hits = Array.make 32 0 in
+  let ok = Atomic.make true in
+  Omp.parallel ~num_threads:4 (fun () ->
+      if Omp.thread_num () = 0 then
+        for i = 0 to 31 do
+          Omp.task (fun () -> hits.(i) <- hits.(i) + 1)
+        done;
+      Omp.barrier ();
+      if not (Array.for_all (( = ) 1) hits) then Atomic.set ok false);
+  Alcotest.(check bool) "barrier waited for all tasks" true (Atomic.get ok)
+
+let test_taskwait_waits_for_children_only () =
+  let child_done = ref false in
+  let seen_by_parent = ref false in
+  Omp.parallel ~num_threads:2 (fun () ->
+      if Omp.thread_num () = 0 then begin
+        Omp.task (fun () -> child_done := true);
+        Omp.taskwait ();
+        seen_by_parent := !child_done
+      end);
+  Alcotest.(check bool) "taskwait returned after the child ran" true
+    !seen_by_parent
+
+let test_task_inherits_and_isolates_icvs () =
+  (* the task's data environment snapshots the generating task's frame
+     at creation; omp_set_* inside the task stays in the task *)
+  let inherited = ref 0 in
+  let after = ref 0 in
+  Omp.parallel ~num_threads:2 (fun () ->
+      if Omp.thread_num () = 0 then begin
+        Api.set_num_threads 7;
+        Omp.task (fun () ->
+            inherited := Api.get_max_threads ();
+            Api.set_num_threads 99);
+        Omp.taskwait ();
+        after := Api.get_max_threads ()
+      end);
+  Alcotest.(check int) "task inherited the creator's nthreads-var" 7
+    !inherited;
+  Alcotest.(check int) "the task's set_num_threads did not leak back" 7
+    !after
+
+let test_task_failure_propagates_as_worker_failure () =
+  Alcotest.(check bool) "deferred task raise arrives as Worker_failure"
+    true
+    (try
+       Omp.parallel ~num_threads:4 (fun () ->
+           Omp.single (fun () ->
+               Omp.task (fun () -> failwith "task boom");
+               Omp.taskwait ()));
+       false
+     with Team.Worker_failure (_, Failure msg) -> msg = "task boom")
+
+(* --- the single exception-safety regression ------------------------ *)
+
+let test_single_body_raise_does_not_strand_teammates () =
+  (* pre-PR: the claiming thread skipped the implied barrier on a raise,
+     so the other three threads waited forever — this test hung *)
+  Alcotest.(check bool) "raise inside single surfaces as Worker_failure"
+    true
+    (try
+       Omp.parallel ~num_threads:4 (fun () ->
+           Omp.single (fun () -> failwith "single boom"));
+       false
+     with Team.Worker_failure (_, Failure msg) -> msg = "single boom")
+
+let test_single_nowait_raise_propagates () =
+  (* no implied barrier to honour here: the failure just propagates out
+     of the region body and surfaces at the join *)
+  Alcotest.(check bool) "nowait single still propagates the failure" true
+    (try
+       Omp.parallel ~num_threads:2 (fun () ->
+           Omp.single ~nowait:true (fun () -> failwith "nowait boom"));
+       false
+     with Team.Worker_failure (_, Failure msg) -> msg = "nowait boom")
+
+(* --- copyprivate ---------------------------------------------------- *)
+
+let test_copyprivate_broadcast () =
+  let views = Array.make 4 0 in
+  Omp.parallel ~num_threads:4 (fun () ->
+      let x = ref 0 in
+      (* the generated-code shape: split single + put/get around the
+         implied barrier *)
+      if Kmpc.single_begin () then begin
+        x := 42;
+        Kmpc.copyprivate_put !x;
+        Kmpc.single_end ()
+      end;
+      Kmpc.barrier ();
+      x := Kmpc.copyprivate_get ();
+      views.(Omp.thread_num ()) <- !x);
+  Alcotest.(check (array int)) "every thread received the claimer's value"
+    [| 42; 42; 42; 42 |] views
+
+let test_copyprivate_back_to_back_singles () =
+  (* epoch keying: two singles in sequence must not cross wires *)
+  let first = Array.make 2 0 and second = Array.make 2 0 in
+  Omp.parallel ~num_threads:2 (fun () ->
+      if Kmpc.single_begin () then begin
+        Kmpc.copyprivate_put 1;
+        Kmpc.single_end ()
+      end;
+      Kmpc.barrier ();
+      first.(Omp.thread_num ()) <- Kmpc.copyprivate_get ();
+      if Kmpc.single_begin () then begin
+        Kmpc.copyprivate_put 2;
+        Kmpc.single_end ()
+      end;
+      Kmpc.barrier ();
+      second.(Omp.thread_num ()) <- Kmpc.copyprivate_get ());
+  Alcotest.(check (array int)) "first broadcast" [| 1; 1 |] first;
+  Alcotest.(check (array int)) "second broadcast" [| 2; 2 |] second
+
+let suite =
+  [ Alcotest.test_case "task fib at 4 threads (with steals)" `Quick
+      test_task_fib_parallel;
+    Alcotest.test_case "serial teams run tasks undeferred" `Quick
+      test_task_fib_serial_team;
+    Alcotest.test_case "tasks outside a region are undeferred" `Quick
+      test_task_outside_region_is_undeferred;
+    Alcotest.test_case "region end drains outstanding tasks" `Quick
+      test_region_end_drains_tasks;
+    Alcotest.test_case "barrier is a task scheduling point" `Quick
+      test_barrier_is_a_scheduling_point;
+    Alcotest.test_case "taskwait waits for direct children" `Quick
+      test_taskwait_waits_for_children_only;
+    Alcotest.test_case "task ICV frames inherit and isolate" `Quick
+      test_task_inherits_and_isolates_icvs;
+    Alcotest.test_case "task failure becomes Worker_failure" `Quick
+      test_task_failure_propagates_as_worker_failure;
+    Alcotest.test_case "single body raise cannot hang the team" `Quick
+      test_single_body_raise_does_not_strand_teammates;
+    Alcotest.test_case "single nowait raise propagates" `Quick
+      test_single_nowait_raise_propagates;
+    Alcotest.test_case "copyprivate broadcasts to the team" `Quick
+      test_copyprivate_broadcast;
+    Alcotest.test_case "copyprivate epochs do not cross" `Quick
+      test_copyprivate_back_to_back_singles;
+  ]

@@ -1,0 +1,151 @@
+(* Differential property for the tasking constructs: randomly composed
+   programs over task/taskwait, taskloop(grainsize), sections and
+   single copyprivate are executed by all three tiers — the tree walker
+   ([Interp.call]), the closure compiler ([Interp.Compile.call]) and
+   the bytecode tier ([Interp.Compile.compile ~bc]) — at 1 and 4
+   threads, and must agree with each other and with the model answer
+   computed in OCaml.  Mirrors the harness of test_compile.ml. *)
+
+module V = Interp.Value
+module G = QCheck2.Gen
+
+(* Each segment is one construct instance inside the parallel region.
+   All segments are race-free by construction (task targets are
+   disjoint cells, taskloops are rooted in a single, sections write
+   distinct cells, broadcasts land in a private), so every tier must
+   produce the same checksum. *)
+type seg =
+  | Tasks of int * int     (* k tasks incrementing cells 0..k-1 by c *)
+  | Taskloop of int * int  (* grainsize g, every cell += c *)
+  | Sections of int list   (* per-section increment of cell j *)
+  | Broadcast of int       (* single copyprivate; every member adds c *)
+
+let cells = 16
+
+let render_seg i = function
+  | Tasks (k, c) ->
+      Printf.sprintf
+        {|    //$omp single
+    {
+        var t%d: i64 = 0;
+        while (t%d < %d) : (t%d += 1) {
+            //$omp task shared(x) firstprivate(t%d)
+            { x[t%d] = x[t%d] + %d; }
+        }
+        //$omp taskwait
+    }|}
+        i i k i i i i c
+  | Taskloop (g, c) ->
+      Printf.sprintf
+        {|    //$omp single
+    {
+        var i%d: i64 = 0;
+        //$omp taskloop grainsize(%d)
+        while (i%d < n) : (i%d += 1) {
+            x[i%d] = x[i%d] + %d;
+        }
+    }|}
+        i g i i i i c
+  | Sections cs ->
+      let body =
+        String.concat "\n"
+          (List.mapi
+             (fun j c ->
+               Printf.sprintf
+                 "        //$omp section\n        { x[%d] = x[%d] + %d; }"
+                 j j c)
+             cs)
+      in
+      Printf.sprintf "    //$omp sections\n    {\n%s\n    }" body
+  | Broadcast c ->
+      Printf.sprintf
+        {|    //$omp single copyprivate(bc)
+    { bc = %d; }
+    //$omp critical
+    { total = total + bc; }|}
+        c
+
+let render segs =
+  String.concat "\n"
+    ([ "fn f(n: i64, x: []i64) i64 {";
+       "    var total: i64 = 0;";
+       "    //$omp parallel shared(x, total)";
+       "    {";
+       "    var bc: i64 = 0;" ]
+    @ List.mapi render_seg segs
+    @ [ "    }";
+        "    var s: i64 = 0;";
+        "    var i: i64 = 0;";
+        "    while (i < n) : (i += 1) { s += x[i]; }";
+        "    return s + total;";
+        "}" ])
+
+(* The model answer, segment by segment. *)
+let expected ~nt segs =
+  let x = Array.make cells 0 in
+  let total = ref 0 in
+  List.iter
+    (function
+      | Tasks (k, c) ->
+          for j = 0 to k - 1 do
+            x.(j) <- x.(j) + c
+          done
+      | Taskloop (_, c) ->
+          Array.iteri (fun j v -> x.(j) <- v + c) x
+      | Sections cs -> List.iteri (fun j c -> x.(j) <- x.(j) + c) cs
+      | Broadcast c -> total := !total + (nt * c))
+    segs;
+  Array.fold_left ( + ) !total x
+
+let seg_gen =
+  let inc = G.int_range 1 9 in
+  G.oneof
+    [ G.map2 (fun k c -> Tasks (k, c)) (G.int_range 1 cells) inc;
+      G.map2 (fun g c -> Taskloop (g, c)) (G.int_range 1 8) inc;
+      G.map (fun cs -> Sections cs)
+        (G.list_size (G.int_range 2 3) inc);
+      G.map (fun c -> Broadcast c) inc ]
+
+let case_gen =
+  let open G in
+  let* segs = list_size (int_range 1 3) seg_gen in
+  let* nt = oneofl [ 1; 4 ] in
+  return (segs, nt)
+
+(* All three tiers on a fresh array each. *)
+let run_tiers src =
+  let args () = [ V.VInt cells; V.VIntArr (Array.make cells 0) ] in
+  let p = Interp.load ~name:"taskdiff.zr" src in
+  let walker =
+    try Ok (Interp.call p "f" (args ()))
+    with e -> Error (Printexc.to_string e)
+  in
+  let compiled =
+    try
+      let cc = Interp.Compile.compile p in
+      Ok (Interp.Compile.call cc "f" (args ()))
+    with e -> Error (Printexc.to_string e)
+  in
+  let bytecode =
+    try
+      let cc = Interp.Compile.compile ~bc:{ Interp.Bcgen.elide = true } p in
+      Ok (Interp.Compile.call cc "f" (args ()))
+    with e -> Error (Printexc.to_string e)
+  in
+  (walker, compiled, bytecode)
+
+let prop_tasking_tiers =
+  QCheck2.Test.make
+    ~name:"random tasking programs: walker = compiled = bytecode = model"
+    ~count:40
+    ~print:(fun (segs, nt) ->
+      Printf.sprintf "threads=%d expected=%d\n%s" nt
+        (expected ~nt segs) (render segs))
+    case_gen
+    (fun (segs, nt) ->
+      Omprt.Api.set_num_threads nt;
+      let walker, compiled, bytecode = run_tiers (render segs) in
+      let want = Ok (V.VInt (expected ~nt segs)) in
+      walker = want && compiled = want && bytecode = want)
+
+let suite = [ QCheck_alcotest.to_alcotest prop_tasking_tiers ]

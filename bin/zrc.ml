@@ -221,8 +221,8 @@ let kernel_source = function
 
 (* Corpus batch mode, shared by `zrc check --corpus` and
    `zrc analyze --corpus`. *)
-let do_corpus ~mode ~config ~kernels ~json dir =
-  let t = Zigomp.Corpus.run ~config ~kernels ~mode ~dir () in
+let do_corpus ?(no_static = false) ~mode ~config ~kernels ~json dir =
+  let t = Zigomp.Corpus.run ~config ~kernels ~no_static ~mode ~dir () in
   if json then print_endline (Zigomp.Corpus.to_json t)
   else print_endline (Zigomp.Corpus.to_string t);
   t.Zigomp.Corpus.exit
@@ -466,7 +466,8 @@ let no_static_opt =
        & info [ "no-static" ]
            ~doc:"Skip the static pre-pass (by default, findings the \
                  static analyser proves are reported once, from the \
-                 static side)")
+                 static side); with $(b,--corpus), every entry \
+                 reports raw dynamic findings")
 
 let sampled_opt =
   Arg.(value & flag
@@ -518,7 +519,7 @@ let check_cmd =
       in
       match (corpus, file) with
       | Some dir, None ->
-          do_corpus ~mode:Zigomp.Corpus.Mcheck ~config
+          do_corpus ~no_static ~mode:Zigomp.Corpus.Mcheck ~config
             ~kernels:(not no_kernels) ~json dir
       | None, Some file -> do_check file config ~json ~no_static
       | Some _, Some _ -> failwith "FILE and --corpus are exclusive"

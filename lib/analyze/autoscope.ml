@@ -92,7 +92,11 @@ let clause_kw_span r dir cid =
 type repair =
   | Rreduction of D.red_op * int   (* op, target directive *)
   | Ratomic of int                 (* the racing update statement *)
+  | Ratomic_all of int list        (* every racing update statement *)
   | Rnowait of int                 (* directive whose nowait must go *)
+  | Rtaskwait of int               (* insert taskwait before this stmt *)
+  | Rcapture_fp of int             (* task whose shared(v) should be
+                                      firstprivate(v) *)
   | Rnone
 
 (* Every unsynchronised write to [var] in the region matches one
@@ -141,6 +145,54 @@ let reduction_target r (region : Df.region) (w : Df.access) =
   else
     match w.Df.mult with Df.Mdist l -> l | _ -> region.Df.rdir
 
+(* Task-involved conflicts get their own repair ladder, ordered by how
+   much behaviour the rewrite preserves:
+   1. the task only *reads* an explicitly shared(v) local → capture it
+      by value instead: [firstprivate(v)] snapshots at creation;
+   2. the task races with the creator's continuation → insert the
+      missing [//$omp taskwait] before the dependent statement;
+   3. all racing writes are one reduction pattern (task pairs,
+      sections) → [//$omp atomic] on every update;
+   4. otherwise no clause fixes it — generic advice. *)
+let task_repair r (region : Df.region) (cf : Depend.conflict) : repair =
+  let a = cf.Depend.a and b = cf.Depend.b in
+  let var = a.Df.var in
+  let atomic_fallback () =
+    match reduction_of_writes region var with
+    | Some (_, false, writes) ->
+        Ratomic_all (List.map (fun (w : Df.access) -> w.Df.anode) writes)
+    | _ -> Rnone
+  in
+  let split =
+    match (a.Df.task, b.Df.task) with
+    | t, 0 when t <> 0 -> Some (t, b)
+    | 0, t when t <> 0 -> Some (t, a)
+    | _ -> None
+  in
+  match split with
+  | Some (t, code) -> (
+      match List.assoc_opt t region.Df.tasks with
+      | Some i when i.Df.tparent = code.Df.task ->
+          let in_shared_clause =
+            i.Df.tkind = Df.Ttask
+            && List.exists
+                 (fun id ->
+                   Ast.token_text r.ast (Ast.node r.ast id).Ast.main_token
+                   = var)
+                 (Ast.clauses r.ast i.Df.tdir).D.shared
+          in
+          let task_read_only =
+            List.for_all
+              (fun (x : Df.access) ->
+                x.Df.task <> t || x.Df.var <> var || x.Df.rw = `R)
+              region.Df.accesses
+          in
+          if in_shared_clause && task_read_only then Rcapture_fp i.Df.tdir
+          else if code.Df.seq > i.Df.tspawn then Rtaskwait code.Df.anode
+          else atomic_fallback ()
+      | _ -> atomic_fallback ())
+  | None -> atomic_fallback ()
+
 let repair_of_conflict r (region : Df.region) (cf : Depend.conflict) : repair
     =
   let a = cf.Depend.a and b = cf.Depend.b in
@@ -149,6 +201,8 @@ let repair_of_conflict r (region : Df.region) (cf : Depend.conflict) : repair
   match cf.Depend.carried with
   | Some _ -> Rnone  (* a carried dependence is not a scoping bug *)
   | None -> (
+      if a.Df.task <> 0 || b.Df.task <> 0 then task_repair r region cf
+      else
       match reduction_of_writes region var with
       | Some (op, dep, _) ->
           if dep then Rreduction (op, reduction_target r region write)
@@ -182,21 +236,29 @@ let repair_of_conflict r (region : Df.region) (cf : Depend.conflict) : repair
 let suggestion_of r = function
   | Rreduction (op, _) , var ->
       Printf.sprintf "reduction(%s: %s)" (D.red_op_to_string op) var
-  | Ratomic _, _ -> "//$omp atomic before the update"
+  | (Ratomic _ | Ratomic_all _), _ -> "//$omp atomic before the update"
   | Rnowait dir, _ ->
       ignore r;
       ignore dir;
       "removing nowait"
+  | Rtaskwait _, _ -> "//$omp taskwait before the dependent statement"
+  | Rcapture_fp _, var ->
+      Printf.sprintf
+        "firstprivate(%s) on the task: capture the value at creation" var
   | Rnone, var ->
       Printf.sprintf
         "atomic/critical around the conflicting accesses, or private(%s)"
         var
 
-let fix_of_repair var = function
-  | Rreduction (op, dir) -> Some (Fix.Move_to_reduction { dir; op; var })
-  | Ratomic stmt -> Some (Fix.Insert_atomic { stmt })
-  | Rnowait dir -> Some (Fix.Remove_nowait { dir })
-  | Rnone -> None
+let fixes_of_repair var = function
+  | Rreduction (op, dir) -> [ Fix.Move_to_reduction { dir; op; var } ]
+  | Ratomic stmt -> [ Fix.Insert_atomic { stmt } ]
+  | Ratomic_all stmts ->
+      List.map (fun stmt -> Fix.Insert_atomic { stmt }) stmts
+  | Rnowait dir -> [ Fix.Remove_nowait { dir } ]
+  | Rtaskwait stmt -> [ Fix.Insert_taskwait { stmt } ]
+  | Rcapture_fp dir -> [ Fix.Shared_to_firstprivate { dir; var } ]
+  | Rnone -> []
 
 let span_of_repair r region var repair (b : Df.access) =
   match repair with
@@ -205,11 +267,18 @@ let span_of_repair r region var repair (b : Df.access) =
       | Some s -> Some s
       | None -> clause_ident_span r region.Df.rdir var)
   | Ratomic stmt -> Some (Preproc.Synth.node_bytes r.sctx stmt)
+  | Ratomic_all (stmt :: _) -> Some (Preproc.Synth.node_bytes r.sctx stmt)
+  | Rtaskwait stmt -> Some (Preproc.Synth.node_bytes r.sctx stmt)
+  | Rcapture_fp dir -> (
+      match clause_ident_span r dir var with
+      | Some s -> Some s
+      | None -> Some (Preproc.Synth.node_bytes r.sctx b.Df.anode))
   | Rnowait dir -> (
       match clause_kw_span r dir D.Cnowait with
       | Some s -> Some s
       | None -> Some (Preproc.Synth.node_bytes r.sctx b.Df.anode))
-  | Rnone -> Some (Preproc.Synth.node_bytes r.sctx b.Df.anode)
+  | Ratomic_all [] | Rnone ->
+      Some (Preproc.Synth.node_bytes r.sctx b.Df.anode)
 
 (* --------------------------- the pass body ------------------------- *)
 
@@ -254,9 +323,7 @@ let conflict_findings r (region : Df.region) =
                  findings :=
                    Report.race ~var ~verdict:Report.Proven ?span line
                    :: !findings);
-            (match fix_of_repair a.Df.var repair with
-             | Some f -> fixes := f :: !fixes
-             | None -> ())
+            fixes := List.rev_append (fixes_of_repair a.Df.var repair) !fixes
         | Depend.VMay reason ->
             let line =
               Printf.sprintf "may %s %s: %s vs %s :: %s"
@@ -453,14 +520,19 @@ let run (df : Df.result) : out =
   List.iter
     (fun (region : Df.region) ->
       add (conflict_findings r region);
-      (match default_none_check r region with
-       | Some (f, fix) -> add ([ f ], [], [ fix ])
-       | None -> ());
-      List.iter
-        (fun dir ->
-          let scoped = private_read_first r dir in
-          add (List.map fst scoped, [], List.map snd scoped);
-          add ([], unused_clause_names r dir, []))
-        (directives_under r region.Df.rdir))
+      (* pseudo-regions (sequential frames with orphaned tasks) have a
+         Fn_decl as [rdir]: no clauses of their own, and their subtree
+         may contain real regions already diagnosed above *)
+      if not region.Df.rseq then begin
+        (match default_none_check r region with
+         | Some (f, fix) -> add ([ f ], [], [ fix ])
+         | None -> ());
+        List.iter
+          (fun dir ->
+            let scoped = private_read_first r dir in
+            add (List.map fst scoped, [], List.map snd scoped);
+            add ([], unused_clause_names r dir, []))
+          (directives_under r region.Df.rdir)
+      end)
     df.Df.regions;
   { findings = !findings; may = !may; fixes = !fixes }

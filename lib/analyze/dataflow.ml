@@ -46,6 +46,10 @@ type mult =
   | Mdist of int              (** distributed iterations of loop [dir] *)
   | Msingle of int * bool     (** a [single]; the bool is [nowait] *)
   | Mmaster of int            (** a [master] *)
+  | Mseq
+      (** sequential code of a function frame outside any parallel
+          region — the encountering thread of orphaned tasking
+          constructs *)
 
 type sync = Snone | Scrit of string | Satomic
 
@@ -66,6 +70,10 @@ type access = {
   sub : sub option;     (** [None] for scalar accesses *)
   guarded : bool;       (** under an [if]: may not execute *)
   viacall : bool;       (** conservative effect of passing to a call *)
+  task : int;
+      (** the innermost [task]/[taskloop]/[section] body the access
+          sits in (its directive/section node), or [0] for code of the
+          encountering frame *)
   red : (D.red_op * bool) option;
       (** the write of a recognised [x = x op e] / [x op= e] pattern;
           the bool records whether [e] depends on loop data (an index
@@ -87,11 +95,53 @@ type loop_info = {
   collapse2 : bool;
 }
 
+(* ---------------------------- task graph --------------------------- *)
+
+type tkind =
+  | Ttask             (** one [//$omp task] construct *)
+  | Tchunk            (** the chunk tasks of one [taskloop] *)
+  | Tsection of int   (** section [i] of a [sections] construct *)
+
+(** One deferred-execution node of the region's task graph.  A node
+    stands for *all* dynamic instances of the construct ([tmulti] says
+    whether there can be more than one per encountering thread). *)
+type task_info = {
+  tdir : int;            (** the construct / section node *)
+  tkind : tkind;
+  tparent : int;         (** enclosing task frame, [0] = encountering code *)
+  tspawn : int;          (** seq of the creation point *)
+  mutable tcomplete : (int * mult) option;
+      (** seq and multiplicity of the [taskwait] (or construct-end
+          wait) that joins this node, if one dominates region end *)
+  tmulti : bool;         (** may be instantiated more than once *)
+  tteam : bool;          (** encountered by every thread / every iteration *)
+  tcmult : mult;         (** multiplicity of the creating code *)
+  tgroup : int;          (** the [sections] construct for sections, else 0 *)
+  tinstloop : int;
+      (** when nonzero: instances are identified by the iterations of
+          this sequential/taskloop node, whose counter the body captures
+          by value — subscripts affine in it distinguish instances *)
+  tgrain : int;          (** iterations per instance (taskloop grainsize) *)
+}
+
+(** Synchronisation points, recorded for the completion-edge table. *)
+type sync_kind = Ktaskwait | Kbarrier | Kcopyprivate
+
 type region = {
   rdir : int;       (** the [Omp_parallel] / [Omp_parallel_for] node *)
   rkind : D.kind;
   accesses : access list;           (** shared cells only, phase-resolved *)
   loops : (int * loop_info) list;   (** worksharing loops by directive *)
+  sloops : (int * loop_info) list;
+      (** sequential/taskloop loops that identify task instances *)
+  tasks : (int * task_info) list;   (** task-graph nodes by construct *)
+  tsyncs : (int * sync_kind) list;  (** sync points by seq, source order *)
+  reenter : int list;
+      (** [single] directives inside a sequential loop: re-encountered,
+          so distinct executing threads are possible across encounters *)
+  rseq : bool;
+      (** a pseudo-region: the sequential frame of a function with
+          orphaned tasking constructs ([rdir] is the [Fn_decl]) *)
 }
 
 type result = {
@@ -117,7 +167,14 @@ type env = {
   uf : (int, int) Hashtbl.t;       (* phase union-find *)
   mutable accesses : access list;
   mutable loops : (int * loop_info) list;
+  mutable sloops : (int * loop_info) list;
+  mutable tasks : (int * task_info) list;
+  mutable tsyncs : (int * sync_kind) list;
+  mutable reenter : int list;
   mutable locals : Sset.t;         (* declared under the region body *)
+  mutable byref : Sset.t;
+      (* locals captured by reference by some task of the region: the
+         one kind of local that IS a shared cell *)
 }
 
 (** Scan context: properties of the enclosing constructs. *)
@@ -127,6 +184,11 @@ type ctx = {
   guarded : bool;
   privat : Sset.t;           (* privatised names: not shared cells *)
   loop : loop_info option;   (* innermost governing worksharing loop *)
+  task : int;                (* innermost task frame node, 0 = none *)
+  inloop : bool;             (* under a sequential loop: re-executed *)
+  seqloop : loop_info option;
+      (* the unique enclosing sequential loop, when there is exactly
+         one — candidates for task-instance identification *)
 }
 
 let node e i = Ast.node e.ast i
@@ -222,20 +284,27 @@ let uf_union e a b =
   if ra <> rb then Hashtbl.replace e.uf rb ra
 
 let new_phase e =
+  e.tsyncs <- (e.seq, Kbarrier) :: e.tsyncs;
   e.phase <- e.next_phase;
   e.next_phase <- e.next_phase + 1
 
 (* ----------------------------- recording -------------------------- *)
 
+(* A region-local declaration is per-thread storage — except when some
+   task of the region captures it by reference: then the creator's cell
+   is aliased by a deferred body and both sides' accesses matter.  A
+   name privatised by a clause (or by a task's by-value capture) in the
+   current context stays skipped either way. *)
 let record e ctx ~rw ~var ?sub ?(viacall = false) ?red ~anode () =
   if
-    Sset.mem var ctx.privat || Sset.mem var e.locals
-    || Sset.mem var e.fnames || Sset.mem var e.tp
+    Sset.mem var ctx.privat || Sset.mem var e.fnames || Sset.mem var e.tp
+    || (Sset.mem var e.locals && not (Sset.mem var e.byref))
   then ()
   else
     e.accesses <-
       { var; rw; anode; seq = e.seq; phase = e.phase; mult = ctx.mult;
-        sync = ctx.sync; sub; guarded = ctx.guarded; viacall; red }
+        sync = ctx.sync; sub; guarded = ctx.guarded; viacall;
+        task = ctx.task; red }
       :: e.accesses
 
 (* Subscript classification relative to the governing loop. *)
@@ -440,14 +509,34 @@ let rec scan_stmt e ctx s =
   | Ast.Return -> if n.Ast.lhs <> 0 then scan_expr e ctx n.Ast.lhs
   | Ast.Break | Ast.Continue -> ()
   | Ast.While ->
-      (* sequential loop inside the region *)
+      (* sequential loop inside the region.  If it is the unique
+         enclosing sequential loop and decomposable, its iterations can
+         identify instances of tasks spawned in the body (provided the
+         body captures the counter by value). *)
+      let sli =
+        if ctx.inloop then None
+        else
+          match decompose_ws e s with
+          | Some p ->
+              let li =
+                { ldir = s; counter = p.w_counter;
+                  lb = Hashtbl.find_opt e.known p.w_counter;
+                  ub = fold e p.w_ub_node; linclusive = p.w_inclusive;
+                  step = p.w_step; lnowait = true;
+                  static_unchunked = false; collapse2 = false }
+              in
+              e.sloops <- (s, li) :: e.sloops;
+              Some li
+          | None -> None
+      in
       kill_assigned e s;
       let p_entry = e.phase in
-      scan_expr e ctx n.Ast.lhs;
+      let lctx = { ctx with inloop = true; seqloop = sli } in
+      scan_expr e lctx n.Ast.lhs;
       let cont = Ast.extra e.ast n.Ast.rhs in
       let body = Ast.extra e.ast (n.Ast.rhs + 1) in
-      scan_stmt e ctx body;
-      if cont <> 0 then scan_stmt e ctx cont;
+      scan_stmt e lctx body;
+      if cont <> 0 then scan_stmt e lctx cont;
       (* the back edge: entry and exit phases are one class *)
       uf_union e p_entry e.phase;
       e.phase <- uf_find e e.phase;
@@ -473,8 +562,11 @@ let rec scan_stmt e ctx s =
       scan_ws e ctx s (Ast.clauses e.ast s) n.Ast.rhs ~combine_late:false
   | Ast.Omp_single ->
       let cl = Ast.clauses e.ast s in
+      if ctx.inloop then e.reenter <- s :: e.reenter;
       let ctx' = { ctx with mult = Msingle (s, cl.D.flags.nowait) } in
       scan_stmt e ctx' n.Ast.rhs;
+      if cl.D.copyprivate <> [] then
+        e.tsyncs <- (e.seq, Kcopyprivate) :: e.tsyncs;
       if not cl.D.flags.nowait then new_phase e
   | Ast.Omp_master -> scan_stmt e { ctx with mult = Mmaster s } n.Ast.rhs
   | Ast.Omp_critical ->
@@ -485,6 +577,23 @@ let rec scan_stmt e ctx s =
       in
       scan_stmt e { ctx with sync = Scrit name } n.Ast.rhs
   | Ast.Omp_atomic -> scan_stmt e { ctx with sync = Satomic } n.Ast.rhs
+  | Ast.Omp_task -> scan_task e ctx s
+  | Ast.Omp_taskwait ->
+      (* joins the *direct* children of the current frame — exactly the
+         checker's completion discipline.  Under an [if] the wait may
+         not execute, so no completion edge can be assumed. *)
+      e.tsyncs <- (e.seq, Ktaskwait) :: e.tsyncs;
+      if not ctx.guarded then
+        List.iter
+          (fun ((_, i) : int * task_info) ->
+            if i.tparent = ctx.task && i.tcomplete = None then
+              i.tcomplete <- Some (e.seq, ctx.mult))
+          e.tasks
+  | Ast.Omp_taskloop -> scan_taskloop e ctx s
+  | Ast.Omp_sections -> scan_sections e ctx s
+  | Ast.Omp_section ->
+      (* orphaned section (tolerated by the parser): scan the body *)
+      scan_stmt e ctx n.Ast.rhs
   | Ast.Omp_parallel | Ast.Omp_parallel_for ->
       (* a nested team: analysed as its own region, skipped here *)
       kill_assigned e s
@@ -637,7 +746,13 @@ and scan_ws e ctx dir (cl : D.clauses) wh ~combine_late =
         else (privat', p.w_body)
       in
       let ctx' =
-        { ctx with mult = Mdist dir; privat = privat'; loop = Some li }
+        { ctx with
+          mult = Mdist dir; privat = privat'; loop = Some li;
+          (* each thread runs its chunk's iterations sequentially, so a
+             task in the body is spawned once per iteration; the
+             globally-distinct counter values identify instances *)
+          inloop = true;
+          seqloop = (if ctx.inloop then None else Some li) }
       in
       kill_assigned e wh;
       scan_stmt e ctx' body;
@@ -666,6 +781,168 @@ and scan_ws e ctx dir (cl : D.clauses) wh ~combine_late =
         if not cl.D.flags.nowait then new_phase e
       end
 
+(* ------------------------- tasking constructs ---------------------- *)
+
+and task_captures e dir =
+  Preproc.Tasking.captures { Preproc.Synth.ast = e.ast; spans = e.spans } dir
+
+and cap_names caps p =
+  List.filter_map
+    (fun (c : Preproc.Tasking.capture) -> if p c then Some c.cname else None)
+    caps
+
+(* Names the deferred body sees as task-private snapshots: clause
+   private/firstprivate, plus implicit by-value captures of creator
+   locals.  A by-value captured slice still aliases its cells, so local
+   arrays are not snapshots (they are added to [e.byref] instead). *)
+and snapshot_names e caps =
+  cap_names caps (fun c ->
+      match c.Preproc.Tasking.corigin with
+      | `Private | `Firstprivate -> true
+      | `Implicit ->
+          Sset.mem c.cname e.locals && not (Sset.mem c.cname e.arrays)
+      | `Shared -> false)
+
+and is_team_mult = function Mall | Mdist _ -> true | _ -> false
+
+and scan_task e ctx dir =
+  let n = node e dir in
+  let cl = Ast.clauses e.ast dir in
+  let caps = task_captures e dir in
+  (* creation point: explicit firstprivate and implicit by-value
+     captures of shared cells are read in the creator's context *)
+  List.iter
+    (fun id -> record e ctx ~rw:`R ~var:(clause_name e id) ~anode:id ())
+    cl.D.firstprivate;
+  List.iter
+    (fun v ->
+      if Sset.mem v e.byref then record e ctx ~rw:`R ~var:v ~anode:dir ())
+    (cap_names caps (fun c ->
+         c.Preproc.Tasking.corigin = `Implicit && c.cby = `Value));
+  (* instances of a task spawned in the unique enclosing sequential
+     loop are identified by its iterations when the body captures the
+     counter by value: subscripts affine in that counter then
+     distinguish instances *)
+  let tinstloop =
+    match ctx.seqloop with
+    | Some li
+      when li.step <> None
+           && List.exists
+                (fun (c : Preproc.Tasking.capture) ->
+                  c.cname = li.counter && c.cby = `Value)
+                caps ->
+        li.ldir
+    | _ -> 0
+  in
+  let info =
+    { tdir = dir; tkind = Ttask; tparent = ctx.task; tspawn = e.seq;
+      tcomplete = None; tmulti = ctx.inloop; tteam = is_team_mult ctx.mult;
+      tcmult = ctx.mult; tgroup = 0; tinstloop; tgrain = 1 }
+  in
+  e.tasks <- (dir, info) :: e.tasks;
+  (* the body defers: it runs outside the creator's critical/atomic
+     and sees its by-value captures as private snapshots *)
+  let bctx =
+    { ctx with
+      task = dir; sync = Snone;
+      privat =
+        List.fold_left
+          (fun s v -> Sset.add v s)
+          ctx.privat (snapshot_names e caps);
+      loop = (if tinstloop <> 0 then ctx.seqloop else ctx.loop) }
+  in
+  scan_stmt e bctx n.Ast.rhs
+
+and scan_taskloop e ctx dir =
+  let cl = Ast.clauses e.ast dir in
+  let wh = (node e dir).Ast.rhs in
+  match decompose_ws e wh with
+  | None -> scan_stmt e ctx wh (* malformed: scan redundantly *)
+  | Some p ->
+      let li =
+        { ldir = dir; counter = p.w_counter;
+          lb = Hashtbl.find_opt e.known p.w_counter; ub = fold e p.w_ub_node;
+          linclusive = p.w_inclusive; step = p.w_step; lnowait = true;
+          static_unchunked = false; collapse2 = false }
+      in
+      e.sloops <- (dir, li) :: e.sloops;
+      (* entry: lower bound, bound expression and firstprivate reads *)
+      record e ctx ~rw:`R ~var:p.w_counter ~anode:p.w_counter_node ();
+      scan_expr e ctx p.w_ub_node;
+      List.iter
+        (fun id -> record e ctx ~rw:`R ~var:(clause_name e id) ~anode:id ())
+        cl.D.firstprivate;
+      let caps = task_captures e dir in
+      let info =
+        { tdir = dir; tkind = Tchunk; tparent = ctx.task; tspawn = e.seq;
+          tcomplete = None; tmulti = true; tteam = is_team_mult ctx.mult;
+          tcmult = ctx.mult; tgroup = 0; tinstloop = dir;
+          tgrain = max 1 cl.D.grainsize }
+      in
+      e.tasks <- (dir, info) :: e.tasks;
+      let bctx =
+        { ctx with
+          task = dir; sync = Snone;
+          privat =
+            List.fold_left
+              (fun s v -> Sset.add v s)
+              (Sset.add p.w_counter ctx.privat)
+              (snapshot_names e caps);
+          loop = Some li }
+      in
+      kill_assigned e wh;
+      scan_stmt e bctx p.w_body;
+      e.seq <- e.seq + 1;
+      scan_stmt e bctx p.w_cont;
+      (* the lowering closes the construct with a taskwait: every open
+         direct child of the encountering frame joins here (its own
+         chunks unconditionally — if the construct did not run, there
+         is no chunk to order) *)
+      e.seq <- e.seq + 1;
+      e.tsyncs <- (e.seq, Ktaskwait) :: e.tsyncs;
+      List.iter
+        (fun ((d, i) : int * task_info) ->
+          if
+            i.tcomplete = None
+            && (d = dir || ((not ctx.guarded) && i.tparent = ctx.task))
+          then i.tcomplete <- Some (e.seq, ctx.mult))
+        e.tasks
+
+and scan_sections e ctx dir =
+  let n = node e dir in
+  let cl = Ast.clauses e.ast dir in
+  let priv = privatised e cl in
+  List.iter
+    (fun id -> record e ctx ~rw:`R ~var:(clause_name e id) ~anode:id ())
+    cl.D.firstprivate;
+  let spawn = e.seq in
+  let secs =
+    List.filter
+      (fun s -> (node e s).Ast.tag = Ast.Omp_section)
+      (Ast.block_stmts e.ast n.Ast.rhs)
+  in
+  List.iteri
+    (fun k s ->
+      let info =
+        { tdir = s; tkind = Tsection k; tparent = ctx.task; tspawn = spawn;
+          tcomplete = None; tmulti = ctx.inloop; tteam = false;
+          tcmult = ctx.mult; tgroup = dir; tinstloop = 0; tgrain = 1 }
+      in
+      e.tasks <- (s, info) :: e.tasks;
+      e.seq <- e.seq + 1;
+      let bctx = { ctx with task = s; privat = Sset.union priv ctx.privat } in
+      scan_stmt e bctx (node e s).Ast.rhs)
+    secs;
+  e.seq <- e.seq + 1;
+  if not cl.D.flags.nowait then begin
+    List.iter
+      (fun ((_, i) : int * task_info) ->
+        if i.tgroup = dir && i.tcomplete = None then
+          i.tcomplete <- Some (e.seq, ctx.mult))
+      e.tasks;
+    new_phase e
+  end
+
 (* --------------------------- region driver ------------------------- *)
 
 (* Worksharing counters under [dir]: their in-region assignments act on
@@ -683,17 +960,60 @@ let ws_counters e dir =
       | _ -> ());
   !acc
 
-let analyze_region e dir : region =
-  let n = node e dir in
-  let cl = Ast.clauses e.ast dir in
+(* Locals that behave as shared cells because a task of [dir]'s subtree
+   captures them: explicit by-reference shares, plus by-value captured
+   slices (copying a slice aliases its cells). *)
+let byref_locals e dir locals =
+  let acc = ref Sset.empty in
+  Names.walk e.ast dir (fun j ->
+      match (node e j).Ast.tag with
+      | Ast.Omp_task | Ast.Omp_taskloop ->
+          List.iter
+            (fun (c : Preproc.Tasking.capture) ->
+              let aliasing =
+                c.cby = `Ref
+                || (c.cby = `Value && Sset.mem c.cname e.arrays)
+              in
+              if aliasing && Sset.mem c.cname locals then
+                acc := Sset.add c.cname !acc)
+            (task_captures e j)
+      | _ -> ());
+  !acc
+
+let reset_region_state e locals =
   e.phase <- 0;
   e.next_phase <- 1;
   Hashtbl.reset e.uf;
   e.accesses <- [];
   e.loops <- [];
-  e.locals <-
+  e.sloops <- [];
+  e.tasks <- [];
+  e.tsyncs <- [];
+  e.reenter <- [];
+  e.locals <- locals;
+  e.byref <- Sset.empty
+
+let finish_region e ~rdir ~rkind ~rseq : region =
+  let accesses =
+    List.rev_map
+      (fun (a : access) -> { a with phase = uf_find e a.phase })
+      e.accesses
+  in
+  { rdir; rkind; accesses;
+    loops = List.rev e.loops;
+    sloops = List.rev e.sloops;
+    tasks = List.rev e.tasks;
+    tsyncs = List.rev e.tsyncs;
+    reenter = e.reenter;
+    rseq }
+
+let analyze_region e dir : region =
+  let n = node e dir in
+  let cl = Ast.clauses e.ast dir in
+  reset_region_state e
     (if n.Ast.rhs <> 0 then Names.declared_under e.ast n.Ast.rhs
      else Sset.empty);
+  e.byref <- byref_locals e dir e.locals;
   (* names the team writes have no single value inside the region *)
   let counters = ws_counters e dir in
   Sset.iter
@@ -701,21 +1021,43 @@ let analyze_region e dir : region =
     (assign_targets e dir);
   let ctx =
     { mult = Mall; sync = Snone; guarded = false;
-      privat = privatised e cl; loop = None }
+      privat = privatised e cl; loop = None; task = 0; inloop = false;
+      seqloop = None }
   in
   (match n.Ast.tag with
    | Ast.Omp_parallel -> scan_stmt e ctx n.Ast.rhs
    | Ast.Omp_parallel_for -> scan_ws e ctx dir cl n.Ast.rhs ~combine_late:true
    | _ -> invalid_arg "Dataflow.analyze_region: not a region");
-  let accesses =
-    List.rev_map
-      (fun (a : access) -> { a with phase = uf_find e a.phase })
-      e.accesses
+  finish_region e ~rdir:dir
+    ~rkind:
+      (match Ast.omp_kind n.Ast.tag with Some k -> k | None -> D.Parallel)
+    ~rseq:false
+
+(* The sequential frame of a function whose body spawns tasks outside
+   any parallel region (orphaned tasking, e.g. recursive [task fib]
+   under a [single] elsewhere).  The frame's own code has multiplicity
+   [Mseq]; parameters count as locals (per-activation storage). *)
+let fn_params e fnnode =
+  let n = node e fnnode in
+  let count = Ast.extra e.ast n.Ast.lhs in
+  let acc = ref Sset.empty in
+  for k = 0 to count - 1 do
+    let name_tok = Ast.extra e.ast (n.Ast.lhs + 1 + (2 * k)) in
+    acc := Sset.add (Ast.token_text e.ast name_tok) !acc
+  done;
+  !acc
+
+let analyze_seq_frame e fnnode : region =
+  let body = (node e fnnode).Ast.rhs in
+  reset_region_state e
+    (Sset.union (fn_params e fnnode) (Names.declared_under e.ast body));
+  e.byref <- byref_locals e fnnode e.locals;
+  let ctx =
+    { mult = Mseq; sync = Snone; guarded = false; privat = Sset.empty;
+      loop = None; task = 0; inloop = false; seqloop = None }
   in
-  { rdir = dir;
-    rkind = (match Ast.omp_kind n.Ast.tag with Some k -> k | None -> D.Parallel);
-    accesses;
-    loops = List.rev e.loops }
+  scan_stmt e ctx body;
+  finish_region e ~rdir:fnnode ~rkind:D.Parallel ~rseq:true
 
 (* Array-like names of the program: declared with a slice type or
    initialised from an allocator, or slice-typed function parameters. *)
@@ -823,16 +1165,38 @@ let run (ast : Ast.t) (spans : Ast.spans) : result =
   let e =
     { ast; spans; tp = !tp; fnames = fn_names ast; arrays = array_names ast;
       known = Hashtbl.create 16; seq = 0; phase = 0; next_phase = 1;
-      uf = Hashtbl.create 16; accesses = []; loops = [];
-      locals = Sset.empty }
+      uf = Hashtbl.create 16; accesses = []; loops = []; sloops = [];
+      tasks = []; tsyncs = []; reenter = []; locals = Sset.empty;
+      byref = Sset.empty }
   in
   let regions = ref [] in
+  (* a task-family construct with no enclosing parallel region: the
+     function's sequential frame is analysed as a pseudo-region *)
+  let has_orphaned_tasking body =
+    let under_region = Hashtbl.create 64 in
+    Names.walk ast body (fun j ->
+        match (Ast.node ast j).Ast.tag with
+        | Ast.Omp_parallel | Ast.Omp_parallel_for ->
+            Names.walk ast j (fun k -> Hashtbl.replace under_region k ())
+        | _ -> ());
+    let found = ref false in
+    Names.walk ast body (fun j ->
+        match (Ast.node ast j).Ast.tag with
+        | Ast.Omp_task | Ast.Omp_taskloop | Ast.Omp_sections ->
+            if not (Hashtbl.mem under_region j) then found := true
+        | _ -> ());
+    !found
+  in
   List.iter
     (fun d ->
       let n = Ast.node ast d in
       if n.Ast.tag = Ast.Fn_decl then begin
         Hashtbl.reset e.known;
-        seq_scan e regions n.Ast.rhs
+        seq_scan e regions n.Ast.rhs;
+        if has_orphaned_tasking n.Ast.rhs then begin
+          Hashtbl.reset e.known;
+          regions := analyze_seq_frame e d :: !regions
+        end
       end)
     (Ast.top_decls ast);
   { ast; spans; regions = List.rev !regions; tp = !tp }

@@ -213,9 +213,80 @@ let same_partition loops (a : Df.access) (b : Df.access) l1 l2 =
       | _ -> false)
   | _ -> false
 
+(* ----------------------- task-pair (MHP) rules --------------------- *)
+
+(* Two subscripts affine in the loop identifying the instances of one
+   multi-instance task node: classical SIV reasoning where "iteration"
+   means "instance".  Equal offsets are the same instance (sequential);
+   a distance of at least [tgrain] iterations is guaranteed to cross
+   into another deferred instance. *)
+let instance_pair li_opt (i : Df.task_info) c1 c2 : verdict * carried option =
+  if c1 = c2 then (VNone, None)
+  else
+    match li_opt with
+    | Some li -> (
+        match li.Df.step with
+        | Some s when s <> 0 -> (
+            match Omp_model.Depvec.siv_distance ~c1 ~c2 ~step:s with
+            | None -> (VNone, None)
+            | Some d ->
+                let dir =
+                  Omp_model.Depvec.(dir_to_string (dir_of_distance d))
+                in
+                let carried = Some { distance = abs d; direction = dir } in
+                let t = trips li in
+                (match t with
+                 | Some t when abs d >= t -> (VNone, None)
+                 | Some t when t <= i.Df.tgrain ->
+                     (VNone, None) (* one deferred instance: sequential *)
+                 | Some _ when abs d >= i.Df.tgrain && not i.Df.tteam ->
+                     ( VProven
+                         (Printf.sprintf
+                            "dependence across deferred instances, \
+                             distance %d, direction (%s)"
+                            (abs d) dir),
+                       carried )
+                 | _ ->
+                     ( VMay
+                         (Printf.sprintf
+                            "possible dependence across deferred \
+                             instances, distance %d"
+                            (abs d)),
+                       carried )))
+        | _ ->
+            (VMay "possible cross-instance dependence, unknown step", None))
+    | None -> (VMay "unanalysable task-instance loop", None)
+
+(* At least one side sits in a deferred body: the task graph decides.
+   [Par] pairs then fall back to storage-overlap reasoning. *)
+let task_pair g (r : Df.region) loops (a : Df.access) (b : Df.access) :
+    verdict * carried option =
+  let inst =
+    if a.Df.task <> 0 && a.Df.task = b.Df.task then
+      match List.assoc_opt a.Df.task r.Df.tasks with
+      | Some i when i.Df.tinstloop <> 0 -> (
+          match (a.Df.sub, b.Df.sub) with
+          | Some (Df.Saffine (l1, c1)), Some (Df.Saffine (l2, c2))
+            when l1 = i.Df.tinstloop && l2 = i.Df.tinstloop ->
+              Some (instance_pair (List.assoc_opt l1 loops) i c1 c2)
+          | _ -> None)
+      | _ -> None
+    else None
+  in
+  match inst with
+  | Some v -> v
+  | None -> (
+      match Taskgraph.relate g a b with
+      | Taskgraph.Ordered -> (VNone, None)
+      | Taskgraph.Par { certain; why } -> (
+          match overlap loops a.Df.sub b.Df.sub with
+          | `No -> (VNone, None)
+          | `Yes -> ((if certain then VProven why else VMay why), None)
+          | `Unknown -> (VMay (why ^ "; storage overlap unproven"), None)))
+
 (* --------------------------- the pair rule ------------------------- *)
 
-let analyse_pair loops (a : Df.access) (b : Df.access) :
+let analyse_pair g (r : Df.region) loops (a : Df.access) (b : Df.access) :
     verdict * carried option =
   if a.Df.rw = `R && b.Df.rw = `R then (VNone, None)
   else if a.Df.phase <> b.Df.phase then (VNone, None)
@@ -234,12 +305,16 @@ let analyse_pair loops (a : Df.access) (b : Df.access) :
                      None)
     in
     demote
-      (match (a.Df.mult, b.Df.mult) with
+      (if a.Df.task <> 0 || b.Df.task <> 0 then task_pair g r loops a b
+       else
+      match (a.Df.mult, b.Df.mult) with
+       | Df.Mseq, _ | _, Df.Mseq ->
+           (VNone, None)  (* sequential frame code: program order *)
        | Df.Mmaster _, Df.Mmaster _ ->
            (VNone, None)  (* always the master thread, program order *)
        | Df.Msingle (d1, nw1), Df.Msingle (d2, _) ->
            if d1 = d2 then
-             if nw1 then
+             if nw1 && List.mem d1 r.Df.reenter then
                ( VMay
                    "single(nowait) encounters may pick different \
                     executing threads",
@@ -299,6 +374,8 @@ let analyse_pair loops (a : Df.access) (b : Df.access) :
 
 (** All conflicting pairs of a region, in a stable order. *)
 let conflicts (r : Df.region) : conflict list =
+  let g = Taskgraph.build r in
+  let loops = r.loops @ r.sloops in
   let arr = Array.of_list r.accesses in
   let n = Array.length arr in
   let out = ref [] in
@@ -307,7 +384,7 @@ let conflicts (r : Df.region) : conflict list =
       let a = arr.(i) and b = arr.(j) in
       if a.Df.var = b.Df.var then begin
         let a, b = if a.Df.seq <= b.Df.seq then (a, b) else (b, a) in
-        match analyse_pair r.loops a b with
+        match analyse_pair g r loops a b with
         | VNone, _ -> ()
         | verdict, carried -> out := { a; b; verdict; carried } :: !out
       end

@@ -18,19 +18,27 @@ type action =
           [shared] clause if listed there *)
   | Insert_atomic of { stmt : int }
       (** insert [//$omp atomic] immediately above statement [stmt] *)
+  | Insert_taskwait of { stmt : int }
+      (** insert [//$omp taskwait] immediately above statement [stmt] *)
   | Remove_nowait of { dir : int }
   | Add_shared of { dir : int; vars : string list }
   | Private_to_firstprivate of { dir : int; var : string }
+  | Shared_to_firstprivate of { dir : int; var : string }
+      (** move [var] from the [shared] clause of task directive [dir] to
+          its [firstprivate] clause: capture the value at creation *)
 
 let describe = function
   | Move_to_reduction { op; var; _ } ->
       Printf.sprintf "add reduction(%s: %s)" (D.red_op_to_string op) var
   | Insert_atomic _ -> "insert //$omp atomic"
+  | Insert_taskwait _ -> "insert //$omp taskwait"
   | Remove_nowait _ -> "remove nowait"
   | Add_shared { vars; _ } ->
       Printf.sprintf "add shared(%s)" (String.concat ", " vars)
   | Private_to_firstprivate { var; _ } ->
       Printf.sprintf "promote private(%s) to firstprivate(%s)" var var
+  | Shared_to_firstprivate { var; _ } ->
+      Printf.sprintf "move shared(%s) to firstprivate(%s)" var var
 
 (* ----------------------- pragma regeneration ----------------------- *)
 
@@ -51,11 +59,12 @@ type dir_edit = {
   mutable add_sh : string list;
   mutable del_nowait : bool;
   mutable promote : string list;  (* private -> firstprivate *)
+  mutable add_fp : string list;   (* shared -> firstprivate *)
 }
 
 let fresh_edit () =
   { add_reds = []; del_shared = []; add_sh = []; del_nowait = false;
-    promote = [] }
+    promote = []; add_fp = [] }
 
 let render_pragma (c : Synth.ctx) dir (ed : dir_edit) : string option =
   let ast = c.Synth.ast in
@@ -71,8 +80,10 @@ let render_pragma (c : Synth.ctx) dir (ed : dir_edit) : string option =
   let priv = List.filter (fun v -> not (List.mem v ed.promote)) priv0 in
   let fp0 = List.map name_of cl.D.firstprivate in
   let fp =
-    fp0 @ List.filter (fun v -> List.mem v priv0 && not (List.mem v fp0))
-            ed.promote
+    fp0
+    @ List.filter (fun v -> List.mem v priv0 && not (List.mem v fp0))
+        ed.promote
+    @ List.filter (fun v -> not (List.mem v fp0)) ed.add_fp
   in
   let sh0 = List.map name_of cl.D.shared in
   let red0 = List.map (fun (op, id) -> (op, name_of id)) cl.D.reductions in
@@ -80,7 +91,7 @@ let render_pragma (c : Synth.ctx) dir (ed : dir_edit) : string option =
   let add_reds =
     List.filter (fun (_, v) -> not (List.mem v red_names)) ed.add_reds
   in
-  let moved = List.map snd add_reds @ ed.del_shared in
+  let moved = List.map snd add_reds @ ed.del_shared @ ed.add_fp in
   let sh =
     List.filter (fun v -> not (List.mem v moved)) sh0
     @ List.filter (fun v -> not (List.mem v sh0)) ed.add_sh
@@ -112,6 +123,8 @@ let render_pragma (c : Synth.ctx) dir (ed : dir_edit) : string option =
     Buffer.add_string b (Synth.print_schedule cl.D.schedule);
     if cl.D.flags.collapse > 0 then
       Buffer.add_string b (Printf.sprintf " collapse(%d)" cl.D.flags.collapse);
+    if cl.D.grainsize > 0 then
+      Buffer.add_string b (Printf.sprintf " grainsize(%d)" cl.D.grainsize);
     if nowait then Buffer.add_string b " nowait";
     Some (Buffer.contents b)
 
@@ -134,6 +147,7 @@ let replacements ~(ast : Ast.t) ~(spans : Ast.spans) (actions : action list)
         ed
   in
   let atomics = ref [] in
+  let taskwaits = ref [] in
   List.iter
     (fun a ->
       match a with
@@ -145,6 +159,9 @@ let replacements ~(ast : Ast.t) ~(spans : Ast.spans) (actions : action list)
           end
       | Insert_atomic { stmt } ->
           if not (List.mem stmt !atomics) then atomics := stmt :: !atomics
+      | Insert_taskwait { stmt } ->
+          if not (List.mem stmt !taskwaits) then
+            taskwaits := stmt :: !taskwaits
       | Remove_nowait { dir } -> (edit dir).del_nowait <- true
       | Add_shared { dir; vars } ->
           let ed = edit dir in
@@ -153,7 +170,11 @@ let replacements ~(ast : Ast.t) ~(spans : Ast.spans) (actions : action list)
       | Private_to_firstprivate { dir; var } ->
           let ed = edit dir in
           if not (List.mem var ed.promote) then
-            ed.promote <- ed.promote @ [ var ])
+            ed.promote <- ed.promote @ [ var ]
+      | Shared_to_firstprivate { dir; var } ->
+          let ed = edit dir in
+          if not (List.mem var ed.add_fp) then
+            ed.add_fp <- ed.add_fp @ [ var ])
     actions;
   let pragma_rs =
     Hashtbl.fold
@@ -165,14 +186,16 @@ let replacements ~(ast : Ast.t) ~(spans : Ast.spans) (actions : action list)
             { Synth.start; stop; text } :: acc)
       edits []
   in
-  let atomic_rs =
+  let line_above pragma stmts =
     List.map
       (fun stmt ->
         let start, _ = Synth.node_bytes c stmt in
         let _, col = Source.position ast.Ast.source start in
         { Synth.start; stop = start;
-          text = "//$omp atomic\n" ^ String.make (max 0 (col - 1)) ' ' })
-      !atomics
+          text = pragma ^ "\n" ^ String.make (max 0 (col - 1)) ' ' })
+      stmts
   in
+  let atomic_rs = line_above "//$omp atomic" !atomics in
+  let taskwait_rs = line_above "//$omp taskwait" !taskwaits in
   List.sort (fun a b -> compare a.Synth.start b.Synth.start)
-    (pragma_rs @ atomic_rs)
+    (pragma_rs @ atomic_rs @ taskwait_rs)

@@ -1,0 +1,180 @@
+(** Static task graph and may-happen-in-parallel relation (tentpole of
+    the tasking-aware analyser).
+
+    {!Dataflow} records, per region, one node per [task] construct,
+    per [taskloop] (standing for all its chunk tasks) and per
+    [section], each with its spawn point, enclosing frame and — when a
+    dominating [taskwait] (explicit, or the one closing a [taskloop])
+    joins it — its completion point.  This module turns those nodes
+    into an MHP relation over accesses, mirroring the dynamic
+    checker's happens-before model:
+
+    - {e spawn edge}: code of the spawning frame sequenced before the
+      creation point happens-before the task body — valid only when
+      the code and the creation run in the same execution context
+      ([same_thread]) and the construct has a single instance;
+    - {e completion edge}: a [taskwait] joins the {e direct} children
+      of its frame; code sequenced after it is ordered after those
+      bodies — valid only when the waiting context is the spawning
+      context (each thread's implicit task owns its own children);
+    - {e barriers} (and the implicit barrier of non-[nowait]
+      worksharing) complete {e all} tasks of the team; that edge is
+      already folded into {!Dataflow}'s phase numbering, so this module
+      never sees cross-phase pairs.
+
+    Everything else is [Par]: possibly concurrent, with [certain]
+    saying whether a two-thread team must be able to produce the
+    overlap (team-replicated encounters degrade to uncertain). *)
+
+module Df = Dataflow
+
+type rel =
+  | Ordered        (** a happens-before chain orders the two accesses *)
+  | Par of { certain : bool; why : string }
+      (** may run concurrently; [certain] when a conflicting unordered
+          pair must be schedulable *)
+
+type t = { tasks : (int * Df.task_info) list }
+
+let build (r : Df.region) : t = { tasks = r.Df.tasks }
+
+let info g d = List.assoc_opt d g.tasks
+
+(** Do two multiplicities denote the same executing thread?  [Mseq]
+    is the one sequential frame; a [single] executor is consistent only
+    within one construct (another [single] may elect someone else);
+    [master] is always thread 0.  Team-replicated contexts never pin a
+    thread. *)
+let same_thread (m1 : Df.mult) (m2 : Df.mult) =
+  match (m1, m2) with
+  | Df.Mseq, Df.Mseq -> true
+  | Df.Msingle (d1, _), Df.Msingle (d2, _) -> d1 = d2
+  | Df.Mmaster _, Df.Mmaster _ -> true
+  | _ -> false
+
+(* Frame chain from the encountering code (0) down to [tid]. *)
+let chain g tid =
+  let rec go acc d =
+    if d = 0 then 0 :: acc
+    else
+      match info g d with
+      | Some i -> go (d :: acc) i.Df.tparent
+      | None -> 0 :: acc (* unknown frame: treat as a direct child *)
+  in
+  go [] tid
+
+let why_of (i : Df.task_info) =
+  match i.Df.tkind with
+  | Df.Ttask ->
+      "the deferred task body is unordered with this access (no \
+       taskwait or barrier between them)"
+  | Df.Tchunk -> "taskloop chunks run as unordered deferred tasks"
+  | Df.Tsection _ ->
+      "the section body runs on an unspecified thread, unordered with \
+       this access"
+
+(* Code of the task's own frame against the task body. *)
+let code_vs_task g (code : Df.access) t =
+  match info g t with
+  | None -> Par { certain = false; why = "unknown task frame" }
+  | Some i ->
+      let before_spawn =
+        (* sequenced before the creation point, in the same execution
+           context: the spawn edge orders it.  With multiple instances
+           only the first spawn is bounded by [tspawn], so the edge
+           degrades to uncertainty rather than order. *)
+        code.Df.seq <= i.Df.tspawn
+        && (not i.Df.tteam)
+        && same_thread code.Df.mult i.Df.tcmult
+      in
+      let after_complete =
+        match i.Df.tcomplete with
+        | Some (w, wm) ->
+            code.Df.seq >= w
+            && same_thread wm i.Df.tcmult
+            && same_thread code.Df.mult wm
+        | None -> false
+      in
+      if before_spawn && not i.Df.tmulti then Ordered
+      else if after_complete then Ordered
+      else if before_spawn (* multi-instance: later spawns unordered *)
+      then Par { certain = false; why = why_of i }
+      else Par { certain = not i.Df.tteam; why = why_of i }
+
+(* Bodies of two different task nodes of the same frame. *)
+let task_vs_task g ta tb =
+  match (info g ta, info g tb) with
+  | Some ia, Some ib ->
+      (* one node joined by a wait that is sequenced (same frame, same
+         thread) before the other node's creation *)
+      let ordered_by (i : Df.task_info) (j : Df.task_info) =
+        match i.Df.tcomplete with
+        | Some (w, wm) ->
+            w <= j.Df.tspawn
+            && same_thread wm i.Df.tcmult
+            && same_thread wm j.Df.tcmult
+            && (not i.Df.tteam) && not j.Df.tteam
+        | None -> false
+      in
+      if ordered_by ia ib || ordered_by ib ia then Ordered
+      else if ia.Df.tgroup <> 0 && ia.Df.tgroup = ib.Df.tgroup then
+        Par
+          { certain = not (ia.Df.tteam || ib.Df.tteam);
+            why = "sections of one construct execute concurrently" }
+      else
+        Par
+          { certain = not (ia.Df.tteam || ib.Df.tteam);
+            why = "the two deferred bodies may execute concurrently" }
+  | _ -> Par { certain = false; why = "unknown task frame" }
+
+(** The MHP relation between two accesses of one region (same barrier
+    phase; cross-phase pairs are ordered upstream). *)
+let relate g (a : Df.access) (b : Df.access) : rel =
+  if a.Df.task = b.Df.task then
+    match info g a.Df.task with
+    | None -> Ordered (* both in frame code: the mult matrix decides *)
+    | Some i ->
+        if not i.Df.tmulti then Ordered (* one instance, program order *)
+        else if i.Df.tteam then
+          Par
+            { certain = false;
+              why =
+                "instances of the deferred body are spawned by every \
+                 thread and run unordered" }
+        else
+          Par
+            { certain = true;
+              why = "instances of the deferred body run unordered" }
+  else
+    let ca = chain g a.Df.task and cb = chain g b.Df.task in
+    let rec split p q =
+      match (p, q) with
+      | x :: p', y :: q' when x = y ->
+          let common, rp, rq = split p' q' in
+          (x :: common, rp, rq)
+      | _ -> ([], p, q)
+    in
+    let common, ra, rb = split ca cb in
+    (* every frame between the root and the fork point must be
+       single-instance, else two instances of the common frame already
+       run the two sides concurrently *)
+    let common_ok =
+      List.for_all
+        (fun d ->
+          d = 0
+          ||
+          match info g d with
+          | Some i -> (not i.Df.tmulti) && not i.Df.tteam
+          | None -> false)
+        common
+    in
+    if not common_ok then
+      Par
+        { certain = false;
+          why = "the enclosing task frame has multiple live instances" }
+    else
+      match (ra, rb) with
+      | [], [] -> Ordered (* unreachable: same task handled above *)
+      | [], t :: _ -> code_vs_task g a t
+      | t :: _, [] -> code_vs_task g b t
+      | ta :: _, tb :: _ -> task_vs_task g ta tb

@@ -759,6 +759,7 @@ let run_session ~name ~(load : unit -> Interp.program)
    | Some ex -> Des.set_decide des (fun ids -> Dpor.decide ex ~enabled:ids)
    | None -> ());
   Rt.tracer := Some { Rt.trace = on_trace sess };
+  Rt.escaped := [];
   B.interceptor :=
     Some { B.on_builtin = on_builtin sess; on_omp = on_omp sess };
   Rt.tls_key :=
@@ -769,6 +770,7 @@ let run_session ~name ~(load : unit -> Interp.program)
   Fun.protect
     ~finally:(fun () ->
       Rt.tracer := None;
+      Rt.escaped := [];
       B.interceptor := None;
       Rt.pending_op := None;
       Rt.tls_key := (fun () -> (Domain.self () :> int)))

@@ -51,15 +51,17 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 (* One fixture, exactly as `zrc check FILE` / `zrc analyze FILE`. *)
-let run_entry ~mode ~config ~name source =
+let run_entry ~mode ~config ~no_static ~name source =
   match mode with
   | Manalyze ->
       let r = Analyze.run ~name source in
       { path = name; report = r.Analyze.report; may = r.Analyze.may }
   | Mcheck ->
       let dynamic = Check.check_source ~name ~config source in
-      let static = (Analyze.run ~name source).Analyze.report in
-      { path = name; report = Report.merge ~static ~dynamic; may = [] }
+      if no_static then { path = name; report = dynamic; may = [] }
+      else
+        let static = (Analyze.run ~name source).Analyze.report in
+        { path = name; report = Report.merge ~static ~dynamic; may = [] }
 
 (* ------------------------- the NPB kernels ------------------------ *)
 
@@ -97,11 +99,13 @@ let kernel_sources =
     ("npb/ep_main.zr", Harness.Zr_ep.src);
     ("npb/is_rank.zr", Harness.Zr_is.src) ]
 
-let check_kernel ~config name =
+let check_kernel ~config ~no_static name =
   let checked ~source ~entry =
     let dynamic = Check.check_run ~name ~config ~source ~entry () in
-    let static = (Analyze.run ~name source).Analyze.report in
-    { path = name; report = Report.merge ~static ~dynamic; may = [] }
+    if no_static then { path = name; report = dynamic; may = [] }
+    else
+      let static = (Analyze.run ~name source).Analyze.report in
+      { path = name; report = Report.merge ~static ~dynamic; may = [] }
   in
   match name with
   | "npb/conj_grad.zr" ->
@@ -135,12 +139,12 @@ let check_kernel ~config name =
                       ~ithi:p.Npb.Classes.Is.max_iterations))))
   | _ -> invalid_arg "Corpus.check_kernel"
 
-let kernel_entry ~mode ~config (name, source) =
+let kernel_entry ~mode ~config ~no_static (name, source) =
   match mode with
   | Manalyze ->
       let r = Analyze.run ~name source in
       { path = name; report = r.Analyze.report; may = r.Analyze.may }
-  | Mcheck -> check_kernel ~config name
+  | Mcheck -> check_kernel ~config ~no_static name
 
 (* --------------------------- the sweep ---------------------------- *)
 
@@ -157,8 +161,8 @@ let executions (r : Report.t) =
     fixture must not hide the rest of the corpus.  A directory with no
     fixtures at all is a [Failure], not an empty (vacuously clean)
     report: a mistyped path must not read as a passing corpus. *)
-let run ?(config = Check.default_config) ?(kernels = true) ~mode ~dir () : t
-    =
+let run ?(config = Check.default_config) ?(kernels = true)
+    ?(no_static = false) ~mode ~dir () : t =
   let guarded name f =
     try f () with
     | Zr.Source.Error msg | Failure msg | Invalid_argument msg ->
@@ -178,7 +182,7 @@ let run ?(config = Check.default_config) ?(kernels = true) ~mode ~dir () : t
     List.map
       (fun path ->
         guarded path (fun () ->
-            run_entry ~mode ~config ~name:path (read_file path)))
+            run_entry ~mode ~config ~no_static ~name:path (read_file path)))
       paths
   in
   let kernel_entries =
@@ -186,7 +190,8 @@ let run ?(config = Check.default_config) ?(kernels = true) ~mode ~dir () : t
     else
       List.map
         (fun (name, source) ->
-          guarded name (fun () -> kernel_entry ~mode ~config (name, source)))
+          guarded name (fun () ->
+              kernel_entry ~mode ~config ~no_static (name, source)))
         kernel_sources
   in
   let entries = fixtures @ kernel_entries in

@@ -96,9 +96,10 @@ let ptr_write = Rt.ptr_write
    Only shared-reachable locations are reported: elements of arrays,
    cells reached through pointers (the [__ptr] captures the outliner
    synthesises), and plain global cells.  Ordinary locals are created
-   fresh per activation record and can only be shared via [&], which
-   routes accesses through [Deref] — so skipping them loses nothing
-   and keeps the per-location registries small. *)
+   fresh per activation record, so they stay untraced — until their
+   cell escapes through [&] (a task capturing a creator local by
+   reference), after which direct accesses are traced too; the pointer
+   side always routes through [Deref]. *)
 
 (** Best-effort variable name for an access site. *)
 let rec access_hint ast node =
@@ -147,7 +148,10 @@ let rec eval env node : Value.t =
   | Ast.Ident ->
       let name = Ast.token_text ast n.main_token in
       (match lookup_cell env.scopes name with
-       | Some cell -> !cell
+       | Some cell ->
+           if Rt.is_escaped cell then
+             trace_access env ~rw:`R node (Rt.Acell cell);
+           !cell
        | None ->
            (match Hashtbl.find_opt env.prog.globals name with
             | Some (Rt.Plain cell) ->
@@ -240,7 +244,9 @@ and eval_addr_of env node =
   | Ast.Ident ->
       let name = Ast.token_text ast n.main_token in
       (match find_cell env name with
-       | Some cell -> VPtr (PVar cell)
+       | Some cell ->
+           Rt.note_escape cell;
+           VPtr (PVar cell)
        | None -> err "address of undeclared identifier '%s'" name)
   | Ast.Deref ->
       (* &p.* is p *)
@@ -264,7 +270,15 @@ and eval_lvalue env node : (unit -> Value.t) * (Value.t -> unit) =
   | Ast.Ident ->
       let name = Ast.token_text ast n.main_token in
       (match lookup_cell env.scopes name with
-       | Some cell -> ((fun () -> !cell), fun v -> cell := v)
+       | Some cell ->
+           ((fun () ->
+               if Rt.is_escaped cell then
+                 trace_access env ~rw:`R node (Rt.Acell cell);
+               !cell),
+            fun v ->
+              if Rt.is_escaped cell then
+                trace_access env ~rw:`W node (Rt.Acell cell);
+              cell := v)
        | None ->
            (match Hashtbl.find_opt env.prog.globals name with
             | Some (Rt.Plain cell) ->

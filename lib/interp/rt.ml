@@ -62,6 +62,23 @@ let tracer : tracer option ref = ref None
    is installed (single-domain), so there is no cross-domain race. *)
 let pending_op : string option ref = ref None
 
+(* Ordinary locals are thread-private, so the walker leaves them
+   untraced — except when [&] takes a local's cell, which is exactly
+   how the outliner lets a deferred task alias its creator's variable.
+   The walker registers every cell that escapes through [&] here while
+   a tracer is installed, and then traces {e direct} accesses to a
+   registered cell like any shared location (the pointer side is
+   already traced through [Deref]).  The list stays tiny — one entry
+   per distinct escaped local — and both hooks are no-ops without a
+   tracer. *)
+let escaped : Value.t ref list ref = ref []
+
+let note_escape (r : Value.t ref) =
+  if !tracer <> None && not (List.memq r !escaped) then
+    escaped := r :: !escaped
+
+let is_escaped (r : Value.t ref) = !tracer <> None && List.memq r !escaped
+
 (** Key for [threadprivate] storage: the domain id in production, the
     virtual-thread id under the checker. *)
 let tls_key : (unit -> int) ref = ref (fun () -> (Domain.self () :> int))

@@ -36,19 +36,33 @@ type plan = {
   outlined : string option;  (** task function to append, if any *)
 }
 
-let stmt_plan c dir text =
-  let node = Ast.node c.Synth.ast dir in
-  let dir_start, _ = Synth.node_bytes c dir in
-  let stop =
-    if node.Ast.rhs = 0 then snd (Synth.node_bytes c dir)
-    else snd (Synth.node_bytes c node.Ast.rhs)
-  in
-  { replacement = { Synth.start = dir_start; stop; text }; outlined = None }
+(* --------------------------- capture model -------------------------- *)
 
-(* ------------------------------- task ----------------------------- *)
+(** How one variable crosses into a task body.  This partition is the
+    single source of truth for task data environments: {!plan_task}
+    renders the outline from it, and the static analyser
+    ({!Analyze.Taskgraph}) consumes the same lists so both layers agree
+    on which cells a deferred body can share with its creator. *)
+type capture = {
+  cname : string;
+  corigin : [ `Private | `Firstprivate | `Shared | `Implicit ];
+      (** the clause that scoped the name, or [`Implicit] for the
+          by-value default *)
+  cby : [ `Value | `Ref | `Privatised ];
+      (** [`Value]: snapshot at creation (firstprivate semantics; for a
+          pointer rebinding the pointee stays shared).  [`Ref]: captured
+          by address — the task aliases the creator's cell.
+          [`Privatised]: fresh uninitialised task-local storage. *)
+}
 
-let plan_task (c : Synth.ctx) ~counter dir : plan =
-  let ast = c.ast in
+(** The capture list of a [task]-family construct (anything with a
+    governed body and task data-environment defaults: [task] and
+    [taskloop]).  Works on both the original source (analysis time,
+    where enclosing-shared names are still plain) and the
+    post-outlining source (lowering time, where they are [__ptr]
+    rebindings) — the partition rule is the same. *)
+let captures (c : Synth.ctx) dir : capture list =
+  let ast = c.Synth.ast in
   let node = Ast.node ast dir in
   let cl = Ast.clauses ast dir in
   let body = node.Ast.rhs in
@@ -64,14 +78,48 @@ let plan_task (c : Synth.ctx) ~counter dir : plan =
     Sset.elements
       Sset.(diff (diff (diff referenced declared) globals) explicit)
   in
+  List.map (fun x -> { cname = x; corigin = `Private; cby = `Privatised })
+    priv
+  @ List.map (fun x -> { cname = x; corigin = `Firstprivate; cby = `Value })
+      fp
+  @ List.map
+      (fun x ->
+        (* shared(x__ptr) names a pointer rebinding: copying the pointer
+           keeps the pointee shared; a plain local must be captured by
+           address *)
+        { cname = x; corigin = `Shared;
+          cby = (if Outline.is_ptr_name x then `Value else `Ref) })
+      sh_explicit
+  @ List.map (fun x -> { cname = x; corigin = `Implicit; cby = `Value })
+      implicit
+
+let stmt_plan c dir text =
+  let node = Ast.node c.Synth.ast dir in
+  let dir_start, _ = Synth.node_bytes c dir in
+  let stop =
+    if node.Ast.rhs = 0 then snd (Synth.node_bytes c dir)
+    else snd (Synth.node_bytes c node.Ast.rhs)
+  in
+  { replacement = { Synth.start = dir_start; stop; text }; outlined = None }
+
+(* ------------------------------- task ----------------------------- *)
+
+let plan_task (c : Synth.ctx) ~counter dir : plan =
+  let ast = c.ast in
+  let node = Ast.node ast dir in
+  let body = node.Ast.rhs in
+  let caps = captures c dir in
+  let sel p = List.filter_map (fun x -> if p x then Some x.cname else None) in
+  let priv = sel (fun x -> x.corigin = `Private) caps in
+  let fp = sel (fun x -> x.corigin = `Firstprivate) caps in
   (* An explicit shared(x__ptr) names a variable that is already a
      pointer rebinding: copying the pointer keeps the pointee shared,
      no rewrite needed — same treatment as the implicit captures.  A
      plain shared(s) local must be captured by address with the body
      rewritten to pointer accesses, as in region outlining. *)
-  let sh_plain, sh_ptr = List.partition
-      (fun x -> not (Outline.is_ptr_name x)) sh_explicit
-  in
+  let sh_plain = sel (fun x -> x.corigin = `Shared && x.cby = `Ref) caps in
+  let sh_ptr = sel (fun x -> x.corigin = `Shared && x.cby = `Value) caps in
+  let implicit = sel (fun x -> x.corigin = `Implicit) caps in
   let byval = implicit @ sh_ptr in
   (* Explicit firstprivate/private of a pointer rebinding rebinds the
      name to a task-local value; the body's [x__ptr.*] accesses fold

@@ -46,7 +46,9 @@ let racy_expectations =
   [ ("racy/missing_reduction.zr", "race|s", "suggest reduction(+: s)");
     ("racy/shared_counter.zr", "race|counter",
      "suggest //$omp atomic before the update");
-    ("racy/nowait_useafter.zr", "race|q", "suggest removing nowait") ]
+    ("racy/nowait_useafter.zr", "race|q", "suggest removing nowait");
+    ("racy/task_no_taskwait.zr", "race|r",
+     "suggest //$omp taskwait before the dependent statement") ]
 
 let test_racy_suggestions () =
   List.iter
@@ -79,7 +81,9 @@ let test_clean_programs () =
       Alcotest.(check int) (name ^ ": exit code") 0
         (Report.exit_code r.Analyzer.report))
     [ "clean/reduction.zr"; "clean/atomic_counter.zr";
-      "clean/nowait_barrier.zr"; "histogram.zr"; "jacobi.zr";
+      "clean/nowait_barrier.zr"; "clean/task_taskwait.zr";
+      "clean/sections_atomic.zr"; "clean/task_capture_fp.zr";
+      "analyze/taskloop_disjoint.zr"; "histogram.zr"; "jacobi.zr";
       "mandelbrot.zr" ]
 
 (* The NPB kernels are the paper's workloads: the analyser must not
@@ -167,6 +171,63 @@ let test_fix_fixpoint () =
       Alcotest.(check (list string)) (name ^ ": dynamically clean") []
         (lines_of dyn))
     racy_expectations
+
+(* ---- tasking fixtures: sections and capture-by-reference ---------- *)
+
+(* Fixture bodies start at [fn main]; the leading comment differs
+   between a racy fixture and its clean twin, so twin-equality checks
+   compare from there. *)
+let from_fn src =
+  let needle = "fn main" in
+  let nl = String.length needle in
+  let rec find i =
+    if i + nl > String.length src then src
+    else if String.sub src i nl = needle then
+      String.sub src i (String.length src - i)
+    else find (i + 1)
+  in
+  find 0
+
+let one_proven name (r : Analyzer.result) =
+  match r.Analyzer.report.Report.findings with
+  | [ f ] ->
+      Alcotest.(check bool) (name ^ ": verdict PROVEN") true
+        (f.Report.verdict = Some Report.Proven);
+      f
+  | fs -> Alcotest.failf "%s: expected one finding, got %d" name
+            (List.length fs)
+
+let fix_to_twin ~name ~twin =
+  let src = read_file (Filename.concat examples_dir name) in
+  let fixed, r', rounds = Zigomp.analyze_fix ~name src in
+  Alcotest.(check int) (name ^ ": one fix round") 1 rounds;
+  Alcotest.(check bool) (name ^ ": clean after fix") true
+    (Analyzer.clean r');
+  Alcotest.(check string) (name ^ ": fix reproduces the clean twin")
+    (from_fn (read_file (Filename.concat examples_dir twin)))
+    (from_fn fixed)
+
+let test_sections_scalar () =
+  let r = analyze_file "analyze/sections_scalar.zr" in
+  let f = one_proven "sections_scalar" r in
+  Alcotest.(check string) "id" "race|w" f.Report.id;
+  Alcotest.(check bool) "suggests atomic" true
+    (contains f.Report.line "suggest //$omp atomic");
+  fix_to_twin ~name:"analyze/sections_scalar.zr"
+    ~twin:"clean/sections_atomic.zr"
+
+let test_task_capture_loop () =
+  let r = analyze_file "analyze/task_capture_loop.zr" in
+  let f = one_proven "task_capture_loop" r in
+  Alcotest.(check string) "id" "race|cap" f.Report.id;
+  Alcotest.(check bool) "suggests firstprivate capture" true
+    (contains f.Report.line "suggest firstprivate(cap)");
+  fix_to_twin ~name:"analyze/task_capture_loop.zr"
+    ~twin:"clean/task_capture_fp.zr"
+
+let test_task_no_taskwait_twin () =
+  fix_to_twin ~name:"racy/task_no_taskwait.zr"
+    ~twin:"clean/task_taskwait.zr"
 
 (* ---- cross-backend id stability and merge ------------------------ *)
 
@@ -345,6 +406,132 @@ let prop_static_vs_dynamic =
       in
       proven_observed && clean_agrees)
 
+(* ---- differential property over tasking constructs --------------- *)
+
+(* Reuses {!Test_task_diff}'s generator: its segments are race-free by
+   construction, so the static task graph must come back fully clean
+   (no findings, no MAY) and DPOR must agree.  The racy family below
+   flips the obligation: each member seeds one tasking race the
+   analyser must PROVE with an id DPOR also reports. *)
+
+let dpor_config ?(max_execs = 64) () =
+  { Checker.nthreads = 2; schedules = 3; seed = 42; sync_sweep = true;
+    lint = true;
+    exploration = Checker.Dpor { max_execs; preempt_bound = 2 } }
+
+let check_task_fn src =
+  Checker.check_run ~name:"taskdiff.zr" ~config:(dpor_config ())
+    ~source:src
+    ~entry:(fun prog ->
+      ignore
+        (Interp.call prog "f"
+           [ Interp.Value.VInt Test_task_diff.cells;
+             Interp.Value.VIntArr (Array.make Test_task_diff.cells 0) ]))
+    ()
+
+(* The render always declares shared(x, total); a drawn segment list
+   may reference only one of them, and an unused clause is a MAY
+   advisory [Analyzer.clean] rejects.  Appending one race-free segment
+   per shared name keeps the clean obligation strict. *)
+let full_segs segs =
+  segs @ [ Test_task_diff.Tasks (1, 1); Test_task_diff.Broadcast 1 ]
+
+let prop_tasking_clean_quiet =
+  QCheck2.Test.make
+    ~name:"tasking: generated race-free programs are static CLEAN and \
+           DPOR quiet"
+    ~count:10
+    ~print:(fun (segs, _) -> Test_task_diff.render (full_segs segs))
+    Test_task_diff.case_gen
+    (fun (segs, _) ->
+      let src = Test_task_diff.render (full_segs segs) in
+      let st = Zigomp.analyze ~name:"taskdiff.zr" src in
+      Analyzer.clean st && Report.clean (check_task_fn src))
+
+type racy_task = RTaskCont | RSections | RTwoTasks
+
+let racy_task_src ~shape ~c =
+  match shape with
+  | RTaskCont ->
+      Printf.sprintf
+        {|fn main() i64 {
+    var r: i64 = 0;
+    //$omp parallel num_threads(2)
+    {
+        //$omp single nowait
+        {
+            //$omp task shared(r)
+            { r = r + %d; }
+            r = r + 1;
+        }
+    }
+    return r;
+}
+|}
+        c
+  | RSections ->
+      Printf.sprintf
+        {|fn main() i64 {
+    var w: i64 = 0;
+    //$omp parallel num_threads(2)
+    {
+        //$omp sections
+        {
+            //$omp section
+            { w = w + 1; }
+            //$omp section
+            { w = w + %d; }
+        }
+    }
+    return w;
+}
+|}
+        c
+  | RTwoTasks ->
+      Printf.sprintf
+        {|fn main() i64 {
+    var r: i64 = 0;
+    //$omp parallel num_threads(2)
+    {
+        //$omp single
+        {
+            //$omp task shared(r)
+            { r = r + 1; }
+            //$omp task shared(r)
+            { r = r + %d; }
+            //$omp taskwait
+        }
+    }
+    return r;
+}
+|}
+        c
+
+let prop_tasking_proven_observed =
+  QCheck2.Test.make
+    ~name:"tasking: static PROVEN races are DPOR-observable"
+    ~count:9
+    ~print:(fun (shape, c) -> racy_task_src ~shape ~c)
+    QCheck2.Gen.(
+      pair (oneofl [ RTaskCont; RSections; RTwoTasks ]) (int_range 2 9))
+    (fun (shape, c) ->
+      let src = racy_task_src ~shape ~c in
+      let st = Zigomp.analyze ~name:"rtask.zr" src in
+      let proven =
+        List.filter
+          (fun (f : Report.finding) ->
+            f.Report.verdict = Some Report.Proven
+            && (f.Report.kind = Report.Race || f.Report.kind = Report.Dep))
+          st.Analyzer.report.Report.findings
+      in
+      proven <> []
+      &&
+      let dyn = Zigomp.check ~name:"rtask.zr" ~config:(dpor_config ()) src in
+      let dyn_ids = ids_of dyn in
+      List.for_all
+        (fun (f : Report.finding) -> List.mem f.Report.id dyn_ids)
+        proven)
+
 let suite =
   [ Alcotest.test_case "racy fixtures: exact clause suggestions" `Quick
       test_racy_suggestions;
@@ -356,6 +543,12 @@ let suite =
       test_siv_carried;
     Alcotest.test_case "private read-before-write -> firstprivate" `Quick
       test_private_read_first;
+    Alcotest.test_case "sections over one scalar: proven + atomic fix"
+      `Quick test_sections_scalar;
+    Alcotest.test_case "task capture of mutated counter -> firstprivate"
+      `Quick test_task_capture_loop;
+    Alcotest.test_case "--fix inserts the taskwait of the clean twin"
+      `Quick test_task_no_taskwait_twin;
     Alcotest.test_case "--fix reaches a clean, idempotent fixpoint" `Slow
       test_fix_fixpoint;
     Alcotest.test_case "merge suppresses statically-proven duplicates"
@@ -364,4 +557,6 @@ let suite =
       test_default_none_ids_match;
     Alcotest.test_case "json report schema" `Quick test_json;
     QCheck_alcotest.to_alcotest prop_static_vs_dynamic;
+    QCheck_alcotest.to_alcotest prop_tasking_clean_quiet;
+    QCheck_alcotest.to_alcotest prop_tasking_proven_observed;
   ]

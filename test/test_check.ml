@@ -355,11 +355,11 @@ let test_corpus_check_clean () =
     Corpus.run ~config:(dpor_config ()) ~kernels:false ~mode:Corpus.Mcheck
       ~dir ()
   in
-  Alcotest.(check int) "four entries" 4 (List.length c.Corpus.entries);
+  Alcotest.(check int) "six entries" 6 (List.length c.Corpus.entries);
   Alcotest.(check int) "clean corpus exits 0" 0 c.Corpus.exit;
   Alcotest.(check bool) "executions summed" true (c.Corpus.total_execs >= 3);
   Alcotest.(check bool) "summary renders" true
-    (contains (Corpus.summary c) "4 entries");
+    (contains (Corpus.summary c) "6 entries");
   Alcotest.(check bool) "json carries the schema" true
     (contains (Corpus.to_json c) "zigomp-corpus/1")
 
@@ -397,11 +397,48 @@ let test_corpus_empty_dir_errors () =
 
 let test_corpus_missing_dir_errors () =
   let dir = "/nonexistent/zigomp_corpus" in
-  match Corpus.run ~kernels:false ~mode:Corpus.Manalyze ~dir () with
-  | _ -> Alcotest.fail "missing corpus dir must raise"
-  | exception Failure msg ->
-      Alcotest.(check bool) "message says the dir is unreadable" true
-        (contains msg "cannot read")
+  (match Corpus.run ~kernels:false ~mode:Corpus.Manalyze ~dir () with
+   | _ -> Alcotest.fail "missing corpus dir must raise"
+   | exception Failure msg ->
+       Alcotest.(check bool) "message says the dir is unreadable" true
+         (contains msg "cannot read"));
+  (* check mode shares the same hard errors *)
+  match Corpus.run ~kernels:false ~mode:Corpus.Mcheck ~dir () with
+  | _ -> Alcotest.fail "missing corpus dir must raise in check mode"
+  | exception Failure _ -> ()
+
+(* --no-static surfaces raw dynamic findings per entry: every
+   statically PROVEN race over the racy fixtures must appear among the
+   same entry's unmerged DPOR findings (the CI subset assertion, in
+   process). *)
+let test_corpus_no_static_subset () =
+  let dir = Filename.concat examples_dir "racy" in
+  let st = Corpus.run ~kernels:false ~mode:Corpus.Manalyze ~dir () in
+  let dyn =
+    Corpus.run ~config:(dpor_config ()) ~kernels:false ~no_static:true
+      ~mode:Corpus.Mcheck ~dir ()
+  in
+  List.iter2
+    (fun (se : Corpus.entry) (de : Corpus.entry) ->
+      Alcotest.(check string) "entries line up" se.Corpus.path
+        de.Corpus.path;
+      let dyn_ids =
+        List.map
+          (fun (f : Report.finding) -> f.Report.id)
+          de.Corpus.report.Report.findings
+      in
+      List.iter
+        (fun (f : Report.finding) ->
+          if
+            f.Report.verdict = Some Report.Proven
+            && (f.Report.kind = Report.Race || f.Report.kind = Report.Dep)
+          then
+            Alcotest.(check bool)
+              (se.Corpus.path ^ ": " ^ f.Report.id ^ " DPOR-observed")
+              true
+              (List.mem f.Report.id dyn_ids))
+        se.Corpus.report.Report.findings)
+    st.Corpus.entries dyn.Corpus.entries
 
 (* --preempt-bound alongside --sampled: the CLI must diagnose the
    no-effect combination instead of silently dropping the bound. *)
@@ -455,6 +492,8 @@ let suite =
       test_corpus_empty_dir_errors;
     Alcotest.test_case "corpus: missing dir errors" `Quick
       test_corpus_missing_dir_errors;
+    Alcotest.test_case "corpus: --no-static keeps PROVEN ids observable"
+      `Slow test_corpus_no_static_subset;
     Alcotest.test_case "sampled + preempt-bound warns" `Quick
       test_sampled_bound_warning;
   ]
